@@ -1,0 +1,89 @@
+"""Experiment A2 — ablation: Data Vault laziness vs eager ETL.
+
+Time-to-first-answer for a query touching k of M archived files: the
+vault (catalog headers, ingest on demand) vs the eager strawman (convert
+everything up front).  Expected shape: lazy wins proportionally to M/k;
+eager only amortises when queries eventually touch everything.
+"""
+
+import pytest
+
+from repro.ingest.handlers import seviri_format_handler
+from repro.mdb.datavault import DataVault
+from benchmarks.conftest import build_archive
+from repro.vo import VirtualEarthObservatory
+
+M_FILES = 16
+K_TOUCHED = 2
+
+
+@pytest.fixture(scope="module")
+def archive_dir(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("vault_archive")
+    world = VirtualEarthObservatory(load_linked_data=False).world
+    build_archive(str(tmp), world, n_scenes=M_FILES, width=96, height=96)
+    return str(tmp)
+
+
+def fresh_vault(archive_dir) -> DataVault:
+    vault = DataVault("bench")
+    vault.register_format(seviri_format_handler())
+    vault.attach_directory(archive_dir, pattern="*.nat")
+    return vault
+
+
+def query_k_files(vault: DataVault) -> float:
+    """The measured workload: hot-pixel counts over k of the M files."""
+    entries = vault.entries()[:: max(1, M_FILES // K_TOUCHED)][:K_TOUCHED]
+    total = 0.0
+    for entry in entries:
+        array = vault.fetch(entry.path)
+        total += float((array.attribute("t039") > 310).sum())
+    return total
+
+
+def test_lazy_time_to_first_answer(benchmark, archive_dir):
+    def setup():
+        return (fresh_vault(archive_dir),), {}
+
+    def run(vault):
+        return query_k_files(vault)
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+    benchmark.extra_info["files_total"] = M_FILES
+    benchmark.extra_info["files_touched"] = K_TOUCHED
+    benchmark.group = "time-to-first-answer"
+
+
+def test_eager_time_to_first_answer(benchmark, archive_dir):
+    def setup():
+        return (fresh_vault(archive_dir),), {}
+
+    def run(vault):
+        vault.ingest_all()  # the ETL strawman pays for all M files
+        return query_k_files(vault)
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+    benchmark.extra_info["files_total"] = M_FILES
+    benchmark.extra_info["files_touched"] = K_TOUCHED
+    benchmark.group = "time-to-first-answer"
+
+
+def test_cataloging_cost(benchmark, archive_dir):
+    """Header-only cataloging must stay far cheaper than one ingest."""
+
+    vault = benchmark(fresh_vault, archive_dir)
+    assert len(vault) == M_FILES
+    assert vault.stats["ingests"] == 0
+    benchmark.group = "catalog"
+
+
+def test_repeated_access_amortised(benchmark, archive_dir):
+    """Cached access: the second query over the same k files is ~free."""
+    vault = fresh_vault(archive_dir)
+    query_k_files(vault)  # warm the cache
+
+    result = benchmark(query_k_files, vault)
+    assert result >= 0
+    assert vault.stats["ingests"] == K_TOUCHED
+    benchmark.group = "cached"

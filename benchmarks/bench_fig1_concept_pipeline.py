@@ -1,0 +1,110 @@
+"""Experiment F1 — Figure 1, the concept view.
+
+Regenerates the Data→Knowledge pipeline of Figure 1 as measurable stages:
+raw files → ingestion/cataloging → content extraction (patches + feature
+vectors) → knowledge discovery (classification) → semantic annotation →
+linked data.  The benchmark measures each stage and reports the artifact
+counts flowing between them (the arrows of the figure).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eo.seviri import read_scene
+from repro.ingest import extract_patches
+from repro.mining import KNNClassifier, SemanticAnnotator
+
+
+@pytest.fixture(scope="module")
+def trained(observatory):
+    vo, paths = observatory
+    grids = [
+        extract_patches(read_scene(p), patch_size=8) for p in paths[:2]
+    ]
+    X = np.vstack([g.feature_matrix() for g in grids])
+    labels = [l for g in grids for l in g.truth_labels()]
+    return KNNClassifier(5).fit(X, labels)
+
+
+def test_stage_ingestion(benchmark, observatory, tmp_path):
+    """Raw data → archive catalog + metadata (grey part of Fig. 1)."""
+    vo, paths = observatory
+    from repro.ingest import Ingestor
+    from repro.mdb import Database
+    from repro.strabon import StrabonStore
+
+    def ingest():
+        ingestor = Ingestor(Database(), StrabonStore())
+        import os
+
+        directory = os.path.dirname(paths[0])
+        return ingestor.ingest_directory(directory)
+
+    report = benchmark(ingest)
+    assert len(report.products) == 3
+    benchmark.extra_info["products"] = len(report.products)
+    benchmark.extra_info["metadata_triples"] = report.metadata_triples
+
+
+def test_stage_content_extraction(benchmark, observatory):
+    """Processing → content extraction: patches and feature vectors."""
+    vo, paths = observatory
+    scene = read_scene(paths[0])
+
+    grid = benchmark(extract_patches, scene, 8)
+    assert len(grid) == 256
+    benchmark.extra_info["patches"] = len(grid)
+    benchmark.extra_info["features_per_patch"] = grid.feature_matrix().shape[1]
+
+
+def test_stage_knowledge_discovery(benchmark, observatory, trained):
+    """Features (+ metadata) → ontology concepts."""
+    vo, paths = observatory
+    grid = extract_patches(read_scene(paths[2]), patch_size=8)
+    X = grid.feature_matrix()
+
+    labels = benchmark(trained.predict, X)
+    assert len(labels) == len(grid)
+    stats = {}
+    for l in labels:
+        stats[l] = stats.get(l, 0) + 1
+    benchmark.extra_info["label_counts"] = stats
+
+
+def test_stage_semantic_annotation(benchmark, observatory, trained):
+    """Concepts → RDF annotations published as linked data."""
+    vo, paths = observatory
+    grid = extract_patches(read_scene(paths[2]), patch_size=8)
+    annotator = SemanticAnnotator(trained)
+    from repro.eo.products import ProcessingLevel, Product
+    from datetime import datetime
+
+    scene = read_scene(paths[2])
+    product = Product(
+        "f1-demo", "MSG2", "SEVIRI", ProcessingLevel.L1_CALIBRATED,
+        datetime(2007, 8, 25, 12), scene.spec.extent_polygon(),
+    )
+
+    graph = benchmark(annotator.annotate, product, grid)
+    assert len(graph) >= 4 * len(grid)
+    benchmark.extra_info["annotation_triples"] = len(graph)
+
+
+def test_stage_linked_data_join(benchmark, observatory):
+    """Annotations joined with open linked data (bottom of Fig. 1)."""
+    vo, paths = observatory
+    vo.rapid_mapping.run_chain(paths[0])
+    query = (
+        "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+        "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+        "PREFIX gn: <http://sws.geonames.org/ontology#>\n"
+        "SELECT ?h ?town WHERE {\n"
+        "  ?h a noa:Hotspot ; noa:hasGeometry ?hg .\n"
+        "  ?town a gn:PopulatedPlace ; gn:hasGeometry ?tg .\n"
+        "  FILTER(strdf:distance(?hg, ?tg) < 1.0)\n"
+        "}"
+    )
+
+    result = benchmark(vo.store.query, query)
+    assert len(result) > 0
+    benchmark.extra_info["joined_rows"] = len(result)

@@ -1,0 +1,70 @@
+"""Experiment F2 — Figure 2, the software architecture.
+
+One end-to-end rapid-mapping request is decomposed into the four tiers of
+Figure 2; the benchmark measures the full request and records the per-tier
+latency split (ingestion / database / service-processing / application).
+"""
+
+import time
+
+import pytest
+
+from repro.ingest import Ingestor
+from repro.mdb import Database
+from repro.noa import FireMapBuilder, ProcessingChain, Refiner
+from repro.strabon import StrabonStore
+
+
+def full_request(paths, world):
+    """One user request: 'give me a refined fire map for this scene'."""
+    tiers = {}
+    t0 = time.perf_counter()
+    ingestor = Ingestor(Database(), StrabonStore())
+    ingestor.store.load_graph(world.to_rdf())
+    product = ingestor.ingest_file(paths[0], lazy=True)
+    array = ingestor.materialize_array(product)
+    tiers["ingestion_tier"] = time.perf_counter() - t0
+
+    # Database tier: SciQL content statistics + stSPARQL catalog lookup.
+    t0 = time.perf_counter()
+    ingestor.db.query(
+        f"SELECT max(t039), avg(t108) FROM {array.name}"
+    )
+    ingestor.store.query(
+        "PREFIX noa: "
+        "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+        "SELECT ?p WHERE { ?p a noa:Product }"
+    )
+    tiers["database_tier"] = time.perf_counter() - t0
+
+    # Service-processing tier: chain + refinement.
+    t0 = time.perf_counter()
+    chain_result = ProcessingChain(ingestor).run(paths[0])
+    Refiner(ingestor.store, world).apply()
+    tiers["service_tier"] = time.perf_counter() - t0
+
+    # Application tier: the fire map handed to the end user.
+    t0 = time.perf_counter()
+    fire_map = FireMapBuilder(ingestor.store, world).build()
+    tiers["application_tier"] = time.perf_counter() - t0
+    return tiers, chain_result, fire_map
+
+
+def test_tier_breakdown(benchmark, observatory):
+    vo, paths = observatory
+
+    tiers, chain_result, fire_map = benchmark.pedantic(
+        full_request, args=(paths, vo.world), rounds=3, iterations=1
+    )
+    assert chain_result.hotspots
+    assert fire_map.feature_count() > 0
+    total = sum(tiers.values())
+    benchmark.extra_info["tier_ms"] = {
+        k: round(v * 1000, 2) for k, v in tiers.items()
+    }
+    benchmark.extra_info["tier_share"] = {
+        k: round(v / total, 3) for k, v in tiers.items()
+    }
+    benchmark.extra_info["chain_stage_ms"] = {
+        k: round(v * 1000, 2) for k, v in chain_result.timings.items()
+    }

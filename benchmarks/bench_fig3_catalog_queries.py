@@ -1,0 +1,150 @@
+"""Experiment F3 — Figure 3, the Virtual Earth Observatory GUI.
+
+The GUI is a query front end; this benchmark regenerates the catalog
+query workload behind it: the classic EOWEB-style criteria (mission,
+level, time window, region) and the semantically enriched requests that
+EOWEB-NG cannot express, including the paper's §1 motivating query.
+"""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.geometry import Polygon
+from repro.vo import VirtualEarthObservatory
+from benchmarks.conftest import build_archive
+
+HOTSPOT = "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot"
+
+
+@pytest.fixture(scope="module")
+def gui_backend(tmp_path_factory):
+    """A catalog of 12 products, 3 of them annotated with hotspots."""
+    tmp = tmp_path_factory.mktemp("gui_archive")
+    vo = VirtualEarthObservatory()
+    paths = build_archive(
+        str(tmp), vo.world, n_scenes=12, width=96, height=96,
+        start=datetime(2007, 8, 25, 6, 0),
+    )
+    vo.ingest_archive(str(tmp))
+    for path in paths[:3]:
+        vo.rapid_mapping.run_chain(path)
+    return vo
+
+
+def test_query_by_mission_and_level(benchmark, gui_backend):
+    vo = gui_backend
+    q = vo.new_query().mission("MSG2").level(0)
+
+    hits = benchmark(vo.search, q)
+    assert len(hits) == 12
+    benchmark.extra_info["hits"] = len(hits)
+
+
+def test_query_by_time_window(benchmark, gui_backend):
+    vo = gui_backend
+    q = (
+        vo.new_query()
+        .mission("MSG2")
+        .acquired_between(
+            datetime(2007, 8, 25, 6, 30), datetime(2007, 8, 25, 8, 0)
+        )
+    )
+
+    hits = benchmark(vo.search, q)
+    assert 0 < len(hits) < 12
+    benchmark.extra_info["hits"] = len(hits)
+
+
+def test_query_by_region(benchmark, gui_backend):
+    vo = gui_backend
+    region = Polygon([(21, 37), (23, 37), (23, 39), (21, 39)])
+    q = vo.new_query().covering(region)
+
+    hits = benchmark(vo.search, q)
+    assert len(hits) >= 12
+    benchmark.extra_info["hits"] = len(hits)
+
+
+def test_query_by_content_concept(benchmark, gui_backend):
+    """'Images containing hotspots' — impossible in EOWEB-NG."""
+    vo = gui_backend
+    q = vo.new_query().containing_concept(HOTSPOT)
+
+    hits = benchmark(vo.search, q)
+    assert len(hits) == 3
+    benchmark.extra_info["hits"] = len(hits)
+
+
+def test_motivating_query(benchmark, gui_backend):
+    """§1: Meteosat + date + Peloponnese + hotspots near a site."""
+    vo = gui_backend
+    q = (
+        vo.new_query()
+        .mission("MSG2")
+        .acquired_between(
+            datetime(2007, 8, 25, 0, 0), datetime(2007, 8, 26, 0, 0)
+        )
+        .covering(Polygon([(21.1, 36.3), (23.3, 36.3), (23.3, 38.2),
+                           (21.1, 38.2)]))
+        .containing_concept(HOTSPOT)
+        .near_archaeological_site(0.3)
+    )
+
+    hits = benchmark(vo.search, q)
+    assert hits
+    benchmark.extra_info["hits"] = len(hits)
+    benchmark.extra_info["query"] = "motivating-query (paper §1)"
+
+
+def test_ogc_wfs_get_feature(benchmark, gui_backend):
+    """The GUI's map panel fetches features through the OGC front end."""
+    from repro.vo import WebServiceFrontend
+
+    vo = gui_backend
+    frontend = WebServiceFrontend(vo.store, vo.world)
+    request = {
+        "service": "WFS",
+        "request": "GetFeature",
+        "typeName": "hotspots",
+        "bbox": "20,34,28,42",
+    }
+
+    doc = benchmark(frontend.handle, request)
+    assert doc["numberReturned"] >= 1
+    benchmark.extra_info["features"] = doc["numberReturned"]
+
+
+def test_ogc_wms_get_map(benchmark, gui_backend):
+    """Rendering the fire-map layer for the GUI viewport."""
+    from repro.vo import WebServiceFrontend
+
+    vo = gui_backend
+    frontend = WebServiceFrontend(vo.store, vo.world)
+    request = {
+        "service": "WMS",
+        "request": "GetMap",
+        "layers": "firemap",
+        "width": 600,
+    }
+
+    svg = benchmark(frontend.handle, request)
+    assert svg.startswith("<svg")
+    benchmark.extra_info["svg_bytes"] = len(svg)
+
+
+def test_previous_executions_lookup(benchmark, gui_backend):
+    """Scenario 1 GUI feature: retrieve derived products of past runs."""
+    vo = gui_backend
+    query = (
+        "PREFIX noa: "
+        "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+        "SELECT ?derived ?parent WHERE {\n"
+        "  ?derived a noa:Product ; noa:isDerivedFrom ?parent ; "
+        "noa:hasClassifier ?clf .\n"
+        "}"
+    )
+
+    result = benchmark(vo.catalog.run, query)
+    assert len(result) == 3
+    benchmark.extra_info["derived_products"] = len(result)

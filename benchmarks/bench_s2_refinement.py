@@ -1,0 +1,97 @@
+"""Experiment S2 — demo scenario 2: refinement and fire-map generation.
+
+Measures the refinement's stSPARQL update series (and reports its effect
+on hotspot count, area and thematic accuracy) plus the fire-map query
+series, reproducing the paper's claim that the previously manual map
+production becomes automatic.
+"""
+
+import pytest
+
+from repro.eo.seviri import read_scene
+from repro.ingest import Ingestor
+from repro.mdb import Database
+from repro.noa import FireMapBuilder, ProcessingChain, Refiner
+from repro.noa.refinement import score_hotspots, truth_region
+from repro.strabon import StrabonStore
+
+
+def chain_output_store(paths, world):
+    """A fresh store holding one chain run + the linked-data world."""
+    ingestor = Ingestor(Database(), StrabonStore())
+    ingestor.store.load_graph(world.to_rdf())
+    ProcessingChain(ingestor).run(paths[0])
+    return ingestor.store
+
+
+def test_refinement_updates(benchmark, observatory):
+    vo, paths = observatory
+    scene = read_scene(paths[0])
+    truth = truth_region(scene, vo.world)
+    reports = []
+    accuracies = []
+
+    def setup():
+        store = chain_output_store(paths, vo.world)
+        refiner = Refiner(store, vo.world)
+        before = score_hotspots(refiner.hotspot_geometries(), truth)
+        return (refiner, before), {}
+
+    def run(refiner, before):
+        report = refiner.apply()
+        after = score_hotspots(refiner.hotspot_geometries(), truth)
+        reports.append(report)
+        accuracies.append((before, after))
+        return report
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    report = reports[-1]
+    before, after = accuracies[-1]
+    assert after["precision"] > before["precision"]
+    assert report.hotspots_after <= report.hotspots_before
+    assert report.area_after < report.area_before
+    benchmark.extra_info["steps"] = dict(report.steps)
+    benchmark.extra_info["hotspots"] = (
+        f"{report.hotspots_before} -> {report.hotspots_after}"
+    )
+    benchmark.extra_info["precision"] = (
+        f"{before['precision']:.3f} -> {after['precision']:.3f}"
+    )
+    benchmark.extra_info["recall"] = (
+        f"{before['recall']:.3f} -> {after['recall']:.3f}"
+    )
+
+
+def test_fire_map_generation(benchmark, observatory):
+    vo, paths = observatory
+    store = chain_output_store(paths, vo.world)
+    Refiner(store, vo.world).apply()
+    builder = FireMapBuilder(store, vo.world)
+
+    fire_map = benchmark(builder.build)
+    assert set(fire_map.layers) == {
+        "hotspots",
+        "affected_towns",
+        "nearby_sites",
+        "threatened_roads",
+        "burning_landcover",
+    }
+    benchmark.extra_info["features_per_layer"] = {
+        k: len(v) for k, v in fire_map.layers.items()
+    }
+
+
+def test_single_refinement_statement(benchmark, observatory):
+    """Latency of one stSPARQL update (the clip-to-coast step)."""
+    vo, paths = observatory
+
+    def setup():
+        store = chain_output_store(paths, vo.world)
+        refiner = Refiner(store, vo.world)
+        statements = dict(refiner.statements())
+        return (store, statements["clip-to-coast"]), {}
+
+    def run(store, statement):
+        return store.update(statement)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

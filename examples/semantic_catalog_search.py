@@ -1,0 +1,106 @@
+"""The paper's motivating query, §1:
+
+  "Find an image taken by a Meteosat second generation satellite on
+   August 25, 2007 which covers the area of Peloponnese and contains
+   hotspots corresponding to forest fires located within 2km from a major
+   archaeological site."
+
+Impossible in EOWEB-NG (no domain concepts in archive metadata); one
+stSPARQL query in TELEIOS.  This example builds the archive, annotates it
+through the chain, then runs exactly that request — first through the
+structured CatalogQuery builder, then as a single hand-written stSPARQL
+query.
+
+Run:  python examples/semantic_catalog_search.py
+"""
+
+import os
+import tempfile
+from datetime import datetime
+
+from repro.eo import SceneSpec, generate_scene, write_scene
+from repro.geometry import Polygon
+from repro.ingest.metadata import NOA_PREFIXES
+from repro.vo import VirtualEarthObservatory
+
+#: ~2 km in degrees at Peloponnese latitudes.
+TWO_KM_DEG = 0.02
+
+PELOPONNESE = Polygon(
+    [(21.1, 36.3), (23.3, 36.3), (23.3, 38.2), (21.1, 38.2)], srid=4326
+)
+
+
+def main():
+    vo = VirtualEarthObservatory()
+    archive = tempfile.mkdtemp(prefix="teleios_catalog_")
+
+    # Acquisitions across two days; only the Aug-25 one has the fire that
+    # burns right next to ancient Olympia.
+    scenes = [
+        (datetime(2007, 8, 24, 12, 0), [(24.0, 40.9)], 1),
+        (datetime(2007, 8, 25, 12, 0), [(21.64, 37.65), (22.5, 38.5)], 2),
+        (datetime(2007, 8, 26, 12, 0), [(20.9, 39.6)], 3),
+    ]
+    for acquired, seeds, seed in scenes:
+        spec = SceneSpec(
+            width=128, height=128, seed=seed, n_fires=0, acquired=acquired
+        )
+        scene = generate_scene(spec, vo.world.land, fire_seeds=seeds)
+        write_scene(
+            scene,
+            os.path.join(archive, f"scene_{acquired:%Y%m%d}.nat"),
+        )
+    report = vo.ingest_archive(archive)
+    # Annotate every product with hotspots by running the chain.
+    for product in report.products:
+        vo.rapid_mapping.run_chain(product.path)
+
+    print("archive:", [p.product_id for p in report.products])
+
+    # --- the structured way -----------------------------------------------
+    query = (
+        vo.new_query()
+        .mission("MSG2")  # the Meteosat-second-generation satellite
+        .acquired_between(
+            datetime(2007, 8, 25, 0, 0), datetime(2007, 8, 26, 0, 0)
+        )
+        .covering(PELOPONNESE)
+        .containing_concept(
+            "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot"
+        )
+        .near_archaeological_site(TWO_KM_DEG)
+    )
+    print("\ncompiled stSPARQL:\n")
+    print(query.to_stsparql())
+    hits = vo.search(query)
+    print("\nmatching products:", [str(h) for h in hits])
+
+    # --- the hand-written way ----------------------------------------------
+    handwritten = (
+        NOA_PREFIXES
+        + "PREFIX dbp: <http://dbpedia.org/ontology/>\n"
+        "SELECT DISTINCT ?product ?site WHERE {\n"
+        "  ?product a noa:Product ;\n"
+        '           noa:hasMission "MSG2" ;\n'
+        "           noa:hasAcquisitionTime ?t ;\n"
+        "           noa:hasGeometry ?footprint .\n"
+        "  ?derived noa:isDerivedFrom ?product .\n"
+        "  ?hotspot a noa:Hotspot ; noa:isProducedBy ?derived ;\n"
+        "           noa:hasGeometry ?hgeom .\n"
+        "  ?site a dbp:ArchaeologicalSite ; dbp:hasGeometry ?sgeom .\n"
+        '  FILTER(?t >= "2007-08-25T00:00:00"^^xsd:dateTime)\n'
+        '  FILTER(?t < "2007-08-26T00:00:00"^^xsd:dateTime)\n'
+        f'  FILTER(strdf:intersects(?footprint, '
+        f'"{PELOPONNESE.wkt}"^^strdf:WKT))\n'
+        f"  FILTER(strdf:distance(?hgeom, ?sgeom) < {TWO_KM_DEG})\n"
+        "}"
+    )
+    result = vo.catalog.run(handwritten)
+    print("\nhand-written query results:")
+    for product, site in result.rows():
+        print(f"  product={product.local_name}  site={site.local_name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""TELEIOS Virtual Earth Observatory — a database-powered EO stack in Python.
+
+This package reproduces the system demonstrated in *TELEIOS: A
+Database-Powered Virtual Earth Observatory* (VLDB 2012):
+
+* :mod:`repro.geometry` — OGC Simple Features geometry engine.
+* :mod:`repro.rdf` — RDF substrate (terms, graph, Turtle/N-Triples, RDFS).
+* :mod:`repro.mdb` — MonetDB-style column store with SQL, SciQL arrays and
+  Data Vaults.
+* :mod:`repro.strabon` — stRDF/stSPARQL semantic geospatial database.
+* :mod:`repro.ingest` / :mod:`repro.mining` / :mod:`repro.eo` — ingestion,
+  image information mining and the synthetic EO domain.
+* :mod:`repro.noa` — the NOA fire-monitoring application.
+* :mod:`repro.vo` — the Virtual Earth Observatory facade wiring all tiers.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,36 @@
+"""The Earth-Observation domain layer.
+
+The paper's data comes from operational archives (MSG/SEVIRI payload data
+at NOA, the DLR multi-mission archive) that are not redistributable.  This
+package provides the closest synthetic equivalents:
+
+* :mod:`repro.eo.seviri` — a parametric MSG/SEVIRI scene simulator with a
+  physically-motivated fire/cloud/sea model, known ground truth and a
+  binary ``.nat``-style file format;
+* :mod:`repro.eo.products` — the EO product model (processing levels L0-L2,
+  acquisition metadata);
+* :mod:`repro.eo.linkeddata` — deterministic GeoNames/LinkedGeoData/
+  Corine-style auxiliary geospatial data sets for a Greece-like region,
+  emitted as stRDF linked data.
+"""
+
+from repro.eo.products import Product, ProcessingLevel
+from repro.eo.seviri import (
+    SceneSpec,
+    SeviriScene,
+    generate_scene,
+    read_scene,
+    write_scene,
+)
+from repro.eo.linkeddata import GreeceLikeWorld
+
+__all__ = [
+    "GreeceLikeWorld",
+    "ProcessingLevel",
+    "Product",
+    "SceneSpec",
+    "SeviriScene",
+    "generate_scene",
+    "read_scene",
+    "write_scene",
+]

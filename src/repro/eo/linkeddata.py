@@ -1,0 +1,241 @@
+"""Synthetic auxiliary geospatial data sets as linked data.
+
+TELEIOS joins EO products with open linked data — GeoNames for populated
+places, LinkedGeoData/OpenStreetMap for roads, Corine for land cover,
+DBpedia for archaeological sites.  Those services are remote and mutable;
+this module builds a *deterministic, Greece-like world* covering the
+simulator's default window (20-28°E, 34-42°N) and emits it as stRDF, so
+every refinement/mapping experiment is exactly reproducible.
+
+All geometries are WGS84 ``strdf:WKT`` literals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry import LineString, MultiPolygon, Point, Polygon
+from repro.rdf import Graph, Literal, Namespace, URIRef
+from repro.rdf.namespace import RDF, RDFS
+from repro.strabon.strdf import geometry_literal
+
+#: GeoNames-like vocabulary.
+GN = Namespace("http://sws.geonames.org/ontology#")
+#: LinkedGeoData-like vocabulary (roads).
+LGD = Namespace("http://linkedgeodata.org/ontology/")
+#: Corine-like land-cover vocabulary.
+CLC = Namespace("http://geo.linkedopendata.gr/corine/ontology#")
+#: DBpedia-like vocabulary (archaeological sites).
+DBP = Namespace("http://dbpedia.org/ontology/")
+#: Resource namespace of the synthetic world.
+WORLD = Namespace("http://teleios.di.uoa.gr/synthetic/")
+
+_TYPE = URIRef(str(RDF) + "type")
+_LABEL = URIRef(str(RDFS) + "label")
+
+
+class GreeceLikeWorld:
+    """A deterministic synthetic geography for the demo window.
+
+    The coastline is a hand-crafted mainland with a Peloponnese-style
+    peninsula and two islands; on top of it live Corine-style land-cover
+    regions, GeoNames-style towns, DBpedia-style archaeological sites and
+    LinkedGeoData-style roads.
+    """
+
+    #: Mainland polygon (lon, lat).
+    MAINLAND = [
+        (21.0, 38.2), (21.8, 37.9), (22.3, 38.0), (23.0, 37.85),
+        (23.6, 37.8), (24.2, 38.3), (24.5, 38.9), (24.3, 39.8),
+        (24.6, 40.5), (24.2, 41.3), (23.0, 41.6), (21.6, 41.4),
+        (20.8, 40.8), (20.4, 39.9), (20.6, 39.0), (20.9, 38.6),
+    ]
+
+    #: Peloponnese-style peninsula, connected at a narrow isthmus.
+    PENINSULA = [
+        (21.2, 37.0), (21.9, 36.6), (22.6, 36.4), (23.3, 36.5),
+        (23.55, 37.15), (23.1, 37.75), (22.9, 38.0), (22.6, 38.05),
+        (22.4, 37.95), (21.7, 37.8), (21.3, 37.5),
+    ]
+
+    ISLAND_A = [(25.5, 35.0), (26.6, 34.9), (26.8, 35.3), (25.8, 35.5)]
+    ISLAND_B = [(26.6, 38.9), (27.3, 38.8), (27.4, 39.4), (26.9, 39.5)]
+
+    TOWNS: List[Tuple[str, float, float, int]] = [
+        ("Athina", 23.72, 37.98, 3000000),
+        ("Patra", 21.73, 38.02, 200000),
+        ("Sparti", 22.43, 37.07, 18000),
+        ("Kalamata", 22.11, 37.04, 55000),
+        ("Thessaloniki", 22.94, 40.64, 800000),
+        ("Larissa", 22.42, 39.64, 145000),
+        ("Ioannina", 20.85, 39.67, 65000),
+        ("Volos", 22.94, 39.36, 86000),
+        ("Chania", 25.8, 35.2, 54000),
+        ("Mytilini", 26.9, 39.1, 28000),
+    ]
+
+    #: Archaeological sites: (name, lon, lat) — all on land.
+    SITES: List[Tuple[str, float, float]] = [
+        ("Mycenae", 22.75, 37.73),
+        ("Olympia", 21.63, 37.64),
+        ("Epidaurus", 23.08, 37.60),
+        ("Delphi", 22.50, 38.48),
+        ("Vergina", 22.31, 40.48),
+        ("Knossos", 25.96, 35.30),
+    ]
+
+    #: Forest regions (Corine class 311/313 style), on land.
+    FORESTS: List[Sequence[Tuple[float, float]]] = [
+        [(21.4, 37.2), (22.1, 37.1), (22.2, 37.6), (21.5, 37.6)],
+        [(22.5, 38.3), (23.3, 38.2), (23.4, 38.7), (22.6, 38.8)],
+        [(21.2, 39.3), (22.2, 39.2), (22.3, 40.0), (21.3, 40.1)],
+        [(23.2, 40.8), (24.0, 40.7), (24.1, 41.2), (23.3, 41.3)],
+    ]
+
+    #: Agricultural plains.
+    FARMLAND: List[Sequence[Tuple[float, float]]] = [
+        [(22.2, 39.4), (23.2, 39.3), (23.3, 39.9), (22.3, 40.0)],
+        [(21.6, 38.1), (22.4, 38.05), (22.4, 38.35), (21.7, 38.4)],
+    ]
+
+    #: Inland water bodies (lakes).
+    LAKES: List[Sequence[Tuple[float, float]]] = [
+        [(21.1, 40.4), (21.5, 40.4), (21.5, 40.7), (21.1, 40.7)],
+        [(22.9, 38.4), (23.15, 38.4), (23.15, 38.55), (22.9, 38.55)],
+    ]
+
+    #: Road segments connecting towns (very coarse).
+    ROADS: List[Tuple[str, Sequence[Tuple[float, float]]]] = [
+        ("A1", [(23.72, 37.98), (23.0, 38.9), (22.6, 39.6), (22.94, 40.64)]),
+        ("A8", [(23.72, 37.98), (22.9, 38.05), (21.73, 38.02)]),
+        ("A7", [(22.9, 38.0), (22.6, 37.5), (22.43, 37.07), (22.11, 37.04)]),
+        ("E92", [(20.85, 39.67), (21.6, 39.6), (22.42, 39.64)]),
+    ]
+
+    def __init__(self):
+        self._land = MultiPolygon(
+            [
+                Polygon(self.MAINLAND, srid=4326),
+                Polygon(self.PENINSULA, srid=4326),
+                Polygon(self.ISLAND_A, srid=4326),
+                Polygon(self.ISLAND_B, srid=4326),
+            ],
+            srid=4326,
+        )
+
+    # -- geometry access -------------------------------------------------------
+
+    @property
+    def land(self) -> MultiPolygon:
+        """Everything that is not sea."""
+        return self._land
+
+    def is_land(self, lon: float, lat: float) -> bool:
+        return self._land.contains_coord(lon, lat)
+
+    def town_point(self, name: str) -> Point:
+        for town, lon, lat, _ in self.TOWNS:
+            if town == name:
+                return Point(lon, lat, srid=4326)
+        raise KeyError(f"unknown town {name!r}")
+
+    def site_point(self, name: str) -> Point:
+        for site, lon, lat in self.SITES:
+            if site == name:
+                return Point(lon, lat, srid=4326)
+        raise KeyError(f"unknown site {name!r}")
+
+    def water_bodies(self) -> List[Polygon]:
+        return [Polygon(coords, srid=4326) for coords in self.LAKES]
+
+    def forests(self) -> List[Polygon]:
+        return [Polygon(coords, srid=4326) for coords in self.FORESTS]
+
+    # -- linked data -----------------------------------------------------------
+
+    def to_rdf(self) -> Graph:
+        """The whole world as one linked-data graph."""
+        g = Graph()
+        self._emit_coastline(g)
+        self._emit_landcover(g)
+        self._emit_towns(g)
+        self._emit_sites(g)
+        self._emit_roads(g)
+        return g
+
+    def _emit_coastline(self, g: Graph) -> None:
+        land = URIRef(str(WORLD) + "land")
+        g.add((land, _TYPE, URIRef(str(CLC) + "LandMass")))
+        g.add((land, _LABEL, Literal("synthetic Greek landmass")))
+        g.add(
+            (
+                land,
+                URIRef(str(CLC) + "hasGeometry"),
+                geometry_literal(self._land),
+            )
+        )
+
+    def _emit_landcover(self, g: Graph) -> None:
+        groups = (
+            ("forest", "Forest", self.FORESTS),
+            ("farmland", "AgriculturalArea", self.FARMLAND),
+            ("lake", "WaterBody", self.LAKES),
+        )
+        for prefix, cls, polys in groups:
+            for i, coords in enumerate(polys):
+                node = URIRef(f"{WORLD}{prefix}{i}")
+                g.add((node, _TYPE, URIRef(str(CLC) + cls)))
+                g.add(
+                    (
+                        node,
+                        URIRef(str(CLC) + "hasGeometry"),
+                        geometry_literal(Polygon(coords, srid=4326)),
+                    )
+                )
+                g.add((node, _LABEL, Literal(f"{prefix} {i}")))
+
+    def _emit_towns(self, g: Graph) -> None:
+        for name, lon, lat, population in self.TOWNS:
+            node = URIRef(f"{WORLD}town/{name}")
+            g.add((node, _TYPE, URIRef(str(GN) + "PopulatedPlace")))
+            g.add((node, URIRef(str(GN) + "name"), Literal(name)))
+            g.add(
+                (
+                    node,
+                    URIRef(str(GN) + "population"),
+                    Literal(population),
+                )
+            )
+            g.add(
+                (
+                    node,
+                    URIRef(str(GN) + "hasGeometry"),
+                    geometry_literal(Point(lon, lat, srid=4326)),
+                )
+            )
+
+    def _emit_sites(self, g: Graph) -> None:
+        for name, lon, lat in self.SITES:
+            node = URIRef(f"{WORLD}site/{name}")
+            g.add((node, _TYPE, URIRef(str(DBP) + "ArchaeologicalSite")))
+            g.add((node, _LABEL, Literal(name)))
+            g.add(
+                (
+                    node,
+                    URIRef(str(DBP) + "hasGeometry"),
+                    geometry_literal(Point(lon, lat, srid=4326)),
+                )
+            )
+
+    def _emit_roads(self, g: Graph) -> None:
+        for name, coords in self.ROADS:
+            node = URIRef(f"{WORLD}road/{name}")
+            g.add((node, _TYPE, URIRef(str(LGD) + "Motorway")))
+            g.add((node, _LABEL, Literal(name)))
+            g.add(
+                (
+                    node,
+                    URIRef(str(LGD) + "hasGeometry"),
+                    geometry_literal(LineString(coords, srid=4326)),
+                )
+            )

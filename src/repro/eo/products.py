@@ -1,0 +1,72 @@
+"""The EO product model: processing levels and product records."""
+
+from __future__ import annotations
+
+import enum
+from datetime import datetime
+from typing import Any, Dict, Optional
+
+from repro.geometry import Envelope, Polygon
+
+
+class ProcessingLevel(enum.IntEnum):
+    """Standard EO processing levels (paper §2: 'Level 1, 2 etc. in EO
+    jargon; raw data is Level 0')."""
+
+    L0_RAW = 0
+    L1_CALIBRATED = 1
+    L2_DERIVED = 2
+
+
+class Product:
+    """One archived EO product (raw scene or derived output)."""
+
+    def __init__(
+        self,
+        product_id: str,
+        mission: str,
+        sensor: str,
+        level: ProcessingLevel,
+        acquired: datetime,
+        extent: Polygon,
+        path: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ):
+        self.product_id = product_id
+        self.mission = mission
+        self.sensor = sensor
+        self.level = ProcessingLevel(level)
+        self.acquired = acquired
+        self.extent = extent
+        self.path = path
+        self.parent_id = parent_id
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+
+    @property
+    def envelope(self) -> Envelope:
+        return self.extent.envelope
+
+    def derive(
+        self,
+        product_id: str,
+        level: ProcessingLevel,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> "Product":
+        """A child product at a higher processing level."""
+        return Product(
+            product_id=product_id,
+            mission=self.mission,
+            sensor=self.sensor,
+            level=level,
+            acquired=self.acquired,
+            extent=self.extent,
+            parent_id=self.product_id,
+            metadata=metadata,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Product {self.product_id} {self.mission}/{self.sensor} "
+            f"L{int(self.level)} {self.acquired:%Y-%m-%dT%H:%M}>"
+        )

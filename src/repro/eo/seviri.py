@@ -1,0 +1,457 @@
+"""A synthetic MSG/SEVIRI scene simulator with a parametric fire model.
+
+The NOA fire service works on MSG/SEVIRI geostationary imagery; the real
+payload data is proprietary, so this module simulates the two channels the
+hotspot algorithms use:
+
+* ``t039`` — the 3.9 µm brightness temperature (very sensitive to sub-pixel
+  fires),
+* ``t108`` — the 10.8 µm window channel (weakly sensitive to fires, good
+  thermal background).
+
+The simulated physics, all parametric and seeded (deterministic):
+
+* a diurnal land-surface temperature cycle,
+* a cooler, thermally flat sea (from the supplied land polygon),
+* cold cloud blobs that *mask* everything beneath them,
+* fire fronts: clusters of pixels with a strong 3.9 µm anomaly and a
+  weaker 10.8 µm anomaly, placed on land outside clouds.
+
+Ground truth (fire/cloud/sea masks) is retained, which turns the paper's
+demo into measurable experiments: thematic accuracy of the chain and of
+the refinement step can be scored exactly.
+
+Scenes serialise to a binary ``.nat``-style format (header + float32
+planes) so the Data Vault has a real external file format to manage.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import struct
+from datetime import datetime
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry import Envelope, Polygon
+from repro.geometry.multi import MultiPolygon
+
+_MAGIC = b"RSAT"
+_VERSION = 2
+_BAND_NAMES = ("t039", "t108")
+
+#: Kelvin baselines of the simulation.
+LAND_BASE_K = 295.0
+SEA_BASE_K = 288.5
+DIURNAL_AMPLITUDE_K = 7.0
+CLOUD_DEPRESSION_K = 45.0
+
+
+class SceneSpec:
+    """Parameters of one simulated SEVIRI acquisition."""
+
+    def __init__(
+        self,
+        width: int = 128,
+        height: int = 128,
+        window: Tuple[float, float, float, float] = (20.0, 34.0, 28.0, 42.0),
+        acquired: Optional[datetime] = None,
+        n_fires: int = 4,
+        fire_pixels: Tuple[int, int] = (3, 12),
+        n_clouds: int = 3,
+        n_glints: int = 0,
+        n_warm_surfaces: int = 0,
+        seed: int = 0,
+        sensor: str = "SEVIRI",
+        mission: str = "MSG2",
+    ):
+        if width < 8 or height < 8:
+            raise ValueError("scene must be at least 8x8 pixels")
+        self.width = width
+        self.height = height
+        self.window = window  # (lon_min, lat_min, lon_max, lat_max)
+        self.acquired = acquired or datetime(2007, 8, 25, 12, 0)
+        self.n_fires = n_fires
+        self.fire_pixels = fire_pixels
+        self.n_clouds = n_clouds
+        self.n_glints = n_glints
+        self.n_warm_surfaces = n_warm_surfaces
+        self.seed = seed
+        self.sensor = sensor
+        self.mission = mission
+
+    @property
+    def envelope(self) -> Envelope:
+        lon0, lat0, lon1, lat1 = self.window
+        return Envelope(lon0, lat0, lon1, lat1)
+
+    def extent_polygon(self) -> Polygon:
+        return Polygon.from_envelope(self.envelope, srid=4326)
+
+
+class SeviriScene:
+    """A simulated acquisition: band planes plus ground-truth masks.
+
+    Planes are indexed ``[row, col]`` with row 0 at the *north* edge
+    (image convention).
+    """
+
+    def __init__(
+        self,
+        spec: SceneSpec,
+        bands: Dict[str, np.ndarray],
+        fire_mask: np.ndarray,
+        cloud_mask: np.ndarray,
+        sea_mask: np.ndarray,
+    ):
+        self.spec = spec
+        self.bands = bands
+        self.fire_mask = fire_mask
+        self.cloud_mask = cloud_mask
+        self.sea_mask = sea_mask
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.spec.height, self.spec.width)
+
+    def band(self, name: str) -> np.ndarray:
+        try:
+            return self.bands[name]
+        except KeyError:
+            raise KeyError(
+                f"no band {name!r}; have {sorted(self.bands)}"
+            ) from None
+
+    # -- georeferencing -------------------------------------------------------
+
+    def pixel_to_lonlat(self, row: float, col: float) -> Tuple[float, float]:
+        """Centre of pixel (row, col) in WGS84."""
+        lon0, lat0, lon1, lat1 = self.spec.window
+        lon = lon0 + (col + 0.5) / self.spec.width * (lon1 - lon0)
+        lat = lat1 - (row + 0.5) / self.spec.height * (lat1 - lat0)
+        return (lon, lat)
+
+    def lonlat_to_pixel(self, lon: float, lat: float) -> Tuple[int, int]:
+        """Pixel (row, col) containing a WGS84 position."""
+        lon0, lat0, lon1, lat1 = self.spec.window
+        col = int((lon - lon0) / (lon1 - lon0) * self.spec.width)
+        row = int((lat1 - lat) / (lat1 - lat0) * self.spec.height)
+        return (
+            min(max(row, 0), self.spec.height - 1),
+            min(max(col, 0), self.spec.width - 1),
+        )
+
+    def pixel_polygon(self, row: int, col: int) -> Polygon:
+        """The WGS84 footprint of one pixel."""
+        lon0, lat0, lon1, lat1 = self.spec.window
+        dlon = (lon1 - lon0) / self.spec.width
+        dlat = (lat1 - lat0) / self.spec.height
+        west = lon0 + col * dlon
+        north = lat1 - row * dlat
+        return Polygon(
+            [
+                (west, north - dlat),
+                (west + dlon, north - dlat),
+                (west + dlon, north),
+                (west, north),
+            ],
+            srid=4326,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<SeviriScene {self.spec.mission} {self.spec.width}x"
+            f"{self.spec.height} fires={int(self.fire_mask.sum())}px>"
+        )
+
+
+def _diurnal_offset(acquired: datetime) -> float:
+    """Land-surface temperature offset for the local solar time."""
+    hour = acquired.hour + acquired.minute / 60.0
+    # Peak at ~14:00 local, trough at ~02:00.
+    return DIURNAL_AMPLITUDE_K * math.sin(
+        (hour - 8.0) / 24.0 * 2.0 * math.pi
+    )
+
+
+def _rasterize_land(
+    spec: SceneSpec, land: Optional[Polygon | MultiPolygon]
+) -> np.ndarray:
+    """Boolean sea mask (True = sea) from a land polygon, on pixel centres."""
+    sea = np.zeros((spec.height, spec.width), dtype=bool)
+    if land is None:
+        return sea
+    lon0, lat0, lon1, lat1 = spec.window
+    lons = lon0 + (np.arange(spec.width) + 0.5) / spec.width * (lon1 - lon0)
+    lats = lat1 - (np.arange(spec.height) + 0.5) / spec.height * (lat1 - lat0)
+    contains = (
+        land.contains_coord
+        if hasattr(land, "contains_coord")
+        else lambda x, y: land.locate_point(x, y) >= 0
+    )
+    for r in range(spec.height):
+        for c in range(spec.width):
+            if not contains(float(lons[c]), float(lats[r])):
+                sea[r, c] = True
+    return sea
+
+
+def _cloud_field(spec: SceneSpec, rng: np.random.Generator) -> np.ndarray:
+    """Cloud optical-depth plane in [0, 1] built from Gaussian blobs."""
+    field = np.zeros((spec.height, spec.width), dtype=float)
+    rows = np.arange(spec.height)[:, None]
+    cols = np.arange(spec.width)[None, :]
+    for _ in range(spec.n_clouds):
+        cr = rng.uniform(0, spec.height)
+        cc = rng.uniform(0, spec.width)
+        sr = rng.uniform(spec.height * 0.03, spec.height * 0.12)
+        sc = rng.uniform(spec.width * 0.03, spec.width * 0.15)
+        depth = rng.uniform(0.5, 1.0)
+        blob = depth * np.exp(
+            -(((rows - cr) / sr) ** 2 + ((cols - cc) / sc) ** 2) / 2.0
+        )
+        field = np.maximum(field, blob)
+    return field
+
+
+def _grow_fire(
+    rng: np.random.Generator,
+    start: Tuple[int, int],
+    n_pixels: int,
+    shape: Tuple[int, int],
+    blocked: np.ndarray,
+) -> List[Tuple[int, int]]:
+    """Grow a connected fire front from ``start`` avoiding blocked pixels."""
+    frontier = [start]
+    chosen: List[Tuple[int, int]] = []
+    seen = {start}
+    while frontier and len(chosen) < n_pixels:
+        index = rng.integers(0, len(frontier))
+        r, c = frontier.pop(int(index))
+        if blocked[r, c]:
+            continue
+        chosen.append((r, c))
+        for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nr, nc = r + dr, c + dc
+            if (
+                0 <= nr < shape[0]
+                and 0 <= nc < shape[1]
+                and (nr, nc) not in seen
+            ):
+                seen.add((nr, nc))
+                frontier.append((nr, nc))
+    return chosen
+
+
+def generate_scene(
+    spec: SceneSpec,
+    land: Optional[Polygon | MultiPolygon] = None,
+    fire_seeds: Optional[Sequence[Tuple[float, float]]] = None,
+) -> SeviriScene:
+    """Simulate one acquisition.
+
+    ``land`` (WGS84 polygon) drives the sea mask; ``fire_seeds`` optionally
+    pins fire locations to given (lon, lat) positions — otherwise fires are
+    placed uniformly on usable land pixels.
+    """
+    rng = np.random.default_rng(spec.seed)
+    shape = (spec.height, spec.width)
+    sea = _rasterize_land(spec, land)
+    diurnal = _diurnal_offset(spec.acquired)
+
+    # Thermal background with mild spatial structure.
+    structure = rng.normal(0.0, 1.2, size=shape)
+    structure = _smooth(structure)
+    t108 = np.where(
+        sea, SEA_BASE_K + 0.3 * structure, LAND_BASE_K + diurnal + structure
+    )
+    t039 = t108 + np.where(sea, 0.2, 1.0) + rng.normal(0.0, 0.35, size=shape)
+
+    # Clouds depress both channels; deep cloud defines the cloud mask.
+    cloud_field = _cloud_field(spec, rng)
+    t108 = t108 - CLOUD_DEPRESSION_K * cloud_field
+    t039 = t039 - CLOUD_DEPRESSION_K * cloud_field
+    cloud_mask = cloud_field > 0.35
+
+    # Warm surfaces: broad sun-heated dry-terrain anomalies where the
+    # 3.9um channel runs hot relative to 10.8um over a wide area.  They
+    # are not fires — a fixed-threshold classifier flags their cores,
+    # while a contextual test sees only a smoothly elevated background.
+    warm_mask = np.zeros(shape, dtype=bool)
+    rows = np.arange(spec.height)[:, None]
+    cols = np.arange(spec.width)[None, :]
+    for _ in range(spec.n_warm_surfaces):
+        cr = rng.uniform(0, spec.height)
+        cc = rng.uniform(0, spec.width)
+        sr = rng.uniform(spec.height * 0.10, spec.height * 0.20)
+        sc = rng.uniform(spec.width * 0.10, spec.width * 0.20)
+        blob = np.exp(
+            -(((rows - cr) / sr) ** 2 + ((cols - cc) / sc) ** 2) / 2.0
+        )
+        blob = np.where(sea | cloud_mask, 0.0, blob)
+        t039 = t039 + 22.0 * blob
+        t108 = t108 + 4.0 * blob
+        warm_mask |= blob > 0.4
+
+    # Fires on land, outside clouds.
+    fire_mask = np.zeros(shape, dtype=bool)
+    blocked = sea | cloud_mask
+    usable = np.nonzero(~blocked)
+    scene = SeviriScene(spec, {}, fire_mask, cloud_mask, sea)
+    starts: List[Tuple[int, int]] = []
+    if fire_seeds is not None:
+        for lon, lat in fire_seeds:
+            starts.append(scene.lonlat_to_pixel(lon, lat))
+    else:
+        count = len(usable[0])
+        for _ in range(spec.n_fires):
+            if count == 0:
+                break
+            k = int(rng.integers(0, count))
+            starts.append((int(usable[0][k]), int(usable[1][k])))
+    lo, hi = spec.fire_pixels
+    for start in starts:
+        n_pixels = int(rng.integers(lo, hi + 1))
+        for r, c in _grow_fire(rng, start, n_pixels, shape, blocked):
+            fire_mask[r, c] = True
+            # 3.9um reacts strongly to sub-pixel fire, 10.8um mildly.
+            t039[r, c] += rng.uniform(12.0, 28.0)
+            t108[r, c] += rng.uniform(2.0, 6.0)
+
+    # Sun-glint artifacts: spurious 3.9um spikes over open sea.  They are
+    # *not* fires (absent from the truth mask) — they exist to give the
+    # refinement step genuine false positives to remove, mimicking the
+    # low-resolution sensor artifacts the paper describes.
+    # Erode the sea mask so glints land in *open* sea (away from the
+    # coastline) — their pixel footprint then lies fully in the sea.
+    open_sea = sea.copy()
+    for shift in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        open_sea &= np.roll(sea, shift, axis=(0, 1))
+    open_sea[0, :] = open_sea[-1, :] = False  # roll wraps; borders are
+    open_sea[:, 0] = open_sea[:, -1] = False  # never "open" sea
+    sea_cells = np.nonzero(open_sea & ~cloud_mask)
+    for _ in range(spec.n_glints):
+        if len(sea_cells[0]) == 0:
+            break
+        k = int(rng.integers(0, len(sea_cells[0])))
+        r, c = int(sea_cells[0][k]), int(sea_cells[1][k])
+        t039[r, c] += rng.uniform(25.0, 35.0)
+        t108[r, c] += rng.uniform(1.0, 3.0)
+
+    scene.bands = {
+        "t039": t039.astype(np.float32),
+        "t108": t108.astype(np.float32),
+    }
+    scene.fire_mask = fire_mask
+    return scene
+
+
+def _smooth(field: np.ndarray) -> np.ndarray:
+    """Cheap 3x3 box smoothing (keeps the simulator dependency-free)."""
+    out = field.copy()
+    out[1:, :] += field[:-1, :]
+    out[:-1, :] += field[1:, :]
+    out[:, 1:] += field[:, :-1]
+    out[:, :-1] += field[:, 1:]
+    return out / 5.0
+
+
+# ---------------------------------------------------------------------------
+# Binary file format (the Data Vault's external format)
+# ---------------------------------------------------------------------------
+
+_HEADER = struct.Struct("<4sHIIB32s4d16s")
+
+
+def write_scene(scene: SeviriScene, path: str) -> None:
+    """Serialise a scene to the binary ``.nat``-style format."""
+    spec = scene.spec
+    with open(path, "wb") as f:
+        f.write(
+            _HEADER.pack(
+                _MAGIC,
+                _VERSION,
+                spec.width,
+                spec.height,
+                len(_BAND_NAMES),
+                spec.acquired.isoformat().encode()[:32].ljust(32, b"\0"),
+                *spec.window,
+                f"{spec.mission}/{spec.sensor}".encode()[:16].ljust(16, b"\0"),
+            )
+        )
+        for name in _BAND_NAMES:
+            f.write(scene.bands[name].astype("<f4").tobytes())
+        # Ground-truth masks ride along so experiments can score accuracy
+        # (a real archive would keep them in validation layers).
+        for mask in (scene.fire_mask, scene.cloud_mask, scene.sea_mask):
+            f.write(np.packbits(mask).tobytes())
+
+
+def read_header(path: str) -> Dict[str, object]:
+    """Read only the header (the Data Vault's cheap metadata pass)."""
+    with open(path, "rb") as f:
+        raw = f.read(_HEADER.size)
+    if len(raw) < _HEADER.size:
+        raise ValueError(f"truncated scene file {path!r}")
+    (
+        magic, version, width, height, n_bands, acquired,
+        lon0, lat0, lon1, lat1, sensor,
+    ) = _HEADER.unpack(raw)
+    if magic != _MAGIC:
+        raise ValueError(f"not a RSAT scene file: {path!r}")
+    mission, _, sensor_name = (
+        sensor.rstrip(b"\0").decode().partition("/")
+    )
+    return {
+        "version": version,
+        "width": width,
+        "height": height,
+        "bands": n_bands,
+        "acquired": acquired.rstrip(b"\0").decode(),
+        "window": (lon0, lat0, lon1, lat1),
+        "mission": mission,
+        "sensor": sensor_name or "SEVIRI",
+    }
+
+
+def read_scene(path: str) -> SeviriScene:
+    """Deserialise a scene file (payload + ground-truth masks)."""
+    header = read_header(path)
+    width = int(header["width"])
+    height = int(header["height"])
+    spec = SceneSpec(
+        width=width,
+        height=height,
+        window=tuple(header["window"]),  # type: ignore[arg-type]
+        acquired=datetime.fromisoformat(str(header["acquired"])),
+        mission=str(header["mission"]),
+        sensor=str(header["sensor"]),
+    )
+    plane = width * height
+    bands: Dict[str, np.ndarray] = {}
+    with open(path, "rb") as f:
+        f.seek(_HEADER.size)
+        for name in _BAND_NAMES:
+            data = np.frombuffer(f.read(plane * 4), dtype="<f4")
+            bands[name] = data.reshape(height, width).copy()
+        masks = []
+        packed_len = (plane + 7) // 8
+        for _ in range(3):
+            raw = np.frombuffer(f.read(packed_len), dtype=np.uint8)
+            masks.append(
+                np.unpackbits(raw)[:plane].reshape(height, width).astype(bool)
+            )
+    return SeviriScene(spec, bands, masks[0], masks[1], masks[2])
+
+
+def is_scene_file(path: str) -> bool:
+    """Cheap probe used by the vault's format registry."""
+    if not os.path.isfile(path):
+        return False
+    try:
+        with open(path, "rb") as f:
+            return f.read(4) == _MAGIC
+    except OSError:
+        return False

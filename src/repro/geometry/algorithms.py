@@ -1,0 +1,301 @@
+"""Low-level computational geometry on raw coordinate sequences.
+
+These functions are the shared kernels beneath the geometry classes: they
+operate on plain ``(x, y)`` tuples so they can be unit-tested in isolation and
+reused by the overlay, predicate and measurement layers.
+
+A global absolute tolerance :data:`EPS` absorbs floating-point noise; all
+"on the line" style decisions are made against it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+Coord = Tuple[float, float]
+
+#: Absolute tolerance for degeneracy decisions (collinearity, coincidence).
+EPS = 1e-9
+
+
+def orient(p: Coord, q: Coord, r: Coord) -> float:
+    """Signed twice-area of triangle ``pqr``.
+
+    Positive when ``r`` lies to the left of the directed line ``p -> q``
+    (counter-clockwise turn), negative to the right, ~0 when collinear.
+    """
+    return (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (r[0] - p[0])
+
+
+def orientation(p: Coord, q: Coord, r: Coord) -> int:
+    """Classify the turn ``p -> q -> r``: +1 ccw, -1 cw, 0 collinear."""
+    v = orient(p, q, r)
+    if v > EPS:
+        return 1
+    if v < -EPS:
+        return -1
+    return 0
+
+
+def coords_equal(a: Coord, b: Coord, eps: float = EPS) -> bool:
+    """Whether two coordinates coincide within ``eps``."""
+    return abs(a[0] - b[0]) <= eps and abs(a[1] - b[1]) <= eps
+
+
+def on_segment(p: Coord, a: Coord, b: Coord, eps: float = EPS) -> bool:
+    """Whether point ``p`` lies on the closed segment ``ab``."""
+    if abs(orient(a, b, p)) > eps * (1.0 + segment_length(a, b)):
+        return False
+    return (
+        min(a[0], b[0]) - eps <= p[0] <= max(a[0], b[0]) + eps
+        and min(a[1], b[1]) - eps <= p[1] <= max(a[1], b[1]) + eps
+    )
+
+
+def segment_length(a: Coord, b: Coord) -> float:
+    return math.hypot(b[0] - a[0], b[1] - a[1])
+
+
+def segments_intersect(a: Coord, b: Coord, c: Coord, d: Coord) -> bool:
+    """Whether closed segments ``ab`` and ``cd`` share at least one point."""
+    o1 = orientation(a, b, c)
+    o2 = orientation(a, b, d)
+    o3 = orientation(c, d, a)
+    o4 = orientation(c, d, b)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(c, a, b):
+        return True
+    if o2 == 0 and on_segment(d, a, b):
+        return True
+    if o3 == 0 and on_segment(a, c, d):
+        return True
+    if o4 == 0 and on_segment(b, c, d):
+        return True
+    return False
+
+
+def segment_intersection_point(
+    a: Coord, b: Coord, c: Coord, d: Coord
+) -> Optional[Coord]:
+    """Return the proper intersection point of ``ab`` and ``cd``.
+
+    Returns ``None`` when the segments are parallel/collinear or do not
+    cross.  Endpoint touches are reported (they are intersections).
+    """
+    r = (b[0] - a[0], b[1] - a[1])
+    s = (d[0] - c[0], d[1] - c[1])
+    denom = r[0] * s[1] - r[1] * s[0]
+    if abs(denom) <= EPS:
+        return None
+    qp = (c[0] - a[0], c[1] - a[1])
+    t = (qp[0] * s[1] - qp[1] * s[0]) / denom
+    u = (qp[0] * r[1] - qp[1] * r[0]) / denom
+    if -EPS <= t <= 1.0 + EPS and -EPS <= u <= 1.0 + EPS:
+        return (a[0] + t * r[0], a[1] + t * r[1])
+    return None
+
+
+def point_segment_distance(p: Coord, a: Coord, b: Coord) -> float:
+    """Euclidean distance from point ``p`` to the closed segment ``ab``."""
+    ax, ay = a
+    bx, by = b
+    px, py = p
+    dx, dy = bx - ax, by - ay
+    seg_sq = dx * dx + dy * dy
+    if seg_sq <= EPS * EPS:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_sq
+    t = max(0.0, min(1.0, t))
+    cx, cy = ax + t * dx, ay + t * dy
+    return math.hypot(px - cx, py - cy)
+
+
+def segment_segment_distance(a: Coord, b: Coord, c: Coord, d: Coord) -> float:
+    """Minimum distance between closed segments ``ab`` and ``cd``."""
+    if segments_intersect(a, b, c, d):
+        return 0.0
+    return min(
+        point_segment_distance(a, c, d),
+        point_segment_distance(b, c, d),
+        point_segment_distance(c, a, b),
+        point_segment_distance(d, a, b),
+    )
+
+
+def ring_signed_area(ring: Sequence[Coord]) -> float:
+    """Signed area of a ring (shoelace); positive for counter-clockwise.
+
+    The ring may be given open or closed (first == last); both work.
+    """
+    n = len(ring)
+    if n < 3:
+        return 0.0
+    total = 0.0
+    for i in range(n):
+        x1, y1 = ring[i]
+        x2, y2 = ring[(i + 1) % n]
+        total += x1 * y2 - x2 * y1
+    return total / 2.0
+
+
+def ring_is_ccw(ring: Sequence[Coord]) -> bool:
+    """Whether the ring winds counter-clockwise."""
+    return ring_signed_area(ring) > 0.0
+
+
+def ring_centroid(ring: Sequence[Coord]) -> Coord:
+    """Area centroid of a simple ring; falls back to the vertex mean for
+    degenerate (zero-area) rings."""
+    area = ring_signed_area(ring)
+    n = len(ring)
+    if abs(area) <= EPS or n < 3:
+        sx = sum(p[0] for p in ring)
+        sy = sum(p[1] for p in ring)
+        return (sx / n, sy / n)
+    cx = cy = 0.0
+    for i in range(n):
+        x1, y1 = ring[i]
+        x2, y2 = ring[(i + 1) % n]
+        cross = x1 * y2 - x2 * y1
+        cx += (x1 + x2) * cross
+        cy += (y1 + y2) * cross
+    factor = 1.0 / (6.0 * area)
+    return (cx * factor, cy * factor)
+
+
+def path_length(coords: Sequence[Coord]) -> float:
+    """Total length of the polyline through ``coords``."""
+    return sum(
+        segment_length(coords[i], coords[i + 1])
+        for i in range(len(coords) - 1)
+    )
+
+
+def point_in_ring(p: Coord, ring: Sequence[Coord]) -> int:
+    """Locate ``p`` relative to a simple ring.
+
+    Returns ``1`` for strictly inside, ``0`` for on the boundary, ``-1`` for
+    outside.  Uses the crossing-number algorithm with an explicit boundary
+    check first (the crossing count is unreliable exactly on edges).
+    """
+    n = len(ring)
+    # Treat an explicitly closed ring as open.  Exact comparison: a closing
+    # vertex is always an exact copy, whereas near-coincident but distinct
+    # vertices can legitimately occur in sliver rings.
+    if n >= 2 and ring[0] == ring[-1]:
+        ring = ring[:-1]
+        n -= 1
+    if n < 3:
+        return -1
+    for i in range(n):
+        if on_segment(p, ring[i], ring[(i + 1) % n]):
+            return 0
+    x, y = p
+    inside = False
+    j = n - 1
+    for i in range(n):
+        xi, yi = ring[i]
+        xj, yj = ring[j]
+        if (yi > y) != (yj > y):
+            x_cross = xi + (y - yi) * (xj - xi) / (yj - yi)
+            if x < x_cross:
+                inside = not inside
+        j = i
+    return 1 if inside else -1
+
+
+def convex_hull(points: Sequence[Coord]) -> List[Coord]:
+    """Andrew's monotone chain convex hull.
+
+    Returns the hull vertices in counter-clockwise order without repeating
+    the first point.  Degenerate inputs (all collinear) return the extreme
+    points.
+    """
+    pts = sorted(set((float(x), float(y)) for x, y in points))
+    if len(pts) <= 2:
+        return pts
+    # Exact zero comparison: an EPS-tolerant pop would discard genuinely
+    # extreme points whose neighbours produce legitimately tiny cross
+    # products (e.g. nearly-vertical hull edges).
+    lower: List[Coord] = []
+    for p in pts:
+        while len(lower) >= 2 and orient(lower[-2], lower[-1], p) <= 0.0:
+            lower.pop()
+        lower.append(p)
+    upper: List[Coord] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and orient(upper[-2], upper[-1], p) <= 0.0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:  # fully collinear input
+        return [pts[0], pts[-1]]
+    return hull
+
+
+def douglas_peucker(coords: Sequence[Coord], tolerance: float) -> List[Coord]:
+    """Ramer–Douglas–Peucker polyline simplification.
+
+    Keeps the endpoints and every vertex whose removal would displace the
+    line by more than ``tolerance``.
+    """
+    if len(coords) <= 2:
+        return list(coords)
+    keep = [False] * len(coords)
+    keep[0] = keep[-1] = True
+    stack = [(0, len(coords) - 1)]
+    while stack:
+        first, last = stack.pop()
+        max_dist = -1.0
+        index = -1
+        a, b = coords[first], coords[last]
+        for i in range(first + 1, last):
+            d = point_segment_distance(coords[i], a, b)
+            if d > max_dist:
+                max_dist = d
+                index = i
+        if max_dist > tolerance and index > 0:
+            keep[index] = True
+            stack.append((first, index))
+            stack.append((index, last))
+    return [c for c, k in zip(coords, keep) if k]
+
+
+def polyline_self_intersects(coords: Sequence[Coord]) -> bool:
+    """Whether a polyline crosses itself (adjacent-segment joins allowed)."""
+    n = len(coords) - 1
+    closed = n >= 1 and coords_equal(coords[0], coords[-1])
+    for i in range(n):
+        for j in range(i + 2, n):
+            # Skip the shared vertex of adjacent segments and, for closed
+            # rings, the first/last segment pair.
+            if i == 0 and j == n - 1 and closed:
+                continue
+            if segments_intersect(
+                coords[i], coords[i + 1], coords[j], coords[j + 1]
+            ):
+                return True
+    return False
+
+
+def interpolate_along(coords: Sequence[Coord], fraction: float) -> Coord:
+    """Point at ``fraction`` (0..1) of the way along a polyline."""
+    if not coords:
+        raise ValueError("empty coordinate sequence")
+    if len(coords) == 1 or fraction <= 0.0:
+        return coords[0]
+    if fraction >= 1.0:
+        return coords[-1]
+    target = path_length(coords) * fraction
+    walked = 0.0
+    for i in range(len(coords) - 1):
+        step = segment_length(coords[i], coords[i + 1])
+        if walked + step >= target and step > 0.0:
+            t = (target - walked) / step
+            ax, ay = coords[i]
+            bx, by = coords[i + 1]
+            return (ax + t * (bx - ax), ay + t * (by - ay))
+        walked += step
+    return coords[-1]

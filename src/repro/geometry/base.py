@@ -1,0 +1,251 @@
+"""Abstract geometry base class.
+
+Concrete types (:class:`~repro.geometry.point.Point`, line strings, polygons,
+multi-geometries) derive from :class:`Geometry`, which provides the shared
+OGC-style method surface.  Heavy lifting is delegated to the
+``predicates``, ``measure``, ``overlay``, ``buffer`` and ``srs`` modules via
+late imports, keeping the class graph cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
+
+from repro.geometry.envelope import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geometry.point import Point
+
+
+class GeometryError(ValueError):
+    """Raised for invalid geometric constructions or unsupported operands."""
+
+
+class Geometry:
+    """Base class of all simple-features geometries.
+
+    Geometries are immutable value objects; every operation returns a new
+    geometry.  Each geometry carries a spatial reference id (``srid``,
+    default 4326 / WGS84) that serialisers and CRS transforms honour.
+    """
+
+    #: OGC name, overridden by subclasses ("Point", "Polygon", ...).
+    geom_type: str = "Geometry"
+
+    __slots__ = ("srid",)
+
+    def __init__(self, srid: int = 4326):
+        self.srid = int(srid)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the geometry contains no points."""
+        raise NotImplementedError
+
+    @property
+    def envelope(self) -> Envelope:
+        """The geometry's axis-aligned bounding box."""
+        raise NotImplementedError
+
+    def coords(self) -> Iterator[Tuple[float, float]]:
+        """Yield every vertex of the geometry."""
+        raise NotImplementedError
+
+    def _component_geometries(self) -> Iterator["Geometry"]:
+        """Yield atomic (non-collection) parts; atoms yield themselves."""
+        yield self
+
+    # -- serialisation -----------------------------------------------------
+
+    @property
+    def wkt(self) -> str:
+        """OGC Well-Known Text representation."""
+        from repro.geometry import wkt as wkt_module
+
+        return wkt_module.to_wkt(self)
+
+    @property
+    def gml(self) -> str:
+        """GML 3 representation."""
+        from repro.geometry import gml as gml_module
+
+        return gml_module.to_gml(self)
+
+    # -- measurement -------------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        """Planar area (0 for points and lines)."""
+        return 0.0
+
+    @property
+    def length(self) -> float:
+        """Planar boundary/path length (0 for points)."""
+        return 0.0
+
+    @property
+    def centroid(self) -> "Point":
+        """The geometry's centroid."""
+        from repro.geometry import measure
+
+        return measure.centroid(self)
+
+    def distance(self, other: "Geometry") -> float:
+        """Minimum planar distance to ``other`` (0 if they intersect)."""
+        from repro.geometry import measure
+
+        return measure.distance(self, other)
+
+    # -- predicates ----------------------------------------------------------
+
+    def intersects(self, other: "Geometry") -> bool:
+        """Whether the geometries share at least one point."""
+        from repro.geometry import predicates
+
+        return predicates.intersects(self, other)
+
+    def disjoint(self, other: "Geometry") -> bool:
+        """Whether the geometries share no point."""
+        return not self.intersects(other)
+
+    def contains(self, other: "Geometry") -> bool:
+        """Whether ``other`` lies inside this geometry."""
+        from repro.geometry import predicates
+
+        return predicates.contains(self, other)
+
+    def within(self, other: "Geometry") -> bool:
+        """Whether this geometry lies inside ``other``."""
+        from repro.geometry import predicates
+
+        return predicates.contains(other, self)
+
+    def touches(self, other: "Geometry") -> bool:
+        """Whether the geometries meet only at their boundaries."""
+        from repro.geometry import predicates
+
+        return predicates.touches(self, other)
+
+    def crosses(self, other: "Geometry") -> bool:
+        """Whether the geometries cross (interiors intersect partially,
+        with the intersection of lower dimension than the operands)."""
+        from repro.geometry import predicates
+
+        return predicates.crosses(self, other)
+
+    def overlaps(self, other: "Geometry") -> bool:
+        """Whether same-dimension geometries partially share interior."""
+        from repro.geometry import predicates
+
+        return predicates.overlaps(self, other)
+
+    def equals(self, other: "Geometry") -> bool:
+        """Spatial equality (mutual containment)."""
+        from repro.geometry import predicates
+
+        return predicates.equals(self, other)
+
+    def dwithin(self, other: "Geometry", dist: float) -> bool:
+        """Whether ``other`` lies within ``dist`` of this geometry."""
+        return self.distance(other) <= dist
+
+    def relate(self, other: "Geometry") -> str:
+        """DE-9IM-style relation summary (see ``predicates.relate``)."""
+        from repro.geometry import predicates
+
+        return predicates.relate(self, other)
+
+    # -- constructive operations ---------------------------------------------
+
+    def intersection(self, other: "Geometry") -> "Geometry":
+        """Return the shared region of the two geometries."""
+        from repro.geometry import overlay
+
+        return overlay.intersection(self, other)
+
+    def union(self, other: "Geometry") -> "Geometry":
+        """Return the combined region of the two geometries."""
+        from repro.geometry import overlay
+
+        return overlay.union(self, other)
+
+    def difference(self, other: "Geometry") -> "Geometry":
+        """Return the part of this geometry not covered by ``other``."""
+        from repro.geometry import overlay
+
+        return overlay.difference(self, other)
+
+    def symmetric_difference(self, other: "Geometry") -> "Geometry":
+        """Return points in exactly one of the two geometries."""
+        from repro.geometry import overlay
+
+        return overlay.symmetric_difference(self, other)
+
+    def buffer(self, dist: float, resolution: int = 16) -> "Geometry":
+        """Return the geometry expanded by ``dist`` (approximate round
+        joins sampled with ``resolution`` points per circle)."""
+        from repro.geometry import buffer as buffer_module
+
+        return buffer_module.buffer(self, dist, resolution)
+
+    def convex_hull(self) -> "Geometry":
+        """Return the convex hull as a polygon (or lower-dim geometry)."""
+        from repro.geometry import overlay
+
+        return overlay.convex_hull_of(self)
+
+    def simplify(self, tolerance: float) -> "Geometry":
+        """Return a Douglas–Peucker simplified copy."""
+        from repro.geometry import simplify as simplify_module
+
+        return simplify_module.simplify(self, tolerance)
+
+    def transform(self, to_srid: int) -> "Geometry":
+        """Return a copy re-projected into CRS ``to_srid``."""
+        from repro.geometry import srs
+
+        return srs.transform(self, to_srid)
+
+    def envelope_geometry(self) -> "Geometry":
+        """The envelope as a Polygon geometry (or Point if degenerate)."""
+        from repro.geometry.point import Point
+        from repro.geometry.polygon import Polygon
+
+        env = self.envelope
+        if env.is_empty:
+            raise GeometryError("empty geometry has no envelope polygon")
+        if env.width == 0.0 and env.height == 0.0:
+            return Point(env.minx, env.miny, srid=self.srid)
+        return Polygon(list(env.corners()), srid=self.srid)
+
+    # -- misc ----------------------------------------------------------------
+
+    def with_srid(self, srid: int) -> "Geometry":
+        """Return a copy tagged with ``srid`` (no re-projection)."""
+        clone = self._clone()
+        clone.srid = int(srid)
+        return clone
+
+    def _clone(self) -> "Geometry":
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{self.geom_type} {self.wkt}>"
+
+
+def require_same_srid(a: Geometry, b: Geometry) -> None:
+    """Raise :class:`GeometryError` when operand SRIDs differ."""
+    if a.srid != b.srid:
+        raise GeometryError(
+            f"operands in different CRS: SRID {a.srid} vs {b.srid}; "
+            "call .transform() first"
+        )
+
+
+def coerce_point(value: object) -> Optional[Tuple[float, float]]:
+    """Best-effort conversion of ``value`` to an ``(x, y)`` tuple."""
+    if isinstance(value, (tuple, list)) and len(value) == 2:
+        return (float(value[0]), float(value[1]))
+    return None

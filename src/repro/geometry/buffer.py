@@ -1,0 +1,181 @@
+"""Geometry buffering (dilation).
+
+Buffers are *approximate*: circles are sampled as regular ``resolution``-gons
+and joins are resolved through polygon union, so the result underestimates
+the true buffer by at most ``dist * (1 - cos(pi / resolution))``.  This is
+the standard discrete-buffer construction and is adequate for the
+"within d" style map queries the TELEIOS demo runs (where exactness comes
+from :meth:`Geometry.dwithin`, which uses true distances).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.geometry import overlay
+from repro.geometry.base import Geometry, GeometryError
+from repro.geometry.linestring import LinearRing, LineString
+from repro.geometry.multi import collect, flatten
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+def buffer(geom: Geometry, dist: float, resolution: int = 16) -> Geometry:
+    """Return ``geom`` dilated by ``dist``.
+
+    Negative distances are only supported for polygons (erosion by vertex
+    offsetting, approximate).  A zero distance returns a clone.
+    """
+    if resolution < 4:
+        raise GeometryError("buffer resolution must be >= 4")
+    if dist == 0.0:
+        return geom._clone()
+    if dist < 0.0:
+        return _erode(geom, -dist)
+    pieces: List[Polygon] = []
+    for atom in flatten(geom):
+        pieces.extend(_atom_buffer(atom, dist, resolution))
+    merged = overlay.union_all(pieces)
+    return collect([p.with_srid(geom.srid) for p in merged], srid=geom.srid)
+
+
+def _atom_buffer(
+    geom: Geometry, dist: float, resolution: int
+) -> List[Polygon]:
+    if isinstance(geom, Point):
+        return [Polygon.regular(geom.x, geom.y, dist, resolution)]
+    if isinstance(geom, LineString):
+        coords = (
+            geom.closed_coords()
+            if isinstance(geom, LinearRing)
+            else list(geom.coords())
+        )
+        return _path_buffer(coords, dist, resolution)
+    if isinstance(geom, Polygon):
+        pieces = [Polygon(list(geom.shell.coords()))]
+        pieces.extend(
+            _path_buffer(geom.shell.closed_coords(), dist, resolution)
+        )
+        # Holes shrink; approximate by subtracting the eroded holes later —
+        # for dilation we simply keep holes that survive the margin.
+        result = overlay.union_all(pieces)
+        survivors: List[Polygon] = []
+        for piece in result:
+            holes = []
+            for hole in geom.holes:
+                eroded = _offset_ring(list(hole.coords()), -dist)
+                if eroded is not None:
+                    holes.append(eroded)
+            if holes:
+                piece = Polygon(
+                    list(piece.shell.coords()),
+                    [h for h in holes],
+                )
+            survivors.append(piece)
+        return survivors
+    raise GeometryError(f"cannot buffer {geom.geom_type}")
+
+
+def _path_buffer(coords, dist: float, resolution: int) -> List[Polygon]:
+    """Union of per-segment capsules approximating a path buffer."""
+    pieces: List[Polygon] = []
+    for i in range(len(coords) - 1):
+        (x1, y1), (x2, y2) = coords[i], coords[i + 1]
+        dx, dy = x2 - x1, y2 - y1
+        seg = math.hypot(dx, dy)
+        if seg <= 0.0:
+            continue
+        nx, ny = -dy / seg * dist, dx / seg * dist
+        pieces.append(
+            Polygon(
+                [
+                    (x1 + nx, y1 + ny),
+                    (x2 + nx, y2 + ny),
+                    (x2 - nx, y2 - ny),
+                    (x1 - nx, y1 - ny),
+                ]
+            )
+        )
+    for x, y in coords:
+        pieces.append(Polygon.regular(x, y, dist, resolution))
+    return pieces
+
+
+def _offset_ring(ring, delta: float):
+    """Offset a ring inward/outward along vertex bisectors (miter joins).
+
+    Returns ``None`` when the ring collapses.  Approximate: concave rings
+    offset outward by large deltas may self-intersect.
+    """
+    from repro.geometry import algorithms
+
+    n = len(ring)
+    if n < 3:
+        return None
+    ccw = algorithms.ring_is_ccw(ring)
+    sign = 1.0 if ccw else -1.0
+    out = []
+    for i in range(n):
+        p_prev = ring[(i - 1) % n]
+        p = ring[i]
+        p_next = ring[(i + 1) % n]
+        v1 = _unit(p[0] - p_prev[0], p[1] - p_prev[1])
+        v2 = _unit(p_next[0] - p[0], p_next[1] - p[1])
+        if v1 is None or v2 is None:
+            continue
+        # Outward normals: positive delta grows the enclosed area.  For a
+        # ccw ring the interior is to the left, so outward is the right
+        # normal (vy, -vx).
+        n1 = (v1[1] * sign, -v1[0] * sign)
+        n2 = (v2[1] * sign, -v2[0] * sign)
+        bx, by = n1[0] + n2[0], n1[1] + n2[1]
+        blen = math.hypot(bx, by)
+        if blen < 1e-12:
+            continue
+        # Miter scale limited to 4x to avoid spikes.
+        cos_half = blen / 2.0
+        scale = min(1.0 / max(cos_half, 1e-6), 4.0)
+        out.append(
+            (p[0] + bx / blen * delta * scale, p[1] + by / blen * delta * scale)
+        )
+    if len(out) < 3:
+        return None
+    area_in = algorithms.ring_signed_area(ring)
+    area_out = algorithms.ring_signed_area(out)
+    if abs(area_out) < 1e-12:
+        return None
+    # Offsetting past the inradius inverts the ring; detect collapse by a
+    # flipped orientation or by area moving the wrong way.
+    if (area_out > 0) != (area_in > 0):
+        return None
+    if delta < 0 and abs(area_out) >= abs(area_in):
+        return None
+    if delta > 0 and abs(area_out) <= abs(area_in):
+        return None
+    return out
+
+
+def _unit(x: float, y: float):
+    norm = math.hypot(x, y)
+    if norm < 1e-12:
+        return None
+    return (x / norm, y / norm)
+
+
+def _erode(geom: Geometry, dist: float) -> Geometry:
+    polys = [g for g in flatten(geom) if isinstance(g, Polygon)]
+    if not polys:
+        raise GeometryError("negative buffer only supported for polygons")
+    pieces: List[Polygon] = []
+    for poly in polys:
+        shell = _offset_ring(list(poly.shell.coords()), -dist)
+        if shell is None:
+            continue
+        holes = []
+        for hole in poly.holes:
+            grown = _offset_ring(list(hole.coords()), dist)
+            if grown is not None:
+                holes.append(grown)
+        pieces.append(Polygon(shell, holes, srid=geom.srid))
+    return collect(pieces, srid=geom.srid)

@@ -1,0 +1,191 @@
+"""Axis-aligned bounding boxes (envelopes).
+
+Envelopes are the currency of the R-tree index and of every cheap spatial
+pre-filter in the system: predicates first reject on envelopes before running
+the exact geometry test.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Tuple
+
+
+class Envelope:
+    """An axis-aligned rectangle ``[minx, maxx] x [miny, maxy]``.
+
+    An envelope may be *empty* (containing no points); empty envelopes are
+    produced by :meth:`Envelope.empty` and behave as the identity for
+    :meth:`union` and as the annihilator for :meth:`intersection`.
+    """
+
+    __slots__ = ("minx", "miny", "maxx", "maxy")
+
+    def __init__(self, minx: float, miny: float, maxx: float, maxy: float):
+        if minx > maxx or miny > maxy:
+            # Normalised empty representation.
+            self.minx, self.miny = math.inf, math.inf
+            self.maxx, self.maxy = -math.inf, -math.inf
+        else:
+            self.minx = float(minx)
+            self.miny = float(miny)
+            self.maxx = float(maxx)
+            self.maxy = float(maxy)
+
+    @classmethod
+    def empty(cls) -> "Envelope":
+        """Return the empty envelope."""
+        return cls(math.inf, math.inf, -math.inf, -math.inf)
+
+    @classmethod
+    def of_point(cls, x: float, y: float) -> "Envelope":
+        """Return the degenerate envelope covering a single point."""
+        return cls(x, y, x, y)
+
+    @classmethod
+    def of_coords(cls, coords: Iterable[Tuple[float, float]]) -> "Envelope":
+        """Return the tightest envelope covering ``coords``."""
+        minx = miny = math.inf
+        maxx = maxy = -math.inf
+        for x, y in coords:
+            if x < minx:
+                minx = x
+            if x > maxx:
+                maxx = x
+            if y < miny:
+                miny = y
+            if y > maxy:
+                maxy = y
+        if minx > maxx:
+            return cls.empty()
+        return cls(minx, miny, maxx, maxy)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.minx > self.maxx
+
+    @property
+    def width(self) -> float:
+        return 0.0 if self.is_empty else self.maxx - self.minx
+
+    @property
+    def height(self) -> float:
+        return 0.0 if self.is_empty else self.maxy - self.miny
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        if self.is_empty:
+            raise ValueError("empty envelope has no center")
+        return ((self.minx + self.maxx) / 2.0, (self.miny + self.maxy) / 2.0)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Whether ``(x, y)`` lies inside or on the boundary."""
+        return self.minx <= x <= self.maxx and self.miny <= y <= self.maxy
+
+    def contains(self, other: "Envelope") -> bool:
+        """Whether ``other`` lies fully inside this envelope."""
+        if other.is_empty:
+            return True
+        if self.is_empty:
+            return False
+        return (
+            self.minx <= other.minx
+            and self.miny <= other.miny
+            and self.maxx >= other.maxx
+            and self.maxy >= other.maxy
+        )
+
+    def intersects(self, other: "Envelope") -> bool:
+        """Whether the two envelopes share at least one point."""
+        if self.is_empty or other.is_empty:
+            return False
+        return (
+            self.minx <= other.maxx
+            and other.minx <= self.maxx
+            and self.miny <= other.maxy
+            and other.miny <= self.maxy
+        )
+
+    def intersection(self, other: "Envelope") -> "Envelope":
+        """Return the envelope common to both (possibly empty)."""
+        return Envelope(
+            max(self.minx, other.minx),
+            max(self.miny, other.miny),
+            min(self.maxx, other.maxx),
+            min(self.maxy, other.maxy),
+        )
+
+    def union(self, other: "Envelope") -> "Envelope":
+        """Return the smallest envelope covering both."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Envelope(
+            min(self.minx, other.minx),
+            min(self.miny, other.miny),
+            max(self.maxx, other.maxx),
+            max(self.maxy, other.maxy),
+        )
+
+    def expanded(self, margin: float) -> "Envelope":
+        """Return this envelope grown by ``margin`` on every side."""
+        if self.is_empty:
+            return self
+        return Envelope(
+            self.minx - margin,
+            self.miny - margin,
+            self.maxx + margin,
+            self.maxy + margin,
+        )
+
+    def enlargement(self, other: "Envelope") -> float:
+        """Area increase needed for this envelope to cover ``other``.
+
+        Used by the R-tree insertion heuristic.
+        """
+        return self.union(other).area - self.area
+
+    def distance(self, other: "Envelope") -> float:
+        """Minimum Euclidean distance between the two envelopes."""
+        if self.is_empty or other.is_empty:
+            return math.inf
+        dx = max(other.minx - self.maxx, self.minx - other.maxx, 0.0)
+        dy = max(other.miny - self.maxy, self.miny - other.maxy, 0.0)
+        return math.hypot(dx, dy)
+
+    def corners(self) -> Iterator[Tuple[float, float]]:
+        """Yield the four corners counter-clockwise from (minx, miny)."""
+        yield (self.minx, self.miny)
+        yield (self.maxx, self.miny)
+        yield (self.maxx, self.maxy)
+        yield (self.minx, self.maxy)
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.minx, self.miny, self.maxx, self.maxy)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Envelope):
+            return NotImplemented
+        if self.is_empty and other.is_empty:
+            return True
+        return self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "Envelope.empty()"
+        return (
+            f"Envelope({self.minx!r}, {self.miny!r}, "
+            f"{self.maxx!r}, {self.maxy!r})"
+        )

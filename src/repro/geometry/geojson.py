@@ -1,0 +1,148 @@
+"""GeoJSON (RFC 7946) encoding and decoding of geometries.
+
+The rapid-mapping outputs are easiest to hand to web viewers as GeoJSON;
+this module converts between the engine's geometry model and GeoJSON
+``geometry`` / ``Feature`` / ``FeatureCollection`` dictionaries.
+
+GeoJSON is always WGS84; geometries in other systems are re-projected on
+encode and tagged 4326 on decode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.geometry.base import Geometry, GeometryError
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import (
+    GeometryCollection,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+def _position(x: float, y: float) -> List[float]:
+    return [float(x), float(y)]
+
+
+def _ring_positions(ring) -> List[List[float]]:
+    return [_position(x, y) for x, y in ring.closed_coords()]
+
+
+def to_geojson(geom: Geometry) -> Dict[str, Any]:
+    """Encode a geometry as a GeoJSON geometry object."""
+    if geom.srid not in (4326, 84):
+        geom = geom.transform(4326)
+    if isinstance(geom, Point):
+        return {"type": "Point", "coordinates": _position(geom.x, geom.y)}
+    if isinstance(geom, Polygon):
+        return {
+            "type": "Polygon",
+            "coordinates": [_ring_positions(r) for r in geom.rings()],
+        }
+    if isinstance(geom, MultiPoint):
+        return {
+            "type": "MultiPoint",
+            "coordinates": [_position(p.x, p.y) for p in geom.geoms],
+        }
+    if isinstance(geom, MultiLineString):
+        return {
+            "type": "MultiLineString",
+            "coordinates": [
+                [_position(x, y) for x, y in line.coords()]
+                for line in geom.geoms
+            ],
+        }
+    if isinstance(geom, MultiPolygon):
+        return {
+            "type": "MultiPolygon",
+            "coordinates": [
+                [_ring_positions(r) for r in poly.rings()]
+                for poly in geom.geoms
+            ],
+        }
+    if isinstance(geom, GeometryCollection):
+        return {
+            "type": "GeometryCollection",
+            "geometries": [to_geojson(g) for g in geom.geoms],
+        }
+    if isinstance(geom, LineString):
+        return {
+            "type": "LineString",
+            "coordinates": [_position(x, y) for x, y in geom.coords()],
+        }
+    raise GeometryError(f"cannot encode {geom.geom_type} as GeoJSON")
+
+
+def from_geojson(doc: Dict[str, Any]) -> Geometry:
+    """Decode a GeoJSON geometry object (SRID 4326)."""
+    try:
+        kind = doc["type"]
+    except (TypeError, KeyError):
+        raise GeometryError("not a GeoJSON geometry object") from None
+    if kind == "Point":
+        x, y = doc["coordinates"][:2]
+        return Point(x, y, srid=4326)
+    if kind == "LineString":
+        return LineString(
+            [(c[0], c[1]) for c in doc["coordinates"]], srid=4326
+        )
+    if kind == "Polygon":
+        rings = doc["coordinates"]
+        if not rings:
+            raise GeometryError("GeoJSON Polygon without rings")
+        return Polygon(
+            [(c[0], c[1]) for c in rings[0]],
+            [[(c[0], c[1]) for c in hole] for hole in rings[1:]],
+            srid=4326,
+        )
+    if kind == "MultiPoint":
+        return MultiPoint(
+            [Point(c[0], c[1], srid=4326) for c in doc["coordinates"]],
+            srid=4326,
+        )
+    if kind == "MultiLineString":
+        return MultiLineString(
+            [
+                LineString([(c[0], c[1]) for c in line], srid=4326)
+                for line in doc["coordinates"]
+            ],
+            srid=4326,
+        )
+    if kind == "MultiPolygon":
+        polys = []
+        for rings in doc["coordinates"]:
+            polys.append(
+                Polygon(
+                    [(c[0], c[1]) for c in rings[0]],
+                    [[(c[0], c[1]) for c in hole] for hole in rings[1:]],
+                    srid=4326,
+                )
+            )
+        return MultiPolygon(polys, srid=4326)
+    if kind == "GeometryCollection":
+        return GeometryCollection(
+            [from_geojson(g) for g in doc["geometries"]], srid=4326
+        )
+    raise GeometryError(f"unknown GeoJSON type {kind!r}")
+
+
+def feature(
+    geom: Optional[Geometry], properties: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Wrap a geometry as a GeoJSON Feature."""
+    return {
+        "type": "Feature",
+        "geometry": to_geojson(geom) if geom is not None else None,
+        "properties": dict(properties or {}),
+    }
+
+
+def feature_collection(
+    features: Iterable[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Bundle features into a FeatureCollection."""
+    return {"type": "FeatureCollection", "features": list(features)}

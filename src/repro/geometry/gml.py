@@ -1,0 +1,156 @@
+"""Minimal GML 3 reader/writer.
+
+Covers the profile stRDF/GeoSPARQL literals use: ``gml:Point``,
+``gml:LineString``, ``gml:Polygon`` (with interior rings) and
+``gml:MultiSurface``.  The ``srsName`` attribute carries the SRID as an
+EPSG URN.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+from xml.etree import ElementTree
+
+from repro.geometry.base import Geometry, GeometryError
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import MultiPolygon
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+GML_NS = "http://www.opengis.net/gml"
+_EPSG_RE = re.compile(r"(?:EPSG|epsg)[:/]+(?:[\d.]+[:/])?(\d+)\s*$")
+
+
+def _srs_name(srid: int) -> str:
+    return f"urn:ogc:def:crs:EPSG::{srid}"
+
+
+def _parse_srid(srs_name: str, default: int) -> int:
+    if not srs_name:
+        return default
+    m = _EPSG_RE.search(srs_name)
+    if m:
+        return int(m.group(1))
+    return default
+
+
+def _fmt_coords(coords) -> str:
+    parts: List[str] = []
+    for x, y in coords:
+        parts.append(f"{x:g} {y:g}")
+    return " ".join(parts)
+
+
+def to_gml(geom: Geometry) -> str:
+    """Serialise a geometry to a GML 3 fragment."""
+    srs = _srs_name(geom.srid)
+    if isinstance(geom, Point):
+        return (
+            f'<gml:Point xmlns:gml="{GML_NS}" srsName="{srs}">'
+            f"<gml:pos>{geom.x:g} {geom.y:g}</gml:pos></gml:Point>"
+        )
+    if isinstance(geom, Polygon):
+        return (
+            f'<gml:Polygon xmlns:gml="{GML_NS}" srsName="{srs}">'
+            + _polygon_body(geom)
+            + "</gml:Polygon>"
+        )
+    if isinstance(geom, MultiPolygon):
+        members = "".join(
+            "<gml:surfaceMember><gml:Polygon>"
+            + _polygon_body(p)
+            + "</gml:Polygon></gml:surfaceMember>"
+            for p in geom.geoms
+        )
+        return (
+            f'<gml:MultiSurface xmlns:gml="{GML_NS}" srsName="{srs}">'
+            + members
+            + "</gml:MultiSurface>"
+        )
+    if isinstance(geom, LineString):
+        return (
+            f'<gml:LineString xmlns:gml="{GML_NS}" srsName="{srs}">'
+            f"<gml:posList>{_fmt_coords(geom.coords())}</gml:posList>"
+            "</gml:LineString>"
+        )
+    raise GeometryError(f"cannot serialise {geom.geom_type} to GML")
+
+
+def _polygon_body(poly: Polygon) -> str:
+    parts = [
+        "<gml:exterior><gml:LinearRing><gml:posList>"
+        + _fmt_coords(poly.shell.closed_coords())
+        + "</gml:posList></gml:LinearRing></gml:exterior>"
+    ]
+    for hole in poly.holes:
+        parts.append(
+            "<gml:interior><gml:LinearRing><gml:posList>"
+            + _fmt_coords(hole.closed_coords())
+            + "</gml:posList></gml:LinearRing></gml:interior>"
+        )
+    return "".join(parts)
+
+
+def from_gml(text: str, default_srid: int = 4326) -> Geometry:
+    """Parse a GML 3 fragment into a geometry."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise GeometryError(f"invalid GML: {exc}") from exc
+    return _parse_element(root, default_srid)
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def _parse_element(elem, default_srid: int) -> Geometry:
+    srid = _parse_srid(elem.get("srsName", ""), default_srid)
+    kind = _local(elem.tag)
+    if kind == "Point":
+        coords = _parse_pos_text(elem)
+        if len(coords) != 1:
+            raise GeometryError("gml:Point needs exactly one position")
+        return Point(coords[0][0], coords[0][1], srid=srid)
+    if kind == "LineString":
+        return LineString(_parse_pos_text(elem), srid=srid)
+    if kind == "Polygon":
+        return _parse_polygon(elem, srid)
+    if kind == "MultiSurface":
+        polys = []
+        for member in elem.iter():
+            if _local(member.tag) == "Polygon":
+                polys.append(_parse_polygon(member, srid))
+        return MultiPolygon(polys, srid=srid)
+    raise GeometryError(f"unsupported GML element {kind!r}")
+
+
+def _parse_polygon(elem, srid: int) -> Polygon:
+    shell: List[Tuple[float, float]] = []
+    holes: List[List[Tuple[float, float]]] = []
+    for child in elem:
+        role = _local(child.tag)
+        if role in ("exterior", "outerBoundaryIs"):
+            shell = _parse_pos_text(child)
+        elif role in ("interior", "innerBoundaryIs"):
+            holes.append(_parse_pos_text(child))
+    if not shell:
+        raise GeometryError("gml:Polygon without an exterior ring")
+    return Polygon(shell, holes, srid=srid)
+
+
+def _parse_pos_text(elem) -> List[Tuple[float, float]]:
+    texts: List[str] = []
+    for node in elem.iter():
+        if _local(node.tag) in ("pos", "posList", "coordinates") and node.text:
+            texts.append(node.text)
+    numbers: List[float] = []
+    for text in texts:
+        for token in text.replace(",", " ").split():
+            numbers.append(float(token))
+    if len(numbers) % 2 != 0:
+        raise GeometryError("odd number of GML ordinates")
+    return [
+        (numbers[i], numbers[i + 1]) for i in range(0, len(numbers), 2)
+    ]

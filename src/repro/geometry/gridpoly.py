@@ -1,0 +1,185 @@
+"""Exact polygonisation of axis-aligned grid cells.
+
+Hotspot geometries are unions of pixel footprints — axis-aligned cells of
+a regular grid.  Generic polygon union needs perturbation for such fully
+degenerate inputs and can leave sliver artifacts; boundary tracing of the
+binary cell set is exact, fast and always valid.  This module converts a
+set of ``(row, col)`` cells into rings (with holes) in grid-corner
+coordinates and, optionally, maps the corners through a georeferencing
+function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.geometry import algorithms
+from repro.geometry.base import Geometry
+from repro.geometry.multi import MultiPolygon
+from repro.geometry.polygon import Polygon
+
+Cell = Tuple[int, int]
+Corner = Tuple[int, int]  # (row, col) lattice corner
+
+
+def boundary_rings(cells: Iterable[Cell]) -> List[List[Corner]]:
+    """Trace the boundary rings of a cell set.
+
+    Returns closed rings (first vertex not repeated) in grid-corner
+    coordinates.  Every ring is a simple rectilinear polygon; shells and
+    holes are distinguishable by winding (see :func:`rings_to_polygons`).
+    """
+    cell_set: Set[Cell] = set(cells)
+    if not cell_set:
+        return []
+    # Directed boundary edges, interior kept on a consistent side.
+    edges: Dict[Corner, List[Corner]] = {}
+
+    def emit(a: Corner, b: Corner) -> None:
+        edges.setdefault(a, []).append(b)
+
+    for r, c in cell_set:
+        if (r - 1, c) not in cell_set:  # top edge, walk east
+            emit((r, c), (r, c + 1))
+        if (r, c + 1) not in cell_set:  # right edge, walk south
+            emit((r, c + 1), (r + 1, c + 1))
+        if (r + 1, c) not in cell_set:  # bottom edge, walk west
+            emit((r + 1, c + 1), (r + 1, c))
+        if (r, c - 1) not in cell_set:  # left edge, walk north
+            emit((r + 1, c), (r, c))
+
+    rings: List[List[Corner]] = []
+    while edges:
+        start = next(iter(edges))
+        ring: List[Corner] = [start]
+        current = start
+        incoming = None
+        while True:
+            outs = edges.get(current)
+            if not outs:
+                break
+            if len(outs) == 1 or incoming is None:
+                nxt = outs.pop()
+            else:
+                # Diagonal-touch corner: prefer the sharpest left turn so
+                # rings stay simple (never cross themselves).
+                nxt = min(
+                    outs, key=lambda cand: _turn(incoming, current, cand)
+                )
+                outs.remove(nxt)
+            if not outs:
+                del edges[current]
+            incoming = current
+            current = nxt
+            if current == start:
+                break
+            ring.append(current)
+        # Drop collinear intermediate corners.
+        rings.append(_simplify_rectilinear(ring))
+    return rings
+
+
+def _turn(prev: Corner, here: Corner, nxt: Corner) -> int:
+    """Turn preference: 0 = left turn, 1 = straight, 2 = right turn."""
+    d_in = (here[0] - prev[0], here[1] - prev[1])
+    d_out = (nxt[0] - here[0], nxt[1] - here[1])
+    cross = d_in[0] * d_out[1] - d_in[1] * d_out[0]
+    # In (row, col) space with our edge orientation, cross > 0 is a right
+    # turn on screen; prefer the turn that hugs the interior.
+    if cross < 0:
+        return 0
+    if cross == 0:
+        return 1
+    return 2
+
+
+def _simplify_rectilinear(ring: List[Corner]) -> List[Corner]:
+    if len(ring) < 3:
+        return ring
+    out: List[Corner] = []
+    n = len(ring)
+    for i in range(n):
+        prev = ring[(i - 1) % n]
+        here = ring[i]
+        nxt = ring[(i + 1) % n]
+        d1 = (here[0] - prev[0], here[1] - prev[1])
+        d2 = (nxt[0] - here[0], nxt[1] - here[1])
+        if d1[0] * d2[1] - d1[1] * d2[0] != 0:
+            out.append(here)
+    return out or ring
+
+
+def rings_to_polygons(
+    rings: Sequence[List[Corner]],
+    corner_to_xy: Callable[[int, int], Tuple[float, float]],
+    srid: int = 4326,
+) -> List[Polygon]:
+    """Assemble traced rings into polygons with holes.
+
+    ``corner_to_xy(row, col)`` maps lattice corners to world coordinates.
+    Ring role (shell vs hole) is decided by signed area in *grid space*
+    (stable regardless of the georeference's axis flips).
+    """
+    shells: List[Tuple[List[Corner], List[Tuple[float, float]]]] = []
+    holes: List[Tuple[List[Corner], List[Tuple[float, float]]]] = []
+    for ring in rings:
+        if len(ring) < 3:
+            continue
+        grid_area = algorithms.ring_signed_area(
+            [(float(c), float(r)) for r, c in ring]
+        )
+        world = [corner_to_xy(r, c) for r, c in ring]
+        # With our edge orientation, shells wind one way and holes the
+        # other in grid space; the traced shell of a single cell is
+        # (0,0)->(0,1)->(1,1)->(1,0), whose (x=c, y=r) signed area is +1.
+        if grid_area > 0:
+            shells.append((ring, world))
+        else:
+            holes.append((ring, world))
+    polygons: List[Tuple[List[Corner], List, List[List]]] = [
+        (ring, world, []) for ring, world in shells
+    ]
+    for hole_ring, hole_world in holes:
+        hr, hc = hole_ring[0]
+        placed = False
+        for shell_ring, shell_world, shell_holes in polygons:
+            grid_shell = [(float(c), float(r)) for r, c in shell_ring]
+            if algorithms.point_in_ring(
+                (float(hc), float(hr)), grid_shell
+            ) >= 0:
+                shell_holes.append(hole_world)
+                placed = True
+                break
+        if not placed:  # should not happen; keep it as a shell
+            polygons.append((hole_ring, hole_world, []))
+    return [
+        Polygon(world, hole_list, srid=srid)
+        for _, world, hole_list in polygons
+    ]
+
+
+def cells_to_geometry(
+    cells: Iterable[Cell],
+    corner_to_xy: Callable[[int, int], Tuple[float, float]],
+    srid: int = 4326,
+) -> Geometry:
+    """Cells → a Polygon or MultiPolygon in world coordinates."""
+    rings = boundary_rings(cells)
+    polys = rings_to_polygons(rings, corner_to_xy, srid=srid)
+    if len(polys) == 1:
+        return polys[0]
+    return MultiPolygon(polys, srid=srid)
+
+
+def mask_to_geometry(
+    mask,
+    corner_to_xy: Callable[[int, int], Tuple[float, float]],
+    srid: int = 4326,
+) -> Geometry:
+    """Boolean (rows, cols) mask → polygonised geometry."""
+    import numpy as np
+
+    rows, cols = np.nonzero(mask)
+    return cells_to_geometry(
+        zip(rows.tolist(), cols.tolist()), corner_to_xy, srid=srid
+    )

@@ -1,0 +1,167 @@
+"""LineString and LinearRing geometries."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.geometry import algorithms
+from repro.geometry.base import Geometry, GeometryError
+from repro.geometry.envelope import Envelope
+
+Coord = Tuple[float, float]
+
+
+def _clean_coords(coords: Iterable[Sequence[float]]) -> List[Coord]:
+    cleaned: List[Coord] = []
+    for c in coords:
+        if len(c) < 2:
+            raise GeometryError(f"coordinate needs 2 values, got {c!r}")
+        pt = (float(c[0]), float(c[1]))
+        # Drop exactly repeated consecutive vertices.
+        if cleaned and cleaned[-1] == pt:
+            continue
+        cleaned.append(pt)
+    return cleaned
+
+
+class LineString(Geometry):
+    """An open polyline through two or more vertices."""
+
+    geom_type = "LineString"
+
+    __slots__ = ("_coords",)
+
+    def __init__(self, coords: Iterable[Sequence[float]], srid: int = 4326):
+        super().__init__(srid=srid)
+        cleaned = _clean_coords(coords)
+        if len(cleaned) < 2:
+            raise GeometryError(
+                f"LineString needs >= 2 distinct vertices, got {len(cleaned)}"
+            )
+        self._coords: Tuple[Coord, ...] = tuple(cleaned)
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    @property
+    def envelope(self) -> Envelope:
+        return Envelope.of_coords(self._coords)
+
+    def coords(self) -> Iterator[Coord]:
+        return iter(self._coords)
+
+    @property
+    def coord_list(self) -> List[Coord]:
+        """The vertices as a fresh list."""
+        return list(self._coords)
+
+    @property
+    def length(self) -> float:
+        return algorithms.path_length(self._coords)
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether first and last vertices coincide."""
+        return algorithms.coords_equal(self._coords[0], self._coords[-1])
+
+    @property
+    def is_simple(self) -> bool:
+        """Whether the line does not self-intersect."""
+        return not algorithms.polyline_self_intersects(list(self._coords))
+
+    def interpolate(self, fraction: float):
+        """Point at ``fraction`` (0..1) along the line."""
+        from repro.geometry.point import Point
+
+        x, y = algorithms.interpolate_along(list(self._coords), fraction)
+        return Point(x, y, srid=self.srid)
+
+    def reversed_(self) -> "LineString":
+        """The same path traversed in the opposite direction."""
+        return LineString(reversed(self._coords), srid=self.srid)
+
+    def segments(self) -> Iterator[Tuple[Coord, Coord]]:
+        """Yield consecutive vertex pairs."""
+        for i in range(len(self._coords) - 1):
+            yield (self._coords[i], self._coords[i + 1])
+
+    def _clone(self) -> "LineString":
+        return LineString(self._coords, srid=self.srid)
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LineString):
+            return NotImplemented
+        return self._coords == other._coords and self.srid == other.srid
+
+    def __hash__(self) -> int:
+        return hash((self.geom_type, self._coords, self.srid))
+
+
+class LinearRing(LineString):
+    """A closed, simple polyline — the building block of polygon boundaries.
+
+    The stored coordinate sequence is kept *open* (the closing vertex is
+    implicit); ``coords()`` therefore does not repeat the first vertex.
+    """
+
+    geom_type = "LinearRing"
+
+    __slots__ = ()
+
+    def __init__(self, coords: Iterable[Sequence[float]], srid: int = 4326):
+        cleaned = _clean_coords(coords)
+        if len(cleaned) >= 2 and algorithms.coords_equal(
+            cleaned[0], cleaned[-1]
+        ):
+            cleaned = cleaned[:-1]
+        if len(cleaned) < 3:
+            raise GeometryError(
+                f"LinearRing needs >= 3 distinct vertices, got {len(cleaned)}"
+            )
+        # Bypass LineString validation: store directly.
+        Geometry.__init__(self, srid=srid)
+        self._coords = tuple(cleaned)
+
+    @property
+    def is_closed(self) -> bool:
+        return True
+
+    @property
+    def length(self) -> float:
+        closed = list(self._coords) + [self._coords[0]]
+        return algorithms.path_length(closed)
+
+    @property
+    def signed_area(self) -> float:
+        """Shoelace area; positive when counter-clockwise."""
+        return algorithms.ring_signed_area(self._coords)
+
+    @property
+    def is_ccw(self) -> bool:
+        return self.signed_area > 0.0
+
+    def oriented(self, ccw: bool = True) -> "LinearRing":
+        """Return a copy wound counter-clockwise (or clockwise)."""
+        if self.is_ccw == ccw:
+            return self
+        return LinearRing(tuple(reversed(self._coords)), srid=self.srid)
+
+    def closed_coords(self) -> List[Coord]:
+        """Vertices with the closing vertex repeated at the end."""
+        return list(self._coords) + [self._coords[0]]
+
+    def segments(self) -> Iterator[Tuple[Coord, Coord]]:
+        n = len(self._coords)
+        for i in range(n):
+            yield (self._coords[i], self._coords[(i + 1) % n])
+
+    def contains_point(self, x: float, y: float) -> int:
+        """Locate ``(x, y)``: 1 inside, 0 on boundary, -1 outside."""
+        return algorithms.point_in_ring((x, y), self._coords)
+
+    def _clone(self) -> "LinearRing":
+        return LinearRing(self._coords, srid=self.srid)

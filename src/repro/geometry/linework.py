@@ -1,0 +1,138 @@
+"""Shared line/ring splitting helpers used by predicates and overlay.
+
+The central tool is :func:`split_path_by_polygon`: it cuts a polyline at
+every crossing with a polygon boundary and classifies each resulting piece
+as interior / boundary / exterior by its midpoint.  Containment tests and
+line clipping are both built on it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry import algorithms
+from repro.geometry.algorithms import EPS, Coord
+from repro.geometry.polygon import Polygon
+
+#: Classification labels for path pieces.
+INTERIOR, BOUNDARY, EXTERIOR = 1, 0, -1
+
+
+def polygon_boundary_segments(poly: Polygon) -> List[Tuple[Coord, Coord]]:
+    """All boundary segments of a polygon (shell and holes)."""
+    segs: List[Tuple[Coord, Coord]] = []
+    for ring in poly.rings():
+        segs.extend(ring.segments())
+    return segs
+
+
+def _cut_points_on_segment(
+    a: Coord, b: Coord, boundary: Sequence[Tuple[Coord, Coord]]
+) -> List[Coord]:
+    """Intersection points of segment ``ab`` with the boundary segments,
+    ordered from ``a`` to ``b`` (endpoints included when they touch)."""
+    hits: List[Tuple[float, Coord]] = []
+    seg_len = algorithms.segment_length(a, b)
+    if seg_len <= EPS:
+        return []
+    for c, d in boundary:
+        if not algorithms.segments_intersect(a, b, c, d):
+            continue
+        p = algorithms.segment_intersection_point(a, b, c, d)
+        if p is not None:
+            t = _param_along(a, b, p, seg_len)
+            hits.append((t, p))
+            continue
+        # Collinear overlap: project the endpoints of cd that lie on ab.
+        for q in (c, d):
+            if algorithms.on_segment(q, a, b):
+                t = _param_along(a, b, q, seg_len)
+                hits.append((t, q))
+    hits.sort(key=lambda item: item[0])
+    ordered: List[Coord] = []
+    for _, p in hits:
+        if not ordered or not algorithms.coords_equal(ordered[-1], p):
+            ordered.append(p)
+    return ordered
+
+
+def _param_along(a: Coord, b: Coord, p: Coord, seg_len: float) -> float:
+    return algorithms.segment_length(a, p) / seg_len
+
+
+def split_path_by_polygon(
+    coords: Sequence[Coord], poly: Polygon
+) -> List[Tuple[int, List[Coord]]]:
+    """Split a polyline at polygon-boundary crossings and classify pieces.
+
+    Returns ``[(where, piece_coords), ...]`` where ``where`` is
+    :data:`INTERIOR`, :data:`BOUNDARY` or :data:`EXTERIOR`; pieces appear in
+    path order and consecutive same-class pieces are merged.
+    """
+    boundary = polygon_boundary_segments(poly)
+    pieces: List[Tuple[int, List[Coord]]] = []
+    for i in range(len(coords) - 1):
+        a, b = coords[i], coords[i + 1]
+        cuts = _cut_points_on_segment(a, b, boundary)
+        waypoints: List[Coord] = [a]
+        for p in cuts:
+            if not algorithms.coords_equal(waypoints[-1], p):
+                waypoints.append(p)
+        if not algorithms.coords_equal(waypoints[-1], b):
+            waypoints.append(b)
+        for j in range(len(waypoints) - 1):
+            p, q = waypoints[j], waypoints[j + 1]
+            if algorithms.coords_equal(p, q):
+                continue
+            mid = ((p[0] + q[0]) / 2.0, (p[1] + q[1]) / 2.0)
+            where = _locate_with_boundary(mid, poly, boundary)
+            _append_piece(pieces, where, p, q)
+    return pieces
+
+
+def _locate_with_boundary(
+    p: Coord, poly: Polygon, boundary: Sequence[Tuple[Coord, Coord]]
+) -> int:
+    for c, d in boundary:
+        if algorithms.on_segment(p, c, d):
+            return BOUNDARY
+    return INTERIOR if poly.locate_point(p[0], p[1]) > 0 else EXTERIOR
+
+
+def _append_piece(
+    pieces: List[Tuple[int, List[Coord]]], where: int, p: Coord, q: Coord
+) -> None:
+    if pieces:
+        last_where, last_coords = pieces[-1]
+        if last_where == where and algorithms.coords_equal(
+            last_coords[-1], p
+        ):
+            last_coords.append(q)
+            return
+    pieces.append((where, [p, q]))
+
+
+def path_within_polygon(
+    coords: Sequence[Coord], poly: Polygon, strict: bool
+) -> bool:
+    """Whether a polyline lies inside the polygon.
+
+    ``strict=True`` additionally requires at least one interior piece (OGC
+    *contains* semantics: a path living entirely on the boundary does not
+    count).
+    """
+    pieces = split_path_by_polygon(coords, poly)
+    if any(where == EXTERIOR for where, _ in pieces):
+        return False
+    if strict:
+        return any(where == INTERIOR for where, _ in pieces)
+    return bool(pieces)
+
+
+def path_polygon_crossings(
+    coords: Sequence[Coord], poly: Polygon
+) -> Tuple[bool, bool, bool]:
+    """Presence of (interior, boundary, exterior) pieces of the path."""
+    pieces = split_path_by_polygon(coords, poly)
+    kinds = {where for where, _ in pieces}
+    return (INTERIOR in kinds, BOUNDARY in kinds, EXTERIOR in kinds)

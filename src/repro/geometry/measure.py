@@ -1,0 +1,204 @@
+"""Distance and centroid computations.
+
+Distances are planar Euclidean in the geometry's own CRS.  For geodesic
+distances on WGS84 coordinates, see :mod:`repro.geometry.srs`
+(``haversine_m`` and the Web-Mercator transform).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import List
+
+from repro.geometry import algorithms
+from repro.geometry.base import Geometry, GeometryError, require_same_srid
+from repro.geometry.linestring import LinearRing, LineString
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+def distance(a: Geometry, b: Geometry) -> float:
+    """Minimum planar distance between two geometries (0 on intersection)."""
+    require_same_srid(a, b)
+    if a.is_empty or b.is_empty:
+        return math.inf
+    atoms_a = list(a._component_geometries())
+    atoms_b = list(b._component_geometries())
+    return min(
+        _atom_distance(x, y) for x, y in product(atoms_a, atoms_b)
+    )
+
+
+def _line_coords(line: LineString) -> List:
+    if isinstance(line, LinearRing):
+        return line.closed_coords()
+    return list(line.coords())
+
+
+def _atom_distance(a: Geometry, b: Geometry) -> float:
+    if isinstance(a, Point) and isinstance(b, Point):
+        return math.hypot(a.x - b.x, a.y - b.y)
+    if isinstance(a, Point) and isinstance(b, LineString):
+        return _point_line_distance(a, b)
+    if isinstance(a, LineString) and isinstance(b, Point):
+        return _point_line_distance(b, a)
+    if isinstance(a, Point) and isinstance(b, Polygon):
+        return _point_polygon_distance(a, b)
+    if isinstance(a, Polygon) and isinstance(b, Point):
+        return _point_polygon_distance(b, a)
+    if isinstance(a, LineString) and isinstance(b, LineString):
+        return _line_line_distance(a, b)
+    if isinstance(a, LineString) and isinstance(b, Polygon):
+        return _line_polygon_distance(a, b)
+    if isinstance(a, Polygon) and isinstance(b, LineString):
+        return _line_polygon_distance(b, a)
+    if isinstance(a, Polygon) and isinstance(b, Polygon):
+        return _polygon_polygon_distance(a, b)
+    raise GeometryError(
+        f"cannot measure distance between {a.geom_type} and {b.geom_type}"
+    )
+
+
+def _point_line_distance(p: Point, line: LineString) -> float:
+    coords = _line_coords(line)
+    return min(
+        algorithms.point_segment_distance(p.coord, coords[i], coords[i + 1])
+        for i in range(len(coords) - 1)
+    )
+
+
+def _point_polygon_distance(p: Point, poly: Polygon) -> float:
+    if poly.locate_point(p.x, p.y) >= 0:
+        return 0.0
+    return min(
+        algorithms.point_segment_distance(p.coord, s, e)
+        for ring in poly.rings()
+        for s, e in ring.segments()
+    )
+
+
+def _line_line_distance(a: LineString, b: LineString) -> float:
+    ca, cb = _line_coords(a), _line_coords(b)
+    best = math.inf
+    for i in range(len(ca) - 1):
+        for j in range(len(cb) - 1):
+            d = algorithms.segment_segment_distance(
+                ca[i], ca[i + 1], cb[j], cb[j + 1]
+            )
+            if d < best:
+                best = d
+                if best == 0.0:
+                    return 0.0
+    return best
+
+
+def _line_polygon_distance(line: LineString, poly: Polygon) -> float:
+    coords = _line_coords(line)
+    if any(poly.locate_point(x, y) >= 0 for x, y in coords):
+        return 0.0
+    best = math.inf
+    for ring in poly.rings():
+        for s, e in ring.segments():
+            for i in range(len(coords) - 1):
+                d = algorithms.segment_segment_distance(
+                    coords[i], coords[i + 1], s, e
+                )
+                if d < best:
+                    best = d
+                    if best == 0.0:
+                        return 0.0
+    return best
+
+
+def _polygon_polygon_distance(a: Polygon, b: Polygon) -> float:
+    from repro.geometry import predicates
+
+    if predicates.intersects(a, b):
+        return 0.0
+    best = math.inf
+    for ring_a in a.rings():
+        for sa, ea in ring_a.segments():
+            for ring_b in b.rings():
+                for sb, eb in ring_b.segments():
+                    d = algorithms.segment_segment_distance(sa, ea, sb, eb)
+                    if d < best:
+                        best = d
+    return best
+
+
+def centroid(geom: Geometry) -> Point:
+    """Centroid of the highest-dimension parts of ``geom``.
+
+    Polygons use the area centroid, lines the length-weighted midpoint,
+    point sets the mean.
+    """
+    if geom.is_empty:
+        raise GeometryError("empty geometry has no centroid")
+    atoms = list(geom._component_geometries())
+    polys = [g for g in atoms if isinstance(g, Polygon)]
+    if polys:
+        return _weighted_centroid(
+            [(p, abs(p.area)) for p in polys], _polygon_centroid, geom.srid
+        )
+    lines = [g for g in atoms if isinstance(g, LineString)]
+    if lines:
+        return _weighted_centroid(
+            [(ln, ln.length) for ln in lines], _line_centroid, geom.srid
+        )
+    points = [g for g in atoms if isinstance(g, Point)]
+    n = len(points)
+    return Point(
+        sum(p.x for p in points) / n,
+        sum(p.y for p in points) / n,
+        srid=geom.srid,
+    )
+
+
+def _weighted_centroid(weighted, part_centroid, srid: int) -> Point:
+    total = sum(w for _, w in weighted)
+    if total <= 0.0:
+        # Degenerate: average the part centroids.
+        cs = [part_centroid(g) for g, _ in weighted]
+        return Point(
+            sum(c[0] for c in cs) / len(cs),
+            sum(c[1] for c in cs) / len(cs),
+            srid=srid,
+        )
+    sx = sy = 0.0
+    for g, w in weighted:
+        cx, cy = part_centroid(g)
+        sx += cx * w
+        sy += cy * w
+    return Point(sx / total, sy / total, srid=srid)
+
+
+def _polygon_centroid(poly: Polygon):
+    # Weight the shell positively and holes negatively.
+    shell_area = abs(poly.shell.signed_area)
+    cx, cy = algorithms.ring_centroid(list(poly.shell.coords()))
+    wx, wy, w = cx * shell_area, cy * shell_area, shell_area
+    for hole in poly.holes:
+        ha = abs(hole.signed_area)
+        hx, hy = algorithms.ring_centroid(list(hole.coords()))
+        wx -= hx * ha
+        wy -= hy * ha
+        w -= ha
+    if w <= algorithms.EPS:
+        return (cx, cy)
+    return (wx / w, wy / w)
+
+
+def _line_centroid(line: LineString):
+    coords = _line_coords(line)
+    total = sx = sy = 0.0
+    for i in range(len(coords) - 1):
+        seg_len = algorithms.segment_length(coords[i], coords[i + 1])
+        mx = (coords[i][0] + coords[i + 1][0]) / 2.0
+        my = (coords[i][1] + coords[i + 1][1]) / 2.0
+        sx += mx * seg_len
+        sy += my * seg_len
+        total += seg_len
+    if total <= algorithms.EPS:
+        return coords[0]
+    return (sx / total, sy / total)

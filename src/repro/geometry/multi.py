@@ -1,0 +1,157 @@
+"""Multi-part geometries and geometry collections."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.geometry.base import Geometry, GeometryError
+from repro.geometry.envelope import Envelope
+from repro.geometry.linestring import LineString
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+Coord = Tuple[float, float]
+
+
+class GeometryCollection(Geometry):
+    """A heterogeneous bag of geometries.
+
+    Subclasses restrict the member type (MultiPoint etc.).  Collections may
+    be empty — this is the canonical "empty geometry" of the engine.
+    """
+
+    geom_type = "GeometryCollection"
+    _member_type = Geometry
+
+    __slots__ = ("geoms",)
+
+    def __init__(self, geoms: Iterable[Geometry] = (), srid: int = 4326):
+        super().__init__(srid=srid)
+        members: List[Geometry] = []
+        for g in geoms:
+            if not isinstance(g, self._member_type):
+                raise GeometryError(
+                    f"{self.geom_type} cannot contain {g.geom_type}"
+                )
+            if g.srid != srid:
+                g = g.with_srid(srid)
+            members.append(g)
+        self.geoms: Tuple[Geometry, ...] = tuple(members)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.geoms
+
+    @property
+    def envelope(self) -> Envelope:
+        env = Envelope.empty()
+        for g in self.geoms:
+            env = env.union(g.envelope)
+        return env
+
+    def coords(self) -> Iterator[Coord]:
+        for g in self.geoms:
+            yield from g.coords()
+
+    def _component_geometries(self) -> Iterator[Geometry]:
+        for g in self.geoms:
+            yield from g._component_geometries()
+
+    @property
+    def area(self) -> float:
+        return sum(g.area for g in self.geoms)
+
+    @property
+    def length(self) -> float:
+        return sum(g.length for g in self.geoms)
+
+    def _clone(self) -> "GeometryCollection":
+        return type(self)(self.geoms, srid=self.srid)
+
+    def __len__(self) -> int:
+        return len(self.geoms)
+
+    def __iter__(self) -> Iterator[Geometry]:
+        return iter(self.geoms)
+
+    def __getitem__(self, index: int) -> Geometry:
+        return self.geoms[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GeometryCollection):
+            return NotImplemented
+        return (
+            type(self) is type(other)
+            and self.geoms == other.geoms
+            and self.srid == other.srid
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.geom_type, self.geoms, self.srid))
+
+
+class MultiPoint(GeometryCollection):
+    """A set of points."""
+
+    geom_type = "MultiPoint"
+    _member_type = Point
+
+    __slots__ = ()
+
+    @classmethod
+    def from_coords(
+        cls, coords: Iterable[Sequence[float]], srid: int = 4326
+    ) -> "MultiPoint":
+        return cls(
+            [Point(c[0], c[1], srid=srid) for c in coords], srid=srid
+        )
+
+
+class MultiLineString(GeometryCollection):
+    """A set of line strings."""
+
+    geom_type = "MultiLineString"
+    _member_type = LineString
+
+    __slots__ = ()
+
+
+class MultiPolygon(GeometryCollection):
+    """A set of polygons."""
+
+    geom_type = "MultiPolygon"
+    _member_type = Polygon
+
+    __slots__ = ()
+
+    def contains_coord(self, x: float, y: float) -> bool:
+        """Whether any member polygon contains ``(x, y)``."""
+        return any(p.contains_coord(x, y) for p in self.geoms)
+
+
+def flatten(geom: Geometry) -> List[Geometry]:
+    """Return the atomic parts of ``geom`` (collections recursively opened)."""
+    return list(geom._component_geometries())
+
+
+def collect(geoms: Sequence[Geometry], srid: int = 4326) -> Geometry:
+    """Package atomic geometries into the most specific collection type.
+
+    A single geometry is returned as-is; homogeneous sets become Multi*
+    geometries; mixed sets become a :class:`GeometryCollection`.
+    """
+    atoms: List[Geometry] = []
+    for g in geoms:
+        atoms.extend(g._component_geometries())
+    if not atoms:
+        return GeometryCollection([], srid=srid)
+    if len(atoms) == 1:
+        return atoms[0]
+    kinds = {type(a) for a in atoms}
+    if kinds == {Point}:
+        return MultiPoint(atoms, srid=srid)
+    if kinds <= {LineString} or all(isinstance(a, LineString) for a in atoms):
+        return MultiLineString(atoms, srid=srid)
+    if kinds == {Polygon}:
+        return MultiPolygon(atoms, srid=srid)
+    return GeometryCollection(atoms, srid=srid)

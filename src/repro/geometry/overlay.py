@@ -1,0 +1,650 @@
+"""Constructive overlay operations (intersection, union, difference).
+
+Polygon/polygon overlay uses the Greiner–Hormann clipping algorithm.
+Greiner–Hormann is exact for polygons in *general position*; degenerate
+configurations (shared vertices, collinear overlapping edges — ubiquitous
+for the pixel-aligned hotspot polygons the NOA chain produces) are resolved
+by deterministically perturbing the clip polygon by a relative ~1e-9 and
+retrying, so results are exact up to that perturbation.
+
+Line/polygon overlay is computed exactly by splitting the line at boundary
+crossings (:mod:`repro.geometry.linework`); point overlays reduce to
+predicates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import algorithms, linework
+from repro.geometry.algorithms import EPS, Coord
+from repro.geometry.base import Geometry, GeometryError, require_same_srid
+from repro.geometry.linestring import LinearRing, LineString
+from repro.geometry.multi import GeometryCollection, collect, flatten
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+#: Minimum area below which result rings are discarded as slivers.
+_MIN_RING_AREA = 1e-12
+
+#: Parametric margin inside which an edge intersection counts as degenerate.
+_ALPHA_EPS = 1e-9
+
+_MAX_PERTURB_ATTEMPTS = 6
+
+
+class _Degenerate(Exception):
+    """Internal signal: the configuration needs perturbation."""
+
+
+# ---------------------------------------------------------------------------
+# Greiner–Hormann machinery (hole-free simple polygons)
+# ---------------------------------------------------------------------------
+
+
+class _Vertex:
+    __slots__ = (
+        "x",
+        "y",
+        "next",
+        "prev",
+        "neighbour",
+        "intersect",
+        "entry",
+        "alpha",
+        "visited",
+    )
+
+    def __init__(self, x: float, y: float):
+        self.x = x
+        self.y = y
+        self.next: Optional["_Vertex"] = None
+        self.prev: Optional["_Vertex"] = None
+        self.neighbour: Optional["_Vertex"] = None
+        self.intersect = False
+        self.entry = False
+        self.alpha = 0.0
+        self.visited = False
+
+    @property
+    def coord(self) -> Coord:
+        return (self.x, self.y)
+
+
+def _build_list(ring: Sequence[Coord]) -> _Vertex:
+    head: Optional[_Vertex] = None
+    prev: Optional[_Vertex] = None
+    for x, y in ring:
+        v = _Vertex(x, y)
+        if head is None:
+            head = v
+        else:
+            prev.next = v
+            v.prev = prev
+        prev = v
+    assert head is not None and prev is not None
+    prev.next = head
+    head.prev = prev
+    return head
+
+
+def _iter_vertices(head: _Vertex):
+    v = head
+    while True:
+        yield v
+        v = v.next
+        if v is head:
+            return
+
+
+def _original_edges(head: _Vertex) -> List[Tuple[_Vertex, _Vertex]]:
+    """Edges between consecutive non-intersection vertices."""
+    originals = [v for v in _iter_vertices(head) if not v.intersect]
+    edges = []
+    for i, v in enumerate(originals):
+        edges.append((v, originals[(i + 1) % len(originals)]))
+    return edges
+
+
+def _insert_between(start: _Vertex, end: _Vertex, new: _Vertex) -> None:
+    """Insert an intersection vertex between ``start`` and ``end`` keeping
+    ``alpha`` order (both are original vertices of one edge)."""
+    pos = start
+    while pos.next is not end and pos.next.alpha < new.alpha:
+        pos = pos.next
+    new.next = pos.next
+    new.prev = pos
+    pos.next.prev = new
+    pos.next = new
+
+
+def _edge_intersection(
+    a1: Coord, a2: Coord, b1: Coord, b2: Coord
+) -> Optional[Tuple[float, float, Coord]]:
+    """Proper intersection of open edges; returns (t, u, point).
+
+    Raises :class:`_Degenerate` when the crossing is too close to an
+    endpoint or the edges are collinear-overlapping.
+    """
+    r = (a2[0] - a1[0], a2[1] - a1[1])
+    s = (b2[0] - b1[0], b2[1] - b1[1])
+    denom = r[0] * s[1] - r[1] * s[0]
+    if abs(denom) <= EPS:
+        # Parallel: overlapping collinear edges are degenerate.
+        if algorithms.on_segment(b1, a1, a2) or algorithms.on_segment(
+            b2, a1, a2
+        ) or algorithms.on_segment(a1, b1, b2):
+            raise _Degenerate
+        return None
+    qp = (b1[0] - a1[0], b1[1] - a1[1])
+    t = (qp[0] * s[1] - qp[1] * s[0]) / denom
+    u = (qp[0] * r[1] - qp[1] * r[0]) / denom
+    if t < -_ALPHA_EPS or t > 1 + _ALPHA_EPS or u < -_ALPHA_EPS or u > 1 + _ALPHA_EPS:
+        return None
+    if (
+        t < _ALPHA_EPS
+        or t > 1 - _ALPHA_EPS
+        or u < _ALPHA_EPS
+        or u > 1 - _ALPHA_EPS
+    ):
+        raise _Degenerate
+    point = (a1[0] + t * r[0], a1[1] + t * r[1])
+    return (t, u, point)
+
+
+def _point_in(ring: Sequence[Coord], p: Coord) -> int:
+    return algorithms.point_in_ring(p, ring)
+
+
+def _mark_intersections(
+    subj_head: _Vertex, clip_head: _Vertex
+) -> int:
+    count = 0
+    for s1, s2 in _original_edges(subj_head):
+        for c1, c2 in _original_edges(clip_head):
+            hit = _edge_intersection(s1.coord, s2.coord, c1.coord, c2.coord)
+            if hit is None:
+                continue
+            t, u, point = hit
+            vs = _Vertex(*point)
+            vc = _Vertex(*point)
+            vs.intersect = vc.intersect = True
+            vs.alpha, vc.alpha = t, u
+            vs.neighbour, vc.neighbour = vc, vs
+            _insert_between(s1, s2, vs)
+            _insert_between(c1, c2, vc)
+            count += 1
+    return count
+
+
+def _mark_entries(
+    head: _Vertex, other_ring: Sequence[Coord]
+) -> None:
+    first = head.coord
+    where = _point_in(other_ring, first)
+    if where == 0:
+        raise _Degenerate
+    status = where < 0  # outside -> first intersection is an entry
+    for v in _iter_vertices(head):
+        if v.intersect:
+            v.entry = status
+            status = not status
+
+
+def _gh_clip(
+    subject: Sequence[Coord],
+    clip: Sequence[Coord],
+    invert_subject: bool,
+    invert_clip: bool,
+) -> Optional[List[List[Coord]]]:
+    """Core Greiner–Hormann traversal.
+
+    Returns result rings, or ``None`` when there were no crossings (the
+    caller resolves containment cases).  Raises :class:`_Degenerate` on
+    non-general-position input.
+    """
+    subj_head = _build_list(subject)
+    clip_head = _build_list(clip)
+    # Reject configurations with vertices on the other boundary up front.
+    for v in _iter_vertices(subj_head):
+        if _point_in(clip, v.coord) == 0:
+            raise _Degenerate
+    for v in _iter_vertices(clip_head):
+        if _point_in(subject, v.coord) == 0:
+            raise _Degenerate
+    n_hits = _mark_intersections(subj_head, clip_head)
+    if n_hits == 0:
+        return None
+    if n_hits % 2 != 0:
+        raise _Degenerate
+    _mark_entries(subj_head, clip)
+    _mark_entries(clip_head, subject)
+    if invert_subject:
+        for v in _iter_vertices(subj_head):
+            if v.intersect:
+                v.entry = not v.entry
+    if invert_clip:
+        for v in _iter_vertices(clip_head):
+            if v.intersect:
+                v.entry = not v.entry
+
+    results: List[List[Coord]] = []
+    unprocessed = [v for v in _iter_vertices(subj_head) if v.intersect]
+    for start in unprocessed:
+        if start.visited:
+            continue
+        ring: List[Coord] = [start.coord]
+        current = start
+        guard = 0
+        limit = 8 * (n_hits + len(subject) + len(clip))
+        while True:
+            current.visited = True
+            if current.neighbour is not None:
+                current.neighbour.visited = True
+            if current.entry:
+                while True:
+                    current = current.next
+                    ring.append(current.coord)
+                    if current.intersect:
+                        break
+            else:
+                while True:
+                    current = current.prev
+                    ring.append(current.coord)
+                    if current.intersect:
+                        break
+            current = current.neighbour
+            guard += 1
+            if guard > limit:
+                raise _Degenerate
+            if current is start or (
+                current.neighbour is start
+            ):
+                break
+        results.append(ring)
+    return results
+
+
+def _ring_clean(ring: Sequence[Coord]) -> Optional[List[Coord]]:
+    """Drop duplicate consecutive vertices and sliver rings."""
+    cleaned: List[Coord] = []
+    for p in ring:
+        if not cleaned or not algorithms.coords_equal(cleaned[-1], p):
+            cleaned.append(p)
+    while len(cleaned) >= 2 and algorithms.coords_equal(
+        cleaned[0], cleaned[-1]
+    ):
+        cleaned.pop()
+    if len(cleaned) < 3:
+        return None
+    if abs(algorithms.ring_signed_area(cleaned)) < _MIN_RING_AREA:
+        return None
+    return cleaned
+
+
+def _perturbed(ring: List[Coord], attempt: int, scale: float) -> List[Coord]:
+    """Deterministic pseudo-random jitter, grown per attempt."""
+    magnitude = scale * (10.0 ** attempt)
+    state = 0x2545F4914F6CDD1D ^ (attempt + 1)
+    out: List[Coord] = []
+    for x, y in ring:
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        dx = ((state >> 16) % 2001 - 1000) / 1000.0
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        dy = ((state >> 16) % 2001 - 1000) / 1000.0
+        out.append((x + dx * magnitude, y + dy * magnitude))
+    return out
+
+
+def _ring_inside(inner: Sequence[Coord], outer: Sequence[Coord]) -> bool:
+    """Whether ring ``inner`` lies (non-strictly) inside ring ``outer``."""
+    strict_votes = 0
+    for p in inner:
+        where = _point_in(outer, p)
+        if where < 0:
+            return False
+        if where > 0:
+            strict_votes += 1
+    if strict_votes:
+        return True
+    # All vertices on the boundary: decide by centroid.
+    c = algorithms.ring_centroid(list(inner))
+    return _point_in(outer, c) >= 0
+
+
+def _shell_op(
+    subject: List[Coord], clip: List[Coord], op: str
+) -> List[Polygon]:
+    """Boolean op between two hole-free rings, with perturbation retries.
+
+    ``op`` is one of ``"int"``, ``"union"``, ``"diff"``.  Returns hole-free
+    polygons except for the contained-difference case, which produces a
+    polygon with one hole.
+    """
+    span = max(
+        max(x for x, _ in subject) - min(x for x, _ in subject),
+        max(y for _, y in subject) - min(y for _, y in subject),
+        max(x for x, _ in clip) - min(x for x, _ in clip),
+        max(y for _, y in clip) - min(y for _, y in clip),
+        1.0,
+    )
+    base_scale = span * 1e-9
+    # Entry-flag transformation (Greiner–Hormann):
+    #   intersection: flags as computed
+    #   union:        invert both
+    #   A \ B:        invert the subject's flags
+    invert_subject = op in ("union", "diff")
+    invert_clip = op in ("union",)
+    current_clip = clip
+    for attempt in range(_MAX_PERTURB_ATTEMPTS):
+        try:
+            rings = _gh_clip(
+                subject, current_clip, invert_subject, invert_clip
+            )
+        except _Degenerate:
+            current_clip = _perturbed(clip, attempt, base_scale)
+            continue
+        if rings is None:
+            return _containment_result(subject, current_clip, op)
+        polys: List[Polygon] = []
+        for ring in rings:
+            cleaned = _ring_clean(ring)
+            if cleaned is not None:
+                polys.append(Polygon(cleaned))
+        return polys
+    raise GeometryError(
+        "polygon overlay failed to reach general position after "
+        f"{_MAX_PERTURB_ATTEMPTS} perturbation attempts"
+    )
+
+
+def _containment_result(
+    subject: List[Coord], clip: List[Coord], op: str
+) -> List[Polygon]:
+    subj_in_clip = _ring_inside(subject, clip)
+    clip_in_subj = _ring_inside(clip, subject)
+    if op == "int":
+        if subj_in_clip:
+            return [Polygon(subject)]
+        if clip_in_subj:
+            return [Polygon(clip)]
+        return []
+    if op == "union":
+        if subj_in_clip:
+            return [Polygon(clip)]
+        if clip_in_subj:
+            return [Polygon(subject)]
+        return [Polygon(subject), Polygon(clip)]
+    # diff
+    if subj_in_clip:
+        return []
+    if clip_in_subj:
+        return [Polygon(subject, holes=[clip])]
+    return [Polygon(subject)]
+
+
+# ---------------------------------------------------------------------------
+# Polygon-with-holes boolean algebra
+# ---------------------------------------------------------------------------
+
+
+def _shell_coords(poly: Polygon) -> List[Coord]:
+    return list(poly.shell.coords())
+
+
+def _hole_polygons(poly: Polygon) -> List[Polygon]:
+    return [Polygon(list(h.coords()), srid=poly.srid) for h in poly.holes]
+
+
+def _polygon_intersection(a: Polygon, b: Polygon) -> List[Polygon]:
+    pieces = _shell_op(_shell_coords(a), _shell_coords(b), "int")
+    for hole in _hole_polygons(a) + _hole_polygons(b):
+        pieces = _subtract_from_pieces(pieces, hole)
+    return pieces
+
+
+def _polygon_difference(a: Polygon, b: Polygon) -> List[Polygon]:
+    # A \ B = ((Ashell \ Bshell) ∪ (Ashell ∩ holesB)) \ holesA
+    pieces = _shell_op(_shell_coords(a), _shell_coords(b), "diff")
+    shell_a = Polygon(_shell_coords(a), srid=a.srid)
+    for hole_b in _hole_polygons(b):
+        pieces.extend(_polygon_intersection(shell_a, hole_b))
+    for hole_a in _hole_polygons(a):
+        pieces = _subtract_from_pieces(pieces, hole_a)
+    return pieces
+
+
+def _polygon_union(a: Polygon, b: Polygon) -> List[Polygon]:
+    pieces = _shell_op(_shell_coords(a), _shell_coords(b), "union")
+    for hole_a in _hole_polygons(a):
+        survivors = _polygon_difference(hole_a, b)
+        for s in survivors:
+            pieces = _subtract_from_pieces(pieces, s)
+    for hole_b in _hole_polygons(b):
+        survivors = _polygon_difference(hole_b, a)
+        for s in survivors:
+            pieces = _subtract_from_pieces(pieces, s)
+    return pieces
+
+
+def _subtract_from_pieces(
+    pieces: List[Polygon], cut: Polygon
+) -> List[Polygon]:
+    out: List[Polygon] = []
+    for piece in pieces:
+        if not piece.envelope.intersects(cut.envelope):
+            out.append(piece)
+            continue
+        out.extend(_polygon_difference_flat(piece, cut))
+    return out
+
+
+def _polygon_difference_flat(a: Polygon, cut: Polygon) -> List[Polygon]:
+    """Difference where ``cut`` is hole-free (internal helper)."""
+    pieces = _shell_op(_shell_coords(a), _shell_coords(cut), "diff")
+    for hole_a in _hole_polygons(a):
+        pieces = [
+            p
+            for piece in pieces
+            for p in _shell_diff_with_holes(piece, hole_a)
+        ]
+    return pieces
+
+
+def _shell_diff_with_holes(piece: Polygon, hole: Polygon) -> List[Polygon]:
+    if not piece.envelope.intersects(hole.envelope):
+        return [piece]
+    result = _shell_op(_shell_coords(piece), _shell_coords(hole), "diff")
+    # Preserve existing holes of the piece.
+    if piece.holes:
+        final: List[Polygon] = []
+        for r in result:
+            holes = list(r.holes) + [
+                list(h.coords())
+                for h in piece.holes
+                if _ring_inside(list(h.coords()), _shell_coords(r))
+            ]
+            final.append(Polygon(_shell_coords(r), holes, srid=piece.srid))
+        return final
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def intersection(a: Geometry, b: Geometry) -> Geometry:
+    """The shared region of ``a`` and ``b``."""
+    require_same_srid(a, b)
+    srid = a.srid
+    parts: List[Geometry] = []
+    for ga in flatten(a):
+        for gb in flatten(b):
+            parts.extend(_atom_intersection(ga, gb))
+    return collect(parts, srid=srid)
+
+
+def _atom_intersection(a: Geometry, b: Geometry) -> List[Geometry]:
+    if not a.envelope.intersects(b.envelope):
+        return []
+    if isinstance(a, Point):
+        return [a._clone()] if _point_covered(a, b) else []
+    if isinstance(b, Point):
+        return [b._clone()] if _point_covered(b, a) else []
+    if isinstance(a, LineString) and isinstance(b, Polygon):
+        return _clip_line_to_polygon(a, b, keep_inside=True)
+    if isinstance(a, Polygon) and isinstance(b, LineString):
+        return _clip_line_to_polygon(b, a, keep_inside=True)
+    if isinstance(a, LineString) and isinstance(b, LineString):
+        return _line_line_intersection_points(a, b)
+    if isinstance(a, Polygon) and isinstance(b, Polygon):
+        return [p.with_srid(a.srid) for p in _polygon_intersection(a, b)]
+    raise GeometryError(
+        f"intersection not supported for {a.geom_type}/{b.geom_type}"
+    )
+
+
+def _point_covered(p: Point, geom: Geometry) -> bool:
+    from repro.geometry import predicates
+
+    return predicates.covers(geom, p)
+
+
+def _clip_line_to_polygon(
+    line: LineString, poly: Polygon, keep_inside: bool
+) -> List[Geometry]:
+    coords = (
+        line.closed_coords()
+        if isinstance(line, LinearRing)
+        else list(line.coords())
+    )
+    pieces = linework.split_path_by_polygon(coords, poly)
+    keep = (
+        (linework.INTERIOR, linework.BOUNDARY)
+        if keep_inside
+        else (linework.EXTERIOR,)
+    )
+    out: List[Geometry] = []
+    for where, piece in pieces:
+        if where in keep and len(piece) >= 2:
+            out.append(LineString(piece, srid=line.srid))
+    return out
+
+
+def _line_line_intersection_points(
+    a: LineString, b: LineString
+) -> List[Geometry]:
+    ca = list(a.coords())
+    cb = list(b.coords())
+    if isinstance(a, LinearRing):
+        ca = a.closed_coords()
+    if isinstance(b, LinearRing):
+        cb = b.closed_coords()
+    points: List[Geometry] = []
+    seen: List[Coord] = []
+    for i in range(len(ca) - 1):
+        for j in range(len(cb) - 1):
+            p = algorithms.segment_intersection_point(
+                ca[i], ca[i + 1], cb[j], cb[j + 1]
+            )
+            if p is None:
+                continue
+            if any(algorithms.coords_equal(p, q) for q in seen):
+                continue
+            seen.append(p)
+            points.append(Point(p[0], p[1], srid=a.srid))
+    return points
+
+
+def union(a: Geometry, b: Geometry) -> Geometry:
+    """The combined region of ``a`` and ``b``."""
+    require_same_srid(a, b)
+    polys_a = [g for g in flatten(a) if isinstance(g, Polygon)]
+    polys_b = [g for g in flatten(b) if isinstance(g, Polygon)]
+    others = [
+        g
+        for g in flatten(a) + flatten(b)
+        if not isinstance(g, Polygon)
+    ]
+    merged = union_all(polys_a + polys_b) if (polys_a or polys_b) else []
+    return collect(
+        [p.with_srid(a.srid) for p in merged] + [g._clone() for g in others],
+        srid=a.srid,
+    )
+
+
+def union_all(polys: Sequence[Polygon]) -> List[Polygon]:
+    """Cascaded union of polygons (returns disjoint pieces)."""
+    pending = [p for p in polys if not p.is_empty]
+    result: List[Polygon] = []
+    while pending:
+        current = pending.pop()
+        merged_any = True
+        while merged_any:
+            merged_any = False
+            rest: List[Polygon] = []
+            for other in pending:
+                if current.envelope.intersects(other.envelope):
+                    pieces = _polygon_union(current, other)
+                    if len(pieces) == 1:
+                        current = pieces[0]
+                        merged_any = True
+                        continue
+                rest.append(other)
+            pending = rest
+        result.append(current)
+    return result
+
+
+def difference(a: Geometry, b: Geometry) -> Geometry:
+    """Points of ``a`` not covered by ``b``."""
+    require_same_srid(a, b)
+    parts: List[Geometry] = []
+    for ga in flatten(a):
+        remains: List[Geometry] = [ga]
+        for gb in flatten(b):
+            next_remains: List[Geometry] = []
+            for piece in remains:
+                next_remains.extend(_atom_difference(piece, gb))
+            remains = next_remains
+        parts.extend(remains)
+    return collect([p.with_srid(a.srid) for p in parts], srid=a.srid)
+
+
+def _atom_difference(a: Geometry, b: Geometry) -> List[Geometry]:
+    if not a.envelope.intersects(b.envelope):
+        return [a]
+    if isinstance(a, Point):
+        return [] if _point_covered(a, b) else [a]
+    if isinstance(a, LineString) and isinstance(b, Polygon):
+        return _clip_line_to_polygon(a, b, keep_inside=False)
+    if isinstance(a, LineString):
+        return [a]  # subtracting points/lines leaves measure unchanged
+    if isinstance(a, Polygon) and isinstance(b, Polygon):
+        return [p for p in _polygon_difference(a, b)]
+    if isinstance(a, Polygon):
+        return [a]  # subtracting lower-dimensional geometry: no-op
+    raise GeometryError(
+        f"difference not supported for {a.geom_type}/{b.geom_type}"
+    )
+
+
+def symmetric_difference(a: Geometry, b: Geometry) -> Geometry:
+    """Points in exactly one of ``a``, ``b``."""
+    left = difference(a, b)
+    right = difference(b, a)
+    return union(left, right)
+
+
+def convex_hull_of(geom: Geometry) -> Geometry:
+    """Convex hull as Polygon / LineString / Point by dimensionality."""
+    coords = list(geom.coords())
+    if not coords:
+        return GeometryCollection([], srid=geom.srid)
+    hull = algorithms.convex_hull(coords)
+    if len(hull) == 1:
+        return Point(hull[0][0], hull[0][1], srid=geom.srid)
+    if len(hull) == 2:
+        return LineString(hull, srid=geom.srid)
+    return Polygon(hull, srid=geom.srid)

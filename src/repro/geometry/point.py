@@ -1,0 +1,57 @@
+"""The Point geometry."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+from repro.geometry.base import Geometry, GeometryError
+from repro.geometry.envelope import Envelope
+
+
+class Point(Geometry):
+    """A single position in the plane."""
+
+    geom_type = "Point"
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float, srid: int = 4326):
+        super().__init__(srid=srid)
+        x = float(x)
+        y = float(y)
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise GeometryError(f"non-finite point coordinates ({x}, {y})")
+        self.x = x
+        self.y = y
+
+    @property
+    def is_empty(self) -> bool:
+        return False
+
+    @property
+    def envelope(self) -> Envelope:
+        return Envelope.of_point(self.x, self.y)
+
+    def coords(self) -> Iterator[Tuple[float, float]]:
+        yield (self.x, self.y)
+
+    @property
+    def coord(self) -> Tuple[float, float]:
+        """The point's ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def _clone(self) -> "Point":
+        return Point(self.x, self.y, srid=self.srid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return (
+            self.x == other.x
+            and self.y == other.y
+            and self.srid == other.srid
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.geom_type, self.x, self.y, self.srid))

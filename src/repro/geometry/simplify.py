@@ -1,0 +1,64 @@
+"""Douglas–Peucker simplification for every geometry type."""
+
+from __future__ import annotations
+
+from repro.geometry import algorithms
+from repro.geometry.base import Geometry, GeometryError
+from repro.geometry.linestring import LinearRing, LineString
+from repro.geometry.multi import GeometryCollection, collect, flatten
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+def simplify(geom: Geometry, tolerance: float) -> Geometry:
+    """Return a simplified copy of ``geom``.
+
+    Vertices whose removal displaces the outline by less than ``tolerance``
+    are dropped.  Rings that would collapse below 3 vertices are kept
+    unsimplified; holes that collapse are removed.
+    """
+    if tolerance < 0:
+        raise GeometryError("tolerance must be non-negative")
+    if tolerance == 0 or isinstance(geom, Point):
+        return geom._clone()
+    if isinstance(geom, GeometryCollection):
+        return collect(
+            [simplify(g, tolerance) for g in flatten(geom)], srid=geom.srid
+        )
+    if isinstance(geom, Polygon):
+        shell = _simplify_ring(geom.shell, tolerance)
+        holes = []
+        for hole in geom.holes:
+            simplified = _simplify_ring(hole, tolerance, allow_collapse=True)
+            if simplified is not None:
+                holes.append(simplified)
+        if shell is None:
+            return geom._clone()
+        return Polygon(shell, holes, srid=geom.srid)
+    if isinstance(geom, LinearRing):
+        ring = _simplify_ring(geom, tolerance)
+        if ring is None:
+            return geom._clone()
+        return LinearRing(ring, srid=geom.srid)
+    if isinstance(geom, LineString):
+        coords = algorithms.douglas_peucker(list(geom.coords()), tolerance)
+        if len(coords) < 2:
+            return geom._clone()
+        return LineString(coords, srid=geom.srid)
+    raise GeometryError(f"cannot simplify {geom.geom_type}")
+
+
+def _simplify_ring(
+    ring: LinearRing, tolerance: float, allow_collapse: bool = False
+):
+    """Simplify a ring; returns coordinates, None if collapsed/kept."""
+    closed = ring.closed_coords()
+    coords = algorithms.douglas_peucker(closed, tolerance)
+    # Drop the closing duplicate for ring storage.
+    if len(coords) >= 2 and algorithms.coords_equal(coords[0], coords[-1]):
+        coords = coords[:-1]
+    if len(coords) < 3 or abs(algorithms.ring_signed_area(coords)) < 1e-12:
+        if allow_collapse:
+            return None
+        return list(ring.coords())
+    return coords

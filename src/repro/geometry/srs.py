@@ -1,0 +1,220 @@
+"""Spatial reference systems and coordinate transforms.
+
+A tiny pluggable CRS registry replacing PROJ: every CRS knows how to map
+its coordinates to and from WGS84 lon/lat (the hub), so any pair of
+registered systems can interoperate.  Built in:
+
+* ``4326``  — WGS84 geographic, coordinates are (lon, lat) degrees.
+* ``84``    — CRS84 alias of 4326 (GeoSPARQL's default).
+* ``3857``  — WGS84 Web Mercator, coordinates in metres.
+
+Satellite ingestion registers additional *sensor grid* systems (affine
+row/column grids georeferenced to a WGS84 window) via
+:func:`register_affine_grid`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+from repro.geometry.base import Geometry, GeometryError
+
+Coord = Tuple[float, float]
+CoordFn = Callable[[float, float], Coord]
+
+SRID_WGS84 = 4326
+SRID_CRS84 = 84
+SRID_WEB_MERCATOR = 3857
+
+#: Mean Earth radius in metres (spherical model, as Web Mercator assumes).
+EARTH_RADIUS_M = 6378137.0
+
+_MAX_LAT = 85.05112877980659
+
+
+class CRS:
+    """A coordinate reference system with WGS84-hub conversion functions."""
+
+    def __init__(
+        self,
+        srid: int,
+        name: str,
+        to_wgs84: CoordFn,
+        from_wgs84: CoordFn,
+        units: str = "degree",
+    ):
+        self.srid = int(srid)
+        self.name = name
+        self.to_wgs84 = to_wgs84
+        self.from_wgs84 = from_wgs84
+        self.units = units
+
+    def __repr__(self) -> str:
+        return f"CRS({self.srid}, {self.name!r}, units={self.units!r})"
+
+
+_identity: CoordFn = lambda x, y: (x, y)  # noqa: E731
+
+
+def _mercator_forward(lon: float, lat: float) -> Coord:
+    lat = max(-_MAX_LAT, min(_MAX_LAT, lat))
+    x = math.radians(lon) * EARTH_RADIUS_M
+    y = math.log(math.tan(math.pi / 4.0 + math.radians(lat) / 2.0))
+    return (x, y * EARTH_RADIUS_M)
+
+
+def _mercator_inverse(x: float, y: float) -> Coord:
+    lon = math.degrees(x / EARTH_RADIUS_M)
+    lat = math.degrees(
+        2.0 * math.atan(math.exp(y / EARTH_RADIUS_M)) - math.pi / 2.0
+    )
+    return (lon, lat)
+
+
+_REGISTRY: Dict[int, CRS] = {}
+
+
+def register_crs(crs: CRS, replace: bool = False) -> CRS:
+    """Add a CRS to the registry; refuses silent redefinition."""
+    if not replace and crs.srid in _REGISTRY:
+        existing = _REGISTRY[crs.srid]
+        if existing.name != crs.name:
+            raise GeometryError(
+                f"SRID {crs.srid} already registered as {existing.name!r}"
+            )
+    _REGISTRY[crs.srid] = crs
+    return crs
+
+
+def get_crs(srid: int) -> CRS:
+    """Look up a registered CRS; raises :class:`GeometryError` if unknown."""
+    try:
+        return _REGISTRY[srid]
+    except KeyError:
+        raise GeometryError(f"unknown SRID {srid}") from None
+
+
+register_crs(CRS(SRID_WGS84, "WGS 84", _identity, _identity))
+register_crs(CRS(SRID_CRS84, "CRS84", _identity, _identity))
+register_crs(
+    CRS(
+        SRID_WEB_MERCATOR,
+        "WGS 84 / Pseudo-Mercator",
+        _mercator_inverse,
+        _mercator_forward,
+        units="metre",
+    )
+)
+
+
+def register_affine_grid(
+    srid: int,
+    name: str,
+    origin_lon: float,
+    origin_lat: float,
+    lon_per_col: float,
+    lat_per_row: float,
+) -> CRS:
+    """Register a sensor row/column grid georeferenced to a WGS84 window.
+
+    Grid coordinates are ``(col, row)`` with ``row`` growing *southwards*
+    (image convention), so ``lat_per_row`` is typically negative when
+    callers pass a positive cell size — this helper negates it for them.
+    """
+    lat_step = -abs(lat_per_row)
+
+    def to_wgs84(col: float, row: float) -> Coord:
+        return (origin_lon + col * lon_per_col, origin_lat + row * lat_step)
+
+    def from_wgs84(lon: float, lat: float) -> Coord:
+        return ((lon - origin_lon) / lon_per_col, (lat - origin_lat) / lat_step)
+
+    return register_crs(
+        CRS(srid, name, to_wgs84, from_wgs84, units="pixel"), replace=True
+    )
+
+
+def transform_coord(x: float, y: float, from_srid: int, to_srid: int) -> Coord:
+    """Re-project a coordinate pair between registered systems."""
+    if from_srid == to_srid:
+        return (x, y)
+    source = get_crs(from_srid)
+    target = get_crs(to_srid)
+    lon, lat = source.to_wgs84(x, y)
+    return target.from_wgs84(lon, lat)
+
+
+def transform(geom: Geometry, to_srid: int) -> Geometry:
+    """Return ``geom`` re-projected into ``to_srid``."""
+    if geom.srid == to_srid:
+        return geom._clone()
+    from repro.geometry.linestring import LinearRing, LineString
+    from repro.geometry.multi import GeometryCollection
+    from repro.geometry.point import Point
+    from repro.geometry.polygon import Polygon
+
+    source = get_crs(geom.srid)
+    target = get_crs(to_srid)
+
+    def conv(x: float, y: float) -> Coord:
+        lon, lat = source.to_wgs84(x, y)
+        return target.from_wgs84(lon, lat)
+
+    if isinstance(geom, Point):
+        nx, ny = conv(geom.x, geom.y)
+        return Point(nx, ny, srid=to_srid)
+    if isinstance(geom, Polygon):
+        shell = [conv(x, y) for x, y in geom.shell.coords()]
+        holes = [
+            [conv(x, y) for x, y in hole.coords()] for hole in geom.holes
+        ]
+        return Polygon(shell, holes, srid=to_srid)
+    if isinstance(geom, LinearRing):
+        return LinearRing(
+            [conv(x, y) for x, y in geom.coords()], srid=to_srid
+        )
+    if isinstance(geom, LineString):
+        return LineString(
+            [conv(x, y) for x, y in geom.coords()], srid=to_srid
+        )
+    if isinstance(geom, GeometryCollection):
+        return type(geom)(
+            [transform(g, to_srid) for g in geom.geoms], srid=to_srid
+        )
+    raise GeometryError(f"cannot transform {geom.geom_type}")
+
+
+def haversine_m(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Great-circle distance in metres between two WGS84 positions."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def geodesic_distance_m(a: Geometry, b: Geometry) -> float:
+    """Approximate metric distance between WGS84 geometries.
+
+    Both geometries are projected to Web Mercator, the planar distance is
+    measured there and corrected by the Mercator scale factor at the mean
+    latitude — accurate to a few percent at regional scales, which is the
+    regime the fire-monitoring queries operate in.
+    """
+    if a.srid not in (SRID_WGS84, SRID_CRS84):
+        a = transform(a, SRID_WGS84)
+    if b.srid not in (SRID_WGS84, SRID_CRS84):
+        b = transform(b, SRID_WGS84)
+    b = b.with_srid(a.srid)
+    am = transform(a.with_srid(SRID_WGS84), SRID_WEB_MERCATOR)
+    bm = transform(b.with_srid(SRID_WGS84), SRID_WEB_MERCATOR)
+    planar = am.distance(bm)
+    env = a.envelope.union(b.envelope)
+    if env.is_empty:
+        return planar
+    mean_lat = (env.miny + env.maxy) / 2.0
+    return planar * math.cos(math.radians(max(-89.0, min(89.0, mean_lat))))

@@ -1,0 +1,285 @@
+"""OGC Well-Known Text reader and writer.
+
+Supports the 2-D simple-features types plus the PostGIS-style ``SRID=n;``
+prefix (EWKT) that stRDF literals use, and the ``EMPTY`` keyword for
+collections.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.geometry.base import Geometry
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import (
+    GeometryCollection,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+Coord = Tuple[float, float]
+
+
+class WKTParseError(ValueError):
+    """Raised when a WKT string cannot be parsed."""
+
+
+_SRID_RE = re.compile(r"^\s*SRID\s*=\s*(\d+)\s*;", re.IGNORECASE)
+_TOKEN_RE = re.compile(
+    r"\s*([A-Za-z]+|\(|\)|,|-?\d+\.?\d*(?:[eE][-+]?\d+)?|\.\d+)"
+)
+
+
+class _Tokens:
+    """A simple peekable token stream over a WKT body."""
+
+    def __init__(self, text: str):
+        self.tokens: List[str] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if not m:
+                if text[pos:].strip():
+                    raise WKTParseError(
+                        f"unexpected character at {pos}: {text[pos:pos+10]!r}"
+                    )
+                break
+            self.tokens.append(m.group(1))
+            pos = m.end()
+        self.index = 0
+
+    def peek(self) -> str:
+        if self.index >= len(self.tokens):
+            return ""
+        return self.tokens[self.index]
+
+    def next(self) -> str:
+        tok = self.peek()
+        if not tok:
+            raise WKTParseError("unexpected end of WKT input")
+        self.index += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        tok = self.next()
+        if tok != token:
+            raise WKTParseError(f"expected {token!r}, got {tok!r}")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def from_wkt(text: str, default_srid: int = 4326) -> Geometry:
+    """Parse a WKT (or EWKT with ``SRID=n;`` prefix) string."""
+    if not isinstance(text, str):
+        raise WKTParseError(f"WKT input must be a string, got {type(text)}")
+    srid = default_srid
+    m = _SRID_RE.match(text)
+    if m:
+        srid = int(m.group(1))
+        text = text[m.end():]
+    toks = _Tokens(text)
+    geom = _parse_geometry(toks, srid)
+    if not toks.exhausted:
+        raise WKTParseError(f"trailing tokens after geometry: {toks.peek()!r}")
+    return geom
+
+
+def _parse_geometry(toks: _Tokens, srid: int) -> Geometry:
+    tag = toks.next().upper()
+    if tag == "POINT":
+        coords = _parse_point_body(toks)
+        return Point(coords[0], coords[1], srid=srid)
+    if tag == "LINESTRING":
+        return LineString(_parse_coord_list(toks), srid=srid)
+    if tag == "POLYGON":
+        rings = _parse_ring_list(toks)
+        return Polygon(rings[0], rings[1:], srid=srid)
+    if tag == "MULTIPOINT":
+        return MultiPoint.from_coords(_parse_multipoint_body(toks), srid=srid)
+    if tag == "MULTILINESTRING":
+        if _consume_empty(toks):
+            return MultiLineString([], srid=srid)
+        toks.expect("(")
+        lines = [LineString(_parse_coord_list(toks), srid=srid)]
+        while toks.peek() == ",":
+            toks.next()
+            lines.append(LineString(_parse_coord_list(toks), srid=srid))
+        toks.expect(")")
+        return MultiLineString(lines, srid=srid)
+    if tag == "MULTIPOLYGON":
+        if _consume_empty(toks):
+            return MultiPolygon([], srid=srid)
+        toks.expect("(")
+        polys = [_parse_polygon_body(toks, srid)]
+        while toks.peek() == ",":
+            toks.next()
+            polys.append(_parse_polygon_body(toks, srid))
+        toks.expect(")")
+        return MultiPolygon(polys, srid=srid)
+    if tag == "GEOMETRYCOLLECTION":
+        if _consume_empty(toks):
+            return GeometryCollection([], srid=srid)
+        toks.expect("(")
+        members = [_parse_geometry(toks, srid)]
+        while toks.peek() == ",":
+            toks.next()
+            members.append(_parse_geometry(toks, srid))
+        toks.expect(")")
+        return GeometryCollection(members, srid=srid)
+    raise WKTParseError(f"unknown geometry type {tag!r}")
+
+
+def _consume_empty(toks: _Tokens) -> bool:
+    if toks.peek().upper() == "EMPTY":
+        toks.next()
+        return True
+    return False
+
+
+def _parse_number(toks: _Tokens) -> float:
+    tok = toks.next()
+    try:
+        return float(tok)
+    except ValueError:
+        raise WKTParseError(f"expected a number, got {tok!r}") from None
+
+
+def _parse_coord(toks: _Tokens) -> Coord:
+    x = _parse_number(toks)
+    y = _parse_number(toks)
+    # Tolerate (and drop) Z/M ordinates.
+    while toks.peek() not in (",", ")", ""):
+        _parse_number(toks)
+    return (x, y)
+
+
+def _parse_point_body(toks: _Tokens) -> Coord:
+    if _consume_empty(toks):
+        raise WKTParseError("POINT EMPTY is not supported")
+    toks.expect("(")
+    coord = _parse_coord(toks)
+    toks.expect(")")
+    return coord
+
+
+def _parse_coord_list(toks: _Tokens) -> List[Coord]:
+    if _consume_empty(toks):
+        raise WKTParseError("EMPTY coordinate list for a non-collection type")
+    toks.expect("(")
+    coords = [_parse_coord(toks)]
+    while toks.peek() == ",":
+        toks.next()
+        coords.append(_parse_coord(toks))
+    toks.expect(")")
+    return coords
+
+
+def _parse_ring_list(toks: _Tokens) -> List[List[Coord]]:
+    if _consume_empty(toks):
+        raise WKTParseError("POLYGON EMPTY is not supported")
+    toks.expect("(")
+    rings = [_parse_coord_list(toks)]
+    while toks.peek() == ",":
+        toks.next()
+        rings.append(_parse_coord_list(toks))
+    toks.expect(")")
+    return rings
+
+
+def _parse_polygon_body(toks: _Tokens, srid: int) -> Polygon:
+    rings = _parse_ring_list(toks)
+    return Polygon(rings[0], rings[1:], srid=srid)
+
+
+def _parse_multipoint_body(toks: _Tokens) -> List[Coord]:
+    if _consume_empty(toks):
+        return []
+    toks.expect("(")
+    coords: List[Coord] = []
+    while True:
+        if toks.peek() == "(":
+            toks.next()
+            coords.append(_parse_coord(toks))
+            toks.expect(")")
+        else:
+            coords.append(_parse_coord(toks))
+        if toks.peek() == ",":
+            toks.next()
+            continue
+        break
+    toks.expect(")")
+    return coords
+
+
+# ---------------------------------------------------------------------------
+# Serialisation
+# ---------------------------------------------------------------------------
+
+
+def _fmt(value: float) -> str:
+    """Render a coordinate without trailing float noise."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _coords_text(coords) -> str:
+    return ", ".join(f"{_fmt(x)} {_fmt(y)}" for x, y in coords)
+
+
+def _polygon_text(poly: Polygon) -> str:
+    parts = [f"({_coords_text(poly.shell.closed_coords())})"]
+    for hole in poly.holes:
+        parts.append(f"({_coords_text(hole.closed_coords())})")
+    return "(" + ", ".join(parts) + ")"
+
+
+def to_wkt(geom: Geometry, include_srid: bool = False) -> str:
+    """Serialise a geometry to WKT (EWKT when ``include_srid``)."""
+    prefix = f"SRID={geom.srid};" if include_srid else ""
+    return prefix + _geometry_text(geom)
+
+
+def _geometry_text(geom: Geometry) -> str:
+    if isinstance(geom, Point):
+        return f"POINT ({_fmt(geom.x)} {_fmt(geom.y)})"
+    if isinstance(geom, Polygon):
+        return "POLYGON " + _polygon_text(geom)
+    if isinstance(geom, MultiPoint):
+        if geom.is_empty:
+            return "MULTIPOINT EMPTY"
+        inner = ", ".join(
+            f"({_fmt(p.x)} {_fmt(p.y)})" for p in geom.geoms
+        )
+        return f"MULTIPOINT ({inner})"
+    if isinstance(geom, MultiLineString):
+        if geom.is_empty:
+            return "MULTILINESTRING EMPTY"
+        inner = ", ".join(
+            f"({_coords_text(line.coords())})" for line in geom.geoms
+        )
+        return f"MULTILINESTRING ({inner})"
+    if isinstance(geom, MultiPolygon):
+        if geom.is_empty:
+            return "MULTIPOLYGON EMPTY"
+        inner = ", ".join(_polygon_text(p) for p in geom.geoms)
+        return f"MULTIPOLYGON ({inner})"
+    if isinstance(geom, GeometryCollection):
+        if geom.is_empty:
+            return "GEOMETRYCOLLECTION EMPTY"
+        inner = ", ".join(_geometry_text(g) for g in geom.geoms)
+        return f"GEOMETRYCOLLECTION ({inner})"
+    if isinstance(geom, LineString):  # also covers LinearRing
+        coords = list(geom.coords())
+        from repro.geometry.linestring import LinearRing
+
+        if isinstance(geom, LinearRing):
+            coords = geom.closed_coords()
+        return f"LINESTRING ({_coords_text(coords)})"
+    raise TypeError(f"cannot serialise {type(geom).__name__} to WKT")

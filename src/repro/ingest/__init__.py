@@ -1,0 +1,34 @@
+"""The ingestion tier (paper §3, tier 1).
+
+Components that move external satellite files into the database world:
+
+* :mod:`repro.ingest.handlers` — Data Vault format handlers for the
+  synthetic SEVIRI archive format;
+* :mod:`repro.ingest.harvest` — the ingestion pipeline: file → SciQL
+  arrays + product records + stRDF metadata;
+* :mod:`repro.ingest.features` — content extraction: patch cutting and
+  feature-vector computation (texture/spectral descriptors);
+* :mod:`repro.ingest.metadata` — metadata extraction into stRDF.
+"""
+
+from repro.ingest.handlers import seviri_format_handler
+from repro.ingest.harvest import IngestionReport, Ingestor
+from repro.ingest.features import (
+    Patch,
+    PatchGrid,
+    extract_patches,
+    FEATURE_NAMES,
+)
+from repro.ingest.metadata import product_to_rdf, NOA_PREFIXES
+
+__all__ = [
+    "FEATURE_NAMES",
+    "IngestionReport",
+    "Ingestor",
+    "NOA_PREFIXES",
+    "Patch",
+    "PatchGrid",
+    "extract_patches",
+    "product_to_rdf",
+    "seviri_format_handler",
+]

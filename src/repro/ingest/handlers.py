@@ -1,0 +1,41 @@
+"""Data Vault format handlers for the EO archive formats."""
+
+from __future__ import annotations
+
+from repro.eo import seviri
+from repro.mdb.datavault import FormatHandler
+from repro.mdb.sciql import Dimension, SciArray
+from repro.mdb.types import DOUBLE
+
+
+def scene_to_array(path: str) -> SciArray:
+    """Ingest a scene file into a SciQL array.
+
+    The array has dimensions ``row``/``col`` and one attribute per band
+    plus the ground-truth ``truth_fire`` plane (kept for scoring).
+    """
+    scene = seviri.read_scene(path)
+    h, w = scene.shape
+    array = SciArray(
+        "scene",
+        [Dimension("row", 0, h), Dimension("col", 0, w)],
+        [
+            ("t039", DOUBLE),
+            ("t108", DOUBLE),
+            ("truth_fire", DOUBLE),
+        ],
+    )
+    array.set_attribute("t039", scene.band("t039").astype(float))
+    array.set_attribute("t108", scene.band("t108").astype(float))
+    array.set_attribute("truth_fire", scene.fire_mask.astype(float))
+    return array
+
+
+def seviri_format_handler() -> FormatHandler:
+    """The vault handler for the synthetic SEVIRI ``.nat``-style format."""
+    return FormatHandler(
+        name="msg-seviri",
+        probe=seviri.is_scene_file,
+        read_metadata=seviri.read_header,
+        ingest=scene_to_array,
+    )

@@ -1,0 +1,161 @@
+"""The ingestion pipeline: archive files → database tier.
+
+The :class:`Ingestor` wires the three destinations of Figure 2's arrows:
+
+* the file is cataloged in the **Data Vault** (lazy payload access),
+* its pixels become a **SciQL array** in the MonetDB-style database,
+* a **product record** plus **stRDF metadata** land in the relational
+  catalog and in Strabon.
+"""
+
+from __future__ import annotations
+
+import os
+from datetime import datetime
+from typing import Dict, List, Optional
+
+from repro.eo.products import ProcessingLevel, Product
+from repro.eo.seviri import read_header
+from repro.geometry import Envelope, Polygon
+from repro.ingest.handlers import seviri_format_handler
+from repro.ingest.metadata import product_to_rdf
+from repro.mdb import Database
+from repro.mdb.datavault import DataVault
+from repro.mdb.sciql import SciArray
+from repro.strabon import StrabonStore
+
+
+class IngestionReport:
+    """What one ingestion run produced."""
+
+    def __init__(self):
+        self.products: List[Product] = []
+        self.array_names: List[str] = []
+        self.metadata_triples = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<IngestionReport products={len(self.products)} "
+            f"triples={self.metadata_triples}>"
+        )
+
+
+class Ingestor:
+    """Ingests SEVIRI archive files into the database tier."""
+
+    def __init__(
+        self,
+        db: Database,
+        store: StrabonStore,
+        vault: Optional[DataVault] = None,
+    ):
+        self.db = db
+        self.store = store
+        # `is not None` matters: an empty vault is falsy (it has __len__).
+        self.vault = vault if vault is not None else DataVault("eo-archive")
+        if "msg-seviri" not in self.vault.formats():
+            self.vault.register_format(seviri_format_handler())
+        if not self.db.catalog.has_table("products"):
+            self.db.execute(
+                "CREATE TABLE products ("
+                "product_id STRING, mission STRING, sensor STRING, "
+                "level INT, acquired TIMESTAMP, path STRING, "
+                "array_name STRING, parent_id STRING)"
+            )
+
+    # -- cataloging -----------------------------------------------------------
+
+    def catalog_directory(self, directory: str) -> int:
+        """Register every scene file with the vault (headers only)."""
+        return len(self.vault.attach_directory(directory, pattern="*.nat"))
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def ingest_file(self, path: str, lazy: bool = True) -> Product:
+        """Ingest one scene file.
+
+        With ``lazy=True`` only the header is read now; the pixel array is
+        materialised by the vault when first fetched.  ``lazy=False``
+        forces immediate payload conversion (the eager-ETL baseline).
+        """
+        self.vault.attach_file(path)
+        header = read_header(path)
+        acquired = datetime.fromisoformat(str(header["acquired"]))
+        product_id = _product_id(path, acquired)
+        lon0, lat0, lon1, lat1 = header["window"]  # type: ignore[misc]
+        extent = Polygon.from_envelope(
+            Envelope(lon0, lat0, lon1, lat1), srid=4326
+        )
+        product = Product(
+            product_id=product_id,
+            mission=str(header["mission"]),
+            sensor=str(header["sensor"]),
+            level=ProcessingLevel.L0_RAW,
+            acquired=acquired,
+            extent=extent,
+            path=path,
+            metadata={
+                "hasWidth": int(header["width"]),
+                "hasHeight": int(header["height"]),
+            },
+        )
+        array_name = f"scene_{product_id}"
+        self.db.insert_rows(
+            "products",
+            [
+                (
+                    product.product_id,
+                    product.mission,
+                    product.sensor,
+                    int(product.level),
+                    product.acquired,
+                    path,
+                    array_name,
+                    None,
+                )
+            ],
+        )
+        self.store.load_graph(product_to_rdf(product))
+        if not lazy:
+            self.materialize_array(product)
+        return product
+
+    def ingest_directory(
+        self, directory: str, lazy: bool = True
+    ) -> IngestionReport:
+        """Ingest every ``.nat`` scene in a directory (sorted)."""
+        report = IngestionReport()
+        before = len(self.store)
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".nat"):
+                continue
+            product = self.ingest_file(
+                os.path.join(directory, name), lazy=lazy
+            )
+            report.products.append(product)
+            report.array_names.append(f"scene_{product.product_id}")
+        report.metadata_triples = len(self.store) - before
+        return report
+
+    def materialize_array(self, product: Product) -> SciArray:
+        """Fetch the product's pixel array (vault ingestion on first call)
+        and register it in the database catalog."""
+        array_name = f"scene_{product.product_id}"
+        if self.db.catalog.has_array(array_name):
+            return self.db.array(array_name)
+        array = self.vault.fetch(product.path)
+        registered = array.copy(array_name)
+        self.db.catalog.add_array(registered)
+        return registered
+
+    def product_by_id(self, product_id: str) -> Optional[Dict]:
+        rows = self.db.execute(
+            f"SELECT * FROM products WHERE product_id = '{product_id}'"
+        )
+        found = list(rows.dicts())
+        return found[0] if found else None
+
+
+def _product_id(path: str, acquired: datetime) -> str:
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return f"{stem}_{acquired:%Y%m%d%H%M}"

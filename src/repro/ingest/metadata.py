@@ -1,0 +1,83 @@
+"""Metadata extraction: EO products described in stRDF.
+
+Products are published with the NOA ontology vocabulary so that catalog
+queries like the paper's "find an image taken by a Meteosat second
+generation satellite on August 25, 2007 covering the Peloponnese" become
+single stSPARQL queries.
+"""
+
+from __future__ import annotations
+
+from repro.eo.products import Product
+from repro.rdf import Graph, Literal, URIRef
+from repro.rdf.namespace import NOA, RDF, XSD
+from repro.strabon.strdf import geometry_literal
+
+_TYPE = URIRef(str(RDF) + "type")
+
+#: Ready-to-paste prefix block for catalog queries.
+NOA_PREFIXES = (
+    "PREFIX noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+    "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+    "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n"
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+)
+
+
+def product_uri(product: Product) -> URIRef:
+    return URIRef(str(NOA) + "product/" + product.product_id)
+
+
+def product_to_rdf(product: Product) -> Graph:
+    """Describe one product as stRDF."""
+    g = Graph()
+    node = product_uri(product)
+    g.add((node, _TYPE, URIRef(str(NOA) + "Product")))
+    g.add(
+        (
+            node,
+            URIRef(str(NOA) + "hasProductId"),
+            Literal(product.product_id),
+        )
+    )
+    g.add((node, URIRef(str(NOA) + "hasMission"), Literal(product.mission)))
+    g.add((node, URIRef(str(NOA) + "hasSensor"), Literal(product.sensor)))
+    g.add(
+        (
+            node,
+            URIRef(str(NOA) + "hasProcessingLevel"),
+            Literal(int(product.level)),
+        )
+    )
+    g.add(
+        (
+            node,
+            URIRef(str(NOA) + "hasAcquisitionTime"),
+            Literal(
+                product.acquired.isoformat(),
+                datatype=str(XSD) + "dateTime",
+            ),
+        )
+    )
+    g.add(
+        (
+            node,
+            URIRef(str(NOA) + "hasGeometry"),
+            geometry_literal(product.extent),
+        )
+    )
+    if product.path:
+        g.add(
+            (node, URIRef(str(NOA) + "hasFile"), Literal(product.path))
+        )
+    if product.parent_id:
+        g.add(
+            (
+                node,
+                URIRef(str(NOA) + "isDerivedFrom"),
+                URIRef(str(NOA) + "product/" + product.parent_id),
+            )
+        )
+    for key, value in sorted(product.metadata.items()):
+        g.add((node, URIRef(str(NOA) + key), Literal(value)))
+    return g

@@ -1,0 +1,64 @@
+"""A MonetDB-style column store with SQL, SciQL arrays and Data Vaults.
+
+The database tier of the Virtual Earth Observatory (paper §3, Figure 2):
+
+* column-at-a-time storage and execution on BATs (:mod:`repro.mdb.bat`),
+* a SQL subset (:mod:`repro.mdb.sql`) covering DDL, DML and analytical
+  SELECTs with joins, grouping and ordering,
+* SciQL arrays — multi-dimensional arrays as first-class query objects
+  (:mod:`repro.mdb.sciql`),
+* Data Vaults — just-in-time, format-aware ingestion of external
+  scientific files (:mod:`repro.mdb.datavault`).
+
+Quick example::
+
+    from repro.mdb import Database
+
+    db = Database()
+    db.execute("CREATE TABLE products (id INT, name STRING, level INT)")
+    db.execute("INSERT INTO products VALUES (1, 'MSG1-L1', 1)")
+    result = db.execute("SELECT name FROM products WHERE level = 1")
+    assert result.rows() == [("MSG1-L1",)]
+"""
+
+from repro.mdb.errors import (
+    CatalogError,
+    ExecutionError,
+    MDBError,
+    SQLSyntaxError,
+    SQLTypeError,
+)
+from repro.mdb.bat import BAT
+from repro.mdb.types import (
+    BOOL,
+    DOUBLE,
+    INT,
+    STRING,
+    TIMESTAMP,
+    ColumnType,
+)
+from repro.mdb.table import Column, Table
+from repro.mdb.catalog import Catalog
+from repro.mdb.database import Database, Result
+from repro.mdb.sciql import SciArray
+
+__all__ = [
+    "BAT",
+    "BOOL",
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "ColumnType",
+    "DOUBLE",
+    "Database",
+    "ExecutionError",
+    "INT",
+    "MDBError",
+    "Result",
+    "SQLSyntaxError",
+    "SQLTypeError",
+    "SciArray",
+    "STRING",
+    "Table",
+    "TIMESTAMP",
+]

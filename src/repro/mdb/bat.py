@@ -1,0 +1,144 @@
+"""Binary Association Tables — MonetDB's column primitive.
+
+A BAT is logically a mapping from a dense object-id head (0..n-1) to a
+typed tail.  Here the head is implicit and the tail is a numpy array plus a
+validity mask; all bulk operators (select, take, arithmetic) work
+column-at-a-time, which is exactly the execution model the SQL layer
+compiles to.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.mdb.errors import ExecutionError
+from repro.mdb.types import ColumnType
+
+_GROWTH = 1.6
+_MIN_CAPACITY = 16
+
+
+class BAT:
+    """An append-only typed column with NULL support."""
+
+    def __init__(self, ctype: ColumnType, values: Optional[Iterable] = None):
+        self.ctype = ctype
+        self._data = ctype.empty_array(_MIN_CAPACITY)
+        self._valid = np.ones(_MIN_CAPACITY, dtype=bool)
+        self._size = 0
+        if values is not None:
+            self.extend(values)
+
+    # -- mutation ------------------------------------------------------------
+
+    def append(self, value: Any) -> None:
+        """Append one (possibly None) value."""
+        self._reserve(self._size + 1)
+        coerced = self.ctype.coerce(value)
+        if coerced is None:
+            self._valid[self._size] = False
+            # Keep a benign in-band filler for the numpy slot.
+            self._data[self._size] = self._filler()
+        else:
+            self._valid[self._size] = True
+            self._data[self._size] = coerced
+        self._size += 1
+
+    def extend(self, values: Iterable) -> None:
+        for v in values:
+            self.append(v)
+
+    def set(self, position: int, value: Any) -> None:
+        """Overwrite the value at ``position``."""
+        self._check_position(position)
+        coerced = self.ctype.coerce(value)
+        if coerced is None:
+            self._valid[position] = False
+            self._data[position] = self._filler()
+        else:
+            self._valid[position] = True
+            self._data[position] = coerced
+
+    def _filler(self) -> Any:
+        if self.ctype.dtype == np.dtype(object):
+            return None
+        return self.ctype.dtype.type(0)
+
+    def _reserve(self, needed: int) -> None:
+        cap = len(self._data)
+        if needed <= cap:
+            return
+        new_cap = max(int(cap * _GROWTH) + 1, needed, _MIN_CAPACITY)
+        data = self.ctype.empty_array(new_cap)
+        data[: self._size] = self._data[: self._size]
+        valid = np.ones(new_cap, dtype=bool)
+        valid[: self._size] = self._valid[: self._size]
+        self._data = data
+        self._valid = valid
+
+    def _check_position(self, position: int) -> None:
+        if not 0 <= position < self._size:
+            raise ExecutionError(
+                f"position {position} out of range [0, {self._size})"
+            )
+
+    # -- bulk access -------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The live tail as a numpy view (no copy)."""
+        return self._data[: self._size]
+
+    @property
+    def validity(self) -> np.ndarray:
+        """Boolean mask, False where the value is NULL."""
+        return self._valid[: self._size]
+
+    def get(self, position: int) -> Any:
+        """The Python value at ``position`` (None when NULL)."""
+        self._check_position(position)
+        if not self._valid[position]:
+            return None
+        value = self._data[position]
+        if isinstance(value, np.generic):
+            return value.item()
+        return value
+
+    def to_list(self) -> List[Any]:
+        return [self.get(i) for i in range(self._size)]
+
+    def take(self, positions: np.ndarray) -> "BAT":
+        """A new BAT with the rows at ``positions`` (MonetDB 'fetchjoin')."""
+        out = BAT(self.ctype)
+        n = len(positions)
+        out._reserve(n)
+        out._data[:n] = self._data[: self._size][positions]
+        out._valid[:n] = self._valid[: self._size][positions]
+        out._size = n
+        return out
+
+    def select_mask(self, mask: np.ndarray) -> np.ndarray:
+        """Positions where ``mask`` holds (a candidate list)."""
+        return np.nonzero(mask)[0]
+
+    def copy(self) -> "BAT":
+        out = BAT(self.ctype)
+        out._reserve(self._size)
+        out._data[: self._size] = self._data[: self._size]
+        out._valid[: self._size] = self._valid[: self._size]
+        out._size = self._size
+        return out
+
+    # -- protocol -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Any]:
+        for i in range(self._size):
+            yield self.get(i)
+
+    def __repr__(self) -> str:
+        return f"<BAT {self.ctype.name} n={self._size}>"

@@ -1,0 +1,110 @@
+"""The system catalog: tables, SciQL arrays and attached data vaults."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mdb.errors import CatalogError
+from repro.mdb.table import Table
+
+
+class Catalog:
+    """Name → object registry for one database instance."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+        self._arrays: Dict[str, "SciArray"] = {}  # noqa: F821
+        self._vaults: Dict[str, "DataVault"] = {}  # noqa: F821
+
+    # -- tables -------------------------------------------------------------
+
+    def add_table(self, table: Table) -> Table:
+        key = table.name
+        if key in self._tables or key in self._arrays:
+            raise CatalogError(f"relation {key!r} already exists")
+        self._tables[key] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def drop_table(self, name: str, if_exists: bool = False) -> bool:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return False
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[key]
+        return True
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    # -- arrays --------------------------------------------------------------
+
+    def add_array(self, array: "SciArray") -> "SciArray":  # noqa: F821
+        key = array.name
+        if key in self._arrays or key in self._tables:
+            raise CatalogError(f"relation {key!r} already exists")
+        self._arrays[key] = array
+        return array
+
+    def array(self, name: str) -> "SciArray":  # noqa: F821
+        try:
+            return self._arrays[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown array {name!r}") from None
+
+    def has_array(self, name: str) -> bool:
+        return name.lower() in self._arrays
+
+    def drop_array(self, name: str, if_exists: bool = False) -> bool:
+        key = name.lower()
+        if key not in self._arrays:
+            if if_exists:
+                return False
+            raise CatalogError(f"unknown array {name!r}")
+        del self._arrays[key]
+        return True
+
+    def array_names(self) -> List[str]:
+        return sorted(self._arrays)
+
+    # -- vaults ----------------------------------------------------------------
+
+    def attach_vault(self, vault: "DataVault") -> "DataVault":  # noqa: F821
+        if vault.name in self._vaults:
+            raise CatalogError(f"vault {vault.name!r} already attached")
+        self._vaults[vault.name] = vault
+        return vault
+
+    def vault(self, name: str) -> "DataVault":  # noqa: F821
+        try:
+            return self._vaults[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown vault {name!r}") from None
+
+    def vault_names(self) -> List[str]:
+        return sorted(self._vaults)
+
+    # -- generic ----------------------------------------------------------------
+
+    def relation(self, name: str):
+        """A table or array by name (tables win on conflict — impossible by
+        construction)."""
+        key = name.lower()
+        if key in self._tables:
+            return self._tables[key]
+        if key in self._arrays:
+            return self._arrays[key]
+        raise CatalogError(f"unknown relation {name!r}")
+
+    def has_relation(self, name: str) -> bool:
+        key = name.lower()
+        return key in self._tables or key in self._arrays

@@ -1,0 +1,168 @@
+"""Database facade and query results."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mdb.catalog import Catalog
+from repro.mdb.errors import ExecutionError
+from repro.mdb.sql.executor import Executor, Vector
+from repro.mdb.sql.parser import parse_script, parse_statement
+
+
+class Result:
+    """The outcome of a statement.
+
+    SELECTs carry named columns; DML statements carry ``rowcount``.
+    """
+
+    def __init__(
+        self,
+        names: Optional[List[str]] = None,
+        columns: Optional[List[Vector]] = None,
+        rowcount: int = 0,
+    ):
+        self.names = names or []
+        self._columns = columns or []
+        self.rowcount = rowcount
+
+    @classmethod
+    def affected(cls, count: int) -> "Result":
+        return cls(rowcount=count)
+
+    @property
+    def is_query(self) -> bool:
+        return bool(self.names)
+
+    def __len__(self) -> int:
+        if not self._columns:
+            return 0
+        return len(self._columns[0][0])
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """All result rows as Python tuples (NULL → None)."""
+        n = len(self)
+        out = []
+        for i in range(n):
+            out.append(
+                tuple(
+                    self._value(col, i) for col in self._columns
+                )
+            )
+        return out
+
+    @staticmethod
+    def _value(col: Vector, i: int):
+        data, valid = col
+        if not valid[i]:
+            return None
+        value = data[i]
+        if isinstance(value, np.generic):
+            return value.item()
+        return value
+
+    def column(self, name: str) -> List[Any]:
+        """One column's values by result name."""
+        try:
+            index = self.names.index(name)
+        except ValueError:
+            raise ExecutionError(
+                f"no result column {name!r}; have {self.names}"
+            ) from None
+        col = self._columns[index]
+        return [self._value(col, i) for i in range(len(self))]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.names) != 1 or len(self) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.names)}x{len(self)}"
+            )
+        return self._value(self._columns[0], 0)
+
+    def dicts(self) -> Iterator[Dict[str, Any]]:
+        for row in self.rows():
+            yield dict(zip(self.names, row))
+
+    def __repr__(self) -> str:
+        if self.is_query:
+            return f"<Result {self.names} rows={len(self)}>"
+        return f"<Result rowcount={self.rowcount}>"
+
+
+class Database:
+    """A MonetDB-style in-memory database instance.
+
+    The single public entry point is :meth:`execute`; convenience wrappers
+    (:meth:`query`, :meth:`scalar`) reduce boilerplate in application code.
+    """
+
+    def __init__(self):
+        self.catalog = Catalog()
+        self._executor = Executor(self.catalog)
+
+    def execute(self, sql: str) -> Result:
+        """Parse and execute one statement."""
+        return self._executor.execute(parse_statement(sql))
+
+    def execute_script(self, sql: str) -> List[Result]:
+        """Execute a ';'-separated script; returns one Result per statement."""
+        return [
+            self._executor.execute(stmt) for stmt in parse_script(sql)
+        ]
+
+    def query(self, sql: str) -> List[Tuple[Any, ...]]:
+        """Execute a SELECT and return its rows."""
+        result = self.execute(sql)
+        if not result.is_query:
+            raise ExecutionError("query() expects a SELECT statement")
+        return result.rows()
+
+    def scalar(self, sql: str) -> Any:
+        """Execute a SELECT returning one value."""
+        return self.execute(sql).scalar()
+
+    def insert_rows(
+        self, table_name: str, rows: Sequence[Sequence[Any]]
+    ) -> int:
+        """Fast-path bulk insert bypassing the SQL parser."""
+        table = self.catalog.table(table_name)
+        return table.insert_rows(rows)
+
+    # -- persistence --------------------------------------------------------
+
+    def dump(self, directory: str) -> None:
+        """Persist every table and array under ``directory``."""
+        from repro.mdb.persistence import dump_database
+
+        dump_database(self, directory)
+
+    @classmethod
+    def load(cls, directory: str) -> "Database":
+        """Rebuild a database from a :meth:`dump` directory."""
+        from repro.mdb.persistence import load_database
+
+        return load_database(directory)
+
+    # -- convenience -------------------------------------------------------
+
+    def table(self, name: str):
+        return self.catalog.table(name)
+
+    def array(self, name: str):
+        return self.catalog.array(name)
+
+    def tables(self) -> List[str]:
+        return self.catalog.table_names()
+
+    def arrays(self) -> List[str]:
+        return self.catalog.array_names()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Database tables={self.catalog.table_names()} "
+            f"arrays={self.catalog.array_names()}>"
+        )

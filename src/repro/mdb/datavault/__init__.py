@@ -1,0 +1,17 @@
+"""Data Vaults: a symbiosis of DBMS and scientific file repositories.
+
+Implements the design of Ivanova, Kersten & Manegold (SSDBM 2012, cited as
+[6] in the paper): the DBMS keeps a *catalog* of external files together
+with the knowledge of how to convert each format into tables or arrays,
+and performs the conversion lazily — just in time, when a query first
+touches a file — caching the result for later queries.
+"""
+
+from repro.mdb.datavault.vault import (
+    DataVault,
+    FormatHandler,
+    VaultEntry,
+    VaultError,
+)
+
+__all__ = ["DataVault", "FormatHandler", "VaultEntry", "VaultError"]

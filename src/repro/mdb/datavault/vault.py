@@ -1,0 +1,215 @@
+"""The Data Vault implementation."""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.mdb.errors import MDBError
+from repro.mdb.sciql import SciArray
+
+
+class VaultError(MDBError):
+    """Raised for vault-level failures (unknown formats, missing files)."""
+
+
+class FormatHandler:
+    """Teaches the vault one external file format.
+
+    ``probe`` decides (cheaply) whether a file belongs to this format;
+    ``read_metadata`` extracts the header without touching the payload;
+    ``ingest`` converts the payload into a :class:`SciArray`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        probe: Callable[[str], bool],
+        read_metadata: Callable[[str], Dict[str, Any]],
+        ingest: Callable[[str], SciArray],
+    ):
+        self.name = name
+        self.probe = probe
+        self.read_metadata = read_metadata
+        self.ingest = ingest
+
+    def __repr__(self) -> str:
+        return f"FormatHandler({self.name!r})"
+
+
+class VaultEntry:
+    """One external file known to the vault."""
+
+    def __init__(self, path: str, handler: FormatHandler):
+        self.path = path
+        self.handler = handler
+        self.metadata: Dict[str, Any] = {}
+        self.cached: Optional[SciArray] = None
+        self.ingest_count = 0
+        self.last_access: Optional[float] = None
+
+    @property
+    def is_cached(self) -> bool:
+        return self.cached is not None
+
+    def __repr__(self) -> str:
+        state = "cached" if self.is_cached else "cold"
+        return f"<VaultEntry {self.path} [{self.handler.name}] {state}>"
+
+
+class DataVault:
+    """A catalog of external files with just-in-time ingestion.
+
+    Typical life cycle::
+
+        vault = DataVault("seviri")
+        vault.register_format(seviri_format_handler())
+        vault.attach_directory("/archive/msg")   # catalogs, reads headers
+        array = vault.fetch("/archive/msg/scene_001.nat")  # lazy ingest
+    """
+
+    def __init__(self, name: str, cache_limit: Optional[int] = None):
+        self.name = name.lower()
+        self.cache_limit = cache_limit
+        self._handlers: List[FormatHandler] = []
+        self._entries: Dict[str, VaultEntry] = {}
+        self.stats = {
+            "files_cataloged": 0,
+            "ingests": 0,
+            "cache_hits": 0,
+            "evictions": 0,
+        }
+
+    # -- format registry ----------------------------------------------------
+
+    def register_format(self, handler: FormatHandler) -> FormatHandler:
+        if any(h.name == handler.name for h in self._handlers):
+            raise VaultError(f"format {handler.name!r} already registered")
+        self._handlers.append(handler)
+        return handler
+
+    def formats(self) -> List[str]:
+        return [h.name for h in self._handlers]
+
+    def _handler_for(self, path: str) -> FormatHandler:
+        for handler in self._handlers:
+            if handler.probe(path):
+                return handler
+        raise VaultError(f"no registered format recognises {path!r}")
+
+    # -- cataloging ------------------------------------------------------------
+
+    def attach_file(self, path: str) -> VaultEntry:
+        """Catalog one external file: resolve its format, read metadata."""
+        if path in self._entries:
+            return self._entries[path]
+        if not os.path.exists(path):
+            raise VaultError(f"file not found: {path!r}")
+        handler = self._handler_for(path)
+        entry = VaultEntry(path, handler)
+        entry.metadata = handler.read_metadata(path)
+        self._entries[path] = entry
+        self.stats["files_cataloged"] += 1
+        return entry
+
+    def attach_directory(
+        self, directory: str, pattern: str = "*"
+    ) -> List[VaultEntry]:
+        """Catalog every matching file in ``directory`` (sorted order)."""
+        if not os.path.isdir(directory):
+            raise VaultError(f"not a directory: {directory!r}")
+        entries = []
+        for name in sorted(os.listdir(directory)):
+            if not fnmatch.fnmatch(name, pattern):
+                continue
+            path = os.path.join(directory, name)
+            if not os.path.isfile(path):
+                continue
+            try:
+                entries.append(self.attach_file(path))
+            except VaultError:
+                continue  # unrecognised files are skipped, not fatal
+        return entries
+
+    # -- access ---------------------------------------------------------------
+
+    def entries(self) -> List[VaultEntry]:
+        return list(self._entries.values())
+
+    def entry(self, path: str) -> VaultEntry:
+        try:
+            return self._entries[path]
+        except KeyError:
+            raise VaultError(f"file not cataloged: {path!r}") from None
+
+    def search(self, **criteria: Any) -> Iterator[VaultEntry]:
+        """Entries whose metadata matches all ``key=value`` criteria."""
+        for entry in self._entries.values():
+            if all(
+                entry.metadata.get(key) == value
+                for key, value in criteria.items()
+            ):
+                yield entry
+
+    def fetch(self, path: str) -> SciArray:
+        """The file's array — ingesting it on first access (lazy)."""
+        entry = self.entry(path)
+        entry.last_access = time.monotonic()
+        if entry.cached is not None:
+            self.stats["cache_hits"] += 1
+            return entry.cached
+        entry.cached = entry.handler.ingest(path)
+        entry.ingest_count += 1
+        self.stats["ingests"] += 1
+        self._enforce_cache_limit(keep=entry)
+        return entry.cached
+
+    def ingest_all(self) -> int:
+        """Eagerly ingest every cataloged file (the ETL strawman that the
+        vault design argues against; used as the baseline in bench A2)."""
+        count = 0
+        for path in list(self._entries):
+            entry = self._entries[path]
+            if entry.cached is None:
+                self.fetch(path)
+                count += 1
+        return count
+
+    def evict(self, path: str) -> bool:
+        """Drop a cached array; the file stays cataloged."""
+        entry = self.entry(path)
+        if entry.cached is None:
+            return False
+        entry.cached = None
+        self.stats["evictions"] += 1
+        return True
+
+    def _enforce_cache_limit(self, keep: VaultEntry) -> None:
+        if self.cache_limit is None:
+            return
+        cached = [e for e in self._entries.values() if e.is_cached]
+        if len(cached) <= self.cache_limit:
+            return
+        cached.sort(key=lambda e: e.last_access or 0.0)
+        for entry in cached:
+            if entry is keep:
+                continue
+            entry.cached = None
+            self.stats["evictions"] += 1
+            if sum(e.is_cached for e in self._entries.values()) <= self.cache_limit:
+                return
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for e in self._entries.values() if e.is_cached)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DataVault {self.name}: {len(self)} files, "
+            f"{self.cached_count} cached>"
+        )

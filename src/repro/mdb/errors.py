@@ -1,0 +1,21 @@
+"""Exception hierarchy of the mdb column store."""
+
+
+class MDBError(Exception):
+    """Base class of every mdb error."""
+
+
+class SQLSyntaxError(MDBError):
+    """The SQL/SciQL text could not be parsed."""
+
+
+class SQLTypeError(MDBError):
+    """A value or expression has the wrong type for its context."""
+
+
+class CatalogError(MDBError):
+    """Unknown or duplicate table/array/column names."""
+
+
+class ExecutionError(MDBError):
+    """A runtime failure while evaluating a statement."""

@@ -1,0 +1,179 @@
+"""Database persistence: dump/load a whole instance to a directory.
+
+MonetDB persists its BATs to disk; this module does the moral equivalent
+for :class:`~repro.mdb.database.Database` — one ``.npz`` per relation
+(column data + validity masks) plus a JSON catalog manifest.  Object
+columns (strings, timestamps) are stored as JSON-encoded string arrays.
+
+Layout::
+
+    <directory>/
+      manifest.json
+      table_<name>.npz
+      array_<name>.npz
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.mdb.database import Database
+from repro.mdb.errors import MDBError
+from repro.mdb.sciql import Dimension, SciArray
+from repro.mdb.table import Column, Table
+from repro.mdb.types import ColumnType, type_by_name
+
+_FORMAT_VERSION = 1
+
+
+class PersistenceError(MDBError):
+    """Raised for unreadable or incompatible dump directories."""
+
+
+def _encode_object_column(values, valid) -> np.ndarray:
+    """Object column → JSON-string array (None for NULLs)."""
+    out = np.empty(len(values), dtype=object)
+    for i, (value, ok) in enumerate(zip(values, valid)):
+        if not ok:
+            out[i] = ""
+            continue
+        if isinstance(value, datetime):
+            out[i] = json.dumps({"t": value.isoformat()})
+        else:
+            out[i] = json.dumps(value)
+    return out.astype(str)
+
+
+def _decode_object_cell(text: str, ctype: ColumnType):
+    doc = json.loads(text)
+    if isinstance(doc, dict) and "t" in doc:
+        return datetime.fromisoformat(doc["t"])
+    return ctype.coerce(doc)
+
+
+def dump_database(db: Database, directory: str) -> None:
+    """Write the whole database (tables + arrays) under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    manifest: Dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "tables": [],
+        "arrays": [],
+    }
+    for name in db.tables():
+        table = db.table(name)
+        manifest["tables"].append(
+            {
+                "name": name,
+                "columns": [
+                    {"name": c.name, "type": c.ctype.name}
+                    for c in table.columns
+                ],
+                "rows": len(table),
+            }
+        )
+        payload: Dict[str, np.ndarray] = {}
+        for column in table.columns:
+            bat = table.column(column.name)
+            data = bat.values
+            valid = bat.validity
+            if data.dtype == np.dtype(object):
+                payload[f"data_{column.name}"] = _encode_object_column(
+                    data, valid
+                )
+            else:
+                payload[f"data_{column.name}"] = data
+            payload[f"valid_{column.name}"] = valid
+        np.savez(os.path.join(directory, f"table_{name}.npz"), **payload)
+    for name in db.arrays():
+        array = db.array(name)
+        manifest["arrays"].append(
+            {
+                "name": name,
+                "dimensions": [
+                    {"name": d.name, "start": d.start, "stop": d.stop}
+                    for d in array.dimensions
+                ],
+                "attributes": [
+                    {"name": n, "type": t.name}
+                    for n, t in array.attributes
+                ],
+            }
+        )
+        payload = {}
+        for attr, ctype in array.attributes:
+            plane = array.attribute(attr)
+            if plane.dtype == np.dtype(object):
+                raise PersistenceError(
+                    f"array {name!r} attribute {attr!r} has object "
+                    "storage; only numeric/boolean arrays are dumpable"
+                )
+            payload[f"attr_{attr}"] = plane
+        np.savez(os.path.join(directory, f"array_{name}.npz"), **payload)
+    with open(os.path.join(directory, "manifest.json"), "w") as f:
+        json.dump(manifest, f, indent=2)
+
+
+def load_database(directory: str) -> Database:
+    """Rebuild a database from a :func:`dump_database` directory."""
+    manifest_path = os.path.join(directory, "manifest.json")
+    if not os.path.exists(manifest_path):
+        raise PersistenceError(f"no manifest.json in {directory!r}")
+    with open(manifest_path) as f:
+        manifest = json.load(f)
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported dump format {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    db = Database()
+    for spec in manifest["tables"]:
+        columns = [
+            Column(c["name"], type_by_name(c["type"]))
+            for c in spec["columns"]
+        ]
+        table = Table(spec["name"], columns)
+        archive = np.load(
+            os.path.join(directory, f"table_{spec['name']}.npz"),
+            allow_pickle=False,
+        )
+        rows: List[List[Any]] = [
+            [None] * len(columns) for _ in range(spec["rows"])
+        ]
+        for j, column in enumerate(columns):
+            data = archive[f"data_{column.name}"]
+            valid = archive[f"valid_{column.name}"]
+            for i in range(spec["rows"]):
+                if not valid[i]:
+                    continue
+                if column.ctype.dtype == np.dtype(object):
+                    rows[i][j] = _decode_object_cell(
+                        str(data[i]), column.ctype
+                    )
+                else:
+                    rows[i][j] = data[i].item()
+        table.insert_rows(rows)
+        db.catalog.add_table(table)
+    for spec in manifest["arrays"]:
+        dims = [
+            Dimension(d["name"], d["start"], d["stop"])
+            for d in spec["dimensions"]
+        ]
+        attrs = [
+            (a["name"], type_by_name(a["type"]))
+            for a in spec["attributes"]
+        ]
+        array = SciArray(spec["name"], dims, attrs)
+        archive = np.load(
+            os.path.join(directory, f"array_{spec['name']}.npz"),
+            allow_pickle=False,
+        )
+        for attr_name, _ in attrs:
+            array.set_attribute(attr_name, archive[f"attr_{attr_name}"])
+        db.catalog.add_array(array)
+    return db

@@ -1,0 +1,403 @@
+"""SciQL: multi-dimensional arrays as first-class query objects.
+
+The paper's SciQL layer ([9] Zhang et al., IDEAS 2011) lets satellite
+images live *inside* the database as arrays that can be queried next to
+relational tables.  This module provides:
+
+* :class:`SciArray` — a named dense array with integer dimensions and one
+  or more typed attributes (cell payloads), created through SQL
+  (``CREATE ARRAY msg (x INT DIMENSION [0:512], y INT DIMENSION [0:512],
+  v DOUBLE DEFAULT 0.0)``) or the Python API;
+* relational access — any array can appear in a ``FROM`` clause; it is
+  exposed as a table with one row per cell (dimension columns + attribute
+  columns);
+* array-native bulk operators used by the NOA processing chain: slicing
+  (cropping), tiled aggregation (resampling), cell mapping and masked
+  updates, all executing directly on numpy storage;
+* ``UPDATE array SET attr = expr WHERE ...`` — evaluated vectorised over
+  the cells, the SciQL idiom for pixel classification.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mdb.errors import CatalogError, ExecutionError, SQLTypeError
+from repro.mdb.sql import ast
+from repro.mdb.types import ColumnType, type_by_name
+
+
+class Dimension:
+    """A dense integer dimension ``[start, stop)``."""
+
+    def __init__(self, name: str, start: int, stop: int):
+        if stop <= start:
+            raise SQLTypeError(
+                f"dimension {name!r} range [{start}:{stop}] is empty"
+            )
+        self.name = name.lower()
+        self.start = int(start)
+        self.stop = int(stop)
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def index_of(self, coordinate: int) -> int:
+        if not self.start <= coordinate < self.stop:
+            raise ExecutionError(
+                f"coordinate {coordinate} outside dimension "
+                f"{self.name} [{self.start}:{self.stop})"
+            )
+        return int(coordinate) - self.start
+
+    def __repr__(self) -> str:
+        return f"Dimension({self.name!r}, {self.start}, {self.stop})"
+
+
+class SciArray:
+    """A dense multi-dimensional array with named, typed attributes."""
+
+    def __init__(
+        self,
+        name: str,
+        dimensions: Sequence[Dimension],
+        attributes: Sequence[Tuple[str, ColumnType]],
+        defaults: Optional[Sequence[Any]] = None,
+    ):
+        if not dimensions:
+            raise SQLTypeError("an array needs at least one dimension")
+        if not attributes:
+            raise SQLTypeError("an array needs at least one attribute")
+        self.name = name.lower()
+        self.dimensions: List[Dimension] = list(dimensions)
+        self.attributes: List[Tuple[str, ColumnType]] = [
+            (n.lower(), t) for n, t in attributes
+        ]
+        names = [d.name for d in self.dimensions] + [
+            n for n, _ in self.attributes
+        ]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in array {name!r}")
+        defaults = list(defaults or [None] * len(self.attributes))
+        self._values: Dict[str, np.ndarray] = {}
+        for (attr_name, ctype), default in zip(self.attributes, defaults):
+            fill = ctype.coerce(default) if default is not None else (
+                None if ctype.dtype == np.dtype(object) else ctype.dtype.type(0)
+            )
+            arr = np.full(self.shape, fill, dtype=ctype.dtype)
+            self._values[attr_name] = arr
+
+    @classmethod
+    def from_ast(cls, stmt: ast.CreateArray) -> "SciArray":
+        dims = [
+            Dimension(d.name, d.start, d.stop) for d in stmt.dimensions
+        ]
+        attrs = [
+            (c.name, type_by_name(c.type_name)) for c in stmt.attributes
+        ]
+        return cls(stmt.name, dims, attrs, stmt.defaults)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(d.size for d in self.dimensions)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def cell_count(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def column_names(self) -> List[str]:
+        return [d.name for d in self.dimensions] + [
+            n for n, _ in self.attributes
+        ]
+
+    def dimension(self, name: str) -> Dimension:
+        for d in self.dimensions:
+            if d.name == name.lower():
+                return d
+        raise CatalogError(f"no dimension {name!r} in array {self.name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return name.lower() in self._values
+
+    def attribute(self, name: str) -> np.ndarray:
+        """Direct numpy access to an attribute plane (no copy)."""
+        try:
+            return self._values[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no attribute {name!r} in array {self.name!r}"
+            ) from None
+
+    def attribute_type(self, name: str) -> ColumnType:
+        for n, t in self.attributes:
+            if n == name.lower():
+                return t
+        raise CatalogError(f"no attribute {name!r} in array {self.name!r}")
+
+    def add_attribute(
+        self, name: str, ctype: ColumnType, default: Any = None
+    ) -> "SciArray":
+        """Add a new attribute plane (SciQL ``ALTER ARRAY ... ADD``)."""
+        name = name.lower()
+        if name in self._values or any(
+            d.name == name for d in self.dimensions
+        ):
+            raise CatalogError(
+                f"column {name!r} already exists in array {self.name!r}"
+            )
+        self.attributes.append((name, ctype))
+        fill = ctype.coerce(default) if default is not None else (
+            None if ctype.dtype == np.dtype(object) else ctype.dtype.type(0)
+        )
+        self._values[name] = np.full(self.shape, fill, dtype=ctype.dtype)
+        return self
+
+    def set_attribute(self, name: str, values: np.ndarray) -> None:
+        """Replace an attribute plane (shape-checked)."""
+        values = np.asarray(values)
+        if values.shape != self.shape:
+            raise ExecutionError(
+                f"shape mismatch: array is {self.shape}, got {values.shape}"
+            )
+        ctype = self.attribute_type(name)
+        self._values[name.lower()] = values.astype(ctype.dtype, copy=True)
+
+    # -- cell access ------------------------------------------------------------
+
+    def get(self, coords: Sequence[int], attr: Optional[str] = None) -> Any:
+        """One cell's attribute value at dimension coordinates."""
+        attr_name = attr.lower() if attr else self.attributes[0][0]
+        index = tuple(
+            d.index_of(c) for d, c in zip(self.dimensions, coords)
+        )
+        value = self._values[attr_name][index]
+        if isinstance(value, np.generic):
+            return value.item()
+        return value
+
+    def set(
+        self, coords: Sequence[int], value: Any, attr: Optional[str] = None
+    ) -> None:
+        attr_name = attr.lower() if attr else self.attributes[0][0]
+        ctype = self.attribute_type(attr_name)
+        index = tuple(
+            d.index_of(c) for d, c in zip(self.dimensions, coords)
+        )
+        self._values[attr_name][index] = ctype.coerce(value)
+
+    # -- array-native operators (the SciQL idioms) ---------------------------------
+
+    def slice(self, **ranges: Tuple[int, int]) -> "SciArray":
+        """Subarray restricted to ``dim=(start, stop)`` windows (cropping).
+
+        Dimension coordinates are preserved, so a crop of the Peloponnese
+        window keeps its grid georeference.
+        """
+        slices = []
+        new_dims = []
+        for d in self.dimensions:
+            if d.name in ranges:
+                lo, hi = ranges[d.name]
+                lo = max(lo, d.start)
+                hi = min(hi, d.stop)
+                if hi <= lo:
+                    raise ExecutionError(
+                        f"empty slice for dimension {d.name!r}"
+                    )
+                slices.append(slice(lo - d.start, hi - d.start))
+                new_dims.append(Dimension(d.name, lo, hi))
+            else:
+                slices.append(slice(None))
+                new_dims.append(Dimension(d.name, d.start, d.stop))
+        unknown = set(ranges) - {d.name for d in self.dimensions}
+        if unknown:
+            raise CatalogError(f"unknown dimensions {sorted(unknown)}")
+        out = SciArray(
+            f"{self.name}_slice", new_dims, self.attributes
+        )
+        for attr_name, _ in self.attributes:
+            out._values[attr_name] = self._values[attr_name][
+                tuple(slices)
+            ].copy()
+        return out
+
+    def map(
+        self, fn: Callable[[np.ndarray], np.ndarray],
+        attr: Optional[str] = None,
+        out_attr: Optional[str] = None,
+    ) -> "SciArray":
+        """Apply a vectorised function to one attribute plane in place
+        (or into ``out_attr``)."""
+        source = attr.lower() if attr else self.attributes[0][0]
+        target = (out_attr or source).lower()
+        ctype = self.attribute_type(target)
+        result = np.asarray(fn(self._values[source]))
+        if result.shape != self.shape:
+            raise ExecutionError(
+                "map function changed the array shape "
+                f"({self.shape} -> {result.shape})"
+            )
+        self._values[target] = result.astype(ctype.dtype)
+        return self
+
+    def fill(self, value: Any, attr: Optional[str] = None) -> "SciArray":
+        name = attr.lower() if attr else self.attributes[0][0]
+        ctype = self.attribute_type(name)
+        self._values[name][...] = ctype.coerce(value)
+        return self
+
+    def tile_aggregate(
+        self,
+        tile: Sequence[int],
+        func: str = "mean",
+        attr: Optional[str] = None,
+    ) -> "SciArray":
+        """Aggregate non-overlapping tiles — SciQL's structural grouping.
+
+        ``tile`` gives the tile size per dimension; the result array has
+        one cell per tile (truncated at the edges).  ``func`` is one of
+        mean/sum/min/max.  This is the resampling primitive of the NOA
+        chain.
+        """
+        attr_name = attr.lower() if attr else self.attributes[0][0]
+        if len(tile) != self.ndim:
+            raise ExecutionError(
+                f"tile needs {self.ndim} sizes, got {len(tile)}"
+            )
+        data = self._values[attr_name]
+        trimmed_shape = [
+            (s // t) * t for s, t in zip(self.shape, tile)
+        ]
+        if any(s == 0 for s in trimmed_shape):
+            raise ExecutionError("tile larger than the array")
+        trimmed = data[tuple(slice(0, s) for s in trimmed_shape)]
+        # Reshape to (n0, t0, n1, t1, ...) and reduce the tile axes.
+        new_shape: List[int] = []
+        for s, t in zip(trimmed_shape, tile):
+            new_shape.extend([s // t, t])
+        reshaped = trimmed.reshape(new_shape)
+        axes = tuple(range(1, 2 * self.ndim, 2))
+        reducers = {
+            "mean": np.mean,
+            "sum": np.sum,
+            "min": np.min,
+            "max": np.max,
+        }
+        try:
+            reducer = reducers[func]
+        except KeyError:
+            raise ExecutionError(f"unknown tile aggregate {func!r}") from None
+        reduced = reducer(reshaped.astype(float), axis=axes)
+        dims = [
+            Dimension(d.name, 0, s // t)
+            for d, s, t in zip(self.dimensions, trimmed_shape, tile)
+        ]
+        out = SciArray(
+            f"{self.name}_{func}",
+            dims,
+            [(attr_name, self.attribute_type(attr_name))],
+        )
+        out._values[attr_name] = reduced.astype(
+            out.attribute_type(attr_name).dtype
+        )
+        return out
+
+    def count_where(
+        self, predicate: Callable[[np.ndarray], np.ndarray],
+        attr: Optional[str] = None,
+    ) -> int:
+        """Number of cells whose attribute satisfies ``predicate``."""
+        name = attr.lower() if attr else self.attributes[0][0]
+        return int(np.count_nonzero(predicate(self._values[name])))
+
+    # -- relational view -----------------------------------------------------------
+
+    def to_frame(self, binding: str):
+        """Expose the array as a relational frame (one row per cell)."""
+        from repro.mdb.sql.executor import Frame
+
+        n = self.cell_count
+        frame = Frame(n)
+        grids = np.meshgrid(
+            *[np.arange(d.start, d.stop) for d in self.dimensions],
+            indexing="ij",
+        )
+        for d, grid in zip(self.dimensions, grids):
+            frame.add_column(
+                binding,
+                d.name,
+                (grid.reshape(-1).astype(np.int64), np.ones(n, dtype=bool)),
+            )
+        for attr_name, ctype in self.attributes:
+            data = self._values[attr_name].reshape(-1)
+            if ctype.dtype == np.dtype(object):
+                valid = np.fromiter(
+                    (v is not None for v in data), count=n, dtype=bool
+                )
+            else:
+                valid = np.ones(n, dtype=bool)
+            frame.add_column(binding, attr_name, (data, valid))
+        return frame
+
+    def copy(self, name: Optional[str] = None) -> "SciArray":
+        out = SciArray(
+            name or self.name,
+            [Dimension(d.name, d.start, d.stop) for d in self.dimensions],
+            self.attributes,
+        )
+        for attr_name, _ in self.attributes:
+            out._values[attr_name] = self._values[attr_name].copy()
+        return out
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{d.name}[{d.start}:{d.stop}]" for d in self.dimensions
+        )
+        attrs = ", ".join(f"{n} {t.name}" for n, t in self.attributes)
+        return f"<SciArray {self.name}({dims}; {attrs})>"
+
+
+def update_array(array: SciArray, stmt: ast.Update) -> int:
+    """Execute ``UPDATE array SET attr = expr [WHERE cond]`` vectorised.
+
+    The WHERE clause and assignment expressions are evaluated over the
+    flattened cell frame with the standard SQL evaluator, then scattered
+    back into the numpy planes — this is the SciQL classification idiom
+    (`UPDATE msg SET hotspot = 1 WHERE t34 > 310`).
+    """
+    from repro.mdb.sql.executor import Evaluator, _bool_mask
+
+    frame = array.to_frame(array.name)
+    evaluator = Evaluator(frame)
+    if stmt.where is not None:
+        mask = _bool_mask(evaluator.eval(stmt.where))
+    else:
+        mask = np.ones(frame.nrows, dtype=bool)
+    if not mask.any():
+        return 0
+    for attr_name, expr in stmt.assignments:
+        ctype = array.attribute_type(attr_name)
+        data, valid = evaluator.eval(expr)
+        plane = array.attribute(attr_name).reshape(-1)
+        selected = mask & valid
+        if data.dtype == object:
+            coerced = np.asarray(
+                [
+                    ctype.coerce(v) if ok else None
+                    for v, ok in zip(data[selected], valid[selected])
+                ]
+            )
+            plane[selected] = coerced
+        else:
+            plane[selected] = data[selected].astype(plane.dtype)
+    return int(mask.sum())

@@ -1,0 +1,18 @@
+"""SQL front end of the mdb column store.
+
+Pipeline: :mod:`lexer` → :mod:`parser` (producing :mod:`ast` nodes) →
+:mod:`executor` (column-at-a-time evaluation).  SciQL's array DDL and the
+array query rewrites live in :mod:`repro.mdb.sciql` but share this parser.
+"""
+
+from repro.mdb.sql.lexer import Token, tokenize
+from repro.mdb.sql.parser import parse_statement, parse_script
+from repro.mdb.sql.executor import Executor
+
+__all__ = [
+    "Executor",
+    "Token",
+    "parse_script",
+    "parse_statement",
+    "tokenize",
+]

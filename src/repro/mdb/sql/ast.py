@@ -1,0 +1,205 @@
+"""Abstract syntax tree node types for SQL/SciQL statements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+
+# -- expressions --------------------------------------------------------------
+
+
+class Expr:
+    """Base class of expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any  # int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # '-', 'NOT'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # arithmetic/comparison/logic/'||'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    name: str  # lower-case
+    args: Tuple[Expr, ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    operand: Expr
+    type_name: str
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    default: Optional[Expr] = None
+
+
+# -- relations ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    kind: str  # 'inner' | 'left' | 'cross'
+    table: TableRef
+    condition: Optional[Expr] = None
+
+
+# -- statements -------------------------------------------------------------------
+
+
+class Statement:
+    """Base class of statement nodes."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    items: Tuple[SelectItem, ...]
+    from_table: Optional[TableRef] = None
+    joins: Tuple[Join, ...] = ()
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class DimensionDef:
+    """A SciQL array dimension: ``name INT DIMENSION [start:stop]``."""
+
+    name: str
+    start: int
+    stop: int  # exclusive
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateArray(Statement):
+    name: str
+    dimensions: Tuple[DimensionDef, ...]
+    attributes: Tuple[ColumnDef, ...]
+    defaults: Tuple[Any, ...] = ()  # one per attribute (None = no default)
+
+
+@dataclass(frozen=True)
+class DropRelation(Statement):
+    name: str
+    kind: str  # 'table' | 'array'
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: Tuple[str, ...] = ()
+    rows: Tuple[Tuple[Expr, ...], ...] = ()
+    select: Optional[Select] = None
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None

@@ -1,0 +1,1040 @@
+"""Column-at-a-time SQL executor.
+
+Every expression evaluates to a *vector*: a ``(data, valid)`` pair of numpy
+arrays over the rows of the current frame — the same bulk-processing model
+MonetDB uses.  Joins are hash joins on extracted equality predicates with a
+nested-loop fallback; grouping hashes key tuples; ordering is a stable sort
+on the evaluated keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mdb.errors import (
+    CatalogError,
+    ExecutionError,
+    SQLTypeError,
+)
+from repro.mdb.sql import ast
+from repro.mdb.sql.functions import (
+    AGGREGATE_FUNCTIONS,
+    SCALAR_FUNCTIONS,
+    is_aggregate,
+)
+from repro.mdb.table import Column, Table
+from repro.mdb.types import type_by_name
+
+Vector = Tuple[np.ndarray, np.ndarray]
+
+
+class Frame:
+    """A set of named column vectors over the same row count.
+
+    Columns are keyed ``(binding, column_name)``; ``binding`` is the table
+    alias.  The insertion order of keys drives ``SELECT *`` expansion.
+    """
+
+    def __init__(self, nrows: int):
+        self.nrows = nrows
+        self.columns: Dict[Tuple[str, str], Vector] = {}
+
+    @classmethod
+    def from_table(cls, table: Table, binding: str) -> "Frame":
+        frame = cls(len(table))
+        for col in table.columns:
+            bat = table.column(col.name)
+            frame.columns[(binding, col.name)] = (
+                bat.values.copy(),
+                bat.validity.copy(),
+            )
+        return frame
+
+    def add_column(self, binding: str, name: str, vector: Vector) -> None:
+        self.columns[(binding, name)] = vector
+
+    def resolve(self, name: str, binding: Optional[str]) -> Vector:
+        if binding is not None:
+            try:
+                return self.columns[(binding, name)]
+            except KeyError:
+                raise CatalogError(
+                    f"unknown column {binding}.{name}"
+                ) from None
+        matches = [
+            key for key in self.columns if key[1] == name
+        ]
+        if not matches:
+            raise CatalogError(f"unknown column {name!r}")
+        if len(matches) > 1:
+            raise CatalogError(
+                f"ambiguous column {name!r} (bound by "
+                f"{sorted({m[0] for m in matches})})"
+            )
+        return self.columns[matches[0]]
+
+    def take(self, positions: np.ndarray) -> "Frame":
+        out = Frame(len(positions))
+        for key, (data, valid) in self.columns.items():
+            out.columns[key] = (data[positions], valid[positions])
+        return out
+
+    def bindings(self) -> List[str]:
+        seen: List[str] = []
+        for binding, _ in self.columns:
+            if binding not in seen:
+                seen.append(binding)
+        return seen
+
+
+def _broadcast_literal(value: Any, nrows: int) -> Vector:
+    if value is None:
+        return (
+            np.empty(nrows, dtype=object),
+            np.zeros(nrows, dtype=bool),
+        )
+    if isinstance(value, bool):
+        data = np.full(nrows, value, dtype=bool)
+    elif isinstance(value, int):
+        data = np.full(nrows, value, dtype=np.int64)
+    elif isinstance(value, float):
+        data = np.full(nrows, value, dtype=np.float64)
+    else:
+        data = np.empty(nrows, dtype=object)
+        data[:] = value
+    return data, np.ones(nrows, dtype=bool)
+
+
+def _is_numeric(arr: np.ndarray) -> bool:
+    return arr.dtype.kind in "ifb"
+
+
+def _bool_mask(vec: Vector) -> np.ndarray:
+    """Vector → WHERE mask (NULL counts as False)."""
+    data, valid = vec
+    if data.dtype == object:
+        truth = np.fromiter(
+            (bool(v) for v in data), count=len(data), dtype=bool
+        )
+    else:
+        truth = data.astype(bool)
+    return truth & valid
+
+
+def _like_to_matcher(pattern: str):
+    import re
+
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    # re.escape escapes % and _ as themselves (no-op) in Python 3.7+.
+    compiled = re.compile("^" + regex + "$", re.DOTALL)
+    return lambda s: compiled.match(str(s)) is not None
+
+
+class Evaluator:
+    """Evaluates expression ASTs over a :class:`Frame`."""
+
+    def __init__(self, frame: Frame):
+        self.frame = frame
+
+    def eval(self, expr: ast.Expr) -> Vector:
+        method = getattr(self, "_eval_" + type(expr).__name__.lower(), None)
+        if method is None:
+            raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr)
+
+    # -- leaves -------------------------------------------------------------
+
+    def _eval_literal(self, expr: ast.Literal) -> Vector:
+        return _broadcast_literal(expr.value, self.frame.nrows)
+
+    def _eval_columnref(self, expr: ast.ColumnRef) -> Vector:
+        return self.frame.resolve(expr.name, expr.table)
+
+    # -- operators --------------------------------------------------------------
+
+    def _eval_unaryop(self, expr: ast.UnaryOp) -> Vector:
+        data, valid = self.eval(expr.operand)
+        if expr.op == "-":
+            if _is_numeric(data):
+                return -data, valid
+            out = np.empty(len(data), dtype=object)
+            for i, v in enumerate(data):
+                out[i] = -v if valid[i] else None
+            return out, valid
+        if expr.op == "NOT":
+            mask = _bool_mask((data, valid))
+            return ~mask, np.ones(len(mask), dtype=bool)
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+
+    def _eval_binaryop(self, expr: ast.BinaryOp) -> Vector:
+        op = expr.op
+        if op in ("AND", "OR"):
+            left = _bool_mask(self.eval(expr.left))
+            right = _bool_mask(self.eval(expr.right))
+            out = (left & right) if op == "AND" else (left | right)
+            return out, np.ones(len(out), dtype=bool)
+        ldata, lvalid = self.eval(expr.left)
+        rdata, rvalid = self.eval(expr.right)
+        valid = lvalid & rvalid
+        if op == "||":
+            out = np.empty(len(ldata), dtype=object)
+            for i in range(len(ldata)):
+                out[i] = (
+                    f"{ldata[i]}{rdata[i]}" if valid[i] else None
+                )
+            return out, valid
+        if op in ("+", "-", "*", "/", "%"):
+            return self._arith(op, ldata, rdata, valid)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return self._compare(op, ldata, rdata, valid)
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    def _arith(
+        self, op: str, ldata: np.ndarray, rdata: np.ndarray, valid: np.ndarray
+    ) -> Vector:
+        if _is_numeric(ldata) and _is_numeric(rdata):
+            with np.errstate(all="ignore"):
+                if op == "+":
+                    out = ldata + rdata
+                elif op == "-":
+                    out = ldata - rdata
+                elif op == "*":
+                    out = ldata * rdata
+                elif op == "/":
+                    denom_zero = rdata == 0
+                    if ldata.dtype.kind == "i" and rdata.dtype.kind == "i":
+                        safe = np.where(denom_zero, 1, rdata)
+                        out = ldata // safe
+                    else:
+                        safe = np.where(denom_zero, 1.0, rdata)
+                        out = ldata / safe
+                    valid = valid & ~denom_zero
+                else:  # %
+                    denom_zero = rdata == 0
+                    safe = np.where(denom_zero, 1, rdata)
+                    out = ldata % safe
+                    valid = valid & ~denom_zero
+            return out, valid
+        # Fallback: elementwise Python (e.g. timestamps stored as objects).
+        out = np.empty(len(ldata), dtype=object)
+        for i in range(len(ldata)):
+            if not valid[i]:
+                out[i] = None
+                continue
+            a, b = ldata[i], rdata[i]
+            try:
+                if op == "+":
+                    out[i] = a + b
+                elif op == "-":
+                    out[i] = a - b
+                elif op == "*":
+                    out[i] = a * b
+                elif op == "/":
+                    out[i] = a / b
+                else:
+                    out[i] = a % b
+            except TypeError as exc:
+                raise SQLTypeError(str(exc)) from exc
+        return out, valid
+
+    def _compare(
+        self, op: str, ldata: np.ndarray, rdata: np.ndarray, valid: np.ndarray
+    ) -> Vector:
+        if _is_numeric(ldata) and _is_numeric(rdata):
+            if op == "=":
+                out = ldata == rdata
+            elif op == "<>":
+                out = ldata != rdata
+            elif op == "<":
+                out = ldata < rdata
+            elif op == "<=":
+                out = ldata <= rdata
+            elif op == ">":
+                out = ldata > rdata
+            else:
+                out = ldata >= rdata
+            return out, valid
+        out = np.zeros(len(ldata), dtype=bool)
+        for i in range(len(ldata)):
+            if not valid[i]:
+                continue
+            a, b = ldata[i], rdata[i]
+            try:
+                if op == "=":
+                    out[i] = a == b
+                elif op == "<>":
+                    out[i] = a != b
+                elif op == "<":
+                    out[i] = a < b
+                elif op == "<=":
+                    out[i] = a <= b
+                elif op == ">":
+                    out[i] = a > b
+                else:
+                    out[i] = a >= b
+            except TypeError:
+                raise SQLTypeError(
+                    f"cannot compare {type(a).__name__} with "
+                    f"{type(b).__name__}"
+                ) from None
+        return out, valid
+
+    # -- predicates ------------------------------------------------------------
+
+    def _eval_inlist(self, expr: ast.InList) -> Vector:
+        data, valid = self.eval(expr.operand)
+        hits = np.zeros(len(data), dtype=bool)
+        for item in expr.items:
+            idata, ivalid = self.eval(item)
+            item_vec = self._compare("=", data, idata, valid & ivalid)
+            hits |= _bool_mask(item_vec)
+        if expr.negated:
+            hits = ~hits & valid
+        return hits, np.ones(len(hits), dtype=bool)
+
+    def _eval_between(self, expr: ast.Between) -> Vector:
+        data, valid = self.eval(expr.operand)
+        low_d, low_v = self.eval(expr.low)
+        high_d, high_v = self.eval(expr.high)
+        ge = _bool_mask(self._compare(">=", data, low_d, valid & low_v))
+        le = _bool_mask(self._compare("<=", data, high_d, valid & high_v))
+        out = ge & le
+        if expr.negated:
+            out = ~out & valid
+        return out, np.ones(len(out), dtype=bool)
+
+    def _eval_isnull(self, expr: ast.IsNull) -> Vector:
+        _, valid = self.eval(expr.operand)
+        out = valid.copy() if expr.negated else ~valid
+        return out, np.ones(len(out), dtype=bool)
+
+    def _eval_like(self, expr: ast.Like) -> Vector:
+        data, valid = self.eval(expr.operand)
+        pdata, pvalid = self.eval(expr.pattern)
+        out = np.zeros(len(data), dtype=bool)
+        matcher_cache: Dict[str, Any] = {}
+        for i in range(len(data)):
+            if not (valid[i] and pvalid[i]):
+                continue
+            pattern = str(pdata[i])
+            matcher = matcher_cache.get(pattern)
+            if matcher is None:
+                matcher = _like_to_matcher(pattern)
+                matcher_cache[pattern] = matcher
+            out[i] = matcher(data[i])
+        if expr.negated:
+            out = ~out & valid
+        return out, np.ones(len(out), dtype=bool)
+
+    def _eval_cast(self, expr: ast.Cast) -> Vector:
+        data, valid = self.eval(expr.operand)
+        ctype = type_by_name(expr.type_name)
+        out = np.empty(len(data), dtype=object)
+        for i in range(len(data)):
+            out[i] = ctype.coerce(data[i]) if valid[i] else None
+        if ctype.dtype != np.dtype(object):
+            typed = ctype.empty_array(len(data))
+            for i in range(len(data)):
+                typed[i] = out[i] if valid[i] else ctype.dtype.type(0)
+            return typed, valid.copy()
+        return out, valid.copy()
+
+    def _eval_case(self, expr: ast.Case) -> Vector:
+        n = self.frame.nrows
+        out = np.empty(n, dtype=object)
+        valid = np.zeros(n, dtype=bool)
+        decided = np.zeros(n, dtype=bool)
+        for cond, value in expr.whens:
+            mask = _bool_mask(self.eval(cond)) & ~decided
+            vdata, vvalid = self.eval(value)
+            for i in np.nonzero(mask)[0]:
+                out[i] = vdata[i] if vvalid[i] else None
+                valid[i] = vvalid[i]
+            decided |= mask
+        if expr.default is not None:
+            ddata, dvalid = self.eval(expr.default)
+            rest = ~decided
+            for i in np.nonzero(rest)[0]:
+                out[i] = ddata[i] if dvalid[i] else None
+                valid[i] = dvalid[i]
+        return out, valid
+
+    def _eval_functioncall(self, expr: ast.FunctionCall) -> Vector:
+        name = expr.name
+        if is_aggregate(name):
+            raise ExecutionError(
+                f"aggregate {name}() used outside of a grouping context"
+            )
+        fn = SCALAR_FUNCTIONS.get(name)
+        if fn is None:
+            raise ExecutionError(f"unknown function {name}()")
+        args = [self.eval(a) for a in expr.args]
+        if not args:
+            raise ExecutionError(f"{name}() needs at least one argument")
+        return fn(*args)
+
+    def _eval_star(self, expr: ast.Star) -> Vector:
+        raise ExecutionError("'*' is only allowed in SELECT lists")
+
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.FunctionCall):
+        if is_aggregate(expr.name):
+            return True
+        return any(_contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return _contains_aggregate(expr.left) or _contains_aggregate(
+            expr.right
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Cast):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, (ast.InList,)):
+        return _contains_aggregate(expr.operand) or any(
+            _contains_aggregate(i) for i in expr.items
+        )
+    if isinstance(expr, ast.Between):
+        return any(
+            _contains_aggregate(e)
+            for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, (ast.IsNull,)):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Like):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Case):
+        parts = [e for pair in expr.whens for e in pair]
+        if expr.default is not None:
+            parts.append(expr.default)
+        return any(_contains_aggregate(p) for p in parts)
+    return False
+
+
+class GroupEvaluator:
+    """Evaluates select/having expressions in a grouped context."""
+
+    def __init__(
+        self,
+        frame: Frame,
+        group_positions: List[np.ndarray],
+        group_exprs: Sequence[ast.Expr],
+        group_keys: List[Tuple[Any, ...]],
+    ):
+        self.frame = frame
+        self.groups = group_positions
+        self.group_exprs = list(group_exprs)
+        self.group_keys = group_keys
+        self._scalar_eval = Evaluator(frame)
+
+    def eval(self, expr: ast.Expr) -> Vector:
+        n = len(self.groups)
+        # Grouping expression: one key value per group.
+        for gi, gexpr in enumerate(self.group_exprs):
+            if expr == gexpr:
+                out = np.empty(n, dtype=object)
+                valid = np.ones(n, dtype=bool)
+                for k, key in enumerate(self.group_keys):
+                    value = key[gi]
+                    out[k] = value
+                    if value is None:
+                        valid[k] = False
+                return out, valid
+        if isinstance(expr, ast.FunctionCall) and is_aggregate(expr.name):
+            return self._aggregate(expr)
+        if isinstance(expr, ast.Literal):
+            return _broadcast_literal(expr.value, n)
+        if isinstance(expr, ast.BinaryOp):
+            l = self.eval(expr.left)
+            r = self.eval(expr.right)
+            tmp = Frame(n)
+            tmp.add_column("$g", "$l", l)
+            tmp.add_column("$g", "$r", r)
+            ev = Evaluator(tmp)
+            return ev._eval_binaryop(
+                ast.BinaryOp(
+                    expr.op,
+                    ast.ColumnRef("$l", "$g"),
+                    ast.ColumnRef("$r", "$g"),
+                )
+            )
+        if isinstance(expr, ast.UnaryOp):
+            inner = self.eval(expr.operand)
+            tmp = Frame(n)
+            tmp.add_column("$g", "$v", inner)
+            return Evaluator(tmp)._eval_unaryop(
+                ast.UnaryOp(expr.op, ast.ColumnRef("$v", "$g"))
+            )
+        if isinstance(expr, ast.ColumnRef):
+            raise ExecutionError(
+                f"column {expr.qualified!r} must appear in GROUP BY or "
+                "inside an aggregate"
+            )
+        raise ExecutionError(
+            f"unsupported expression in grouped context: "
+            f"{type(expr).__name__}"
+        )
+
+    def _aggregate(self, expr: ast.FunctionCall) -> Vector:
+        fn = AGGREGATE_FUNCTIONS[expr.name]
+        n = len(self.groups)
+        out = np.empty(n, dtype=object)
+        valid = np.ones(n, dtype=bool)
+        if expr.star:
+            for k, positions in enumerate(self.groups):
+                out[k] = len(positions)
+            return out, valid
+        if len(expr.args) != 1:
+            raise ExecutionError(
+                f"aggregate {expr.name}() takes exactly one argument"
+            )
+        data, data_valid = self._scalar_eval.eval(expr.args[0])
+        for k, positions in enumerate(self.groups):
+            values = [
+                data[i] for i in positions if data_valid[i]
+            ]
+            if expr.distinct:
+                seen = []
+                for v in values:
+                    if v not in seen:
+                        seen.append(v)
+                values = seen
+            result = fn(values)
+            out[k] = result
+            if result is None:
+                valid[k] = False
+        return out, valid
+
+
+class Executor:
+    """Executes parsed statements against a catalog."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    # -- dispatch ------------------------------------------------------------
+
+    def execute(self, stmt: ast.Statement):
+        from repro.mdb.database import Result
+
+        if isinstance(stmt, ast.Select):
+            names, columns = self.run_select(stmt)
+            return Result(names, columns)
+        if isinstance(stmt, ast.CreateTable):
+            return self._create_table(stmt)
+        if isinstance(stmt, ast.CreateArray):
+            return self._create_array(stmt)
+        if isinstance(stmt, ast.DropRelation):
+            return self._drop(stmt)
+        if isinstance(stmt, ast.Insert):
+            return self._insert(stmt)
+        if isinstance(stmt, ast.Update):
+            return self._update(stmt)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(stmt)
+        raise ExecutionError(f"cannot execute {type(stmt).__name__}")
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def _create_table(self, stmt: ast.CreateTable):
+        from repro.mdb.database import Result
+
+        if stmt.if_not_exists and self.catalog.has_relation(stmt.name):
+            return Result.affected(0)
+        columns = [
+            Column(c.name, type_by_name(c.type_name)) for c in stmt.columns
+        ]
+        self.catalog.add_table(Table(stmt.name, columns))
+        return Result.affected(0)
+
+    def _create_array(self, stmt: ast.CreateArray):
+        from repro.mdb.database import Result
+        from repro.mdb.sciql import SciArray
+
+        self.catalog.add_array(SciArray.from_ast(stmt))
+        return Result.affected(0)
+
+    def _drop(self, stmt: ast.DropRelation):
+        from repro.mdb.database import Result
+
+        if stmt.kind == "table":
+            self.catalog.drop_table(stmt.name, if_exists=stmt.if_exists)
+        else:
+            self.catalog.drop_array(stmt.name, if_exists=stmt.if_exists)
+        return Result.affected(0)
+
+    # -- DML ---------------------------------------------------------------------
+
+    def _insert(self, stmt: ast.Insert):
+        from repro.mdb.database import Result
+
+        table = self.catalog.table(stmt.table)
+        columns = list(stmt.columns) or table.column_names
+        rows: List[Sequence[Any]] = []
+        if stmt.select is not None:
+            _, out_columns = self.run_select(stmt.select)
+            n = len(out_columns[0][0]) if out_columns else 0
+            for i in range(n):
+                rows.append(
+                    [
+                        (col[0][i] if col[1][i] else None)
+                        for col in out_columns
+                    ]
+                )
+        else:
+            empty = Frame(1)
+            evaluator = Evaluator(empty)
+            for row_exprs in stmt.rows:
+                row = []
+                for expr in row_exprs:
+                    data, valid = evaluator.eval(expr)
+                    row.append(data[0] if valid[0] else None)
+                rows.append(row)
+        count = 0
+        for row in rows:
+            if len(row) != len(columns):
+                raise ExecutionError(
+                    f"INSERT expects {len(columns)} values, got {len(row)}"
+                )
+            mapping = dict(zip(columns, row))
+            table.insert_mapping(mapping)
+            count += 1
+        return Result.affected(count)
+
+    def _update(self, stmt: ast.Update):
+        from repro.mdb.database import Result
+
+        if self.catalog.has_array(stmt.table):
+            from repro.mdb import sciql
+
+            count = sciql.update_array(
+                self.catalog.array(stmt.table), stmt
+            )
+            return Result.affected(count)
+        table = self.catalog.table(stmt.table)
+        frame = Frame.from_table(table, table.name)
+        if stmt.where is not None:
+            mask = _bool_mask(Evaluator(frame).eval(stmt.where))
+            positions = np.nonzero(mask)[0]
+        else:
+            positions = np.arange(len(table))
+        if len(positions) == 0:
+            return Result.affected(0)
+        sub = frame.take(positions)
+        evaluator = Evaluator(sub)
+        assignments: Dict[str, List[Any]] = {}
+        for col_name, expr in stmt.assignments:
+            data, valid = evaluator.eval(expr)
+            assignments[col_name] = [
+                data[i] if valid[i] else None for i in range(len(positions))
+            ]
+        table.update_positions(positions, assignments)
+        return Result.affected(len(positions))
+
+    def _delete(self, stmt: ast.Delete):
+        from repro.mdb.database import Result
+
+        table = self.catalog.table(stmt.table)
+        if stmt.where is None:
+            count = len(table)
+            table.truncate()
+            return Result.affected(count)
+        frame = Frame.from_table(table, table.name)
+        mask = _bool_mask(Evaluator(frame).eval(stmt.where))
+        positions = np.nonzero(mask)[0]
+        table.delete_positions(positions)
+        return Result.affected(len(positions))
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def run_select(
+        self, stmt: ast.Select
+    ) -> Tuple[List[str], List[Vector]]:
+        frame = self._build_frame(stmt)
+        if stmt.where is not None:
+            mask = _bool_mask(Evaluator(frame).eval(stmt.where))
+            frame = frame.take(np.nonzero(mask)[0])
+        grouped = bool(stmt.group_by) or any(
+            _contains_aggregate(item.expr) for item in stmt.items
+        ) or (stmt.having is not None)
+        if grouped:
+            names, columns, order_keys = self._grouped_projection(stmt, frame)
+        else:
+            names, columns, order_keys = self._plain_projection(stmt, frame)
+        columns = _apply_order(stmt.order_by, columns, order_keys)
+        if stmt.distinct:
+            columns = _distinct(columns)
+        columns = _apply_limit(columns, stmt.limit, stmt.offset)
+        return names, columns
+
+    def _build_frame(self, stmt: ast.Select) -> Frame:
+        if stmt.from_table is None:
+            frame = Frame(1)  # SELECT 1+1
+            return frame
+        frame = self._scan(stmt.from_table)
+        for join in stmt.joins:
+            right = self._scan(join.table)
+            frame = self._join(frame, right, join)
+        return frame
+
+    def _scan(self, ref: ast.TableRef) -> Frame:
+        if self.catalog.has_array(ref.name):
+            array = self.catalog.array(ref.name)
+            return array.to_frame(ref.binding)
+        table = self.catalog.table(ref.name)
+        return Frame.from_table(table, ref.binding)
+
+    def _join(self, left: Frame, right: Frame, join: ast.Join) -> Frame:
+        if join.kind == "cross" or join.condition is None:
+            return _cross_join(left, right)
+        equi = _extract_equi_keys(join.condition, left, right)
+        if equi is not None:
+            combined, matched_left = _hash_join(
+                left, right, equi, keep_unmatched_left=(join.kind == "left")
+            )
+        else:
+            combined = _cross_join(left, right)
+            matched_left = None
+        residual = join.condition if equi is None else None
+        if residual is not None:
+            mask = _bool_mask(Evaluator(combined).eval(residual))
+            if join.kind == "left":
+                combined, mask = _left_join_fixup(
+                    left, right, combined, mask
+                )
+                return combined
+            combined = combined.take(np.nonzero(mask)[0])
+        return combined
+
+    def _plain_projection(
+        self, stmt: ast.Select, frame: Frame
+    ) -> Tuple[List[str], List[Vector], List[Vector]]:
+        evaluator = Evaluator(frame)
+        names: List[str] = []
+        columns: List[Vector] = []
+        by_alias: Dict[str, Vector] = {}
+        by_expr: List[Tuple[ast.Expr, Vector]] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                for (binding, col), vec in frame.columns.items():
+                    if item.expr.table and binding != item.expr.table:
+                        continue
+                    names.append(col)
+                    columns.append((vec[0].copy(), vec[1].copy()))
+                continue
+            vec = evaluator.eval(item.expr)
+            name = item.alias or _default_name(item.expr)
+            names.append(name)
+            columns.append(vec)
+            by_alias.setdefault(name, vec)
+            by_expr.append((item.expr, vec))
+        order_keys: List[Vector] = []
+        for order in stmt.order_by:
+            vec = _lookup_projected(order.expr, by_alias, by_expr)
+            if vec is None:
+                vec = evaluator.eval(order.expr)
+            order_keys.append(vec)
+        return names, columns, order_keys
+
+    def _grouped_projection(
+        self, stmt: ast.Select, frame: Frame
+    ) -> Tuple[List[str], List[Vector], List[Vector]]:
+        evaluator = Evaluator(frame)
+        key_vectors = [evaluator.eval(e) for e in stmt.group_by]
+        groups: Dict[Tuple[Any, ...], List[int]] = {}
+        order: List[Tuple[Any, ...]] = []
+        if stmt.group_by:
+            for i in range(frame.nrows):
+                key = tuple(
+                    (kv[0][i] if kv[1][i] else None) for kv in key_vectors
+                )
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(i)
+        else:
+            key = ()
+            groups[key] = list(range(frame.nrows))
+            order.append(key)
+        group_positions = [np.asarray(groups[k], dtype=int) for k in order]
+        gev = GroupEvaluator(frame, group_positions, stmt.group_by, order)
+        if stmt.having is not None:
+            mask = _bool_mask(gev.eval(stmt.having))
+            keep = [i for i in range(len(order)) if mask[i]]
+            order = [order[i] for i in keep]
+            group_positions = [group_positions[i] for i in keep]
+            gev = GroupEvaluator(frame, group_positions, stmt.group_by, order)
+        names: List[str] = []
+        columns: List[Vector] = []
+        by_alias: Dict[str, Vector] = {}
+        by_expr: List[Tuple[ast.Expr, Vector]] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                raise ExecutionError("SELECT * cannot be combined with GROUP BY")
+            vec = gev.eval(item.expr)
+            name = item.alias or _default_name(item.expr)
+            names.append(name)
+            columns.append(vec)
+            by_alias.setdefault(name, vec)
+            by_expr.append((item.expr, vec))
+        order_keys: List[Vector] = []
+        for order in stmt.order_by:
+            vec = _lookup_projected(order.expr, by_alias, by_expr)
+            if vec is None:
+                vec = gev.eval(order.expr)
+            order_keys.append(vec)
+        return names, columns, order_keys
+
+    # (ordering is handled by the module-level _apply_order)
+
+
+class _OrderWrap:
+    """Makes None and mixed types sortable deterministically."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        a, b = self.value, other.value
+        if a is None:
+            return b is not None
+        if b is None:
+            return False
+        try:
+            return a < b
+        except TypeError:
+            return str(a) < str(b)
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+def _orderable(value):
+    return _OrderWrap(value)
+
+
+def _lookup_projected(
+    expr: ast.Expr,
+    by_alias: Dict[str, Vector],
+    by_expr: List[Tuple[ast.Expr, Vector]],
+) -> Optional[Vector]:
+    """Resolve an ORDER BY expression against the SELECT output: first by
+    alias name, then by structural expression equality."""
+    if isinstance(expr, ast.ColumnRef) and expr.table is None:
+        if expr.name in by_alias:
+            return by_alias[expr.name]
+    for item_expr, vec in by_expr:
+        if item_expr == expr:
+            return vec
+    return None
+
+
+def _apply_order(
+    order_by: Sequence[ast.OrderItem],
+    columns: List[Vector],
+    order_keys: List[Vector],
+) -> List[Vector]:
+    """Stable multi-key sort of the output columns by pre-computed keys."""
+    if not order_by or not columns:
+        return columns
+    nrows = len(columns[0][0])
+    indices = list(range(nrows))
+    # Sort by each key from last to first; stability composes them.
+    for (data, valid), item in reversed(list(zip(order_keys, order_by))):
+        def one_key(i, d=data, v=valid):
+            return (
+                (v[i] if item.descending else not v[i]),
+                _orderable(d[i] if v[i] else None),
+            )
+
+        indices.sort(key=one_key, reverse=item.descending)
+    positions = np.asarray(indices, dtype=int)
+    return [(data[positions], valid[positions]) for data, valid in columns]
+
+
+def _default_name(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        return expr.name
+    return "expr"
+
+
+def _cross_join(left: Frame, right: Frame) -> Frame:
+    n_left, n_right = left.nrows, right.nrows
+    out = Frame(n_left * n_right)
+    left_idx = np.repeat(np.arange(n_left), n_right)
+    right_idx = np.tile(np.arange(n_right), n_left)
+    for key, (data, valid) in left.columns.items():
+        out.columns[key] = (data[left_idx], valid[left_idx])
+    for key, (data, valid) in right.columns.items():
+        if key in out.columns:
+            raise CatalogError(
+                f"duplicate binding {key[0]}.{key[1]} in join; use aliases"
+            )
+        out.columns[key] = (data[right_idx], valid[right_idx])
+    return out
+
+
+def _extract_equi_keys(expr: ast.Expr, left: Frame, right: Frame):
+    """Extract pure equi-join key pairs from a conjunctive condition.
+
+    Returns ``[(left_key_vec, right_key_vec), ...]`` or None when the
+    condition contains anything but ANDed column equalities.
+    """
+    pairs = []
+
+    def walk(e: ast.Expr) -> bool:
+        if isinstance(e, ast.BinaryOp) and e.op == "AND":
+            return walk(e.left) and walk(e.right)
+        if (
+            isinstance(e, ast.BinaryOp)
+            and e.op == "="
+            and isinstance(e.left, ast.ColumnRef)
+            and isinstance(e.right, ast.ColumnRef)
+        ):
+            side_a = _try_resolve(left, e.left)
+            side_b = _try_resolve(right, e.right)
+            if side_a is not None and side_b is not None:
+                pairs.append((side_a, side_b))
+                return True
+            side_a = _try_resolve(left, e.right)
+            side_b = _try_resolve(right, e.left)
+            if side_a is not None and side_b is not None:
+                pairs.append((side_a, side_b))
+                return True
+        return False
+
+    if walk(expr) and pairs:
+        return pairs
+    return None
+
+
+def _try_resolve(frame: Frame, ref: ast.ColumnRef):
+    try:
+        return frame.resolve(ref.name, ref.table)
+    except CatalogError:
+        return None
+
+
+def _hash_join(left: Frame, right: Frame, equi, keep_unmatched_left: bool):
+    buckets: Dict[Tuple[Any, ...], List[int]] = {}
+    n_right = right.nrows
+    for j in range(n_right):
+        key = tuple(
+            (vec_r[0][j] if vec_r[1][j] else None) for _, vec_r in equi
+        )
+        if None in key:
+            continue
+        buckets.setdefault(key, []).append(j)
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    null_right: List[bool] = []
+    for i in range(left.nrows):
+        key = tuple(
+            (vec_l[0][i] if vec_l[1][i] else None) for vec_l, _ in equi
+        )
+        matches = buckets.get(key, []) if None not in key else []
+        if matches:
+            for j in matches:
+                left_idx.append(i)
+                right_idx.append(j)
+                null_right.append(False)
+        elif keep_unmatched_left:
+            left_idx.append(i)
+            right_idx.append(0)
+            null_right.append(True)
+    out = Frame(len(left_idx))
+    li = np.asarray(left_idx, dtype=int)
+    ri = np.asarray(right_idx, dtype=int)
+    nr = np.asarray(null_right, dtype=bool)
+    for key, (data, valid) in left.columns.items():
+        out.columns[key] = (data[li], valid[li])
+    for key, (data, valid) in right.columns.items():
+        if key in out.columns:
+            raise CatalogError(
+                f"duplicate binding {key[0]}.{key[1]} in join; use aliases"
+            )
+        if right.nrows == 0:
+            # Every surviving row is an unmatched-left filler row.
+            taken = np.empty(len(ri), dtype=data.dtype)
+            if data.dtype == object:
+                taken[:] = None
+            else:
+                taken[:] = 0
+            tvalid = np.zeros(len(ri), dtype=bool)
+        else:
+            taken = data[ri]
+            tvalid = valid[ri] & ~nr
+        out.columns[key] = (taken, tvalid)
+    return out, None
+
+
+def _left_join_fixup(left: Frame, right: Frame, combined: Frame, mask):
+    """LEFT JOIN with a non-equi condition via the cross product."""
+    n_right = right.nrows
+    matched_left = np.zeros(left.nrows, dtype=bool)
+    keep = np.nonzero(mask)[0]
+    for pos in keep:
+        matched_left[pos // max(n_right, 1)] = True
+    result = combined.take(keep)
+    missing = np.nonzero(~matched_left)[0]
+    if len(missing) == 0:
+        return result, mask
+    extra = Frame(len(missing))
+    for key, (data, valid) in left.columns.items():
+        extra.columns[key] = (data[missing], valid[missing])
+    for key, (data, valid) in right.columns.items():
+        filler = np.empty(len(missing), dtype=data.dtype)
+        if data.dtype == object:
+            filler[:] = None
+        else:
+            filler[:] = 0
+        extra.columns[key] = (filler, np.zeros(len(missing), dtype=bool))
+    merged = Frame(result.nrows + extra.nrows)
+    for key in result.columns:
+        d1, v1 = result.columns[key]
+        d2, v2 = extra.columns[key]
+        merged.columns[key] = (
+            np.concatenate([d1, d2]),
+            np.concatenate([v1, v2]),
+        )
+    return merged, None
+
+
+def _distinct(columns: List[Vector]) -> List[Vector]:
+    if not columns:
+        return columns
+    n = len(columns[0][0])
+    seen = set()
+    keep: List[int] = []
+    for i in range(n):
+        key = tuple(
+            (col[0][i] if col[1][i] else None) for col in columns
+        )
+        try:
+            hashable = key
+            if hashable not in seen:
+                seen.add(hashable)
+                keep.append(i)
+        except TypeError:
+            if key not in [k for k in seen]:
+                keep.append(i)
+    idx = np.asarray(keep, dtype=int)
+    return [(data[idx], valid[idx]) for data, valid in columns]
+
+
+def _apply_limit(
+    columns: List[Vector], limit: Optional[int], offset: Optional[int]
+) -> List[Vector]:
+    if limit is None and offset is None:
+        return columns
+    start = offset or 0
+    stop = start + limit if limit is not None else None
+    return [
+        (data[start:stop], valid[start:stop]) for data, valid in columns
+    ]

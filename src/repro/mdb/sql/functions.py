@@ -1,0 +1,158 @@
+"""Scalar and aggregate function registries for the SQL executor.
+
+Scalar functions receive/return *vectors*: ``(data, valid)`` pairs of numpy
+arrays.  Aggregates receive the Python values of one group (NULLs already
+removed) and return a scalar.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mdb.errors import ExecutionError
+
+Vector = Tuple[np.ndarray, np.ndarray]  # (data, valid)
+
+
+def _elementwise(fn: Callable[..., Any]) -> Callable[..., Vector]:
+    """Lift a Python scalar function to vectors with NULL propagation."""
+
+    def wrapper(*vectors: Vector) -> Vector:
+        n = len(vectors[0][0])
+        valid = np.ones(n, dtype=bool)
+        for _, v in vectors:
+            valid &= v
+        out = np.empty(n, dtype=object)
+        for i in range(n):
+            if valid[i]:
+                try:
+                    out[i] = fn(*(vec[0][i] for vec in vectors))
+                except (ValueError, ZeroDivisionError, TypeError) as exc:
+                    raise ExecutionError(str(exc)) from exc
+            else:
+                out[i] = None
+        return out, valid
+
+    return wrapper
+
+
+def _numeric_unary(fn: Callable[[np.ndarray], np.ndarray]) -> Callable:
+    """Lift a numpy ufunc-style unary to vectors."""
+
+    def wrapper(vec: Vector) -> Vector:
+        data, valid = vec
+        arr = np.asarray(data, dtype=float)
+        safe = np.where(valid, arr, 0.0)
+        with np.errstate(all="ignore"):
+            result = fn(safe)
+        return result, valid.copy()
+
+    return wrapper
+
+
+def _substring(s: str, start: int, length: int = None) -> str:
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return s[begin:]
+    return s[begin : begin + int(length)]
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable[..., Vector]] = {
+    "abs": _numeric_unary(np.abs),
+    "sqrt": _numeric_unary(np.sqrt),
+    "floor": _numeric_unary(np.floor),
+    "ceil": _numeric_unary(np.ceil),
+    "ceiling": _numeric_unary(np.ceil),
+    "round": _elementwise(lambda x, *d: round(float(x), int(d[0]) if d else 0)),
+    "exp": _numeric_unary(np.exp),
+    "ln": _numeric_unary(np.log),
+    "log": _numeric_unary(np.log10),
+    "log10": _numeric_unary(np.log10),
+    "sin": _numeric_unary(np.sin),
+    "cos": _numeric_unary(np.cos),
+    "tan": _numeric_unary(np.tan),
+    "atan": _numeric_unary(np.arctan),
+    "power": _elementwise(lambda x, y: float(x) ** float(y)),
+    "mod": _elementwise(lambda x, y: x % y),
+    "sign": _numeric_unary(np.sign),
+    "greatest": _elementwise(lambda *xs: max(xs)),
+    "least": _elementwise(lambda *xs: min(xs)),
+    "length": _elementwise(lambda s: len(str(s))),
+    "lower": _elementwise(lambda s: str(s).lower()),
+    "upper": _elementwise(lambda s: str(s).upper()),
+    "trim": _elementwise(lambda s: str(s).strip()),
+    "substring": _elementwise(_substring),
+    "substr": _elementwise(_substring),
+    "replace": _elementwise(lambda s, a, b: str(s).replace(str(a), str(b))),
+    "concat": _elementwise(lambda *xs: "".join(str(x) for x in xs)),
+    "strpos": _elementwise(lambda s, sub: str(s).find(str(sub)) + 1),
+}
+
+
+def register_scalar(name: str, fn: Callable[..., Any]) -> None:
+    """Register a Python scalar function under ``name`` (lower-case)."""
+    SCALAR_FUNCTIONS[name.lower()] = _elementwise(fn)
+
+
+def _agg_count(values: Sequence[Any]) -> int:
+    return len(values)
+
+
+def _agg_sum(values: Sequence[Any]):
+    return sum(values) if values else None
+
+
+def _agg_avg(values: Sequence[Any]):
+    return (sum(values) / len(values)) if values else None
+
+
+def _agg_min(values: Sequence[Any]):
+    return min(values) if values else None
+
+
+def _agg_max(values: Sequence[Any]):
+    return max(values) if values else None
+
+
+def _agg_median(values: Sequence[Any]):
+    if not values:
+        return None
+    return float(np.median(np.asarray(values, dtype=float)))
+
+
+def _agg_stddev(values: Sequence[Any]):
+    if len(values) < 2:
+        return None
+    arr = np.asarray(values, dtype=float)
+    return float(arr.std(ddof=1))
+
+
+def _agg_var(values: Sequence[Any]):
+    if len(values) < 2:
+        return None
+    arr = np.asarray(values, dtype=float)
+    return float(arr.var(ddof=1))
+
+
+def _agg_group_concat(values: Sequence[Any]):
+    return ",".join(str(v) for v in values) if values else None
+
+
+AGGREGATE_FUNCTIONS: Dict[str, Callable[[List[Any]], Any]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+    "median": _agg_median,
+    "stddev": _agg_stddev,
+    "stdev": _agg_stddev,
+    "variance": _agg_var,
+    "group_concat": _agg_group_concat,
+}
+
+
+def is_aggregate(name: str) -> bool:
+    return name.lower() in AGGREGATE_FUNCTIONS

@@ -1,0 +1,71 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from repro.mdb.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "ALL", "AND", "ARRAY", "AS", "ASC", "BETWEEN", "BY", "CASE", "CAST",
+    "CREATE", "CROSS", "DEFAULT", "DELETE", "DESC", "DIMENSION", "DISTINCT",
+    "DROP", "ELSE", "END", "EXISTS", "FALSE", "FROM", "GROUP", "HAVING",
+    "IF", "IN", "INNER", "INSERT", "INTO", "IS", "JOIN", "LEFT", "LIKE",
+    "LIMIT", "NOT", "NULL", "OFFSET", "ON", "OR", "ORDER", "OUTER",
+    "SELECT", "SET", "TABLE", "THEN", "TRUE", "UPDATE", "VALUES", "WHEN",
+    "WHERE",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+|--[^\n]*|/\*.*?\*/)
+    | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+    | (?P<string>'(?:[^']|'')*')
+    | (?P<qident>"(?:[^"]|"")*")
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+    | (?P<op><=|>=|<>|!=|\|\||[=<>+\-*/%(),.;:\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class Token(NamedTuple):
+    kind: str  # keyword | ident | number | string | op | eof
+    value: str
+    pos: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text; comments and whitespace are dropped."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise SQLSyntaxError(
+                f"unexpected character at offset {pos}: {text[pos:pos+20]!r}"
+            )
+        kind = m.lastgroup or ""
+        value = m.group(0)
+        if kind == "ws":
+            pass
+        elif kind == "number":
+            tokens.append(Token("number", value, pos))
+        elif kind == "string":
+            tokens.append(Token("string", value[1:-1].replace("''", "'"), pos))
+        elif kind == "qident":
+            tokens.append(
+                Token("ident", value[1:-1].replace('""', '"'), pos)
+            )
+        elif kind == "ident":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, pos))
+            else:
+                tokens.append(Token("ident", value.lower(), pos))
+        else:
+            tokens.append(Token("op", value, pos))
+        pos = m.end()
+    tokens.append(Token("eof", "", pos))
+    return tokens

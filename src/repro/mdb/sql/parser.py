@@ -1,0 +1,507 @@
+"""Recursive-descent SQL/SciQL parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.mdb.errors import SQLSyntaxError
+from repro.mdb.sql import ast
+from repro.mdb.sql.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.index]
+        if tok.kind != "eof":
+            self.index += 1
+        return tok
+
+    def at_keyword(self, *words: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "keyword" and tok.value in words
+
+    def accept_keyword(self, *words: str) -> Optional[str]:
+        if self.at_keyword(*words):
+            return self.next().value
+        return None
+
+    def expect_keyword(self, word: str) -> None:
+        tok = self.next()
+        if tok.kind != "keyword" or tok.value != word:
+            raise SQLSyntaxError(f"expected {word}, got {tok.value!r}")
+
+    def at_op(self, *ops: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "op" and tok.value in ops
+
+    def accept_op(self, *ops: str) -> Optional[str]:
+        if self.at_op(*ops):
+            return self.next().value
+        return None
+
+    def expect_op(self, op: str) -> None:
+        tok = self.next()
+        if tok.kind != "op" or tok.value != op:
+            raise SQLSyntaxError(f"expected {op!r}, got {tok.value!r}")
+
+    def expect_ident(self) -> str:
+        tok = self.next()
+        if tok.kind == "ident":
+            return tok.value
+        # Allow non-reserved-sounding keywords as identifiers where safe.
+        raise SQLSyntaxError(f"expected identifier, got {tok.value!r}")
+
+    # -- statements -------------------------------------------------------------
+
+    def statement(self) -> ast.Statement:
+        if self.at_keyword("SELECT"):
+            return self.select()
+        if self.at_keyword("CREATE"):
+            return self._create()
+        if self.at_keyword("DROP"):
+            return self._drop()
+        if self.at_keyword("INSERT"):
+            return self._insert()
+        if self.at_keyword("UPDATE"):
+            return self._update()
+        if self.at_keyword("DELETE"):
+            return self._delete()
+        raise SQLSyntaxError(f"unexpected token {self.peek().value!r}")
+
+    def _create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            if_not_exists = False
+            if self.accept_keyword("IF"):
+                self.expect_keyword("NOT")
+                self.expect_keyword("EXISTS")
+                if_not_exists = True
+            name = self.expect_ident()
+            self.expect_op("(")
+            columns = [self._column_def()]
+            while self.accept_op(","):
+                columns.append(self._column_def())
+            self.expect_op(")")
+            return ast.CreateTable(name, tuple(columns), if_not_exists)
+        if self.accept_keyword("ARRAY"):
+            return self._create_array()
+        raise SQLSyntaxError("expected TABLE or ARRAY after CREATE")
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self.expect_ident()
+        tok = self.next()
+        if tok.kind not in ("ident", "keyword"):
+            raise SQLSyntaxError(f"expected type name, got {tok.value!r}")
+        return ast.ColumnDef(name, tok.value)
+
+    def _create_array(self) -> ast.CreateArray:
+        name = self.expect_ident()
+        self.expect_op("(")
+        dims: List[ast.DimensionDef] = []
+        attrs: List[ast.ColumnDef] = []
+        defaults: List = []
+        while True:
+            col = self._column_def()
+            if self.accept_keyword("DIMENSION"):
+                self.expect_op("[")
+                start = self._signed_int()
+                self.expect_op(":")
+                stop = self._signed_int()
+                self.expect_op("]")
+                dims.append(ast.DimensionDef(col.name, start, stop))
+            else:
+                default = None
+                if self.accept_keyword("DEFAULT"):
+                    default = self._literal_value()
+                attrs.append(col)
+                defaults.append(default)
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        if not dims:
+            raise SQLSyntaxError(f"array {name!r} needs at least one dimension")
+        if not attrs:
+            raise SQLSyntaxError(f"array {name!r} needs at least one attribute")
+        return ast.CreateArray(name, tuple(dims), tuple(attrs), tuple(defaults))
+
+    def _signed_int(self) -> int:
+        sign = -1 if self.accept_op("-") else 1
+        tok = self.next()
+        if tok.kind != "number" or "." in tok.value:
+            raise SQLSyntaxError(f"expected integer, got {tok.value!r}")
+        return sign * int(tok.value)
+
+    def _literal_value(self):
+        sign = -1 if self.accept_op("-") else 1
+        tok = self.next()
+        if tok.kind == "number":
+            num = float(tok.value) if "." in tok.value or "e" in tok.value.lower() else int(tok.value)
+            return sign * num
+        if tok.kind == "string":
+            return tok.value
+        if tok.kind == "keyword" and tok.value in ("TRUE", "FALSE"):
+            return tok.value == "TRUE"
+        if tok.kind == "keyword" and tok.value == "NULL":
+            return None
+        raise SQLSyntaxError(f"expected a literal, got {tok.value!r}")
+
+    def _drop(self) -> ast.DropRelation:
+        self.expect_keyword("DROP")
+        if self.accept_keyword("TABLE"):
+            kind = "table"
+        elif self.accept_keyword("ARRAY"):
+            kind = "array"
+        else:
+            raise SQLSyntaxError("expected TABLE or ARRAY after DROP")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropRelation(self.expect_ident(), kind, if_exists)
+
+    def _insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: Tuple[str, ...] = ()
+        if self.accept_op("("):
+            cols = [self.expect_ident()]
+            while self.accept_op(","):
+                cols.append(self.expect_ident())
+            self.expect_op(")")
+            columns = tuple(cols)
+        if self.accept_keyword("VALUES"):
+            rows = [self._value_row()]
+            while self.accept_op(","):
+                rows.append(self._value_row())
+            return ast.Insert(table, columns, tuple(rows))
+        if self.at_keyword("SELECT"):
+            return ast.Insert(table, columns, (), self.select())
+        raise SQLSyntaxError("expected VALUES or SELECT in INSERT")
+
+    def _value_row(self) -> Tuple[ast.Expr, ...]:
+        self.expect_op("(")
+        exprs = [self.expression()]
+        while self.accept_op(","):
+            exprs.append(self.expression())
+        self.expect_op(")")
+        return tuple(exprs)
+
+    def _update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self.accept_op(","):
+            assignments.append(self._assignment())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        return ast.Update(table, tuple(assignments), where)
+
+    def _assignment(self) -> Tuple[str, ast.Expr]:
+        name = self.expect_ident()
+        self.expect_op("=")
+        return (name, self.expression())
+
+    def _delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        return ast.Delete(table, where)
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        self.accept_keyword("ALL")
+        items = [self._select_item()]
+        while self.accept_op(","):
+            items.append(self._select_item())
+        from_table = None
+        joins: List[ast.Join] = []
+        if self.accept_keyword("FROM"):
+            from_table = self._table_ref()
+            while True:
+                if self.accept_op(","):
+                    joins.append(ast.Join("cross", self._table_ref()))
+                    continue
+                kind = None
+                if self.accept_keyword("CROSS"):
+                    self.expect_keyword("JOIN")
+                    joins.append(ast.Join("cross", self._table_ref()))
+                    continue
+                if self.accept_keyword("INNER"):
+                    kind = "inner"
+                    self.expect_keyword("JOIN")
+                elif self.accept_keyword("LEFT"):
+                    self.accept_keyword("OUTER")
+                    kind = "left"
+                    self.expect_keyword("JOIN")
+                elif self.accept_keyword("JOIN"):
+                    kind = "inner"
+                if kind is None:
+                    break
+                table = self._table_ref()
+                self.expect_keyword("ON")
+                condition = self.expression()
+                joins.append(ast.Join(kind, table, condition))
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        group_by: List[ast.Expr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.expression())
+            while self.accept_op(","):
+                group_by.append(self.expression())
+        having = self.expression() if self.accept_keyword("HAVING") else None
+        order_by: List[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self.accept_op(","):
+                order_by.append(self._order_item())
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self._signed_int()
+        if self.accept_keyword("OFFSET"):
+            offset = self._signed_int()
+        return ast.Select(
+            items=tuple(items),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _select_item(self) -> ast.SelectItem:
+        if self.at_op("*"):
+            self.next()
+            return ast.SelectItem(ast.Star())
+        # table.* form
+        save = self.index
+        if self.peek().kind == "ident":
+            name = self.next().value
+            if self.accept_op("."):
+                if self.accept_op("*"):
+                    return ast.SelectItem(ast.Star(table=name))
+            self.index = save
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "ident":
+            alias = self.next().value
+        return ast.SelectItem(expr, alias)
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self.expression()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, descending)
+
+    def _table_ref(self) -> ast.TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "ident":
+            alias = self.next().value
+        return ast.TableRef(name, alias)
+
+    # -- expressions -------------------------------------------------------------
+
+    def expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("BETWEEN"):
+            low = self._additive()
+            self.expect_keyword("AND")
+            high = self._additive()
+            return ast.Between(left, low, high, negated)
+        if self.accept_keyword("IN"):
+            self.expect_op("(")
+            items = [self.expression()]
+            while self.accept_op(","):
+                items.append(self.expression())
+            self.expect_op(")")
+            return ast.InList(left, tuple(items), negated)
+        if self.accept_keyword("LIKE"):
+            return ast.Like(left, self._additive(), negated)
+        if negated:
+            raise SQLSyntaxError("expected BETWEEN/IN/LIKE after NOT")
+        if self.accept_keyword("IS"):
+            negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        op = self.accept_op("=", "<>", "!=", "<", "<=", ">", ">=")
+        if op:
+            if op == "!=":
+                op = "<>"
+            return ast.BinaryOp(op, left, self._additive())
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            op = self.accept_op("+", "-", "||")
+            if not op:
+                return left
+            left = ast.BinaryOp(op, left, self._multiplicative())
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            op = self.accept_op("*", "/", "%")
+            if not op:
+                return left
+            left = ast.BinaryOp(op, left, self._unary())
+
+    def _unary(self) -> ast.Expr:
+        if self.accept_op("-"):
+            return ast.UnaryOp("-", self._unary())
+        if self.accept_op("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "number":
+            self.next()
+            if "." in tok.value or "e" in tok.value.lower():
+                return ast.Literal(float(tok.value))
+            return ast.Literal(int(tok.value))
+        if tok.kind == "string":
+            self.next()
+            return ast.Literal(tok.value)
+        if tok.kind == "keyword":
+            if tok.value in ("TRUE", "FALSE"):
+                self.next()
+                return ast.Literal(tok.value == "TRUE")
+            if tok.value == "NULL":
+                self.next()
+                return ast.Literal(None)
+            if tok.value == "CAST":
+                return self._cast()
+            if tok.value == "CASE":
+                return self._case()
+            raise SQLSyntaxError(f"unexpected keyword {tok.value!r}")
+        if tok.kind == "op" and tok.value == "(":
+            self.next()
+            expr = self.expression()
+            self.expect_op(")")
+            return expr
+        if tok.kind == "ident":
+            return self._identifier_expr()
+        raise SQLSyntaxError(f"unexpected token {tok.value!r}")
+
+    def _cast(self) -> ast.Expr:
+        self.expect_keyword("CAST")
+        self.expect_op("(")
+        operand = self.expression()
+        self.expect_keyword("AS")
+        type_tok = self.next()
+        if type_tok.kind not in ("ident", "keyword"):
+            raise SQLSyntaxError(f"expected type name, got {type_tok.value!r}")
+        self.expect_op(")")
+        return ast.Cast(operand, type_tok.value)
+
+    def _case(self) -> ast.Expr:
+        self.expect_keyword("CASE")
+        whens = []
+        while self.accept_keyword("WHEN"):
+            cond = self.expression()
+            self.expect_keyword("THEN")
+            value = self.expression()
+            whens.append((cond, value))
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.expression()
+        self.expect_keyword("END")
+        if not whens:
+            raise SQLSyntaxError("CASE needs at least one WHEN branch")
+        return ast.Case(tuple(whens), default)
+
+    def _identifier_expr(self) -> ast.Expr:
+        name = self.next().value
+        # Function call?
+        if self.at_op("("):
+            self.next()
+            distinct = bool(self.accept_keyword("DISTINCT"))
+            if self.accept_op("*"):
+                self.expect_op(")")
+                return ast.FunctionCall(name.lower(), (), star=True)
+            args: List[ast.Expr] = []
+            if not self.at_op(")"):
+                args.append(self.expression())
+                while self.accept_op(","):
+                    args.append(self.expression())
+            self.expect_op(")")
+            return ast.FunctionCall(name.lower(), tuple(args), distinct)
+        # Qualified column?
+        if self.accept_op("."):
+            col = self.expect_ident()
+            return ast.ColumnRef(col, table=name)
+        return ast.ColumnRef(name)
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse a single SQL statement (a trailing ';' is tolerated)."""
+    parser = _Parser(tokenize(text))
+    stmt = parser.statement()
+    parser.accept_op(";")
+    tok = parser.peek()
+    if tok.kind != "eof":
+        raise SQLSyntaxError(f"trailing input after statement: {tok.value!r}")
+    return stmt
+
+
+def parse_script(text: str) -> List[ast.Statement]:
+    """Parse a ';'-separated list of statements."""
+    parser = _Parser(tokenize(text))
+    statements: List[ast.Statement] = []
+    while parser.peek().kind != "eof":
+        statements.append(parser.statement())
+        while parser.accept_op(";"):
+            pass
+    return statements

@@ -1,0 +1,155 @@
+"""Relational tables over BAT columns."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mdb.bat import BAT
+from repro.mdb.errors import CatalogError, ExecutionError
+from repro.mdb.types import ColumnType
+
+
+class Column:
+    """A named, typed column declaration."""
+
+    def __init__(self, name: str, ctype: ColumnType):
+        self.name = name.lower()
+        self.ctype = ctype
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.ctype.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Column)
+            and self.name == other.name
+            and self.ctype == other.ctype
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.ctype))
+
+
+class Table:
+    """A named collection of equal-length BATs."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise CatalogError(f"table {name!r} needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in table {name!r}")
+        self.name = name.lower()
+        self.columns: List[Column] = list(columns)
+        self._bats: Dict[str, BAT] = {
+            c.name: BAT(c.ctype) for c in columns
+        }
+
+    # -- schema -----------------------------------------------------------
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> BAT:
+        try:
+            return self._bats[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._bats
+
+    def column_type(self, name: str) -> ColumnType:
+        for c in self.columns:
+            if c.name == name.lower():
+                return c.ctype
+        raise CatalogError(f"no column {name!r} in table {self.name!r}")
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert_row(self, values: Sequence[Any]) -> None:
+        """Append one full-width row."""
+        if len(values) != len(self.columns):
+            raise ExecutionError(
+                f"table {self.name!r} has {len(self.columns)} columns, "
+                f"got {len(values)} values"
+            )
+        for col, value in zip(self.columns, values):
+            self._bats[col.name].append(value)
+
+    def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert_row(row)
+            count += 1
+        return count
+
+    def insert_mapping(self, mapping: Dict[str, Any]) -> None:
+        """Append a row given as a column→value dict; missing cols → NULL."""
+        unknown = set(mapping) - set(self.column_names)
+        if unknown:
+            raise CatalogError(
+                f"unknown columns {sorted(unknown)} for table {self.name!r}"
+            )
+        self.insert_row(
+            [mapping.get(c.name) for c in self.columns]
+        )
+
+    def delete_positions(self, positions: np.ndarray) -> int:
+        """Remove the rows at ``positions`` (rebuilds the columns)."""
+        if len(positions) == 0:
+            return 0
+        keep = np.ones(len(self), dtype=bool)
+        keep[positions] = False
+        keep_positions = np.nonzero(keep)[0]
+        for name, bat in self._bats.items():
+            self._bats[name] = bat.take(keep_positions)
+        return int(len(positions))
+
+    def update_positions(
+        self, positions: np.ndarray, assignments: Dict[str, List[Any]]
+    ) -> int:
+        """Set ``assignments[col][k]`` at row ``positions[k]`` per column."""
+        for col_name, values in assignments.items():
+            bat = self.column(col_name)
+            for pos, value in zip(positions, values):
+                bat.set(int(pos), value)
+        return len(positions)
+
+    def truncate(self) -> None:
+        self._bats = {c.name: BAT(c.ctype) for c in self.columns}
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        first = self.columns[0].name
+        return len(self._bats[first])
+
+    def row(self, position: int) -> Tuple[Any, ...]:
+        return tuple(
+            self._bats[c.name].get(position) for c in self.columns
+        )
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        for i in range(len(self)):
+            yield self.row(i)
+
+    def scan(
+        self, column_names: Optional[Sequence[str]] = None
+    ) -> Dict[str, np.ndarray]:
+        """Column vectors for the requested columns (default: all)."""
+        names = (
+            [n.lower() for n in column_names]
+            if column_names is not None
+            else self.column_names
+        )
+        return {n: self.column(n).values for n in names}
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.ctype.name}" for c in self.columns)
+        return f"<Table {self.name}({cols}) rows={len(self)}>"

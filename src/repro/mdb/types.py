@@ -1,0 +1,106 @@
+"""Column types and their numpy storage mapping.
+
+The store keeps every column as a numpy array; NULLs are represented with a
+parallel boolean validity mask (MonetDB uses in-band nil values — a mask is
+the same idea without magic numbers).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.mdb.errors import SQLTypeError
+
+
+class ColumnType:
+    """A storage type: SQL name, numpy dtype and a Python coercion."""
+
+    def __init__(self, name: str, dtype: np.dtype, py_type: type):
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        self.py_type = py_type
+
+    def coerce(self, value: Any) -> Any:
+        """Convert ``value`` to this type; raises :class:`SQLTypeError`."""
+        if value is None:
+            return None
+        try:
+            if self.py_type is bool:
+                if isinstance(value, str):
+                    return value.strip().lower() in ("true", "1", "t")
+                return bool(value)
+            if self.py_type is datetime:
+                if isinstance(value, datetime):
+                    return value
+                return datetime.fromisoformat(str(value))
+            return self.py_type(value)
+        except (TypeError, ValueError) as exc:
+            raise SQLTypeError(
+                f"cannot convert {value!r} to {self.name}"
+            ) from exc
+
+    def empty_array(self, capacity: int) -> np.ndarray:
+        return np.empty(capacity, dtype=self.dtype)
+
+    def __repr__(self) -> str:
+        return f"ColumnType({self.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ColumnType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+INT = ColumnType("INT", np.dtype(np.int64), int)
+DOUBLE = ColumnType("DOUBLE", np.dtype(np.float64), float)
+STRING = ColumnType("STRING", np.dtype(object), str)
+BOOL = ColumnType("BOOL", np.dtype(bool), bool)
+TIMESTAMP = ColumnType("TIMESTAMP", np.dtype(object), datetime)
+
+_BY_NAME: Dict[str, ColumnType] = {
+    "INT": INT,
+    "INTEGER": INT,
+    "BIGINT": INT,
+    "SMALLINT": INT,
+    "DOUBLE": DOUBLE,
+    "FLOAT": DOUBLE,
+    "REAL": DOUBLE,
+    "DECIMAL": DOUBLE,
+    "STRING": STRING,
+    "VARCHAR": STRING,
+    "TEXT": STRING,
+    "CHAR": STRING,
+    "CLOB": STRING,
+    "BOOL": BOOL,
+    "BOOLEAN": BOOL,
+    "TIMESTAMP": TIMESTAMP,
+    "DATE": TIMESTAMP,
+}
+
+
+def type_by_name(name: str) -> ColumnType:
+    """Resolve a SQL type name (case-insensitive, sizes ignored)."""
+    base = name.strip().upper().split("(")[0].strip()
+    try:
+        return _BY_NAME[base]
+    except KeyError:
+        raise SQLTypeError(f"unknown SQL type {name!r}") from None
+
+
+def infer_type(value: Any) -> Optional[ColumnType]:
+    """Guess the column type of a Python value (None for NULL)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, (int, np.integer)):
+        return INT
+    if isinstance(value, (float, np.floating)):
+        return DOUBLE
+    if isinstance(value, datetime):
+        return TIMESTAMP
+    return STRING

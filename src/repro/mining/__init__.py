@@ -1,0 +1,39 @@
+"""Image information mining and knowledge discovery (paper refs [3], [4]).
+
+Classifies image patches into concepts from OWL ontologies (landcover,
+environmental monitoring) to "close the semantic gap" between user
+requests and archive metadata:
+
+* :mod:`repro.mining.ontology` — the landcover and environmental
+  monitoring ontologies as RDFS class hierarchies;
+* :mod:`repro.mining.classify` — patch classifiers (kNN, Gaussian naive
+  Bayes, nearest-centroid) over feature vectors;
+* :mod:`repro.mining.annotate` — semantic annotation: classified patches
+  published as stRDF linked data.
+"""
+
+from repro.mining.ontology import (
+    CONCEPTS,
+    landcover_ontology,
+    monitoring_ontology,
+)
+from repro.mining.classify import (
+    Classifier,
+    GaussianNBClassifier,
+    KNNClassifier,
+    NearestCentroidClassifier,
+    train_test_split,
+)
+from repro.mining.annotate import SemanticAnnotator
+
+__all__ = [
+    "CONCEPTS",
+    "Classifier",
+    "GaussianNBClassifier",
+    "KNNClassifier",
+    "NearestCentroidClassifier",
+    "SemanticAnnotator",
+    "landcover_ontology",
+    "monitoring_ontology",
+    "train_test_split",
+]

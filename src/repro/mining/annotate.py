@@ -1,0 +1,87 @@
+"""Semantic annotation: classified patches published as stRDF.
+
+The knowledge-discovery arrow of Figure 1: patch feature vectors are
+classified into ontology concepts and the results are emitted as linked
+data, joined to the originating product so catalog queries can search by
+content ("images containing hotspots").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.eo.products import Product
+from repro.ingest.features import PatchGrid
+from repro.ingest.metadata import product_uri
+from repro.mining.classify import Classifier
+from repro.mining.ontology import CONCEPTS
+from repro.rdf import Graph, Literal, URIRef
+from repro.rdf.namespace import NOA, RDF
+from repro.strabon.strdf import geometry_literal
+
+_TYPE = URIRef(str(RDF) + "type")
+
+
+class SemanticAnnotator:
+    """Annotates patch grids with ontology concepts.
+
+    ``concept_map`` translates classifier labels to concept IRIs; it
+    defaults to :data:`repro.mining.ontology.CONCEPTS`.
+    """
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        concept_map: Optional[Dict[str, URIRef]] = None,
+    ):
+        self.classifier = classifier
+        self.concept_map = dict(concept_map or CONCEPTS)
+
+    def annotate(
+        self,
+        product: Product,
+        grid: PatchGrid,
+        labels: Optional[Sequence[str]] = None,
+    ) -> Graph:
+        """Classify the grid (unless ``labels`` are given) and emit RDF.
+
+        Each patch becomes a ``noa:Patch`` resource typed with its concept,
+        carrying its footprint geometry and a link to the product.
+        """
+        if labels is None:
+            labels = self.classifier.predict(grid.feature_matrix())
+        if len(labels) != len(grid):
+            raise ValueError(
+                f"{len(labels)} labels for {len(grid)} patches"
+            )
+        g = Graph()
+        prod_node = product_uri(product)
+        for patch, label in zip(grid, labels):
+            node = URIRef(
+                f"{prod_node}/patch/{patch.row}_{patch.col}"
+            )
+            g.add((node, _TYPE, URIRef(str(NOA) + "Patch")))
+            concept = self.concept_map.get(label)
+            if concept is not None:
+                g.add((node, _TYPE, concept))
+            g.add(
+                (node, URIRef(str(NOA) + "hasLabel"), Literal(label))
+            )
+            g.add(
+                (
+                    node,
+                    URIRef(str(NOA) + "hasGeometry"),
+                    geometry_literal(patch.footprint),
+                )
+            )
+            g.add(
+                (node, URIRef(str(NOA) + "isPatchOf"), prod_node)
+            )
+        return g
+
+    def label_statistics(self, labels: Sequence[str]) -> Dict[str, int]:
+        """Label → count summary of one annotation run."""
+        stats: Dict[str, int] = {}
+        for label in labels:
+            stats[label] = stats.get(label, 0) + 1
+        return stats

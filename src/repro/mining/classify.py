@@ -1,0 +1,178 @@
+"""Patch classifiers for image information mining.
+
+Three classic supervised classifiers over feature matrices, implemented on
+numpy only.  All share the fit/predict interface of :class:`Classifier`
+and normalise features internally (z-score of the training set).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ClassifierError(ValueError):
+    """Raised for invalid training data or unfit classifiers."""
+
+
+class Classifier:
+    """Interface: ``fit(X, labels)`` then ``predict(X)``.
+
+    ``X`` is an (n_samples, n_features) float matrix; labels are strings.
+    """
+
+    def __init__(self):
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self.classes_: List[str] = []
+
+    def fit(self, X: np.ndarray, labels: Sequence[str]) -> "Classifier":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or len(X) != len(labels):
+            raise ClassifierError(
+                f"X is {X.shape}, labels has {len(labels)} entries"
+            )
+        if len(X) == 0:
+            raise ClassifierError("cannot fit on an empty training set")
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std < 1e-12] = 1.0
+        self.classes_ = sorted(set(labels))
+        self._fit(self._normalize(X), list(labels))
+        return self
+
+    def predict(self, X: np.ndarray) -> List[str]:
+        if self._mean is None:
+            raise ClassifierError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return self._predict(self._normalize(X))
+
+    def score(self, X: np.ndarray, labels: Sequence[str]) -> float:
+        """Accuracy on a labelled set."""
+        predicted = self.predict(X)
+        hits = sum(1 for p, t in zip(predicted, labels) if p == t)
+        return hits / len(labels) if labels else 0.0
+
+    def _normalize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._std
+
+    def _fit(self, X: np.ndarray, labels: List[str]) -> None:
+        raise NotImplementedError
+
+    def _predict(self, X: np.ndarray) -> List[str]:
+        raise NotImplementedError
+
+
+class KNNClassifier(Classifier):
+    """k-nearest-neighbours with Euclidean distance and majority vote."""
+
+    def __init__(self, k: int = 5):
+        super().__init__()
+        if k < 1:
+            raise ClassifierError("k must be >= 1")
+        self.k = k
+        self._X: Optional[np.ndarray] = None
+        self._labels: List[str] = []
+
+    def _fit(self, X: np.ndarray, labels: List[str]) -> None:
+        self._X = X
+        self._labels = labels
+
+    def _predict(self, X: np.ndarray) -> List[str]:
+        assert self._X is not None
+        k = min(self.k, len(self._X))
+        out: List[str] = []
+        for row in X:
+            dist = np.linalg.norm(self._X - row, axis=1)
+            nearest = np.argpartition(dist, k - 1)[:k]
+            votes: Dict[str, Tuple[int, float]] = {}
+            for idx in nearest:
+                label = self._labels[idx]
+                count, total = votes.get(label, (0, 0.0))
+                votes[label] = (count + 1, total + dist[idx])
+            # Majority, ties broken by smaller summed distance.
+            best = max(
+                votes.items(), key=lambda kv: (kv[1][0], -kv[1][1])
+            )
+            out.append(best[0])
+        return out
+
+
+class NearestCentroidClassifier(Classifier):
+    """Assigns the class whose feature centroid is closest."""
+
+    def __init__(self):
+        super().__init__()
+        self._centroids: Dict[str, np.ndarray] = {}
+
+    def _fit(self, X: np.ndarray, labels: List[str]) -> None:
+        self._centroids = {}
+        arr_labels = np.asarray(labels)
+        for cls in self.classes_:
+            self._centroids[cls] = X[arr_labels == cls].mean(axis=0)
+
+    def _predict(self, X: np.ndarray) -> List[str]:
+        names = list(self._centroids)
+        centers = np.vstack([self._centroids[n] for n in names])
+        out = []
+        for row in X:
+            dist = np.linalg.norm(centers - row, axis=1)
+            out.append(names[int(np.argmin(dist))])
+        return out
+
+
+class GaussianNBClassifier(Classifier):
+    """Gaussian naive Bayes with per-class diagonal covariance."""
+
+    def __init__(self, var_smoothing: float = 1e-6):
+        super().__init__()
+        self.var_smoothing = var_smoothing
+        self._params: Dict[str, Tuple[np.ndarray, np.ndarray, float]] = {}
+
+    def _fit(self, X: np.ndarray, labels: List[str]) -> None:
+        self._params = {}
+        arr_labels = np.asarray(labels)
+        n = len(labels)
+        for cls in self.classes_:
+            rows = X[arr_labels == cls]
+            mean = rows.mean(axis=0)
+            var = rows.var(axis=0) + self.var_smoothing
+            prior = len(rows) / n
+            self._params[cls] = (mean, var, prior)
+
+    def _predict(self, X: np.ndarray) -> List[str]:
+        names = list(self._params)
+        scores = np.zeros((len(X), len(names)))
+        for j, cls in enumerate(names):
+            mean, var, prior = self._params[cls]
+            log_likelihood = -0.5 * (
+                np.log(2.0 * np.pi * var) + (X - mean) ** 2 / var
+            ).sum(axis=1)
+            scores[:, j] = log_likelihood + np.log(prior)
+        return [names[int(i)] for i in np.argmax(scores, axis=1)]
+
+
+def train_test_split(
+    X: np.ndarray,
+    labels: Sequence[str],
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> Tuple[np.ndarray, List[str], np.ndarray, List[str]]:
+    """Deterministic shuffled split: (X_train, y_train, X_test, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ClassifierError("test_fraction must be in (0, 1)")
+    X = np.asarray(X, dtype=float)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(X))
+    cut = max(1, int(len(X) * (1.0 - test_fraction)))
+    train_idx, test_idx = order[:cut], order[cut:]
+    labels = list(labels)
+    return (
+        X[train_idx],
+        [labels[i] for i in train_idx],
+        X[test_idx],
+        [labels[i] for i in test_idx],
+    )

@@ -1,0 +1,98 @@
+"""Domain ontologies: landcover and environmental monitoring.
+
+The paper annotates EO products "with concepts from appropriate ontologies
+(e.g., landcover ontologies with concepts such as water-body, lake,
+forest, etc., or environmental monitoring ontologies with concepts such as
+forest fires, flood, etc.)".  This module provides those hierarchies as
+RDFS graphs for the :class:`~repro.rdf.rdfs.RDFSReasoner`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.rdf import Graph, Literal, URIRef
+from repro.rdf.namespace import Namespace, RDF, RDFS
+
+#: Landcover concept namespace.
+LC = Namespace("http://teleios.di.uoa.gr/ontologies/landcover.owl#")
+#: Environmental monitoring concept namespace.
+EM = Namespace("http://teleios.di.uoa.gr/ontologies/monitoring.owl#")
+
+_TYPE = URIRef(str(RDF) + "type")
+_SUBCLASS = URIRef(str(RDFS) + "subClassOf")
+_LABEL = URIRef(str(RDFS) + "label")
+_CLASS = URIRef(str(RDFS) + "Class")
+
+#: Concept key → IRI, used by classifiers/annotators.
+CONCEPTS: Dict[str, URIRef] = {
+    "fire": URIRef(str(EM) + "ForestFire"),
+    "burned": URIRef(str(EM) + "BurnedArea"),
+    "cloud": URIRef(str(LC) + "Cloud"),
+    "sea": URIRef(str(LC) + "Sea"),
+    "lake": URIRef(str(LC) + "Lake"),
+    "forest": URIRef(str(LC) + "Forest"),
+    "farmland": URIRef(str(LC) + "AgriculturalArea"),
+    "urban": URIRef(str(LC) + "UrbanArea"),
+    "other": URIRef(str(LC) + "LandSurface"),
+}
+
+
+def _add_class(g: Graph, node: URIRef, parent: URIRef, label: str) -> None:
+    g.add((node, _TYPE, _CLASS))
+    g.add((node, _SUBCLASS, parent))
+    g.add((node, _LABEL, Literal(label)))
+
+
+def landcover_ontology() -> Graph:
+    """The landcover hierarchy (water-body / lake / forest / ... )."""
+    g = Graph()
+    root = URIRef(str(LC) + "LandCover")
+    g.add((root, _TYPE, _CLASS))
+    natural = URIRef(str(LC) + "NaturalFeature")
+    water = URIRef(str(LC) + "WaterBody")
+    vegetation = URIRef(str(LC) + "Vegetation")
+    artificial = URIRef(str(LC) + "ArtificialSurface")
+    _add_class(g, natural, root, "natural feature")
+    _add_class(g, artificial, root, "artificial surface")
+    _add_class(g, water, natural, "water body")
+    _add_class(g, vegetation, natural, "vegetation")
+    _add_class(g, URIRef(str(LC) + "Sea"), water, "sea")
+    _add_class(g, URIRef(str(LC) + "Lake"), water, "lake")
+    _add_class(g, URIRef(str(LC) + "River"), water, "river")
+    _add_class(g, URIRef(str(LC) + "Forest"), vegetation, "forest")
+    _add_class(
+        g, URIRef(str(LC) + "AgriculturalArea"), vegetation,
+        "agricultural area",
+    )
+    _add_class(g, URIRef(str(LC) + "UrbanArea"), artificial, "urban area")
+    _add_class(g, URIRef(str(LC) + "LandSurface"), natural, "land surface")
+    _add_class(g, URIRef(str(LC) + "Cloud"), root, "cloud")
+    return g
+
+
+def monitoring_ontology() -> Graph:
+    """The environmental-monitoring hierarchy (fires, floods, ...)."""
+    g = Graph()
+    root = URIRef(str(EM) + "Event")
+    g.add((root, _TYPE, _CLASS))
+    hazard = URIRef(str(EM) + "NaturalHazard")
+    fire = URIRef(str(EM) + "Fire")
+    _add_class(g, hazard, root, "natural hazard")
+    _add_class(g, fire, hazard, "fire")
+    _add_class(g, URIRef(str(EM) + "ForestFire"), fire, "forest fire")
+    _add_class(
+        g, URIRef(str(EM) + "AgriculturalFire"), fire, "agricultural fire"
+    )
+    _add_class(g, URIRef(str(EM) + "BurnedArea"), hazard, "burned area")
+    _add_class(g, URIRef(str(EM) + "Flood"), hazard, "flood")
+    _add_class(g, URIRef(str(EM) + "Hotspot"), fire, "hotspot")
+    return g
+
+
+def combined_ontology() -> Graph:
+    """Landcover + monitoring in one schema graph."""
+    g = landcover_ontology()
+    for triple in monitoring_ontology():
+        g.add(triple)
+    return g

@@ -1,0 +1,52 @@
+"""The NOA fire-monitoring application (paper §4).
+
+The real-time hotspot detection service of the National Observatory of
+Athens, rebuilt on the TELEIOS stack:
+
+* :mod:`repro.noa.chain` — the five-module processing chain (ingestion,
+  cropping, georeference, classification, shapefile generation) expressed
+  over SciQL arrays;
+* :mod:`repro.noa.classification` — the interchangeable classification
+  submodules (static thresholds via SciQL, contextual via window
+  statistics);
+* :mod:`repro.noa.refinement` — post-processing that improves thematic
+  accuracy with stSPARQL updates against auxiliary geospatial linked data;
+* :mod:`repro.noa.mapping` — automatic generation of fire maps enriched
+  with open linked data, driven by a series of stSPARQL queries;
+* :mod:`repro.noa.shapefile` — a real ESRI shapefile (.shp/.shx/.dbf)
+  writer/reader for the chain's output products.
+"""
+
+from repro.noa.shapefile import (
+    ShapefileError,
+    read_shapefile,
+    write_shapefile,
+)
+from repro.noa.classification import (
+    CLASSIFIERS,
+    contextual_classifier,
+    static_threshold_classifier,
+)
+from repro.noa.chain import ChainResult, Hotspot, ProcessingChain
+from repro.noa.refinement import RefinementReport, Refiner, score_hotspots
+from repro.noa.mapping import FireMap, FireMapBuilder
+from repro.noa.render import SVGMapRenderer, render_fire_map_svg
+
+__all__ = [
+    "CLASSIFIERS",
+    "ChainResult",
+    "FireMap",
+    "FireMapBuilder",
+    "Hotspot",
+    "ProcessingChain",
+    "RefinementReport",
+    "Refiner",
+    "SVGMapRenderer",
+    "ShapefileError",
+    "render_fire_map_svg",
+    "contextual_classifier",
+    "read_shapefile",
+    "score_hotspots",
+    "static_threshold_classifier",
+    "write_shapefile",
+]

@@ -1,0 +1,112 @@
+"""Hotspot classification submodules.
+
+Scenario 1 of the demo lets the user "test the efficiency of different
+processing chains (i.e., chains using a different classification
+submodule)".  Two interchangeable submodules are provided; both take the
+scene's SciQL array and fill a ``hotspot`` attribute plane:
+
+* ``static`` — fixed brightness-temperature thresholds, expressed as a
+  SciQL UPDATE (the declarative formulation the paper advertises);
+* ``contextual`` — compares each pixel with the statistics of its local
+  background window (mean + k·std), the classic contextual fire test:
+  slower, markedly fewer false positives near warm surfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.mdb import Database
+from repro.mdb.sciql import SciArray
+from repro.mdb.types import DOUBLE
+
+#: 3.9um absolute threshold (K) of the static test.
+STATIC_T039_K = 312.0
+#: Minimum 3.9-10.8um difference (K) of the static test.
+STATIC_DIFF_K = 9.0
+
+#: The SciQL statement template of the static classifier.
+STATIC_SCIQL_TEMPLATE = (
+    "UPDATE {array} SET hotspot = 1 "
+    "WHERE t039 > {t039} AND t039 - t108 > {diff}"
+)
+
+
+def _ensure_hotspot_attribute(array: SciArray) -> None:
+    if not array.has_attribute("hotspot"):
+        array.add_attribute("hotspot", DOUBLE, default=0.0)
+    else:
+        array.fill(0.0, attr="hotspot")
+
+
+def static_threshold_classifier(
+    array: SciArray,
+    db: Database,
+    t039_threshold: float = STATIC_T039_K,
+    diff_threshold: float = STATIC_DIFF_K,
+) -> np.ndarray:
+    """Classify via the fixed-threshold SciQL UPDATE; returns the mask."""
+    _ensure_hotspot_attribute(array)
+    statement = STATIC_SCIQL_TEMPLATE.format(
+        array=array.name, t039=t039_threshold, diff=diff_threshold
+    )
+    db.execute(statement)
+    return array.attribute("hotspot") > 0.5
+
+
+def _window_stats(plane: np.ndarray, radius: int):
+    """Local mean/std over a (2r+1)^2 box via summed-area tables."""
+    padded = np.pad(plane.astype(float), radius, mode="reflect")
+    ones = np.ones_like(padded)
+
+    def box_sum(arr: np.ndarray) -> np.ndarray:
+        csum = arr.cumsum(axis=0).cumsum(axis=1)
+        csum = np.pad(csum, ((1, 0), (1, 0)))
+        k = 2 * radius + 1
+        h, w = plane.shape
+        return (
+            csum[k : k + h, k : k + w]
+            - csum[k : k + h, 0:w]
+            - csum[0:h, k : k + w]
+            + csum[0:h, 0:w]
+        )
+
+    count = box_sum(ones)
+    mean = box_sum(padded) / count
+    sq_mean = box_sum(padded ** 2) / count
+    var = np.maximum(sq_mean - mean ** 2, 0.0)
+    return mean, np.sqrt(var)
+
+
+def contextual_classifier(
+    array: SciArray,
+    db: Database,
+    window_radius: int = 11,
+    k_sigma: float = 3.0,
+    t039_floor: float = 305.0,
+) -> np.ndarray:
+    """Contextual test: a pixel is a hotspot when its 3.9-10.8 µm
+    difference exceeds the local background by ``k_sigma`` standard
+    deviations (and 3.9 µm clears an absolute floor)."""
+    _ensure_hotspot_attribute(array)
+    t039 = array.attribute("t039")
+    t108 = array.attribute("t108")
+    diff = t039 - t108
+    mean, std = _window_stats(diff, window_radius)
+    anomaly = diff > mean + k_sigma * np.maximum(std, 0.4)
+    mask = anomaly & (t039 > t039_floor)
+    array.set_attribute("hotspot", mask.astype(float))
+    return mask
+
+
+#: Submodule registry keyed by chain configuration name.
+CLASSIFIERS: Dict[str, Callable] = {
+    "static": static_threshold_classifier,
+    "contextual": contextual_classifier,
+}
+
+
+def classifier_names() -> List[str]:
+    return sorted(CLASSIFIERS)

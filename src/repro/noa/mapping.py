@@ -1,0 +1,231 @@
+"""Automatic fire-map generation from stSPARQL query series.
+
+Paper §4: "we will demonstrate how the automatic generation of fire maps
+enriched with relevant geo-information available as open linked data is
+made possible with the use of a series of stSPARQL queries and the
+visualization of the results.  This automatic generation is of paramount
+importance to NOA, since the creation of such maps in the past has been a
+time-consuming manual process."
+
+The :class:`FireMapBuilder` runs one stSPARQL query per map layer:
+
+* ``hotspots``         — the (refined) hotspot polygons and confidences,
+* ``affected_towns``   — GeoNames-style towns within a radius of a hotspot,
+* ``nearby_sites``     — archaeological sites within a radius (the intro's
+  motivating query),
+* ``threatened_roads`` — roads crossing the hotspot buffer,
+* ``burning_landcover`` — Corine-style land-cover regions intersecting
+  hotspots.
+
+The output is a plain-data :class:`FireMap` (layers of features with WKT
+geometries) plus a compact GeoJSON-like dict for rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.eo.linkeddata import CLC, DBP, GN, LGD, GreeceLikeWorld
+from repro.ingest.metadata import NOA_PREFIXES
+from repro.rdf.term import Literal, RDFTerm
+from repro.strabon import StrabonStore, literal_geometry
+from repro.strabon.strdf import is_geometry_literal
+
+_MAP_PREFIXES = (
+    NOA_PREFIXES
+    + f"PREFIX gn: <{GN}>\n"
+    + f"PREFIX lgd: <{LGD}>\n"
+    + f"PREFIX clc: <{CLC}>\n"
+    + f"PREFIX dbp: <{DBP}>\n"
+)
+
+
+class FireMap:
+    """Layered map features, ready for rendering or export."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self.layers: Dict[str, List[Dict[str, Any]]] = {}
+        self.queries: Dict[str, str] = {}
+
+    def add_layer(
+        self, name: str, query: str, features: List[Dict[str, Any]]
+    ) -> None:
+        self.layers[name] = features
+        self.queries[name] = query
+
+    def layer(self, name: str) -> List[Dict[str, Any]]:
+        return self.layers.get(name, [])
+
+    def feature_count(self) -> int:
+        return sum(len(f) for f in self.layers.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A GeoJSON-flavoured plain-data export."""
+        return {
+            "title": self.title,
+            "layers": {
+                name: {
+                    "features": [
+                        {
+                            "geometry_wkt": f.get("wkt"),
+                            "properties": {
+                                k: v for k, v in f.items() if k != "wkt"
+                            },
+                        }
+                        for f in features
+                    ]
+                }
+                for name, features in self.layers.items()
+            },
+        }
+
+    def to_geojson(self) -> Dict[str, Any]:
+        """A GeoJSON FeatureCollection of every layer's features, each
+        carrying its layer name in the properties."""
+        from repro.geometry import from_wkt
+        from repro.geometry.geojson import feature, feature_collection
+
+        features = []
+        for name, layer_features in self.layers.items():
+            for f in layer_features:
+                wkt = f.get("wkt")
+                geom = from_wkt(wkt) if wkt else None
+                props = {k: v for k, v in f.items() if k != "wkt"}
+                props["layer"] = name
+                features.append(feature(geom, props))
+        return feature_collection(features)
+
+    def __repr__(self) -> str:
+        counts = {k: len(v) for k, v in self.layers.items()}
+        return f"<FireMap {self.title!r} {counts}>"
+
+
+def _value(term: Optional[RDFTerm]) -> Any:
+    if term is None:
+        return None
+    if is_geometry_literal(term):
+        return literal_geometry(term).wkt
+    if isinstance(term, Literal):
+        return term.to_python()
+    return str(term)
+
+
+class FireMapBuilder:
+    """Builds fire maps by running the layer query series on a store."""
+
+    def __init__(
+        self,
+        store: StrabonStore,
+        world: Optional[GreeceLikeWorld] = None,
+        town_radius_deg: float = 0.25,
+        site_radius_deg: float = 0.25,
+    ):
+        self.store = store
+        self.world = world
+        self.town_radius = town_radius_deg
+        self.site_radius = site_radius_deg
+
+    def build(self, title: str = "NOA fire map") -> FireMap:
+        """Run the full query series and assemble the map."""
+        fire_map = FireMap(title)
+        self._layer_hotspots(fire_map)
+        self._layer_affected_towns(fire_map)
+        self._layer_nearby_sites(fire_map)
+        self._layer_threatened_roads(fire_map)
+        self._layer_burning_landcover(fire_map)
+        return fire_map
+
+    # -- individual layers -----------------------------------------------------
+
+    def _run_layer(
+        self,
+        fire_map: FireMap,
+        name: str,
+        query: str,
+        columns: List[str],
+    ) -> None:
+        result = self.store.query(query)
+        features = []
+        for binding in result:
+            feature = {}
+            for col in columns:
+                feature[col] = _value(binding.get(col))
+            features.append(feature)
+        fire_map.add_layer(name, query, features)
+
+    def _layer_hotspots(self, fire_map: FireMap) -> None:
+        query = (
+            _MAP_PREFIXES
+            + "SELECT ?h ?wkt ?conf WHERE {\n"
+            "  ?h a noa:Hotspot ; noa:hasGeometry ?g ; "
+            "noa:hasConfidence ?conf .\n"
+            "  BIND(strdf:asText(?g) AS ?wkt)\n"
+            "} ORDER BY DESC(?conf)"
+        )
+        self._run_layer(fire_map, "hotspots", query, ["h", "wkt", "conf"])
+
+    def _layer_affected_towns(self, fire_map: FireMap) -> None:
+        query = (
+            _MAP_PREFIXES
+            + "SELECT DISTINCT ?town ?name ?pop ?wkt WHERE {\n"
+            "  ?h a noa:Hotspot ; noa:hasGeometry ?hg .\n"
+            "  ?town a gn:PopulatedPlace ; gn:name ?name ; "
+            "gn:population ?pop ; gn:hasGeometry ?tg .\n"
+            f"  FILTER(strdf:distance(?hg, ?tg) < {self.town_radius})\n"
+            "  BIND(strdf:asText(?tg) AS ?wkt)\n"
+            "} ORDER BY DESC(?pop)"
+        )
+        self._run_layer(
+            fire_map, "affected_towns", query, ["town", "name", "pop", "wkt"]
+        )
+
+    def _layer_nearby_sites(self, fire_map: FireMap) -> None:
+        query = (
+            _MAP_PREFIXES
+            + "SELECT DISTINCT ?site ?wkt WHERE {\n"
+            "  ?h a noa:Hotspot ; noa:hasGeometry ?hg .\n"
+            "  ?site a dbp:ArchaeologicalSite ; dbp:hasGeometry ?sg .\n"
+            f"  FILTER(strdf:distance(?hg, ?sg) < {self.site_radius})\n"
+            "  BIND(strdf:asText(?sg) AS ?wkt)\n"
+            "}"
+        )
+        self._run_layer(fire_map, "nearby_sites", query, ["site", "wkt"])
+
+    def _layer_threatened_roads(self, fire_map: FireMap) -> None:
+        query = (
+            _MAP_PREFIXES
+            + "SELECT DISTINCT ?road ?wkt WHERE {\n"
+            "  ?h a noa:Hotspot ; noa:hasGeometry ?hg .\n"
+            "  ?road a lgd:Motorway ; lgd:hasGeometry ?rg .\n"
+            f"  FILTER(strdf:distance(?hg, ?rg) < {self.site_radius})\n"
+            "  BIND(strdf:asText(?rg) AS ?wkt)\n"
+            "}"
+        )
+        self._run_layer(fire_map, "threatened_roads", query, ["road", "wkt"])
+
+    def _layer_burning_landcover(self, fire_map: FireMap) -> None:
+        query = (
+            _MAP_PREFIXES
+            + "SELECT DISTINCT ?area ?kind ?wkt WHERE {\n"
+            "  ?h a noa:Hotspot ; noa:hasGeometry ?hg .\n"
+            "  ?area a ?kind ; clc:hasGeometry ?ag .\n"
+            "  FILTER(strdf:intersects(?hg, ?ag))\n"
+            "  BIND(strdf:asText(?ag) AS ?wkt)\n"
+            "}"
+        )
+        result = self.store.query(query)
+        features = []
+        for binding in result:
+            kind = binding.get("kind")
+            # Only Corine classes make landcover features.
+            if kind is None or not str(kind).startswith(str(CLC)):
+                continue
+            features.append(
+                {
+                    "area": _value(binding.get("area")),
+                    "kind": str(kind).rsplit("#", 1)[-1],
+                    "wkt": _value(binding.get("wkt")),
+                }
+            )
+        fire_map.add_layer("burning_landcover", query, features)

@@ -1,0 +1,172 @@
+"""Fire-map rendering: SVG output for the rapid-mapping service.
+
+The demo's final step is "the visualization of the results"; this module
+turns a :class:`~repro.noa.mapping.FireMap` (plus the coastline backdrop)
+into a standalone SVG document — the deliverable a rapid-mapping duty
+officer would actually ship.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.eo.linkeddata import GreeceLikeWorld
+from repro.geometry import Envelope, Geometry, from_wkt
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import flatten
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.noa.mapping import FireMap
+
+#: Layer draw order and styling (fill, stroke, point radius).
+_LAYER_STYLE = {
+    "burning_landcover": ("#9acD7e", "#5a8a4a", 0.0),
+    "threatened_roads": ("none", "#888888", 0.0),
+    "hotspots": ("#ff3b30", "#99140c", 0.0),
+    "affected_towns": ("#3b66ff", "#1c3a99", 5.0),
+    "nearby_sites": ("#b06cd9", "#6a3a8a", 4.0),
+}
+
+
+class SVGMapRenderer:
+    """Renders fire maps to SVG strings."""
+
+    def __init__(
+        self,
+        world: Optional[GreeceLikeWorld] = None,
+        width: int = 800,
+        margin: float = 0.3,
+    ):
+        self.world = world
+        self.width = width
+        self.margin = margin
+
+    def render(self, fire_map: FireMap) -> str:
+        """Return a standalone SVG document for the map."""
+        geometries = self._collect(fire_map)
+        env = Envelope.empty()
+        for _, geom, _ in geometries:
+            env = env.union(geom.envelope)
+        if env.is_empty:
+            env = Envelope(20.0, 34.0, 28.0, 42.0)
+        env = env.expanded(self.margin)
+        height = max(
+            1, int(self.width * env.height / max(env.width, 1e-9))
+        )
+        to_px = self._projector(env, self.width, height)
+        parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{height}" '
+            f'viewBox="0 0 {self.width} {height}">',
+            f'<rect width="{self.width}" height="{height}" fill="#cfe8f7"/>',
+        ]
+        if self.world is not None:
+            for poly in flatten(self.world.land):
+                parts.append(
+                    self._polygon_svg(
+                        poly, to_px, fill="#f2ead8", stroke="#b0a890"
+                    )
+                )
+        for layer_name, geom, label in geometries:
+            fill, stroke, radius = _LAYER_STYLE.get(
+                layer_name, ("#cccccc", "#666666", 3.0)
+            )
+            parts.append(
+                self._geometry_svg(geom, to_px, fill, stroke, radius, label)
+            )
+        parts.append(self._title_svg(fire_map.title))
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _projector(env: Envelope, width: int, height: int):
+        def to_px(x: float, y: float) -> Tuple[float, float]:
+            px = (x - env.minx) / env.width * width
+            py = (env.maxy - y) / env.height * height
+            return (round(px, 2), round(py, 2))
+
+        return to_px
+
+    def _collect(self, fire_map: FireMap):
+        ordered = []
+        for layer_name in _LAYER_STYLE:
+            for feature in fire_map.layer(layer_name):
+                wkt = feature.get("wkt")
+                if not wkt:
+                    continue
+                label = (
+                    feature.get("name")
+                    or feature.get("kind")
+                    or ""
+                )
+                ordered.append((layer_name, from_wkt(wkt), str(label)))
+        return ordered
+
+    def _geometry_svg(
+        self, geom: Geometry, to_px, fill, stroke, radius, label
+    ) -> str:
+        parts = []
+        for atom in flatten(geom):
+            if isinstance(atom, Point):
+                x, y = to_px(atom.x, atom.y)
+                parts.append(
+                    f'<circle cx="{x}" cy="{y}" r="{radius or 3}" '
+                    f'fill="{fill}" stroke="{stroke}"/>'
+                )
+                if label:
+                    parts.append(
+                        f'<text x="{x + 6}" y="{y - 4}" font-size="11" '
+                        f'fill="#333">{_escape(label)}</text>'
+                    )
+            elif isinstance(atom, Polygon):
+                parts.append(
+                    self._polygon_svg(atom, to_px, fill, stroke)
+                )
+            elif isinstance(atom, LineString):
+                points = " ".join(
+                    f"{x},{y}"
+                    for x, y in (to_px(cx, cy) for cx, cy in atom.coords())
+                )
+                parts.append(
+                    f'<polyline points="{points}" fill="none" '
+                    f'stroke="{stroke}" stroke-width="2" '
+                    'stroke-dasharray="6,3"/>'
+                )
+        return "\n".join(parts)
+
+    @staticmethod
+    def _polygon_svg(poly: Polygon, to_px, fill, stroke) -> str:
+        def ring_path(ring) -> str:
+            pts = [to_px(x, y) for x, y in ring.closed_coords()]
+            head = f"M {pts[0][0]} {pts[0][1]} "
+            body = " ".join(f"L {x} {y}" for x, y in pts[1:])
+            return head + body + " Z"
+
+        path = " ".join(ring_path(r) for r in poly.rings())
+        return (
+            f'<path d="{path}" fill="{fill}" stroke="{stroke}" '
+            'fill-rule="evenodd" fill-opacity="0.75"/>'
+        )
+
+    def _title_svg(self, title: str) -> str:
+        return (
+            f'<text x="12" y="22" font-size="16" font-weight="bold" '
+            f'fill="#222">{_escape(title)}</text>'
+        )
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_fire_map_svg(
+    fire_map: FireMap,
+    world: Optional[GreeceLikeWorld] = None,
+    width: int = 800,
+) -> str:
+    """One-call convenience wrapper around :class:`SVGMapRenderer`."""
+    return SVGMapRenderer(world, width=width).render(fire_map)

@@ -1,0 +1,354 @@
+"""ESRI shapefile I/O (.shp / .shx / .dbf).
+
+The NOA chain's final module "generates shapefiles containing the
+geometries of hotspots"; this is a real, binary-compatible implementation
+of the 1998 ESRI whitepaper subset needed for that: shape types Point (1)
+and Polygon (5), the .shx offset index, and dBASE III attribute tables
+with character (C) and numeric (N) fields.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry import Envelope, Geometry, Point, Polygon
+from repro.geometry.multi import MultiPolygon, flatten
+
+_SHP_MAGIC = 9994
+_SHP_VERSION = 1000
+SHAPE_NULL = 0
+SHAPE_POINT = 1
+SHAPE_POLYGON = 5
+
+
+class ShapefileError(ValueError):
+    """Raised for malformed shapefiles or unsupported shape types."""
+
+
+class Feature:
+    """One shapefile record: a geometry plus its attribute row."""
+
+    def __init__(self, geometry: Optional[Geometry], attributes: Dict[str, Any]):
+        self.geometry = geometry
+        self.attributes = attributes
+
+    def __repr__(self) -> str:
+        kind = self.geometry.geom_type if self.geometry else "Null"
+        return f"<Feature {kind} {self.attributes}>"
+
+
+# ---------------------------------------------------------------------------
+# writing
+# ---------------------------------------------------------------------------
+
+
+def _geometry_record(geom: Optional[Geometry]) -> bytes:
+    if geom is None:
+        return struct.pack("<i", SHAPE_NULL)
+    if isinstance(geom, Point):
+        return struct.pack("<idd", SHAPE_POINT, geom.x, geom.y)
+    if isinstance(geom, (Polygon, MultiPolygon)):
+        return _polygon_record(geom)
+    raise ShapefileError(
+        f"unsupported geometry type {geom.geom_type} for shapefiles"
+    )
+
+
+def _polygon_record(geom: Polygon | MultiPolygon) -> bytes:
+    polys = [g for g in flatten(geom) if isinstance(g, Polygon)]
+    if not polys:
+        return struct.pack("<i", SHAPE_NULL)
+    rings: List[List[Tuple[float, float]]] = []
+    for poly in polys:
+        # Shapefile wants outer rings clockwise, holes counter-clockwise.
+        shell = poly.shell.oriented(ccw=False).closed_coords()
+        rings.append(shell)
+        for hole in poly.holes:
+            rings.append(hole.oriented(ccw=True).closed_coords())
+    env = geom.envelope
+    parts: List[int] = []
+    offset = 0
+    for ring in rings:
+        parts.append(offset)
+        offset += len(ring)
+    n_points = offset
+    body = struct.pack(
+        "<idddd", SHAPE_POLYGON, env.minx, env.miny, env.maxx, env.maxy
+    )
+    body += struct.pack("<ii", len(rings), n_points)
+    body += struct.pack(f"<{len(parts)}i", *parts)
+    for ring in rings:
+        for x, y in ring:
+            body += struct.pack("<dd", x, y)
+    return body
+
+
+def _dbf_field_descriptors(
+    fields: Sequence[Tuple[str, str, int, int]]
+) -> bytes:
+    out = b""
+    for name, ftype, length, decimals in fields:
+        out += struct.pack(
+            "<11sc4xBB14x",
+            name.encode("ascii")[:10].ljust(11, b"\0"),
+            ftype.encode("ascii"),
+            length,
+            decimals,
+        )
+    return out
+
+
+def _infer_fields(
+    features: Sequence[Feature],
+) -> List[Tuple[str, str, int, int]]:
+    """dBASE field table from the union of attribute keys."""
+    keys: List[str] = []
+    for f in features:
+        for k in f.attributes:
+            if k not in keys:
+                keys.append(k)
+    fields: List[Tuple[str, str, int, int]] = []
+    for key in keys:
+        values = [f.attributes.get(key) for f in features]
+        non_null = [v for v in values if v is not None]
+        if non_null and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in non_null
+        ):
+            has_float = any(isinstance(v, float) for v in non_null)
+            fields.append((key, "N", 19, 6 if has_float else 0))
+        else:
+            # Width is in *bytes*; account for multi-byte UTF-8 text.
+            width = max(
+                [len(str(v).encode("utf-8")) for v in non_null] + [1]
+            )
+            fields.append((key, "C", min(max(width, 1), 254), 0))
+    return fields
+
+
+def _dbf_record(
+    feature: Feature, fields: Sequence[Tuple[str, str, int, int]]
+) -> bytes:
+    out = b" "  # not deleted
+    for name, ftype, length, decimals in fields:
+        value = feature.attributes.get(name)
+        if ftype == "N":
+            if value is None:
+                text = " " * length
+            elif decimals:
+                text = f"{float(value):>{length}.{decimals}f}"[:length]
+            else:
+                text = f"{int(value):>{length}d}"[:length]
+            out += text.rjust(length).encode("ascii")
+        else:
+            text = "" if value is None else str(value)
+            out += text.encode("utf-8", "replace")[:length].ljust(length, b" ")
+    return out
+
+
+def write_shapefile(base_path: str, features: Sequence[Feature]) -> None:
+    """Write ``<base>.shp``, ``<base>.shx`` and ``<base>.dbf``.
+
+    All features must share one shape type (points or polygons); Null
+    geometries are allowed anywhere.
+    """
+    base, _ = os.path.splitext(base_path)
+    shape_type = SHAPE_NULL
+    total_env = Envelope.empty()
+    for f in features:
+        if f.geometry is None:
+            continue
+        this_type = (
+            SHAPE_POINT if isinstance(f.geometry, Point) else SHAPE_POLYGON
+        )
+        if shape_type == SHAPE_NULL:
+            shape_type = this_type
+        elif shape_type != this_type:
+            raise ShapefileError("mixed shape types in one shapefile")
+        total_env = total_env.union(f.geometry.envelope)
+    if total_env.is_empty:
+        total_env = Envelope(0, 0, 0, 0)
+
+    records: List[bytes] = [_geometry_record(f.geometry) for f in features]
+    # .shp
+    shp_body = b""
+    shx_body = b""
+    offset_words = 50  # header is 100 bytes = 50 words
+    for i, record in enumerate(records, start=1):
+        length_words = len(record) // 2
+        shp_body += struct.pack(">ii", i, length_words) + record
+        shx_body += struct.pack(">ii", offset_words, length_words)
+        offset_words += 4 + length_words
+
+    def header(length_words: int) -> bytes:
+        return struct.pack(
+            ">i5ii",
+            _SHP_MAGIC, 0, 0, 0, 0, 0,
+            length_words,
+        ) + struct.pack(
+            "<ii4d4d",
+            _SHP_VERSION,
+            shape_type,
+            total_env.minx, total_env.miny, total_env.maxx, total_env.maxy,
+            0.0, 0.0, 0.0, 0.0,
+        )
+
+    with open(base + ".shp", "wb") as f:
+        f.write(header(50 + len(shp_body) // 2))
+        f.write(shp_body)
+    with open(base + ".shx", "wb") as f:
+        f.write(header(50 + len(shx_body) // 2))
+        f.write(shx_body)
+
+    # .dbf
+    fields = _infer_fields(features)
+    record_len = 1 + sum(f[2] for f in fields)
+    header_len = 32 + 32 * len(fields) + 1
+    with open(base + ".dbf", "wb") as f:
+        f.write(
+            struct.pack(
+                "<B3BIHH20x",
+                0x03, 107, 7, 7,  # version, fake YMD
+                len(features),
+                header_len,
+                record_len,
+            )
+        )
+        f.write(_dbf_field_descriptors(fields))
+        f.write(b"\x0d")
+        for feature in features:
+            f.write(_dbf_record(feature, fields))
+        f.write(b"\x1a")
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+def _read_geometry(record: bytes) -> Optional[Geometry]:
+    (shape_type,) = struct.unpack_from("<i", record, 0)
+    if shape_type == SHAPE_NULL:
+        return None
+    if shape_type == SHAPE_POINT:
+        x, y = struct.unpack_from("<dd", record, 4)
+        return Point(x, y)
+    if shape_type == SHAPE_POLYGON:
+        return _read_polygon(record)
+    raise ShapefileError(f"unsupported shape type {shape_type}")
+
+
+def _read_polygon(record: bytes) -> Geometry:
+    n_parts, n_points = struct.unpack_from("<ii", record, 36)
+    parts = list(
+        struct.unpack_from(f"<{n_parts}i", record, 44)
+    )
+    coords_off = 44 + 4 * n_parts
+    xs_ys = struct.unpack_from(f"<{2 * n_points}d", record, coords_off)
+    points = [
+        (xs_ys[2 * i], xs_ys[2 * i + 1]) for i in range(n_points)
+    ]
+    rings: List[List[Tuple[float, float]]] = []
+    bounds = parts + [n_points]
+    for i in range(n_parts):
+        rings.append(points[bounds[i] : bounds[i + 1]])
+    # Ring winding tells shells (cw) from holes (ccw).
+    from repro.geometry.algorithms import ring_signed_area
+
+    shells: List[Tuple[List, List]] = []  # (shell, holes)
+    holes: List[List[Tuple[float, float]]] = []
+    for ring in rings:
+        if ring_signed_area(ring) <= 0:
+            shells.append((ring, []))
+        else:
+            holes.append(ring)
+    if not shells:  # degenerate: treat all as shells
+        shells = [(r, []) for r in rings]
+        holes = []
+    for hole in holes:
+        from repro.geometry.algorithms import point_in_ring
+
+        placed = False
+        for shell, shell_holes in shells:
+            if point_in_ring(hole[0], shell) >= 0:
+                shell_holes.append(hole)
+                placed = True
+                break
+        if not placed:
+            shells.append((hole, []))
+    polys = [Polygon(shell, hs) for shell, hs in shells]
+    if len(polys) == 1:
+        return polys[0]
+    return MultiPolygon(polys)
+
+
+def _read_dbf(path: str) -> Tuple[List[str], List[List[Any]]]:
+    with open(path, "rb") as f:
+        head = f.read(32)
+        n_records, header_len, record_len = struct.unpack_from(
+            "<IHH", head, 4
+        )
+        n_fields = (header_len - 33) // 32
+        fields = []
+        for _ in range(n_fields):
+            desc = f.read(32)
+            name = desc[:11].split(b"\0")[0].decode("ascii")
+            ftype = chr(desc[11])
+            length = desc[16]
+            decimals = desc[17]
+            fields.append((name, ftype, length, decimals))
+        f.seek(header_len)
+        rows: List[List[Any]] = []
+        for _ in range(n_records):
+            raw = f.read(record_len)
+            if not raw or raw[0:1] == b"\x1a":
+                break
+            pos = 1
+            row: List[Any] = []
+            for name, ftype, length, decimals in fields:
+                chunk = raw[pos : pos + length]
+                pos += length
+                text = chunk.decode("utf-8", "replace").strip()
+                if ftype == "N":
+                    if not text:
+                        row.append(None)
+                    elif decimals or "." in text:
+                        row.append(float(text))
+                    else:
+                        row.append(int(text))
+                else:
+                    row.append(text if text else None)
+            rows.append(row)
+    return [f[0] for f in fields], rows
+
+
+def read_shapefile(base_path: str) -> List[Feature]:
+    """Read ``<base>.shp`` + ``<base>.dbf`` back into features."""
+    base, _ = os.path.splitext(base_path)
+    shp_path = base + ".shp"
+    with open(shp_path, "rb") as f:
+        header = f.read(100)
+        if struct.unpack_from(">i", header, 0)[0] != _SHP_MAGIC:
+            raise ShapefileError(f"not a shapefile: {shp_path!r}")
+        geometries: List[Optional[Geometry]] = []
+        while True:
+            rec_header = f.read(8)
+            if len(rec_header) < 8:
+                break
+            _, length_words = struct.unpack(">ii", rec_header)
+            record = f.read(length_words * 2)
+            geometries.append(_read_geometry(record))
+    names: List[str] = []
+    rows: List[List[Any]] = []
+    dbf_path = base + ".dbf"
+    if os.path.exists(dbf_path):
+        names, rows = _read_dbf(dbf_path)
+    features = []
+    for i, geom in enumerate(geometries):
+        attributes = (
+            dict(zip(names, rows[i])) if i < len(rows) else {}
+        )
+        features.append(Feature(geom, attributes))
+    return features

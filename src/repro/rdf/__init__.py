@@ -1,0 +1,65 @@
+"""RDF substrate: terms, graphs, serialisation and RDFS inference.
+
+This package is the Sesame/Jena replacement beneath Strabon
+(:mod:`repro.strabon`): an indexed in-memory triple store with Turtle and
+N-Triples I/O and lightweight RDFS reasoning.
+
+Quick example::
+
+    from repro.rdf import Graph, Literal, Namespace, URIRef
+
+    EX = Namespace("http://example.org/")
+    g = Graph()
+    g.add((EX.fire1, EX.detectedAt, Literal("2007-08-25T12:00:00")))
+    assert len(g) == 1
+"""
+
+from repro.rdf.term import (
+    BNode,
+    Literal,
+    RDFTerm,
+    TermError,
+    URIRef,
+    Variable,
+)
+from repro.rdf.namespace import (
+    DC,
+    GEO,
+    NOA,
+    OWL,
+    RDF,
+    RDFS,
+    STRDF,
+    XSD,
+    Namespace,
+)
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.turtle import TurtleParseError, parse_turtle, serialize_turtle
+from repro.rdf.rdfs import RDFSReasoner
+
+__all__ = [
+    "BNode",
+    "DC",
+    "GEO",
+    "Graph",
+    "Literal",
+    "NOA",
+    "Namespace",
+    "OWL",
+    "RDF",
+    "RDFS",
+    "RDFSReasoner",
+    "RDFTerm",
+    "STRDF",
+    "TermError",
+    "Triple",
+    "TurtleParseError",
+    "URIRef",
+    "Variable",
+    "XSD",
+    "parse_ntriples",
+    "parse_turtle",
+    "serialize_ntriples",
+    "serialize_turtle",
+]

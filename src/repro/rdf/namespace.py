@@ -1,0 +1,63 @@
+"""Namespace helper and the vocabularies TELEIOS uses."""
+
+from __future__ import annotations
+
+from repro.rdf.term import URIRef
+
+
+class Namespace(str):
+    """A base IRI from which terms are minted via attribute/index access.
+
+    ::
+
+        EX = Namespace("http://example.org/")
+        EX.thing        # URIRef("http://example.org/thing")
+        EX["odd name"]  # index syntax for non-identifier locals
+    """
+
+    def __new__(cls, base: str) -> "Namespace":
+        return str.__new__(cls, base)
+
+    def term(self, name: str) -> URIRef:
+        return URIRef(str(self) + name)
+
+    def __getattr__(self, name: str) -> URIRef:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name) -> URIRef:  # type: ignore[override]
+        if isinstance(name, (int, slice)):
+            return str.__getitem__(self, name)  # type: ignore[return-value]
+        return self.term(name)
+
+    def __contains__(self, item) -> bool:  # type: ignore[override]
+        return isinstance(item, str) and item.startswith(str(self))
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+DC = Namespace("http://purl.org/dc/elements/1.1/")
+
+#: stRDF / stSPARQL vocabulary (spatial literals and functions).
+STRDF = Namespace("http://strdf.di.uoa.gr/ontology#")
+
+#: GeoSPARQL vocabulary (the forthcoming OGC standard cited by the paper).
+GEO = Namespace("http://www.opengis.net/ont/geosparql#")
+
+#: NOA fire-monitoring product vocabulary used by the demo application.
+NOA = Namespace("http://teleios.di.uoa.gr/ontologies/noaOntology.owl#")
+
+#: Common prefix table for parsers/serialisers.
+WELL_KNOWN_PREFIXES = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "owl": OWL,
+    "xsd": XSD,
+    "dc": DC,
+    "strdf": STRDF,
+    "geo": GEO,
+    "noa": NOA,
+}

@@ -1,0 +1,102 @@
+"""N-Triples parser and serialiser (line-based RDF interchange)."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List
+
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.term import BNode, Literal, TermError, URIRef
+
+_TERM_RE = re.compile(
+    r"""\s*(?:
+        <(?P<iri>[^>]*)>
+      | _:(?P<bnode>[A-Za-z0-9_.\-]+)
+      | "(?P<lit>(?:[^"\\]|\\.)*)"
+        (?:\^\^<(?P<dtype>[^>]*)>|@(?P<lang>[A-Za-z0-9\-]+))?
+    )""",
+    re.VERBOSE,
+)
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+def _unescape(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text):
+            pair = text[i : i + 2]
+            if pair in _ESCAPES:
+                out.append(_ESCAPES[pair])
+                i += 2
+                continue
+            if pair == "\\u" and i + 6 <= len(text):
+                out.append(chr(int(text[i + 2 : i + 6], 16)))
+                i += 6
+                continue
+            if pair == "\\U" and i + 10 <= len(text):
+                out.append(chr(int(text[i + 2 : i + 10], 16)))
+                i += 10
+                continue
+        out.append(text[i])
+        i += 1
+    return "".join(out)
+
+
+def _parse_term(text: str, pos: int):
+    m = _TERM_RE.match(text, pos)
+    if not m:
+        raise TermError(f"bad N-Triples term at column {pos}: {text[pos:pos+40]!r}")
+    if m.group("iri") is not None:
+        return URIRef(m.group("iri")), m.end()
+    if m.group("bnode") is not None:
+        return BNode(m.group("bnode")), m.end()
+    lexical = _unescape(m.group("lit"))
+    return (
+        Literal(lexical, datatype=m.group("dtype"), language=m.group("lang")),
+        m.end(),
+    )
+
+
+def iter_ntriples(text: str) -> Iterator[Triple]:
+    """Yield triples from N-Triples text, skipping comments and blanks."""
+    # Split strictly on newline: str.splitlines() would also break on
+    # exotic separators (\x1c..\x1e,  ...) that may occur inside
+    # escaped literals.
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            s, pos = _parse_term(line, 0)
+            p, pos = _parse_term(line, pos)
+            o, pos = _parse_term(line, pos)
+        except TermError as exc:
+            raise TermError(f"line {lineno}: {exc}") from exc
+        tail = line[pos:].strip()
+        if tail != ".":
+            raise TermError(f"line {lineno}: expected final '.', got {tail!r}")
+        yield (s, p, o)
+
+
+def parse_ntriples(text: str, graph: Graph | None = None) -> Graph:
+    """Parse N-Triples text into a (new or supplied) graph."""
+    g = graph if graph is not None else Graph()
+    for triple in iter_ntriples(text):
+        g.add(triple)
+    return g
+
+
+def serialize_ntriples(graph: Graph) -> str:
+    """Serialise a graph as sorted N-Triples text."""
+    lines = sorted(
+        f"{s.n3()} {p.n3()} {o.n3()} ." for s, p, o in graph
+    )
+    return "\n".join(lines) + ("\n" if lines else "")

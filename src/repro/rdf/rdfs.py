@@ -1,0 +1,140 @@
+"""Lightweight RDFS reasoning.
+
+TELEIOS annotates EO products with concepts from OWL ontologies and then
+queries them through class hierarchies ("find water bodies" should match
+lakes).  This module materialises the RDFS entailments that make such
+queries work:
+
+* ``rdfs:subClassOf`` transitivity and ``rdf:type`` propagation (rdfs9/11),
+* ``rdfs:subPropertyOf`` transitivity and triple propagation (rdfs5/7),
+* ``rdfs:domain`` / ``rdfs:range`` typing (rdfs2/3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.term import RDFTerm, URIRef
+
+_TYPE = URIRef(RDF.type)
+_SUBCLASS = URIRef(RDFS.subClassOf)
+_SUBPROP = URIRef(RDFS.subPropertyOf)
+_DOMAIN = URIRef(RDFS.domain)
+_RANGE = URIRef(RDFS.range)
+
+
+def _transitive_closure(
+    edges: Dict[RDFTerm, Set[RDFTerm]]
+) -> Dict[RDFTerm, Set[RDFTerm]]:
+    closure: Dict[RDFTerm, Set[RDFTerm]] = {}
+    for start in edges:
+        seen: Set[RDFTerm] = set()
+        stack = list(edges.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen or node == start:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+        closure[start] = seen
+    return closure
+
+
+class RDFSReasoner:
+    """Materialises RDFS entailments into a graph.
+
+    Usage::
+
+        reasoner = RDFSReasoner(ontology_graph)
+        added = reasoner.materialize(data_graph)
+    """
+
+    def __init__(self, schema: Graph):
+        self.schema = schema
+        self._subclass = self._closure_for(_SUBCLASS)
+        self._subprop = self._closure_for(_SUBPROP)
+        self._domain: Dict[RDFTerm, Set[RDFTerm]] = {}
+        self._range: Dict[RDFTerm, Set[RDFTerm]] = {}
+        for s, _, o in schema.triples((None, _DOMAIN, None)):
+            self._domain.setdefault(s, set()).add(o)
+        for s, _, o in schema.triples((None, _RANGE, None)):
+            self._range.setdefault(s, set()).add(o)
+
+    def _closure_for(self, predicate: URIRef) -> Dict[RDFTerm, Set[RDFTerm]]:
+        edges: Dict[RDFTerm, Set[RDFTerm]] = {}
+        for s, _, o in self.schema.triples((None, predicate, None)):
+            edges.setdefault(s, set()).add(o)
+        return _transitive_closure(edges)
+
+    def superclasses(self, cls: RDFTerm) -> Set[RDFTerm]:
+        """All (transitive) superclasses of ``cls`` (excluding itself)."""
+        return set(self._subclass.get(cls, ()))
+
+    def subclasses(self, cls: RDFTerm) -> Set[RDFTerm]:
+        """All (transitive) subclasses of ``cls`` (excluding itself)."""
+        return {c for c, supers in self._subclass.items() if cls in supers}
+
+    def superproperties(self, prop: RDFTerm) -> Set[RDFTerm]:
+        return set(self._subprop.get(prop, ()))
+
+    def is_subclass_of(self, cls: RDFTerm, ancestor: RDFTerm) -> bool:
+        return cls == ancestor or ancestor in self._subclass.get(cls, ())
+
+    def materialize(self, data: Graph) -> int:
+        """Add entailed triples to ``data`` in place; returns count added.
+
+        Runs to fixpoint: property propagation may introduce new typing
+        opportunities and vice versa.
+        """
+        added = 0
+        changed = True
+        while changed:
+            changed = False
+            new_triples = []
+            for s, p, o in data:
+                # rdfs7: subPropertyOf propagation.
+                for super_prop in self._subprop.get(p, ()):
+                    if isinstance(super_prop, URIRef):
+                        new_triples.append((s, super_prop, o))
+                # rdfs2/3: domain and range typing.
+                for cls in self._domain.get(p, ()):
+                    new_triples.append((s, _TYPE, cls))
+                for cls in self._range.get(p, ()):
+                    if not _is_literal(o):
+                        new_triples.append((o, _TYPE, cls))
+                # rdfs9: type propagation up the class hierarchy.
+                if p == _TYPE:
+                    for super_cls in self._subclass.get(o, ()):
+                        new_triples.append((s, _TYPE, super_cls))
+            for triple in new_triples:
+                if data.add(triple):
+                    added += 1
+                    changed = True
+        return added
+
+    def types_of(self, data: Graph, resource: RDFTerm) -> Set[RDFTerm]:
+        """Direct plus inferred types of ``resource``."""
+        types: Set[RDFTerm] = set(data.objects(resource, _TYPE))
+        for t in list(types):
+            types |= self._subclass.get(t, set())
+        return types
+
+    def instances_of(
+        self, data: Graph, cls: RDFTerm
+    ) -> Iterable[RDFTerm]:
+        """Resources typed as ``cls`` or any of its subclasses."""
+        classes = {cls} | self.subclasses(cls)
+        seen: Set[RDFTerm] = set()
+        for c in classes:
+            for s in data.subjects(_TYPE, c):
+                if s not in seen:
+                    seen.add(s)
+                    yield s
+
+
+def _is_literal(term: RDFTerm) -> bool:
+    from repro.rdf.term import Literal
+
+    return isinstance(term, Literal)

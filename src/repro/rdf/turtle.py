@@ -1,0 +1,317 @@
+"""Turtle (Terse RDF Triple Language) parser and serialiser.
+
+Supports the profile needed by the TELEIOS data sets: prefix/base
+directives, predicate–object and object lists, anonymous blank nodes,
+collections, numeric/boolean shorthand literals, long strings and typed or
+language-tagged literals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.namespace import RDF, WELL_KNOWN_PREFIXES
+from repro.rdf.ntriples import _unescape
+from repro.rdf.term import BNode, Literal, RDFTerm, URIRef
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+class TurtleParseError(ValueError):
+    """Raised when Turtle text cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+|\#[^\n]*)
+    | (?P<triple_quote>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+    | (?P<string>"(?:[^"\\\n]|\\.)*")
+    | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
+    | (?P<bnode>_:[A-Za-z0-9_.\-]+)
+    | (?P<directive>@prefix|@base|PREFIX|BASE)
+    | (?P<number>[+-]?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.?\d+(?:[eE][+-]?\d+)?))
+    | (?P<langtag>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+    | (?P<dtype_marker>\^\^)
+    | (?P<pname>[A-Za-z_][\w.\-]*?:[\w.\-]*|:[\w.\-]*|[A-Za-z_][\w.\-]*:)
+    | (?P<keyword>\ba\b|true|false)
+    | (?P<punct>\[|\]|\(|\)|;|,|\.)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise TurtleParseError(
+                f"unexpected character at offset {pos}: {text[pos:pos+30]!r}"
+            )
+        kind = m.lastgroup or ""
+        if kind != "ws":
+            tokens.append((kind, m.group(0), pos))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, graph: Graph):
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.graph = graph
+        self.prefixes: Dict[str, str] = {}
+        self.base = ""
+        self._bnode_counter = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> Tuple[str, str]:
+        if self.index >= len(self.tokens):
+            return ("eof", "")
+        kind, value, _ = self.tokens[self.index]
+        return (kind, value)
+
+    def _next(self) -> Tuple[str, str]:
+        kind, value = self._peek()
+        if kind == "eof":
+            raise TurtleParseError("unexpected end of input")
+        self.index += 1
+        return (kind, value)
+
+    def _expect_punct(self, char: str) -> None:
+        kind, value = self._next()
+        if kind != "punct" or value != char:
+            raise TurtleParseError(f"expected {char!r}, got {value!r}")
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> None:
+        while self._peek()[0] != "eof":
+            kind, value = self._peek()
+            if kind == "directive":
+                self._directive(value)
+            else:
+                self._triples_block()
+                self._expect_punct(".")
+
+    def _directive(self, keyword: str) -> None:
+        self._next()
+        if keyword in ("@prefix", "PREFIX"):
+            kind, pname = self._next()
+            if kind != "pname" or not pname.endswith(":"):
+                raise TurtleParseError(f"bad prefix name {pname!r}")
+            kind, iri = self._next()
+            if kind != "iri":
+                raise TurtleParseError("prefix directive needs an IRI")
+            self.prefixes[pname[:-1]] = self._resolve_iri(iri[1:-1])
+            if keyword == "@prefix":
+                self._expect_punct(".")
+        else:  # @base / BASE
+            kind, iri = self._next()
+            if kind != "iri":
+                raise TurtleParseError("base directive needs an IRI")
+            self.base = iri[1:-1]
+            if keyword == "@base":
+                self._expect_punct(".")
+
+    def _triples_block(self) -> None:
+        subject = self._subject()
+        self._predicate_object_list(subject)
+
+    def _predicate_object_list(self, subject: RDFTerm) -> None:
+        while True:
+            predicate = self._verb()
+            self._object_list(subject, predicate)
+            kind, value = self._peek()
+            if kind == "punct" and value == ";":
+                self._next()
+                # Allow trailing semicolon before '.' or ']'.
+                kind, value = self._peek()
+                if kind == "punct" and value in (".", "]"):
+                    return
+                continue
+            return
+
+    def _object_list(self, subject: RDFTerm, predicate: URIRef) -> None:
+        while True:
+            obj = self._object()
+            self.graph.add((subject, predicate, obj))
+            kind, value = self._peek()
+            if kind == "punct" and value == ",":
+                self._next()
+                continue
+            return
+
+    def _verb(self) -> URIRef:
+        kind, value = self._peek()
+        if kind == "keyword" and value == "a":
+            self._next()
+            return URIRef(RDF.type)
+        term = self._term()
+        if not isinstance(term, URIRef):
+            raise TurtleParseError(f"predicate must be an IRI, got {term!r}")
+        return term
+
+    def _subject(self) -> RDFTerm:
+        term = self._term()
+        if isinstance(term, Literal):
+            raise TurtleParseError("a literal cannot be a subject")
+        return term
+
+    def _object(self) -> RDFTerm:
+        return self._term()
+
+    def _term(self) -> RDFTerm:
+        kind, value = self._next()
+        if kind == "iri":
+            return URIRef(self._resolve_iri(value[1:-1]))
+        if kind == "pname":
+            return self._resolve_pname(value)
+        if kind == "bnode":
+            return BNode(value[2:])
+        if kind in ("string", "triple_quote"):
+            return self._literal(kind, value)
+        if kind == "number":
+            if "." in value or "e" in value or "E" in value:
+                return Literal(value, datatype=_XSD + "double")
+            return Literal(value, datatype=_XSD + "integer")
+        if kind == "keyword" and value in ("true", "false"):
+            return Literal(value, datatype=_XSD + "boolean")
+        if kind == "punct" and value == "[":
+            return self._blank_node_property_list()
+        if kind == "punct" and value == "(":
+            return self._collection()
+        raise TurtleParseError(f"unexpected token {value!r}")
+
+    def _literal(self, kind: str, value: str) -> Literal:
+        if kind == "triple_quote":
+            lexical = value[3:-3]
+        else:
+            lexical = _unescape(value[1:-1])
+        nkind, nvalue = self._peek()
+        if nkind == "langtag":
+            self._next()
+            return Literal(lexical, language=nvalue[1:])
+        if nkind == "dtype_marker":
+            self._next()
+            dkind, dvalue = self._next()
+            if dkind == "iri":
+                return Literal(lexical, datatype=self._resolve_iri(dvalue[1:-1]))
+            if dkind == "pname":
+                dtype = self._resolve_pname(dvalue)
+                return Literal(lexical, datatype=str(dtype))
+            raise TurtleParseError("datatype must be an IRI")
+        return Literal(lexical)
+
+    def _blank_node_property_list(self) -> BNode:
+        node = self._fresh_bnode()
+        kind, value = self._peek()
+        if kind == "punct" and value == "]":
+            self._next()
+            return node
+        self._predicate_object_list(node)
+        self._expect_punct("]")
+        return node
+
+    def _collection(self) -> RDFTerm:
+        items: List[RDFTerm] = []
+        while True:
+            kind, value = self._peek()
+            if kind == "punct" and value == ")":
+                self._next()
+                break
+            items.append(self._term())
+        if not items:
+            return URIRef(RDF.nil)
+        head = self._fresh_bnode()
+        current = head
+        for i, item in enumerate(items):
+            self.graph.add((current, URIRef(RDF.first), item))
+            if i + 1 < len(items):
+                nxt = self._fresh_bnode()
+                self.graph.add((current, URIRef(RDF.rest), nxt))
+                current = nxt
+            else:
+                self.graph.add((current, URIRef(RDF.rest), URIRef(RDF.nil)))
+        return head
+
+    def _fresh_bnode(self) -> BNode:
+        self._bnode_counter += 1
+        return BNode(f"tn{self._bnode_counter}.{id(self) % 100000}")
+
+    # -- IRI resolution --------------------------------------------------------
+
+    def _resolve_iri(self, iri: str) -> str:
+        if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.\-]*:", iri):
+            return self.base + iri
+        return iri
+
+    def _resolve_pname(self, pname: str) -> URIRef:
+        prefix, _, local = pname.partition(":")
+        if prefix in self.prefixes:
+            return URIRef(self.prefixes[prefix] + local)
+        if prefix in WELL_KNOWN_PREFIXES:
+            return URIRef(str(WELL_KNOWN_PREFIXES[prefix]) + local)
+        raise TurtleParseError(f"undefined prefix {prefix!r}")
+
+
+def parse_turtle(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse Turtle text into a (new or supplied) graph."""
+    g = graph if graph is not None else Graph()
+    parser = _Parser(text, g)
+    parser.parse()
+    return g
+
+
+def serialize_turtle(
+    graph: Graph, prefixes: Optional[Dict[str, str]] = None
+) -> str:
+    """Serialise a graph as Turtle, grouping triples by subject."""
+    table: Dict[str, str] = dict(WELL_KNOWN_PREFIXES)
+    if prefixes:
+        table.update(prefixes)
+    # Keep only prefixes that are actually used.
+    used: Dict[str, str] = {}
+
+    def shorten(term: RDFTerm) -> str:
+        if isinstance(term, URIRef):
+            for prefix, base in table.items():
+                base_str = str(base)
+                if term.startswith(base_str):
+                    local = term[len(base_str):]
+                    if re.fullmatch(r"[\w.\-]*", local):
+                        used[prefix] = base_str
+                        return f"{prefix}:{local}"
+        return term.n3()
+
+    by_subject: Dict[RDFTerm, List[Tuple[RDFTerm, RDFTerm]]] = {}
+    for s, p, o in graph:
+        by_subject.setdefault(s, []).append((p, o))
+
+    blocks: List[str] = []
+    for s in sorted(by_subject, key=lambda t: t.n3()):
+        pairs = sorted(by_subject[s], key=lambda po: (po[0].n3(), po[1].n3()))
+        lines = [shorten(s)]
+        for i, (p, o) in enumerate(pairs):
+            pred = "a" if p == URIRef(RDF.type) else shorten(p)
+            sep = " ;" if i + 1 < len(pairs) else " ."
+            lines.append(f"    {pred} {shorten(o)}{sep}")
+        blocks.append("\n".join(lines))
+
+    header = "".join(
+        f"@prefix {prefix}: <{base}> .\n"
+        for prefix, base in sorted(used.items())
+    )
+    body = "\n\n".join(blocks)
+    if header and body:
+        return header + "\n" + body + "\n"
+    return header + body + ("\n" if body else "")
+
+
+def iter_turtle(text: str) -> Iterator[Triple]:
+    """Convenience: parse and iterate triples."""
+    yield from parse_turtle(text)

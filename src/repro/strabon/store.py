@@ -1,0 +1,217 @@
+"""The Strabon store: stRDF storage with a relational (mdb) backend.
+
+Faithful to the system description in the paper (§3): Strabon stores RDF
+in MonetDB — here, dictionary-encoded terms and an (s, p, o) id table live
+in :mod:`repro.mdb` BATs — while query evaluation runs over in-memory
+permutation indexes (:class:`repro.rdf.Graph`) and an R-tree over the
+envelopes of geometry literals accelerates spatial selections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple, Union
+
+from repro.geometry import Envelope, RTree
+from repro.mdb import Database
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.term import Literal, RDFTerm
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.strabon import strdf
+from repro.strabon.stsparql import algebra as alg
+from repro.strabon.stsparql.errors import StSPARQLError
+from repro.strabon.stsparql.evaluator import Evaluator
+from repro.strabon.stsparql.parser import parse_query, parse_update
+from repro.strabon.stsparql.results import (
+    AskResult,
+    ConstructResult,
+    SelectResult,
+)
+
+QueryResult = Union[SelectResult, AskResult, ConstructResult]
+
+
+class StrabonStore:
+    """A semantic geospatial triple store queryable with stSPARQL.
+
+    ``use_spatial_index=False`` disables the R-tree pre-filter (used by
+    benchmark A1 to measure the index's effect).
+    """
+
+    def __init__(self, use_spatial_index: bool = True):
+        self.use_spatial_index = use_spatial_index
+        self._graph = Graph()
+        # Relational backend (the MonetDB role).
+        self.backend = Database()
+        self.backend.execute(
+            "CREATE TABLE terms (id INT, n3 STRING)"
+        )
+        self.backend.execute(
+            "CREATE TABLE triples (s INT, p INT, o INT)"
+        )
+        self._term_ids: Dict[RDFTerm, int] = {}
+        self._next_id = 0
+        # Spatial index over geometry literals.
+        self._rtree = RTree(max_entries=16)
+        self._geo_envelopes: Dict[RDFTerm, Envelope] = {}
+        self._geo_refcount: Dict[RDFTerm, int] = {}
+
+    # -- storage ------------------------------------------------------------
+
+    def _term_id(self, term: RDFTerm) -> int:
+        if term in self._term_ids:
+            return self._term_ids[term]
+        term_id = self._next_id
+        self._next_id += 1
+        self._term_ids[term] = term_id
+        self.backend.insert_rows("terms", [(term_id, term.n3())])
+        return term_id
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; returns True when new."""
+        if not self._graph.add(triple):
+            return False
+        s, p, o = triple
+        self.backend.insert_rows(
+            "triples",
+            [(self._term_id(s), self._term_id(p), self._term_id(o))],
+        )
+        if strdf.is_geometry_literal(o):
+            self._index_geometry(o)
+        return True
+
+    def remove(self, pattern: Tuple) -> int:
+        """Remove triples matching the (wildcardable) pattern."""
+        victims = list(self._graph.triples(pattern))
+        for s, p, o in victims:
+            self._graph.remove((s, p, o))
+            sid = self._term_ids.get(s)
+            pid = self._term_ids.get(p)
+            oid = self._term_ids.get(o)
+            if None not in (sid, pid, oid):
+                self.backend.execute(
+                    f"DELETE FROM triples WHERE s = {sid} AND p = {pid} "
+                    f"AND o = {oid}"
+                )
+            if strdf.is_geometry_literal(o):
+                self._unindex_geometry(o)
+        return len(victims)
+
+    def _index_geometry(self, literal: Literal) -> None:
+        count = self._geo_refcount.get(literal, 0)
+        self._geo_refcount[literal] = count + 1
+        if count > 0:
+            return
+        try:
+            geom = strdf.literal_geometry(literal)
+        except strdf.StRDFError:
+            return  # malformed WKT: stored but not spatially indexed
+        env = geom.envelope
+        if env.is_empty:
+            return
+        self._geo_envelopes[literal] = env
+        self._rtree.insert(env, literal)
+
+    def _unindex_geometry(self, literal: Literal) -> None:
+        count = self._geo_refcount.get(literal, 0)
+        if count <= 1:
+            self._geo_refcount.pop(literal, None)
+            env = self._geo_envelopes.pop(literal, None)
+            if env is not None:
+                self._rtree.remove(env, literal)
+        else:
+            self._geo_refcount[literal] = count - 1
+
+    def spatial_candidates(
+        self, envelope: Envelope
+    ) -> Optional[Set[RDFTerm]]:
+        """Geometry literals whose envelopes intersect ``envelope``.
+
+        Returns None when the index is disabled (callers then fall back to
+        unindexed evaluation).
+        """
+        if not self.use_spatial_index:
+            return None
+        return set(self._rtree.query(envelope))
+
+    # -- graph API ------------------------------------------------------------------
+
+    def triples(self, pattern: Tuple = (None, None, None)) -> Iterator[Triple]:
+        return self._graph.triples(pattern)
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._graph
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying in-memory graph (read-mostly)."""
+        return self._graph
+
+    def load_graph(self, graph: Graph) -> int:
+        """Bulk-add every triple of ``graph``; returns count added."""
+        return sum(1 for t in graph if self.add(t))
+
+    def load_turtle(self, text: str) -> int:
+        return self.load_graph(parse_turtle(text))
+
+    def apply_reasoning(self, schema: Graph) -> int:
+        """Materialise RDFS entailments of ``schema`` over the stored data.
+
+        Makes concept-hierarchy queries work ("find NaturalHazard
+        annotations" matches ForestFire patches).  Returns the number of
+        entailed triples added.
+        """
+        from repro.rdf.rdfs import RDFSReasoner
+
+        reasoner = RDFSReasoner(schema)
+        inferred = self._graph.copy()
+        reasoner.materialize(inferred)
+        added = 0
+        for triple in inferred:
+            if triple not in self._graph and self.add(triple):
+                added += 1
+        return added
+
+    def load_ntriples(self, text: str) -> int:
+        return self.load_graph(parse_ntriples(text))
+
+    def serialize_turtle(self, prefixes=None) -> str:
+        return serialize_turtle(self._graph, prefixes=prefixes)
+
+    def serialize_ntriples(self) -> str:
+        return serialize_ntriples(self._graph)
+
+    # -- query / update ---------------------------------------------------------------
+
+    def query(self, text: str) -> QueryResult:
+        """Run an stSPARQL SELECT/ASK/CONSTRUCT query."""
+        parsed = parse_query(text)
+        evaluator = Evaluator(
+            self, use_spatial_index=self.use_spatial_index
+        )
+        if isinstance(parsed, alg.SelectQuery):
+            return evaluator.select(parsed)
+        if isinstance(parsed, alg.AskQuery):
+            return evaluator.ask(parsed)
+        if isinstance(parsed, alg.ConstructQuery):
+            return evaluator.construct(parsed)
+        if isinstance(parsed, alg.DescribeQuery):
+            return evaluator.describe(parsed)
+        raise StSPARQLError(f"unsupported query {type(parsed).__name__}")
+
+    def update(self, text: str) -> int:
+        """Run one or more stSPARQL update operations; returns the total
+        number of triples added plus removed."""
+        evaluator = Evaluator(
+            self, use_spatial_index=self.use_spatial_index
+        )
+        return sum(evaluator.update(op) for op in parse_update(text))
+
+    def __repr__(self) -> str:
+        return (
+            f"<StrabonStore triples={len(self)} "
+            f"geometries={len(self._geo_envelopes)}>"
+        )

@@ -1,0 +1,11 @@
+"""The stSPARQL query language implementation.
+
+Modules: :mod:`lexer` (tokens), :mod:`algebra` (query/update structures),
+:mod:`parser` (text → algebra), :mod:`functions` (builtins + strdf/geof
+extension functions), :mod:`evaluator` (algebra → solutions over a store),
+:mod:`results` (result containers).
+"""
+
+from repro.strabon.stsparql.errors import StSPARQLError, StSPARQLSyntaxError
+
+__all__ = ["StSPARQLError", "StSPARQLSyntaxError"]

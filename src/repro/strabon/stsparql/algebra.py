@@ -1,0 +1,214 @@
+"""Algebra structures produced by the stSPARQL parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
+
+from repro.rdf.term import RDFTerm, Variable
+
+Term = Union[RDFTerm, Variable]
+
+
+# -- expressions --------------------------------------------------------------
+
+
+class Expr:
+    """Base class of filter/bind expressions."""
+
+
+@dataclass(frozen=True)
+class EVar(Expr):
+    name: str  # without '?'
+
+
+@dataclass(frozen=True)
+class ETerm(Expr):
+    term: Any  # URIRef or Literal
+
+
+@dataclass(frozen=True)
+class EUnary(Expr):
+    op: str  # '!' or '-'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class EBinary(Expr):
+    op: str  # '||' '&&' '=' '!=' '<' '<=' '>' '>=' '+' '-' '*' '/'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class ECall(Expr):
+    """A builtin or extension function call.
+
+    ``name`` is either a lower-case builtin keyword (``bound``, ``regex``)
+    or the full IRI of an extension function (``strdf:intersects``
+    expanded).
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+
+
+# -- property paths ---------------------------------------------------------------
+
+
+class Path:
+    """Base class of property-path expressions (SPARQL 1.1 §9)."""
+
+
+@dataclass(frozen=True)
+class PathSeq(Path):
+    """``p1 / p2 / ...`` — sequence."""
+
+    steps: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class PathAlt(Path):
+    """``p1 | p2 | ...`` — alternative."""
+
+    options: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class PathInv(Path):
+    """``^p`` — inverse."""
+
+    inner: Any
+
+
+@dataclass(frozen=True)
+class PathClosure(Path):
+    """``p+`` (min_hops=1), ``p*`` (0) or ``p?`` (0, max one hop)."""
+
+    inner: Any
+    min_hops: int = 1
+    max_one: bool = False
+
+
+# -- graph patterns --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    s: Term
+    p: Term  # URIRef, Variable or Path
+    o: Term
+
+
+class Pattern:
+    """Base class of graph-pattern algebra nodes."""
+
+
+@dataclass(frozen=True)
+class BGP(Pattern):
+    triples: Tuple[TriplePattern, ...]
+
+
+@dataclass(frozen=True)
+class GroupPattern(Pattern):
+    """A sequence of patterns joined in order (a `{ ... }` group)."""
+
+    parts: Tuple[Pattern, ...]
+    filters: Tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class OptionalPattern(Pattern):
+    pattern: Pattern
+
+
+@dataclass(frozen=True)
+class UnionPattern(Pattern):
+    left: Pattern
+    right: Pattern
+
+
+@dataclass(frozen=True)
+class BindPattern(Pattern):
+    expr: Expr
+    var: str
+
+
+@dataclass(frozen=True)
+class ValuesPattern(Pattern):
+    var: str
+    values: Tuple[Any, ...]
+
+
+# -- queries ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Projection:
+    """One SELECT item: a plain variable or ``(expr AS ?var)``."""
+
+    var: str
+    expr: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    projections: Tuple[Projection, ...]  # empty means SELECT *
+    where: Pattern
+    distinct: bool = False
+    group_by: Tuple[Expr, ...] = ()
+    having: Tuple[Expr, ...] = ()
+    order_by: Tuple[OrderCondition, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AskQuery:
+    where: Pattern
+
+
+@dataclass(frozen=True)
+class ConstructQuery:
+    template: Tuple[TriplePattern, ...]
+    where: Pattern
+
+
+@dataclass(frozen=True)
+class DescribeQuery:
+    """DESCRIBE <iri>... or DESCRIBE ?var WHERE { ... }."""
+
+    terms: Tuple[Any, ...]  # URIRefs and/or Variables
+    where: Optional[Pattern] = None
+
+
+# -- updates ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InsertData:
+    triples: Tuple[Tuple[Any, Any, Any], ...]
+
+
+@dataclass(frozen=True)
+class DeleteData:
+    triples: Tuple[Tuple[Any, Any, Any], ...]
+
+
+@dataclass(frozen=True)
+class Modify:
+    """DELETE {..} INSERT {..} WHERE {..} (either template may be empty)."""
+
+    delete_template: Tuple[TriplePattern, ...]
+    insert_template: Tuple[TriplePattern, ...]
+    where: Pattern
+
+
+Query = Union[SelectQuery, AskQuery, ConstructQuery, DescribeQuery]
+UpdateOp = Union[InsertData, DeleteData, Modify]

@@ -1,0 +1,9 @@
+"""stSPARQL error types."""
+
+
+class StSPARQLError(Exception):
+    """Base error for query evaluation failures."""
+
+
+class StSPARQLSyntaxError(StSPARQLError):
+    """The query text could not be parsed."""

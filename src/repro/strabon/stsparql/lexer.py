@@ -1,0 +1,123 @@
+"""stSPARQL tokenizer."""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from repro.strabon.stsparql.errors import StSPARQLSyntaxError
+
+#: Case-insensitive language keywords (returned upper-case).
+KEYWORDS = {
+    "SELECT", "ASK", "CONSTRUCT", "DESCRIBE", "WHERE", "FILTER",
+    "OPTIONAL", "UNION",
+    "BIND", "AS", "DISTINCT", "REDUCED", "PREFIX", "BASE", "ORDER", "BY",
+    "ASC", "DESC", "LIMIT", "OFFSET", "GROUP", "HAVING", "INSERT",
+    "DELETE", "DATA", "VALUES", "NOT", "IN", "EXISTS", "A", "TRUE",
+    "FALSE", "UNDEF",
+}
+
+#: Builtin function names (returned lower-case as 'builtin').
+BUILTINS = {
+    "bound", "str", "lang", "datatype", "iri", "uri", "isiri", "isuri",
+    "isblank", "isliteral", "isnumeric", "regex", "contains", "strstarts",
+    "strends", "strlen", "substr", "ucase", "lcase", "concat", "replace",
+    "abs", "ceil", "floor", "round", "now", "year", "month", "day",
+    "hours", "minutes", "seconds", "sameterm", "coalesce", "if",
+    "count", "sum", "avg", "min", "max", "sample", "group_concat",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+|\#[^\n]*)
+    | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
+    | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+    | (?P<triple_quote>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\")
+    | (?P<string>"(?:[^"\\\n]|\\.)*")
+    | (?P<squote>'(?:[^'\\\n]|\\.)*')
+    | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+    | (?P<bnode>_:[A-Za-z0-9_.\-]+)
+    | (?P<langtag>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+    | (?P<dtype_marker>\^\^)
+    | (?P<pname>[A-Za-z_][\w\-]*:[\w.\-]*|[A-Za-z_][\w\-]*:|:[\w.\-]*)
+    | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<op>&&|\|\||!=|<=|>=|[{}()\[\];,.=<>!+\-*/|^?])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    pos: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize stSPARQL text (comments stripped)."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise StSPARQLSyntaxError(
+                f"unexpected character at offset {pos}: {text[pos:pos+20]!r}"
+            )
+        kind = m.lastgroup or ""
+        value = m.group(0)
+        if kind == "ws":
+            pass
+        elif kind == "word":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, pos))
+            elif value.lower() in BUILTINS:
+                tokens.append(Token("builtin", value.lower(), pos))
+            else:
+                raise StSPARQLSyntaxError(
+                    f"unknown word {value!r} at offset {pos} "
+                    "(did you forget a prefix?)"
+                )
+        elif kind in ("string", "squote"):
+            tokens.append(
+                Token("string", _unescape(value[1:-1]), pos)
+            )
+        elif kind == "triple_quote":
+            tokens.append(Token("string", value[3:-3], pos))
+        elif kind == "iri":
+            tokens.append(Token("iri", value[1:-1], pos))
+        elif kind == "var":
+            tokens.append(Token("var", value[1:], pos))
+        elif kind == "bnode":
+            tokens.append(Token("bnode", value[2:], pos))
+        elif kind == "langtag":
+            tokens.append(Token("langtag", value[1:], pos))
+        else:
+            tokens.append(Token(kind if kind != "op" else "op", value, pos))
+        pos = m.end()
+    tokens.append(Token("eof", "", pos))
+    return tokens
+
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\'": "'",
+    "\\\\": "\\",
+}
+
+
+def _unescape(text: str) -> str:
+    out = []
+    i = 0
+    while i < len(text):
+        pair = text[i : i + 2]
+        if pair in _ESCAPES:
+            out.append(_ESCAPES[pair])
+            i += 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)

@@ -1,0 +1,74 @@
+"""Query result containers."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.term import Literal, RDFTerm
+
+
+class SelectResult:
+    """The solution sequence of a SELECT query."""
+
+    def __init__(self, variables: List[str], bindings: List[Dict[str, RDFTerm]]):
+        self.variables = variables
+        self.bindings = bindings
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    def __iter__(self) -> Iterator[Dict[str, RDFTerm]]:
+        return iter(self.bindings)
+
+    def rows(self) -> List[Tuple[Optional[RDFTerm], ...]]:
+        """Solutions as tuples ordered like ``variables`` (None = unbound)."""
+        return [
+            tuple(b.get(v) for v in self.variables) for b in self.bindings
+        ]
+
+    def values(self) -> List[Tuple[Any, ...]]:
+        """Rows with literals converted to Python values."""
+        out = []
+        for row in self.rows():
+            out.append(
+                tuple(
+                    t.to_python() if isinstance(t, Literal) else t
+                    for t in row
+                )
+            )
+        return out
+
+    def column(self, var: str) -> List[Optional[RDFTerm]]:
+        var = var.lstrip("?")
+        return [b.get(var) for b in self.bindings]
+
+    def __repr__(self) -> str:
+        return f"<SelectResult vars={self.variables} n={len(self)}>"
+
+
+class AskResult:
+    """The boolean outcome of an ASK query."""
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def __bool__(self) -> bool:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, bool):
+            return self.value == other
+        if isinstance(other, AskResult):
+            return self.value == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"AskResult({self.value})"
+
+
+class ConstructResult(Graph):
+    """The graph produced by a CONSTRUCT query."""

@@ -1,0 +1,29 @@
+"""The Virtual Earth Observatory: the four tiers wired together (Fig. 2).
+
+* :mod:`repro.vo.observatory` — the facade assembling the ingestion,
+  database, service-processing and application tiers;
+* :mod:`repro.vo.catalog` — EOWEB-NG-style product discovery compiled to
+  stSPARQL;
+* :mod:`repro.vo.services` — the service-processing tier objects (rapid
+  mapping, data mining, semantic annotation).
+"""
+
+from repro.vo.observatory import VirtualEarthObservatory
+from repro.vo.catalog import CatalogQuery, ProductCatalog
+from repro.vo.services import (
+    AnnotationService,
+    DataMiningService,
+    RapidMappingService,
+)
+from repro.vo.ogc import OGCError, WebServiceFrontend
+
+__all__ = [
+    "AnnotationService",
+    "CatalogQuery",
+    "DataMiningService",
+    "OGCError",
+    "ProductCatalog",
+    "RapidMappingService",
+    "VirtualEarthObservatory",
+    "WebServiceFrontend",
+]

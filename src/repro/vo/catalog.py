@@ -1,0 +1,177 @@
+"""EOWEB-NG-style catalog search compiled to stSPARQL.
+
+The paper contrasts classic archive interfaces (hierarchical product
+lists, temporal/geographic menus) with semantically enriched search.  The
+:class:`CatalogQuery` builder supports both styles: the classic criteria
+(mission, level, time window, region) *plus* content concepts ("contains
+hotspots") and linked-data joins ("within d of an archaeological site") —
+everything is compiled to one stSPARQL query against Strabon.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import List, Optional
+
+from repro.eo.linkeddata import DBP, GN
+from repro.geometry import Geometry
+from repro.ingest.metadata import NOA_PREFIXES
+from repro.rdf.term import RDFTerm
+from repro.strabon import StrabonStore, geometry_literal
+from repro.strabon.stsparql.results import SelectResult
+
+
+class CatalogQuery:
+    """A composable product-discovery query."""
+
+    def __init__(self):
+        self._mission: Optional[str] = None
+        self._sensor: Optional[str] = None
+        self._level: Optional[int] = None
+        self._after: Optional[datetime] = None
+        self._before: Optional[datetime] = None
+        self._region: Optional[Geometry] = None
+        self._concept: Optional[str] = None
+        self._near_site_deg: Optional[float] = None
+        self._near_town: Optional[str] = None
+        self._near_town_deg: Optional[float] = None
+
+    # -- classic EOWEB-style criteria -------------------------------------
+
+    def mission(self, name: str) -> "CatalogQuery":
+        self._mission = name
+        return self
+
+    def sensor(self, name: str) -> "CatalogQuery":
+        self._sensor = name
+        return self
+
+    def level(self, level: int) -> "CatalogQuery":
+        self._level = int(level)
+        return self
+
+    def acquired_between(
+        self, after: datetime, before: datetime
+    ) -> "CatalogQuery":
+        self._after = after
+        self._before = before
+        return self
+
+    def covering(self, region: Geometry) -> "CatalogQuery":
+        """Products whose footprint intersects ``region``."""
+        self._region = region
+        return self
+
+    # -- semantic criteria (the TELEIOS additions) ------------------------------
+
+    def containing_concept(self, concept_iri: str) -> "CatalogQuery":
+        """Products linked to content annotations of the given concept
+        (e.g. hotspots detected inside the image)."""
+        self._concept = concept_iri
+        return self
+
+    def near_archaeological_site(self, degrees: float) -> "CatalogQuery":
+        """Products containing hotspots within ``degrees`` of a site."""
+        self._near_site_deg = degrees
+        return self
+
+    def near_town(self, name: str, degrees: float) -> "CatalogQuery":
+        self._near_town = name
+        self._near_town_deg = degrees
+        return self
+
+    # -- compilation ----------------------------------------------------------------
+
+    def to_stsparql(self) -> str:
+        patterns: List[str] = ["?product a noa:Product ."]
+        filters: List[str] = []
+        if self._mission:
+            patterns.append(
+                f'?product noa:hasMission "{self._mission}" .'
+            )
+        if self._sensor:
+            patterns.append(f'?product noa:hasSensor "{self._sensor}" .')
+        if self._level is not None:
+            patterns.append(
+                f"?product noa:hasProcessingLevel {self._level} ."
+            )
+        if self._after or self._before:
+            patterns.append("?product noa:hasAcquisitionTime ?acq .")
+            if self._after:
+                filters.append(
+                    f'?acq >= "{self._after.isoformat()}"^^xsd:dateTime'
+                )
+            if self._before:
+                filters.append(
+                    f'?acq <= "{self._before.isoformat()}"^^xsd:dateTime'
+                )
+        if self._region is not None:
+            wkt = geometry_literal(self._region).lexical
+            patterns.append("?product noa:hasGeometry ?footprint .")
+            filters.append(
+                f'strdf:intersects(?footprint, "{wkt}"^^strdf:WKT)'
+            )
+        needs_hotspot = (
+            self._concept is not None
+            or self._near_site_deg is not None
+            or self._near_town is not None
+        )
+        if needs_hotspot:
+            patterns.append("?derived noa:isDerivedFrom ?product .")
+            patterns.append(
+                "?content noa:isProducedBy ?derived ; "
+                "noa:hasGeometry ?cgeom ."
+            )
+            if self._concept:
+                patterns.append(f"?content a <{self._concept}> .")
+        if self._near_site_deg is not None:
+            patterns.append(
+                f"?site a <{DBP}ArchaeologicalSite> ; "
+                f"<{DBP}hasGeometry> ?sgeom ."
+            )
+            filters.append(
+                f"strdf:distance(?cgeom, ?sgeom) < {self._near_site_deg}"
+            )
+        if self._near_town is not None:
+            patterns.append(
+                f'?town <{GN}name> "{self._near_town}" ; '
+                f"<{GN}hasGeometry> ?tgeom ."
+            )
+            filters.append(
+                f"strdf:distance(?cgeom, ?tgeom) < {self._near_town_deg}"
+            )
+        body = "\n  ".join(patterns)
+        for f in filters:
+            body += f"\n  FILTER({f})"
+        return (
+            NOA_PREFIXES
+            + "SELECT DISTINCT ?product WHERE {\n  "
+            + body
+            + "\n}"
+        )
+
+
+class ProductCatalog:
+    """Runs catalog queries against the observatory's Strabon store."""
+
+    def __init__(self, store: StrabonStore):
+        self.store = store
+
+    def search(self, query: CatalogQuery) -> List[RDFTerm]:
+        """Product IRIs matching the query."""
+        result = self.store.query(query.to_stsparql())
+        return [t for t in result.column("product") if t is not None]
+
+    def run(self, stsparql: str) -> SelectResult:
+        """Escape hatch: run a hand-written stSPARQL query."""
+        result = self.store.query(stsparql)
+        if not isinstance(result, SelectResult):
+            raise TypeError("catalog queries must be SELECT queries")
+        return result
+
+    def count_products(self) -> int:
+        result = self.store.query(
+            NOA_PREFIXES
+            + "SELECT (count(*) AS ?n) WHERE { ?p a noa:Product }"
+        )
+        return int(result.values()[0][0])

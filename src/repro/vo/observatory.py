@@ -1,0 +1,136 @@
+"""The Virtual Earth Observatory facade.
+
+One object that assembles Figure 2 end to end:
+
+* **Ingestion tier** — the Data Vault and :class:`~repro.ingest.Ingestor`;
+* **Database tier** — the MonetDB-style :class:`~repro.mdb.Database`
+  (SciQL arrays + relational catalog) and
+  :class:`~repro.strabon.StrabonStore` (stRDF metadata, annotations and
+  auxiliary linked data);
+* **Service tier** — rapid mapping, data mining, annotation services;
+* **Application tier** — the fire-monitoring entry points used by the
+  demo scenarios (:meth:`run_fire_monitoring`, :meth:`compare_chains`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.eo.linkeddata import GreeceLikeWorld
+from repro.eo.products import Product
+from repro.ingest.harvest import IngestionReport, Ingestor
+from repro.mdb import Database
+from repro.mdb.datavault import DataVault
+from repro.mining.ontology import combined_ontology
+from repro.noa.chain import ChainResult
+from repro.noa.refinement import score_hotspots, truth_region
+from repro.rdf.rdfs import RDFSReasoner
+from repro.strabon import StrabonStore
+from repro.vo.catalog import CatalogQuery, ProductCatalog
+from repro.vo.services import (
+    AnnotationService,
+    DataMiningService,
+    RapidMappingService,
+)
+
+
+class VirtualEarthObservatory:
+    """The assembled TELEIOS prototype."""
+
+    def __init__(
+        self,
+        world: Optional[GreeceLikeWorld] = None,
+        load_linked_data: bool = True,
+    ):
+        self.world = world or GreeceLikeWorld()
+        self.db = Database()
+        self.store = StrabonStore()
+        self.vault = DataVault("eo-archive")
+        self.ingestor = Ingestor(self.db, self.store, self.vault)
+        self.catalog = ProductCatalog(self.store)
+        self.rapid_mapping = RapidMappingService(
+            self.ingestor, self.world
+        )
+        self.data_mining = DataMiningService(self.ingestor)
+        self.ontology = combined_ontology()
+        self.reasoner = RDFSReasoner(self.ontology)
+        if load_linked_data:
+            self.store.load_graph(self.world.to_rdf())
+
+    # -- ingestion tier -------------------------------------------------------
+
+    def ingest_archive(
+        self, directory: str, lazy: bool = True
+    ) -> IngestionReport:
+        """Catalog and ingest every scene in a directory."""
+        self.ingestor.catalog_directory(directory)
+        return self.ingestor.ingest_directory(directory, lazy=lazy)
+
+    # -- application tier --------------------------------------------------------
+
+    def run_fire_monitoring(
+        self,
+        scene_path: str,
+        classifier: str = "static",
+        output_dir: Optional[str] = None,
+    ) -> Dict:
+        """Demo scenarios 1+2 end to end for one scene."""
+        result = self.rapid_mapping.run_chain(
+            scene_path, classifier=classifier, output_dir=output_dir
+        )
+        report = self.rapid_mapping.refine()
+        fire_map = self.rapid_mapping.build_map(
+            title=f"Fire map {result.source_product.product_id}"
+        )
+        return {"chain": result, "refinement": report, "map": fire_map}
+
+    def compare_chains(
+        self, scene_path: str, classifiers: List[str]
+    ) -> Dict[str, ChainResult]:
+        """Scenario 1: run chains differing in the classification
+        submodule on the same input and collect their products."""
+        out: Dict[str, ChainResult] = {}
+        for name in classifiers:
+            out[name] = self.rapid_mapping.run_chain(
+                scene_path, classifier=name
+            )
+        return out
+
+    def score_result(self, result: ChainResult, scene) -> Dict[str, float]:
+        """Thematic accuracy of a chain result against simulator truth."""
+        truth = truth_region(scene, self.world)
+        return score_hotspots(
+            [h.geometry for h in result.hotspots], truth
+        )
+
+    # -- catalog access -------------------------------------------------------------
+
+    def search(self, query: CatalogQuery):
+        return self.catalog.search(query)
+
+    def new_query(self) -> CatalogQuery:
+        return CatalogQuery()
+
+    def annotation_service(self, classifier) -> AnnotationService:
+        return AnnotationService(self.store, classifier)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, int]:
+        """Tier-level content counts (useful for dashboards/tests)."""
+        return {
+            "vault_files": len(self.vault),
+            "vault_cached": self.vault.cached_count,
+            "relational_tables": len(self.db.tables()),
+            "sciql_arrays": len(self.db.arrays()),
+            "rdf_triples": len(self.store),
+            "products": self.catalog.count_products(),
+        }
+
+    def __repr__(self) -> str:
+        stats = self.statistics()
+        return (
+            f"<VirtualEarthObservatory products={stats['products']} "
+            f"triples={stats['rdf_triples']}>"
+        )

@@ -1,0 +1,205 @@
+"""An OGC-style web-service front end (Figure 2: "OGC Web Services").
+
+A faithful HTTP stack is out of scope for a library; this module
+implements the OGC request/response *protocol shapes* as an in-process
+dispatcher, so applications (or a thin WSGI wrapper) can speak
+WFS/WMS-like requests against the observatory:
+
+* ``WFS GetCapabilities``/``GetFeature`` — feature access over the
+  hotspot products and the auxiliary linked-data layers, returned as
+  GeoJSON FeatureCollections, with optional BBOX filtering;
+* ``WMS GetMap`` — a rendered SVG fire map.
+
+Requests are dictionaries mirroring OGC KVP parameters
+(case-insensitive keys, as the standards require).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.eo.linkeddata import CLC, DBP, GN, LGD
+from repro.geometry import Envelope
+from repro.geometry.geojson import feature, feature_collection
+from repro.noa.mapping import FireMapBuilder
+from repro.noa.render import SVGMapRenderer
+from repro.strabon import StrabonStore, literal_geometry
+from repro.strabon.strdf import is_geometry_literal
+
+
+class OGCError(ValueError):
+    """An OGC exception report (bad request, unknown layer...)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+    def to_report(self) -> Dict[str, str]:
+        return {"exceptionCode": self.code, "exceptionText": str(self)}
+
+
+#: layer name → (type IRI, geometry predicate IRI, property predicates)
+_FEATURE_TYPES = {
+    "hotspots": (
+        "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot",
+        "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#hasGeometry",
+        {
+            "confidence": "http://teleios.di.uoa.gr/ontologies/"
+            "noaOntology.owl#hasConfidence",
+            "pixels": "http://teleios.di.uoa.gr/ontologies/"
+            "noaOntology.owl#hasPixelCount",
+        },
+    ),
+    "towns": (
+        str(GN) + "PopulatedPlace",
+        str(GN) + "hasGeometry",
+        {"name": str(GN) + "name", "population": str(GN) + "population"},
+    ),
+    "archaeological_sites": (
+        str(DBP) + "ArchaeologicalSite",
+        str(DBP) + "hasGeometry",
+        {},
+    ),
+    "roads": (str(LGD) + "Motorway", str(LGD) + "hasGeometry", {}),
+    "landcover": (None, str(CLC) + "hasGeometry", {}),
+}
+
+
+class WebServiceFrontend:
+    """Dispatches OGC-style requests against a Strabon store."""
+
+    def __init__(self, store: StrabonStore, world=None):
+        self.store = store
+        self.world = world
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any] | str:
+        """Dispatch one KVP request; returns GeoJSON/capabilities dicts
+        or an SVG string (GetMap)."""
+        params = {str(k).lower(): v for k, v in request.items()}
+        service = str(params.get("service", "")).upper()
+        operation = str(params.get("request", "")).lower()
+        if service == "WFS":
+            if operation == "getcapabilities":
+                return self._wfs_capabilities()
+            if operation == "getfeature":
+                return self._wfs_get_feature(params)
+            raise OGCError(
+                "OperationNotSupported", f"unknown WFS request {operation!r}"
+            )
+        if service == "WMS":
+            if operation == "getcapabilities":
+                return self._wms_capabilities()
+            if operation == "getmap":
+                return self._wms_get_map(params)
+            raise OGCError(
+                "OperationNotSupported", f"unknown WMS request {operation!r}"
+            )
+        raise OGCError(
+            "InvalidParameterValue", f"unknown service {service!r}"
+        )
+
+    # -- WFS -------------------------------------------------------------------
+
+    def _wfs_capabilities(self) -> Dict[str, Any]:
+        return {
+            "service": "WFS",
+            "version": "2.0",
+            "featureTypes": sorted(_FEATURE_TYPES),
+            "outputFormats": ["application/geo+json"],
+        }
+
+    def _wfs_get_feature(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        type_name = str(params.get("typename", params.get("typenames", "")))
+        if type_name not in _FEATURE_TYPES:
+            raise OGCError(
+                "InvalidParameterValue",
+                f"unknown feature type {type_name!r}; "
+                f"have {sorted(_FEATURE_TYPES)}",
+            )
+        bbox = self._parse_bbox(params.get("bbox"))
+        count = params.get("count")
+        limit = int(count) if count is not None else None
+        type_iri, geom_pred, props = _FEATURE_TYPES[type_name]
+        features = self._fetch_features(type_iri, geom_pred, props, bbox)
+        if limit is not None:
+            features = features[:limit]
+        doc = feature_collection(features)
+        doc["typeName"] = type_name
+        doc["numberReturned"] = len(features)
+        return doc
+
+    @staticmethod
+    def _parse_bbox(raw) -> Optional[Envelope]:
+        if raw is None:
+            return None
+        if isinstance(raw, (list, tuple)):
+            parts = [float(v) for v in raw]
+        else:
+            parts = [float(v) for v in str(raw).split(",")[:4]]
+        if len(parts) != 4:
+            raise OGCError(
+                "InvalidParameterValue", f"bad BBOX {raw!r}"
+            )
+        return Envelope(parts[0], parts[1], parts[2], parts[3])
+
+    def _fetch_features(
+        self, type_iri, geom_pred, props, bbox: Optional[Envelope]
+    ) -> List[Dict[str, Any]]:
+        from repro.rdf.term import Literal, URIRef
+
+        out: List[Dict[str, Any]] = []
+        if type_iri is not None:
+            from repro.rdf.namespace import RDF
+
+            subjects = list(
+                self.store.graph.subjects(
+                    URIRef(str(RDF) + "type"), URIRef(type_iri)
+                )
+            )
+        else:
+            subjects = list(
+                self.store.graph.subjects(URIRef(geom_pred), None)
+            )
+        for subject in subjects:
+            geom_lit = self.store.graph.value(
+                subject, URIRef(geom_pred), None
+            )
+            if geom_lit is None or not is_geometry_literal(geom_lit):
+                continue
+            geom = literal_geometry(geom_lit)
+            if bbox is not None and not geom.envelope.intersects(bbox):
+                continue
+            properties: Dict[str, Any] = {"id": str(subject)}
+            for name, pred in props.items():
+                value = self.store.graph.value(subject, URIRef(pred), None)
+                if isinstance(value, Literal):
+                    properties[name] = value.to_python()
+                elif value is not None:
+                    properties[name] = str(value)
+            out.append(feature(geom, properties))
+        out.sort(key=lambda f: f["properties"]["id"])
+        return out
+
+    # -- WMS --------------------------------------------------------------------
+
+    def _wms_capabilities(self) -> Dict[str, Any]:
+        return {
+            "service": "WMS",
+            "version": "1.3",
+            "layers": ["firemap"],
+            "formats": ["image/svg+xml"],
+        }
+
+    def _wms_get_map(self, params: Dict[str, Any]) -> str:
+        layer = str(params.get("layers", "firemap"))
+        if layer != "firemap":
+            raise OGCError(
+                "LayerNotDefined", f"unknown layer {layer!r}"
+            )
+        width = int(params.get("width", 800))
+        fire_map = FireMapBuilder(self.store, self.world).build(
+            str(params.get("title", "NOA fire map"))
+        )
+        return SVGMapRenderer(self.world, width=width).render(fire_map)

@@ -1,0 +1,141 @@
+"""The service-processing tier (paper §3, tier 3).
+
+Three in-process service objects expose the lower tiers to applications:
+Rapid Mapping (the one the demo exercises), Data Mining and
+Automatic/Interactive Semantic Annotation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eo.linkeddata import GreeceLikeWorld
+from repro.eo.products import Product
+from repro.ingest.features import extract_patches
+from repro.ingest.harvest import Ingestor
+from repro.mining.annotate import SemanticAnnotator
+from repro.mining.classify import Classifier, KNNClassifier
+from repro.noa.chain import ChainResult, ProcessingChain
+from repro.noa.mapping import FireMap, FireMapBuilder
+from repro.noa.refinement import RefinementReport, Refiner
+from repro.strabon import StrabonStore
+
+
+class RapidMappingService:
+    """Runs the NOA chain, the refinement and the map generation.
+
+    Mirrors the demo flow: "execute the processing chain of NOA using
+    SciQL, improve the thematic accuracy of the generated products using
+    stSPARQL, and interactively generate a map enhanced with auxiliary
+    linked data sources."
+    """
+
+    def __init__(
+        self,
+        ingestor: Ingestor,
+        world: GreeceLikeWorld,
+        classifier: str = "static",
+    ):
+        self.ingestor = ingestor
+        self.world = world
+        self.classifier = classifier
+
+    def run_chain(
+        self,
+        path: str,
+        classifier: Optional[str] = None,
+        output_dir: Optional[str] = None,
+    ) -> ChainResult:
+        chain = ProcessingChain(
+            self.ingestor, classifier=classifier or self.classifier
+        )
+        return chain.run(path, output_dir=output_dir)
+
+    def refine(self) -> RefinementReport:
+        return Refiner(self.ingestor.store, self.world).apply()
+
+    def refinement_statements(self) -> List:
+        """The literal stSPARQL update statements (shown to the user)."""
+        return Refiner(self.ingestor.store, self.world).statements()
+
+    def build_map(self, title: str = "NOA fire map") -> FireMap:
+        return FireMapBuilder(self.ingestor.store, self.world).build(title)
+
+    def run_full(
+        self, path: str, output_dir: Optional[str] = None
+    ) -> Dict:
+        """Chain → refinement → map, returning all three artifacts."""
+        chain_result = self.run_chain(path, output_dir=output_dir)
+        report = self.refine()
+        fire_map = self.build_map()
+        return {
+            "chain": chain_result,
+            "refinement": report,
+            "map": fire_map,
+        }
+
+
+class DataMiningService:
+    """Knowledge-discovery runs over archived scenes."""
+
+    def __init__(self, ingestor: Ingestor, patch_size: int = 8):
+        self.ingestor = ingestor
+        self.patch_size = patch_size
+
+    def train_classifier(
+        self,
+        scene_paths: Sequence[str],
+        classifier: Optional[Classifier] = None,
+    ) -> Classifier:
+        """Train a patch classifier on ground-truth labels of scenes."""
+        from repro.eo.seviri import read_scene
+
+        features = []
+        labels: List[str] = []
+        for path in scene_paths:
+            grid = extract_patches(
+                read_scene(path), patch_size=self.patch_size
+            )
+            features.append(grid.feature_matrix())
+            labels.extend(grid.truth_labels())
+        X = np.vstack(features)
+        clf = classifier or KNNClassifier(5)
+        return clf.fit(X, labels)
+
+    def mine_scene(
+        self, path: str, classifier: Classifier
+    ) -> Dict[str, int]:
+        """Label every patch of one scene; returns label counts."""
+        from repro.eo.seviri import read_scene
+
+        grid = extract_patches(
+            read_scene(path), patch_size=self.patch_size
+        )
+        labels = classifier.predict(grid.feature_matrix())
+        counts: Dict[str, int] = {}
+        for label in labels:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+
+class AnnotationService:
+    """Automatic semantic annotation published into Strabon."""
+
+    def __init__(
+        self,
+        store: StrabonStore,
+        classifier: Classifier,
+        patch_size: int = 8,
+    ):
+        self.store = store
+        self.annotator = SemanticAnnotator(classifier)
+        self.patch_size = patch_size
+
+    def annotate_product(self, product: Product, scene) -> int:
+        """Classify the scene's patches and publish annotations;
+        returns the number of triples added."""
+        grid = extract_patches(scene, patch_size=self.patch_size)
+        graph = self.annotator.annotate(product, grid)
+        return self.store.load_graph(graph)

@@ -1,0 +1,240 @@
+"""SEVIRI scene simulator tests."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene
+from repro.eo.seviri import (
+    LAND_BASE_K,
+    SEA_BASE_K,
+    is_scene_file,
+    read_header,
+    read_scene,
+    write_scene,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return GreeceLikeWorld()
+
+
+class TestSceneGeneration:
+    def test_deterministic_for_seed(self, world):
+        a = generate_scene(SceneSpec(width=64, height=64, seed=3), world.land)
+        b = generate_scene(SceneSpec(width=64, height=64, seed=3), world.land)
+        assert np.array_equal(a.band("t039"), b.band("t039"))
+        assert np.array_equal(a.fire_mask, b.fire_mask)
+
+    def test_different_seeds_differ(self, world):
+        a = generate_scene(SceneSpec(width=64, height=64, seed=1), world.land)
+        b = generate_scene(SceneSpec(width=64, height=64, seed=2), world.land)
+        assert not np.array_equal(a.band("t039"), b.band("t039"))
+
+    def test_fires_on_land_outside_clouds(self, world):
+        scene = generate_scene(
+            SceneSpec(width=96, height=96, seed=5, n_fires=6), world.land
+        )
+        assert scene.fire_mask.sum() > 0
+        assert not (scene.fire_mask & scene.sea_mask).any()
+        assert not (scene.fire_mask & scene.cloud_mask).any()
+
+    def test_fire_pixels_hot_in_t039(self, world):
+        scene = generate_scene(
+            SceneSpec(width=96, height=96, seed=5, n_fires=6), world.land
+        )
+        t039 = scene.band("t039")
+        fire = scene.fire_mask
+        clear_land = ~fire & ~scene.sea_mask & ~scene.cloud_mask
+        assert t039[fire].mean() > t039[clear_land].mean() + 8.0
+
+    def test_t039_fire_anomaly_exceeds_t108(self, world):
+        scene = generate_scene(
+            SceneSpec(width=96, height=96, seed=5, n_fires=6), world.land
+        )
+        diff = scene.band("t039") - scene.band("t108")
+        assert diff[scene.fire_mask].mean() > 8.0
+
+    def test_sea_colder_than_land(self, world):
+        scene = generate_scene(
+            SceneSpec(width=96, height=96, seed=2, n_clouds=0), world.land
+        )
+        t108 = scene.band("t108")
+        assert (
+            t108[scene.sea_mask].mean() < t108[~scene.sea_mask].mean()
+        )
+
+    def test_clouds_are_cold(self, world):
+        scene = generate_scene(
+            SceneSpec(width=96, height=96, seed=2, n_clouds=4), world.land
+        )
+        t108 = scene.band("t108")
+        if scene.cloud_mask.any():
+            assert t108[scene.cloud_mask].mean() < SEA_BASE_K - 5
+
+    def test_diurnal_cycle(self, world):
+        noon = generate_scene(
+            SceneSpec(
+                width=48, height=48, seed=2, n_clouds=0, n_fires=0,
+                acquired=datetime(2007, 8, 25, 14, 0),
+            ),
+            world.land,
+        )
+        night = generate_scene(
+            SceneSpec(
+                width=48, height=48, seed=2, n_clouds=0, n_fires=0,
+                acquired=datetime(2007, 8, 25, 2, 0),
+            ),
+            world.land,
+        )
+        land = ~noon.sea_mask
+        assert (
+            noon.band("t108")[land].mean()
+            > night.band("t108")[land].mean() + 5.0
+        )
+
+    def test_fire_seeds_pin_locations(self, world):
+        seeds = [(22.0, 39.5)]
+        scene = generate_scene(
+            SceneSpec(width=96, height=96, seed=1, n_clouds=0),
+            world.land,
+            fire_seeds=seeds,
+        )
+        row, col = scene.lonlat_to_pixel(*seeds[0])
+        window = scene.fire_mask[
+            max(row - 6, 0) : row + 6, max(col - 6, 0) : col + 6
+        ]
+        assert window.any()
+
+    def test_no_land_polygon_means_all_land(self):
+        scene = generate_scene(SceneSpec(width=32, height=32, seed=1))
+        assert not scene.sea_mask.any()
+
+    def test_too_small_scene_rejected(self):
+        with pytest.raises(ValueError):
+            SceneSpec(width=4, height=4)
+
+
+class TestGeoreferencing:
+    def test_pixel_lonlat_roundtrip(self, world):
+        scene = generate_scene(SceneSpec(width=64, height=64, seed=1))
+        lon, lat = scene.pixel_to_lonlat(10, 20)
+        row, col = scene.lonlat_to_pixel(lon, lat)
+        assert (row, col) == (10, 20)
+
+    def test_row_zero_is_north(self):
+        scene = generate_scene(SceneSpec(width=64, height=64, seed=1))
+        _, lat_top = scene.pixel_to_lonlat(0, 0)
+        _, lat_bottom = scene.pixel_to_lonlat(63, 0)
+        assert lat_top > lat_bottom
+
+    def test_pixel_polygon_area(self):
+        spec = SceneSpec(width=64, height=64, window=(20, 34, 28, 42))
+        scene = generate_scene(spec)
+        poly = scene.pixel_polygon(0, 0)
+        assert poly.area == pytest.approx((8 / 64) * (8 / 64), rel=1e-9)
+
+    def test_lonlat_clamped_to_grid(self):
+        scene = generate_scene(SceneSpec(width=64, height=64, seed=1))
+        assert scene.lonlat_to_pixel(-999, -999) == (63, 0)
+
+
+class TestFileFormat:
+    def test_roundtrip(self, tmp_path, world):
+        scene = generate_scene(
+            SceneSpec(width=48, height=40, seed=9, n_fires=3), world.land
+        )
+        path = str(tmp_path / "scene.nat")
+        write_scene(scene, path)
+        back = read_scene(path)
+        assert back.spec.width == 48 and back.spec.height == 40
+        assert np.allclose(back.band("t039"), scene.band("t039"))
+        assert np.allclose(back.band("t108"), scene.band("t108"))
+        assert np.array_equal(back.fire_mask, scene.fire_mask)
+        assert np.array_equal(back.cloud_mask, scene.cloud_mask)
+        assert np.array_equal(back.sea_mask, scene.sea_mask)
+        assert back.spec.acquired == scene.spec.acquired
+        assert back.spec.window == pytest.approx(scene.spec.window)
+
+    def test_header_only_read(self, tmp_path):
+        scene = generate_scene(SceneSpec(width=32, height=32, seed=1))
+        path = str(tmp_path / "scene.nat")
+        write_scene(scene, path)
+        header = read_header(path)
+        assert header["width"] == 32
+        assert header["mission"] == "MSG2"
+        assert header["sensor"] == "SEVIRI"
+
+    def test_probe(self, tmp_path):
+        scene = generate_scene(SceneSpec(width=32, height=32, seed=1))
+        good = str(tmp_path / "scene.nat")
+        write_scene(scene, good)
+        bad = tmp_path / "other.bin"
+        bad.write_bytes(b"NOPE1234")
+        assert is_scene_file(good)
+        assert not is_scene_file(str(bad))
+        assert not is_scene_file(str(tmp_path / "missing.nat"))
+
+    def test_truncated_rejected(self, tmp_path):
+        bad = tmp_path / "trunc.nat"
+        bad.write_bytes(b"RS")
+        with pytest.raises(ValueError):
+            read_header(str(bad))
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        bad = tmp_path / "bad.nat"
+        bad.write_bytes(b"X" * 200)
+        with pytest.raises(ValueError):
+            read_header(str(bad))
+
+
+class TestWorld:
+    def test_towns_on_land(self, world):
+        for name, lon, lat, _ in world.TOWNS:
+            assert world.is_land(lon, lat), f"{name} fell in the sea"
+
+    def test_sites_on_land(self, world):
+        for name, lon, lat in world.SITES:
+            assert world.is_land(lon, lat), f"{name} fell in the sea"
+
+    def test_forests_on_land(self, world):
+        for poly in world.forests():
+            c = poly.centroid
+            assert world.is_land(c.x, c.y)
+
+    def test_open_sea_is_sea(self, world):
+        assert not world.is_land(26.0, 36.5)
+
+    def test_rdf_export(self, world):
+        g = world.to_rdf()
+        assert len(g) > 50
+        from repro.eo.linkeddata import GN
+        from repro.rdf import URIRef
+        from repro.rdf.namespace import RDF
+
+        towns = list(
+            g.subjects(
+                URIRef(str(RDF) + "type"),
+                URIRef(str(GN) + "PopulatedPlace"),
+            )
+        )
+        assert len(towns) == len(world.TOWNS)
+
+    def test_rdf_geometries_parse(self, world):
+        from repro.strabon import is_geometry_literal, literal_geometry
+
+        g = world.to_rdf()
+        geoms = [o for _, _, o in g if is_geometry_literal(o)]
+        assert geoms
+        for lit in geoms:
+            literal_geometry(lit)  # must not raise
+
+    def test_lookup_helpers(self, world):
+        p = world.town_point("Athina")
+        assert p.x == pytest.approx(23.72)
+        with pytest.raises(KeyError):
+            world.town_point("Atlantis")
+        s = world.site_point("Olympia")
+        assert s.y == pytest.approx(37.64)

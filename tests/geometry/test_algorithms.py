@@ -1,0 +1,191 @@
+"""Tests for the low-level geometry kernels."""
+
+import math
+
+import pytest
+
+from repro.geometry import algorithms as alg
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert alg.orientation((0, 0), (1, 0), (0, 1)) == 1
+
+    def test_cw(self):
+        assert alg.orientation((0, 0), (0, 1), (1, 0)) == -1
+
+    def test_collinear(self):
+        assert alg.orientation((0, 0), (1, 1), (2, 2)) == 0
+
+
+class TestSegments:
+    def test_proper_crossing(self):
+        assert alg.segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_shared_endpoint(self):
+        assert alg.segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_t_junction(self):
+        assert alg.segments_intersect((0, 0), (2, 0), (1, 0), (1, 5))
+
+    def test_disjoint_parallel(self):
+        assert not alg.segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_collinear_overlap(self):
+        assert alg.segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not alg.segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_intersection_point(self):
+        p = alg.segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert p == pytest.approx((1, 1))
+
+    def test_intersection_point_none_for_parallel(self):
+        assert (
+            alg.segment_intersection_point((0, 0), (1, 0), (0, 1), (1, 1))
+            is None
+        )
+
+    def test_intersection_point_none_when_apart(self):
+        assert (
+            alg.segment_intersection_point((0, 0), (1, 1), (3, 0), (4, 1))
+            is None
+        )
+
+
+class TestDistances:
+    def test_point_segment_perpendicular(self):
+        assert alg.point_segment_distance((1, 1), (0, 0), (2, 0)) == 1.0
+
+    def test_point_segment_beyond_end(self):
+        assert alg.point_segment_distance((3, 0), (0, 0), (2, 0)) == 1.0
+
+    def test_point_degenerate_segment(self):
+        assert alg.point_segment_distance((3, 4), (0, 0), (0, 0)) == 5.0
+
+    def test_segment_segment_crossing_is_zero(self):
+        assert (
+            alg.segment_segment_distance((0, 0), (2, 2), (0, 2), (2, 0))
+            == 0.0
+        )
+
+    def test_segment_segment_parallel(self):
+        assert (
+            alg.segment_segment_distance((0, 0), (1, 0), (0, 2), (1, 2))
+            == 2.0
+        )
+
+
+class TestRings:
+    SQUARE = [(0, 0), (4, 0), (4, 4), (0, 4)]
+
+    def test_signed_area_ccw_positive(self):
+        assert alg.ring_signed_area(self.SQUARE) == 16.0
+
+    def test_signed_area_cw_negative(self):
+        assert alg.ring_signed_area(list(reversed(self.SQUARE))) == -16.0
+
+    def test_signed_area_closed_ring_same(self):
+        closed = self.SQUARE + [self.SQUARE[0]]
+        assert alg.ring_signed_area(closed) == 16.0
+
+    def test_is_ccw(self):
+        assert alg.ring_is_ccw(self.SQUARE)
+        assert not alg.ring_is_ccw(list(reversed(self.SQUARE)))
+
+    def test_centroid(self):
+        assert alg.ring_centroid(self.SQUARE) == pytest.approx((2, 2))
+
+    def test_centroid_degenerate(self):
+        line_ring = [(0, 0), (1, 1), (2, 2)]
+        cx, cy = alg.ring_centroid(line_ring)
+        assert (cx, cy) == pytest.approx((1, 1))
+
+    def test_point_in_ring_inside(self):
+        assert alg.point_in_ring((2, 2), self.SQUARE) == 1
+
+    def test_point_in_ring_outside(self):
+        assert alg.point_in_ring((5, 5), self.SQUARE) == -1
+
+    def test_point_in_ring_on_edge(self):
+        assert alg.point_in_ring((2, 0), self.SQUARE) == 0
+
+    def test_point_in_ring_on_vertex(self):
+        assert alg.point_in_ring((0, 0), self.SQUARE) == 0
+
+    def test_point_in_concave_ring(self):
+        # A "U" shape: the notch interior is outside.
+        u_shape = [(0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4)]
+        assert alg.point_in_ring((1, 3), u_shape) == 1
+        assert alg.point_in_ring((3, 3), u_shape) == -1
+        assert alg.point_in_ring((5, 3), u_shape) == 1
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        pts = [(0, 0), (4, 0), (4, 4), (0, 4), (2, 2), (1, 1)]
+        hull = alg.convex_hull(pts)
+        assert sorted(hull) == [(0, 0), (0, 4), (4, 0), (4, 4)]
+
+    def test_hull_is_ccw(self):
+        pts = [(0, 0), (4, 0), (4, 4), (0, 4), (2, 2)]
+        hull = alg.convex_hull(pts)
+        assert alg.ring_is_ccw(hull)
+
+    def test_collinear_input(self):
+        hull = alg.convex_hull([(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert hull == [(0, 0), (3, 3)]
+
+    def test_duplicates_removed(self):
+        hull = alg.convex_hull([(0, 0), (0, 0), (1, 0), (0, 1), (1, 0)])
+        assert len(hull) == 3
+
+
+class TestSimplification:
+    def test_straight_line_collapses(self):
+        coords = [(0, 0), (1, 0.001), (2, 0), (3, -0.001), (4, 0)]
+        out = alg.douglas_peucker(coords, 0.01)
+        assert out == [(0, 0), (4, 0)]
+
+    def test_keeps_significant_vertices(self):
+        coords = [(0, 0), (2, 3), (4, 0)]
+        out = alg.douglas_peucker(coords, 0.5)
+        assert out == coords
+
+    def test_short_input_unchanged(self):
+        assert alg.douglas_peucker([(0, 0), (1, 1)], 10) == [(0, 0), (1, 1)]
+
+
+class TestMisc:
+    def test_path_length(self):
+        assert alg.path_length([(0, 0), (3, 0), (3, 4)]) == 7.0
+
+    def test_interpolate_along_midpoint(self):
+        p = alg.interpolate_along([(0, 0), (10, 0)], 0.5)
+        assert p == pytest.approx((5, 0))
+
+    def test_interpolate_clamps(self):
+        coords = [(0, 0), (10, 0)]
+        assert alg.interpolate_along(coords, -1) == (0, 0)
+        assert alg.interpolate_along(coords, 2) == (10, 0)
+
+    def test_interpolate_empty_raises(self):
+        with pytest.raises(ValueError):
+            alg.interpolate_along([], 0.5)
+
+    def test_self_intersection_detected(self):
+        bowtie = [(0, 0), (2, 2), (2, 0), (0, 2)]
+        assert alg.polyline_self_intersects(bowtie)
+
+    def test_simple_path_not_self_intersecting(self):
+        assert not alg.polyline_self_intersects([(0, 0), (1, 0), (2, 1)])
+
+    def test_closed_ring_not_flagged(self):
+        square = [(0, 0), (1, 0), (1, 1), (0, 1), (0, 0)]
+        assert not alg.polyline_self_intersects(square)
+
+    def test_on_segment(self):
+        assert alg.on_segment((1, 1), (0, 0), (2, 2))
+        assert not alg.on_segment((1, 1.1), (0, 0), (2, 2))
+        assert alg.on_segment((0, 0), (0, 0), (2, 2))

@@ -1,0 +1,179 @@
+"""Buffer and simplification tests."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    GeometryError,
+    LineString,
+    MultiPoint,
+    Point,
+    Polygon,
+)
+from repro.geometry.multi import flatten
+
+
+def total_area(geom):
+    return sum(g.area for g in flatten(geom))
+
+
+class TestPointBuffer:
+    def test_circle_area(self):
+        buf = Point(0, 0).buffer(2.0, resolution=64)
+        assert total_area(buf) == pytest.approx(math.pi * 4, rel=0.01)
+
+    def test_buffer_contains_center(self):
+        buf = Point(5, 5).buffer(1.0)
+        assert buf.contains(Point(5, 5))
+
+    def test_buffer_excludes_far_points(self):
+        buf = Point(0, 0).buffer(1.0)
+        assert not buf.intersects(Point(3, 0))
+
+    def test_zero_buffer_clone(self):
+        assert Point(1, 1).buffer(0.0) == Point(1, 1)
+
+    def test_low_resolution_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(0, 0).buffer(1.0, resolution=2)
+
+
+class TestLineBuffer:
+    def test_capsule_area(self):
+        line = LineString([(0, 0), (10, 0)])
+        buf = line.buffer(1.0, resolution=64)
+        expected = 20.0 + math.pi  # rectangle + two half circles
+        assert total_area(buf) == pytest.approx(expected, rel=0.02)
+
+    def test_buffer_covers_line(self):
+        line = LineString([(0, 0), (5, 5), (10, 0)])
+        buf = line.buffer(0.5)
+        for frac in (0.0, 0.3, 0.7, 1.0):
+            assert buf.intersects(line.interpolate(frac))
+
+
+class TestPolygonBuffer:
+    def test_dilation_grows_area(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        buf = poly.buffer(1.0, resolution=32)
+        assert total_area(buf) > 100.0
+        # Expected: 100 + perimeter*1 + pi*1^2.
+        assert total_area(buf) == pytest.approx(100 + 40 + math.pi, rel=0.05)
+
+    def test_dilation_covers_original(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        buf = poly.buffer(0.5)
+        for x, y in poly.shell.coords():
+            assert buf.intersects(Point(x, y))
+
+    def test_erosion_shrinks(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        eroded = poly.buffer(-1.0)
+        assert total_area(eroded) == pytest.approx(64.0, rel=0.05)
+
+    def test_erosion_collapse_gives_empty(self):
+        tiny = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert tiny.buffer(-5.0).is_empty
+
+    def test_negative_buffer_of_point_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(0, 0).buffer(-1.0)
+
+
+class TestMultiBuffer:
+    def test_far_points_stay_separate(self):
+        mp = MultiPoint([Point(0, 0), Point(100, 100)])
+        buf = mp.buffer(1.0)
+        assert len(flatten(buf)) == 2
+
+    def test_near_points_merge(self):
+        mp = MultiPoint([Point(0, 0), Point(1, 0)])
+        buf = mp.buffer(1.0)
+        assert len(flatten(buf)) == 1
+
+
+class TestSimplify:
+    def test_line_simplified(self):
+        coords = [(x / 10.0, 0.001 * (x % 2)) for x in range(101)]
+        line = LineString(coords)
+        out = line.simplify(0.01)
+        assert len(list(out.coords())) == 2
+
+    def test_polygon_simplified_keeps_validity(self):
+        poly = Polygon.regular(0, 0, 10, sides=128)
+        out = poly.simplify(0.05)
+        assert isinstance(out, Polygon)
+        assert len(list(out.shell.coords())) < 128
+        assert out.area == pytest.approx(poly.area, rel=0.05)
+
+    def test_small_hole_collapses(self):
+        poly = Polygon(
+            [(0, 0), (100, 0), (100, 100), (0, 100)],
+            holes=[[(50, 50), (50.1, 50), (50.1, 50.1), (50, 50.1)]],
+        )
+        out = poly.simplify(1.0)
+        assert not out.holes
+
+    def test_point_unchanged(self):
+        assert Point(1, 2).simplify(10) == Point(1, 2)
+
+    def test_zero_tolerance_clone(self):
+        line = LineString([(0, 0), (1, 0.001), (2, 0)])
+        assert line.simplify(0).coord_list == line.coord_list
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(0, 0).simplify(-1)
+
+
+class TestGml:
+    def test_point_roundtrip(self):
+        from repro.geometry import from_gml, to_gml
+
+        p = Point(23.5, 38.25, srid=4326)
+        text = to_gml(p)
+        assert "gml:Point" in text
+        back = from_gml(text)
+        assert (back.x, back.y) == pytest.approx((23.5, 38.25))
+        assert back.srid == 4326
+
+    def test_polygon_with_hole_roundtrip(self):
+        from repro.geometry import from_gml, to_gml
+
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+            srid=3857,
+        )
+        back = from_gml(to_gml(poly))
+        assert back.srid == 3857
+        assert back.area == pytest.approx(96.0)
+
+    def test_linestring_roundtrip(self):
+        from repro.geometry import from_gml, to_gml
+
+        line = LineString([(0, 0), (5, 5), (10, 0)])
+        back = from_gml(to_gml(line))
+        assert back.coord_list == line.coord_list
+
+    def test_multisurface_roundtrip(self):
+        from repro.geometry import MultiPolygon, from_gml, to_gml
+
+        mp = MultiPolygon(
+            [
+                Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]),
+                Polygon([(5, 5), (6, 5), (6, 6), (5, 6)]),
+            ]
+        )
+        back = from_gml(to_gml(mp))
+        assert isinstance(back, MultiPolygon)
+        assert len(back) == 2
+
+    def test_invalid_gml_rejected(self):
+        from repro.geometry import from_gml
+
+        with pytest.raises(GeometryError):
+            from_gml("<not-xml")
+        with pytest.raises(GeometryError):
+            from_gml("<gml:Unknown xmlns:gml='http://www.opengis.net/gml'/>")

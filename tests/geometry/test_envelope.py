@@ -1,0 +1,122 @@
+"""Envelope unit tests."""
+
+import math
+
+import pytest
+
+from repro.geometry import Envelope
+
+
+def test_basic_properties():
+    env = Envelope(0, 1, 4, 7)
+    assert env.width == 4
+    assert env.height == 6
+    assert env.area == 24
+    assert env.perimeter == 20
+    assert env.center == (2.0, 4.0)
+    assert not env.is_empty
+
+
+def test_inverted_bounds_become_empty():
+    env = Envelope(5, 5, 0, 0)
+    assert env.is_empty
+    assert env.area == 0.0
+
+
+def test_empty_envelope():
+    env = Envelope.empty()
+    assert env.is_empty
+    assert env.width == 0.0
+    with pytest.raises(ValueError):
+        _ = env.center
+
+
+def test_of_point_is_degenerate():
+    env = Envelope.of_point(3, 4)
+    assert env.area == 0.0
+    assert env.contains_point(3, 4)
+    assert not env.is_empty
+
+
+def test_of_coords():
+    env = Envelope.of_coords([(0, 0), (2, -1), (1, 5)])
+    assert env.as_tuple() == (0, -1, 2, 5)
+
+
+def test_of_coords_empty_input():
+    assert Envelope.of_coords([]).is_empty
+
+
+def test_contains_point_boundary_inclusive():
+    env = Envelope(0, 0, 1, 1)
+    assert env.contains_point(0, 0)
+    assert env.contains_point(1, 1)
+    assert not env.contains_point(1.000001, 0.5)
+
+
+def test_containment_of_envelopes():
+    outer = Envelope(0, 0, 10, 10)
+    inner = Envelope(2, 2, 3, 3)
+    assert outer.contains(inner)
+    assert not inner.contains(outer)
+    assert outer.contains(outer)
+    # Empty is contained in everything.
+    assert outer.contains(Envelope.empty())
+    assert not Envelope.empty().contains(outer)
+
+
+def test_intersects_and_intersection():
+    a = Envelope(0, 0, 5, 5)
+    b = Envelope(3, 3, 8, 8)
+    c = Envelope(6, 6, 7, 7)
+    assert a.intersects(b)
+    assert not a.intersects(c)
+    assert a.intersection(b).as_tuple() == (3, 3, 5, 5)
+    assert a.intersection(c).is_empty
+
+
+def test_touching_envelopes_intersect():
+    a = Envelope(0, 0, 1, 1)
+    b = Envelope(1, 0, 2, 1)
+    assert a.intersects(b)
+    assert a.intersection(b).area == 0.0
+
+
+def test_union():
+    a = Envelope(0, 0, 1, 1)
+    b = Envelope(5, 5, 6, 6)
+    assert a.union(b).as_tuple() == (0, 0, 6, 6)
+    assert a.union(Envelope.empty()) == a
+    assert Envelope.empty().union(b) == b
+
+
+def test_expanded():
+    env = Envelope(0, 0, 2, 2).expanded(1)
+    assert env.as_tuple() == (-1, -1, 3, 3)
+
+
+def test_enlargement():
+    a = Envelope(0, 0, 2, 2)
+    b = Envelope(1, 1, 3, 3)
+    assert a.enlargement(b) == pytest.approx(9 - 4)
+    assert a.enlargement(Envelope(0.5, 0.5, 1, 1)) == 0.0
+
+
+def test_distance():
+    a = Envelope(0, 0, 1, 1)
+    b = Envelope(4, 5, 6, 7)
+    assert a.distance(b) == pytest.approx(math.hypot(3, 4))
+    assert a.distance(Envelope(0.5, 0.5, 2, 2)) == 0.0
+    assert math.isinf(a.distance(Envelope.empty()))
+
+
+def test_corners_order():
+    env = Envelope(0, 0, 1, 2)
+    assert list(env.corners()) == [(0, 0), (1, 0), (1, 2), (0, 2)]
+
+
+def test_equality_and_hash():
+    assert Envelope(0, 0, 1, 1) == Envelope(0, 0, 1, 1)
+    assert Envelope.empty() == Envelope.empty()
+    assert hash(Envelope(0, 0, 1, 1)) == hash(Envelope(0, 0, 1, 1))
+    assert Envelope(0, 0, 1, 1) != Envelope(0, 0, 1, 2)

@@ -1,0 +1,114 @@
+"""GeoJSON encode/decode tests."""
+
+import json
+
+import pytest
+
+from repro.geometry import (
+    GeometryCollection,
+    GeometryError,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.geojson import (
+    feature,
+    feature_collection,
+    from_geojson,
+    to_geojson,
+)
+
+SAMPLES = [
+    Point(23.7, 37.9),
+    LineString([(0, 0), (5, 5), (10, 0)]),
+    Polygon(
+        [(0, 0), (10, 0), (10, 10), (0, 10)],
+        holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+    ),
+    MultiPoint([Point(1, 1), Point(2, 2)]),
+    MultiLineString(
+        [LineString([(0, 0), (1, 1)]), LineString([(5, 5), (6, 6)])]
+    ),
+    MultiPolygon(
+        [
+            Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]),
+            Polygon([(5, 5), (6, 5), (6, 6), (5, 6)]),
+        ]
+    ),
+    GeometryCollection([Point(0, 0), LineString([(1, 1), (2, 2)])]),
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "geom", SAMPLES, ids=[g.geom_type for g in SAMPLES]
+    )
+    def test_roundtrip(self, geom):
+        doc = to_geojson(geom)
+        back = from_geojson(doc)
+        assert back.geom_type == geom.geom_type
+        assert list(back.coords()) == pytest.approx(list(geom.coords()))
+        assert back.area == pytest.approx(geom.area)
+
+    @pytest.mark.parametrize(
+        "geom", SAMPLES, ids=[g.geom_type for g in SAMPLES]
+    )
+    def test_json_serialisable(self, geom):
+        text = json.dumps(to_geojson(geom))
+        assert from_geojson(json.loads(text)).geom_type == geom.geom_type
+
+
+class TestEncoding:
+    def test_point_structure(self):
+        doc = to_geojson(Point(1.5, 2.5))
+        assert doc == {"type": "Point", "coordinates": [1.5, 2.5]}
+
+    def test_polygon_rings_closed(self):
+        doc = to_geojson(Polygon([(0, 0), (4, 0), (4, 4), (0, 4)]))
+        ring = doc["coordinates"][0]
+        assert ring[0] == ring[-1]
+
+    def test_reprojects_to_wgs84(self):
+        p = Point(0.0, 0.0).transform(3857)
+        doc = to_geojson(p)
+        assert doc["coordinates"] == pytest.approx([0.0, 0.0], abs=1e-9)
+
+
+class TestDecoding:
+    def test_rejects_non_geometry(self):
+        with pytest.raises(GeometryError):
+            from_geojson({"foo": "bar"})
+        with pytest.raises(GeometryError):
+            from_geojson({"type": "Banana", "coordinates": []})
+
+    def test_decoded_srid_is_wgs84(self):
+        geom = from_geojson({"type": "Point", "coordinates": [1, 2]})
+        assert geom.srid == 4326
+
+    def test_third_ordinate_ignored(self):
+        geom = from_geojson(
+            {"type": "Point", "coordinates": [1, 2, 99]}
+        )
+        assert geom == Point(1, 2)
+
+
+class TestFeatures:
+    def test_feature_wraps_geometry(self):
+        f = feature(Point(1, 2), {"name": "x"})
+        assert f["type"] == "Feature"
+        assert f["geometry"]["type"] == "Point"
+        assert f["properties"] == {"name": "x"}
+
+    def test_null_geometry_feature(self):
+        f = feature(None, {"id": 1})
+        assert f["geometry"] is None
+
+    def test_feature_collection(self):
+        fc = feature_collection(
+            [feature(Point(0, 0)), feature(Point(1, 1))]
+        )
+        assert fc["type"] == "FeatureCollection"
+        assert len(fc["features"]) == 2

@@ -1,0 +1,114 @@
+"""Grid polygonisation (boundary tracing) tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MultiPolygon, Point, Polygon
+from repro.geometry.gridpoly import (
+    boundary_rings,
+    cells_to_geometry,
+    mask_to_geometry,
+)
+
+
+def identity(row, col):
+    """Corner map: x = col, y = -row (row 0 on top, like images)."""
+    return (float(col), -float(row))
+
+
+class TestBoundaryRings:
+    def test_single_cell(self):
+        rings = boundary_rings([(0, 0)])
+        assert len(rings) == 1
+        assert len(rings[0]) == 4
+
+    def test_empty(self):
+        assert boundary_rings([]) == []
+
+    def test_two_adjacent_cells_merge(self):
+        rings = boundary_rings([(0, 0), (0, 1)])
+        assert len(rings) == 1
+        assert len(rings[0]) == 4  # a 1x2 rectangle
+
+    def test_l_shape(self):
+        rings = boundary_rings([(0, 0), (1, 0), (1, 1)])
+        assert len(rings) == 1
+        assert len(rings[0]) == 6
+
+    def test_disjoint_cells_two_rings(self):
+        rings = boundary_rings([(0, 0), (5, 5)])
+        assert len(rings) == 2
+
+    def test_ring_with_hole(self):
+        cells = [
+            (r, c)
+            for r in range(3)
+            for c in range(3)
+            if (r, c) != (1, 1)
+        ]
+        rings = boundary_rings(cells)
+        assert len(rings) == 2  # outer boundary + hole
+
+    def test_diagonal_touch_stays_simple(self):
+        # Two cells sharing only a corner must become two rings.
+        rings = boundary_rings([(0, 0), (1, 1)])
+        assert len(rings) == 2
+        assert all(len(r) == 4 for r in rings)
+
+
+class TestCellsToGeometry:
+    def test_single_cell_area(self):
+        geom = cells_to_geometry([(0, 0)], identity)
+        assert isinstance(geom, Polygon)
+        assert geom.area == pytest.approx(1.0)
+
+    def test_block_area(self):
+        cells = [(r, c) for r in range(4) for c in range(5)]
+        geom = cells_to_geometry(cells, identity)
+        assert isinstance(geom, Polygon)
+        assert geom.area == pytest.approx(20.0)
+        # Rectilinear simplification keeps only the 4 corners.
+        assert len(list(geom.shell.coords())) == 4
+
+    def test_hole_subtracted(self):
+        cells = [
+            (r, c)
+            for r in range(3)
+            for c in range(3)
+            if (r, c) != (1, 1)
+        ]
+        geom = cells_to_geometry(cells, identity)
+        assert isinstance(geom, Polygon)
+        assert len(geom.holes) == 1
+        assert geom.area == pytest.approx(8.0)
+        assert geom.locate_point(1.5, -1.5) == -1  # inside the hole
+
+    def test_multi_component(self):
+        geom = cells_to_geometry([(0, 0), (10, 10)], identity)
+        assert isinstance(geom, MultiPolygon)
+        assert geom.area == pytest.approx(2.0)
+
+    def test_contains_cell_centers(self):
+        cells = [(0, 0), (0, 1), (1, 1), (2, 1), (2, 2)]
+        geom = cells_to_geometry(cells, identity)
+        for r, c in cells:
+            assert geom.intersects(Point(c + 0.5, -(r + 0.5)))
+        assert not geom.intersects(Point(2.5, -0.5))
+
+    def test_area_equals_cell_count_random(self):
+        rng = np.random.default_rng(7)
+        mask = rng.random((20, 20)) < 0.4
+        geom = mask_to_geometry(mask, identity)
+        total = sum(
+            g.area for g in (geom.geoms if isinstance(geom, MultiPolygon) else [geom])
+        )
+        assert total == pytest.approx(float(mask.sum()))
+
+    def test_geo_transform(self):
+        # Corner map to a lon/lat window.
+        def corner(row, col):
+            return (20.0 + col * 0.1, 40.0 - row * 0.1)
+
+        geom = cells_to_geometry([(0, 0)], corner)
+        env = geom.envelope
+        assert env.as_tuple() == pytest.approx((20.0, 39.9, 20.1, 40.0))

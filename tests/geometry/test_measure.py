@@ -1,0 +1,121 @@
+"""Distance and centroid tests."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    GeometryCollection,
+    GeometryError,
+    LineString,
+    MultiPoint,
+    Point,
+    Polygon,
+)
+
+
+class TestDistance:
+    def test_point_point(self):
+        assert Point(0, 0).distance(Point(3, 4)) == 5.0
+
+    def test_point_line(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert Point(5, 3).distance(line) == 3.0
+        assert line.distance(Point(5, 3)) == 3.0
+
+    def test_point_line_beyond_endpoint(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert Point(13, 4).distance(line) == 5.0
+
+    def test_point_polygon_outside(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert Point(13, 4).distance(poly) == 3.0
+
+    def test_point_polygon_inside_zero(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert Point(5, 5).distance(poly) == 0.0
+
+    def test_point_in_hole_measures_to_hole_boundary(self):
+        donut = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(3, 3), (7, 3), (7, 7), (3, 7)]],
+        )
+        assert Point(5, 5).distance(donut) == 2.0
+
+    def test_line_line(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(0, 4), (10, 4)])
+        assert a.distance(b) == 4.0
+
+    def test_crossing_lines_zero(self):
+        a = LineString([(0, 0), (10, 10)])
+        b = LineString([(0, 10), (10, 0)])
+        assert a.distance(b) == 0.0
+
+    def test_polygon_polygon(self):
+        a = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        b = Polygon([(4, 0), (5, 0), (5, 1), (4, 1)])
+        assert a.distance(b) == 3.0
+
+    def test_touching_polygons_zero(self):
+        a = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        b = Polygon([(1, 0), (2, 0), (2, 1), (1, 1)])
+        assert a.distance(b) == 0.0
+
+    def test_line_polygon(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        line = LineString([(0, 15), (10, 15)])
+        assert line.distance(poly) == 5.0
+
+    def test_collection_distance_takes_minimum(self):
+        gc = GeometryCollection([Point(100, 0), Point(3, 4)])
+        assert gc.distance(Point(0, 0)) == 5.0
+
+    def test_empty_is_infinite(self):
+        assert math.isinf(GeometryCollection([]).distance(Point(0, 0)))
+
+
+class TestCentroid:
+    def test_point(self):
+        assert Point(3, 4).centroid == Point(3, 4)
+
+    def test_square(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert poly.centroid == Point(2, 2)
+
+    def test_square_with_hole_shifts(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(6, 4), (8, 4), (8, 6), (6, 6)]],
+        )
+        c = poly.centroid
+        assert c.x < 5.0  # hole on the right pulls centroid left
+        assert c.y == pytest.approx(5.0)
+
+    def test_line_midpoint(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.centroid == Point(5, 0)
+
+    def test_line_weighted_by_length(self):
+        line = LineString([(0, 0), (8, 0), (8, 2)])
+        c = line.centroid
+        # Long horizontal segment dominates.
+        assert c.x == pytest.approx((4 * 8 + 8 * 2) / 10)
+        assert c.y == pytest.approx((0 * 8 + 1 * 2) / 10)
+
+    def test_multipoint_mean(self):
+        mp = MultiPoint([Point(0, 0), Point(4, 0), Point(2, 6)])
+        assert mp.centroid == Point(2, 2)
+
+    def test_mixed_collection_uses_highest_dimension(self):
+        gc = GeometryCollection(
+            [
+                Polygon([(0, 0), (2, 0), (2, 2), (0, 2)]),
+                Point(100, 100),
+            ]
+        )
+        assert gc.centroid == Point(1, 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            _ = GeometryCollection([]).centroid

@@ -1,0 +1,199 @@
+"""Overlay (intersection/union/difference) tests."""
+
+import pytest
+
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.multi import flatten
+from repro.geometry.overlay import union_all
+
+A = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+B = Polygon([(5, 5), (15, 5), (15, 15), (5, 15)])
+INSIDE = Polygon([(2, 2), (4, 2), (4, 4), (2, 4)])
+APART = Polygon([(20, 20), (30, 20), (30, 30), (20, 30)])
+
+
+def total_area(geom):
+    return sum(g.area for g in flatten(geom))
+
+
+class TestPolygonIntersection:
+    def test_partial_overlap(self):
+        result = A.intersection(B)
+        assert total_area(result) == pytest.approx(25.0)
+
+    def test_contained(self):
+        assert total_area(A.intersection(INSIDE)) == pytest.approx(4.0)
+        assert total_area(INSIDE.intersection(A)) == pytest.approx(4.0)
+
+    def test_disjoint_empty(self):
+        assert A.intersection(APART).is_empty
+
+    def test_shared_edge_degenerate(self):
+        # Pixel-aligned polygons sharing an edge: handled via perturbation.
+        right = Polygon([(10, 0), (20, 0), (20, 10), (10, 10)])
+        result = A.intersection(right)
+        assert total_area(result) == pytest.approx(0.0, abs=1e-4)
+
+    def test_identical_polygons(self):
+        result = A.intersection(Polygon([(0, 0), (10, 0), (10, 10), (0, 10)]))
+        assert total_area(result) == pytest.approx(100.0, rel=1e-4)
+
+    def test_concave_intersection(self):
+        u_shape = Polygon(
+            [(0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4)]
+        )
+        band = Polygon([(0, 2.5), (6, 2.5), (6, 3.5), (0, 3.5)])
+        result = u_shape.intersection(band)
+        # The band crosses both prongs: 2 pieces of area 2*1 each.
+        assert total_area(result) == pytest.approx(4.0, rel=1e-6)
+        assert len(flatten(result)) == 2
+
+    def test_hole_subtracted(self):
+        donut = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(3, 3), (7, 3), (7, 7), (3, 7)]],
+        )
+        band = Polygon([(0, 4), (10, 4), (10, 6), (0, 6)])
+        result = donut.intersection(band)
+        # Band area 20 minus the 4x2 strip through the hole = 12.
+        assert total_area(result) == pytest.approx(12.0, rel=1e-6)
+
+
+class TestPolygonUnion:
+    def test_partial_overlap(self):
+        assert total_area(A.union(B)) == pytest.approx(175.0)
+
+    def test_disjoint_gives_multipolygon(self):
+        result = A.union(APART)
+        assert isinstance(result, MultiPolygon)
+        assert total_area(result) == pytest.approx(200.0)
+
+    def test_contained(self):
+        assert total_area(A.union(INSIDE)) == pytest.approx(100.0)
+
+    def test_union_all_grid(self):
+        # A 3x3 checkerboard of touching cells unions to components.
+        cells = [
+            Polygon([(i, j), (i + 1, j), (i + 1, j + 1), (i, j + 1)])
+            for i in range(3)
+            for j in range(3)
+        ]
+        merged = union_all(cells)
+        assert sum(p.area for p in merged) == pytest.approx(9.0, rel=1e-3)
+
+    def test_union_all_empty(self):
+        assert union_all([]) == []
+
+
+class TestPolygonDifference:
+    def test_partial(self):
+        assert total_area(A.difference(B)) == pytest.approx(75.0)
+
+    def test_creates_hole(self):
+        result = A.difference(INSIDE)
+        assert total_area(result) == pytest.approx(96.0)
+        polys = [g for g in flatten(result) if isinstance(g, Polygon)]
+        assert any(p.holes for p in polys)
+
+    def test_fully_covered_is_empty(self):
+        assert INSIDE.difference(A).is_empty
+
+    def test_disjoint_unchanged(self):
+        assert total_area(A.difference(APART)) == pytest.approx(100.0)
+
+    def test_symmetric_difference(self):
+        result = A.symmetric_difference(B)
+        assert total_area(result) == pytest.approx(150.0)
+
+
+class TestLineOverlays:
+    def test_line_clipped_to_polygon(self):
+        line = LineString([(-5, 5), (15, 5)])
+        result = line.intersection(A)
+        parts = flatten(result)
+        assert len(parts) == 1
+        assert parts[0].length == pytest.approx(10.0)
+
+    def test_line_difference_polygon(self):
+        line = LineString([(-5, 5), (15, 5)])
+        result = line.difference(A)
+        assert sum(g.length for g in flatten(result)) == pytest.approx(10.0)
+
+    def test_line_through_concave_polygon(self):
+        u_shape = Polygon(
+            [(0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4)]
+        )
+        line = LineString([(-1, 3), (7, 3)])
+        result = line.intersection(u_shape)
+        pieces = flatten(result)
+        assert len(pieces) == 2
+        assert sum(g.length for g in pieces) == pytest.approx(4.0)
+
+    def test_crossing_lines_give_point(self):
+        a = LineString([(0, 0), (10, 10)])
+        b = LineString([(0, 10), (10, 0)])
+        result = a.intersection(b)
+        assert isinstance(result, Point)
+        assert (result.x, result.y) == pytest.approx((5, 5))
+
+    def test_parallel_lines_empty(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(0, 1), (10, 1)])
+        assert a.intersection(b).is_empty
+
+
+class TestPointOverlays:
+    def test_point_in_polygon(self):
+        assert Point(5, 5).intersection(A) == Point(5, 5)
+
+    def test_point_outside_empty(self):
+        assert Point(50, 50).intersection(A).is_empty
+
+    def test_point_difference(self):
+        assert Point(5, 5).difference(A).is_empty
+        assert Point(50, 50).difference(A) == Point(50, 50)
+
+    def test_multipoint_intersection(self):
+        mp = MultiPoint([Point(5, 5), Point(50, 50)])
+        result = mp.intersection(A)
+        assert flatten(result) == [Point(5, 5)]
+
+
+class TestConvexHull:
+    def test_hull_of_multipoint(self):
+        mp = MultiPoint(
+            [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4), Point(2, 2)]
+        )
+        hull = mp.convex_hull()
+        assert isinstance(hull, Polygon)
+        assert hull.area == pytest.approx(16.0)
+
+    def test_hull_of_two_points_is_line(self):
+        mp = MultiPoint([Point(0, 0), Point(2, 2)])
+        assert isinstance(mp.convex_hull(), LineString)
+
+    def test_hull_of_single_point(self):
+        assert Point(1, 1).convex_hull() == Point(1, 1)
+
+    def test_hull_of_empty(self):
+        assert GeometryCollection([]).convex_hull().is_empty
+
+
+class TestFireRefinementScenario:
+    """The geometric core of the NOA refinement step: removing the part of a
+    hotspot polygon that falls in the sea."""
+
+    def test_coastal_hotspot_clipped_by_sea(self):
+        hotspot = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        sea = Polygon([(-10, -10), (2, -10), (2, 14), (-10, 14)])
+        on_land = hotspot.difference(sea)
+        assert total_area(on_land) == pytest.approx(8.0, rel=1e-6)
+        env = on_land.envelope
+        assert env.minx == pytest.approx(2.0, abs=1e-6)

@@ -1,0 +1,117 @@
+"""Property-based consistency laws between topological predicates."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon
+from repro.geometry import algorithms as alg
+from repro.geometry import predicates
+
+small = st.floats(min_value=-50, max_value=50, allow_nan=False)
+coords = st.tuples(small, small)
+
+
+def _convex(points):
+    hull = alg.convex_hull(points)
+    assume(len(hull) >= 3)
+    assume(abs(alg.ring_signed_area(hull)) > 1e-3)
+    return Polygon(hull)
+
+
+convex_polys = st.lists(coords, min_size=3, max_size=10).map(_convex)
+
+
+class TestPredicateLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(a=convex_polys, b=convex_polys)
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=convex_polys, b=convex_polys)
+    def test_disjoint_is_negation(self, a, b):
+        assert a.disjoint(b) == (not a.intersects(b))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=convex_polys, b=convex_polys)
+    def test_contains_implies_intersects(self, a, b):
+        if a.contains(b):
+            assert a.intersects(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=convex_polys, b=convex_polys)
+    def test_within_is_flipped_contains(self, a, b):
+        assert a.within(b) == b.contains(a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=convex_polys, b=convex_polys)
+    def test_covers_weaker_than_contains(self, a, b):
+        if a.contains(b):
+            assert predicates.covers(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=convex_polys, b=convex_polys)
+    def test_touches_excludes_overlaps(self, a, b):
+        if a.touches(b):
+            assert not a.overlaps(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(poly=convex_polys)
+    def test_self_relations(self, poly):
+        assert poly.intersects(poly)
+        assert poly.equals(poly)
+        assert poly.contains(poly)
+        assert not poly.overlaps(poly)
+        assert not poly.touches(poly)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=convex_polys, b=convex_polys)
+    def test_equals_symmetric(self, a, b):
+        assert a.equals(b) == b.equals(a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(poly=convex_polys, p=coords)
+    def test_point_distance_consistent_with_intersects(self, poly, p):
+        # One-way laws with an epsilon dead zone: boundary decisions are
+        # tolerance-based, so points within EPS of the boundary may be
+        # "on" it for one test and "off" for another.
+        point = Point(*p)
+        d = poly.distance(point)
+        if poly.intersects(point):
+            assert d == 0.0
+        else:
+            assert d >= 0.0
+            if d > 1e-6:
+                assert not poly.intersects(point)
+
+    @settings(max_examples=60, deadline=None)
+    @given(poly=convex_polys, p=coords, margin=st.floats(0.001, 5.0))
+    def test_dwithin_matches_distance(self, poly, p, margin):
+        point = Point(*p)
+        d = poly.distance(point)
+        assume(abs(d - margin) > 1e-9)  # avoid boundary float ties
+        assert poly.dwithin(point, margin) == (d <= margin)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=convex_polys, b=convex_polys)
+    def test_envelope_pre_filter_is_sound(self, a, b):
+        # If the envelopes miss each other, the geometries must too —
+        # the law the R-tree pre-filter depends on.
+        if not a.envelope.intersects(b.envelope):
+            assert not a.intersects(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=convex_polys, b=convex_polys)
+    def test_intersection_within_both(self, a, b):
+        from repro.geometry.multi import flatten
+
+        inter = a.intersection(b)
+        for part in flatten(inter):
+            if part.area < 1e-6:
+                continue
+            rep = part.centroid
+            # Allow tiny perturbation slack at the boundary.
+            assert a.distance(rep) < 1e-3
+            assert b.distance(rep) < 1e-3

@@ -1,0 +1,241 @@
+"""Topological predicate tests."""
+
+import pytest
+
+from repro.geometry import (
+    LineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+    from_wkt,
+)
+from repro.geometry import predicates
+
+SQUARE = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+SMALL = Polygon([(2, 2), (4, 2), (4, 4), (2, 4)])
+OVERLAPPING = Polygon([(5, 5), (15, 5), (15, 15), (5, 15)])
+DISJOINT = Polygon([(20, 20), (30, 20), (30, 30), (20, 30)])
+TOUCHING_EDGE = Polygon([(10, 0), (20, 0), (20, 10), (10, 10)])
+DONUT = Polygon(
+    [(0, 0), (10, 0), (10, 10), (0, 10)],
+    holes=[[(3, 3), (7, 3), (7, 7), (3, 7)]],
+)
+
+
+class TestIntersects:
+    def test_point_point(self):
+        assert Point(1, 1).intersects(Point(1, 1))
+        assert not Point(1, 1).intersects(Point(1, 2))
+
+    def test_point_in_polygon(self):
+        assert SQUARE.intersects(Point(5, 5))
+        assert Point(5, 5).intersects(SQUARE)
+
+    def test_point_on_polygon_boundary(self):
+        assert SQUARE.intersects(Point(10, 5))
+
+    def test_point_outside(self):
+        assert not SQUARE.intersects(Point(20, 20))
+
+    def test_point_in_donut_hole(self):
+        assert not DONUT.intersects(Point(5, 5))
+        assert DONUT.intersects(Point(1, 1))
+
+    def test_point_on_line(self):
+        line = LineString([(0, 0), (10, 10)])
+        assert line.intersects(Point(5, 5))
+        assert not line.intersects(Point(5, 6))
+
+    def test_lines_crossing(self):
+        a = LineString([(0, 0), (10, 10)])
+        b = LineString([(0, 10), (10, 0)])
+        assert a.intersects(b)
+
+    def test_lines_apart(self):
+        a = LineString([(0, 0), (1, 1)])
+        b = LineString([(5, 5), (6, 6)])
+        assert not a.intersects(b)
+
+    def test_line_polygon_crossing(self):
+        line = LineString([(-5, 5), (15, 5)])
+        assert SQUARE.intersects(line)
+
+    def test_line_inside_polygon(self):
+        line = LineString([(1, 1), (2, 2)])
+        assert SQUARE.intersects(line)
+
+    def test_line_through_hole_only(self):
+        # Entirely within the donut hole: no intersection.
+        line = LineString([(4, 5), (6, 5)])
+        assert not DONUT.intersects(line)
+
+    def test_polygons_overlapping(self):
+        assert SQUARE.intersects(OVERLAPPING)
+
+    def test_polygons_nested(self):
+        assert SQUARE.intersects(SMALL)
+        assert SMALL.intersects(SQUARE)
+
+    def test_polygons_disjoint(self):
+        assert not SQUARE.intersects(DISJOINT)
+        assert SQUARE.disjoint(DISJOINT)
+
+    def test_polygons_touching(self):
+        assert SQUARE.intersects(TOUCHING_EDGE)
+
+    def test_multipolygon(self):
+        mp = MultiPolygon([SMALL, DISJOINT])
+        assert SQUARE.intersects(mp)
+
+    def test_empty_never_intersects(self):
+        assert not MultiPolygon([]).intersects(SQUARE)
+
+
+class TestContainsCovers:
+    def test_polygon_contains_interior_point(self):
+        assert SQUARE.contains(Point(5, 5))
+
+    def test_polygon_does_not_contain_boundary_point(self):
+        # OGC contains: boundary-only intersection is not containment.
+        assert not SQUARE.contains(Point(0, 5))
+        assert predicates.covers(SQUARE, Point(0, 5))
+
+    def test_polygon_contains_polygon(self):
+        assert SQUARE.contains(SMALL)
+        assert SMALL.within(SQUARE)
+        assert not SMALL.contains(SQUARE)
+
+    def test_polygon_not_contains_overlapping(self):
+        assert not SQUARE.contains(OVERLAPPING)
+
+    def test_donut_does_not_contain_hole_content(self):
+        assert not DONUT.contains(Polygon([(4, 4), (6, 4), (6, 6), (4, 6)]))
+
+    def test_donut_contains_rim_region(self):
+        assert DONUT.contains(Polygon([(0.5, 0.5), (2, 0.5), (2, 2), (0.5, 2)]))
+
+    def test_polygon_contains_line(self):
+        assert SQUARE.contains(LineString([(1, 1), (9, 9)]))
+
+    def test_polygon_not_contains_exiting_line(self):
+        assert not SQUARE.contains(LineString([(5, 5), (15, 5)]))
+
+    def test_line_on_boundary_covered_not_contained(self):
+        edge = LineString([(0, 0), (10, 0)])
+        assert predicates.covers(SQUARE, edge)
+        assert not SQUARE.contains(edge)
+
+    def test_line_covers_subline(self):
+        long = LineString([(0, 0), (10, 0)])
+        short = LineString([(2, 0), (5, 0)])
+        assert predicates.covers(long, short)
+        assert not predicates.covers(short, long)
+
+    def test_line_covers_point(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert predicates.covers(line, Point(5, 0))
+
+    def test_contains_self(self):
+        assert SQUARE.contains(SQUARE)
+
+    def test_multipolygon_contains(self):
+        mp = MultiPolygon([SQUARE, DISJOINT])
+        assert mp.contains(Point(25, 25))
+        assert mp.contains(Point(5, 5))
+
+
+class TestTouches:
+    def test_edge_adjacent_polygons_touch(self):
+        assert SQUARE.touches(TOUCHING_EDGE)
+
+    def test_corner_touching_polygons(self):
+        corner = Polygon([(10, 10), (20, 10), (20, 20), (10, 20)])
+        assert SQUARE.touches(corner)
+
+    def test_overlapping_do_not_touch(self):
+        assert not SQUARE.touches(OVERLAPPING)
+
+    def test_point_on_boundary_touches(self):
+        assert SQUARE.touches(Point(10, 5))
+
+    def test_interior_point_does_not_touch(self):
+        assert not SQUARE.touches(Point(5, 5))
+
+    def test_line_ending_on_boundary(self):
+        probe = LineString([(10, 5), (20, 5)])
+        assert SQUARE.touches(probe)
+
+
+class TestCrossesOverlaps:
+    def test_line_crosses_polygon(self):
+        line = LineString([(-5, 5), (15, 5)])
+        assert line.crosses(SQUARE)
+        assert SQUARE.crosses(line)
+
+    def test_line_inside_does_not_cross(self):
+        assert not LineString([(1, 1), (2, 2)]).crosses(SQUARE)
+
+    def test_lines_cross(self):
+        a = LineString([(0, 0), (10, 10)])
+        b = LineString([(0, 10), (10, 0)])
+        assert a.crosses(b)
+
+    def test_lines_touching_at_endpoint_do_not_cross(self):
+        a = LineString([(0, 0), (5, 5)])
+        b = LineString([(5, 5), (10, 0)])
+        assert not a.crosses(b)
+
+    def test_polygons_overlap(self):
+        assert SQUARE.overlaps(OVERLAPPING)
+
+    def test_nested_do_not_overlap(self):
+        assert not SQUARE.overlaps(SMALL)
+
+    def test_disjoint_do_not_overlap(self):
+        assert not SQUARE.overlaps(DISJOINT)
+
+    def test_different_dimensions_never_overlap(self):
+        assert not SQUARE.overlaps(LineString([(0, 0), (5, 5)]))
+
+
+class TestEquals:
+    def test_same_polygon_different_start_vertex(self):
+        a = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        b = Polygon([(10, 0), (10, 10), (0, 10), (0, 0)])
+        assert a.equals(b)
+
+    def test_reversed_winding_equal(self):
+        a = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        b = Polygon([(0, 10), (10, 10), (10, 0), (0, 0)])
+        assert a.equals(b)
+
+    def test_different_not_equal(self):
+        assert not SQUARE.equals(SMALL)
+
+    def test_points_equal(self):
+        assert Point(1, 1).equals(Point(1, 1))
+
+
+class TestDwithinRelate:
+    def test_dwithin(self):
+        assert Point(0, 0).dwithin(Point(3, 4), 5.0)
+        assert not Point(0, 0).dwithin(Point(3, 4), 4.9)
+
+    def test_relate_summary(self):
+        assert SQUARE.relate(SMALL) == "contains"
+        assert SMALL.relate(SQUARE) == "within"
+        assert SQUARE.relate(DISJOINT) == "disjoint"
+        assert SQUARE.relate(OVERLAPPING) == "overlaps"
+        assert SQUARE.relate(TOUCHING_EDGE) == "touches"
+
+
+class TestRealisticShapes:
+    def test_peloponnese_style_query(self):
+        # A coarse coastline polygon and a hotspot near an inland site.
+        region = from_wkt(
+            "POLYGON ((21.5 36.5, 23.5 36.4, 23.2 38.2, 21.2 38.3, 21.5 36.5))"
+        )
+        hotspot = from_wkt("POINT (22.4 37.4)")
+        offshore = from_wkt("POINT (25.0 37.0)")
+        assert region.contains(hotspot)
+        assert not region.contains(offshore)

@@ -1,0 +1,167 @@
+"""R-tree index tests (dynamic insert, STR bulk load, remove, queries)."""
+
+import random
+
+import pytest
+
+from repro.geometry import Envelope, RTree
+
+
+def grid_items(n):
+    """n*n unit boxes identified by (i, j)."""
+    return [
+        (Envelope(i, j, i + 1, j + 1), (i, j))
+        for i in range(n)
+        for j in range(n)
+    ]
+
+
+class TestInsertQuery:
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.query(Envelope(0, 0, 100, 100)) == []
+
+    def test_insert_and_query_single(self):
+        tree = RTree()
+        tree.insert(Envelope(0, 0, 1, 1), "a")
+        assert tree.query(Envelope(0.5, 0.5, 2, 2)) == ["a"]
+        assert tree.query(Envelope(5, 5, 6, 6)) == []
+
+    def test_insert_empty_envelope_rejected(self):
+        tree = RTree()
+        with pytest.raises(ValueError):
+            tree.insert(Envelope.empty(), "x")
+
+    def test_many_inserts_split_correctly(self):
+        tree = RTree(max_entries=4)
+        for env, item in grid_items(10):
+            tree.insert(env, item)
+        assert len(tree) == 100
+        assert tree.height() > 1
+        hits = tree.query(Envelope(2.5, 2.5, 4.5, 4.5))
+        expected = {(i, j) for i in range(2, 5) for j in range(2, 5)}
+        assert set(hits) == expected
+
+    def test_query_point(self):
+        tree = RTree()
+        for env, item in grid_items(5):
+            tree.insert(env, item)
+        hits = tree.query_point(2.5, 3.5)
+        assert hits == [(2, 3)]
+
+    def test_query_matches_brute_force_random(self):
+        rng = random.Random(42)
+        items = []
+        tree = RTree(max_entries=6)
+        for k in range(300):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            w, h = rng.uniform(0, 5), rng.uniform(0, 5)
+            env = Envelope(x, y, x + w, y + h)
+            items.append((env, k))
+            tree.insert(env, k)
+        for _ in range(25):
+            qx, qy = rng.uniform(0, 100), rng.uniform(0, 100)
+            probe = Envelope(qx, qy, qx + 10, qy + 10)
+            expected = {k for env, k in items if env.intersects(probe)}
+            assert set(tree.query(probe)) == expected
+
+
+class TestBulkLoad:
+    def test_bulk_load_equivalent_to_inserts(self):
+        items = grid_items(12)
+        packed = RTree.bulk_load(items, max_entries=8)
+        assert len(packed) == 144
+        probe = Envelope(3.2, 3.2, 6.8, 6.8)
+        expected = {it for env, it in items if env.intersects(probe)}
+        assert set(packed.query(probe)) == expected
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.query(Envelope(0, 0, 1, 1)) == []
+
+    def test_bulk_load_single(self):
+        tree = RTree.bulk_load([(Envelope(0, 0, 1, 1), "only")])
+        assert tree.query_point(0.5, 0.5) == ["only"]
+
+    def test_bulk_load_is_balanced(self):
+        tree = RTree.bulk_load(grid_items(20), max_entries=8)
+        # 400 items, fanout 8: height should be about log_8(400) ~ 3.
+        assert tree.height() <= 4
+
+
+class TestRemove:
+    def test_remove_existing(self):
+        tree = RTree(max_entries=4)
+        items = grid_items(6)
+        for env, item in items:
+            tree.insert(env, item)
+        env, item = items[17]
+        assert tree.remove(env, item)
+        assert len(tree) == 35
+        assert item not in tree.query(env)
+
+    def test_remove_missing_returns_false(self):
+        tree = RTree()
+        tree.insert(Envelope(0, 0, 1, 1), "a")
+        assert not tree.remove(Envelope(0, 0, 1, 1), "b")
+        assert not tree.remove(Envelope(5, 5, 6, 6), "a")
+
+    def test_remove_all_then_queries_empty(self):
+        tree = RTree(max_entries=4)
+        items = grid_items(5)
+        for env, item in items:
+            tree.insert(env, item)
+        for env, item in items:
+            assert tree.remove(env, item)
+        assert len(tree) == 0
+        assert tree.query(Envelope(-10, -10, 10, 10)) == []
+
+    def test_remove_keeps_remaining_queryable(self):
+        tree = RTree(max_entries=4)
+        items = grid_items(8)
+        for env, item in items:
+            tree.insert(env, item)
+        removed = items[::2]
+        for env, item in removed:
+            assert tree.remove(env, item)
+        kept = items[1::2]
+        probe = Envelope(0, 0, 8, 8)
+        assert set(tree.query(probe)) == {it for _, it in kept}
+
+
+class TestNearest:
+    def test_nearest_single(self):
+        tree = RTree.bulk_load(grid_items(10))
+        assert tree.nearest(0.5, 0.5, k=1) == [(0, 0)]
+
+    def test_nearest_k(self):
+        tree = RTree.bulk_load(grid_items(10))
+        hits = tree.nearest(5.01, 5.01, k=4)
+        assert len(hits) == 4
+        assert (5, 5) in hits
+
+    def test_nearest_respects_max_distance(self):
+        tree = RTree.bulk_load([(Envelope(10, 10, 11, 11), "far")])
+        assert tree.nearest(0, 0, k=1, max_distance=5) == []
+
+    def test_nearest_empty_tree(self):
+        assert RTree().nearest(0, 0, k=3) == []
+
+
+class TestIntrospection:
+    def test_items_iterates_everything(self):
+        items = grid_items(4)
+        tree = RTree.bulk_load(items)
+        assert sorted(it for _, it in tree.items()) == sorted(
+            it for _, it in items
+        )
+
+    def test_envelope_covers_all(self):
+        tree = RTree.bulk_load(grid_items(4))
+        assert tree.envelope.contains(Envelope(0, 0, 4, 4))
+
+    def test_min_fanout_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)

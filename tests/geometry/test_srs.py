@@ -1,0 +1,133 @@
+"""CRS registry and transform tests."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    CRS,
+    GeometryError,
+    LineString,
+    Point,
+    Polygon,
+    get_crs,
+    register_crs,
+    transform,
+)
+from repro.geometry.srs import (
+    SRID_WEB_MERCATOR,
+    SRID_WGS84,
+    geodesic_distance_m,
+    haversine_m,
+    register_affine_grid,
+    transform_coord,
+)
+
+
+class TestRegistry:
+    def test_builtin_crs_present(self):
+        assert get_crs(4326).name == "WGS 84"
+        assert get_crs(3857).units == "metre"
+        assert get_crs(84).name == "CRS84"
+
+    def test_unknown_srid_raises(self):
+        with pytest.raises(GeometryError):
+            get_crs(999999)
+
+    def test_register_conflict_rejected(self):
+        with pytest.raises(GeometryError):
+            register_crs(
+                CRS(4326, "Other", lambda x, y: (x, y), lambda x, y: (x, y))
+            )
+
+    def test_register_new(self):
+        crs = register_crs(
+            CRS(900001, "Test", lambda x, y: (x, y), lambda x, y: (x, y))
+        )
+        assert get_crs(900001) is crs
+
+
+class TestWebMercator:
+    def test_origin_maps_to_origin(self):
+        x, y = transform_coord(0, 0, SRID_WGS84, SRID_WEB_MERCATOR)
+        assert (x, y) == pytest.approx((0, 0), abs=1e-6)
+
+    def test_athens_roundtrip(self):
+        lon, lat = 23.7275, 37.9838
+        x, y = transform_coord(lon, lat, SRID_WGS84, SRID_WEB_MERCATOR)
+        back = transform_coord(x, y, SRID_WEB_MERCATOR, SRID_WGS84)
+        assert back == pytest.approx((lon, lat), abs=1e-9)
+
+    def test_known_value(self):
+        # 180 degrees east maps to pi * R.
+        x, _ = transform_coord(180, 0, SRID_WGS84, SRID_WEB_MERCATOR)
+        assert x == pytest.approx(math.pi * 6378137.0, rel=1e-9)
+
+    def test_latitude_clamped(self):
+        _, y = transform_coord(0, 89.9999, SRID_WGS84, SRID_WEB_MERCATOR)
+        assert math.isfinite(y)
+
+
+class TestGeometryTransform:
+    def test_point(self):
+        p = Point(23.7, 37.9)
+        pm = p.transform(SRID_WEB_MERCATOR)
+        assert pm.srid == SRID_WEB_MERCATOR
+        back = pm.transform(SRID_WGS84)
+        assert (back.x, back.y) == pytest.approx((23.7, 37.9), abs=1e-9)
+
+    def test_polygon_with_hole(self):
+        poly = Polygon(
+            [(20, 36), (24, 36), (24, 39), (20, 39)],
+            holes=[[(21, 37), (22, 37), (22, 38), (21, 38)]],
+        )
+        pm = poly.transform(SRID_WEB_MERCATOR)
+        assert pm.srid == SRID_WEB_MERCATOR
+        assert len(pm.holes) == 1
+        back = pm.transform(SRID_WGS84)
+        assert back.area == pytest.approx(poly.area, rel=1e-9)
+
+    def test_linestring(self):
+        line = LineString([(0, 0), (1, 1)])
+        lm = line.transform(SRID_WEB_MERCATOR)
+        assert lm.srid == SRID_WEB_MERCATOR
+
+    def test_same_srid_clone(self):
+        p = Point(1, 2)
+        assert transform(p, 4326) == p
+
+
+class TestAffineGrid:
+    def test_grid_georeference(self):
+        register_affine_grid(
+            910001, "test-grid", origin_lon=20.0, origin_lat=40.0,
+            lon_per_col=0.05, lat_per_row=0.05,
+        )
+        # Pixel (0, 0) is the origin; rows grow south.
+        lon, lat = transform_coord(0, 0, 910001, SRID_WGS84)
+        assert (lon, lat) == pytest.approx((20.0, 40.0))
+        lon, lat = transform_coord(10, 20, 910001, SRID_WGS84)
+        assert (lon, lat) == pytest.approx((20.5, 39.0))
+        col, row = transform_coord(20.5, 39.0, SRID_WGS84, 910001)
+        assert (col, row) == pytest.approx((10, 20))
+
+
+class TestGeodesics:
+    def test_haversine_equator_degree(self):
+        # One degree of longitude at the equator is ~111.3 km on this sphere.
+        d = haversine_m(0, 0, 1, 0)
+        assert d == pytest.approx(111319.5, rel=1e-3)
+
+    def test_haversine_zero(self):
+        assert haversine_m(23, 37, 23, 37) == 0.0
+
+    def test_geodesic_distance_close_to_haversine(self):
+        a = Point(23.0, 38.0)
+        b = Point(23.5, 38.0)
+        approx = geodesic_distance_m(a, b)
+        exact = haversine_m(23.0, 38.0, 23.5, 38.0)
+        assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_geodesic_distance_intersecting_is_zero(self):
+        region = Polygon([(22, 37), (24, 37), (24, 39), (22, 39)])
+        assert geodesic_distance_m(region, Point(23, 38)) == 0.0

@@ -1,0 +1,271 @@
+"""Tests for the geometry type hierarchy (construction/validation)."""
+
+import pytest
+
+from repro.geometry import (
+    GeometryCollection,
+    GeometryError,
+    LinearRing,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry.multi import collect, flatten
+
+
+class TestPoint:
+    def test_construction(self):
+        p = Point(1.5, -2.5)
+        assert (p.x, p.y) == (1.5, -2.5)
+        assert p.srid == 4326
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            Point(float("nan"), 0)
+
+    def test_rejects_inf(self):
+        with pytest.raises(GeometryError):
+            Point(0, float("inf"))
+
+    def test_equality(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert Point(1, 2) != Point(1, 2, srid=3857)
+
+    def test_envelope(self):
+        assert Point(3, 4).envelope.as_tuple() == (3, 4, 3, 4)
+
+    def test_never_empty(self):
+        assert not Point(0, 0).is_empty
+
+
+class TestLineString:
+    def test_construction(self):
+        line = LineString([(0, 0), (1, 1), (2, 0)])
+        assert len(line) == 3
+        assert line.length == pytest.approx(2 * 2 ** 0.5)
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(GeometryError):
+            LineString([(0, 0)])
+
+    def test_duplicate_vertices_dropped(self):
+        line = LineString([(0, 0), (0, 0), (1, 1)])
+        assert len(line) == 2
+
+    def test_all_duplicates_rejected(self):
+        with pytest.raises(GeometryError):
+            LineString([(1, 1), (1, 1), (1, 1)])
+
+    def test_is_closed(self):
+        assert LineString([(0, 0), (1, 0), (1, 1), (0, 0)]).is_closed
+        assert not LineString([(0, 0), (1, 0)]).is_closed
+
+    def test_is_simple(self):
+        assert LineString([(0, 0), (1, 0), (1, 1)]).is_simple
+        bowtie = LineString([(0, 0), (2, 2), (2, 0), (0, 2)])
+        assert not bowtie.is_simple
+
+    def test_interpolate(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.interpolate(0.25) == Point(2.5, 0)
+
+    def test_reversed(self):
+        line = LineString([(0, 0), (1, 0), (2, 2)])
+        assert line.reversed_().coord_list == [(2, 2), (1, 0), (0, 0)]
+
+    def test_segments(self):
+        segs = list(LineString([(0, 0), (1, 0), (2, 0)]).segments())
+        assert segs == [((0, 0), (1, 0)), ((1, 0), (2, 0))]
+
+
+class TestLinearRing:
+    def test_closing_vertex_stripped(self):
+        ring = LinearRing([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(list(ring.coords())) == 3
+
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeometryError):
+            LinearRing([(0, 0), (1, 1)])
+
+    def test_signed_area_and_orientation(self):
+        ccw = LinearRing([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert ccw.signed_area == 4.0
+        assert ccw.is_ccw
+        cw = ccw.oriented(ccw=False)
+        assert not cw.is_ccw
+        assert cw.signed_area == -4.0
+
+    def test_oriented_noop_when_already_correct(self):
+        ring = LinearRing([(0, 0), (2, 0), (2, 2)])
+        assert ring.oriented(ccw=True) is ring
+
+    def test_length_includes_closing_edge(self):
+        ring = LinearRing([(0, 0), (3, 0), (3, 4)])
+        assert ring.length == pytest.approx(12.0)
+
+    def test_contains_point(self):
+        ring = LinearRing([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert ring.contains_point(2, 2) == 1
+        assert ring.contains_point(4, 2) == 0
+        assert ring.contains_point(9, 9) == -1
+
+
+class TestPolygon:
+    def test_shell_normalised_ccw(self):
+        poly = Polygon([(0, 0), (0, 4), (4, 4), (4, 0)])  # given cw
+        assert poly.shell.is_ccw
+
+    def test_holes_normalised_cw(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        )
+        assert not poly.holes[0].is_ccw
+
+    def test_area_subtracts_holes(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        )
+        assert poly.area == 100 - 4
+
+    def test_locate_point(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        )
+        assert poly.locate_point(1, 1) == 1
+        assert poly.locate_point(3, 3) == -1  # inside the hole
+        assert poly.locate_point(2, 3) == 0  # on the hole boundary
+        assert poly.locate_point(0, 5) == 0  # on the shell
+        assert poly.locate_point(11, 1) == -1
+
+    def test_from_envelope(self):
+        from repro.geometry import Envelope
+
+        poly = Polygon.from_envelope(Envelope(0, 0, 2, 3))
+        assert poly.area == 6.0
+
+    def test_regular_approximates_circle(self):
+        import math
+
+        poly = Polygon.regular(0, 0, 1, sides=64)
+        assert poly.area == pytest.approx(math.pi, rel=0.01)
+
+    def test_regular_validation(self):
+        with pytest.raises(GeometryError):
+            Polygon.regular(0, 0, 1, sides=2)
+        with pytest.raises(GeometryError):
+            Polygon.regular(0, 0, -1)
+
+    def test_representative_point_inside(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        rep = poly.representative_point()
+        assert poly.locate_point(rep.x, rep.y) >= 0
+
+    def test_representative_point_concave(self):
+        # Centroid of this "C" shape falls in the notch.
+        c_shape = Polygon(
+            [(0, 0), (10, 0), (10, 2), (2, 2), (2, 8), (10, 8), (10, 10), (0, 10)]
+        )
+        rep = c_shape.representative_point()
+        assert c_shape.locate_point(rep.x, rep.y) >= 0
+
+    def test_without_holes(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        )
+        assert poly.without_holes().area == 100.0
+
+
+class TestCollections:
+    def test_multipoint_from_coords(self):
+        mp = MultiPoint.from_coords([(0, 0), (1, 1)])
+        assert len(mp) == 2
+        assert mp.geoms[1] == Point(1, 1)
+
+    def test_member_type_enforced(self):
+        with pytest.raises(GeometryError):
+            MultiPoint([LineString([(0, 0), (1, 1)])])
+
+    def test_empty_collection(self):
+        gc = GeometryCollection([])
+        assert gc.is_empty
+        assert gc.envelope.is_empty
+
+    def test_collection_area_and_length(self):
+        gc = GeometryCollection(
+            [
+                Polygon([(0, 0), (2, 0), (2, 2), (0, 2)]),
+                LineString([(0, 0), (3, 4)]),
+            ]
+        )
+        assert gc.area == 4.0
+        assert gc.length == 13.0  # polygon perimeter (8) + line length (5)
+
+    def test_flatten_recursive(self):
+        inner = GeometryCollection([Point(0, 0), Point(1, 1)])
+        outer = GeometryCollection([inner, Point(2, 2)])
+        assert len(flatten(outer)) == 3
+
+    def test_collect_homogeneous_points(self):
+        out = collect([Point(0, 0), Point(1, 1)])
+        assert isinstance(out, MultiPoint)
+
+    def test_collect_single_atom_passthrough(self):
+        p = Point(5, 5)
+        assert collect([p]) is p
+
+    def test_collect_mixed(self):
+        out = collect([Point(0, 0), LineString([(0, 0), (1, 1)])])
+        assert isinstance(out, GeometryCollection)
+        assert not isinstance(out, (MultiPoint, MultiLineString))
+
+    def test_collect_polygons(self):
+        out = collect(
+            [
+                Polygon([(0, 0), (1, 0), (1, 1)]),
+                Polygon([(5, 5), (6, 5), (6, 6)]),
+            ]
+        )
+        assert isinstance(out, MultiPolygon)
+
+    def test_multipolygon_contains_coord(self):
+        mp = MultiPolygon(
+            [
+                Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]),
+                Polygon([(5, 5), (6, 5), (6, 6), (5, 6)]),
+            ]
+        )
+        assert mp.contains_coord(0.5, 0.5)
+        assert mp.contains_coord(5.5, 5.5)
+        assert not mp.contains_coord(3, 3)
+
+    def test_srid_propagates_to_members(self):
+        mp = MultiPoint([Point(0, 0)], srid=3857)
+        assert mp.geoms[0].srid == 3857
+
+
+class TestGeometryApi:
+    def test_envelope_geometry(self):
+        poly = Polygon([(0, 0), (3, 0), (3, 3), (0, 3)])
+        env_poly = poly.envelope_geometry()
+        assert env_poly.area == 9.0
+
+    def test_envelope_geometry_of_point(self):
+        assert Point(1, 2).envelope_geometry() == Point(1, 2)
+
+    def test_with_srid(self):
+        p = Point(1, 2).with_srid(3857)
+        assert p.srid == 3857
+
+    def test_mixed_srid_operations_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(0, 0).distance(Point(1, 1, srid=3857))
+
+    def test_repr_contains_wkt(self):
+        assert "POINT" in repr(Point(0, 0))

@@ -1,0 +1,161 @@
+"""WKT parser/serialiser tests."""
+
+import pytest
+
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    WKTParseError,
+    from_wkt,
+    to_wkt,
+)
+
+
+class TestParsing:
+    def test_point(self):
+        p = from_wkt("POINT (30 10)")
+        assert p == Point(30, 10)
+
+    def test_point_negative_and_float(self):
+        p = from_wkt("POINT (-30.5 1e2)")
+        assert (p.x, p.y) == (-30.5, 100.0)
+
+    def test_point_z_ordinate_dropped(self):
+        p = from_wkt("POINT (1 2 3)")
+        assert (p.x, p.y) == (1.0, 2.0)
+
+    def test_linestring(self):
+        ls = from_wkt("LINESTRING (30 10, 10 30, 40 40)")
+        assert isinstance(ls, LineString)
+        assert ls.coord_list == [(30, 10), (10, 30), (40, 40)]
+
+    def test_polygon(self):
+        poly = from_wkt("POLYGON ((30 10, 40 40, 20 40, 10 20, 30 10))")
+        assert isinstance(poly, Polygon)
+        assert len(list(poly.shell.coords())) == 4
+
+    def test_polygon_with_hole(self):
+        poly = from_wkt(
+            "POLYGON ((35 10, 45 45, 15 40, 10 20, 35 10), "
+            "(20 30, 35 35, 30 20, 20 30))"
+        )
+        assert len(poly.holes) == 1
+
+    def test_multipoint_plain_syntax(self):
+        mp = from_wkt("MULTIPOINT (10 40, 40 30, 20 20, 30 10)")
+        assert isinstance(mp, MultiPoint)
+        assert len(mp) == 4
+
+    def test_multipoint_parenthesised_syntax(self):
+        mp = from_wkt("MULTIPOINT ((10 40), (40 30))")
+        assert len(mp) == 2
+
+    def test_multilinestring(self):
+        mls = from_wkt(
+            "MULTILINESTRING ((10 10, 20 20, 10 40), (40 40, 30 30))"
+        )
+        assert isinstance(mls, MultiLineString)
+        assert len(mls) == 2
+
+    def test_multipolygon(self):
+        mp = from_wkt(
+            "MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)), "
+            "((15 5, 40 10, 10 20, 5 10, 15 5)))"
+        )
+        assert isinstance(mp, MultiPolygon)
+        assert len(mp) == 2
+
+    def test_geometrycollection(self):
+        gc = from_wkt(
+            "GEOMETRYCOLLECTION (POINT (4 6), LINESTRING (4 6, 7 10))"
+        )
+        assert isinstance(gc, GeometryCollection)
+        assert len(gc) == 2
+
+    def test_empty_collections(self):
+        assert from_wkt("MULTIPOLYGON EMPTY").is_empty
+        assert from_wkt("GEOMETRYCOLLECTION EMPTY").is_empty
+        assert from_wkt("MULTIPOINT EMPTY").is_empty
+
+    def test_case_insensitive_tag(self):
+        assert from_wkt("point (1 2)") == Point(1, 2)
+
+    def test_ewkt_srid_prefix(self):
+        p = from_wkt("SRID=3857;POINT (100 200)")
+        assert p.srid == 3857
+
+    def test_default_srid(self):
+        assert from_wkt("POINT (0 0)", default_srid=3857).srid == 3857
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "POINT",
+            "POINT (1)",
+            "POINT (1 2",
+            "POINT 1 2)",
+            "TRIANGLE (0 0, 1 1, 2 2)",
+            "POINT (a b)",
+            "POINT (1 2) extra",
+            "POLYGON EMPTY",
+            "POINT EMPTY",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(WKTParseError):
+            from_wkt(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(WKTParseError):
+            from_wkt(42)  # type: ignore[arg-type]
+
+
+class TestSerialisation:
+    def test_point(self):
+        assert to_wkt(Point(30, 10)) == "POINT (30 10)"
+
+    def test_point_floats_preserved(self):
+        assert to_wkt(Point(1.5, -2.25)) == "POINT (1.5 -2.25)"
+
+    def test_ewkt(self):
+        assert (
+            to_wkt(Point(1, 2, srid=3857), include_srid=True)
+            == "SRID=3857;POINT (1 2)"
+        )
+
+    def test_polygon_closes_ring(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        text = to_wkt(poly)
+        assert text.startswith("POLYGON ((")
+        assert text.count("0 0") == 2  # closing vertex repeated
+
+    def test_empty_multipolygon(self):
+        assert to_wkt(MultiPolygon([])) == "MULTIPOLYGON EMPTY"
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "POINT (30 10)",
+            "LINESTRING (30 10, 10 30, 40 40)",
+            "POLYGON ((30 10, 40 40, 20 40, 10 20, 30 10))",
+            "MULTIPOINT ((10 40), (40 30), (20 20), (30 10))",
+            "MULTILINESTRING ((10 10, 20 20, 10 40), (40 40, 30 30, 40 20))",
+            "MULTIPOLYGON (((30 20, 45 40, 10 40, 30 20)))",
+            "GEOMETRYCOLLECTION (POINT (4 6), LINESTRING (4 6, 7 10))",
+        ],
+    )
+    def test_roundtrip_preserves_geometry(self, text):
+        first = from_wkt(text)
+        second = from_wkt(to_wkt(first))
+        assert first.envelope == second.envelope
+        assert list(first.coords()) == list(second.coords())

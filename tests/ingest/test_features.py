@@ -1,0 +1,100 @@
+"""Feature extraction tests."""
+
+import numpy as np
+import pytest
+
+from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene
+from repro.ingest import FEATURE_NAMES, extract_patches
+from repro.ingest.features import glcm_features, patch_features
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return generate_scene(
+        SceneSpec(width=96, height=96, seed=7, n_fires=5),
+        GreeceLikeWorld().land,
+    )
+
+
+class TestPatchCutting:
+    def test_grid_covers_scene(self, scene):
+        grid = extract_patches(scene, patch_size=16)
+        assert len(grid) == 36  # (96/16)^2
+
+    def test_patch_size_respected(self, scene):
+        grid = extract_patches(scene, patch_size=8)
+        assert len(grid) == 144
+        assert all(p.size == 8 for p in grid)
+
+    def test_non_divisible_size_truncates(self, scene):
+        grid = extract_patches(scene, patch_size=20)
+        assert len(grid) == 16  # floor(96/20)^2
+
+    def test_skip_sea(self, scene):
+        full = extract_patches(scene, patch_size=16)
+        land_only = extract_patches(scene, patch_size=16, skip_sea=True)
+        assert len(land_only) < len(full)
+
+    def test_small_patch_size_rejected(self, scene):
+        with pytest.raises(ValueError):
+            extract_patches(scene, patch_size=1)
+
+    def test_footprints_tile_the_window(self, scene):
+        grid = extract_patches(scene, patch_size=48)
+        total = sum(p.footprint.area for p in grid)
+        lon0, lat0, lon1, lat1 = scene.spec.window
+        assert total == pytest.approx((lon1 - lon0) * (lat1 - lat0), rel=1e-6)
+
+    def test_truth_fraction_range(self, scene):
+        grid = extract_patches(scene, patch_size=16)
+        for p in grid:
+            assert 0.0 <= p.truth_fire_fraction <= 1.0
+
+    def test_truth_labels(self, scene):
+        grid = extract_patches(scene, patch_size=8)
+        labels = grid.truth_labels()
+        assert set(labels) <= {"fire", "other"}
+        assert labels.count("fire") >= 1
+
+
+class TestDescriptors:
+    def test_feature_vector_shape(self, scene):
+        grid = extract_patches(scene, patch_size=16)
+        X = grid.feature_matrix()
+        assert X.shape == (len(grid), len(FEATURE_NAMES))
+        assert np.isfinite(X).all()
+
+    def test_constant_patch(self):
+        flat = np.full((8, 8), 300.0)
+        f = patch_features(flat, flat)
+        assert f[0] == 300.0  # mean
+        assert f[1] == 0.0  # std
+        assert f[4] == 0.0  # spectral diff
+        assert f[5] == 0.0  # gradient energy
+        assert f[6] == 0.0  # contrast
+
+    def test_fire_patch_has_higher_mean_and_diff(self, scene):
+        grid = extract_patches(scene, patch_size=8)
+        labels = grid.truth_labels()
+        X = grid.feature_matrix()
+        fire = X[[i for i, l in enumerate(labels) if l == "fire"]]
+        other = X[[i for i, l in enumerate(labels) if l == "other"]]
+        assert fire[:, 0].mean() > other[:, 0].mean()
+        assert fire[:, 4].mean() > other[:, 4].mean()
+
+    def test_glcm_uniform(self):
+        contrast, homogeneity = glcm_features(np.zeros((8, 8)))
+        assert contrast == 0.0
+        assert homogeneity == 1.0
+
+    def test_glcm_checkerboard_is_rough(self):
+        board = np.indices((8, 8)).sum(axis=0) % 2 * 100.0
+        contrast, homogeneity = glcm_features(board)
+        assert contrast > 10.0
+        assert homogeneity < 0.9
+
+    def test_empty_grid_matrix(self):
+        from repro.ingest.features import PatchGrid
+
+        grid = PatchGrid([], 16)
+        assert grid.feature_matrix().shape == (0, len(FEATURE_NAMES))

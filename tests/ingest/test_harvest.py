@@ -1,0 +1,127 @@
+"""Ingestion pipeline tests."""
+
+import os
+
+import pytest
+
+from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene, write_scene
+from repro.ingest import Ingestor
+from repro.ingest.metadata import NOA_PREFIXES, product_to_rdf
+from repro.mdb import Database
+from repro.strabon import StrabonStore
+
+
+@pytest.fixture
+def archive(tmp_path):
+    world = GreeceLikeWorld()
+    from datetime import datetime
+
+    for i in range(3):
+        spec = SceneSpec(
+            width=48,
+            height=48,
+            seed=i,
+            acquired=datetime(2007, 8, 25, 10 + i, 0),
+        )
+        write_scene(
+            generate_scene(spec, world.land),
+            str(tmp_path / f"scene_{i:03d}.nat"),
+        )
+    (tmp_path / "notes.txt").write_text("not a scene")
+    return tmp_path
+
+
+@pytest.fixture
+def ingestor():
+    return Ingestor(Database(), StrabonStore())
+
+
+class TestIngestion:
+    def test_ingest_directory(self, archive, ingestor):
+        report = ingestor.ingest_directory(str(archive))
+        assert len(report.products) == 3
+        assert report.metadata_triples > 0
+        assert ingestor.db.scalar("SELECT count(*) FROM products") == 3
+
+    def test_lazy_ingestion_defers_payload(self, archive, ingestor):
+        ingestor.ingest_directory(str(archive), lazy=True)
+        assert ingestor.vault.stats["ingests"] == 0
+        assert ingestor.db.arrays() == []
+
+    def test_eager_ingestion_materializes(self, archive, ingestor):
+        ingestor.ingest_directory(str(archive), lazy=False)
+        assert ingestor.vault.stats["ingests"] == 3
+        assert len(ingestor.db.arrays()) == 3
+
+    def test_materialize_on_demand(self, archive, ingestor):
+        report = ingestor.ingest_directory(str(archive), lazy=True)
+        product = report.products[0]
+        array = ingestor.materialize_array(product)
+        assert array.shape == (48, 48)
+        assert ingestor.vault.stats["ingests"] == 1
+        # Second call reuses the registered array.
+        again = ingestor.materialize_array(product)
+        assert again is array
+
+    def test_metadata_queryable_via_stsparql(self, archive, ingestor):
+        ingestor.ingest_directory(str(archive))
+        r = ingestor.store.query(
+            NOA_PREFIXES
+            + "SELECT ?p WHERE { ?p a noa:Product ; "
+            "noa:hasMission \"MSG2\" }"
+        )
+        assert len(r) == 3
+
+    def test_acquisition_time_filter(self, archive, ingestor):
+        ingestor.ingest_directory(str(archive))
+        r = ingestor.store.query(
+            NOA_PREFIXES
+            + "SELECT ?p WHERE { ?p noa:hasAcquisitionTime ?t . "
+            'FILTER(?t >= "2007-08-25T11:00:00"^^xsd:dateTime) }'
+        )
+        assert len(r) == 2
+
+    def test_extent_is_spatial(self, archive, ingestor):
+        ingestor.ingest_directory(str(archive))
+        r = ingestor.store.query(
+            NOA_PREFIXES
+            + "SELECT ?p WHERE { ?p noa:hasGeometry ?g . "
+            'FILTER(strdf:intersects(?g, "POINT (23 38)"^^strdf:WKT)) }'
+        )
+        assert len(r) == 3
+
+    def test_product_lookup(self, archive, ingestor):
+        report = ingestor.ingest_directory(str(archive))
+        pid = report.products[0].product_id
+        row = ingestor.product_by_id(pid)
+        assert row is not None
+        assert row["mission"] == "MSG2"
+        assert ingestor.product_by_id("missing") is None
+
+    def test_non_scene_files_skipped(self, archive, ingestor):
+        report = ingestor.ingest_directory(str(archive))
+        paths = [p.path for p in report.products]
+        assert all(path.endswith(".nat") for path in paths)
+
+
+class TestProductRDF:
+    def test_product_graph_shape(self, archive, ingestor):
+        report = ingestor.ingest_directory(str(archive))
+        g = product_to_rdf(report.products[0])
+        assert len(g) >= 8
+
+    def test_derived_product_links_parent(self, archive, ingestor):
+        from repro.eo.products import ProcessingLevel
+
+        report = ingestor.ingest_directory(str(archive))
+        parent = report.products[0]
+        child = parent.derive("child-1", ProcessingLevel.L2_DERIVED)
+        g = product_to_rdf(child)
+        from repro.rdf import URIRef
+        from repro.rdf.namespace import NOA
+
+        assert (
+            URIRef(str(NOA) + "product/child-1"),
+            URIRef(str(NOA) + "isDerivedFrom"),
+            URIRef(str(NOA) + "product/" + parent.product_id),
+        ) in g

@@ -1,0 +1,200 @@
+"""Data Vault tests: cataloging, lazy ingestion, caching, eviction."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.mdb import DOUBLE
+from repro.mdb.datavault import DataVault, FormatHandler, VaultError
+from repro.mdb.sciql import Dimension, SciArray
+
+
+def toy_format(ingest_log):
+    """A trivial external format: JSON files with a 2-D 'data' grid."""
+
+    def probe(path):
+        return path.endswith(".grid")
+
+    def read_metadata(path):
+        with open(path) as f:
+            doc = json.load(f)
+        return {k: v for k, v in doc.items() if k != "data"}
+
+    def ingest(path):
+        ingest_log.append(path)
+        with open(path) as f:
+            doc = json.load(f)
+        data = np.asarray(doc["data"], dtype=float)
+        arr = SciArray(
+            os.path.basename(path).replace(".", "_"),
+            [
+                Dimension("x", 0, data.shape[0]),
+                Dimension("y", 0, data.shape[1]),
+            ],
+            [("v", DOUBLE)],
+        )
+        arr.set_attribute("v", data)
+        return arr
+
+    return FormatHandler("grid", probe, read_metadata, ingest)
+
+
+@pytest.fixture
+def archive(tmp_path):
+    for i in range(5):
+        doc = {
+            "sensor": "toy",
+            "scene": i,
+            "data": [[float(i), 0.0], [0.0, float(i)]],
+        }
+        (tmp_path / f"scene_{i}.grid").write_text(json.dumps(doc))
+    (tmp_path / "readme.txt").write_text("not a grid file")
+    return tmp_path
+
+
+class TestCataloging:
+    def test_attach_directory_catalogs_matching(self, archive):
+        log = []
+        vault = DataVault("toy")
+        vault.register_format(toy_format(log))
+        entries = vault.attach_directory(str(archive))
+        assert len(entries) == 5
+        assert len(vault) == 5
+        # Cataloging reads headers but never ingests payloads.
+        assert log == []
+        assert vault.cached_count == 0
+
+    def test_metadata_extracted_at_catalog_time(self, archive):
+        vault = DataVault("toy")
+        vault.register_format(toy_format([]))
+        vault.attach_directory(str(archive))
+        entry = vault.entries()[2]
+        assert entry.metadata["sensor"] == "toy"
+
+    def test_search_by_metadata(self, archive):
+        vault = DataVault("toy")
+        vault.register_format(toy_format([]))
+        vault.attach_directory(str(archive))
+        hits = list(vault.search(scene=3))
+        assert len(hits) == 1
+        assert hits[0].metadata["scene"] == 3
+
+    def test_attach_missing_file(self):
+        vault = DataVault("toy")
+        vault.register_format(toy_format([]))
+        with pytest.raises(VaultError):
+            vault.attach_file("/nonexistent/file.grid")
+
+    def test_unrecognised_format(self, archive):
+        vault = DataVault("toy")
+        vault.register_format(toy_format([]))
+        with pytest.raises(VaultError):
+            vault.attach_file(str(archive / "readme.txt"))
+
+    def test_attach_idempotent(self, archive):
+        vault = DataVault("toy")
+        vault.register_format(toy_format([]))
+        path = str(archive / "scene_0.grid")
+        e1 = vault.attach_file(path)
+        e2 = vault.attach_file(path)
+        assert e1 is e2
+        assert len(vault) == 1
+
+    def test_duplicate_format_rejected(self):
+        vault = DataVault("toy")
+        vault.register_format(toy_format([]))
+        with pytest.raises(VaultError):
+            vault.register_format(toy_format([]))
+
+
+class TestLazyIngestion:
+    def test_fetch_ingests_on_first_access(self, archive):
+        log = []
+        vault = DataVault("toy")
+        vault.register_format(toy_format(log))
+        vault.attach_directory(str(archive))
+        path = str(archive / "scene_2.grid")
+        arr = vault.fetch(path)
+        assert arr.get([0, 0]) == 2.0
+        assert log == [path]
+
+    def test_fetch_cached_on_second_access(self, archive):
+        log = []
+        vault = DataVault("toy")
+        vault.register_format(toy_format(log))
+        vault.attach_directory(str(archive))
+        path = str(archive / "scene_1.grid")
+        first = vault.fetch(path)
+        second = vault.fetch(path)
+        assert first is second
+        assert log == [path]  # only one real ingestion
+        assert vault.stats["cache_hits"] == 1
+
+    def test_fetch_uncataloged_rejected(self, archive):
+        vault = DataVault("toy")
+        vault.register_format(toy_format([]))
+        with pytest.raises(VaultError):
+            vault.fetch(str(archive / "scene_0.grid"))
+
+    def test_only_touched_files_ingested(self, archive):
+        log = []
+        vault = DataVault("toy")
+        vault.register_format(toy_format(log))
+        vault.attach_directory(str(archive))
+        vault.fetch(str(archive / "scene_0.grid"))
+        vault.fetch(str(archive / "scene_4.grid"))
+        assert len(log) == 2
+        assert vault.cached_count == 2
+
+    def test_ingest_all_is_eager_baseline(self, archive):
+        log = []
+        vault = DataVault("toy")
+        vault.register_format(toy_format(log))
+        vault.attach_directory(str(archive))
+        assert vault.ingest_all() == 5
+        assert len(log) == 5
+        assert vault.cached_count == 5
+
+    def test_evict(self, archive):
+        vault = DataVault("toy")
+        vault.register_format(toy_format([]))
+        vault.attach_directory(str(archive))
+        path = str(archive / "scene_0.grid")
+        vault.fetch(path)
+        assert vault.evict(path)
+        assert vault.cached_count == 0
+        assert not vault.evict(path)  # already cold
+
+    def test_eviction_after_evict_reingests(self, archive):
+        log = []
+        vault = DataVault("toy")
+        vault.register_format(toy_format(log))
+        vault.attach_directory(str(archive))
+        path = str(archive / "scene_0.grid")
+        vault.fetch(path)
+        vault.evict(path)
+        vault.fetch(path)
+        assert len(log) == 2
+
+    def test_cache_limit_evicts_lru(self, archive):
+        vault = DataVault("toy", cache_limit=2)
+        vault.register_format(toy_format([]))
+        vault.attach_directory(str(archive))
+        paths = [str(archive / f"scene_{i}.grid") for i in range(4)]
+        for p in paths:
+            vault.fetch(p)
+        assert vault.cached_count <= 2
+        # The most recent fetch stays cached.
+        assert vault.entry(paths[-1]).is_cached
+
+    def test_stats_tracking(self, archive):
+        vault = DataVault("toy")
+        vault.register_format(toy_format([]))
+        vault.attach_directory(str(archive))
+        vault.fetch(str(archive / "scene_0.grid"))
+        vault.fetch(str(archive / "scene_0.grid"))
+        assert vault.stats["files_cataloged"] == 5
+        assert vault.stats["ingests"] == 1
+        assert vault.stats["cache_hits"] == 1

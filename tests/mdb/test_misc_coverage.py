@@ -1,0 +1,86 @@
+"""Coverage for smaller API surfaces: results, vault registry in the
+catalog, user-defined scalar functions."""
+
+import pytest
+
+from repro.mdb import Catalog, Database
+from repro.mdb.datavault import DataVault
+from repro.mdb.errors import CatalogError, ExecutionError
+from repro.mdb.sql.functions import register_scalar
+
+
+class TestResultApi:
+    @pytest.fixture
+    def result(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b STRING)")
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, NULL)")
+        return db.execute("SELECT a, b FROM t ORDER BY a")
+
+    def test_rows(self, result):
+        assert result.rows() == [(1, "x"), (2, None)]
+
+    def test_dicts(self, result):
+        assert list(result.dicts()) == [
+            {"a": 1, "b": "x"},
+            {"a": 2, "b": None},
+        ]
+
+    def test_len_and_names(self, result):
+        assert len(result) == 2
+        assert result.names == ["a", "b"]
+        assert result.is_query
+
+    def test_scalar_requires_1x1(self, result):
+        with pytest.raises(ExecutionError):
+            result.scalar()
+
+    def test_dml_result(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        r = db.execute("INSERT INTO t VALUES (1)")
+        assert not r.is_query
+        assert r.rowcount == 1
+        assert "rowcount" in repr(r)
+
+    def test_query_on_dml_rejected(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(ExecutionError):
+            db.query("INSERT INTO t VALUES (1)")
+
+
+class TestVaultRegistry:
+    def test_attach_and_lookup(self):
+        catalog = Catalog()
+        vault = DataVault("seviri")
+        catalog.attach_vault(vault)
+        assert catalog.vault("seviri") is vault
+        assert catalog.vault_names() == ["seviri"]
+
+    def test_duplicate_vault_rejected(self):
+        catalog = Catalog()
+        catalog.attach_vault(DataVault("v"))
+        with pytest.raises(CatalogError):
+            catalog.attach_vault(DataVault("v"))
+
+    def test_unknown_vault(self):
+        with pytest.raises(CatalogError):
+            Catalog().vault("nope")
+
+
+class TestUserDefinedFunctions:
+    def test_register_scalar(self):
+        register_scalar("kelvin_to_celsius", lambda k: k - 273.15)
+        db = Database()
+        assert db.scalar(
+            "SELECT kelvin_to_celsius(300.15)"
+        ) == pytest.approx(27.0)
+
+    def test_registered_function_vectorised_with_nulls(self):
+        register_scalar("double_it", lambda x: x * 2)
+        db = Database()
+        db.execute("CREATE TABLE t (v INT)")
+        db.execute("INSERT INTO t VALUES (1), (NULL), (3)")
+        rows = db.query("SELECT double_it(v) FROM t")
+        assert rows == [(2,), (None,), (6,)]

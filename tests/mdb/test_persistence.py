@@ -1,0 +1,114 @@
+"""Database dump/load tests."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.mdb import Database
+from repro.mdb.persistence import PersistenceError, load_database
+
+
+@pytest.fixture
+def populated():
+    db = Database()
+    db.execute(
+        "CREATE TABLE products (id INT, name STRING, cloud DOUBLE, "
+        "acquired TIMESTAMP, ok BOOL)"
+    )
+    db.insert_rows(
+        "products",
+        [
+            (1, "MSG-a", 0.5, datetime(2007, 8, 25, 12), True),
+            (2, None, None, None, False),
+            (3, "it's quoted \"x\"", 0.25, datetime(2007, 8, 26), True),
+        ],
+    )
+    db.execute(
+        "CREATE ARRAY img (row INT DIMENSION [0:4], "
+        "col INT DIMENSION [2:6], v DOUBLE DEFAULT 0.0)"
+    )
+    db.execute("UPDATE img SET v = row * 10 + col")
+    return db
+
+
+class TestRoundtrip:
+    def test_tables_roundtrip(self, populated, tmp_path):
+        populated.dump(str(tmp_path))
+        restored = Database.load(str(tmp_path))
+        assert restored.tables() == ["products"]
+        assert restored.query(
+            "SELECT * FROM products ORDER BY id"
+        ) == populated.query("SELECT * FROM products ORDER BY id")
+
+    def test_nulls_preserved(self, populated, tmp_path):
+        populated.dump(str(tmp_path))
+        restored = Database.load(str(tmp_path))
+        row = restored.query("SELECT * FROM products WHERE id = 2")[0]
+        assert row == (2, None, None, None, False)
+
+    def test_timestamps_preserved(self, populated, tmp_path):
+        populated.dump(str(tmp_path))
+        restored = Database.load(str(tmp_path))
+        value = restored.scalar(
+            "SELECT acquired FROM products WHERE id = 1"
+        )
+        assert value == datetime(2007, 8, 25, 12)
+
+    def test_arrays_roundtrip(self, populated, tmp_path):
+        populated.dump(str(tmp_path))
+        restored = Database.load(str(tmp_path))
+        original = populated.array("img")
+        loaded = restored.array("img")
+        assert loaded.shape == original.shape
+        assert loaded.dimension("col").start == 2
+        assert np.array_equal(
+            loaded.attribute("v"), original.attribute("v")
+        )
+
+    def test_restored_database_is_writable(self, populated, tmp_path):
+        populated.dump(str(tmp_path))
+        restored = Database.load(str(tmp_path))
+        restored.execute(
+            "INSERT INTO products VALUES (9, 'new', 1.0, NULL, TRUE)"
+        )
+        assert restored.scalar("SELECT count(*) FROM products") == 4
+        restored.execute("UPDATE img SET v = v + 1")
+        assert restored.scalar("SELECT min(v) FROM img") == 3.0
+
+    def test_empty_database(self, tmp_path):
+        Database().dump(str(tmp_path))
+        restored = Database.load(str(tmp_path))
+        assert restored.tables() == []
+        assert restored.arrays() == []
+
+    def test_empty_table(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE empty (a INT, b STRING)")
+        db.dump(str(tmp_path))
+        restored = Database.load(str(tmp_path))
+        assert restored.scalar("SELECT count(*) FROM empty") == 0
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_database(str(tmp_path))
+
+    def test_bad_version(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            '{"format_version": 99, "tables": [], "arrays": []}'
+        )
+        with pytest.raises(PersistenceError):
+            load_database(str(tmp_path))
+
+    def test_unsupported_object_array_attribute(self, tmp_path):
+        from repro.mdb import STRING
+        from repro.mdb.sciql import Dimension, SciArray
+
+        db = Database()
+        db.catalog.add_array(
+            SciArray("s", [Dimension("x", 0, 2)], [("label", STRING)])
+        )
+        with pytest.raises(PersistenceError):
+            db.dump(str(tmp_path))

@@ -1,0 +1,114 @@
+"""Property-based tests: SciQL array operators vs numpy references."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mdb import DOUBLE, Database
+from repro.mdb.sciql import Dimension, SciArray
+
+plane_values = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+planes = arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(2, 12), st.integers(2, 12)
+    ),
+    elements=plane_values,
+)
+
+
+def make_array(plane: np.ndarray) -> SciArray:
+    h, w = plane.shape
+    arr = SciArray(
+        "a",
+        [Dimension("row", 0, h), Dimension("col", 0, w)],
+        [("v", DOUBLE)],
+    )
+    arr.set_attribute("v", plane)
+    return arr
+
+
+class TestArrayOps:
+    @settings(max_examples=40, deadline=None)
+    @given(plane=planes)
+    def test_cells_roundtrip(self, plane):
+        arr = make_array(plane)
+        h, w = plane.shape
+        assert arr.get([h - 1, w - 1]) == plane[h - 1, w - 1]
+        assert np.array_equal(arr.attribute("v"), plane)
+
+    @settings(max_examples=40, deadline=None)
+    @given(plane=planes, data=st.data())
+    def test_slice_matches_numpy(self, plane, data):
+        arr = make_array(plane)
+        h, w = plane.shape
+        r0 = data.draw(st.integers(0, h - 1))
+        r1 = data.draw(st.integers(r0 + 1, h))
+        c0 = data.draw(st.integers(0, w - 1))
+        c1 = data.draw(st.integers(c0 + 1, w))
+        window = arr.slice(row=(r0, r1), col=(c0, c1))
+        assert np.array_equal(
+            window.attribute("v"), plane[r0:r1, c0:c1]
+        )
+        # Coordinates preserved.
+        assert window.get([r0, c0]) == plane[r0, c0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(plane=planes, tile=st.integers(1, 4))
+    def test_tile_mean_matches_numpy(self, plane, tile):
+        h, w = plane.shape
+        assume(h >= tile and w >= tile)
+        arr = make_array(plane)
+        coarse = arr.tile_aggregate([tile, tile], "mean")
+        trimmed = plane[: (h // tile) * tile, : (w // tile) * tile]
+        expected = trimmed.reshape(
+            h // tile, tile, w // tile, tile
+        ).mean(axis=(1, 3))
+        assert np.allclose(coarse.attribute("v"), expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(plane=planes)
+    def test_sql_aggregates_match_numpy(self, plane):
+        db = Database()
+        arr = make_array(plane)
+        db.catalog.add_array(arr)
+        total = db.scalar("SELECT sum(v) FROM a")
+        assert total == pytest_approx(plane.sum())
+        assert db.scalar("SELECT min(v) FROM a") == plane.min()
+        assert db.scalar("SELECT max(v) FROM a") == plane.max()
+        assert db.scalar("SELECT count(*) FROM a") == plane.size
+
+    @settings(max_examples=30, deadline=None)
+    @given(plane=planes, cut=plane_values)
+    def test_sql_update_matches_numpy_mask(self, plane, cut):
+        db = Database()
+        arr = make_array(plane)
+        db.catalog.add_array(arr)
+        db.execute(f"UPDATE a SET v = 0 WHERE v > {cut!r}")
+        expected = np.where(plane > cut, 0.0, plane)
+        assert np.allclose(arr.attribute("v"), expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(plane=planes)
+    def test_map_matches_numpy(self, plane):
+        arr = make_array(plane)
+        arr.map(lambda v: v * 2.0 + 1.0)
+        assert np.allclose(arr.attribute("v"), plane * 2.0 + 1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(plane=planes)
+    def test_count_where_matches_numpy(self, plane):
+        arr = make_array(plane)
+        median = float(np.median(plane))
+        assert arr.count_where(lambda v: v > median) == int(
+            (plane > median).sum()
+        )
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9, abs=1e-9)

@@ -1,0 +1,246 @@
+"""SQL DDL/DML and scalar-expression tests."""
+
+import pytest
+
+from repro.mdb import Database
+from repro.mdb.errors import (
+    CatalogError,
+    ExecutionError,
+    SQLSyntaxError,
+    SQLTypeError,
+)
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("CREATE TABLE t (id INT, name STRING, score DOUBLE)")
+    d.execute(
+        "INSERT INTO t VALUES (1, 'alpha', 1.5), (2, 'beta', 2.5), "
+        "(3, 'gamma', NULL)"
+    )
+    return d
+
+
+class TestDDL:
+    def test_create_and_drop(self):
+        db = Database()
+        db.execute("CREATE TABLE x (a INT)")
+        assert db.tables() == ["x"]
+        db.execute("DROP TABLE x")
+        assert db.tables() == []
+
+    def test_create_if_not_exists(self):
+        db = Database()
+        db.execute("CREATE TABLE x (a INT)")
+        db.execute("CREATE TABLE IF NOT EXISTS x (a INT)")  # no error
+
+    def test_create_duplicate_rejected(self):
+        db = Database()
+        db.execute("CREATE TABLE x (a INT)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE x (a INT)")
+
+    def test_drop_if_exists(self):
+        db = Database()
+        db.execute("DROP TABLE IF EXISTS missing")
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE missing")
+
+    def test_bad_type_rejected(self):
+        db = Database()
+        with pytest.raises(SQLTypeError):
+            db.execute("CREATE TABLE x (a BLOB)")
+
+    def test_syntax_error(self):
+        db = Database()
+        with pytest.raises(SQLSyntaxError):
+            db.execute("CREATE x TABLE (a INT)")
+        with pytest.raises(SQLSyntaxError):
+            db.execute("SELEC 1")
+
+
+class TestInsert:
+    def test_multi_row_insert(self, db):
+        assert db.scalar("SELECT count(*) FROM t") == 3
+
+    def test_insert_rowcount(self, db):
+        result = db.execute("INSERT INTO t VALUES (4, 'd', 0.0)")
+        assert result.rowcount == 1
+
+    def test_insert_with_columns(self, db):
+        db.execute("INSERT INTO t (id, name) VALUES (9, 'partial')")
+        assert db.query("SELECT score FROM t WHERE id = 9") == [(None,)]
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE copy (id INT, name STRING, score DOUBLE)")
+        db.execute("INSERT INTO copy SELECT * FROM t WHERE id <= 2")
+        assert db.scalar("SELECT count(*) FROM copy") == 2
+
+    def test_insert_expression(self, db):
+        db.execute("INSERT INTO t VALUES (2+2, 'e'||'xpr', 1.0/4)")
+        assert db.query("SELECT name, score FROM t WHERE id = 4") == [
+            ("expr", 0.25)
+        ]
+
+    def test_insert_wrong_arity(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_bulk_insert_api(self, db):
+        assert db.insert_rows("t", [(10, "x", 0.1), (11, "y", 0.2)]) == 2
+        assert db.scalar("SELECT count(*) FROM t") == 5
+
+
+class TestUpdateDelete:
+    def test_update_with_where(self, db):
+        result = db.execute("UPDATE t SET score = 9.0 WHERE id = 2")
+        assert result.rowcount == 1
+        assert db.query("SELECT score FROM t WHERE id = 2") == [(9.0,)]
+
+    def test_update_all(self, db):
+        assert db.execute("UPDATE t SET score = 0.0").rowcount == 3
+
+    def test_update_expression_self_reference(self, db):
+        db.execute("UPDATE t SET score = score * 2 WHERE score IS NOT NULL")
+        assert db.query("SELECT score FROM t ORDER BY id") == [
+            (3.0,),
+            (5.0,),
+            (None,),
+        ]
+
+    def test_update_multiple_assignments(self, db):
+        db.execute("UPDATE t SET name = 'z', score = 1.0 WHERE id = 1")
+        assert db.query("SELECT name, score FROM t WHERE id = 1") == [
+            ("z", 1.0)
+        ]
+
+    def test_update_no_match(self, db):
+        assert db.execute("UPDATE t SET score = 1 WHERE id = 99").rowcount == 0
+
+    def test_delete_with_where(self, db):
+        assert db.execute("DELETE FROM t WHERE id > 1").rowcount == 2
+        assert db.scalar("SELECT count(*) FROM t") == 1
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM t").rowcount == 3
+        assert db.scalar("SELECT count(*) FROM t") == 0
+
+
+class TestExpressions:
+    def test_arithmetic(self, db):
+        assert db.query("SELECT id + 1, id - 1, id * 2 FROM t WHERE id = 2") == [
+            (3, 1, 4)
+        ]
+
+    def test_integer_division(self, db):
+        assert db.scalar("SELECT 7 / 2") == 3
+
+    def test_float_division(self, db):
+        assert db.scalar("SELECT 7.0 / 2") == 3.5
+
+    def test_division_by_zero_is_null(self, db):
+        assert db.scalar("SELECT 1 / 0") is None
+
+    def test_modulo(self, db):
+        assert db.scalar("SELECT 7 % 3") == 1
+
+    def test_unary_minus(self, db):
+        assert db.scalar("SELECT -(2 + 3)") == -5
+
+    def test_concat_operator(self, db):
+        assert db.scalar("SELECT 'a' || 'b' || 'c'") == "abc"
+
+    def test_comparisons(self, db):
+        assert db.scalar("SELECT count(*) FROM t WHERE id <> 2") == 2
+        assert db.scalar("SELECT count(*) FROM t WHERE id != 2") == 2
+        assert db.scalar("SELECT count(*) FROM t WHERE id BETWEEN 2 AND 3") == 2
+        assert db.scalar("SELECT count(*) FROM t WHERE id NOT BETWEEN 2 AND 3") == 1
+
+    def test_in_list(self, db):
+        assert db.scalar("SELECT count(*) FROM t WHERE id IN (1, 3, 5)") == 2
+        assert db.scalar("SELECT count(*) FROM t WHERE id NOT IN (1, 3)") == 1
+
+    def test_like(self, db):
+        assert db.query("SELECT name FROM t WHERE name LIKE '%am%'") == [
+            ("gamma",)
+        ]
+        assert db.query("SELECT name FROM t WHERE name LIKE '_eta'") == [
+            ("beta",)
+        ]
+
+    def test_is_null(self, db):
+        assert db.scalar("SELECT count(*) FROM t WHERE score IS NULL") == 1
+        assert db.scalar("SELECT count(*) FROM t WHERE score IS NOT NULL") == 2
+
+    def test_null_comparison_is_false(self, db):
+        # NULL never compares equal (three-valued logic collapses to False).
+        assert db.scalar("SELECT count(*) FROM t WHERE score = score") == 2
+
+    def test_boolean_logic(self, db):
+        assert (
+            db.scalar(
+                "SELECT count(*) FROM t WHERE id = 1 OR (id = 2 AND score > 2)"
+            )
+            == 2
+        )
+        assert db.scalar("SELECT count(*) FROM t WHERE NOT id = 1") == 2
+
+    def test_case_expression(self, db):
+        rows = db.query(
+            "SELECT CASE WHEN id = 1 THEN 'one' WHEN id = 2 THEN 'two' "
+            "ELSE 'many' END FROM t ORDER BY id"
+        )
+        assert rows == [("one",), ("two",), ("many",)]
+
+    def test_case_without_else_gives_null(self, db):
+        rows = db.query(
+            "SELECT CASE WHEN id = 1 THEN 'one' END FROM t ORDER BY id"
+        )
+        assert rows == [("one",), (None,), (None,)]
+
+    def test_cast(self, db):
+        assert db.scalar("SELECT CAST('42' AS INT)") == 42
+        assert db.scalar("SELECT CAST(3.9 AS INT)") == 3
+        assert db.scalar("SELECT CAST(5 AS STRING)") == "5"
+
+    def test_scalar_functions(self, db):
+        assert db.scalar("SELECT abs(-4)") == 4.0
+        assert db.scalar("SELECT sqrt(16)") == 4.0
+        assert db.scalar("SELECT floor(3.7)") == 3.0
+        assert db.scalar("SELECT round(3.456, 2)") == 3.46
+        assert db.scalar("SELECT upper('fire')") == "FIRE"
+        assert db.scalar("SELECT length('abcd')") == 4
+        assert db.scalar("SELECT substring('hotspot', 1, 3)") == "hot"
+        assert db.scalar("SELECT replace('a-b', '-', '+')") == "a+b"
+
+    def test_unknown_function(self, db):
+        with pytest.raises(ExecutionError):
+            db.scalar("SELECT frobnicate(1)")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(CatalogError):
+            db.query("SELECT bogus FROM t")
+
+    def test_string_escaping(self, db):
+        assert db.scalar("SELECT 'it''s'") == "it's"
+
+
+class TestScript:
+    def test_execute_script(self):
+        db = Database()
+        results = db.execute_script(
+            """
+            CREATE TABLE a (x INT);
+            INSERT INTO a VALUES (1);
+            INSERT INTO a VALUES (2);
+            SELECT count(*) FROM a;
+            """
+        )
+        assert results[-1].scalar() == 2
+
+    def test_comments_allowed(self):
+        db = Database()
+        db.execute("CREATE TABLE a (x INT) -- trailing comment")
+        db.execute("/* block */ INSERT INTO a VALUES (1)")
+        assert db.scalar("SELECT count(*) FROM a") == 1

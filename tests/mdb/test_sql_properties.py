@@ -1,0 +1,152 @@
+"""Property-based tests: the SQL engine vs a plain-Python reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mdb import Database
+
+values = st.integers(min_value=-100, max_value=100)
+rows = st.lists(
+    st.tuples(values, values), min_size=0, max_size=60
+)
+
+
+def fresh_db(data):
+    db = Database()
+    db.execute("CREATE TABLE t (a INT, b INT)")
+    for a, b in data:
+        db.insert_rows("t", [(a, b)])
+    return db
+
+
+class TestSelectSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(data=rows, cut=values)
+    def test_where_filter(self, data, cut):
+        db = fresh_db(data)
+        got = db.query(f"SELECT a, b FROM t WHERE a > {cut}")
+        expected = [r for r in data if r[0] > cut]
+        assert sorted(got) == sorted(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=rows)
+    def test_order_by_matches_sorted(self, data):
+        db = fresh_db(data)
+        got = db.query("SELECT a FROM t ORDER BY a")
+        assert [r[0] for r in got] == sorted(r[0] for r in data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=rows)
+    def test_order_desc(self, data):
+        db = fresh_db(data)
+        got = db.query("SELECT a FROM t ORDER BY a DESC")
+        assert [r[0] for r in got] == sorted(
+            (r[0] for r in data), reverse=True
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=rows)
+    def test_aggregates_match_python(self, data):
+        db = fresh_db(data)
+        count = db.scalar("SELECT count(*) FROM t")
+        assert count == len(data)
+        if data:
+            assert db.scalar("SELECT sum(a) FROM t") == sum(
+                r[0] for r in data
+            )
+            assert db.scalar("SELECT min(b) FROM t") == min(
+                r[1] for r in data
+            )
+            assert db.scalar("SELECT max(b) FROM t") == max(
+                r[1] for r in data
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=rows)
+    def test_group_by_matches_python(self, data):
+        db = fresh_db(data)
+        got = dict(
+            (k, c)
+            for k, c in db.query(
+                "SELECT a, count(*) FROM t GROUP BY a"
+            )
+        )
+        expected = {}
+        for a, _ in data:
+            expected[a] = expected.get(a, 0) + 1
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=rows)
+    def test_distinct_matches_set(self, data):
+        db = fresh_db(data)
+        got = db.query("SELECT DISTINCT a FROM t")
+        assert sorted(r[0] for r in got) == sorted({r[0] for r in data})
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=rows, limit=st.integers(0, 10), offset=st.integers(0, 10))
+    def test_limit_offset_window(self, data, limit, offset):
+        db = fresh_db(data)
+        got = db.query(
+            f"SELECT a FROM t ORDER BY a LIMIT {limit} OFFSET {offset}"
+        )
+        expected = sorted(r[0] for r in data)[offset : offset + limit]
+        assert [r[0] for r in got] == expected
+
+
+class TestJoinSemantics:
+    @settings(max_examples=30, deadline=None)
+    @given(left=rows, right=rows)
+    def test_equi_join_matches_nested_loop(self, left, right):
+        db = Database()
+        db.execute("CREATE TABLE l (a INT, b INT)")
+        db.execute("CREATE TABLE r (c INT, d INT)")
+        for a, b in left:
+            db.insert_rows("l", [(a, b)])
+        for c, d in right:
+            db.insert_rows("r", [(c, d)])
+        got = db.query(
+            "SELECT l.a, l.b, r.c, r.d FROM l JOIN r ON l.a = r.c"
+        )
+        expected = [
+            (a, b, c, d)
+            for a, b in left
+            for c, d in right
+            if a == c
+        ]
+        assert sorted(got) == sorted(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(left=rows, right=rows)
+    def test_left_join_row_count(self, left, right):
+        db = Database()
+        db.execute("CREATE TABLE l (a INT, b INT)")
+        db.execute("CREATE TABLE r (c INT, d INT)")
+        for a, b in left:
+            db.insert_rows("l", [(a, b)])
+        for c, d in right:
+            db.insert_rows("r", [(c, d)])
+        got = db.query("SELECT l.a FROM l LEFT JOIN r ON l.a = r.c")
+        expected_count = sum(
+            max(1, sum(1 for c, _ in right if c == a)) for a, _ in left
+        )
+        assert len(got) == expected_count
+
+
+class TestUpdateDeleteSemantics:
+    @settings(max_examples=30, deadline=None)
+    @given(data=rows, cut=values)
+    def test_delete_complement_of_where(self, data, cut):
+        db = fresh_db(data)
+        db.execute(f"DELETE FROM t WHERE a <= {cut}")
+        got = db.query("SELECT a, b FROM t")
+        assert sorted(got) == sorted(r for r in data if r[0] > cut)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=rows, cut=values)
+    def test_update_only_touches_matching(self, data, cut):
+        db = fresh_db(data)
+        db.execute(f"UPDATE t SET b = 999 WHERE a = {cut}")
+        for a, b in db.query("SELECT a, b FROM t"):
+            if a == cut:
+                assert b == 999

@@ -1,0 +1,280 @@
+"""SELECT pipeline tests: projection, ordering, grouping, joins."""
+
+import pytest
+
+from repro.mdb import Database
+from repro.mdb.errors import CatalogError, ExecutionError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute(
+        "CREATE TABLE sales (region STRING, product STRING, amount INT, "
+        "price DOUBLE)"
+    )
+    d.execute(
+        "INSERT INTO sales VALUES "
+        "('north', 'apple', 10, 1.0), "
+        "('north', 'pear', 5, 2.0), "
+        "('south', 'apple', 7, 1.1), "
+        "('south', 'pear', 12, 2.2), "
+        "('south', 'fig', 3, 5.0)"
+    )
+    return d
+
+
+class TestProjection:
+    def test_star(self, db):
+        rows = db.query("SELECT * FROM sales WHERE product = 'fig'")
+        assert rows == [("south", "fig", 3, 5.0)]
+
+    def test_aliases(self, db):
+        result = db.execute(
+            "SELECT amount * price AS revenue FROM sales WHERE product='fig'"
+        )
+        assert result.names == ["revenue"]
+        assert result.rows() == [(15.0,)]
+
+    def test_implicit_alias(self, db):
+        result = db.execute("SELECT amount total FROM sales LIMIT 1")
+        assert result.names == ["total"]
+
+    def test_select_without_from(self, db):
+        assert db.scalar("SELECT 6 * 7") == 42
+
+    def test_qualified_star(self, db):
+        db.execute("CREATE TABLE r (k INT)")
+        db.execute("INSERT INTO r VALUES (1)")
+        rows = db.query(
+            "SELECT s.* FROM sales s, r WHERE s.product = 'fig'"
+        )
+        assert rows == [("south", "fig", 3, 5.0)]
+
+    def test_result_column_accessor(self, db):
+        result = db.execute("SELECT region FROM sales ORDER BY region")
+        col = result.column("region")
+        assert col[0] == "north" and col[-1] == "south"
+        with pytest.raises(ExecutionError):
+            result.column("bogus")
+
+
+class TestOrderLimit:
+    def test_order_asc(self, db):
+        rows = db.query("SELECT product FROM sales ORDER BY amount")
+        assert rows[0] == ("fig",)
+        assert rows[-1] == ("pear",)
+
+    def test_order_desc(self, db):
+        rows = db.query("SELECT amount FROM sales ORDER BY amount DESC")
+        assert [r[0] for r in rows] == [12, 10, 7, 5, 3]
+
+    def test_order_multi_key(self, db):
+        rows = db.query(
+            "SELECT region, amount FROM sales ORDER BY region, amount DESC"
+        )
+        assert rows == [
+            ("north", 10),
+            ("north", 5),
+            ("south", 12),
+            ("south", 7),
+            ("south", 3),
+        ]
+
+    def test_order_by_alias(self, db):
+        rows = db.query(
+            "SELECT amount * price AS rev FROM sales ORDER BY rev DESC LIMIT 1"
+        )
+        assert rows[0][0] == pytest.approx(26.4)
+
+    def test_order_by_expression(self, db):
+        rows = db.query("SELECT product FROM sales ORDER BY amount * price")
+        assert rows[0] == ("apple",)  # north apple: 10.0
+
+    def test_nulls_order_last(self, db):
+        db.execute("INSERT INTO sales VALUES ('west', 'kiwi', 1, NULL)")
+        rows = db.query("SELECT product FROM sales ORDER BY price")
+        assert rows[-1] == ("kiwi",)
+
+    def test_limit_offset(self, db):
+        rows = db.query(
+            "SELECT amount FROM sales ORDER BY amount LIMIT 2 OFFSET 1"
+        )
+        assert [r[0] for r in rows] == [5, 7]
+
+    def test_limit_zero(self, db):
+        assert db.query("SELECT * FROM sales LIMIT 0") == []
+
+
+class TestDistinct:
+    def test_distinct_single(self, db):
+        rows = db.query("SELECT DISTINCT region FROM sales ORDER BY region")
+        assert rows == [("north",), ("south",)]
+
+    def test_distinct_pairs(self, db):
+        rows = db.query("SELECT DISTINCT region, product FROM sales")
+        assert len(rows) == 5  # all pairs unique here
+
+    def test_distinct_aggregate_arg(self, db):
+        assert db.scalar("SELECT count(DISTINCT region) FROM sales") == 2
+
+
+class TestGrouping:
+    def test_group_by_with_aggregates(self, db):
+        rows = db.query(
+            "SELECT region, count(*), sum(amount), min(price), max(price) "
+            "FROM sales GROUP BY region ORDER BY region"
+        )
+        assert rows == [
+            ("north", 2, 15, 1.0, 2.0),
+            ("south", 3, 22, 1.1, 5.0),
+        ]
+
+    def test_avg(self, db):
+        rows = db.query(
+            "SELECT product, avg(amount) FROM sales GROUP BY product "
+            "ORDER BY product"
+        )
+        assert rows == [("apple", 8.5), ("fig", 3.0), ("pear", 8.5)]
+
+    def test_aggregate_without_group_by(self, db):
+        assert db.scalar("SELECT sum(amount) FROM sales") == 37
+
+    def test_aggregate_on_empty_table(self, db):
+        db.execute("DELETE FROM sales")
+        assert db.scalar("SELECT count(*) FROM sales") == 0
+        assert db.scalar("SELECT sum(amount) FROM sales") is None
+
+    def test_count_ignores_nulls(self, db):
+        db.execute("INSERT INTO sales VALUES ('west', 'kiwi', 1, NULL)")
+        assert db.scalar("SELECT count(price) FROM sales") == 5
+        assert db.scalar("SELECT count(*) FROM sales") == 6
+
+    def test_group_expression_key(self, db):
+        rows = db.query(
+            "SELECT amount / 10, count(*) FROM sales GROUP BY amount / 10 "
+            "ORDER BY amount / 10"
+        )
+        assert rows == [(0, 3), (1, 2)]
+
+    def test_having(self, db):
+        rows = db.query(
+            "SELECT region, sum(amount) FROM sales GROUP BY region "
+            "HAVING sum(amount) > 20"
+        )
+        assert rows == [("south", 22)]
+
+    def test_having_without_group_by(self, db):
+        assert db.query(
+            "SELECT count(*) FROM sales HAVING count(*) > 100"
+        ) == []
+
+    def test_arithmetic_over_aggregates(self, db):
+        rows = db.query(
+            "SELECT region, sum(amount) * 2 + count(*) FROM sales "
+            "GROUP BY region ORDER BY region"
+        )
+        assert rows == [("north", 32), ("south", 47)]
+
+    def test_ungrouped_column_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT product, sum(amount) FROM sales GROUP BY region")
+
+    def test_group_key_with_null(self, db):
+        db.execute("INSERT INTO sales VALUES (NULL, 'kiwi', 1, 1.0)")
+        rows = db.query(
+            "SELECT region, count(*) FROM sales GROUP BY region"
+        )
+        assert (None, 1) in rows
+
+    def test_aggregate_outside_grouping_rejected_in_where(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT * FROM sales WHERE sum(amount) > 1")
+
+    def test_statistics_aggregates(self, db):
+        assert db.scalar("SELECT median(amount) FROM sales") == 7.0
+        stddev = db.scalar("SELECT stddev(amount) FROM sales")
+        # Sample standard deviation of [10, 5, 7, 12, 3].
+        assert stddev == pytest.approx(3.646916506, rel=1e-6)
+
+    def test_order_by_aggregate_alias(self, db):
+        rows = db.query(
+            "SELECT region, sum(amount) AS total FROM sales "
+            "GROUP BY region ORDER BY total DESC"
+        )
+        assert rows[0][0] == "south"
+
+
+class TestJoins:
+    @pytest.fixture
+    def jdb(self, db):
+        db.execute("CREATE TABLE regions (name STRING, manager STRING)")
+        db.execute(
+            "INSERT INTO regions VALUES ('north', 'alice'), "
+            "('south', 'bob'), ('east', 'carol')"
+        )
+        return db
+
+    def test_inner_join(self, jdb):
+        rows = jdb.query(
+            "SELECT DISTINCT r.manager FROM sales s "
+            "JOIN regions r ON s.region = r.name ORDER BY r.manager"
+        )
+        assert rows == [("alice",), ("bob",)]
+
+    def test_join_row_multiplicity(self, jdb):
+        assert (
+            jdb.scalar(
+                "SELECT count(*) FROM sales s JOIN regions r "
+                "ON s.region = r.name"
+            )
+            == 5
+        )
+
+    def test_left_join_keeps_unmatched(self, jdb):
+        rows = jdb.query(
+            "SELECT r.name, count(s.amount) FROM regions r "
+            "LEFT JOIN sales s ON s.region = r.name "
+            "GROUP BY r.name ORDER BY r.name"
+        )
+        assert rows == [("east", 0), ("north", 2), ("south", 3)]
+
+    def test_cross_join(self, jdb):
+        assert jdb.scalar(
+            "SELECT count(*) FROM sales, regions"
+        ) == 15
+
+    def test_non_equi_join(self, jdb):
+        rows = jdb.query(
+            "SELECT count(*) FROM sales a JOIN sales b "
+            "ON a.amount < b.amount"
+        )
+        assert rows[0][0] == 10  # ordered pairs among distinct amounts
+
+    def test_three_way_join(self, jdb):
+        jdb.execute("CREATE TABLE bonuses (manager STRING, pct DOUBLE)")
+        jdb.execute("INSERT INTO bonuses VALUES ('alice', 0.1), ('bob', 0.2)")
+        rows = jdb.query(
+            "SELECT DISTINCT b.pct FROM sales s "
+            "JOIN regions r ON s.region = r.name "
+            "JOIN bonuses b ON r.manager = b.manager "
+            "ORDER BY b.pct"
+        )
+        assert rows == [(0.1,), (0.2,)]
+
+    def test_self_join_requires_aliases(self, jdb):
+        with pytest.raises(CatalogError):
+            jdb.query("SELECT count(*) FROM sales JOIN sales ON 1 = 1")
+
+    def test_ambiguous_column_rejected(self, jdb):
+        jdb.execute("CREATE TABLE other (region STRING)")
+        jdb.execute("INSERT INTO other VALUES ('north')")
+        with pytest.raises(CatalogError):
+            jdb.query("SELECT region FROM sales, other")
+
+    def test_join_with_extra_condition(self, jdb):
+        rows = jdb.query(
+            "SELECT s.product FROM sales s JOIN regions r "
+            "ON s.region = r.name AND s.amount > 10"
+        )
+        assert rows == [("pear",)]

@@ -1,0 +1,162 @@
+"""Classifier tests."""
+
+import numpy as np
+import pytest
+
+from repro.mining import (
+    GaussianNBClassifier,
+    KNNClassifier,
+    NearestCentroidClassifier,
+    train_test_split,
+)
+from repro.mining.classify import ClassifierError
+
+
+def blobs(seed=0, n=60):
+    """Two well-separated Gaussian blobs in 3-D."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal((0, 0, 0), 0.5, size=(n, 3))
+    b = rng.normal((5, 5, 5), 0.5, size=(n, 3))
+    X = np.vstack([a, b])
+    labels = ["a"] * n + ["b"] * n
+    return X, labels
+
+
+ALL_CLASSIFIERS = [
+    lambda: KNNClassifier(3),
+    NearestCentroidClassifier,
+    GaussianNBClassifier,
+]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("make", ALL_CLASSIFIERS)
+    def test_separable_blobs_perfect(self, make):
+        X, labels = blobs()
+        clf = make().fit(X, labels)
+        assert clf.score(X, labels) == 1.0
+
+    @pytest.mark.parametrize("make", ALL_CLASSIFIERS)
+    def test_generalises_to_new_samples(self, make):
+        X, labels = blobs(seed=1)
+        Xtr, ytr, Xte, yte = train_test_split(X, labels, 0.4, seed=2)
+        clf = make().fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.95
+
+    @pytest.mark.parametrize("make", ALL_CLASSIFIERS)
+    def test_predict_single_vector(self, make):
+        X, labels = blobs()
+        clf = make().fit(X, labels)
+        assert clf.predict(np.array([0.1, 0.0, -0.1])) == ["a"]
+        assert clf.predict(np.array([5.1, 4.9, 5.0])) == ["b"]
+
+    @pytest.mark.parametrize("make", ALL_CLASSIFIERS)
+    def test_unfit_rejected(self, make):
+        with pytest.raises(ClassifierError):
+            make().predict(np.zeros((1, 3)))
+
+    @pytest.mark.parametrize("make", ALL_CLASSIFIERS)
+    def test_empty_training_rejected(self, make):
+        with pytest.raises(ClassifierError):
+            make().fit(np.zeros((0, 3)), [])
+
+    @pytest.mark.parametrize("make", ALL_CLASSIFIERS)
+    def test_mismatched_labels_rejected(self, make):
+        with pytest.raises(ClassifierError):
+            make().fit(np.zeros((5, 3)), ["a", "b"])
+
+    @pytest.mark.parametrize("make", ALL_CLASSIFIERS)
+    def test_constant_feature_no_crash(self, make):
+        X = np.array([[1.0, 7.0], [2.0, 7.0], [10.0, 7.0], [11.0, 7.0]])
+        labels = ["lo", "lo", "hi", "hi"]
+        clf = make().fit(X, labels)
+        assert clf.predict(np.array([[1.5, 7.0]])) == ["lo"]
+
+    @pytest.mark.parametrize("make", ALL_CLASSIFIERS)
+    def test_three_classes(self, make):
+        rng = np.random.default_rng(4)
+        X = np.vstack(
+            [
+                rng.normal((0, 0), 0.3, size=(30, 2)),
+                rng.normal((6, 0), 0.3, size=(30, 2)),
+                rng.normal((0, 6), 0.3, size=(30, 2)),
+            ]
+        )
+        labels = ["a"] * 30 + ["b"] * 30 + ["c"] * 30
+        clf = make().fit(X, labels)
+        assert clf.predict(np.array([[0, 6.1]])) == ["c"]
+
+
+class TestKNN:
+    def test_k_validation(self):
+        with pytest.raises(ClassifierError):
+            KNNClassifier(0)
+
+    def test_k_larger_than_dataset_ok(self):
+        X = np.array([[0.0], [1.0]])
+        clf = KNNClassifier(99).fit(X, ["a", "b"])
+        assert clf.predict(np.array([[0.05]]))[0] in ("a", "b")
+
+    def test_majority_vote(self):
+        X = np.array([[0.0], [0.2], [0.4], [10.0]])
+        clf = KNNClassifier(3).fit(X, ["a", "a", "a", "b"])
+        assert clf.predict(np.array([[0.3]])) == ["a"]
+
+
+class TestGaussianNB:
+    def test_unbalanced_priors_respected(self):
+        rng = np.random.default_rng(1)
+        # Overlapping classes, one much more frequent.
+        X = np.vstack(
+            [rng.normal(0, 1.0, size=(95, 1)), rng.normal(1.0, 1.0, size=(5, 1))]
+        )
+        labels = ["common"] * 95 + ["rare"] * 5
+        clf = GaussianNBClassifier().fit(X, labels)
+        # At the overlap midpoint the prior should dominate.
+        assert clf.predict(np.array([[0.5]])) == ["common"]
+
+
+class TestSplit:
+    def test_split_sizes(self):
+        X, labels = blobs(n=50)
+        Xtr, ytr, Xte, yte = train_test_split(X, labels, 0.3, seed=0)
+        assert len(Xtr) + len(Xte) == 100
+        assert len(Xtr) == len(ytr)
+        assert len(Xte) == len(yte)
+
+    def test_split_deterministic(self):
+        X, labels = blobs()
+        a = train_test_split(X, labels, 0.3, seed=5)
+        b = train_test_split(X, labels, 0.3, seed=5)
+        assert np.array_equal(a[0], b[0])
+
+    def test_bad_fraction(self):
+        X, labels = blobs()
+        with pytest.raises(ClassifierError):
+            train_test_split(X, labels, 1.5)
+
+
+class TestFirePatchClassification:
+    """End-to-end: classifiers learn fire patches from the simulator."""
+
+    def test_fire_detection_accuracy(self):
+        from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene
+        from repro.ingest import extract_patches
+
+        world = GreeceLikeWorld()
+        grids = [
+            extract_patches(
+                generate_scene(
+                    SceneSpec(width=96, height=96, seed=s, n_fires=6),
+                    world.land,
+                ),
+                patch_size=8,
+            )
+            for s in range(3)
+        ]
+        X = np.vstack([g.feature_matrix() for g in grids])
+        labels = sum((g.truth_labels() for g in grids), [])
+        assert labels.count("fire") >= 5
+        Xtr, ytr, Xte, yte = train_test_split(X, labels, 0.35, seed=1)
+        clf = KNNClassifier(3).fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.9

@@ -1,0 +1,130 @@
+"""Ontology and semantic-annotation tests."""
+
+import pytest
+
+from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene
+from repro.ingest import extract_patches
+from repro.ingest.metadata import product_uri
+from repro.mining import (
+    CONCEPTS,
+    KNNClassifier,
+    SemanticAnnotator,
+    landcover_ontology,
+    monitoring_ontology,
+)
+from repro.mining.ontology import EM, LC, combined_ontology
+from repro.rdf import RDFSReasoner, URIRef
+from repro.rdf.namespace import NOA, RDF
+
+_TYPE = URIRef(str(RDF) + "type")
+
+
+class TestOntologies:
+    def test_landcover_hierarchy(self):
+        reasoner = RDFSReasoner(landcover_ontology())
+        lake = URIRef(str(LC) + "Lake")
+        water = URIRef(str(LC) + "WaterBody")
+        natural = URIRef(str(LC) + "NaturalFeature")
+        assert reasoner.is_subclass_of(lake, water)
+        assert reasoner.is_subclass_of(lake, natural)
+
+    def test_monitoring_hierarchy(self):
+        reasoner = RDFSReasoner(monitoring_ontology())
+        forest_fire = URIRef(str(EM) + "ForestFire")
+        hazard = URIRef(str(EM) + "NaturalHazard")
+        assert reasoner.is_subclass_of(forest_fire, hazard)
+
+    def test_combined(self):
+        g = combined_ontology()
+        assert len(g) == len(landcover_ontology()) + len(
+            monitoring_ontology()
+        )
+
+    def test_concepts_resolve(self):
+        assert CONCEPTS["fire"] == URIRef(str(EM) + "ForestFire")
+        assert CONCEPTS["lake"] == URIRef(str(LC) + "Lake")
+
+
+@pytest.fixture(scope="module")
+def annotated():
+    world = GreeceLikeWorld()
+    scene = generate_scene(
+        SceneSpec(width=96, height=96, seed=7, n_fires=5), world.land
+    )
+    grid = extract_patches(scene, patch_size=8)
+    labels = grid.truth_labels()
+    clf = KNNClassifier(3).fit(grid.feature_matrix(), labels)
+    annotator = SemanticAnnotator(clf)
+    from datetime import datetime
+
+    from repro.eo.products import ProcessingLevel, Product
+
+    product = Product(
+        "p1", "MSG2", "SEVIRI", ProcessingLevel.L1_CALIBRATED,
+        datetime(2007, 8, 25, 12), scene.spec.extent_polygon(),
+    )
+    graph = annotator.annotate(product, grid)
+    return product, grid, graph, annotator, labels
+
+
+class TestAnnotation:
+    def test_patch_resources_created(self, annotated):
+        product, grid, graph, _, _ = annotated
+        patches = list(
+            graph.subjects(_TYPE, URIRef(str(NOA) + "Patch"))
+        )
+        assert len(patches) == len(grid)
+
+    def test_fire_patches_typed_with_concept(self, annotated):
+        _, _, graph, _, _ = annotated
+        fire_patches = list(graph.subjects(_TYPE, CONCEPTS["fire"]))
+        assert len(fire_patches) >= 1
+
+    def test_patches_linked_to_product(self, annotated):
+        product, grid, graph, _, _ = annotated
+        links = list(
+            graph.subjects(
+                URIRef(str(NOA) + "isPatchOf"), product_uri(product)
+            )
+        )
+        assert len(links) == len(grid)
+
+    def test_patch_geometries_valid(self, annotated):
+        from repro.strabon import is_geometry_literal, literal_geometry
+
+        _, _, graph, _, _ = annotated
+        geoms = [
+            o
+            for _, p, o in graph
+            if str(p).endswith("hasGeometry")
+        ]
+        assert geoms
+        for lit in geoms:
+            assert is_geometry_literal(lit)
+            literal_geometry(lit)
+
+    def test_explicit_labels_override_classifier(self, annotated):
+        product, grid, _, annotator, _ = annotated
+        labels = ["other"] * len(grid)
+        g = annotator.annotate(product, grid, labels=labels)
+        assert not list(g.subjects(_TYPE, CONCEPTS["fire"]))
+
+    def test_label_count_mismatch_rejected(self, annotated):
+        product, grid, _, annotator, _ = annotated
+        with pytest.raises(ValueError):
+            annotator.annotate(product, grid, labels=["x"])
+
+    def test_label_statistics(self, annotated):
+        _, _, _, annotator, labels = annotated
+        stats = annotator.label_statistics(labels)
+        assert sum(stats.values()) == len(labels)
+        assert "fire" in stats
+
+    def test_annotations_queryable_with_reasoning(self, annotated):
+        """Fire patches should be found via the superclass NaturalHazard."""
+        _, _, graph, _, _ = annotated
+        reasoner = RDFSReasoner(combined_ontology())
+        data = graph.copy()
+        reasoner.materialize(data)
+        hazard = URIRef(str(EM) + "NaturalHazard")
+        assert list(data.subjects(_TYPE, hazard))

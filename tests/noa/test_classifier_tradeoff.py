@@ -1,0 +1,89 @@
+"""Scenario 1's point: classification submodules trade off differently.
+
+On clean scenes the cheap static thresholds are fine; on scenes with
+broad warm-surface anomalies (sun-heated dry terrain) they flood the
+product with false alarms while the contextual test stays clean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene, write_scene
+from repro.ingest import Ingestor
+from repro.mdb import Database
+from repro.noa.classification import (
+    contextual_classifier,
+    static_threshold_classifier,
+)
+from repro.strabon import StrabonStore
+
+WORLD = GreeceLikeWorld()
+SEEDS = [(21.63, 37.7), (22.5, 38.5)]
+
+
+def classify(tmp_path, scene, classifier_fn):
+    path = str(tmp_path / "scene.nat")
+    write_scene(scene, path)
+    ingestor = Ingestor(Database(), StrabonStore())
+    array = ingestor.materialize_array(ingestor.ingest_file(path))
+    return classifier_fn(array, ingestor.db), scene
+
+
+@pytest.fixture(scope="module")
+def heat_wave_scene():
+    spec = SceneSpec(
+        width=128, height=128, seed=21, n_fires=0, n_warm_surfaces=3
+    )
+    return generate_scene(spec, WORLD.land, fire_seeds=SEEDS)
+
+
+class TestWarmSurfaceScenes:
+    def test_warm_surfaces_are_not_fires(self, heat_wave_scene):
+        scene = heat_wave_scene
+        t039 = scene.band("t039")
+        # There must be hot non-fire land pixels (the anomaly cores).
+        hot = (t039 > 312) & ~scene.fire_mask & ~scene.sea_mask
+        assert hot.sum() > 100
+
+    def test_static_floods_with_false_alarms(
+        self, heat_wave_scene, tmp_path
+    ):
+        mask, scene = classify(
+            tmp_path, heat_wave_scene, static_threshold_classifier
+        )
+        false_pos = (mask & ~scene.fire_mask).sum()
+        assert false_pos > 50
+
+    def test_contextual_stays_clean(self, heat_wave_scene, tmp_path):
+        mask, scene = classify(
+            tmp_path, heat_wave_scene, contextual_classifier
+        )
+        false_pos = (mask & ~scene.fire_mask).sum()
+        true_pos = (mask & scene.fire_mask).sum()
+        assert false_pos <= 5
+        assert true_pos >= 1
+
+    def test_pixel_precision_ranking_flips(
+        self, heat_wave_scene, tmp_path
+    ):
+        static_mask, scene = classify(
+            tmp_path, heat_wave_scene, static_threshold_classifier
+        )
+        ctx_mask, _ = classify(
+            tmp_path, heat_wave_scene, contextual_classifier
+        )
+
+        def precision(mask):
+            detected = mask.sum()
+            if detected == 0:
+                return 1.0
+            return (mask & scene.fire_mask).sum() / detected
+
+        assert precision(ctx_mask) > precision(static_mask)
+
+    def test_clean_scene_static_is_fine(self, tmp_path):
+        spec = SceneSpec(width=128, height=128, seed=11, n_fires=0)
+        scene = generate_scene(spec, WORLD.land, fire_seeds=SEEDS)
+        mask, _ = classify(tmp_path, scene, static_threshold_classifier)
+        false_pos = (mask & ~scene.fire_mask).sum()
+        assert false_pos <= 2

@@ -1,0 +1,186 @@
+"""Refinement (scenario 2) and fire-map generation tests."""
+
+import pytest
+
+from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene, write_scene
+from repro.ingest import Ingestor
+from repro.mdb import Database
+from repro.strabon import StrabonStore
+from repro.noa import (
+    FireMapBuilder,
+    ProcessingChain,
+    Refiner,
+    score_hotspots,
+)
+from repro.noa.refinement import truth_region
+
+WORLD = GreeceLikeWorld()
+# One inland fire, one coastal fire (for clipping), plus sun glints.
+FIRE_SEEDS = [(21.63, 37.7), (23.4, 38.05), (22.5, 38.5)]
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("noa")
+    spec = SceneSpec(width=128, height=128, seed=11, n_fires=0, n_glints=3)
+    scene = generate_scene(spec, WORLD.land, fire_seeds=FIRE_SEEDS)
+    path = str(tmp / "scene_000.nat")
+    write_scene(scene, path)
+    ingestor = Ingestor(Database(), StrabonStore())
+    ingestor.store.load_graph(WORLD.to_rdf())
+    result = ProcessingChain(ingestor).run(path)
+    return scene, ingestor, result
+
+
+class TestRefinement:
+    def test_statements_are_stsparql(self, pipeline):
+        _, ingestor, _ = pipeline
+        refiner = Refiner(ingestor.store, WORLD)
+        statements = refiner.statements()
+        names = [name for name, _ in statements]
+        assert names == [
+            "delete-in-sea",
+            "clip-to-coast",
+            "delete-in-lakes",
+        ]
+        for _, text in statements:
+            assert "DELETE" in text
+            assert "strdf:" in text
+
+    def test_refinement_improves_precision(self, pipeline):
+        scene, ingestor, result = pipeline
+        truth = truth_region(scene, WORLD)
+        before = score_hotspots(
+            [h.geometry for h in result.hotspots], truth
+        )
+        refiner = Refiner(ingestor.store, WORLD)
+        report = refiner.apply()
+        after = score_hotspots(refiner.hotspot_geometries(), truth)
+        assert after["precision"] > before["precision"]
+        assert after["recall"] == pytest.approx(
+            before["recall"], abs=1e-6
+        )
+        assert report.hotspots_after < report.hotspots_before
+        assert report.area_after < report.area_before
+
+    def test_sea_hotspots_removed(self, pipeline):
+        scene, ingestor, _ = pipeline
+        refiner = Refiner(ingestor.store, WORLD)
+        for geom in refiner.hotspot_geometries():
+            assert geom.intersects(WORLD.land.with_srid(4326))
+
+    def test_remaining_hotspots_on_land(self, pipeline):
+        from repro.geometry.multi import flatten
+        from repro.geometry import predicates
+
+        scene, ingestor, _ = pipeline
+        refiner = Refiner(ingestor.store, WORLD)
+        land = WORLD.land.with_srid(4326)
+        for geom in refiner.hotspot_geometries():
+            assert predicates.covers(land, geom) or geom.within(land)
+
+    def test_idempotent(self, pipeline):
+        _, ingestor, _ = pipeline
+        refiner = Refiner(ingestor.store, WORLD)
+        report = refiner.apply()
+        assert report.hotspots_before == report.hotspots_after
+        assert report.step_count("delete-in-sea") == 0
+
+    def test_step_count_unknown(self, pipeline):
+        _, ingestor, _ = pipeline
+        report = Refiner(ingestor.store, WORLD).apply()
+        with pytest.raises(KeyError):
+            report.step_count("nope")
+
+
+class TestFireMap:
+    def test_all_layers_present(self, pipeline):
+        _, ingestor, _ = pipeline
+        fire_map = FireMapBuilder(ingestor.store, WORLD).build()
+        assert set(fire_map.layers) == {
+            "hotspots",
+            "affected_towns",
+            "nearby_sites",
+            "threatened_roads",
+            "burning_landcover",
+        }
+
+    def test_hotspot_layer_geometries(self, pipeline):
+        from repro.geometry import from_wkt
+
+        _, ingestor, _ = pipeline
+        fire_map = FireMapBuilder(ingestor.store, WORLD).build()
+        hotspots = fire_map.layer("hotspots")
+        assert hotspots
+        for feature in hotspots:
+            geom = from_wkt(feature["wkt"])
+            assert geom.area > 0
+            assert 0 < feature["conf"] <= 1
+
+    def test_nearby_sites_found(self, pipeline):
+        # A fire seed sits ~0.1 deg from Olympia.
+        _, ingestor, _ = pipeline
+        fire_map = FireMapBuilder(ingestor.store, WORLD).build()
+        sites = fire_map.layer("nearby_sites")
+        assert any("Olympia" in f["site"] for f in sites)
+
+    def test_landcover_layer_typed(self, pipeline):
+        _, ingestor, _ = pipeline
+        fire_map = FireMapBuilder(ingestor.store, WORLD).build()
+        kinds = {f["kind"] for f in fire_map.layer("burning_landcover")}
+        assert kinds <= {
+            "Forest",
+            "AgriculturalArea",
+            "WaterBody",
+            "LandMass",
+        }
+        assert kinds  # something is burning
+
+    def test_queries_recorded(self, pipeline):
+        _, ingestor, _ = pipeline
+        fire_map = FireMapBuilder(ingestor.store, WORLD).build()
+        for name in fire_map.layers:
+            assert "SELECT" in fire_map.queries[name]
+
+    def test_to_dict_export(self, pipeline):
+        _, ingestor, _ = pipeline
+        fire_map = FireMapBuilder(ingestor.store, WORLD).build("Demo")
+        doc = fire_map.to_dict()
+        assert doc["title"] == "Demo"
+        assert set(doc["layers"]) == set(fire_map.layers)
+        layer = doc["layers"]["hotspots"]["features"]
+        if layer:
+            assert "geometry_wkt" in layer[0]
+            assert "properties" in layer[0]
+
+    def test_feature_count(self, pipeline):
+        _, ingestor, _ = pipeline
+        fire_map = FireMapBuilder(ingestor.store, WORLD).build()
+        assert fire_map.feature_count() == sum(
+            len(v) for v in fire_map.layers.values()
+        )
+
+
+class TestScoring:
+    def test_perfect_prediction(self, pipeline):
+        scene, _, _ = pipeline
+        truth = truth_region(scene, WORLD)
+        scores = score_hotspots([truth], truth)
+        # Self-intersection of pixel-aligned polygons goes through the
+        # perturbed overlay, hence the slightly loose tolerance.
+        assert scores["precision"] == pytest.approx(1.0, abs=1e-4)
+        assert scores["recall"] == pytest.approx(1.0, abs=1e-4)
+        assert scores["f1"] == pytest.approx(1.0, abs=1e-4)
+
+    def test_empty_prediction(self, pipeline):
+        scene, _, _ = pipeline
+        truth = truth_region(scene, WORLD)
+        scores = score_hotspots([], truth)
+        assert scores["recall"] == 0.0
+        assert scores["f1"] == 0.0
+
+    def test_both_empty(self):
+        from repro.geometry import GeometryCollection
+
+        scores = score_hotspots([], GeometryCollection([], srid=4326))
+        assert scores["f1"] == 1.0

@@ -1,0 +1,99 @@
+"""Fire-map SVG rendering and GeoJSON export tests."""
+
+import json
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene, write_scene
+from repro.ingest import Ingestor
+from repro.mdb import Database
+from repro.noa import (
+    FireMapBuilder,
+    ProcessingChain,
+    Refiner,
+    SVGMapRenderer,
+    render_fire_map_svg,
+)
+from repro.strabon import StrabonStore
+
+WORLD = GreeceLikeWorld()
+
+
+@pytest.fixture(scope="module")
+def fire_map(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("render")
+    spec = SceneSpec(width=128, height=128, seed=11, n_fires=0, n_glints=2)
+    scene = generate_scene(
+        spec, WORLD.land,
+        fire_seeds=[(21.63, 37.7), (22.5, 38.5)],
+    )
+    path = str(tmp / "scene.nat")
+    write_scene(scene, path)
+    ingestor = Ingestor(Database(), StrabonStore())
+    ingestor.store.load_graph(WORLD.to_rdf())
+    ProcessingChain(ingestor).run(path)
+    Refiner(ingestor.store, WORLD).apply()
+    return FireMapBuilder(ingestor.store, WORLD).build("Render test map")
+
+
+class TestSVG:
+    def test_valid_xml(self, fire_map):
+        svg = render_fire_map_svg(fire_map, WORLD)
+        root = ElementTree.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_layers(self, fire_map):
+        svg = render_fire_map_svg(fire_map, WORLD)
+        assert "#ff3b30" in svg  # hotspot fill
+        assert "<path" in svg  # polygons drawn
+        assert "Render test map" in svg
+
+    def test_coastline_backdrop(self, fire_map):
+        with_world = render_fire_map_svg(fire_map, WORLD)
+        without_world = render_fire_map_svg(fire_map, None)
+        assert with_world.count("<path") > without_world.count("<path")
+
+    def test_custom_width(self, fire_map):
+        svg = SVGMapRenderer(WORLD, width=400).render(fire_map)
+        root = ElementTree.fromstring(svg)
+        assert root.get("width") == "400"
+
+    def test_empty_map_renders(self):
+        from repro.noa.mapping import FireMap
+
+        svg = render_fire_map_svg(FireMap("empty"), None)
+        ElementTree.fromstring(svg)
+
+    def test_labels_escaped(self):
+        from repro.noa.mapping import FireMap
+
+        fm = FireMap("x < y & z")
+        svg = render_fire_map_svg(fm, None)
+        assert "x &lt; y &amp; z" in svg
+        ElementTree.fromstring(svg)
+
+
+class TestGeoJSONExport:
+    def test_feature_collection(self, fire_map):
+        doc = fire_map.to_geojson()
+        assert doc["type"] == "FeatureCollection"
+        assert len(doc["features"]) == fire_map.feature_count()
+
+    def test_layer_recorded_in_properties(self, fire_map):
+        doc = fire_map.to_geojson()
+        layers = {f["properties"]["layer"] for f in doc["features"]}
+        assert "hotspots" in layers
+
+    def test_json_serialisable(self, fire_map):
+        text = json.dumps(fire_map.to_geojson())
+        parsed = json.loads(text)
+        assert parsed["type"] == "FeatureCollection"
+
+    def test_geometries_decode(self, fire_map):
+        from repro.geometry.geojson import from_geojson
+
+        doc = fire_map.to_geojson()
+        for f in doc["features"]:
+            if f["geometry"] is not None:
+                from_geojson(f["geometry"])

@@ -1,0 +1,182 @@
+"""ESRI shapefile I/O tests."""
+
+import os
+import struct
+
+import pytest
+
+from repro.geometry import MultiPolygon, Point, Polygon
+from repro.noa.shapefile import (
+    Feature,
+    ShapefileError,
+    read_shapefile,
+    write_shapefile,
+)
+
+
+def polygon_features():
+    return [
+        Feature(
+            Polygon(
+                [(0, 0), (2, 0), (2, 2), (0, 2)],
+                holes=[[(0.5, 0.5), (1, 0.5), (1, 1), (0.5, 1)]],
+            ),
+            {"id": 1, "conf": 0.9, "name": "hs1"},
+        ),
+        Feature(
+            Polygon([(5, 5), (6, 5), (6, 6)]),
+            {"id": 2, "conf": 0.5, "name": "hs2"},
+        ),
+        Feature(None, {"id": 3, "conf": None, "name": None}),
+    ]
+
+
+class TestRoundtrip:
+    def test_three_files_written(self, tmp_path):
+        base = str(tmp_path / "hotspots")
+        write_shapefile(base, polygon_features())
+        for ext in (".shp", ".shx", ".dbf"):
+            assert os.path.exists(base + ext)
+
+    def test_polygon_roundtrip(self, tmp_path):
+        base = str(tmp_path / "hotspots")
+        write_shapefile(base, polygon_features())
+        back = read_shapefile(base)
+        assert len(back) == 3
+        poly = back[0].geometry
+        assert isinstance(poly, Polygon)
+        assert len(poly.holes) == 1
+        assert poly.area == pytest.approx(4.0 - 0.25)
+
+    def test_attributes_roundtrip(self, tmp_path):
+        base = str(tmp_path / "hotspots")
+        write_shapefile(base, polygon_features())
+        back = read_shapefile(base)
+        assert back[0].attributes["id"] == 1
+        assert back[0].attributes["conf"] == pytest.approx(0.9)
+        assert back[0].attributes["name"] == "hs1"
+        assert back[2].attributes["conf"] is None
+
+    def test_null_geometry_preserved(self, tmp_path):
+        base = str(tmp_path / "hotspots")
+        write_shapefile(base, polygon_features())
+        back = read_shapefile(base)
+        assert back[2].geometry is None
+
+    def test_points_roundtrip(self, tmp_path):
+        base = str(tmp_path / "pts")
+        feats = [
+            Feature(Point(1.5, 2.5), {"n": "a"}),
+            Feature(Point(-3.25, 4.0), {"n": "b"}),
+        ]
+        write_shapefile(base, feats)
+        back = read_shapefile(base)
+        assert back[0].geometry == Point(1.5, 2.5)
+        assert back[1].geometry == Point(-3.25, 4.0)
+
+    def test_multipolygon_roundtrip(self, tmp_path):
+        base = str(tmp_path / "multi")
+        mp = MultiPolygon(
+            [
+                Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]),
+                Polygon([(5, 5), (6, 5), (6, 6), (5, 6)]),
+            ]
+        )
+        write_shapefile(base, [Feature(mp, {"id": 1})])
+        back = read_shapefile(base)
+        geom = back[0].geometry
+        assert isinstance(geom, MultiPolygon)
+        assert geom.area == pytest.approx(2.0)
+
+    def test_empty_shapefile(self, tmp_path):
+        base = str(tmp_path / "empty")
+        write_shapefile(base, [])
+        assert read_shapefile(base) == []
+
+    def test_unicode_attribute(self, tmp_path):
+        base = str(tmp_path / "uni")
+        write_shapefile(
+            base,
+            [Feature(Point(0, 0), {"name": "Πελοπόννησος"})],
+        )
+        back = read_shapefile(base)
+        assert back[0].attributes["name"] == "Πελοπόννησος"
+
+
+class TestFormatDetails:
+    def test_shp_magic_and_type(self, tmp_path):
+        base = str(tmp_path / "hs")
+        write_shapefile(base, polygon_features())
+        with open(base + ".shp", "rb") as f:
+            header = f.read(100)
+        assert struct.unpack_from(">i", header, 0)[0] == 9994
+        version, shape_type = struct.unpack_from("<ii", header, 28)
+        assert version == 1000
+        assert shape_type == 5  # polygon
+
+    def test_shx_record_count(self, tmp_path):
+        base = str(tmp_path / "hs")
+        feats = polygon_features()
+        write_shapefile(base, feats)
+        size = os.path.getsize(base + ".shx")
+        assert (size - 100) // 8 == len(feats)
+
+    def test_file_length_field_correct(self, tmp_path):
+        base = str(tmp_path / "hs")
+        write_shapefile(base, polygon_features())
+        size = os.path.getsize(base + ".shp")
+        with open(base + ".shp", "rb") as f:
+            header = f.read(100)
+        length_words = struct.unpack_from(">i", header, 24)[0]
+        assert length_words * 2 == size
+
+    def test_outer_ring_clockwise(self, tmp_path):
+        from repro.geometry.algorithms import ring_signed_area
+
+        base = str(tmp_path / "hs")
+        write_shapefile(
+            base,
+            [Feature(Polygon([(0, 0), (4, 0), (4, 4), (0, 4)]), {"id": 1})],
+        )
+        with open(base + ".shp", "rb") as f:
+            f.seek(108)  # header + record header
+            record = f.read()
+        n_parts, n_points = struct.unpack_from("<ii", record, 36)
+        coords_off = 44 + 4 * n_parts
+        values = struct.unpack_from(f"<{2 * n_points}d", record, coords_off)
+        ring = [(values[2 * i], values[2 * i + 1]) for i in range(n_points)]
+        assert ring_signed_area(ring) < 0  # cw per spec
+
+    def test_mixed_types_rejected(self, tmp_path):
+        with pytest.raises(ShapefileError):
+            write_shapefile(
+                str(tmp_path / "bad"),
+                [
+                    Feature(Point(0, 0), {}),
+                    Feature(Polygon([(0, 0), (1, 0), (1, 1)]), {}),
+                ],
+            )
+
+    def test_unsupported_geometry_rejected(self, tmp_path):
+        from repro.geometry import LineString
+
+        with pytest.raises(ShapefileError):
+            write_shapefile(
+                str(tmp_path / "bad"),
+                [Feature(LineString([(0, 0), (1, 1)]), {})],
+            )
+
+    def test_non_shapefile_rejected(self, tmp_path):
+        bogus = tmp_path / "x.shp"
+        bogus.write_bytes(b"\x00" * 200)
+        with pytest.raises(ShapefileError):
+            read_shapefile(str(bogus))
+
+    def test_long_attribute_names_truncated(self, tmp_path):
+        base = str(tmp_path / "longnames")
+        write_shapefile(
+            base,
+            [Feature(Point(0, 0), {"averyveryverylongname": 1})],
+        )
+        back = read_shapefile(base)
+        assert list(back[0].attributes) == ["averyveryv"]

@@ -1,0 +1,90 @@
+"""Property-based tests for the RDF substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    Graph,
+    Literal,
+    URIRef,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+
+local_names = st.text(
+    alphabet=string.ascii_letters + string.digits, min_size=1, max_size=12
+)
+iris = local_names.map(lambda s: URIRef("http://example.org/" + s))
+
+literal_values = st.one_of(
+    st.text(max_size=40),
+    st.integers(min_value=-(10 ** 12), max_value=10 ** 12),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+literals = literal_values.map(Literal)
+objects = st.one_of(iris, literals)
+triples = st.tuples(iris, iris, objects)
+
+
+class TestGraphProperties:
+    @given(ts=st.lists(triples, max_size=60))
+    def test_len_equals_distinct_triples(self, ts):
+        g = Graph()
+        for t in ts:
+            g.add(t)
+        assert len(g) == len(set(ts))
+
+    @given(ts=st.lists(triples, max_size=40), probe=triples)
+    def test_contains_consistent_with_add(self, ts, probe):
+        g = Graph()
+        for t in ts:
+            g.add(t)
+        assert (probe in g) == (probe in set(ts))
+
+    @given(ts=st.lists(triples, max_size=40))
+    def test_remove_inverts_add(self, ts):
+        g = Graph()
+        for t in ts:
+            g.add(t)
+        for t in set(ts):
+            g.remove(t)
+        assert len(g) == 0
+
+    @given(ts=st.lists(triples, max_size=40))
+    def test_pattern_queries_agree_with_scan(self, ts):
+        g = Graph()
+        for t in ts:
+            g.add(t)
+        for s, p, o in set(ts):
+            assert set(g.triples((s, None, None))) == {
+                t for t in set(ts) if t[0] == s
+            }
+            assert set(g.triples((None, p, None))) == {
+                t for t in set(ts) if t[1] == p
+            }
+            assert set(g.triples((None, None, o))) == {
+                t for t in set(ts) if t[2] == o
+            }
+
+
+class TestSerialisationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(ts=st.lists(triples, max_size=30))
+    def test_ntriples_roundtrip(self, ts):
+        g = Graph()
+        for t in ts:
+            g.add(t)
+        assert parse_ntriples(serialize_ntriples(g)) == g
+
+    @settings(max_examples=50, deadline=None)
+    @given(ts=st.lists(triples, max_size=30))
+    def test_turtle_roundtrip(self, ts):
+        g = Graph()
+        for t in ts:
+            g.add(t)
+        assert parse_turtle(serialize_turtle(g)) == g

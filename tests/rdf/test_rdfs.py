@@ -1,0 +1,132 @@
+"""RDFS reasoning tests on a landcover-style ontology."""
+
+from repro.rdf import Graph, Literal, Namespace, RDFSReasoner, URIRef
+from repro.rdf.namespace import RDF, RDFS
+
+EX = Namespace("http://example.org/lc#")
+TYPE = URIRef(RDF.type)
+SUBCLASS = URIRef(RDFS.subClassOf)
+SUBPROP = URIRef(RDFS.subPropertyOf)
+DOMAIN = URIRef(RDFS.domain)
+RANGE = URIRef(RDFS.range)
+
+
+def landcover_schema():
+    g = Graph()
+    # Lake < WaterBody < NaturalFeature; Forest < Vegetation < NaturalFeature
+    g.add((EX.Lake, SUBCLASS, EX.WaterBody))
+    g.add((EX.WaterBody, SUBCLASS, EX.NaturalFeature))
+    g.add((EX.Forest, SUBCLASS, EX.Vegetation))
+    g.add((EX.Vegetation, SUBCLASS, EX.NaturalFeature))
+    # hasBurntArea < hasArea
+    g.add((EX.hasBurntArea, SUBPROP, EX.hasArea))
+    # detects has domain Sensor, range Event
+    g.add((EX.detects, DOMAIN, EX.Sensor))
+    g.add((EX.detects, RANGE, EX.Event))
+    return g
+
+
+class TestClosure:
+    def test_superclasses_transitive(self):
+        r = RDFSReasoner(landcover_schema())
+        assert r.superclasses(EX.Lake) == {EX.WaterBody, EX.NaturalFeature}
+
+    def test_subclasses_transitive(self):
+        r = RDFSReasoner(landcover_schema())
+        assert r.subclasses(EX.NaturalFeature) == {
+            EX.Lake,
+            EX.WaterBody,
+            EX.Forest,
+            EX.Vegetation,
+        }
+
+    def test_is_subclass_of_includes_self(self):
+        r = RDFSReasoner(landcover_schema())
+        assert r.is_subclass_of(EX.Lake, EX.Lake)
+        assert r.is_subclass_of(EX.Lake, EX.NaturalFeature)
+        assert not r.is_subclass_of(EX.NaturalFeature, EX.Lake)
+
+    def test_cycle_does_not_hang(self):
+        g = Graph()
+        g.add((EX.A, SUBCLASS, EX.B))
+        g.add((EX.B, SUBCLASS, EX.A))
+        r = RDFSReasoner(g)
+        assert EX.B in r.superclasses(EX.A)
+        assert EX.A in r.superclasses(EX.B)
+
+    def test_superproperties(self):
+        r = RDFSReasoner(landcover_schema())
+        assert r.superproperties(EX.hasBurntArea) == {EX.hasArea}
+
+
+class TestMaterialize:
+    def test_type_propagation(self):
+        r = RDFSReasoner(landcover_schema())
+        data = Graph()
+        data.add((EX.prespa, TYPE, EX.Lake))
+        added = r.materialize(data)
+        assert added >= 2
+        assert (EX.prespa, TYPE, EX.WaterBody) in data
+        assert (EX.prespa, TYPE, EX.NaturalFeature) in data
+
+    def test_subproperty_propagation(self):
+        r = RDFSReasoner(landcover_schema())
+        data = Graph()
+        data.add((EX.region1, EX.hasBurntArea, Literal(12.5)))
+        r.materialize(data)
+        assert (EX.region1, EX.hasArea, Literal(12.5)) in data
+
+    def test_domain_range_typing(self):
+        r = RDFSReasoner(landcover_schema())
+        data = Graph()
+        data.add((EX.seviri, EX.detects, EX.fire42))
+        r.materialize(data)
+        assert (EX.seviri, TYPE, EX.Sensor) in data
+        assert (EX.fire42, TYPE, EX.Event) in data
+
+    def test_range_skips_literals(self):
+        g = Graph()
+        g.add((EX.p, RANGE, EX.Thing))
+        r = RDFSReasoner(g)
+        data = Graph()
+        data.add((EX.s, EX.p, Literal("text")))
+        r.materialize(data)
+        # No domain axiom and the object is a literal: nothing is entailed.
+        assert list(data.triples((None, TYPE, None))) == []
+        assert (EX.s, TYPE, EX.Thing) not in data
+
+    def test_materialize_idempotent(self):
+        r = RDFSReasoner(landcover_schema())
+        data = Graph()
+        data.add((EX.prespa, TYPE, EX.Lake))
+        r.materialize(data)
+        assert r.materialize(data) == 0
+
+    def test_fixpoint_chaining(self):
+        # subproperty propagation should feed domain typing.
+        g = Graph()
+        g.add((EX.specific, SUBPROP, EX.general))
+        g.add((EX.general, DOMAIN, EX.Thing))
+        r = RDFSReasoner(g)
+        data = Graph()
+        data.add((EX.x, EX.specific, EX.y))
+        r.materialize(data)
+        assert (EX.x, TYPE, EX.Thing) in data
+
+
+class TestQueries:
+    def test_types_of(self):
+        r = RDFSReasoner(landcover_schema())
+        data = Graph()
+        data.add((EX.prespa, TYPE, EX.Lake))
+        types = r.types_of(data, EX.prespa)
+        assert types == {EX.Lake, EX.WaterBody, EX.NaturalFeature}
+
+    def test_instances_of_subclass_aware(self):
+        r = RDFSReasoner(landcover_schema())
+        data = Graph()
+        data.add((EX.prespa, TYPE, EX.Lake))
+        data.add((EX.rodopi, TYPE, EX.Forest))
+        data.add((EX.rock, TYPE, EX.Mineral))
+        instances = set(r.instances_of(data, EX.NaturalFeature))
+        assert instances == {EX.prespa, EX.rodopi}

@@ -1,0 +1,235 @@
+"""N-Triples and Turtle serialisation tests."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    Literal,
+    Namespace,
+    TurtleParseError,
+    URIRef,
+    parse_ntriples,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_turtle,
+)
+from repro.rdf.namespace import RDF, XSD
+
+EX = Namespace("http://example.org/")
+
+
+class TestNTriples:
+    def test_parse_basic(self):
+        text = (
+            "<http://example.org/s> <http://example.org/p> "
+            "<http://example.org/o> .\n"
+        )
+        g = parse_ntriples(text)
+        assert (EX.s, EX.p, EX.o) in g
+
+    def test_parse_literal_with_datatype(self):
+        text = (
+            '<http://example.org/s> <http://example.org/p> '
+            '"42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        g = parse_ntriples(text)
+        assert g.value(EX.s, EX.p, None) == Literal(42)
+
+    def test_parse_literal_with_language(self):
+        text = '<http://example.org/s> <http://example.org/p> "fire"@en .'
+        g = parse_ntriples(text)
+        lit = g.value(EX.s, EX.p, None)
+        assert lit.language == "en"
+
+    def test_parse_bnode(self):
+        text = "_:a <http://example.org/p> _:b ."
+        g = parse_ntriples(text)
+        assert len(g) == 1
+        s, _, o = next(iter(g))
+        assert isinstance(s, BNode) and isinstance(o, BNode)
+
+    def test_parse_escapes(self):
+        text = (
+            '<http://example.org/s> <http://example.org/p> '
+            '"line1\\nline2 \\"q\\" \\u0041" .'
+        )
+        g = parse_ntriples(text)
+        assert g.value(EX.s, EX.p, None).lexical == 'line1\nline2 "q" A'
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\n<http://e/s> <http://e/p> <http://e/o> .\n"
+        assert len(parse_ntriples(text)) == 1
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(Exception):
+            parse_ntriples("<http://e/s> <http://e/p> <http://e/o>")
+
+    def test_roundtrip(self):
+        g = Graph()
+        g.add((EX.s, EX.p, Literal("x\ny", language=None)))
+        g.add((EX.s, EX.p, Literal(3)))
+        g.add((BNode("z"), EX.q, EX.o))
+        out = serialize_ntriples(g)
+        back = parse_ntriples(out)
+        assert back == g
+
+    def test_serialize_empty(self):
+        assert serialize_ntriples(Graph()) == ""
+
+
+class TestTurtleParsing:
+    def test_prefix_and_basic_triple(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:s ex:p ex:o .
+        """
+        g = parse_turtle(text)
+        assert (EX.s, EX.p, EX.o) in g
+
+    def test_sparql_style_prefix(self):
+        text = """
+        PREFIX ex: <http://example.org/>
+        ex:s ex:p ex:o .
+        """
+        assert len(parse_turtle(text)) == 1
+
+    def test_a_keyword(self):
+        text = "@prefix ex: <http://example.org/> .\nex:s a ex:Klass ."
+        g = parse_turtle(text)
+        assert (EX.s, URIRef(RDF.type), EX.Klass) in g
+
+    def test_semicolon_predicate_list(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:s ex:p1 ex:o1 ;
+             ex:p2 ex:o2 .
+        """
+        g = parse_turtle(text)
+        assert len(g) == 2
+
+    def test_comma_object_list(self):
+        text = "@prefix ex: <http://example.org/> .\nex:s ex:p ex:a, ex:b, ex:c ."
+        assert len(parse_turtle(text)) == 3
+
+    def test_trailing_semicolon_tolerated(self):
+        text = "@prefix ex: <http://example.org/> .\nex:s ex:p ex:o ; ."
+        assert len(parse_turtle(text)) == 1
+
+    def test_numeric_literals(self):
+        text = "@prefix ex: <http://e/> .\nex:s ex:i 42 ; ex:d 3.25 ; ex:n -7 ."
+        g = parse_turtle(text)
+        values = {o.to_python() for o in g.objects()}
+        assert values == {42, 3.25, -7}
+
+    def test_boolean_literals(self):
+        text = "@prefix ex: <http://e/> .\nex:s ex:p true ; ex:q false ."
+        g = parse_turtle(text)
+        assert {o.to_python() for o in g.objects()} == {True, False}
+
+    def test_typed_literal_pname_datatype(self):
+        text = (
+            "@prefix ex: <http://e/> .\n"
+            '@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n'
+            'ex:s ex:p "5"^^xsd:integer .'
+        )
+        g = parse_turtle(text)
+        assert next(iter(g.objects())) == Literal(5)
+
+    def test_language_literal(self):
+        text = '@prefix ex: <http://e/> .\nex:s ex:p "φωτιά"@el .'
+        g = parse_turtle(text)
+        assert next(iter(g.objects())).language == "el"
+
+    def test_long_string(self):
+        text = '@prefix ex: <http://e/> .\nex:s ex:p """multi\nline""" .'
+        g = parse_turtle(text)
+        assert "multi\nline" == next(iter(g.objects())).lexical
+
+    def test_anonymous_bnode(self):
+        text = """
+        @prefix ex: <http://e/> .
+        ex:s ex:p [ ex:q ex:o ] .
+        """
+        g = parse_turtle(text)
+        assert len(g) == 2
+        inner = g.value(None, URIRef("http://e/q"), URIRef("http://e/o"))
+        assert isinstance(inner, BNode)
+
+    def test_empty_bnode(self):
+        text = "@prefix ex: <http://e/> .\nex:s ex:p [] ."
+        g = parse_turtle(text)
+        assert len(g) == 1
+
+    def test_collection(self):
+        text = "@prefix ex: <http://e/> .\nex:s ex:p (ex:a ex:b) ."
+        g = parse_turtle(text)
+        firsts = list(g.objects(None, URIRef(RDF.first)))
+        assert set(firsts) == {URIRef("http://e/a"), URIRef("http://e/b")}
+
+    def test_empty_collection_is_nil(self):
+        text = "@prefix ex: <http://e/> .\nex:s ex:p () ."
+        g = parse_turtle(text)
+        objs = list(g.objects(None, URIRef("http://e/p")))
+        assert objs == [URIRef(RDF.nil)]
+
+    def test_base_resolution(self):
+        text = "@base <http://example.org/> .\n<s> <p> <o> ."
+        g = parse_turtle(text)
+        assert (EX.s, EX.p, EX.o) in g
+
+    def test_well_known_prefixes_implicit(self):
+        text = "<http://e/s> rdf:type <http://e/C> ."
+        g = parse_turtle(text)
+        assert (URIRef("http://e/s"), URIRef(RDF.type), URIRef("http://e/C")) in g
+
+    def test_undefined_prefix_rejected(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("nope:s nope:p nope:o .")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle('"x" <http://e/p> <http://e/o> .')
+
+    def test_comments_ignored(self):
+        text = "# header\n@prefix ex: <http://e/> . # inline\nex:s ex:p ex:o ."
+        assert len(parse_turtle(text)) == 1
+
+    def test_wkt_literal_passthrough(self):
+        text = (
+            "@prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .\n"
+            "@prefix strdf: <http://strdf.di.uoa.gr/ontology#> .\n"
+            'noa:h1 noa:hasGeometry "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"^^strdf:WKT .'
+        )
+        g = parse_turtle(text)
+        lit = next(iter(g.objects()))
+        assert lit.datatype == URIRef("http://strdf.di.uoa.gr/ontology#WKT")
+        assert lit.lexical.startswith("POLYGON")
+
+
+class TestTurtleSerialisation:
+    def test_roundtrip(self):
+        g = Graph()
+        g.add((EX.s, URIRef(RDF.type), EX.Klass))
+        g.add((EX.s, EX.p, Literal(5)))
+        g.add((EX.s, EX.p, Literal("hello", language="en")))
+        g.add((EX.other, EX.q, EX.s))
+        text = serialize_turtle(g, prefixes={"ex": str(EX)})
+        back = parse_turtle(text)
+        assert back == g
+
+    def test_uses_prefixes(self):
+        g = Graph()
+        g.add((EX.s, EX.p, EX.o))
+        text = serialize_turtle(g, prefixes={"ex": str(EX)})
+        assert "ex:s" in text
+        assert "@prefix ex:" in text
+
+    def test_type_rendered_as_a(self):
+        g = Graph()
+        g.add((EX.s, URIRef(RDF.type), EX.Klass))
+        text = serialize_turtle(g, prefixes={"ex": str(EX)})
+        assert " a " in text
+
+    def test_empty_graph(self):
+        assert serialize_turtle(Graph()) == ""

@@ -1,0 +1,127 @@
+"""RDF term tests."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.rdf import BNode, Literal, TermError, URIRef, Variable
+from repro.rdf.namespace import Namespace, XSD
+
+
+class TestURIRef:
+    def test_construction_and_n3(self):
+        u = URIRef("http://example.org/a")
+        assert u.n3() == "<http://example.org/a>"
+
+    def test_rejects_invalid_characters(self):
+        with pytest.raises(TermError):
+            URIRef("http://example.org/a b")
+        with pytest.raises(TermError):
+            URIRef("http://example.org/<x>")
+
+    def test_local_name(self):
+        assert URIRef("http://example.org/ont#Fire").local_name == "Fire"
+        assert URIRef("http://example.org/ont/Fire").local_name == "Fire"
+
+    def test_not_equal_to_bnode_with_same_chars(self):
+        assert URIRef("x") != BNode("x")
+        assert hash(URIRef("x")) != hash(BNode("x"))
+
+    def test_equality(self):
+        assert URIRef("http://a") == URIRef("http://a")
+        assert URIRef("http://a") != URIRef("http://b")
+
+
+class TestBNode:
+    def test_fresh_labels_unique(self):
+        assert BNode() != BNode()
+
+    def test_explicit_label(self):
+        assert BNode("n1").n3() == "_:n1"
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(TermError):
+            BNode("bad label")
+
+
+class TestLiteral:
+    def test_plain(self):
+        lit = Literal("hello")
+        assert lit.lexical == "hello"
+        assert lit.datatype is None
+        assert lit.n3() == '"hello"'
+
+    def test_integer_inference(self):
+        lit = Literal(42)
+        assert lit.datatype == URIRef(str(XSD) + "integer")
+        assert lit.to_python() == 42
+
+    def test_float_inference(self):
+        lit = Literal(3.5)
+        assert lit.to_python() == 3.5
+        assert lit.is_numeric
+
+    def test_boolean_inference(self):
+        assert Literal(True).lexical == "true"
+        assert Literal(False).to_python() is False
+
+    def test_datetime_inference(self):
+        dt = datetime(2007, 8, 25, 12, 0)
+        lit = Literal(dt)
+        assert lit.to_python() == dt
+        assert "2007-08-25" in lit.lexical
+
+    def test_language_tag(self):
+        lit = Literal("Πελοπόννησος", language="el")
+        assert lit.language == "el"
+        assert lit.n3().endswith("@el")
+
+    def test_datatype_and_language_conflict(self):
+        with pytest.raises(TermError):
+            Literal("x", datatype=str(XSD) + "string", language="en")
+
+    def test_n3_escaping(self):
+        lit = Literal('say "hi"\nplease')
+        assert lit.n3() == '"say \\"hi\\"\\nplease"'
+
+    def test_equality_considers_datatype(self):
+        assert Literal("1") != Literal(1)
+        assert Literal(1) == Literal(1)
+
+    def test_numeric_comparison(self):
+        assert Literal(1) < Literal(2)
+        assert Literal(1.5) < Literal(2)
+
+    def test_string_comparison(self):
+        assert Literal("abc") < Literal("abd")
+
+    def test_unknown_datatype_passthrough(self):
+        lit = Literal("POINT (1 2)", datatype="http://strdf.di.uoa.gr/ontology#WKT")
+        assert lit.to_python() == "POINT (1 2)"
+
+
+class TestVariable:
+    def test_strips_question_mark(self):
+        assert Variable("?x") == Variable("x")
+
+    def test_n3(self):
+        assert Variable("x").n3() == "?x"
+
+    def test_invalid_name(self):
+        with pytest.raises(TermError):
+            Variable("9bad")
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        EX = Namespace("http://example.org/")
+        assert EX.thing == URIRef("http://example.org/thing")
+
+    def test_index_access(self):
+        EX = Namespace("http://example.org/")
+        assert EX["odd-name"] == URIRef("http://example.org/odd-name")
+
+    def test_contains(self):
+        EX = Namespace("http://example.org/")
+        assert URIRef("http://example.org/a") in EX
+        assert URIRef("http://other.org/a") not in EX

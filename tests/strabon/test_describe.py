@@ -1,0 +1,70 @@
+"""DESCRIBE query tests."""
+
+import pytest
+
+from repro.rdf import Namespace
+from repro.strabon import StrabonStore
+from repro.strabon.stsparql.errors import StSPARQLSyntaxError
+
+EX = Namespace("http://example.org/")
+P = "PREFIX ex: <http://example.org/>\n"
+
+DATA = """
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:h1 a ex:Hotspot ; ex:conf "0.9"^^xsd:double ; ex:near ex:olympia .
+ex:h2 a ex:Hotspot ; ex:conf "0.4"^^xsd:double .
+ex:olympia a ex:Site ; ex:name "Olympia" .
+ex:report ex:mentions ex:h1 .
+"""
+
+
+@pytest.fixture
+def store():
+    s = StrabonStore()
+    s.load_turtle(DATA)
+    return s
+
+
+class TestDescribe:
+    def test_describe_iri(self, store):
+        g = store.query(P + "DESCRIBE ex:h1")
+        # 3 outgoing triples + 1 incoming (ex:report ex:mentions ex:h1).
+        assert len(g) == 4
+        assert (EX.report, EX.mentions, EX.h1) in g
+
+    def test_describe_multiple_iris(self, store):
+        g = store.query(P + "DESCRIBE ex:h1 ex:olympia")
+        # h1: 3 out + 1 in; olympia: 2 out + 1 in, but its incoming
+        # triple (h1 ex:near olympia) is already in h1's description.
+        assert len(g) == 6
+
+    def test_describe_variable_with_where(self, store):
+        g = store.query(
+            P
+            + "DESCRIBE ?h WHERE { ?h a ex:Hotspot ; ex:conf ?c . "
+            "FILTER(?c > 0.5) }"
+        )
+        assert (EX.h1, EX.near, EX.olympia) in g
+        assert not list(g.triples((EX.h2, None, None)))
+
+    def test_describe_unmatched_where_is_empty(self, store):
+        g = store.query(
+            P + "DESCRIBE ?x WHERE { ?x a ex:Volcano }"
+        )
+        assert len(g) == 0
+
+    def test_describe_variable_without_where_rejected(self, store):
+        with pytest.raises(StSPARQLSyntaxError):
+            store.query(P + "DESCRIBE ?x")
+
+    def test_describe_without_terms_rejected(self, store):
+        with pytest.raises(StSPARQLSyntaxError):
+            store.query(P + "DESCRIBE WHERE { ?x a ex:Hotspot }")
+
+    def test_describe_result_is_graph(self, store):
+        from repro.rdf.graph import Graph
+
+        g = store.query(P + "DESCRIBE ex:h2")
+        assert isinstance(g, Graph)
+        assert len(g) == 2

@@ -1,0 +1,95 @@
+"""stSPARQL lexer unit tests."""
+
+import pytest
+
+from repro.strabon.stsparql.errors import StSPARQLSyntaxError
+from repro.strabon.stsparql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text) if t.kind != "eof"]
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select WHERE Filter") == ["keyword"] * 3
+        assert values("select") == ["SELECT"]
+
+    def test_builtins_lowercased(self):
+        toks = tokenize("REGEX Bound")
+        assert [t.kind for t in toks[:2]] == ["builtin", "builtin"]
+        assert [t.value for t in toks[:2]] == ["regex", "bound"]
+
+    def test_variables(self):
+        toks = tokenize("?x $y")
+        assert [t.kind for t in toks[:2]] == ["var", "var"]
+        assert [t.value for t in toks[:2]] == ["x", "y"]
+
+    def test_iri(self):
+        toks = tokenize("<http://example.org/a>")
+        assert toks[0].kind == "iri"
+        assert toks[0].value == "http://example.org/a"
+
+    def test_pname(self):
+        assert kinds("ex:thing") == ["pname"]
+        assert kinds("ex:") == ["pname"]
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\"b\nc"')
+        assert toks[0].kind == "string"
+        assert toks[0].value == 'a"b\nc'
+
+    def test_single_quoted_string(self):
+        toks = tokenize("'hello'")
+        assert toks[0].value == "hello"
+
+    def test_triple_quoted_string(self):
+        toks = tokenize('"""multi\nline"""')
+        assert toks[0].value == "multi\nline"
+
+    def test_numbers(self):
+        assert kinds("42 3.25 .5 1e3") == ["number"] * 4
+
+    def test_langtag_and_datatype_marker(self):
+        toks = tokenize('"x"@en "y"^^ex:t')
+        assert [t.kind for t in toks[:5]] == [
+            "string", "langtag", "string", "dtype_marker", "pname",
+        ]
+
+    def test_path_operators(self):
+        assert values("/ | ^ + * ?x") == ["/", "|", "^", "+", "*", "x"]
+
+    def test_double_caret_vs_single(self):
+        toks = tokenize("^^ ^")
+        assert toks[0].kind == "dtype_marker"
+        assert toks[1].value == "^"
+
+    def test_comments_stripped(self):
+        assert kinds("?x # a comment\n?y") == ["var", "var"]
+
+    def test_bnode(self):
+        toks = tokenize("_:node1")
+        assert toks[0].kind == "bnode"
+        assert toks[0].value == "node1"
+
+    def test_comparison_operators(self):
+        assert values("<= >= != = < >") == ["<=", ">=", "!=", "=", "<", ">"]
+
+    def test_logical_operators(self):
+        assert values("&& ||") == ["&&", "||"]
+
+    def test_unknown_bare_word_rejected(self):
+        with pytest.raises(StSPARQLSyntaxError):
+            tokenize("banana")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(StSPARQLSyntaxError):
+            tokenize("@@@")
+
+    def test_eof_token_terminates(self):
+        toks = tokenize("?x")
+        assert toks[-1].kind == "eof"

@@ -1,0 +1,154 @@
+"""SPARQL 1.1 property-path tests."""
+
+import pytest
+
+from repro.rdf import Namespace
+from repro.strabon import StrabonStore
+from repro.strabon.stsparql.errors import StSPARQLError
+
+EX = Namespace("http://example.org/")
+P = "PREFIX ex: <http://example.org/>\n"
+
+DATA = """
+@prefix ex: <http://example.org/> .
+ex:a ex:next ex:b .
+ex:b ex:next ex:c .
+ex:c ex:next ex:d .
+ex:a ex:jump ex:d .
+ex:d ex:next ex:a .
+ex:x ex:knows ex:y .
+ex:prod1 ex:derivedFrom ex:raw1 .
+ex:hs1 ex:producedBy ex:prod1 .
+"""
+
+
+@pytest.fixture
+def store():
+    s = StrabonStore()
+    s.load_turtle(DATA)
+    return s
+
+
+class TestSequence:
+    def test_two_step(self, store):
+        r = store.query(
+            P + "SELECT ?x WHERE { ex:a ex:next/ex:next ?x }"
+        )
+        assert r.column("x") == [EX.c]
+
+    def test_three_step(self, store):
+        r = store.query(
+            P + "SELECT ?x WHERE { ex:a ex:next/ex:next/ex:next ?x }"
+        )
+        assert r.column("x") == [EX.d]
+
+    def test_sequence_join_both_bound(self, store):
+        assert bool(
+            store.query(P + "ASK { ex:a ex:next/ex:next ex:c }")
+        )
+        assert not bool(
+            store.query(P + "ASK { ex:a ex:next/ex:next ex:d }")
+        )
+
+    def test_derivation_chain_use_case(self, store):
+        # The catalog's idiom: hotspot → product → raw scene in one hop.
+        r = store.query(
+            P
+            + "SELECT ?raw WHERE { ex:hs1 ex:producedBy/ex:derivedFrom ?raw }"
+        )
+        assert r.column("raw") == [EX.raw1]
+
+
+class TestAlternative:
+    def test_union_of_predicates(self, store):
+        r = store.query(
+            P + "SELECT ?x WHERE { ex:a (ex:next|ex:jump) ?x }"
+        )
+        assert set(r.column("x")) == {EX.b, EX.d}
+
+    def test_alternative_in_sequence(self, store):
+        r = store.query(
+            P + "SELECT ?x WHERE { ex:a (ex:next|ex:jump)/ex:next ?x }"
+        )
+        assert set(r.column("x")) == {EX.c, EX.a}
+
+
+class TestInverse:
+    def test_inverse_simple(self, store):
+        r = store.query(P + "SELECT ?x WHERE { ex:b ^ex:next ?x }")
+        assert r.column("x") == [EX.a]
+
+    def test_inverse_in_sequence(self, store):
+        # who also knows what y is known by: x knows y, ^knows goes back.
+        r = store.query(
+            P + "SELECT ?z WHERE { ex:x ex:knows/^ex:knows ?z }"
+        )
+        assert r.column("z") == [EX.x]
+
+
+class TestClosures:
+    def test_plus_reaches_all(self, store):
+        r = store.query(P + "SELECT ?x WHERE { ex:a ex:next+ ?x }")
+        # Cycle a->b->c->d->a: everything is reachable, including a itself.
+        assert set(r.column("x")) == {EX.a, EX.b, EX.c, EX.d}
+
+    def test_star_includes_zero_length(self, store):
+        r = store.query(P + "SELECT ?x WHERE { ex:x ex:knows* ?x }")
+        assert EX.x in set(r.column("x"))
+
+    def test_question_mark_at_most_one_hop(self, store):
+        r = store.query(P + "SELECT ?x WHERE { ex:a ex:next? ?x }")
+        assert set(r.column("x")) == {EX.a, EX.b}
+
+    def test_plus_with_bound_object(self, store):
+        assert bool(store.query(P + "ASK { ex:a ex:next+ ex:d }"))
+        assert not bool(store.query(P + "ASK { ex:x ex:next+ ex:d }"))
+
+    def test_closure_backwards_from_object(self, store):
+        r = store.query(P + "SELECT ?x WHERE { ?x ex:next+ ex:c }")
+        assert set(r.column("x")) == {EX.a, EX.b, EX.c, EX.d}
+
+    def test_closure_over_sequence(self, store):
+        r = store.query(
+            P + "SELECT ?x WHERE { ex:a (ex:next/ex:next)+ ?x }"
+        )
+        # Two-hop strides around the 4-cycle: c (2 hops), a (4 hops).
+        assert set(r.column("x")) == {EX.c, EX.a}
+
+    def test_closure_both_unbound(self, store):
+        r = store.query(
+            P + "SELECT ?s ?o WHERE { ?s ex:knows+ ?o }"
+        )
+        assert r.rows() == [(EX.x, EX.y)]
+
+
+class TestPathErrors:
+    def test_variable_in_path_rejected(self, store):
+        with pytest.raises(StSPARQLError):
+            list(
+                store.query(
+                    P + "SELECT ?x WHERE { ex:a ?p/ex:next ?x }"
+                )
+            )
+
+    def test_plain_variable_verb_still_works(self, store):
+        r = store.query(P + "SELECT ?p WHERE { ex:a ?p ex:b }")
+        assert r.column("p") == [EX.next]
+
+
+class TestPathsWithModifiers:
+    def test_path_with_filter(self, store):
+        r = store.query(
+            P
+            + "SELECT ?x WHERE { ex:a ex:next+ ?x . "
+            "FILTER(?x != ex:a) } ORDER BY ?x"
+        )
+        assert len(r) == 3
+
+    def test_path_with_distinct_and_limit(self, store):
+        r = store.query(
+            P
+            + "SELECT DISTINCT ?x WHERE { ex:a (ex:next|ex:jump)+ ?x } "
+            "LIMIT 2"
+        )
+        assert len(r) == 2

@@ -1,0 +1,109 @@
+"""stRDF literal tests."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.geometry import Point, Polygon, from_wkt
+from repro.rdf import Literal
+from repro.strabon import (
+    StRDFError,
+    geometry_literal,
+    is_geometry_literal,
+    literal_geometry,
+    literal_period,
+    period_literal,
+)
+from repro.strabon.strdf import (
+    GEO_WKT_DATATYPE,
+    WKT_DATATYPE,
+    period_contains,
+    periods_overlap,
+)
+
+
+class TestGeometryLiterals:
+    def test_roundtrip_point(self):
+        lit = geometry_literal(Point(23.5, 38.0))
+        assert is_geometry_literal(lit)
+        geom = literal_geometry(lit)
+        assert (geom.x, geom.y) == (23.5, 38.0)
+        assert geom.srid == 4326
+
+    def test_roundtrip_polygon(self):
+        poly = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        geom = literal_geometry(geometry_literal(poly))
+        assert geom.area == pytest.approx(1.0)
+
+    def test_srid_carried_in_crs_suffix(self):
+        lit = geometry_literal(Point(100.0, 200.0, srid=3857))
+        assert "EPSG/0/3857" in lit.lexical
+        geom = literal_geometry(lit)
+        assert geom.srid == 3857
+
+    def test_geosparql_crs_prefix_accepted(self):
+        lit = Literal(
+            "<http://www.opengis.net/def/crs/EPSG/0/3857> POINT (1 2)",
+            datatype=str(GEO_WKT_DATATYPE),
+        )
+        geom = literal_geometry(lit)
+        assert geom.srid == 3857
+
+    def test_geosparql_datatype_accepted(self):
+        lit = Literal("POINT (1 2)", datatype=str(GEO_WKT_DATATYPE))
+        assert is_geometry_literal(lit)
+        assert literal_geometry(lit) == Point(1, 2)
+
+    def test_plain_literal_not_geometry(self):
+        assert not is_geometry_literal(Literal("POINT (1 2)"))
+
+    def test_iri_not_geometry(self):
+        from repro.rdf import URIRef
+
+        assert not is_geometry_literal(URIRef("http://example.org"))
+
+    def test_bad_wkt_rejected(self):
+        lit = Literal("POINT (1", datatype=str(WKT_DATATYPE))
+        with pytest.raises(StRDFError):
+            literal_geometry(lit)
+
+    def test_non_geometry_literal_rejected(self):
+        with pytest.raises(StRDFError):
+            literal_geometry(Literal("x"))
+
+
+class TestPeriodLiterals:
+    def test_roundtrip(self):
+        start = datetime(2007, 8, 25, 12, 0)
+        end = datetime(2007, 8, 25, 15, 0)
+        lit = period_literal(start, end)
+        assert literal_period(lit) == (start, end)
+
+    def test_empty_period_rejected(self):
+        t = datetime(2007, 8, 25)
+        with pytest.raises(StRDFError):
+            period_literal(t, t)
+
+    def test_malformed_rejected(self):
+        from repro.strabon.strdf import PERIOD_DATATYPE
+
+        lit = Literal("not-a-period", datatype=str(PERIOD_DATATYPE))
+        with pytest.raises(StRDFError):
+            literal_period(lit)
+
+    def test_wrong_datatype_rejected(self):
+        with pytest.raises(StRDFError):
+            literal_period(Literal("[2007-01-01T00:00:00, 2008-01-01T00:00:00)"))
+
+    def test_periods_overlap(self):
+        a = (datetime(2007, 1, 1), datetime(2007, 6, 1))
+        b = (datetime(2007, 5, 1), datetime(2007, 9, 1))
+        c = (datetime(2007, 6, 1), datetime(2007, 7, 1))
+        assert periods_overlap(a, b)
+        assert not periods_overlap(a, c)  # half-open: [_, 6-1) vs [6-1, _)
+
+    def test_period_contains(self):
+        p = (datetime(2007, 1, 1), datetime(2007, 2, 1))
+        assert period_contains(p, datetime(2007, 1, 15))
+        assert period_contains(p, datetime(2007, 1, 1))
+        assert not period_contains(p, datetime(2007, 2, 1))

@@ -1,0 +1,148 @@
+"""stSPARQL update and store-backend tests."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.rdf import Literal, Namespace, URIRef
+from repro.strabon import StrabonStore, geometry_literal
+from repro.strabon.stsparql.errors import StSPARQLSyntaxError
+
+EX = Namespace("http://example.org/")
+PREFIXES = "PREFIX ex: <http://example.org/>\n"
+
+
+@pytest.fixture
+def store():
+    s = StrabonStore()
+    s.load_turtle(
+        """
+        @prefix ex: <http://example.org/> .
+        @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+        ex:h1 a ex:Hotspot ; ex:conf "0.9"^^xsd:double .
+        ex:h2 a ex:Hotspot ; ex:conf "0.3"^^xsd:double .
+        """
+    )
+    return s
+
+
+class TestInsertDeleteData:
+    def test_insert_data(self, store):
+        n = store.update(
+            PREFIXES + "INSERT DATA { ex:h3 a ex:Hotspot . ex:h3 ex:conf 0.7 }"
+        )
+        assert n == 2
+        assert bool(store.query(PREFIXES + "ASK { ex:h3 a ex:Hotspot }"))
+
+    def test_insert_data_duplicate_not_counted(self, store):
+        assert store.update(
+            PREFIXES + "INSERT DATA { ex:h1 a ex:Hotspot }"
+        ) == 0
+
+    def test_delete_data(self, store):
+        n = store.update(PREFIXES + "DELETE DATA { ex:h1 a ex:Hotspot }")
+        assert n == 1
+        assert not bool(store.query(PREFIXES + "ASK { ex:h1 a ex:Hotspot }"))
+
+    def test_variables_rejected_in_data(self, store):
+        with pytest.raises(StSPARQLSyntaxError):
+            store.update(PREFIXES + "INSERT DATA { ?x a ex:Hotspot }")
+
+    def test_multiple_operations(self, store):
+        n = store.update(
+            PREFIXES
+            + "INSERT DATA { ex:a ex:p ex:b } ;\n"
+            + PREFIXES
+            + "DELETE DATA { ex:h2 a ex:Hotspot }"
+        )
+        assert n == 2
+
+
+class TestModify:
+    def test_delete_insert_where(self, store):
+        store.update(
+            PREFIXES
+            + "DELETE { ?h a ex:Hotspot } INSERT { ?h a ex:Rejected } "
+            "WHERE { ?h a ex:Hotspot ; ex:conf ?c . FILTER(?c < 0.5) }"
+        )
+        hot = store.query(PREFIXES + "SELECT ?h WHERE { ?h a ex:Hotspot }")
+        rej = store.query(PREFIXES + "SELECT ?h WHERE { ?h a ex:Rejected }")
+        assert hot.column("h") == [EX.h1]
+        assert rej.column("h") == [EX.h2]
+
+    def test_insert_where(self, store):
+        store.update(
+            PREFIXES
+            + "INSERT { ?h ex:reviewed true } WHERE { ?h a ex:Hotspot }"
+        )
+        r = store.query(
+            PREFIXES + "SELECT ?h WHERE { ?h ex:reviewed true }"
+        )
+        assert len(r) == 2
+
+    def test_delete_where_shorthand(self, store):
+        store.update(PREFIXES + "DELETE WHERE { ?h ex:conf ?c }")
+        r = store.query(PREFIXES + "SELECT ?h WHERE { ?h ex:conf ?c }")
+        assert len(r) == 0
+
+    def test_modify_with_no_matches_is_noop(self, store):
+        n = store.update(
+            PREFIXES
+            + "DELETE { ?h a ex:Hotspot } WHERE { ?h a ex:Missing }"
+        )
+        assert n == 0
+        assert len(store) == 4
+
+    def test_geometry_update_refreshes_index(self, store):
+        store.update(
+            PREFIXES
+            + 'INSERT DATA { ex:h1 ex:geom '
+            '"POINT (5 5)"^^<http://strdf.di.uoa.gr/ontology#WKT> }'
+        )
+        r = store.query(
+            PREFIXES
+            + "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+            "SELECT ?h WHERE { ?h ex:geom ?g . "
+            'FILTER(strdf:intersects(?g, "POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))"^^strdf:WKT)) }'
+        )
+        assert r.column("h") == [EX.h1]
+
+
+class TestBackend:
+    def test_terms_dictionary_grows(self, store):
+        before = store.backend.scalar("SELECT count(*) FROM terms")
+        store.add((EX.new_subject, EX.new_pred, Literal("new")))
+        after = store.backend.scalar("SELECT count(*) FROM terms")
+        assert after == before + 3
+
+    def test_triples_table_matches_graph(self, store):
+        count = store.backend.scalar("SELECT count(*) FROM triples")
+        assert count == len(store)
+
+    def test_remove_updates_backend(self, store):
+        store.remove((EX.h1, None, None))
+        count = store.backend.scalar("SELECT count(*) FROM triples")
+        assert count == len(store)
+
+    def test_term_ids_are_stable(self, store):
+        store.add((EX.x, EX.p, EX.h1))  # h1 already in the dictionary
+        ids = store.backend.query("SELECT id, n3 FROM terms")
+        n3s = [row[1] for row in ids]
+        assert len(n3s) == len(set(n3s))  # no duplicate dictionary entries
+
+    def test_load_and_serialize_roundtrip(self, store):
+        text = store.serialize_turtle(prefixes={"ex": str(EX)})
+        other = StrabonStore()
+        other.load_turtle(text)
+        assert len(other) == len(store)
+
+    def test_load_ntriples(self):
+        store = StrabonStore()
+        store.load_ntriples(
+            "<http://example.org/a> <http://example.org/p> "
+            "<http://example.org/b> ."
+        )
+        assert len(store) == 1
+
+    def test_contains_and_triples(self, store):
+        assert (EX.h1, URIRef(str(EX) + "conf"), Literal("0.9", datatype="http://www.w3.org/2001/XMLSchema#double")) in store
+        assert len(list(store.triples((None, None, None)))) == 4

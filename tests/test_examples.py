@@ -1,0 +1,35 @@
+"""The shipped examples must run end to end (smoke integration tests)."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+EXAMPLES = [
+    "quickstart.py",
+    "fire_monitoring.py",
+    "semantic_catalog_search.py",
+    "sciql_image_processing.py",
+    "data_vault_walkthrough.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), f"missing example {script}"
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_examples_list_is_complete():
+    shipped = sorted(
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    )
+    assert shipped == sorted(EXAMPLES)

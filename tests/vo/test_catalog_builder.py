@@ -1,0 +1,100 @@
+"""CatalogQuery builder compilation tests (no store needed)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.geometry import Polygon
+from repro.vo import CatalogQuery
+
+
+class TestCompilation:
+    def test_empty_query_matches_all_products(self):
+        text = CatalogQuery().to_stsparql()
+        assert "?product a noa:Product ." in text
+        assert "FILTER" not in text
+
+    def test_mission_adds_pattern(self):
+        text = CatalogQuery().mission("MSG2").to_stsparql()
+        assert 'noa:hasMission "MSG2"' in text
+
+    def test_level_is_integer_literal(self):
+        text = CatalogQuery().level(2).to_stsparql()
+        assert "noa:hasProcessingLevel 2" in text
+
+    def test_time_window_filters(self):
+        text = (
+            CatalogQuery()
+            .acquired_between(
+                datetime(2007, 8, 25), datetime(2007, 8, 26)
+            )
+            .to_stsparql()
+        )
+        assert text.count("xsd:dateTime") == 2
+        assert "?acq >=" in text and "?acq <=" in text
+
+    def test_region_uses_intersects(self):
+        region = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        text = CatalogQuery().covering(region).to_stsparql()
+        assert "strdf:intersects(?footprint" in text
+        assert "POLYGON" in text
+
+    def test_concept_joins_through_derivation(self):
+        text = (
+            CatalogQuery()
+            .containing_concept("http://example.org/Fire")
+            .to_stsparql()
+        )
+        assert "noa:isDerivedFrom ?product" in text
+        assert "?content a <http://example.org/Fire>" in text
+
+    def test_site_proximity_adds_distance_filter(self):
+        text = CatalogQuery().near_archaeological_site(0.1).to_stsparql()
+        assert "ArchaeologicalSite" in text
+        assert "strdf:distance(?cgeom, ?sgeom) < 0.1" in text
+
+    def test_town_proximity(self):
+        text = CatalogQuery().near_town("Patra", 0.5).to_stsparql()
+        assert '"Patra"' in text
+        assert "strdf:distance(?cgeom, ?tgeom) < 0.5" in text
+
+    def test_fluent_chaining_returns_self(self):
+        q = CatalogQuery()
+        assert q.mission("M").level(1).near_town("X", 1.0) is q
+
+    def test_combined_query_is_parseable(self):
+        from repro.strabon.stsparql.parser import parse_query
+
+        text = (
+            CatalogQuery()
+            .mission("MSG2")
+            .sensor("SEVIRI")
+            .level(0)
+            .acquired_between(
+                datetime(2007, 8, 25), datetime(2007, 8, 26)
+            )
+            .covering(Polygon([(20, 34), (28, 34), (28, 42), (20, 42)]))
+            .containing_concept("http://example.org/Hotspot")
+            .near_archaeological_site(0.02)
+            .near_town("Athina", 0.5)
+            .to_stsparql()
+        )
+        parse_query(text)  # must be valid stSPARQL
+
+    def test_each_builder_output_is_parseable(self):
+        from repro.strabon.stsparql.parser import parse_query
+
+        queries = [
+            CatalogQuery(),
+            CatalogQuery().mission("A"),
+            CatalogQuery().sensor("S"),
+            CatalogQuery().level(1),
+            CatalogQuery().covering(
+                Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+            ),
+            CatalogQuery().containing_concept("http://e/C"),
+            CatalogQuery().near_archaeological_site(1.0),
+            CatalogQuery().near_town("T", 1.0),
+        ]
+        for q in queries:
+            parse_query(q.to_stsparql())

@@ -1,0 +1,188 @@
+"""Virtual Earth Observatory integration tests (all four tiers)."""
+
+import os
+from datetime import datetime
+
+import pytest
+
+from repro.eo import SceneSpec, generate_scene, write_scene
+from repro.vo import CatalogQuery, VirtualEarthObservatory
+
+FIRE_SEEDS = [(21.63, 37.7), (22.5, 38.5)]
+
+
+@pytest.fixture(scope="module")
+def vo_with_archive(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("archive")
+    vo = VirtualEarthObservatory()
+    for i in range(3):
+        spec = SceneSpec(
+            width=96,
+            height=96,
+            seed=20 + i,
+            n_fires=0,
+            n_glints=2,
+            acquired=datetime(2007, 8, 25, 10 + i, 0),
+        )
+        scene = generate_scene(spec, vo.world.land, fire_seeds=FIRE_SEEDS)
+        write_scene(scene, str(tmp / f"scene_{i:03d}.nat"))
+    report = vo.ingest_archive(str(tmp))
+    return vo, report, tmp
+
+
+class TestIngestionTier:
+    def test_archive_ingested(self, vo_with_archive):
+        vo, report, _ = vo_with_archive
+        assert len(report.products) == 3
+        stats = vo.statistics()
+        assert stats["vault_files"] == 3
+        assert stats["products"] >= 3
+
+    def test_lazy_by_default(self, vo_with_archive):
+        vo, _, _ = vo_with_archive
+        # Only scenes touched by later chain runs get cached.
+        assert vo.vault.cached_count <= len(vo.vault)
+
+
+class TestApplicationTier:
+    def test_fire_monitoring_end_to_end(self, vo_with_archive, tmp_path):
+        vo, report, _ = vo_with_archive
+        out = vo.run_fire_monitoring(
+            report.products[0].path, output_dir=str(tmp_path)
+        )
+        chain = out["chain"]
+        assert chain.hotspots
+        assert chain.shapefile_path and os.path.exists(chain.shapefile_path)
+        assert out["refinement"].hotspots_after <= out[
+            "refinement"
+        ].hotspots_before
+        assert "hotspots" in out["map"].layers
+
+    def test_compare_chains(self, vo_with_archive):
+        from repro.eo.seviri import read_scene
+
+        vo, report, _ = vo_with_archive
+        path = report.products[1].path
+        results = vo.compare_chains(path, ["static", "contextual"])
+        assert set(results) == {"static", "contextual"}
+        scene = read_scene(path)
+        for result in results.values():
+            scores = vo.score_result(result, scene)
+            assert scores["recall"] > 0.3
+
+    def test_refinement_statements_exposed(self, vo_with_archive):
+        vo, _, _ = vo_with_archive
+        statements = vo.rapid_mapping.refinement_statements()
+        assert len(statements) == 3
+
+
+class TestCatalogTier:
+    def test_classic_criteria(self, vo_with_archive):
+        vo, _, _ = vo_with_archive
+        q = vo.new_query().mission("MSG2").level(0)
+        hits = vo.search(q)
+        assert len(hits) == 3
+
+    def test_time_window(self, vo_with_archive):
+        vo, _, _ = vo_with_archive
+        q = (
+            vo.new_query()
+            .mission("MSG2")
+            .level(0)
+            .acquired_between(
+                datetime(2007, 8, 25, 11, 0), datetime(2007, 8, 25, 23, 0)
+            )
+        )
+        assert len(vo.search(q)) == 2
+
+    def test_region_filter(self, vo_with_archive):
+        from repro.geometry import Polygon
+
+        vo, _, _ = vo_with_archive
+        inside = Polygon([(21, 37), (23, 37), (23, 39), (21, 39)])
+        outside = Polygon([(100, 0), (101, 0), (101, 1), (100, 1)])
+        assert len(vo.search(vo.new_query().covering(inside))) >= 3
+        assert vo.search(vo.new_query().covering(outside)) == []
+
+    def test_semantic_concept_search(self, vo_with_archive, tmp_path):
+        vo, report, _ = vo_with_archive
+        # Run the chain so hotspot annotations exist.
+        vo.run_fire_monitoring(report.products[0].path)
+        q = vo.new_query().containing_concept(
+            "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot"
+        )
+        hits = vo.search(q)
+        assert len(hits) >= 1
+
+    def test_paper_motivating_query(self, vo_with_archive):
+        """Meteosat product on 2007-08-25 with hotspots near a site."""
+        vo, report, _ = vo_with_archive
+        vo.run_fire_monitoring(report.products[0].path)
+        q = (
+            vo.new_query()
+            .mission("MSG2")
+            .acquired_between(
+                datetime(2007, 8, 25, 0, 0), datetime(2007, 8, 26, 0, 0)
+            )
+            .containing_concept(
+                "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot"
+            )
+            .near_archaeological_site(0.3)
+        )
+        hits = vo.search(q)
+        assert hits  # the Olympia-adjacent fire matches
+
+    def test_near_town(self, vo_with_archive):
+        vo, report, _ = vo_with_archive
+        vo.run_fire_monitoring(report.products[0].path)
+        q = vo.new_query().near_town("Patra", 1.0)
+        assert vo.search(q)
+        q2 = vo.new_query().near_town("Mytilini", 0.05)
+        assert vo.search(q2) == []
+
+    def test_raw_query_escape_hatch(self, vo_with_archive):
+        vo, _, _ = vo_with_archive
+        result = vo.catalog.run(
+            "PREFIX noa: "
+            "<http://teleios.di.uoa.gr/ontologies/noaOntology.owl#>\n"
+            "SELECT (count(*) AS ?n) WHERE { ?p a noa:Product }"
+        )
+        assert int(result.values()[0][0]) >= 3
+
+
+class TestServiceTier:
+    def test_data_mining_service(self, vo_with_archive):
+        vo, report, _ = vo_with_archive
+        paths = [p.path for p in report.products[:2]]
+        clf = vo.data_mining.train_classifier(paths)
+        counts = vo.data_mining.mine_scene(report.products[2].path, clf)
+        assert sum(counts.values()) > 0
+        assert "other" in counts
+
+    def test_annotation_service(self, vo_with_archive):
+        from repro.eo.seviri import read_scene
+
+        vo, report, _ = vo_with_archive
+        clf = vo.data_mining.train_classifier(
+            [p.path for p in report.products[:2]]
+        )
+        service = vo.annotation_service(clf)
+        before = len(vo.store)
+        added = service.annotate_product(
+            report.products[2],
+            read_scene(report.products[2].path),
+        )
+        assert added > 0
+        assert len(vo.store) == before + added
+
+    def test_reasoner_connects_annotations_to_ontology(
+        self, vo_with_archive
+    ):
+        vo, _, _ = vo_with_archive
+        from repro.mining.ontology import EM
+        from repro.rdf import URIRef
+
+        assert vo.reasoner.is_subclass_of(
+            URIRef(str(EM) + "ForestFire"),
+            URIRef(str(EM) + "NaturalHazard"),
+        )

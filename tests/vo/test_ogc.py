@@ -1,0 +1,150 @@
+"""OGC-style web-service front end tests."""
+
+import pytest
+
+from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene, write_scene
+from repro.ingest import Ingestor
+from repro.mdb import Database
+from repro.noa import ProcessingChain
+from repro.strabon import StrabonStore
+from repro.vo import OGCError, WebServiceFrontend
+
+WORLD = GreeceLikeWorld()
+
+
+@pytest.fixture(scope="module")
+def frontend(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("ogc")
+    spec = SceneSpec(width=96, height=96, seed=5, n_fires=0)
+    scene = generate_scene(
+        spec, WORLD.land, fire_seeds=[(21.63, 37.7), (22.5, 38.5)]
+    )
+    path = str(tmp / "scene.nat")
+    write_scene(scene, path)
+    ingestor = Ingestor(Database(), StrabonStore())
+    ingestor.store.load_graph(WORLD.to_rdf())
+    ProcessingChain(ingestor).run(path)
+    return WebServiceFrontend(ingestor.store, WORLD)
+
+
+class TestWFS:
+    def test_capabilities(self, frontend):
+        doc = frontend.handle(
+            {"service": "WFS", "request": "GetCapabilities"}
+        )
+        assert doc["service"] == "WFS"
+        assert "hotspots" in doc["featureTypes"]
+        assert "towns" in doc["featureTypes"]
+
+    def test_get_feature_hotspots(self, frontend):
+        doc = frontend.handle(
+            {"service": "WFS", "request": "GetFeature",
+             "typeName": "hotspots"}
+        )
+        assert doc["type"] == "FeatureCollection"
+        assert doc["numberReturned"] >= 1
+        first = doc["features"][0]
+        assert first["geometry"]["type"] in ("Polygon", "MultiPolygon")
+        assert 0 < first["properties"]["confidence"] <= 1
+
+    def test_get_feature_towns_with_properties(self, frontend):
+        doc = frontend.handle(
+            {"service": "WFS", "request": "GetFeature", "typeName": "towns"}
+        )
+        assert doc["numberReturned"] == len(WORLD.TOWNS)
+        names = {f["properties"]["name"] for f in doc["features"]}
+        assert "Athina" in names
+        pops = [f["properties"]["population"] for f in doc["features"]]
+        assert all(isinstance(p, int) for p in pops)
+
+    def test_bbox_filter(self, frontend):
+        everything = frontend.handle(
+            {"service": "WFS", "request": "GetFeature", "typeName": "towns"}
+        )
+        windowed = frontend.handle(
+            {"service": "WFS", "request": "GetFeature",
+             "typeName": "towns", "bbox": "21,36.5,23.5,38.5"}
+        )
+        assert 0 < windowed["numberReturned"] < everything["numberReturned"]
+
+    def test_count_limits(self, frontend):
+        doc = frontend.handle(
+            {"service": "WFS", "request": "GetFeature",
+             "typeName": "towns", "count": 3}
+        )
+        assert doc["numberReturned"] == 3
+
+    def test_landcover_layer(self, frontend):
+        doc = frontend.handle(
+            {"service": "WFS", "request": "GetFeature",
+             "typeName": "landcover"}
+        )
+        assert doc["numberReturned"] >= len(WORLD.FORESTS)
+
+    def test_case_insensitive_keys(self, frontend):
+        doc = frontend.handle(
+            {"SERVICE": "WFS", "REQUEST": "GetFeature",
+             "TYPENAME": "roads"}
+        )
+        assert doc["numberReturned"] == len(WORLD.ROADS)
+
+    def test_unknown_type_rejected(self, frontend):
+        with pytest.raises(OGCError) as err:
+            frontend.handle(
+                {"service": "WFS", "request": "GetFeature",
+                 "typeName": "volcanoes"}
+            )
+        assert err.value.code == "InvalidParameterValue"
+        assert "exceptionText" in err.value.to_report()
+
+    def test_bad_bbox_rejected(self, frontend):
+        with pytest.raises(OGCError):
+            frontend.handle(
+                {"service": "WFS", "request": "GetFeature",
+                 "typeName": "towns", "bbox": "1,2,3"}
+            )
+
+    def test_json_serialisable(self, frontend):
+        import json
+
+        doc = frontend.handle(
+            {"service": "WFS", "request": "GetFeature",
+             "typeName": "hotspots"}
+        )
+        json.dumps(doc)
+
+
+class TestWMS:
+    def test_capabilities(self, frontend):
+        doc = frontend.handle(
+            {"service": "WMS", "request": "GetCapabilities"}
+        )
+        assert doc["layers"] == ["firemap"]
+
+    def test_get_map_returns_svg(self, frontend):
+        from xml.etree import ElementTree
+
+        svg = frontend.handle(
+            {"service": "WMS", "request": "GetMap", "layers": "firemap",
+             "width": 500}
+        )
+        root = ElementTree.fromstring(svg)
+        assert root.get("width") == "500"
+
+    def test_unknown_layer(self, frontend):
+        with pytest.raises(OGCError) as err:
+            frontend.handle(
+                {"service": "WMS", "request": "GetMap",
+                 "layers": "topography"}
+            )
+        assert err.value.code == "LayerNotDefined"
+
+
+class TestDispatch:
+    def test_unknown_service(self, frontend):
+        with pytest.raises(OGCError):
+            frontend.handle({"service": "WPS", "request": "Execute"})
+
+    def test_unknown_operation(self, frontend):
+        with pytest.raises(OGCError):
+            frontend.handle({"service": "WFS", "request": "Transact"})
