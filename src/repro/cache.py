@@ -1,0 +1,149 @@
+"""A small reusable LRU cache with hit/miss statistics.
+
+Shared by the query-engine hot paths: prepared-plan caches in
+:class:`repro.strabon.StrabonStore` and :class:`repro.mdb.Database`, and
+the geometry-literal interner in :mod:`repro.strabon.strdf`.  The
+benchmarks (``bench_a5_repeated_queries``) read the counters to report
+cache effectiveness, so every lookup is accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterator, Optional
+
+__all__ = ["CacheStats", "LRUCache"]
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """A point-in-time snapshot of cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    size: int = 0
+    maxsize: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<CacheStats hits={self.hits} misses={self.misses} "
+            f"hit_rate={self.hit_rate:.1%} size={self.size}/{self.maxsize}>"
+        )
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry.
+
+    Recency is maintained with the insertion order of the backing dict
+    (re-inserting on access moves a key to the most-recent end), which
+    keeps ``get``/``put`` O(1) without a linked list.
+    """
+
+    __slots__ = (
+        "_data", "maxsize", "hits", "misses", "evictions", "invalidations",
+    )
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: Dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- lookups ------------------------------------------------------------
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing recency) or ``default``."""
+        value = self._data.pop(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data[key] = value  # move to most-recent position
+        self.hits += 1
+        return value
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data  # no stats impact: a peek, not a lookup
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    # -- mutation ------------------------------------------------------------
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/replace an entry, evicting the LRU entry when full."""
+        if key in self._data:
+            del self._data[key]
+        elif len(self._data) >= self.maxsize:
+            oldest = next(iter(self._data))
+            del self._data[oldest]
+            self.evictions += 1
+        self._data[key] = value
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        if self._data.pop(key, _MISSING) is _MISSING:
+            return False
+        self.invalidations += 1
+        return True
+
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every entry (counted as one invalidation per entry)."""
+        self.invalidations += len(self._data)
+        self._data.clear()
+        if reset_stats:
+            self.reset_stats()
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = 0
+        self.evictions = self.invalidations = 0
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+            size=len(self._data),
+            maxsize=self.maxsize,
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+    def __repr__(self) -> str:
+        return f"<LRUCache {self.stats!r}>"

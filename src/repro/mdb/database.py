@@ -6,6 +6,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache import LRUCache
 from repro.mdb.catalog import Catalog
 from repro.mdb.errors import ExecutionError
 from repro.mdb.sql.executor import Executor, Vector
@@ -103,16 +104,24 @@ class Database:
     def __init__(self):
         self.catalog = Catalog()
         self._executor = Executor(self.catalog)
+        # Prepared-plan cache: SQL text → parsed statement.  Statement
+        # ASTs are immutable, so repeated query texts (the dominant shape
+        # of catalog-serving workloads) skip the lexer and parser.
+        self.plan_cache = LRUCache(maxsize=256)
 
     def execute(self, sql: str) -> Result:
-        """Parse and execute one statement."""
-        return self._executor.execute(parse_statement(sql))
+        """Parse and execute one statement (plans cached by SQL text)."""
+        stmt = self.plan_cache.get_or_compute(
+            sql, lambda: parse_statement(sql)
+        )
+        return self._executor.execute(stmt)
 
     def execute_script(self, sql: str) -> List[Result]:
         """Execute a ';'-separated script; returns one Result per statement."""
-        return [
-            self._executor.execute(stmt) for stmt in parse_script(sql)
-        ]
+        stmts = self.plan_cache.get_or_compute(
+            ("script", sql), lambda: parse_script(sql)
+        )
+        return [self._executor.execute(stmt) for stmt in stmts]
 
     def query(self, sql: str) -> List[Tuple[Any, ...]]:
         """Execute a SELECT and return its rows."""

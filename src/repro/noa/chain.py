@@ -303,9 +303,12 @@ class ProcessingChain:
                 grid.corner_to_lonlat,
                 srid=4326,
             )
-            diffs = [float(t039[r, c] - t108[r, c]) for r, c in pixels]
+            pix = np.asarray(pixels, dtype=np.intp)
+            diffs = (
+                t039[pix[:, 0], pix[:, 1]] - t108[pix[:, 0], pix[:, 1]]
+            ).astype(np.float64)
             confidence = float(
-                np.clip(np.mean(diffs) / 25.0, 0.05, 1.0)
+                np.clip(diffs.mean() / 25.0, 0.05, 1.0)
             )
             hotspots.append(
                 Hotspot(
@@ -376,29 +379,43 @@ class ProcessingChain:
 def _connected_components(
     mask: np.ndarray,
 ) -> List[List[Tuple[int, int]]]:
-    """4-connected components of a boolean mask (flood fill)."""
-    visited = np.zeros_like(mask, dtype=bool)
-    components: List[List[Tuple[int, int]]] = []
+    """4-connected components of a boolean mask.
+
+    Labeling runs over the dense list of nonzero pixels with neighbor
+    ids precomputed by numpy fancy indexing: the stack holds plain int
+    pixel ids, so no per-neighbor coordinate tuples, bounds checks or
+    ndarray scalar reads happen inside the fill loop.
+    """
     rows, cols = np.nonzero(mask)
+    n = rows.size
+    if n == 0:
+        return []
     h, w = mask.shape
-    for r0, c0 in zip(rows.tolist(), cols.tolist()):
-        if visited[r0, c0]:
+    index = np.full((h, w), -1, dtype=np.intp)
+    index[rows, cols] = np.arange(n, dtype=np.intp)
+    # Neighbor pixel ids in each direction (-1 at the grid edge or where
+    # the neighbor is off-mask).  Clamping keeps the gather in bounds;
+    # np.where masks the clamped lanes out.
+    down = np.where(rows + 1 < h, index[np.minimum(rows + 1, h - 1), cols], -1)
+    up = np.where(rows > 0, index[np.maximum(rows - 1, 0), cols], -1)
+    right = np.where(cols + 1 < w, index[rows, np.minimum(cols + 1, w - 1)], -1)
+    left = np.where(cols > 0, index[rows, np.maximum(cols - 1, 0)], -1)
+    neighbors = np.stack((down, up, right, left), axis=1).tolist()
+    coords = list(zip(rows.tolist(), cols.tolist()))
+    seen = bytearray(n)
+    components: List[List[Tuple[int, int]]] = []
+    for start in range(n):
+        if seen[start]:
             continue
-        stack = [(r0, c0)]
-        visited[r0, c0] = True
+        seen[start] = 1
+        stack = [start]
         component: List[Tuple[int, int]] = []
         while stack:
-            r, c = stack.pop()
-            component.append((r, c))
-            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-                nr, nc = r + dr, c + dc
-                if (
-                    0 <= nr < h
-                    and 0 <= nc < w
-                    and mask[nr, nc]
-                    and not visited[nr, nc]
-                ):
-                    visited[nr, nc] = True
-                    stack.append((nr, nc))
+            i = stack.pop()
+            component.append(coords[i])
+            for j in neighbors[i]:
+                if j >= 0 and not seen[j]:
+                    seen[j] = 1
+                    stack.append(j)
         components.append(component)
     return components

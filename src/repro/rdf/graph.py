@@ -45,6 +45,11 @@ class Graph:
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
+        # Per-term occurrence counts, kept so one-bound-position
+        # cardinality estimates are O(1) instead of a bucket sum.
+        self._s_count: Dict[RDFTerm, int] = {}
+        self._p_count: Dict[RDFTerm, int] = {}
+        self._o_count: Dict[RDFTerm, int] = {}
         if triples:
             for t in triples:
                 self.add(t)
@@ -59,6 +64,9 @@ class Graph:
         _index_add(self._spo, s, p, o)
         _index_add(self._pos, p, o, s)
         _index_add(self._osp, o, s, p)
+        self._s_count[s] = self._s_count.get(s, 0) + 1
+        self._p_count[p] = self._p_count.get(p, 0) + 1
+        self._o_count[o] = self._o_count.get(o, 0) + 1
         self._size += 1
         return True
 
@@ -70,6 +78,14 @@ class Graph:
             _index_remove(self._spo, s, p, o)
             _index_remove(self._pos, p, o, s)
             _index_remove(self._osp, o, s, p)
+            for counts, term in (
+                (self._s_count, s), (self._p_count, p), (self._o_count, o)
+            ):
+                left = counts.get(term, 0) - 1
+                if left > 0:
+                    counts[term] = left
+                else:
+                    counts.pop(term, None)
         self._size -= len(victims)
         return len(victims)
 
@@ -81,6 +97,9 @@ class Graph:
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
+        self._s_count.clear()
+        self._p_count.clear()
+        self._o_count.clear()
         self._size = 0
 
     @staticmethod
@@ -143,6 +162,33 @@ class Graph:
             for pred, objs in list(po.items()):
                 for obj in list(objs):
                     yield (subj, pred, obj)
+
+    def count_estimate(self, pattern: Tuple = (None, None, None)) -> int:
+        """Exact match count for a triple pattern, without materialising.
+
+        Resolved through the same permutation indexes as :meth:`triples`:
+        two bound positions cost one hash lookup, one bound position a
+        sum over that key's second-level buckets.  Query planners (the
+        stSPARQL BGP join orderer) use this as a selectivity estimate to
+        pick join orders; it is "cheap" in that no triples are built.
+        """
+        s, p, o = pattern
+        if s is not None and p is not None:
+            objs = self._spo.get(s, {}).get(p, ())
+            if o is not None:
+                return 1 if o in objs else 0
+            return len(objs)
+        if p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        if s is not None:
+            return self._s_count.get(s, 0)
+        if p is not None:
+            return self._p_count.get(p, 0)
+        if o is not None:
+            return self._o_count.get(o, 0)
+        return self._size
 
     def subjects(self, predicate=None, obj=None) -> Iterator[RDFTerm]:
         seen = set()

@@ -9,8 +9,10 @@ envelopes of geometry literals accelerates spatial selections.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Set, Tuple, Union
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, Union
 
+from repro.cache import LRUCache
 from repro.geometry import Envelope, RTree
 from repro.mdb import Database
 from repro.rdf.graph import Graph, Triple
@@ -55,6 +57,16 @@ class StrabonStore:
         self._rtree = RTree(max_entries=16)
         self._geo_envelopes: Dict[RDFTerm, Envelope] = {}
         self._geo_refcount: Dict[RDFTerm, int] = {}
+        # Performance layer: prepared-plan cache (query text → parsed
+        # algebra) and geometry-literal interner (WKT literal → parsed
+        # geometry + envelope), both shared across queries.
+        self.plan_cache = LRUCache(maxsize=256)
+        self.geometries = strdf.GeometryInterner()
+        # Bulk-load state: when > 0, backend rows are buffered and the
+        # R-tree is rebuilt once (STR bulk load) at the end.
+        self._bulk_depth = 0
+        self._bulk_term_rows: List[Tuple[int, str]] = []
+        self._bulk_triple_rows: List[Tuple[int, int, int]] = []
 
     # -- storage ------------------------------------------------------------
 
@@ -64,7 +76,10 @@ class StrabonStore:
         term_id = self._next_id
         self._next_id += 1
         self._term_ids[term] = term_id
-        self.backend.insert_rows("terms", [(term_id, term.n3())])
+        if self._bulk_depth:
+            self._bulk_term_rows.append((term_id, term.n3()))
+        else:
+            self.backend.insert_rows("terms", [(term_id, term.n3())])
         return term_id
 
     def add(self, triple: Triple) -> bool:
@@ -72,13 +87,44 @@ class StrabonStore:
         if not self._graph.add(triple):
             return False
         s, p, o = triple
-        self.backend.insert_rows(
-            "triples",
-            [(self._term_id(s), self._term_id(p), self._term_id(o))],
-        )
+        row = (self._term_id(s), self._term_id(p), self._term_id(o))
+        if self._bulk_depth:
+            self._bulk_triple_rows.append(row)
+        else:
+            self.backend.insert_rows("triples", [row])
         if strdf.is_geometry_literal(o):
             self._index_geometry(o)
         return True
+
+    @contextmanager
+    def bulk(self) -> Iterator["StrabonStore"]:
+        """Batch ingestion context: backend rows are buffered into single
+        bulk inserts and the R-tree is rebuilt once with STR packing
+        instead of per-triple incremental inserts.  Nestable; the flush
+        happens when the outermost context exits."""
+        self._bulk_depth += 1
+        try:
+            yield self
+        finally:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                self._flush_bulk()
+
+    def _flush_bulk(self) -> None:
+        if self._bulk_term_rows:
+            self.backend.insert_rows("terms", self._bulk_term_rows)
+            self._bulk_term_rows = []
+        if self._bulk_triple_rows:
+            self.backend.insert_rows("triples", self._bulk_triple_rows)
+            self._bulk_triple_rows = []
+        self._rebuild_rtree()
+
+    def _rebuild_rtree(self) -> None:
+        """Rebuild the spatial index from scratch with STR bulk loading."""
+        self._rtree = RTree.bulk_load(
+            ((env, lit) for lit, env in self._geo_envelopes.items()),
+            max_entries=16,
+        )
 
     def remove(self, pattern: Tuple) -> int:
         """Remove triples matching the (wildcardable) pattern."""
@@ -103,14 +149,14 @@ class StrabonStore:
         if count > 0:
             return
         try:
-            geom = strdf.literal_geometry(literal)
+            env = self.geometries.envelope(literal)
         except strdf.StRDFError:
             return  # malformed WKT: stored but not spatially indexed
-        env = geom.envelope
         if env.is_empty:
             return
         self._geo_envelopes[literal] = env
-        self._rtree.insert(env, literal)
+        if not self._bulk_depth:  # bulk flush rebuilds the tree instead
+            self._rtree.insert(env, literal)
 
     def _unindex_geometry(self, literal: Literal) -> None:
         count = self._geo_refcount.get(literal, 0)
@@ -119,6 +165,9 @@ class StrabonStore:
             env = self._geo_envelopes.pop(literal, None)
             if env is not None:
                 self._rtree.remove(env, literal)
+            # Last reference gone: drop the interned parse to bound
+            # memory (re-adding the literal re-parses it).
+            self.geometries.discard(literal)
         else:
             self._geo_refcount[literal] = count - 1
 
@@ -151,8 +200,30 @@ class StrabonStore:
         return self._graph
 
     def load_graph(self, graph: Graph) -> int:
-        """Bulk-add every triple of ``graph``; returns count added."""
-        return sum(1 for t in graph if self.add(t))
+        """Bulk-add every triple of ``graph``; returns count added.
+
+        Runs inside :meth:`bulk`: backend rows are inserted in one batch
+        and the R-tree is rebuilt once with STR packing.
+        """
+        with self.bulk():
+            return sum(1 for t in graph if self.add(t))
+
+    def clear(self) -> None:
+        """Remove every triple, resetting all indexes and caches.
+
+        The R-tree is replaced wholesale rather than emptied entry by
+        entry; prepared plans survive (they do not depend on the data)
+        but interned geometries are dropped.
+        """
+        self._graph.clear()
+        self.backend.execute("DELETE FROM terms")
+        self.backend.execute("DELETE FROM triples")
+        self._term_ids.clear()
+        self._next_id = 0
+        self._rtree = RTree(max_entries=16)
+        self._geo_envelopes.clear()
+        self._geo_refcount.clear()
+        self.geometries.clear()
 
     def load_turtle(self, text: str) -> int:
         return self.load_graph(parse_turtle(text))
@@ -187,8 +258,14 @@ class StrabonStore:
     # -- query / update ---------------------------------------------------------------
 
     def query(self, text: str) -> QueryResult:
-        """Run an stSPARQL SELECT/ASK/CONSTRUCT query."""
-        parsed = parse_query(text)
+        """Run an stSPARQL SELECT/ASK/CONSTRUCT query.
+
+        Parsed plans are cached by query text (the algebra is immutable),
+        so repeated queries skip lexing/parsing/translation entirely.
+        """
+        parsed = self.plan_cache.get_or_compute(
+            ("query", text), lambda: parse_query(text)
+        )
         evaluator = Evaluator(
             self, use_spatial_index=self.use_spatial_index
         )
@@ -204,11 +281,19 @@ class StrabonStore:
 
     def update(self, text: str) -> int:
         """Run one or more stSPARQL update operations; returns the total
-        number of triples added plus removed."""
+        number of triples added plus removed.
+
+        Update plans are cached like query plans: the parsed operations
+        are pure templates re-instantiated against current data on every
+        call, so a cached plan can never replay stale solutions.
+        """
+        ops = self.plan_cache.get_or_compute(
+            ("update", text), lambda: parse_update(text)
+        )
         evaluator = Evaluator(
             self, use_spatial_index=self.use_spatial_index
         )
-        return sum(evaluator.update(op) for op in parse_update(text))
+        return sum(evaluator.update(op) for op in ops)
 
     def __repr__(self) -> str:
         return (

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import re
 from datetime import datetime
-from typing import Tuple
+from typing import Optional, Tuple
 
-from repro.geometry import Geometry, from_wkt, to_wkt
+from repro.cache import CacheStats, LRUCache
+from repro.geometry import Envelope, Geometry, from_wkt, to_wkt
 from repro.geometry.wkt import WKTParseError
 from repro.rdf.namespace import GEO, STRDF
 from repro.rdf.term import Literal, RDFTerm, URIRef
@@ -90,6 +91,59 @@ def literal_geometry(term: RDFTerm) -> Geometry:
         return from_wkt(text, default_srid=srid)
     except WKTParseError as exc:
         raise StRDFError(f"bad WKT literal: {exc}") from exc
+
+
+class GeometryInterner:
+    """Memo from WKT literal → (parsed geometry, envelope).
+
+    A WKT literal's geometry is a pure function of its lexical form, so
+    entries can never go stale; the interner exists to stop spatial
+    FILTERs and R-tree maintenance from re-parsing the same literal per
+    row.  The owning store still drops entries when the last triple
+    referencing a literal is removed (and on :meth:`clear`) to bound
+    memory across workload shifts.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self, maxsize: int = 8192):
+        self._cache = LRUCache(maxsize=maxsize)
+
+    def geometry(self, term: RDFTerm) -> Geometry:
+        """Parsed geometry of a WKT literal (cached)."""
+        return self._entry(term)[0]
+
+    def envelope(self, term: RDFTerm) -> Envelope:
+        """Envelope of a WKT literal's geometry (cached)."""
+        return self._entry(term)[1]
+
+    def _entry(self, term: RDFTerm) -> Tuple[Geometry, Envelope]:
+        try:
+            entry = self._cache.get(term)
+        except TypeError:  # unhashable — parse without caching
+            geom = literal_geometry(term)
+            return geom, geom.envelope
+        if entry is None:
+            geom = literal_geometry(term)
+            entry = (geom, geom.envelope)
+            self._cache.put(term, entry)
+        return entry
+
+    def discard(self, term: RDFTerm) -> None:
+        try:
+            self._cache.invalidate(term)
+        except TypeError:
+            pass
+
+    def clear(self, reset_stats: bool = False) -> None:
+        self._cache.clear(reset_stats=reset_stats)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
 
 
 def period_literal(start: datetime, end: datetime) -> Literal:

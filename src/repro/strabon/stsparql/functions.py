@@ -28,12 +28,21 @@ from repro.strabon.stsparql.errors import StSPARQLError
 
 
 class EvalContext:
-    """Shared evaluation state: the geometry parse cache."""
+    """Shared evaluation state: the geometry parse cache.
 
-    def __init__(self):
+    When an ``interner`` (a :class:`repro.strabon.strdf.GeometryInterner`,
+    typically owned by the store) is supplied, parsed geometries are
+    shared across queries; otherwise a private per-context dict gives the
+    old per-query memoisation.
+    """
+
+    def __init__(self, interner=None):
+        self._interner = interner
         self._geometry_cache: Dict[Any, Geometry] = {}
 
     def geometry(self, term) -> Geometry:
+        if self._interner is not None:
+            return self._interner.geometry(term)
         try:
             return self._geometry_cache[term]
         except KeyError:

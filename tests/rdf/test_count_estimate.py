@@ -1,0 +1,66 @@
+"""Graph.count_estimate must agree with materialised pattern matches."""
+
+import pytest
+
+from repro.rdf import Literal, Namespace
+from repro.rdf.graph import Graph
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    for i in range(10):
+        g.add((EX[f"s{i % 3}"], EX.p, Literal(i)))
+    g.add((EX.s0, EX.q, EX.s1))
+    g.add((EX.s1, EX.q, EX.s2))
+    return g
+
+
+ALL_PATTERNS = [
+    (EX.s0, EX.p, Literal(0)),
+    (EX.s0, EX.p, Literal(1)),  # absent: s0 holds 0,3,6,9
+    (EX.s0, EX.p, None),
+    (None, EX.p, Literal(3)),
+    (EX.s0, None, EX.s1),
+    (EX.s0, None, None),
+    (None, EX.p, None),
+    (None, EX.q, None),
+    (None, None, EX.s2),
+    (None, None, Literal(7)),
+    (None, None, None),
+    (EX.missing, None, None),
+    (None, EX.missing, None),
+    (None, None, EX.missing),
+]
+
+
+@pytest.mark.parametrize("pattern", ALL_PATTERNS)
+def test_estimate_is_exact_match_count(graph, pattern):
+    assert graph.count_estimate(pattern) == sum(
+        1 for _ in graph.triples(pattern)
+    )
+
+
+def test_counters_track_removal(graph):
+    graph.remove((EX.s0, EX.p, None))
+    assert graph.count_estimate((EX.s0, None, None)) == 1  # the q triple
+    assert graph.count_estimate((None, EX.p, None)) == 6
+    graph.remove((None, None, None))
+    for pattern in ALL_PATTERNS:
+        assert graph.count_estimate(pattern) == 0
+
+
+def test_counters_ignore_duplicate_adds(graph):
+    before = graph.count_estimate((None, EX.p, None))
+    graph.add((EX.s0, EX.p, Literal(0)))  # already present
+    assert graph.count_estimate((None, EX.p, None)) == before
+
+
+def test_clear_resets_counters(graph):
+    graph.clear()
+    assert graph.count_estimate((None, None, None)) == 0
+    assert graph.count_estimate((EX.s0, None, None)) == 0
+    graph.add((EX.s0, EX.p, Literal(1)))
+    assert graph.count_estimate((EX.s0, None, None)) == 1

@@ -1,0 +1,130 @@
+"""Bulk R-tree loading: spatial results must be identical to the
+incremental path, and clear() must fully reset the store."""
+
+import pytest
+
+from repro.geometry import Point, Polygon
+from repro.rdf import Literal, Namespace, URIRef
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF
+from repro.strabon import StrabonStore, geometry_literal
+
+EX = Namespace("http://example.org/")
+PREFIXES = (
+    "PREFIX ex: <http://example.org/>\n"
+    "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+)
+
+SPATIAL_QUERY = (
+    PREFIXES
+    + "SELECT ?h WHERE { ?h ex:geom ?g . "
+    'FILTER(strdf:intersects(?g, '
+    '"POLYGON ((20 20, 60 20, 60 60, 20 60, 20 20))"^^strdf:WKT)) }'
+)
+
+BGP_QUERY = PREFIXES + "SELECT ?h ?s WHERE { ?h ex:sensor ?s }"
+
+
+def catalog_graph(n: int = 120) -> Graph:
+    g = Graph()
+    type_iri = URIRef(str(RDF) + "type")
+    for i in range(n):
+        node = EX[f"h{i}"]
+        x = (i * 37) % 100
+        y = (i * 59) % 100
+        g.add((node, type_iri, EX.Hotspot))
+        g.add((node, EX.sensor, EX[f"seviri{i % 5}"]))
+        g.add((node, EX.conf, Literal((i % 100) / 100.0)))
+        g.add((node, EX.geom, geometry_literal(Point(x, y))))
+    return g
+
+
+def rows_set(store, query):
+    return {tuple(row) for row in store.query(query).rows()}
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_incremental_spatial_results(self):
+        graph = catalog_graph()
+        incremental = StrabonStore()
+        for triple in graph:
+            incremental.add(triple)
+        bulk = StrabonStore()
+        bulk.load_graph(graph)
+
+        assert len(bulk) == len(incremental)
+        expected = rows_set(incremental, SPATIAL_QUERY)
+        assert expected  # the workload must actually select something
+        assert rows_set(bulk, SPATIAL_QUERY) == expected
+        assert rows_set(bulk, BGP_QUERY) == rows_set(
+            incremental, BGP_QUERY
+        )
+
+    def test_bulk_load_builds_packed_rtree(self):
+        graph = catalog_graph()
+        bulk = StrabonStore()
+        bulk.load_graph(graph)
+        # The tree holds every distinct geometry and is actually packed
+        # (multi-level for 100+ entries at fan-out 16).
+        assert len(bulk._rtree) == len(bulk._geo_envelopes)
+        assert bulk._rtree.height() > 1
+
+    def test_incremental_adds_after_bulk_load_are_indexed(self):
+        bulk = StrabonStore()
+        bulk.load_graph(catalog_graph())
+        bulk.add(
+            (EX.extra, EX.geom, geometry_literal(Point(40.5, 40.5)))
+        )
+        assert (EX.extra,) in set(bulk.query(SPATIAL_QUERY).rows())
+
+    def test_nested_bulk_flushes_once_at_outermost_exit(self):
+        store = StrabonStore()
+        with store.bulk():
+            with store.bulk():
+                store.add(
+                    (EX.a, EX.geom, geometry_literal(Point(30, 30)))
+                )
+            # Inner exit must not flush: still buffering.
+            assert store._bulk_depth == 1
+            store.add((EX.b, EX.geom, geometry_literal(Point(31, 31))))
+        assert store._bulk_depth == 0
+        assert len(store._rtree) == 2
+        assert store.backend.scalar("SELECT COUNT(*) FROM triples") == 2
+
+    def test_backend_rows_match_after_bulk(self):
+        graph = catalog_graph(30)
+        bulk = StrabonStore()
+        bulk.load_graph(graph)
+        n = bulk.backend.scalar("SELECT COUNT(*) FROM triples")
+        assert n == len(graph) == len(bulk)
+
+
+class TestClear:
+    def test_clear_resets_everything(self):
+        store = StrabonStore()
+        store.load_graph(catalog_graph())
+        assert rows_set(store, SPATIAL_QUERY)
+        store.clear()
+        assert len(store) == 0
+        assert len(store._rtree) == 0
+        assert store.backend.scalar("SELECT COUNT(*) FROM terms") == 0
+        assert store.backend.scalar("SELECT COUNT(*) FROM triples") == 0
+        assert rows_set(store, SPATIAL_QUERY) == set()
+
+    def test_reload_after_clear_gives_identical_results(self):
+        graph = catalog_graph()
+        store = StrabonStore()
+        store.load_graph(graph)
+        before = rows_set(store, SPATIAL_QUERY)
+        store.clear()
+        store.load_graph(graph)
+        assert rows_set(store, SPATIAL_QUERY) == before
+
+    def test_clear_preserves_term_id_freshness(self):
+        store = StrabonStore()
+        store.add((EX.a, EX.p, EX.b))
+        store.clear()
+        store.add((EX.a, EX.p, EX.b))
+        # One triple, three terms, consistent backend rows.
+        assert len(store) == 1
+        assert store.backend.scalar("SELECT COUNT(*) FROM terms") == 3

@@ -1,0 +1,84 @@
+"""LRUCache eviction order, statistics and invalidation."""
+
+import pytest
+
+from repro.cache import LRUCache
+
+
+def test_get_or_compute_caches_value():
+    cache = LRUCache(maxsize=4)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "value"
+
+    assert cache.get_or_compute("k", compute) == "value"
+    assert cache.get_or_compute("k", compute) == "value"
+    assert len(calls) == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_evicts_least_recently_used():
+    cache = LRUCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh a → b is now oldest
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert cache.stats.evictions == 1
+
+
+def test_put_existing_key_updates_without_eviction():
+    cache = LRUCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)
+    assert cache.get("a") == 10
+    assert "b" in cache
+    assert cache.stats.evictions == 0
+
+
+def test_invalidate_and_clear():
+    cache = LRUCache(maxsize=4)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.invalidate("a") is True
+    assert cache.invalidate("a") is False
+    assert cache.stats.invalidations == 1
+    cache.clear()
+    assert len(cache) == 0
+    # clear() counts one invalidation per dropped entry ("b" remained)
+    assert cache.stats.invalidations == 2
+    cache.clear(reset_stats=True)
+    assert cache.stats.invalidations == 0
+
+
+def test_hit_rate():
+    cache = LRUCache(maxsize=4)
+    assert cache.stats.hit_rate == 0.0
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("a")
+    cache.get("missing")
+    assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_none_values_are_cached():
+    cache = LRUCache(maxsize=4)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return None
+
+    assert cache.get_or_compute("k", compute) is None
+    assert cache.get_or_compute("k", compute) is None
+    assert len(calls) == 1
+
+
+def test_maxsize_must_be_positive():
+    with pytest.raises(ValueError):
+        LRUCache(maxsize=0)
