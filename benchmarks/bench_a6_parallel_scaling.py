@@ -1,0 +1,257 @@
+"""Experiment A6 — parallel tiled execution: worker-count scaling.
+
+Three tiers run the same workload down their serial baseline path and
+their parallel path at increasing worker counts, verifying in-run that
+the parallel output is identical to the serial output:
+
+* **sciql** — tiled row-band evaluation of SciQL map / tile_aggregate /
+  count_where over a large array versus the single-pass serial kernels.
+  Tiling pays off with physical cores; on a single-CPU host it should
+  simply not lose (the acceptance bar here is closeness to 1x, and the
+  merged planes must stay bit-identical).
+* **noa** — ``ProcessingChain.run_batch`` over an acquisition archive
+  versus sequential ``run`` calls.  The batch path wins architecturally
+  even on one core: all RDF output merges into a single
+  ``StrabonStore.bulk`` emit, so the spatial index is STR-rebuilt once
+  per batch instead of twice per acquisition (ingestion metadata +
+  hotspot emit) over an already geometry-rich store.
+* **rtree** — ``RTree.query_batch`` versus per-envelope ``query`` tree
+  walks: each probe becomes one vectorised intersection pass over the
+  packed leaf snapshot.
+
+Results land in ``BENCH_parallel.json`` (workers → wall seconds and
+speedup per tier).  Acceptance (ISSUE): >= 2x at 4 workers on at least
+two tiers, outputs verified identical to serial in the same run.
+"""
+
+import json
+import os
+import random
+import statistics
+import time
+
+import numpy as np
+
+from repro.eo import SceneSpec, generate_scene, write_scene
+from repro.geometry import Envelope, Point, RTree
+from repro.ingest import Ingestor
+from repro.mdb import DOUBLE, Database
+from repro.mdb.sciql import Dimension, SciArray
+from repro.noa import ProcessingChain
+from repro.rdf import Namespace
+from repro.strabon import StrabonStore, geometry_literal
+from repro.vo import VirtualEarthObservatory
+
+EX = Namespace("http://example.org/")
+
+WORKER_COUNTS = [1, 2, 4, 8]
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_parallel.json",
+)
+
+#: Collected tier results, dumped once at the end of the module.
+_RESULTS = {"workers": WORKER_COUNTS, "tiers": {}}
+
+
+def _median_time(fn, repeats=3):
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def _record(tier, baseline, timings):
+    entry = {
+        "baseline_seconds": baseline,
+        "parallel_seconds": {str(w): t for w, t in timings.items()},
+        "speedup": {
+            str(w): baseline / t for w, t in timings.items()
+        },
+    }
+    _RESULTS["tiers"][tier] = entry
+    line = " ".join(
+        f"w{w}={t:.3f}s({baseline / t:.2f}x)" for w, t in timings.items()
+    )
+    print(f"\n[A6/{tier}] serial={baseline:.3f}s {line}")
+    _dump()
+
+
+def _dump():
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# -- tier 1: SciQL tiled kernels ---------------------------------------------
+
+
+def _sciql_array(shape=(1500, 1500), seed=6):
+    rng = np.random.default_rng(seed)
+    arr = SciArray(
+        "msg",
+        [Dimension(f"d{i}", 0, s) for i, s in enumerate(shape)],
+        [("v", DOUBLE)],
+    )
+    arr.set_attribute("v", rng.uniform(250.0, 340.0, size=shape))
+    return arr
+
+
+def _sciql_pass(arr, workers):
+    kernel = lambda a: np.sqrt(np.abs(a - 300.0)) * 1.7 + np.tanh(a / 100.0)
+    arr.map(kernel, workers=workers)
+    tiles = arr.tile_aggregate((8, 8), "mean", workers=workers)
+    hot = arr.count_where(lambda a: a > 9.0, workers=workers)
+    return arr.attribute("v").tobytes(), tiles.attribute("v").tobytes(), hot
+
+
+def test_sciql_tier():
+    reference = _sciql_pass(_sciql_array(), workers=1)
+    baseline = _median_time(
+        lambda: _sciql_pass(_sciql_array(), workers=1)
+    )
+    timings = {}
+    for w in WORKER_COUNTS:
+        assert _sciql_pass(_sciql_array(), workers=w) == reference
+        timings[w] = _median_time(
+            lambda: _sciql_pass(_sciql_array(), workers=w)
+        )
+    _record("sciql", baseline, timings)
+
+
+# -- tier 2: NOA chain batch --------------------------------------------------
+
+
+def _noa_archive(directory, n_scenes=5):
+    vo = VirtualEarthObservatory()
+    paths = []
+    for k in range(n_scenes):
+        spec = SceneSpec(
+            width=96, height=96, seed=60 + k, n_fires=0, n_glints=1
+        )
+        scene = generate_scene(
+            spec,
+            vo.world.land,
+            fire_seeds=[(21.63, 37.7), (22.5, 38.5), (23.4, 38.05)],
+        )
+        path = os.path.join(directory, f"scene_{k:03d}.nat")
+        write_scene(scene, path)
+        paths.append(path)
+    return paths
+
+
+def _geometry_rich_chain(n_geometries=25000):
+    """A chain whose store already indexes a large geometry population,
+    the steady state of a long-running observatory."""
+    rng = random.Random(3)
+    store = StrabonStore()
+    with store.bulk():
+        for k in range(n_geometries):
+            store.add(
+                (
+                    EX[f"g{k}"],
+                    EX.geom,
+                    geometry_literal(
+                        Point(rng.uniform(0, 100), rng.uniform(0, 100))
+                    ),
+                )
+            )
+    return ProcessingChain(Ingestor(Database(), store))
+
+
+def _noa_summary(results):
+    return [
+        (
+            r.source_product.product_id,
+            [
+                (h.geometry.wkt, h.confidence, h.pixel_count)
+                for h in r.hotspots
+            ],
+            frozenset(r.rdf),
+        )
+        for r in results
+    ]
+
+
+def test_noa_tier(tmp_path):
+    paths = _noa_archive(str(tmp_path))
+
+    t0 = time.perf_counter()
+    reference_chain = _geometry_rich_chain()
+    setup = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    reference = _noa_summary(
+        [reference_chain.run(p) for p in paths]
+    )
+    baseline = time.perf_counter() - t0
+    print(
+        f"\n[A6/noa] store setup {setup:.2f}s, sequential runs "
+        f"{baseline:.2f}s over {len(paths)} acquisitions"
+    )
+
+    timings = {}
+    for w in WORKER_COUNTS:
+        chain = _geometry_rich_chain()
+        t0 = time.perf_counter()
+        results = chain.run_batch(paths, workers=w)
+        timings[w] = time.perf_counter() - t0
+        assert _noa_summary(results) == reference
+        assert set(chain.ingestor.store.triples()) == set(
+            reference_chain.ingestor.store.triples()
+        )
+    _record("noa", baseline, timings)
+
+
+# -- tier 3: bulk spatial filtering -------------------------------------------
+
+
+def _rtree_workload(n_entries=80000, n_probes=600, seed=11):
+    rng = random.Random(seed)
+
+    def make(max_side):
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        return Envelope(
+            x, y, x + rng.uniform(0, max_side), y + rng.uniform(0, max_side)
+        )
+
+    tree = RTree.bulk_load(
+        ((make(4.0), k) for k in range(n_entries)), max_entries=16
+    )
+    probes = [make(120.0) for _ in range(n_probes)]
+    return tree, probes
+
+
+def test_rtree_tier():
+    tree, probes = _rtree_workload()
+
+    reference = [tree.query(p) for p in probes]
+    baseline = _median_time(
+        lambda: [tree.query(p) for p in probes]
+    )
+    timings = {}
+    for w in WORKER_COUNTS:
+        assert tree.query_batch(probes, workers=w) == reference
+        timings[w] = _median_time(
+            lambda: tree.query_batch(probes, workers=w)
+        )
+    _record("rtree", baseline, timings)
+
+
+def test_acceptance_summary():
+    """>= 2x at 4 workers on at least two of the three tiers."""
+    tiers = _RESULTS["tiers"]
+    assert set(tiers) == {"sciql", "noa", "rtree"}
+    at_four = {
+        name: entry["speedup"]["4"] for name, entry in tiers.items()
+    }
+    winners = [name for name, s in at_four.items() if s >= 2.0]
+    print(
+        "\n[A6] speedup at 4 workers: "
+        + " ".join(f"{n}={s:.2f}x" for n, s in sorted(at_four.items()))
+        + f" -> >=2x on {sorted(winners)}"
+    )
+    assert len(winners) >= 2, at_four
+    assert os.path.exists(RESULTS_PATH)

@@ -10,6 +10,7 @@ from datetime import datetime, timedelta
 
 import pytest
 
+from repro import parallel
 from repro.eo import SceneSpec, generate_scene, write_scene
 from repro.vo import VirtualEarthObservatory
 
@@ -52,3 +53,11 @@ def observatory(tmp_path_factory):
     paths = build_archive(str(tmp), vo.world)
     vo.ingest_archive(str(tmp))
     return vo, paths
+
+
+@pytest.fixture(scope="session")
+def workers():
+    """Worker count the benchmark session runs with (``REPRO_WORKERS``)."""
+    count = parallel.resolve_workers()
+    print(f"\n[bench] REPRO_WORKERS -> {count} worker(s)")
+    return count

@@ -9,6 +9,7 @@ cache effectiveness, so every lookup is accounted.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Iterator, Optional
 
@@ -51,10 +52,18 @@ class LRUCache:
     Recency is maintained with the insertion order of the backing dict
     (re-inserting on access moves a key to the most-recent end), which
     keeps ``get``/``put`` O(1) without a linked list.
+
+    The cache is thread-safe: the plan caches and the geometry interner
+    are shared across the worker pool (:mod:`repro.parallel`), so every
+    mutating operation — including the recency reshuffle inside ``get``
+    — runs under one re-entrant lock.  ``get_or_compute`` holds the lock
+    across the compute so concurrent callers of the same key compute it
+    once (re-entrant, so a compute may itself consult the cache).
     """
 
     __slots__ = (
-        "_data", "maxsize", "hits", "misses", "evictions", "invalidations",
+        "_data", "_lock", "maxsize",
+        "hits", "misses", "evictions", "invalidations",
     )
 
     def __init__(self, maxsize: int = 128):
@@ -62,6 +71,7 @@ class LRUCache:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
         self._data: Dict[Hashable, Any] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -71,23 +81,25 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (refreshing recency) or ``default``."""
-        value = self._data.pop(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._data[key] = value  # move to most-recent position
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.pop(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data[key] = value  # move to most-recent position
+            self.hits += 1
+            return value
 
     def get_or_compute(
         self, key: Hashable, compute: Callable[[], Any]
     ) -> Any:
         """Return the cached value, computing and storing it on a miss."""
-        value = self.get(key, _MISSING)
-        if value is _MISSING:
-            value = compute()
-            self.put(key, value)
-        return value
+        with self._lock:
+            value = self.get(key, _MISSING)
+            if value is _MISSING:
+                value = compute()
+                self.put(key, value)
+            return value
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data  # no stats impact: a peek, not a lookup
@@ -102,44 +114,49 @@ class LRUCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/replace an entry, evicting the LRU entry when full."""
-        if key in self._data:
-            del self._data[key]
-        elif len(self._data) >= self.maxsize:
-            oldest = next(iter(self._data))
-            del self._data[oldest]
-            self.evictions += 1
-        self._data[key] = value
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+            elif len(self._data) >= self.maxsize:
+                oldest = next(iter(self._data))
+                del self._data[oldest]
+                self.evictions += 1
+            self._data[key] = value
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it was present."""
-        if self._data.pop(key, _MISSING) is _MISSING:
-            return False
-        self.invalidations += 1
-        return True
+        with self._lock:
+            if self._data.pop(key, _MISSING) is _MISSING:
+                return False
+            self.invalidations += 1
+            return True
 
     def clear(self, reset_stats: bool = False) -> None:
         """Drop every entry (counted as one invalidation per entry)."""
-        self.invalidations += len(self._data)
-        self._data.clear()
-        if reset_stats:
-            self.reset_stats()
+        with self._lock:
+            self.invalidations += len(self._data)
+            self._data.clear()
+            if reset_stats:
+                self.reset_stats()
 
     def reset_stats(self) -> None:
-        self.hits = self.misses = 0
-        self.evictions = self.invalidations = 0
+        with self._lock:
+            self.hits = self.misses = 0
+            self.evictions = self.invalidations = 0
 
     # -- reporting -----------------------------------------------------------
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            invalidations=self.invalidations,
-            size=len(self._data),
-            maxsize=self.maxsize,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                invalidations=self.invalidations,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
 
     @property
     def hit_rate(self) -> float:

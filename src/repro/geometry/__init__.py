@@ -15,7 +15,7 @@ Quick example::
     assert abs(poly.area - 100.0) < 1e-9
 """
 
-from repro.geometry.envelope import Envelope
+from repro.geometry.envelope import Envelope, PackedEnvelopes
 from repro.geometry.base import Geometry, GeometryError
 from repro.geometry.point import Point
 from repro.geometry.linestring import LineString, LinearRing
@@ -51,6 +51,7 @@ __all__ = [
     "MultiLineString",
     "MultiPoint",
     "MultiPolygon",
+    "PackedEnvelopes",
     "Point",
     "Polygon",
     "RTree",

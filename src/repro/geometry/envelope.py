@@ -2,13 +2,18 @@
 
 Envelopes are the currency of the R-tree index and of every cheap spatial
 pre-filter in the system: predicates first reject on envelopes before running
-the exact geometry test.
+the exact geometry test.  :class:`PackedEnvelopes` stores many envelopes as
+numpy struct-of-arrays so batch workloads (``RTree.query_batch``, the
+stSPARQL vectorised FILTER prefilter) test thousands of envelopes with four
+array comparisons instead of a Python loop.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
 
 
 class Envelope:
@@ -189,3 +194,101 @@ class Envelope:
             f"Envelope({self.minx!r}, {self.miny!r}, "
             f"{self.maxx!r}, {self.maxy!r})"
         )
+
+
+class PackedEnvelopes:
+    """``n`` envelopes packed into four float64 arrays.
+
+    The layout keeps batch predicates vectorised: one intersection test
+    against ``n`` envelopes is four array comparisons.  Empty envelopes
+    pack as ``(+inf, +inf, -inf, -inf)`` and therefore fail every
+    comparison, matching :meth:`Envelope.intersects` exactly.
+    """
+
+    __slots__ = ("minx", "miny", "maxx", "maxy")
+
+    def __init__(
+        self,
+        minx: np.ndarray,
+        miny: np.ndarray,
+        maxx: np.ndarray,
+        maxy: np.ndarray,
+    ):
+        self.minx = np.asarray(minx, dtype=np.float64)
+        self.miny = np.asarray(miny, dtype=np.float64)
+        self.maxx = np.asarray(maxx, dtype=np.float64)
+        self.maxy = np.asarray(maxy, dtype=np.float64)
+        if not (
+            self.minx.shape == self.miny.shape
+            == self.maxx.shape == self.maxy.shape
+        ) or self.minx.ndim != 1:
+            raise ValueError("packed bounds must be equal-length 1-D arrays")
+
+    @classmethod
+    def pack(cls, envelopes: Sequence["Envelope"]) -> "PackedEnvelopes":
+        """Pack a sequence of envelopes (order preserved)."""
+        n = len(envelopes)
+        minx = np.empty(n, dtype=np.float64)
+        miny = np.empty(n, dtype=np.float64)
+        maxx = np.empty(n, dtype=np.float64)
+        maxy = np.empty(n, dtype=np.float64)
+        for i, env in enumerate(envelopes):
+            minx[i] = env.minx
+            miny[i] = env.miny
+            maxx[i] = env.maxx
+            maxy[i] = env.maxy
+        return cls(minx, miny, maxx, maxy)
+
+    def __len__(self) -> int:
+        return self.minx.shape[0]
+
+    def get(self, index: int) -> Envelope:
+        """The envelope at ``index`` (unpacked)."""
+        return Envelope(
+            self.minx[index], self.miny[index],
+            self.maxx[index], self.maxy[index],
+        )
+
+    def intersects(self, envelope: Envelope) -> np.ndarray:
+        """Boolean mask: which packed envelopes intersect ``envelope``."""
+        if envelope.is_empty or len(self) == 0:
+            return np.zeros(len(self), dtype=bool)
+        return (
+            (self.minx <= envelope.maxx)
+            & (envelope.minx <= self.maxx)
+            & (self.miny <= envelope.maxy)
+            & (envelope.miny <= self.maxy)
+        )
+
+    def intersecting(self, envelope: Envelope) -> np.ndarray:
+        """Indices (ascending) of packed envelopes intersecting
+        ``envelope``."""
+        return np.flatnonzero(self.intersects(envelope))
+
+    def contains_points(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Boolean matrix ``(len(self), len(x))``: envelope i contains
+        point j (boundary inclusive)."""
+        x = np.asarray(x, dtype=np.float64)[np.newaxis, :]
+        y = np.asarray(y, dtype=np.float64)[np.newaxis, :]
+        return (
+            (self.minx[:, np.newaxis] <= x) & (x <= self.maxx[:, np.newaxis])
+            & (self.miny[:, np.newaxis] <= y) & (y <= self.maxy[:, np.newaxis])
+        )
+
+    def union_envelope(self) -> Envelope:
+        """The envelope covering every non-empty packed entry."""
+        valid = self.minx <= self.maxx
+        if not valid.any():
+            return Envelope.empty()
+        return Envelope(
+            float(self.minx[valid].min()),
+            float(self.miny[valid].min()),
+            float(self.maxx[valid].max()),
+            float(self.maxy[valid].max()),
+        )
+
+    def unpack(self) -> List[Envelope]:
+        return [self.get(i) for i in range(len(self))]
+
+    def __repr__(self) -> str:
+        return f"<PackedEnvelopes n={len(self)}>"

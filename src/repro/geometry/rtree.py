@@ -4,15 +4,23 @@ Supports both incremental insertion (Guttman's quadratic-split R-tree) and
 Sort-Tile-Recursive (STR) bulk loading.  The Strabon store uses it to
 accelerate stSPARQL spatial filters; benchmark ``A1`` measures exactly this
 index against a full scan.
+
+For *batch* spatial filtering (many probe envelopes against one tree —
+the shape of a spatial FILTER applied across many solutions),
+:meth:`RTree.query_batch` snapshots every leaf entry into packed numpy
+envelope arrays (:class:`repro.geometry.envelope.PackedEnvelopes`) and
+answers each probe with one vectorised intersection pass, optionally
+fanning the probes out over the shared worker pool.  Results are
+identical to per-probe :meth:`RTree.query` calls, including item order.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.geometry.envelope import Envelope
+from repro.geometry.envelope import Envelope, PackedEnvelopes
 
 
 class _Node:
@@ -45,6 +53,9 @@ class RTree:
         self._min = max(2, max_entries // 2)
         self._root = _Node(leaf=True)
         self._size = 0
+        # Packed leaf-entry snapshot for query_batch, built lazily and
+        # dropped on any structural mutation.
+        self._packed: Optional[Tuple[PackedEnvelopes, List[Any]]] = None
 
     # -- construction -------------------------------------------------------
 
@@ -103,6 +114,7 @@ class RTree:
         """Insert an item under its envelope."""
         if envelope.is_empty:
             raise ValueError("cannot index an empty envelope")
+        self._packed = None
         split = self._insert(self._root, envelope, item)
         if split is not None:
             old_root = self._root
@@ -213,6 +225,7 @@ class RTree:
         leaf = self._find_leaf(self._root, envelope, item, path)
         if leaf is None:
             return False
+        self._packed = None
         leaf.entries = [
             (env, it)
             for env, it in leaf.entries
@@ -308,6 +321,63 @@ class RTree:
     def query_point(self, x: float, y: float) -> List[Any]:
         """All items whose envelopes contain the point."""
         return self.query(Envelope.of_point(x, y))
+
+    def packed_entries(self) -> Tuple[PackedEnvelopes, List[Any]]:
+        """Every leaf entry as (packed envelopes, parallel item list).
+
+        The snapshot is ordered exactly as :meth:`iter_query` visits
+        entries (both walk the same DFS stack), cached until the next
+        structural mutation.
+        """
+        if self._packed is None:
+            envelopes: List[Envelope] = []
+            items: List[Any] = []
+            for env, item in self.items():
+                envelopes.append(env)
+                items.append(item)
+            self._packed = (PackedEnvelopes.pack(envelopes), items)
+        return self._packed
+
+    def query_batch(
+        self,
+        envelopes: Sequence[Envelope],
+        workers: Optional[int] = None,
+        scheduler=None,
+    ) -> List[List[Any]]:
+        """Batch query: one result list per probe envelope.
+
+        Equivalent to ``[self.query(e) for e in envelopes]`` (same items,
+        same order) but each probe is a vectorised intersection test over
+        the packed leaf snapshot, and probes fan out across the shared
+        worker pool (``workers``/``REPRO_WORKERS``; numpy releases the
+        GIL during the comparisons).
+        """
+        from repro import parallel
+
+        envelopes = list(envelopes)
+        if not envelopes:
+            return []
+        if self._size == 0:
+            return [[] for _ in envelopes]
+        packed, items = self.packed_entries()
+
+        def probe(envelope: Envelope) -> List[Any]:
+            # tolist() converts indices to plain ints in one C pass —
+            # iterating numpy scalars dominates this loop otherwise.
+            hits = packed.intersecting(envelope).tolist()
+            return [items[i] for i in hits]
+
+        sched = parallel.get_scheduler(scheduler, workers)
+        if sched.workers == 1 or len(envelopes) == 1:
+            return [probe(envelope) for envelope in envelopes]
+        # Band the probes so each worker gets a few chunky tasks rather
+        # than one queue round-trip per probe.
+        bands = parallel.split_bands(len(envelopes), sched.workers * 2)
+        parts = sched.map(
+            lambda band: [probe(e) for e in envelopes[band[0]:band[1]]],
+            bands,
+        )
+        return [result for part in parts for result in part]
 
     def nearest(
         self,

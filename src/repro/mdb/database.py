@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -108,20 +109,27 @@ class Database:
         # ASTs are immutable, so repeated query texts (the dominant shape
         # of catalog-serving workloads) skip the lexer and parser.
         self.plan_cache = LRUCache(maxsize=256)
+        # One statement executes at a time: the executor and catalog are
+        # not internally concurrent, so the worker pool (parallel NOA
+        # batches) serialises on this re-entrant lock.  Callers doing
+        # multi-statement catalog surgery may hold it across statements.
+        self.lock = threading.RLock()
 
     def execute(self, sql: str) -> Result:
         """Parse and execute one statement (plans cached by SQL text)."""
         stmt = self.plan_cache.get_or_compute(
             sql, lambda: parse_statement(sql)
         )
-        return self._executor.execute(stmt)
+        with self.lock:
+            return self._executor.execute(stmt)
 
     def execute_script(self, sql: str) -> List[Result]:
         """Execute a ';'-separated script; returns one Result per statement."""
         stmts = self.plan_cache.get_or_compute(
             ("script", sql), lambda: parse_script(sql)
         )
-        return [self._executor.execute(stmt) for stmt in stmts]
+        with self.lock:
+            return [self._executor.execute(stmt) for stmt in stmts]
 
     def query(self, sql: str) -> List[Tuple[Any, ...]]:
         """Execute a SELECT and return its rows."""
@@ -138,8 +146,9 @@ class Database:
         self, table_name: str, rows: Sequence[Sequence[Any]]
     ) -> int:
         """Fast-path bulk insert bypassing the SQL parser."""
-        table = self.catalog.table(table_name)
-        return table.insert_rows(rows)
+        with self.lock:
+            table = self.catalog.table(table_name)
+            return table.insert_rows(rows)
 
     # -- persistence --------------------------------------------------------
 

@@ -15,7 +15,14 @@ relational tables.  This module provides:
   (cropping), tiled aggregation (resampling), cell mapping and masked
   updates, all executing directly on numpy storage;
 * ``UPDATE array SET attr = expr WHERE ...`` — evaluated vectorised over
-  the cells, the SciQL idiom for pixel classification.
+  the cells, the SciQL idiom for pixel classification;
+* parallel tiled execution — the cell-local bulk operators (``map``,
+  ``tile_aggregate``, ``count_where``) partition the leading dimension
+  into row-band tiles and evaluate the bands on the shared worker pool
+  (:mod:`repro.parallel`), merging band results in band order.  Because
+  every band computes exactly the values the full-array pass would, the
+  merged result is bit-identical to serial execution; ``workers=1`` (the
+  default without ``REPRO_WORKERS``) runs the untiled code path.
 """
 
 from __future__ import annotations
@@ -24,9 +31,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import parallel
 from repro.mdb.errors import CatalogError, ExecutionError, SQLTypeError
 from repro.mdb.sql import ast
 from repro.mdb.types import ColumnType, type_by_name
+
+#: Arrays smaller than this many cells are never auto-tiled: the band
+#: bookkeeping would cost more than the numpy pass saves.  An explicit
+#: ``workers=`` argument overrides the floor (tests exercise tiny tiles).
+PARALLEL_MIN_CELLS = 65536
 
 
 class Dimension:
@@ -231,17 +244,63 @@ class SciArray:
             ].copy()
         return out
 
+    def _row_bands(
+        self,
+        sched: "parallel.TaskScheduler",
+        explicit: bool,
+        total: int,
+        multiple: int = 1,
+    ) -> Optional[List[Tuple[int, int]]]:
+        """Row-band tiling of ``[0, total)`` for ``sched``, or None when
+        the operation should take the serial path."""
+        if sched.workers == 1:
+            return None
+        if not explicit and self.cell_count < PARALLEL_MIN_CELLS:
+            return None
+        bands = parallel.split_bands(total, sched.workers * 2, multiple)
+        if len(bands) <= 1:
+            return None
+        return bands
+
     def map(
         self, fn: Callable[[np.ndarray], np.ndarray],
         attr: Optional[str] = None,
         out_attr: Optional[str] = None,
+        workers: Optional[int] = None,
+        scheduler: Optional["parallel.TaskScheduler"] = None,
     ) -> "SciArray":
         """Apply a vectorised function to one attribute plane in place
-        (or into ``out_attr``)."""
+        (or into ``out_attr``).
+
+        With more than one worker (``workers=``, a ``scheduler=``, or the
+        ``REPRO_WORKERS`` default) the plane is split into row-band tiles
+        evaluated concurrently and concatenated in band order.  Tiled
+        evaluation requires ``fn`` to be cell-local (each output cell a
+        function of the same input cell only) — true of every SciQL map
+        expression; window operators must stay on the serial path.
+        """
         source = attr.lower() if attr else self.attributes[0][0]
         target = (out_attr or source).lower()
         ctype = self.attribute_type(target)
-        result = np.asarray(fn(self._values[source]))
+        data = self._values[source]
+        sched = parallel.get_scheduler(scheduler, workers)
+        bands = self._row_bands(
+            sched, workers is not None or scheduler is not None,
+            self.shape[0],
+        )
+        if bands is None:
+            result = np.asarray(fn(data))
+        else:
+            parts = sched.map(
+                lambda band: np.asarray(fn(data[band[0]:band[1]])), bands
+            )
+            for band, part in zip(bands, parts):
+                if part.shape != (band[1] - band[0],) + self.shape[1:]:
+                    raise ExecutionError(
+                        "map function changed the array shape "
+                        f"({self.shape} -> band {band} {part.shape})"
+                    )
+            result = np.concatenate(parts, axis=0)
         if result.shape != self.shape:
             raise ExecutionError(
                 "map function changed the array shape "
@@ -261,13 +320,18 @@ class SciArray:
         tile: Sequence[int],
         func: str = "mean",
         attr: Optional[str] = None,
+        workers: Optional[int] = None,
+        scheduler: Optional["parallel.TaskScheduler"] = None,
     ) -> "SciArray":
         """Aggregate non-overlapping tiles — SciQL's structural grouping.
 
         ``tile`` gives the tile size per dimension; the result array has
         one cell per tile (truncated at the edges).  ``func`` is one of
         mean/sum/min/max.  This is the resampling primitive of the NOA
-        chain.
+        chain.  With more than one worker the output tile-rows are split
+        into bands reduced concurrently; each tile is always reduced
+        whole by one worker, so band results are bit-identical to the
+        serial reduction.
         """
         attr_name = attr.lower() if attr else self.attributes[0][0]
         if len(tile) != self.ndim:
@@ -280,13 +344,6 @@ class SciArray:
         ]
         if any(s == 0 for s in trimmed_shape):
             raise ExecutionError("tile larger than the array")
-        trimmed = data[tuple(slice(0, s) for s in trimmed_shape)]
-        # Reshape to (n0, t0, n1, t1, ...) and reduce the tile axes.
-        new_shape: List[int] = []
-        for s, t in zip(trimmed_shape, tile):
-            new_shape.extend([s // t, t])
-        reshaped = trimmed.reshape(new_shape)
-        axes = tuple(range(1, 2 * self.ndim, 2))
         reducers = {
             "mean": np.mean,
             "sum": np.sum,
@@ -297,7 +354,29 @@ class SciArray:
             reducer = reducers[func]
         except KeyError:
             raise ExecutionError(f"unknown tile aggregate {func!r}") from None
-        reduced = reducer(reshaped.astype(float), axis=axes)
+        axes = tuple(range(1, 2 * self.ndim, 2))
+        tail = tuple(slice(0, s) for s in trimmed_shape[1:])
+
+        def reduce_rows(row_range: Tuple[int, int]) -> np.ndarray:
+            """Reduce output tile-rows ``[start, stop)`` of dimension 0."""
+            start, stop = row_range
+            block = data[(slice(start * tile[0], stop * tile[0]),) + tail]
+            block_shape: List[int] = [stop - start, tile[0]]
+            for s, t in zip(trimmed_shape[1:], tile[1:]):
+                block_shape.extend([s // t, t])
+            return reducer(
+                block.reshape(block_shape).astype(float), axis=axes
+            )
+
+        out_rows = trimmed_shape[0] // tile[0]
+        sched = parallel.get_scheduler(scheduler, workers)
+        bands = self._row_bands(
+            sched, workers is not None or scheduler is not None, out_rows
+        )
+        if bands is None:
+            reduced = reduce_rows((0, out_rows))
+        else:
+            reduced = np.concatenate(sched.map(reduce_rows, bands), axis=0)
         dims = [
             Dimension(d.name, 0, s // t)
             for d, s, t in zip(self.dimensions, trimmed_shape, tile)
@@ -315,10 +394,30 @@ class SciArray:
     def count_where(
         self, predicate: Callable[[np.ndarray], np.ndarray],
         attr: Optional[str] = None,
+        workers: Optional[int] = None,
+        scheduler: Optional["parallel.TaskScheduler"] = None,
     ) -> int:
-        """Number of cells whose attribute satisfies ``predicate``."""
+        """Number of cells whose attribute satisfies ``predicate``.
+
+        ``predicate`` must be cell-local (see :meth:`map`); band counts
+        are summed, so the parallel result equals the serial count.
+        """
         name = attr.lower() if attr else self.attributes[0][0]
-        return int(np.count_nonzero(predicate(self._values[name])))
+        data = self._values[name]
+        sched = parallel.get_scheduler(scheduler, workers)
+        bands = self._row_bands(
+            sched, workers is not None or scheduler is not None,
+            self.shape[0],
+        )
+        if bands is None:
+            return int(np.count_nonzero(predicate(data)))
+        counts = sched.map(
+            lambda band: int(
+                np.count_nonzero(predicate(data[band[0]:band[1]]))
+            ),
+            bands,
+        )
+        return int(sum(counts))
 
     # -- relational view -----------------------------------------------------------
 

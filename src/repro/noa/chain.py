@@ -16,9 +16,12 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Dict, List, Optional, Tuple
+from contextlib import nullcontext
+from typing import ContextManager, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro import parallel
 
 from repro.eo.products import ProcessingLevel, Product
 from repro.geometry import Polygon
@@ -165,12 +168,66 @@ class ProcessingChain:
         self, path: str, output_dir: Optional[str] = None
     ) -> ChainResult:
         """Execute modules (a)–(e) on one archive file."""
+        return self._execute(path, output_dir)
+
+    def run_batch(
+        self,
+        paths: Sequence[str],
+        output_dir: Optional[str] = None,
+        workers: Optional[int] = None,
+        scheduler: Optional["parallel.TaskScheduler"] = None,
+    ) -> List[ChainResult]:
+        """Execute the chain over a whole acquisition series.
+
+        This is the every-5-minutes batch shape of the NOA service: each
+        acquisition's crop→georeference→classify→vectorize pipeline runs
+        as one task on the shared worker pool, stages touching shared
+        state (vault, catalog, SRS registry, product table) serialise on
+        the database lock, and all stRDF output — product metadata and
+        hotspots alike — is emitted through a single
+        :meth:`StrabonStore.bulk` context, so backend rows batch into
+        one insert and the spatial index is STR-rebuilt once instead of
+        once per acquisition.  With one worker (the ``REPRO_WORKERS``
+        default) this is exactly ``[self.run(p) for p in paths]``.
+
+        Results are returned in ``paths`` order and are identical to
+        sequential :meth:`run` calls (hotspots, confidences, RDF).
+        """
+        paths = list(paths)
+        sched = parallel.get_scheduler(scheduler, workers)
+        if sched.workers == 1 or len(paths) <= 1:
+            return [self._execute(path, output_dir) for path in paths]
+        store = self.ingestor.store
+        lock = self.ingestor.db.lock
+        with store.bulk():
+            results = sched.map(
+                lambda path: self._execute(
+                    path, output_dir, emit=False, lock=lock
+                ),
+                paths,
+            )
+            for result in results:
+                store.load_graph(result.rdf)
+        return results
+
+    def _execute(
+        self,
+        path: str,
+        output_dir: Optional[str] = None,
+        emit: bool = True,
+        lock: Optional[ContextManager] = None,
+    ) -> ChainResult:
+        """One chain execution.  ``lock`` (batch mode) guards the stages
+        that mutate shared tiers; ``emit=False`` defers the stRDF load so
+        the batch caller can merge every result into one bulk emit."""
+        guard: ContextManager = lock if lock is not None else nullcontext()
         timings: Dict[str, float] = {}
 
         # (a) ingestion — vault cataloging + array materialisation.
         t0 = time.perf_counter()
-        product = self.ingestor.ingest_file(path, lazy=True)
-        array = self.ingestor.materialize_array(product)
+        with guard:
+            product = self.ingestor.ingest_file(path, lazy=True)
+            array = self.ingestor.materialize_array(product)
         timings["ingestion"] = time.perf_counter() - t0
         result = ChainResult(product, self.classifier)
 
@@ -179,19 +236,23 @@ class ProcessingChain:
 
         # (b) cropping — SciQL array slicing on the area of interest.
         t0 = time.perf_counter()
-        array, row_range, col_range = self._crop(
-            array, header_window, full_shape
-        )
+        with guard:
+            array, row_range, col_range = self._crop(
+                array, header_window, full_shape
+            )
         timings["cropping"] = time.perf_counter() - t0
 
         # (c) georeference — register the sensor grid CRS.
         t0 = time.perf_counter()
-        grid = self._georeference(product, header_window, full_shape,
-                                  row_range, col_range)
+        with guard:
+            grid = self._georeference(product, header_window, full_shape,
+                                      row_range, col_range)
         result.grid = grid
         timings["georeference"] = time.perf_counter() - t0
 
         # (d) classification — the selected submodule fills 'hotspot'.
+        # Runs unlocked: submodules own their acquisition's array, and
+        # SciQL UPDATEs serialise inside Database.execute.
         t0 = time.perf_counter()
         mask = CLASSIFIERS[self.classifier](array, self.ingestor.db)
         result.hotspot_mask = mask
@@ -214,7 +275,8 @@ class ProcessingChain:
             result.shapefile_path = base + ".shp"
             derived.path = result.shapefile_path
         result.rdf = self._emit_rdf(derived, hotspots)
-        self.ingestor.store.load_graph(result.rdf)
+        if emit:
+            self.ingestor.store.load_graph(result.rdf)
         timings["shapefile"] = time.perf_counter() - t0
 
         result.timings = timings

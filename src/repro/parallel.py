@@ -1,0 +1,276 @@
+"""The shared worker-pool execution layer.
+
+TELEIOS's array tier exists to run "as fast as the hardware allows", and
+the NOA chain is an every-5-minutes *batch* workload over whole
+acquisition time series — throughput work, not single-query latency.
+This module provides the one scheduler every parallelised tier shares:
+
+* :class:`TaskScheduler` — a fixed pool of daemon worker threads fed by
+  a bounded task queue, with :meth:`TaskScheduler.map` returning results
+  in input order (ordered merge) regardless of completion order;
+* ``workers=1`` is a **serial fallback**: no threads, no queue — the map
+  is a plain loop, byte-for-byte the code path used before this layer
+  existed;
+* the default worker count comes from the ``REPRO_WORKERS`` environment
+  variable (absent → 1, i.e. everything stays serial unless opted in).
+
+Threads (not processes) are the right pool here: every hot loop the
+scheduler runs — numpy tile kernels, envelope arithmetic, window
+statistics — spends its time inside numpy, which releases the GIL, so
+row-band tiles genuinely overlap on multi-core hardware while the data
+stays shared (no pickling, no copies).
+
+Determinism: callers split work into tiles whose results are merged by
+input index, so the output of a parallel map is identical to the serial
+loop whenever the per-tile function is pure.  Exceptions are collected
+per tile and the lowest-index failure is re-raised, matching the error
+the serial loop would have surfaced first.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TaskScheduler",
+    "env_workers",
+    "get_scheduler",
+    "parallel_map",
+    "resolve_workers",
+    "split_bands",
+]
+
+#: Environment variable selecting the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Task-queue capacity per worker (backpressure bound).
+QUEUE_FACTOR = 4
+
+
+def env_workers(default: int = 1) -> int:
+    """Worker count from ``REPRO_WORKERS`` (absent/empty → ``default``)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {value}")
+    return value
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """An explicit worker count, or the ``REPRO_WORKERS`` default."""
+    if workers is None:
+        return env_workers()
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def split_bands(
+    total: int, parts: int, multiple: int = 1
+) -> List[Tuple[int, int]]:
+    """Partition ``[0, total)`` into up to ``parts`` contiguous bands.
+
+    Band boundaries are aligned down to ``multiple`` (so tile-aggregate
+    bands never split a tile); the decomposition depends only on the
+    arguments, never on timing, keeping parallel merges deterministic.
+    """
+    if total <= 0:
+        return []
+    if multiple < 1:
+        raise ValueError(f"multiple must be >= 1, got {multiple}")
+    parts = max(1, parts)
+    bands: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(1, parts):
+        cut = (i * total // parts) // multiple * multiple
+        if cut > start:
+            bands.append((start, cut))
+            start = cut
+    bands.append((start, total))
+    return bands
+
+
+class _Batch:
+    """Result slots plus a completion latch for one map call."""
+
+    __slots__ = ("results", "errors", "_remaining", "_lock", "_done")
+
+    def __init__(self, n: int):
+        self.results: List[Any] = [None] * n
+        self.errors: List[Optional[BaseException]] = [None] * n
+        self._remaining = n
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+
+    def complete(
+        self, index: int, value: Any, error: Optional[BaseException]
+    ) -> None:
+        self.results[index] = value
+        self.errors[index] = error
+        with self._lock:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._done.set()
+
+    def wait(self) -> None:
+        self._done.wait()
+
+
+class TaskScheduler:
+    """A fixed worker pool mapping functions over task sequences.
+
+    The pool starts lazily on the first parallel map and its daemon
+    threads live until :meth:`close`.  With ``workers=1`` no thread is
+    ever created and :meth:`map` is a plain serial loop.  A map issued
+    *from inside* a worker thread of this scheduler also runs serially —
+    nested tilings degrade gracefully instead of deadlocking the pool.
+    """
+
+    def __init__(
+        self, workers: Optional[int] = None, queue_size: Optional[int] = None
+    ):
+        self.workers = resolve_workers(workers)
+        self._queue: "queue.Queue[Optional[Tuple]]" = queue.Queue(
+            maxsize=queue_size or self.workers * QUEUE_FACTOR
+        )
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._closed = False
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if self._threads:
+                return
+            for i in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker,
+                    name=f"repro-worker-{i}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def _worker(self) -> None:
+        self._local.in_worker = True
+        while True:
+            task = self._queue.get()
+            if task is None:
+                break
+            batch, index, fn, item = task
+            try:
+                batch.complete(index, fn(item), None)
+            except BaseException as exc:  # noqa: BLE001 — reported to caller
+                batch.complete(index, None, exc)
+
+    def close(self) -> None:
+        """Stop the workers (idempotent; pending maps finish first)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads = self._threads
+        for _ in threads:
+            self._queue.put(None)
+        for thread in threads:
+            thread.join()
+
+    def __enter__(self) -> "TaskScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+
+    @property
+    def in_worker(self) -> bool:
+        """Whether the calling thread is one of this scheduler's workers."""
+        return bool(getattr(self._local, "in_worker", False))
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        The serial fallback (``workers=1``, a single item, or a call from
+        inside one of this pool's workers) executes the exact loop a
+        caller would have written without the scheduler.
+        """
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1 or self.in_worker:
+            return [fn(item) for item in items]
+        self._ensure_started()
+        batch = _Batch(len(items))
+        for index, item in enumerate(items):
+            self._queue.put((batch, index, fn, item))  # bounded: backpressure
+        batch.wait()
+        for error in batch.errors:
+            if error is not None:
+                raise error
+        return batch.results
+
+    def starmap(
+        self, fn: Callable[..., Any], items: Iterable[Sequence[Any]]
+    ) -> List[Any]:
+        """:meth:`map` over argument tuples."""
+        return self.map(lambda args: fn(*args), items)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "running" if self._threads else "idle"
+        )
+        return f"<TaskScheduler workers={self.workers} {state}>"
+
+
+# -- shared default schedulers ------------------------------------------------
+
+#: Process-wide scheduler pool, keyed by worker count.  The serial
+#: scheduler is preallocated so the default path allocates nothing.
+_shared: Dict[int, TaskScheduler] = {1: TaskScheduler(workers=1)}
+_shared_lock = threading.Lock()
+
+
+def get_scheduler(
+    scheduler: Optional[TaskScheduler] = None,
+    workers: Optional[int] = None,
+) -> TaskScheduler:
+    """Resolve the scheduler a parallel call site should use.
+
+    An explicit ``scheduler`` wins; otherwise a process-wide shared pool
+    for ``workers`` (or the ``REPRO_WORKERS`` default) is returned, so
+    every tier taps the same threads instead of spawning pools ad hoc.
+    """
+    if scheduler is not None:
+        return scheduler
+    count = resolve_workers(workers)
+    pool = _shared.get(count)
+    if pool is None:
+        with _shared_lock:
+            pool = _shared.get(count)
+            if pool is None:
+                pool = TaskScheduler(workers=count)
+                _shared[count] = pool
+    return pool
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """One-shot ordered map over the shared scheduler."""
+    return get_scheduler(workers=workers).map(fn, items)

@@ -183,6 +183,23 @@ class StrabonStore:
             return None
         return set(self._rtree.query(envelope))
 
+    def spatial_candidates_batch(
+        self, envelopes: List[Envelope]
+    ) -> Optional[List[Set[RDFTerm]]]:
+        """One candidate set per probe envelope (vectorised).
+
+        Batch counterpart of :meth:`spatial_candidates`: probes are
+        answered against the R-tree's packed leaf snapshot
+        (:meth:`repro.geometry.RTree.query_batch`), so a query with
+        several indexable spatial FILTERs pays one snapshot pass instead
+        of one tree walk per filter.  None when the index is disabled.
+        """
+        if not self.use_spatial_index:
+            return None
+        return [
+            set(found) for found in self._rtree.query_batch(envelopes)
+        ]
+
     # -- graph API ------------------------------------------------------------------
 
     def triples(self, pattern: Tuple = (None, None, None)) -> Iterator[Triple]:

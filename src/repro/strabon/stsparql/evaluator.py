@@ -11,7 +11,14 @@ BGP loop and evaluated as soon as no remaining pattern can bind any of
 their variables.  Spatial FILTERs whose arguments are one variable and
 one constant geometry are additionally pushed into the matching phase as
 R-tree candidate restrictions (benchmark A1 measures exactly this
-optimisation against the unindexed evaluation).
+optimisation against the unindexed evaluation); the R-tree probes of a
+query's filters are answered in one batch against the index's packed
+leaf snapshot.  When an indexable spatial FILTER ultimately applies
+across many solutions, a vectorised envelope prefilter packs the bound
+geometries' envelopes into numpy arrays and discards
+envelope-disjoint solutions in one comparison pass before the exact
+per-solution geometry test runs (envelope intersection is a necessary
+condition for every indexable predicate, so results are unchanged).
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry import Geometry
+from repro.geometry.envelope import Envelope, PackedEnvelopes
 from repro.rdf.term import BNode, Literal, RDFTerm, URIRef, Variable
 from repro.strabon import strdf
 from repro.strabon.stsparql import algebra as alg
@@ -39,6 +47,10 @@ from repro.strabon.stsparql.results import (
 )
 
 Solution = Dict[str, RDFTerm]
+
+#: Minimum solution count before the vectorised envelope prefilter is
+#: worth packing arrays for.
+PREFILTER_MIN_SOLUTIONS = 16
 
 
 class _ExprError(StSPARQLError):
@@ -264,9 +276,7 @@ class Evaluator:
                     pending, (), later, solutions
                 )
         for expr, _ in pending:
-            solutions = [
-                sol for sol in solutions if self._filter_passes(expr, sol)
-            ]
+            solutions = self._filter_solutions(expr, solutions)
         return solutions
 
     def _apply_ready_filters(
@@ -288,9 +298,7 @@ class Evaluator:
                 i += 1
                 continue
             pending.pop(i)
-            solutions = [
-                sol for sol in solutions if self._filter_passes(expr, sol)
-            ]
+            solutions = self._filter_solutions(expr, solutions)
         return solutions
 
     def _filter_passes(self, expr: alg.Expr, sol: Solution) -> bool:
@@ -299,37 +307,114 @@ class Evaluator:
         except (_ExprError, StSPARQLError):
             return False
 
+    def _filter_solutions(
+        self, expr: alg.Expr, solutions: List[Solution]
+    ) -> List[Solution]:
+        """Apply one FILTER, with the vectorised envelope prefilter in
+        front when the expression is a single indexable spatial call
+        running over many solutions."""
+        prefiltered = self._envelope_prefilter(expr, solutions)
+        if prefiltered is not None:
+            solutions = prefiltered
+        return [
+            sol for sol in solutions if self._filter_passes(expr, sol)
+        ]
+
+    def _envelope_prefilter(
+        self, expr: alg.Expr, solutions: List[Solution]
+    ) -> Optional[List[Solution]]:
+        """Drop solutions that cannot satisfy an indexable spatial FILTER.
+
+        Applies when ``expr`` is exactly one indexable predicate call
+        over one variable and one constant geometry: every such predicate
+        implies envelope intersection, so a solution whose bound geometry
+        envelope is disjoint from the constant's envelope is discarded
+        without the exact test.  Solutions whose binding is missing or
+        not a parseable geometry pass through untouched — the exact
+        filter keeps its verdict on them.  Returns None when the
+        prefilter does not apply.
+        """
+        if len(solutions) < PREFILTER_MIN_SOLUTIONS:
+            return None
+        spec = _indexable_call_spec(expr)
+        if spec is None:
+            return None
+        var, const = spec
+        try:
+            probe = self._term_envelope(const)
+        except strdf.StRDFError:
+            return None
+        if probe.is_empty:
+            # Degenerate probe: envelope reasoning says nothing, so let
+            # the exact filter judge every solution.
+            return None
+        testable: List[int] = []
+        envelopes: List[Envelope] = []
+        for i, sol in enumerate(solutions):
+            term = sol.get(var)
+            if term is None or not strdf.is_geometry_literal(term):
+                continue
+            try:
+                envelopes.append(self._term_envelope(term))
+            except strdf.StRDFError:
+                continue
+            testable.append(i)
+        if not testable:
+            return solutions
+        mask = PackedEnvelopes.pack(envelopes).intersects(probe)
+        dropped = {
+            index
+            for index, hit in zip(testable, mask.tolist())
+            if not hit
+        }
+        if not dropped:
+            return solutions
+        return [
+            sol for i, sol in enumerate(solutions) if i not in dropped
+        ]
+
+    def _term_envelope(self, term) -> Envelope:
+        """Envelope of a geometry literal via the store's interner."""
+        interner = getattr(self.store, "geometries", None)
+        if interner is not None:
+            return interner.envelope(term)
+        return self.ctx.geometry(term).envelope
+
     def _spatial_hints(
         self, filters: Sequence[alg.Expr]
     ) -> Dict[str, Set[RDFTerm]]:
-        hints: Dict[str, Set[RDFTerm]] = {}
+        probes: List[Tuple[str, Envelope]] = []
         for expr in filters:
             for call in _walk_calls(expr):
-                if call.name not in INDEXABLE_PREDICATES:
+                spec = _indexable_call_spec(call)
+                if spec is None:
                     continue
-                if len(call.args) != 2:
-                    continue
-                var, const = None, None
-                for arg in call.args:
-                    if isinstance(arg, alg.EVar):
-                        var = arg.name
-                    elif isinstance(arg, alg.ETerm) and strdf.is_geometry_literal(
-                        arg.term
-                    ):
-                        const = arg.term
-                if var is None or const is None:
-                    continue
+                var, const = spec
                 try:
                     probe = self.ctx.geometry(const)
                 except strdf.StRDFError:
                     continue
-                candidates = self.store.spatial_candidates(probe.envelope)
-                if candidates is None:
-                    continue
-                if var in hints:
-                    hints[var] &= candidates
-                else:
-                    hints[var] = set(candidates)
+                probes.append((var, probe.envelope))
+        hints: Dict[str, Set[RDFTerm]] = {}
+        if not probes:
+            return hints
+        # One packed-snapshot pass answers every probe of the query.
+        batch = getattr(self.store, "spatial_candidates_batch", None)
+        if batch is not None:
+            candidate_sets = batch([env for _, env in probes])
+            if candidate_sets is None:
+                return hints
+        else:
+            candidate_sets = [
+                self.store.spatial_candidates(env) for _, env in probes
+            ]
+        for (var, _), candidates in zip(probes, candidate_sets):
+            if candidates is None:
+                continue
+            if var in hints:
+                hints[var] &= candidates
+            else:
+                hints[var] = set(candidates)
         return hints
 
     def _bgp(
@@ -985,6 +1070,29 @@ def _walk_calls(expr: alg.Expr):
         yield from _walk_calls(expr.right)
     elif isinstance(expr, alg.EUnary):
         yield from _walk_calls(expr.operand)
+
+
+def _indexable_call_spec(
+    expr: alg.Expr,
+) -> Optional[Tuple[str, RDFTerm]]:
+    """``(variable, constant geometry)`` when ``expr`` is an indexable
+    spatial predicate call over one variable and one geometry literal,
+    else None."""
+    if not isinstance(expr, alg.ECall):
+        return None
+    if expr.name not in INDEXABLE_PREDICATES or len(expr.args) != 2:
+        return None
+    var, const = None, None
+    for arg in expr.args:
+        if isinstance(arg, alg.EVar):
+            var = arg.name
+        elif isinstance(arg, alg.ETerm) and strdf.is_geometry_literal(
+            arg.term
+        ):
+            const = arg.term
+    if var is None or const is None:
+        return None
+    return var, const
 
 
 def _expr_has_aggregate(expr: alg.Expr) -> bool:

@@ -1,0 +1,152 @@
+"""Batched R-tree probes must reproduce per-envelope query() exactly."""
+
+import random
+
+import pytest
+
+from repro.geometry import Envelope, PackedEnvelopes, RTree
+from repro.parallel import TaskScheduler
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+def random_envelope(rng, span=100.0, max_side=6.0):
+    x, y = rng.uniform(0, span), rng.uniform(0, span)
+    w, h = rng.uniform(0, max_side), rng.uniform(0, max_side)
+    return Envelope(x, y, x + w, y + h)
+
+
+def build_trees(n=400, seed=17):
+    """The same item set as an insert-built and an STR bulk-loaded tree."""
+    rng = random.Random(seed)
+    entries = [
+        (random_envelope(rng), f"item-{k}") for k in range(n)
+    ]
+    incremental = RTree(max_entries=8)
+    for env, item in entries:
+        incremental.insert(env, item)
+    packed = RTree.bulk_load(entries, max_entries=8)
+    return incremental, packed
+
+
+def probe_set(seed=99, n=60):
+    rng = random.Random(seed)
+    probes = [random_envelope(rng, max_side=15.0) for _ in range(n)]
+    probes.append(Envelope(500, 500, 501, 501))  # guaranteed miss
+    probes.append(Envelope(50, 50, 50, 50))  # degenerate point probe
+    probes.append(Envelope.empty())
+    return probes
+
+
+class TestQueryBatchEquality:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_matches_query_order_and_content(self, workers):
+        for tree in build_trees():
+            probes = probe_set()
+            batched = tree.query_batch(probes, workers=workers)
+            assert batched == [tree.query(p) for p in probes]
+
+    def test_explicit_scheduler(self):
+        tree, _ = build_trees(n=200)
+        probes = probe_set(seed=5)
+        with TaskScheduler(workers=3) as sched:
+            batched = tree.query_batch(probes, scheduler=sched)
+        assert batched == [tree.query(p) for p in probes]
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert tree.query_batch(probe_set()) == [
+            [] for _ in probe_set()
+        ]
+
+    def test_no_probes(self):
+        tree, _ = build_trees(n=50)
+        assert tree.query_batch([]) == []
+
+    def test_snapshot_invalidated_by_insert(self):
+        tree, _ = build_trees(n=100)
+        probe = Envelope(0, 0, 100, 100)
+        before = tree.query_batch([probe])[0]
+        tree.insert(Envelope(10, 10, 11, 11), "fresh")
+        after = tree.query_batch([probe])[0]
+        assert "fresh" in after
+        assert after == tree.query(probe)
+        assert len(after) == len(before) + 1
+
+    def test_snapshot_invalidated_by_remove(self):
+        tree, _ = build_trees(n=100)
+        probe = Envelope(0, 0, 100, 100)
+        tree.query_batch([probe])  # warm the packed snapshot
+        rng = random.Random(17)
+        env = random_envelope(rng)
+        assert tree.remove(env, "item-0")
+        after = tree.query_batch([probe])[0]
+        assert "item-0" not in after
+        assert after == tree.query(probe)
+
+    def test_snapshot_reused_until_mutation(self):
+        tree, _ = build_trees(n=100)
+        first = tree.packed_entries()
+        assert tree.packed_entries() is first
+        tree.insert(Envelope(1, 1, 2, 2), "new")
+        assert tree.packed_entries() is not first
+
+
+class TestPackedEnvelopes:
+    def test_pack_roundtrip(self):
+        rng = random.Random(3)
+        envs = [random_envelope(rng) for _ in range(25)]
+        packed = PackedEnvelopes.pack(envs)
+        assert len(packed) == 25
+        assert packed.unpack() == envs
+        assert packed.get(7) == envs[7]
+
+    def test_intersects_matches_envelope(self):
+        rng = random.Random(4)
+        envs = [random_envelope(rng) for _ in range(200)]
+        packed = PackedEnvelopes.pack(envs)
+        for probe in [
+            random_envelope(rng, max_side=20.0) for _ in range(30)
+        ]:
+            mask = packed.intersects(probe)
+            expected = [e.intersects(probe) for e in envs]
+            assert mask.tolist() == expected
+            assert packed.intersecting(probe).tolist() == [
+                i for i, hit in enumerate(expected) if hit
+            ]
+
+    def test_empty_probe_hits_nothing(self):
+        packed = PackedEnvelopes.pack(
+            [Envelope(0, 0, 1, 1), Envelope(2, 2, 3, 3)]
+        )
+        assert not packed.intersects(Envelope.empty()).any()
+        assert packed.intersecting(Envelope.empty()).size == 0
+
+    def test_empty_member_never_hits(self):
+        packed = PackedEnvelopes.pack(
+            [Envelope.empty(), Envelope(0, 0, 10, 10)]
+        )
+        mask = packed.intersects(Envelope(-1, -1, 20, 20))
+        assert mask.tolist() == [False, True]
+
+    def test_union_envelope(self):
+        packed = PackedEnvelopes.pack(
+            [Envelope(0, 0, 1, 1), Envelope(5, -2, 6, 3)]
+        )
+        assert packed.union_envelope() == Envelope(0, -2, 6, 3)
+
+    def test_contains_points(self):
+        packed = PackedEnvelopes.pack(
+            [Envelope(0, 0, 2, 2), Envelope(10, 10, 12, 12)]
+        )
+        inside = packed.contains_points([1.0, 11.0], [1.0, 11.0])
+        assert inside.shape == (2, 2)
+        assert inside.tolist() == [[True, False], [False, True]]
+
+    def test_length_mismatch_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            PackedEnvelopes(
+                np.zeros(2), np.zeros(3), np.zeros(2), np.zeros(2)
+            )

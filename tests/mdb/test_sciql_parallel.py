@@ -1,0 +1,171 @@
+"""Parallel tiled SciQL operations must be bit-identical to serial."""
+
+import numpy as np
+import pytest
+
+from repro.mdb import DOUBLE, INT
+from repro.mdb.sciql import Dimension, SciArray
+from repro.parallel import TaskScheduler
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+def make_array(shape, seed=0, dtype=DOUBLE):
+    rng = np.random.default_rng(seed)
+    dims = [
+        Dimension(f"d{i}", 0, size) for i, size in enumerate(shape)
+    ]
+    arr = SciArray("px", dims, [("v", dtype)])
+    values = rng.uniform(-50.0, 350.0, size=shape)
+    if dtype is INT:
+        values = values.astype(np.int64)
+    arr.set_attribute("v", values)
+    return arr
+
+
+# Uneven shapes on purpose: bands must not assume divisibility.
+SHAPES = [(101, 67), (64, 64), (7, 256), (97,)]
+
+
+class TestMapEquality:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_map_matches_serial_bitwise(self, workers, shape):
+        fn = lambda a: np.sqrt(np.abs(a)) * 3.0 + 1.5
+        serial = make_array(shape, seed=3).map(fn)
+        tiled = make_array(shape, seed=3).map(fn, workers=workers)
+        assert (
+            serial.attribute("v").tobytes()
+            == tiled.attribute("v").tobytes()
+        )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_map_out_attr(self, workers):
+        serial = make_array((101, 67), seed=5)
+        serial.add_attribute("w", DOUBLE)
+        serial.map(np.exp, attr="v", out_attr="w")
+        tiled = make_array((101, 67), seed=5)
+        tiled.add_attribute("w", DOUBLE)
+        tiled.map(np.exp, attr="v", out_attr="w", workers=workers)
+        assert (
+            serial.attribute("w").tobytes()
+            == tiled.attribute("w").tobytes()
+        )
+        # Source plane untouched by either path.
+        assert (
+            serial.attribute("v").tobytes()
+            == tiled.attribute("v").tobytes()
+        )
+
+    def test_map_with_explicit_scheduler(self):
+        fn = lambda a: a * 2.0
+        serial = make_array((50, 40), seed=9).map(fn)
+        with TaskScheduler(workers=3) as sched:
+            tiled = make_array((50, 40), seed=9).map(fn, scheduler=sched)
+        assert np.array_equal(
+            serial.attribute("v"), tiled.attribute("v")
+        )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_map_shape_change_rejected(self, workers):
+        arr = make_array((40, 30))
+        from repro.mdb.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            arr.map(lambda a: a.sum(axis=-1), workers=workers)
+
+
+class TestTileAggregateEquality:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("func", ["mean", "sum", "min", "max"])
+    def test_matches_serial_bitwise(self, workers, func):
+        # 101x67 with tile (3, 5): truncated edges on both axes.
+        serial = make_array((101, 67), seed=7).tile_aggregate(
+            (3, 5), func
+        )
+        tiled = make_array((101, 67), seed=7).tile_aggregate(
+            (3, 5), func, workers=workers
+        )
+        assert serial.shape == tiled.shape == (33, 13)
+        assert (
+            serial.attribute("v").tobytes()
+            == tiled.attribute("v").tobytes()
+        )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_one_dimensional(self, workers):
+        serial = make_array((97,), seed=2).tile_aggregate((4,), "sum")
+        tiled = make_array((97,), seed=2).tile_aggregate(
+            (4,), "sum", workers=workers
+        )
+        assert np.array_equal(
+            serial.attribute("v"), tiled.attribute("v")
+        )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_int_attribute(self, workers):
+        serial = make_array((60, 44), seed=4, dtype=INT).tile_aggregate(
+            (5, 4), "max"
+        )
+        tiled = make_array((60, 44), seed=4, dtype=INT).tile_aggregate(
+            (5, 4), "max", workers=workers
+        )
+        assert (
+            serial.attribute("v").tobytes()
+            == tiled.attribute("v").tobytes()
+        )
+
+    def test_fewer_tile_rows_than_bands(self):
+        # Two output rows, four workers: degenerate tiling stays correct.
+        serial = make_array((8, 8), seed=1).tile_aggregate((4, 4), "mean")
+        tiled = make_array((8, 8), seed=1).tile_aggregate(
+            (4, 4), "mean", workers=4
+        )
+        assert np.array_equal(
+            serial.attribute("v"), tiled.attribute("v")
+        )
+
+
+class TestCountWhereEquality:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_matches_serial(self, workers, shape):
+        predicate = lambda a: a > 150.0
+        serial = make_array(shape, seed=6).count_where(predicate)
+        tiled = make_array(shape, seed=6).count_where(
+            predicate, workers=workers
+        )
+        assert serial == tiled
+        assert isinstance(tiled, int)
+
+
+class TestImplicitThreshold:
+    def test_small_array_stays_serial_under_env(self, monkeypatch):
+        from repro import parallel
+        from repro.mdb import sciql
+
+        monkeypatch.setenv(parallel.WORKERS_ENV, "4")
+        arr = make_array((32, 32), seed=8)  # < PARALLEL_MIN_CELLS
+        sched = parallel.get_scheduler(None, None)
+        assert sched.workers == 4
+        bands = arr._row_bands(sched, explicit=False, total=32)
+        assert bands is None
+        assert arr.cell_count < sciql.PARALLEL_MIN_CELLS
+
+    def test_large_array_tiles_under_env(self, monkeypatch):
+        from repro import parallel
+        from repro.mdb import sciql
+
+        monkeypatch.setenv(parallel.WORKERS_ENV, "2")
+        arr = make_array((300, 300), seed=8)
+        assert arr.cell_count >= sciql.PARALLEL_MIN_CELLS
+        sched = parallel.get_scheduler(None, None)
+        bands = arr._row_bands(sched, explicit=False, total=300)
+        assert bands is not None and len(bands) > 1
+        # And the result still matches the serial pass.
+        serial = make_array((300, 300), seed=8).map(np.tanh, workers=1)
+        auto = arr.map(np.tanh)
+        assert (
+            serial.attribute("v").tobytes()
+            == auto.attribute("v").tobytes()
+        )

@@ -1,0 +1,136 @@
+"""run_batch must reproduce sequential run() exactly, at any worker count."""
+
+import pytest
+
+from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene, write_scene
+from repro.ingest import Ingestor
+from repro.mdb import Database
+from repro.noa import ProcessingChain
+from repro.strabon import StrabonStore
+
+WORLD = GreeceLikeWorld()
+FIRE_SEEDS = [(21.63, 37.7), (22.5, 38.5), (23.4, 38.05)]
+WORKER_COUNTS = [1, 2, 4]
+
+
+def scene_paths(tmp_path, count=3):
+    paths = []
+    for k in range(count):
+        spec = SceneSpec(
+            width=96, height=96, seed=20 + k, n_fires=0, n_glints=k % 2
+        )
+        scene = generate_scene(spec, WORLD.land, fire_seeds=FIRE_SEEDS)
+        path = str(tmp_path / f"scene_{k:03d}.nat")
+        write_scene(scene, path)
+        paths.append(path)
+    return paths
+
+
+def fresh_chain(classifier="static"):
+    ingestor = Ingestor(Database(), StrabonStore())
+    return ProcessingChain(ingestor, classifier=classifier)
+
+
+def summarize(results):
+    """The observable outcome of a batch: hotspots and RDF, per scene."""
+    return [
+        (
+            result.source_product.product_id,
+            [
+                (
+                    h.geometry.wkt,
+                    round(h.confidence, 12),
+                    h.pixel_count,
+                )
+                for h in result.hotspots
+            ],
+            frozenset(result.rdf),
+        )
+        for result in results
+    ]
+
+
+class TestRunBatchEquality:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_matches_sequential_run(self, tmp_path, workers):
+        paths = scene_paths(tmp_path)
+
+        baseline_chain = fresh_chain()
+        baseline = [baseline_chain.run(p) for p in paths]
+
+        batch_chain = fresh_chain()
+        batched = batch_chain.run_batch(paths, workers=workers)
+
+        assert summarize(batched) == summarize(baseline)
+        # Both stores end up with the identical triple set.
+        assert set(batch_chain.ingestor.store.triples()) == set(
+            baseline_chain.ingestor.store.triples()
+        )
+        assert len(batch_chain.ingestor.store) == len(
+            baseline_chain.ingestor.store
+        )
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_contextual_classifier(self, tmp_path, workers):
+        paths = scene_paths(tmp_path, count=2)
+
+        baseline_chain = fresh_chain("contextual")
+        baseline = [baseline_chain.run(p) for p in paths]
+
+        batch_chain = fresh_chain("contextual")
+        batched = batch_chain.run_batch(paths, workers=workers)
+
+        assert summarize(batched) == summarize(baseline)
+
+    def test_results_in_path_order(self, tmp_path):
+        paths = scene_paths(tmp_path)
+        chain = fresh_chain()
+        results = chain.run_batch(paths, workers=4)
+        assert [r.source_product.product_id for r in results] == [
+            fresh_chain().run(p).source_product.product_id for p in paths
+        ]
+
+    def test_all_stages_timed(self, tmp_path):
+        paths = scene_paths(tmp_path, count=2)
+        chain = fresh_chain()
+        for result in chain.run_batch(paths, workers=2):
+            assert set(result.timings) == {
+                "ingestion",
+                "cropping",
+                "georeference",
+                "classification",
+                "shapefile",
+            }
+
+    def test_rdf_queryable_after_batch(self, tmp_path):
+        from repro.ingest.metadata import NOA_PREFIXES
+
+        paths = scene_paths(tmp_path)
+        chain = fresh_chain()
+        results = chain.run_batch(paths, workers=4)
+        r = chain.ingestor.store.query(
+            NOA_PREFIXES
+            + "SELECT ?h WHERE { ?h a noa:Hotspot ; noa:hasConfidence ?c }"
+        )
+        assert len(r) == sum(len(res.hotspots) for res in results)
+
+    def test_empty_batch(self, tmp_path):
+        assert fresh_chain().run_batch([], workers=4) == []
+
+    def test_single_path_batch(self, tmp_path):
+        paths = scene_paths(tmp_path, count=1)
+        chain = fresh_chain()
+        results = chain.run_batch(paths, workers=4)
+        baseline = fresh_chain().run(paths[0])
+        assert summarize(results) == summarize([baseline])
+
+    def test_shapefiles_written_per_scene(self, tmp_path):
+        import os
+
+        paths = scene_paths(tmp_path)
+        out = str(tmp_path / "out")
+        chain = fresh_chain()
+        results = chain.run_batch(paths, output_dir=out, workers=4)
+        shp_paths = [r.shapefile_path for r in results]
+        assert all(p and os.path.exists(p) for p in shp_paths)
+        assert len(set(shp_paths)) == len(paths)
