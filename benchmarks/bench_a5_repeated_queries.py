@@ -13,6 +13,9 @@ Acceptance targets (ISSUE 1): warm ≤ 0.5× cold, hit rate > 90%.
 import statistics
 import time
 
+import pytest
+
+from repro import obs
 from repro.geometry import Point
 from repro.mdb import Database
 from repro.rdf import Literal, Namespace, URIRef
@@ -54,6 +57,21 @@ SQL_QUERY = (
     "AND sensor = 'seviri1' AND id >= 10 AND id <= 90 "
     "ORDER BY conf DESC, id"
 )
+
+
+@pytest.fixture(autouse=True)
+def _metrics_off():
+    """This experiment isolates the cache effect on sub-millisecond
+    requests, so the metrics layer's per-request constant is kept out
+    of the samples (it would dilute the cold/warm ratio asserted on).
+    """
+    registry = obs.get_registry()
+    was_enabled = registry.enabled
+    registry.set_enabled(False)
+    try:
+        yield
+    finally:
+        registry.set_enabled(was_enabled)
 
 
 def build_store(n_hotspots: int = 300) -> StrabonStore:

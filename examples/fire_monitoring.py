@@ -14,15 +14,22 @@ the acquisitions across the shared worker pool and merges all RDF output
 into a single bulk emit.  Worker count comes from the ``REPRO_WORKERS``
 environment variable (default 1 — fully serial).
 
+Every run ends with a metrics snapshot from the observability layer
+(:mod:`repro.obs`): per-stage NOA timings, stSPARQL phase histograms,
+worker-pool utilization and every cache's hit rate.  Set
+``REPRO_METRICS_DUMP=/path/to/file.json`` to also write the structured
+snapshot as JSON; ``REPRO_OBS=0`` disables the layer entirely.
+
 Run:  python examples/fire_monitoring.py
       REPRO_WORKERS=4 python examples/fire_monitoring.py
 """
 
+import json
 import os
 import tempfile
 import time
 
-from repro import parallel
+from repro import obs, parallel
 from repro.eo import SceneSpec, generate_scene, write_scene
 from repro.eo.seviri import read_scene
 from repro.ingest import Ingestor
@@ -132,6 +139,14 @@ def main():
         f"{len(chain.ingestor.store)} triples published "
         f"in {elapsed * 1000:.1f}ms wall time"
     )
+
+    banner("Metrics snapshot (repro.obs)")
+    print(vo.metrics.exposition())
+    dump_path = os.environ.get("REPRO_METRICS_DUMP", "").strip()
+    if dump_path:
+        with open(dump_path, "w") as fh:
+            json.dump(vo.metrics.snapshot(), fh, indent=2, sort_keys=True)
+        print(f"\nstructured snapshot written to {dump_path}")
 
 
 if __name__ == "__main__":

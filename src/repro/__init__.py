@@ -12,6 +12,8 @@ Database-Powered Virtual Earth Observatory* (VLDB 2012):
   image information mining and the synthetic EO domain.
 * :mod:`repro.noa` — the NOA fire-monitoring application.
 * :mod:`repro.vo` — the Virtual Earth Observatory facade wiring all tiers.
+* :mod:`repro.obs` — process-wide metrics registry and tracing spans
+  (gated by ``REPRO_OBS``; every other tier reports through it).
 """
 
 __version__ = "1.0.0"

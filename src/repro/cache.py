@@ -13,6 +13,8 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Iterator, Optional
 
+from repro import obs
+
 __all__ = ["CacheStats", "LRUCache"]
 
 _MISSING = object()
@@ -62,11 +64,12 @@ class LRUCache:
     """
 
     __slots__ = (
-        "_data", "_lock", "maxsize",
+        "_data", "_lock", "maxsize", "name",
         "hits", "misses", "evictions", "invalidations",
+        "__weakref__",
     )
 
-    def __init__(self, maxsize: int = 128):
+    def __init__(self, maxsize: int = 128, name: Optional[str] = None):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
@@ -76,6 +79,10 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        # Every cache's live stats are visible in metrics snapshots; the
+        # registry holds only a weak reference, so transient caches
+        # disappear once their owner does.
+        self.name = obs.register_cache(self, name or "cache")
 
     # -- lookups ------------------------------------------------------------
 
@@ -163,4 +170,4 @@ class LRUCache:
         return self.stats.hit_rate
 
     def __repr__(self) -> str:
-        return f"<LRUCache {self.stats!r}>"
+        return f"<LRUCache {self.name} {self.stats!r}>"

@@ -20,6 +20,7 @@ import heapq
 import itertools
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.geometry.envelope import Envelope, PackedEnvelopes
 
 
@@ -65,7 +66,13 @@ class RTree:
         items: Iterable[Tuple[Envelope, Any]],
         max_entries: int = 8,
     ) -> "RTree":
-        """Build a packed tree with Sort-Tile-Recursive loading."""
+        """Build a packed tree with Sort-Tile-Recursive loading.
+
+        Always returns a *fresh* tree (callers replacing an existing
+        index swap the reference), so its packed snapshot starts
+        vacuously unset — there is no pre-existing ``query_batch``
+        snapshot to go stale.
+        """
         tree = cls(max_entries=max_entries)
         entries = [(env, item) for env, item in items]
         tree._size = len(entries)
@@ -114,7 +121,6 @@ class RTree:
         """Insert an item under its envelope."""
         if envelope.is_empty:
             raise ValueError("cannot index an empty envelope")
-        self._packed = None
         split = self._insert(self._root, envelope, item)
         if split is not None:
             old_root = self._root
@@ -125,6 +131,12 @@ class RTree:
             ]
             self._root.recompute_envelope()
         self._size += 1
+        # Invalidate the packed snapshot AFTER the structural work: a
+        # reader that rebuilds the snapshot while the mutation is
+        # mid-flight (the batch-filtering threads race tree maintenance
+        # exactly this way) would otherwise re-cache a stale snapshot
+        # that nothing ever clears again.
+        self._packed = None
 
     def _insert(
         self, node: _Node, envelope: Envelope, item: Any
@@ -225,7 +237,6 @@ class RTree:
         leaf = self._find_leaf(self._root, envelope, item, path)
         if leaf is None:
             return False
-        self._packed = None
         leaf.entries = [
             (env, it)
             for env, it in leaf.entries
@@ -240,6 +251,11 @@ class RTree:
         # Shrink the root if it became a single-child inner node.
         while not self._root.leaf and len(self._root.entries) == 1:
             self._root = self._root.entries[0][1]
+        # Invalidate last (see insert): entry filtering, condensation and
+        # orphan reinsertion are all structural; a snapshot rebuilt by a
+        # concurrent reader at any point in between must not survive the
+        # removal.
+        self._packed = None
         return True
 
     def _find_leaf(
@@ -304,19 +320,27 @@ class RTree:
         """Lazily yield items whose envelopes intersect ``envelope``."""
         if envelope.is_empty or self._size == 0:
             return
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if not node.envelope.intersects(envelope):
-                continue
-            if node.leaf:
-                for env, item in node.entries:
-                    if env.intersects(envelope):
-                        yield item
-            else:
-                for env, child in node.entries:
-                    if env.intersects(envelope):
-                        stack.append(child)
+        visits = 0
+        try:
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                visits += 1
+                if not node.envelope.intersects(envelope):
+                    continue
+                if node.leaf:
+                    for env, item in node.entries:
+                        if env.intersects(envelope):
+                            yield item
+                else:
+                    for env, child in node.entries:
+                        if env.intersects(envelope):
+                            stack.append(child)
+        finally:
+            # Flushed even when the consumer abandons the generator, so
+            # partial walks are still accounted.
+            obs.counter("rtree.query.calls").inc()
+            obs.counter("rtree.query.node_visits").inc(visits)
 
     def query_point(self, x: float, y: float) -> List[Any]:
         """All items whose envelopes contain the point."""
@@ -336,6 +360,7 @@ class RTree:
                 envelopes.append(env)
                 items.append(item)
             self._packed = (PackedEnvelopes.pack(envelopes), items)
+            obs.counter("rtree.snapshot.rebuilds").inc()
         return self._packed
 
     def query_batch(
@@ -357,6 +382,8 @@ class RTree:
         envelopes = list(envelopes)
         if not envelopes:
             return []
+        obs.counter("rtree.query_batch.calls").inc()
+        obs.counter("rtree.query_batch.probes").inc(len(envelopes))
         if self._size == 0:
             return [[] for _ in envelopes]
         packed, items = self.packed_entries()

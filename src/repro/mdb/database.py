@@ -7,6 +7,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cache import LRUCache
 from repro.mdb.catalog import Catalog
 from repro.mdb.errors import ExecutionError
@@ -108,7 +109,7 @@ class Database:
         # Prepared-plan cache: SQL text → parsed statement.  Statement
         # ASTs are immutable, so repeated query texts (the dominant shape
         # of catalog-serving workloads) skip the lexer and parser.
-        self.plan_cache = LRUCache(maxsize=256)
+        self.plan_cache = LRUCache(maxsize=256, name="mdb.plan_cache")
         # One statement executes at a time: the executor and catalog are
         # not internally concurrent, so the worker pool (parallel NOA
         # batches) serialises on this re-entrant lock.  Callers doing
@@ -120,7 +121,7 @@ class Database:
         stmt = self.plan_cache.get_or_compute(
             sql, lambda: parse_statement(sql)
         )
-        with self.lock:
+        with obs.span("mdb.execute"), self.lock:
             return self._executor.execute(stmt)
 
     def execute_script(self, sql: str) -> List[Result]:

@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import parallel
+from repro import obs, parallel
 from repro.mdb.errors import CatalogError, ExecutionError, SQLTypeError
 from repro.mdb.sql import ast
 from repro.mdb.types import ColumnType, type_by_name
@@ -288,19 +288,23 @@ class SciArray:
             sched, workers is not None or scheduler is not None,
             self.shape[0],
         )
-        if bands is None:
-            result = np.asarray(fn(data))
-        else:
-            parts = sched.map(
-                lambda band: np.asarray(fn(data[band[0]:band[1]])), bands
-            )
-            for band, part in zip(bands, parts):
-                if part.shape != (band[1] - band[0],) + self.shape[1:]:
-                    raise ExecutionError(
-                        "map function changed the array shape "
-                        f"({self.shape} -> band {band} {part.shape})"
-                    )
-            result = np.concatenate(parts, axis=0)
+        obs.counter("sciql.map.calls").inc()
+        obs.counter("sciql.map.cells").inc(self.cell_count)
+        obs.counter("sciql.map.tiles").inc(len(bands) if bands else 1)
+        with obs.span("sciql.map", array=self.name):
+            if bands is None:
+                result = np.asarray(fn(data))
+            else:
+                parts = sched.map(
+                    lambda band: np.asarray(fn(data[band[0]:band[1]])), bands
+                )
+                for band, part in zip(bands, parts):
+                    if part.shape != (band[1] - band[0],) + self.shape[1:]:
+                        raise ExecutionError(
+                            "map function changed the array shape "
+                            f"({self.shape} -> band {band} {part.shape})"
+                        )
+                result = np.concatenate(parts, axis=0)
         if result.shape != self.shape:
             raise ExecutionError(
                 "map function changed the array shape "
@@ -373,10 +377,18 @@ class SciArray:
         bands = self._row_bands(
             sched, workers is not None or scheduler is not None, out_rows
         )
-        if bands is None:
-            reduced = reduce_rows((0, out_rows))
-        else:
-            reduced = np.concatenate(sched.map(reduce_rows, bands), axis=0)
+        obs.counter("sciql.tile_aggregate.calls").inc()
+        obs.counter("sciql.tile_aggregate.cells").inc(self.cell_count)
+        obs.counter("sciql.tile_aggregate.tiles").inc(
+            len(bands) if bands else 1
+        )
+        with obs.span("sciql.tile_aggregate", array=self.name, func=func):
+            if bands is None:
+                reduced = reduce_rows((0, out_rows))
+            else:
+                reduced = np.concatenate(
+                    sched.map(reduce_rows, bands), axis=0
+                )
         dims = [
             Dimension(d.name, 0, s // t)
             for d, s, t in zip(self.dimensions, trimmed_shape, tile)
@@ -409,15 +421,21 @@ class SciArray:
             sched, workers is not None or scheduler is not None,
             self.shape[0],
         )
-        if bands is None:
-            return int(np.count_nonzero(predicate(data)))
-        counts = sched.map(
-            lambda band: int(
-                np.count_nonzero(predicate(data[band[0]:band[1]]))
-            ),
-            bands,
+        obs.counter("sciql.count_where.calls").inc()
+        obs.counter("sciql.count_where.cells").inc(self.cell_count)
+        obs.counter("sciql.count_where.tiles").inc(
+            len(bands) if bands else 1
         )
-        return int(sum(counts))
+        with obs.span("sciql.count_where", array=self.name):
+            if bands is None:
+                return int(np.count_nonzero(predicate(data)))
+            counts = sched.map(
+                lambda band: int(
+                    np.count_nonzero(predicate(data[band[0]:band[1]]))
+                ),
+                bands,
+            )
+            return int(sum(counts))
 
     # -- relational view -----------------------------------------------------------
 

@@ -27,13 +27,19 @@ from repro.noa.classification import (
     contextual_classifier,
     static_threshold_classifier,
 )
-from repro.noa.chain import ChainResult, Hotspot, ProcessingChain
+from repro.noa.chain import (
+    ChainFailure,
+    ChainResult,
+    Hotspot,
+    ProcessingChain,
+)
 from repro.noa.refinement import RefinementReport, Refiner, score_hotspots
 from repro.noa.mapping import FireMap, FireMapBuilder
 from repro.noa.render import SVGMapRenderer, render_fire_map_svg
 
 __all__ = [
     "CLASSIFIERS",
+    "ChainFailure",
     "ChainResult",
     "FireMap",
     "FireMapBuilder",

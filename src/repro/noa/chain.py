@@ -21,7 +21,7 @@ from typing import ContextManager, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import parallel
+from repro import obs, parallel
 
 from repro.eo.products import ProcessingLevel, Product
 from repro.geometry import Polygon
@@ -110,6 +110,33 @@ class GeoGrid:
         )
 
 
+class ChainFailure:
+    """One acquisition that failed inside a batch.
+
+    :meth:`ProcessingChain.run_batch` isolates per-acquisition errors:
+    a failure is returned in the acquisition's result slot instead of
+    aborting the whole batch (and with it every other acquisition's RDF
+    emit).  The original exception is preserved for the caller to
+    re-raise or log.
+    """
+
+    __slots__ = ("path", "error")
+
+    def __init__(self, path: str, error: BaseException):
+        self.path = path
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChainFailure {os.path.basename(self.path)!r} "
+            f"{type(self.error).__name__}: {self.error}>"
+        )
+
+
 class ChainResult:
     """Everything a chain run produced, with per-stage timings."""
 
@@ -123,6 +150,10 @@ class ChainResult:
         self.shapefile_path: Optional[str] = None
         self.rdf: Graph = Graph()
         self.timings: Dict[str, float] = {}
+
+    @property
+    def ok(self) -> bool:
+        return True
 
     @property
     def total_seconds(self) -> float:
@@ -192,23 +223,51 @@ class ProcessingChain:
 
         Results are returned in ``paths`` order and are identical to
         sequential :meth:`run` calls (hotspots, confidences, RDF).
+
+        Failures are *isolated*: an acquisition whose chain raises gets
+        a :class:`ChainFailure` in its result slot — the batch is not
+        aborted, the remaining acquisitions' RDF still reaches the bulk
+        emit, and the ``noa.batch.ok`` / ``noa.batch.failed`` counters
+        record the split.  (Single :meth:`run` calls still raise.)
         """
         paths = list(paths)
         sched = parallel.get_scheduler(scheduler, workers)
-        if sched.workers == 1 or len(paths) <= 1:
-            return [self._execute(path, output_dir) for path in paths]
-        store = self.ingestor.store
-        lock = self.ingestor.db.lock
-        with store.bulk():
-            results = sched.map(
-                lambda path: self._execute(
-                    path, output_dir, emit=False, lock=lock
-                ),
-                paths,
-            )
-            for result in results:
-                store.load_graph(result.rdf)
+        with obs.span("noa.run_batch", acquisitions=len(paths)):
+            if sched.workers == 1 or len(paths) <= 1:
+                results: List[ChainResult | ChainFailure] = [
+                    self._guarded(path, output_dir) for path in paths
+                ]
+            else:
+                store = self.ingestor.store
+                lock = self.ingestor.db.lock
+                with store.bulk():
+                    results = sched.map(
+                        lambda path: self._guarded(
+                            path, output_dir, emit=False, lock=lock
+                        ),
+                        paths,
+                    )
+                    for result in results:
+                        if isinstance(result, ChainResult):
+                            store.load_graph(result.rdf)
+            ok = sum(1 for r in results if isinstance(r, ChainResult))
+            obs.counter("noa.batch.ok").inc(ok)
+            obs.counter("noa.batch.failed").inc(len(results) - ok)
         return results
+
+    def _guarded(
+        self,
+        path: str,
+        output_dir: Optional[str] = None,
+        emit: bool = True,
+        lock: Optional[ContextManager] = None,
+    ) -> "ChainResult | ChainFailure":
+        """One batch slot: the chain result, or the captured failure."""
+        try:
+            return self._execute(path, output_dir, emit=emit, lock=lock)
+        except Exception as exc:  # noqa: BLE001 — isolated per acquisition
+            obs.counter("noa.chain.errors").inc()
+            return ChainFailure(path, exc)
 
     def _execute(
         self,
@@ -225,7 +284,7 @@ class ProcessingChain:
 
         # (a) ingestion — vault cataloging + array materialisation.
         t0 = time.perf_counter()
-        with guard:
+        with obs.span("noa.stage.ingestion", path=path), guard:
             product = self.ingestor.ingest_file(path, lazy=True)
             array = self.ingestor.materialize_array(product)
         timings["ingestion"] = time.perf_counter() - t0
@@ -236,7 +295,7 @@ class ProcessingChain:
 
         # (b) cropping — SciQL array slicing on the area of interest.
         t0 = time.perf_counter()
-        with guard:
+        with obs.span("noa.stage.cropping", path=path), guard:
             array, row_range, col_range = self._crop(
                 array, header_window, full_shape
             )
@@ -244,7 +303,7 @@ class ProcessingChain:
 
         # (c) georeference — register the sensor grid CRS.
         t0 = time.perf_counter()
-        with guard:
+        with obs.span("noa.stage.georeference", path=path), guard:
             grid = self._georeference(product, header_window, full_shape,
                                       row_range, col_range)
         result.grid = grid
@@ -254,29 +313,32 @@ class ProcessingChain:
         # Runs unlocked: submodules own their acquisition's array, and
         # SciQL UPDATEs serialise inside Database.execute.
         t0 = time.perf_counter()
-        mask = CLASSIFIERS[self.classifier](array, self.ingestor.db)
+        with obs.span("noa.stage.classification", path=path,
+                      classifier=self.classifier):
+            mask = CLASSIFIERS[self.classifier](array, self.ingestor.db)
         result.hotspot_mask = mask
         timings["classification"] = time.perf_counter() - t0
 
         # (e) shapefile generation — components → polygons → .shp + RDF.
         t0 = time.perf_counter()
-        hotspots = self._vectorize(array, mask, grid, product)
-        result.hotspots = hotspots
-        derived = product.derive(
-            f"{product.product_id}_hotspots_{self.classifier}",
-            ProcessingLevel.L2_DERIVED,
-            metadata={"hasClassifier": self.classifier},
-        )
-        result.derived_product = derived
-        if output_dir is not None:
-            os.makedirs(output_dir, exist_ok=True)
-            base = os.path.join(output_dir, derived.product_id)
-            write_shapefile(base, self._features(hotspots))
-            result.shapefile_path = base + ".shp"
-            derived.path = result.shapefile_path
-        result.rdf = self._emit_rdf(derived, hotspots)
-        if emit:
-            self.ingestor.store.load_graph(result.rdf)
+        with obs.span("noa.stage.shapefile", path=path):
+            hotspots = self._vectorize(array, mask, grid, product)
+            result.hotspots = hotspots
+            derived = product.derive(
+                f"{product.product_id}_hotspots_{self.classifier}",
+                ProcessingLevel.L2_DERIVED,
+                metadata={"hasClassifier": self.classifier},
+            )
+            result.derived_product = derived
+            if output_dir is not None:
+                os.makedirs(output_dir, exist_ok=True)
+                base = os.path.join(output_dir, derived.product_id)
+                write_shapefile(base, self._features(hotspots))
+                result.shapefile_path = base + ".shp"
+                derived.path = result.shapefile_path
+            result.rdf = self._emit_rdf(derived, hotspots)
+            if emit:
+                self.ingestor.store.load_graph(result.rdf)
         timings["shapefile"] = time.perf_counter() - t0
 
         result.timings = timings

@@ -1,0 +1,526 @@
+"""Process-wide observability: metrics registry and tracing spans.
+
+TELEIOS's demo scenarios hinge on *comparing* processing chains and
+query strategies, and the performance layers (plan caches, the worker
+pool, tiled kernels) need runtime visibility to be tuned at all.  This
+module is the one instrumentation substrate every tier shares:
+
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` — thread-safe
+  primitives; histograms keep exact count/sum/min/max plus a bounded
+  reservoir of recent observations for p50/p95;
+* :class:`Span` — a lightweight tracing context manager
+  (``with span("noa.cropping", acquisition=...)``) recording wall time
+  into the histogram of the same name and maintaining a per-thread
+  nesting stack (:func:`current_span`);
+* cache auto-registration — every :class:`repro.cache.LRUCache`
+  registers its live :class:`~repro.cache.CacheStats` here (held by weak
+  reference, so transient caches vanish from snapshots when collected);
+* :func:`snapshot` — everything as one structured dict, and
+  :func:`render` — a text exposition (one metric per line) served by the
+  service tier (:class:`repro.vo.services.MetricsService`).
+
+The whole layer is gated by the ``REPRO_OBS`` environment variable:
+``REPRO_OBS=0`` (or ``false``/``off``/``no``) disables it, making every
+accessor return shared no-op singletons — a disabled call site costs one
+method call and a flag test, nothing else.  Instrumentation is recorded
+at operation granularity (per query, per stage, per kernel call — never
+per cell or per solution), so the enabled overhead stays far below the
+work being measured.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+import weakref
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS_ENV",
+    "Span",
+    "counter",
+    "current_span",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "register_cache",
+    "render",
+    "reset",
+    "set_enabled",
+    "snapshot",
+    "span",
+]
+
+#: Environment variable gating the whole layer (default: enabled).
+OBS_ENV = "REPRO_OBS"
+
+#: Observations kept per histogram for percentile estimation.  Exact
+#: count/sum/min/max are always maintained over *all* observations; only
+#: the percentile reservoir is bounded (a ring of the most recent).
+HISTOGRAM_WINDOW = 2048
+
+
+def _env_enabled() -> bool:
+    raw = os.environ.get(OBS_ENV, "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+# -- primitives ---------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing value (int or float increments)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self._value}>"
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, utilization)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self._value}>"
+
+
+class Histogram:
+    """Distribution summary: exact count/sum/min/max, windowed p50/p95."""
+
+    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max",
+                 "_window", "_cursor")
+
+    def __init__(self, name: str, window: int = HISTOGRAM_WINDOW):
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._window: List[float] = [0.0] * max(1, window)
+        self._cursor = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            self._window[self._cursor % len(self._window)] = value
+            self._cursor += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) over the retained window."""
+        with self._lock:
+            filled = min(self._cursor, len(self._window))
+            if filled == 0:
+                return 0.0
+            ordered = sorted(self._window[:filled])
+        rank = min(filled - 1, max(0, int(math.ceil(q * filled)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            count = self._count
+            total = self._sum
+            lo = self._min
+            hi = self._max
+            filled = min(self._cursor, len(self._window))
+            ordered = sorted(self._window[:filled])
+        if count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+        def pick(q: float) -> float:
+            rank = min(filled - 1, max(0, int(math.ceil(q * filled)) - 1))
+            return ordered[rank]
+
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": lo,
+            "p50": pick(0.50),
+            "p95": pick(0.95),
+            "max": hi,
+        }
+
+    def __repr__(self) -> str:
+        s = self.summary()
+        return (
+            f"<Histogram {self.name} count={s['count']} "
+            f"p50={s['p50']:.6g} p95={s['p95']:.6g} max={s['max']:.6g}>"
+        )
+
+
+class Span:
+    """One timed block; durations land in the histogram of its name.
+
+    Spans nest per thread: the innermost open span of the calling thread
+    is :func:`current_span`.  ``tags`` are free-form annotations carried
+    on the span object (``span.tags``) for in-flight inspection — they
+    are deliberately not aggregated, so tagging stays allocation-cheap.
+    """
+
+    __slots__ = ("registry", "name", "tags", "started", "elapsed")
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 tags: Optional[Dict[str, Any]] = None):
+        self.registry = registry
+        self.name = name
+        self.tags = tags or {}
+        self.started = 0.0
+        self.elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        self.registry._span_stack().append(self)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self.started
+        stack = self.registry._span_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.registry.histogram(self.name).observe(self.elapsed)
+
+
+# -- disabled-mode singletons -------------------------------------------------
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "<disabled>"
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+
+class _NullSpan:
+    __slots__ = ()
+    name = "<disabled>"
+    tags: Dict[str, Any] = {}
+    elapsed = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_SPAN = _NullSpan()
+
+
+# -- the registry -------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """Named metrics, created lazily, plus weakly-held cache stats."""
+
+    def __init__(self, enabled: Optional[bool] = None):
+        self._enabled = _env_enabled() if enabled is None else bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._caches: Dict[str, "weakref.ref"] = {}
+        self._local = threading.local()
+
+    # -- gating --------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, flag: bool) -> None:
+        self._enabled = bool(flag)
+
+    # -- accessors -----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self._enabled:
+            return _NULL_COUNTER  # type: ignore[return-value]
+        return self._metric(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        if not self._enabled:
+            return _NULL_GAUGE  # type: ignore[return-value]
+        return self._metric(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        if not self._enabled:
+            return _NULL_HISTOGRAM  # type: ignore[return-value]
+        return self._metric(self._histograms, name, Histogram)
+
+    def _metric(self, table: Dict[str, Any], name: str,
+                factory: Callable[[str], Any]) -> Any:
+        metric = table.get(name)
+        if metric is None:
+            with self._lock:
+                metric = table.get(name)
+                if metric is None:
+                    metric = table[name] = factory(name)
+        return metric
+
+    def span(self, name: str, **tags: Any) -> Span:
+        if not self._enabled:
+            return _NULL_SPAN  # type: ignore[return-value]
+        return Span(self, name, tags or None)
+
+    def _span_stack(self) -> List[Span]:
+        stack = getattr(self._local, "spans", None)
+        if stack is None:
+            stack = self._local.spans = []
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of the calling thread, if any."""
+        stack = getattr(self._local, "spans", None)
+        return stack[-1] if stack else None
+
+    # -- cache registration --------------------------------------------------
+
+    def register_cache(self, cache: Any, name: Optional[str] = None) -> str:
+        """Track any object with a ``stats`` property (weakly held).
+
+        Returns the registered name; duplicates get a ``#N`` suffix so
+        every live cache stays individually visible in snapshots.
+        """
+        base = name or "cache"
+        with self._lock:
+            self._prune_caches()
+            registered = base
+            n = 1
+            while registered in self._caches:
+                n += 1
+                registered = f"{base}#{n}"
+            self._caches[registered] = weakref.ref(cache)
+        return registered
+
+    def _prune_caches(self) -> None:
+        dead = [k for k, ref in self._caches.items() if ref() is None]
+        for k in dead:
+            del self._caches[k]
+
+    def _live_caches(self) -> Iterator[Tuple[str, Any]]:
+        with self._lock:
+            self._prune_caches()
+            pairs = list(self._caches.items())
+        for name, ref in pairs:
+            cache = ref()
+            if cache is not None:
+                yield name, cache
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything as one structured dict (JSON-serialisable)."""
+        caches: Dict[str, Dict[str, Any]] = {}
+        for name, cache in self._live_caches():
+            stats = cache.stats
+            caches[name] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "invalidations": stats.invalidations,
+                "size": stats.size,
+                "maxsize": stats.maxsize,
+                "hit_rate": stats.hit_rate,
+            }
+        with self._lock:
+            counters = {n: c.value for n, c in self._counters.items()}
+            gauges = {n: g.value for n, g in self._gauges.items()}
+            histograms = list(self._histograms.items())
+        return {
+            "enabled": self._enabled,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {n: h.summary() for n, h in histograms},
+            "caches": caches,
+        }
+
+    def render(self) -> str:
+        """Text exposition: one metric per line, sections commented."""
+        snap = self.snapshot()
+        lines: List[str] = [f"# repro metrics (enabled={snap['enabled']})"]
+        if snap["counters"]:
+            lines.append("# counters")
+            for name in sorted(snap["counters"]):
+                lines.append(f"{name} {snap['counters'][name]}")
+        if snap["gauges"]:
+            lines.append("# gauges")
+            for name in sorted(snap["gauges"]):
+                lines.append(f"{name} {snap['gauges'][name]:.6g}")
+        if snap["histograms"]:
+            lines.append("# histograms (seconds unless noted)")
+            for name in sorted(snap["histograms"]):
+                s = snap["histograms"][name]
+                lines.append(
+                    f"{name} count={s['count']} mean={s['mean']:.6g} "
+                    f"p50={s['p50']:.6g} p95={s['p95']:.6g} "
+                    f"max={s['max']:.6g}"
+                )
+        if snap["caches"]:
+            lines.append("# caches")
+            for name in sorted(snap["caches"]):
+                c = snap["caches"][name]
+                lines.append(
+                    f"{name} hits={c['hits']} misses={c['misses']} "
+                    f"hit_rate={c['hit_rate']:.3f} "
+                    f"size={c['size']}/{c['maxsize']}"
+                )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every metric (cache registrations survive)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry enabled={self._enabled} "
+            f"counters={len(self._counters)} gauges={len(self._gauges)} "
+            f"histograms={len(self._histograms)} caches={len(self._caches)}>"
+        )
+
+
+# -- the process-wide registry ------------------------------------------------
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    return _REGISTRY.enabled
+
+
+def set_enabled(flag: bool) -> None:
+    _REGISTRY.set_enabled(flag)
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)
+
+
+def span(name: str, **tags: Any) -> Span:
+    return _REGISTRY.span(name, **tags)
+
+
+def current_span() -> Optional[Span]:
+    return _REGISTRY.current_span()
+
+
+def register_cache(cache: Any, name: Optional[str] = None) -> str:
+    return _REGISTRY.register_cache(cache, name)
+
+
+def snapshot() -> Dict[str, Any]:
+    return _REGISTRY.snapshot()
+
+
+def render() -> str:
+    return _REGISTRY.render()
+
+
+def reset() -> None:
+    _REGISTRY.reset()

@@ -12,7 +12,11 @@ This module provides the one scheduler every parallelised tier shares:
   is a plain loop, byte-for-byte the code path used before this layer
   existed;
 * the default worker count comes from the ``REPRO_WORKERS`` environment
-  variable (absent → 1, i.e. everything stays serial unless opted in).
+  variable (absent → 1, i.e. everything stays serial unless opted in;
+  non-numeric or non-positive values fall back to the default with a
+  ``parallel.workers.invalid`` warning metric instead of raising);
+* the pool self-reports through :mod:`repro.obs`: task counts, queue
+  depth, per-map wall time and worker utilization.
 
 Threads (not processes) are the right pool here: every hot loop the
 scheduler runs — numpy tile kernels, envelope arithmetic, window
@@ -32,7 +36,10 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import obs
 
 __all__ = [
     "TaskScheduler",
@@ -51,28 +58,41 @@ QUEUE_FACTOR = 4
 
 
 def env_workers(default: int = 1) -> int:
-    """Worker count from ``REPRO_WORKERS`` (absent/empty → ``default``)."""
+    """Worker count from ``REPRO_WORKERS`` (absent/empty → ``default``).
+
+    A non-numeric or non-positive value (``"abc"``, ``"0"``, ``"-2"``)
+    also falls back to ``default``: a mis-set environment variable must
+    degrade the pool to its safe default, not kill the process or build
+    a zero-worker scheduler that can never drain its queue.  Each
+    fallback is recorded on the ``parallel.workers.invalid`` warning
+    counter so the misconfiguration stays visible.
+    """
     raw = os.environ.get(WORKERS_ENV, "").strip()
     if not raw:
         return default
     try:
         value = int(raw)
     except ValueError:
-        raise ValueError(
-            f"{WORKERS_ENV} must be an integer, got {raw!r}"
-        ) from None
+        value = 0
     if value < 1:
-        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {value}")
+        obs.counter("parallel.workers.invalid").inc()
+        return default
     return value
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """An explicit worker count, or the ``REPRO_WORKERS`` default."""
+    """An explicit worker count, or the ``REPRO_WORKERS`` default.
+
+    An explicit ``workers <= 0`` gets the same clamp as a bad
+    environment value: fall back to the environment default and record
+    the ``parallel.workers.invalid`` warning metric.
+    """
     if workers is None:
         return env_workers()
     workers = int(workers)
     if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+        obs.counter("parallel.workers.invalid").inc()
+        return env_workers()
     return workers
 
 
@@ -148,6 +168,12 @@ class TaskScheduler:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._closed = False
+        # Cumulative seconds workers spent inside task functions; the
+        # delta across one map, divided by wall x workers, is that map's
+        # pool utilization (exposed as the ``parallel.utilization``
+        # gauge).
+        self._busy_seconds = 0.0
+        self._busy_lock = threading.Lock()
 
     # -- pool lifecycle ------------------------------------------------------
 
@@ -173,10 +199,15 @@ class TaskScheduler:
             if task is None:
                 break
             batch, index, fn, item = task
+            started = time.perf_counter()
             try:
                 batch.complete(index, fn(item), None)
             except BaseException as exc:  # noqa: BLE001 — reported to caller
                 batch.complete(index, None, exc)
+            finally:
+                elapsed = time.perf_counter() - started
+                with self._busy_lock:
+                    self._busy_seconds += elapsed
 
     def close(self) -> None:
         """Stop the workers (idempotent; pending maps finish first)."""
@@ -212,12 +243,31 @@ class TaskScheduler:
         """
         items = list(items)
         if self.workers == 1 or len(items) <= 1 or self.in_worker:
+            if items:
+                obs.counter("parallel.tasks.serial").inc(len(items))
+                # One lane, fully busy: the serial loop is by definition
+                # 100% utilised, which keeps the gauge meaningful at
+                # REPRO_WORKERS=1.
+                obs.gauge("parallel.utilization").set(1.0)
             return [fn(item) for item in items]
         self._ensure_started()
         batch = _Batch(len(items))
+        depth = obs.gauge("parallel.queue_depth")
+        busy_before = self._busy_seconds
+        started = time.perf_counter()
         for index, item in enumerate(items):
             self._queue.put((batch, index, fn, item))  # bounded: backpressure
+            depth.set(self._queue.qsize())
         batch.wait()
+        wall = time.perf_counter() - started
+        depth.set(self._queue.qsize())
+        obs.counter("parallel.tasks.submitted").inc(len(items))
+        obs.histogram("parallel.map.seconds").observe(wall)
+        if wall > 0:
+            busy = self._busy_seconds - busy_before
+            obs.gauge("parallel.utilization").set(
+                min(1.0, busy / (wall * self.workers))
+            )
         for error in batch.errors:
             if error is not None:
                 raise error

@@ -12,6 +12,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, Union
 
+from repro import obs
 from repro.cache import LRUCache
 from repro.geometry import Envelope, RTree
 from repro.mdb import Database
@@ -60,7 +61,7 @@ class StrabonStore:
         # Performance layer: prepared-plan cache (query text → parsed
         # algebra) and geometry-literal interner (WKT literal → parsed
         # geometry + envelope), both shared across queries.
-        self.plan_cache = LRUCache(maxsize=256)
+        self.plan_cache = LRUCache(maxsize=256, name="strabon.plan_cache")
         self.geometries = strdf.GeometryInterner()
         # Bulk-load state: when > 0, backend rows are buffered and the
         # R-tree is rebuilt once (STR bulk load) at the end.
@@ -280,21 +281,26 @@ class StrabonStore:
         Parsed plans are cached by query text (the algebra is immutable),
         so repeated queries skip lexing/parsing/translation entirely.
         """
-        parsed = self.plan_cache.get_or_compute(
-            ("query", text), lambda: parse_query(text)
-        )
+        with obs.span("stsparql.parse"):
+            parsed = self.plan_cache.get_or_compute(
+                ("query", text), lambda: parse_query(text)
+            )
         evaluator = Evaluator(
             self, use_spatial_index=self.use_spatial_index
         )
-        if isinstance(parsed, alg.SelectQuery):
-            return evaluator.select(parsed)
-        if isinstance(parsed, alg.AskQuery):
-            return evaluator.ask(parsed)
-        if isinstance(parsed, alg.ConstructQuery):
-            return evaluator.construct(parsed)
-        if isinstance(parsed, alg.DescribeQuery):
-            return evaluator.describe(parsed)
-        raise StSPARQLError(f"unsupported query {type(parsed).__name__}")
+        obs.counter("stsparql.queries").inc()
+        with obs.span("stsparql.query"):
+            if isinstance(parsed, alg.SelectQuery):
+                return evaluator.select(parsed)
+            if isinstance(parsed, alg.AskQuery):
+                return evaluator.ask(parsed)
+            if isinstance(parsed, alg.ConstructQuery):
+                return evaluator.construct(parsed)
+            if isinstance(parsed, alg.DescribeQuery):
+                return evaluator.describe(parsed)
+            raise StSPARQLError(
+                f"unsupported query {type(parsed).__name__}"
+            )
 
     def update(self, text: str) -> int:
         """Run one or more stSPARQL update operations; returns the total
@@ -304,13 +310,16 @@ class StrabonStore:
         are pure templates re-instantiated against current data on every
         call, so a cached plan can never replay stale solutions.
         """
-        ops = self.plan_cache.get_or_compute(
-            ("update", text), lambda: parse_update(text)
-        )
+        with obs.span("stsparql.parse"):
+            ops = self.plan_cache.get_or_compute(
+                ("update", text), lambda: parse_update(text)
+            )
         evaluator = Evaluator(
             self, use_spatial_index=self.use_spatial_index
         )
-        return sum(evaluator.update(op) for op in ops)
+        obs.counter("stsparql.updates").inc()
+        with obs.span("stsparql.update"):
+            return sum(evaluator.update(op) for op in ops)
 
     def __repr__(self) -> str:
         return (

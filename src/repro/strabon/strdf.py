@@ -107,7 +107,7 @@ class GeometryInterner:
     __slots__ = ("_cache",)
 
     def __init__(self, maxsize: int = 8192):
-        self._cache = LRUCache(maxsize=maxsize)
+        self._cache = LRUCache(maxsize=maxsize, name="strabon.geometries")
 
     def geometry(self, term: RDFTerm) -> Geometry:
         """Parsed geometry of a WKT literal (cached)."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.geometry import Geometry
 from repro.geometry.envelope import Envelope, PackedEnvelopes
 from repro.rdf.term import BNode, Literal, RDFTerm, URIRef, Variable
@@ -256,7 +257,12 @@ class Evaluator:
     ) -> List[Solution]:
         # Spatial-filter pushdown: compute R-tree candidate sets for
         # variables constrained by indexable FILTERs against constants.
-        hints = self._spatial_hints(group.filters) if self.use_spatial_index else {}
+        with obs.span("stsparql.plan"):
+            hints = (
+                self._spatial_hints(group.filters)
+                if self.use_spatial_index
+                else {}
+            )
         # General filter pushdown: a FILTER may run as soon as no later
         # part (or remaining BGP pattern) can bind any of its variables —
         # at that point its verdict can no longer change.
@@ -313,12 +319,13 @@ class Evaluator:
         """Apply one FILTER, with the vectorised envelope prefilter in
         front when the expression is a single indexable spatial call
         running over many solutions."""
-        prefiltered = self._envelope_prefilter(expr, solutions)
-        if prefiltered is not None:
-            solutions = prefiltered
-        return [
-            sol for sol in solutions if self._filter_passes(expr, sol)
-        ]
+        with obs.span("stsparql.filter"):
+            prefiltered = self._envelope_prefilter(expr, solutions)
+            if prefiltered is not None:
+                solutions = prefiltered
+            return [
+                sol for sol in solutions if self._filter_passes(expr, sol)
+            ]
 
     def _envelope_prefilter(
         self, expr: alg.Expr, solutions: List[Solution]
@@ -367,6 +374,10 @@ class Evaluator:
             for index, hit in zip(testable, mask.tolist())
             if not hit
         }
+        # Prefilter effectiveness: tested vs dropped gives the hit rate
+        # of the envelope pass (dropped solutions skip the exact test).
+        obs.counter("stsparql.prefilter.tested").inc(len(testable))
+        obs.counter("stsparql.prefilter.dropped").inc(len(dropped))
         if not dropped:
             return solutions
         return [
@@ -430,6 +441,19 @@ class Evaluator:
             solutions = self._apply_ready_filters(
                 pending, remaining, outer_later, solutions
             )
+        with obs.span("stsparql.bgp", patterns=len(remaining)):
+            return self._bgp_join(
+                remaining, solutions, hints, pending, outer_later
+            )
+
+    def _bgp_join(
+        self,
+        remaining: List[alg.TriplePattern],
+        solutions: List[Solution],
+        hints: Dict[str, Set[RDFTerm]],
+        pending: Optional[List[Tuple[alg.Expr, frozenset]]],
+        outer_later: Set[str],
+    ) -> List[Solution]:
         while remaining and solutions:
             # Greedy: pick the cheapest remaining pattern under the first
             # current solution (estimated matches, then boundness).

@@ -5,7 +5,7 @@
 * :mod:`repro.vo.catalog` — EOWEB-NG-style product discovery compiled to
   stSPARQL;
 * :mod:`repro.vo.services` — the service-processing tier objects (rapid
-  mapping, data mining, semantic annotation).
+  mapping, data mining, semantic annotation, metrics exposition).
 """
 
 from repro.vo.observatory import VirtualEarthObservatory
@@ -13,6 +13,7 @@ from repro.vo.catalog import CatalogQuery, ProductCatalog
 from repro.vo.services import (
     AnnotationService,
     DataMiningService,
+    MetricsService,
     RapidMappingService,
 )
 from repro.vo.ogc import OGCError, WebServiceFrontend
@@ -21,6 +22,7 @@ __all__ = [
     "AnnotationService",
     "CatalogQuery",
     "DataMiningService",
+    "MetricsService",
     "OGCError",
     "ProductCatalog",
     "RapidMappingService",

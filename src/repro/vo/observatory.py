@@ -31,6 +31,7 @@ from repro.vo.catalog import CatalogQuery, ProductCatalog
 from repro.vo.services import (
     AnnotationService,
     DataMiningService,
+    MetricsService,
     RapidMappingService,
 )
 
@@ -53,6 +54,7 @@ class VirtualEarthObservatory:
             self.ingestor, self.world
         )
         self.data_mining = DataMiningService(self.ingestor)
+        self.metrics = MetricsService()
         self.ontology = combined_ontology()
         self.reasoner = RDFSReasoner(self.ontology)
         if load_linked_data:

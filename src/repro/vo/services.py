@@ -2,15 +2,18 @@
 
 Three in-process service objects expose the lower tiers to applications:
 Rapid Mapping (the one the demo exercises), Data Mining and
-Automatic/Interactive Semantic Annotation.
+Automatic/Interactive Semantic Annotation — plus the cross-cutting
+:class:`MetricsService`, the observatory's window onto the
+process-wide observability registry (:mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.eo.linkeddata import GreeceLikeWorld
 from repro.eo.products import Product
 from repro.ingest.features import extract_patches
@@ -118,6 +121,36 @@ class DataMiningService:
         for label in labels:
             counts[label] = counts.get(label, 0) + 1
         return counts
+
+
+class MetricsService:
+    """Serves metrics snapshots from the process-wide registry.
+
+    The service tier's "ops endpoint": :meth:`snapshot` returns the
+    structured (JSON-serialisable) state of every counter, gauge,
+    histogram and registered cache, and :meth:`exposition` renders the
+    same state as a text page (one metric per line) in the style of the
+    usual scrape endpoints.
+    """
+
+    def __init__(self, registry: Optional[obs.MetricsRegistry] = None):
+        self.registry = registry or obs.get_registry()
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Structured dict: counters, gauges, histograms, cache stats."""
+        return self.registry.snapshot()
+
+    def exposition(self) -> str:
+        """Text exposition of the current snapshot."""
+        return self.registry.render()
+
+    def reset(self) -> None:
+        """Zero every metric (cache registrations survive)."""
+        self.registry.reset()
 
 
 class AnnotationService:

@@ -92,6 +92,73 @@ class TestQueryBatchEquality:
         assert tree.packed_entries() is not first
 
 
+class TestSnapshotConcurrencyRegression:
+    """A reader that rebuilds the packed snapshot while a structural
+    mutation is mid-flight must not pin a permanently stale snapshot.
+
+    The pre-fix code invalidated the snapshot *before* mutating, so a
+    concurrent ``packed_entries()`` call landing inside the mutation
+    re-cached the pre-mutation item set — and nothing ever cleared it
+    again.  These tests force a reader into exactly that window.
+    """
+
+    def test_reader_during_insert_does_not_pin_stale_snapshot(self):
+        class ReaderDuringInsert(RTree):
+            def _insert(self, node, envelope, item):
+                if node is self._root:
+                    # A concurrent query_batch rebuilding the snapshot
+                    # while this insert is structurally mid-flight.
+                    self.packed_entries()
+                return super()._insert(node, envelope, item)
+
+        rng = random.Random(11)
+        tree = ReaderDuringInsert(max_entries=8)
+        for k in range(60):
+            tree.insert(random_envelope(rng), f"item-{k}")
+        probe = Envelope(0, 0, 200, 200)
+        tree.query_batch([probe])  # warm the snapshot
+        tree.insert(Envelope(40, 40, 41, 41), "mid-flight")
+        found = tree.query_batch([probe])[0]
+        assert "mid-flight" in found
+        assert sorted(found) == sorted(tree.query(probe))
+
+    def test_reader_during_remove_does_not_pin_stale_snapshot(self):
+        tree_ref = {}
+
+        class Spy:
+            """An item whose equality check (hit by remove's leaf-entry
+            filtering) doubles as a concurrent snapshot reader."""
+
+            def __init__(self, label):
+                self.label = label
+
+            def __eq__(self, other):
+                tree = tree_ref.get("tree")
+                if tree is not None:
+                    tree.packed_entries()
+                return isinstance(other, Spy) and other.label == self.label
+
+            def __hash__(self):
+                return hash(self.label)
+
+        rng = random.Random(12)
+        tree = RTree(max_entries=8)
+        entries = [
+            (random_envelope(rng), Spy(f"item-{k}")) for k in range(40)
+        ]
+        for env, item in entries:
+            tree.insert(env, item)
+        probe = Envelope(0, 0, 200, 200)
+        tree.query_batch([probe])  # warm the snapshot
+        tree_ref["tree"] = tree
+        env0, item0 = entries[0]
+        assert tree.remove(env0, item0)
+        tree_ref.clear()
+        labels = {s.label for s in tree.query_batch([probe])[0]}
+        assert "item-0" not in labels
+        assert labels == {s.label for s in tree.query(probe)}
+
+
 class TestPackedEnvelopes:
     def test_pack_roundtrip(self):
         rng = random.Random(3)

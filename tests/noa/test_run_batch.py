@@ -5,7 +5,7 @@ import pytest
 from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene, write_scene
 from repro.ingest import Ingestor
 from repro.mdb import Database
-from repro.noa import ProcessingChain
+from repro.noa import ChainFailure, ChainResult, ProcessingChain
 from repro.strabon import StrabonStore
 
 WORLD = GreeceLikeWorld()
@@ -134,3 +134,65 @@ class TestRunBatchEquality:
         shp_paths = [r.shapefile_path for r in results]
         assert all(p and os.path.exists(p) for p in shp_paths)
         assert len(set(shp_paths)) == len(paths)
+
+
+class TestRunBatchFailureIsolation:
+    """One failing acquisition must not take the rest of the batch down."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_bad_path_isolated(self, tmp_path, workers):
+        paths = scene_paths(tmp_path)
+        bad = str(tmp_path / "missing_scene.nat")
+        mixed = [paths[0], bad, paths[1], paths[2]]
+
+        chain = fresh_chain()
+        results = chain.run_batch(mixed, workers=workers)
+
+        assert len(results) == len(mixed)
+        assert isinstance(results[1], ChainFailure)
+        assert results[1].path == bad
+        assert not results[1].ok
+        assert isinstance(results[1].error, Exception)
+        good = [results[0], results[2], results[3]]
+        assert all(isinstance(r, ChainResult) and r.ok for r in good)
+
+        # The surviving acquisitions' outcome is byte-identical to a
+        # clean batch over just the good paths — including the RDF that
+        # reaches the store through the bulk emit.
+        baseline_chain = fresh_chain()
+        baseline = [baseline_chain.run(p) for p in paths]
+        assert summarize(good) == summarize(baseline)
+        assert set(chain.ingestor.store.triples()) == set(
+            baseline_chain.ingestor.store.triples()
+        )
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_failure_counters_recorded(self, tmp_path, workers):
+        from repro import obs
+
+        registry = obs.get_registry()
+        was_enabled = registry.enabled
+        registry.set_enabled(True)
+        try:
+            ok0 = obs.counter("noa.batch.ok").value
+            failed0 = obs.counter("noa.batch.failed").value
+            paths = scene_paths(tmp_path, count=2)
+            bad = str(tmp_path / "nope.nat")
+            fresh_chain().run_batch(paths + [bad], workers=workers)
+            ok = obs.counter("noa.batch.ok").value - ok0
+            failed = obs.counter("noa.batch.failed").value - failed0
+        finally:
+            registry.set_enabled(was_enabled)
+        assert ok == 2
+        assert failed == 1
+
+    def test_single_run_still_raises(self, tmp_path):
+        with pytest.raises(Exception):
+            fresh_chain().run(str(tmp_path / "missing.nat"))
+
+    def test_all_failures_still_returns_slots(self, tmp_path):
+        bads = [str(tmp_path / f"ghost_{k}.nat") for k in range(3)]
+        results = fresh_chain().run_batch(bads, workers=4)
+        assert len(results) == 3
+        assert all(isinstance(r, ChainFailure) for r in results)
+        assert [r.path for r in results] == bads

@@ -143,13 +143,40 @@ class TestResolution:
         assert parallel.env_workers() == 6
         assert parallel.resolve_workers() == 6
 
-    def test_env_workers_invalid(self, monkeypatch):
-        monkeypatch.setenv(parallel.WORKERS_ENV, "many")
-        with pytest.raises(ValueError):
+    def test_env_workers_invalid_falls_back(self, monkeypatch):
+        """A mis-set REPRO_WORKERS degrades to the default, never raises."""
+        for bad in ("many", "0", "-2", "1.5"):
+            monkeypatch.setenv(parallel.WORKERS_ENV, bad)
+            assert parallel.env_workers() == 1
+            assert parallel.env_workers(default=3) == 3
+            assert parallel.resolve_workers() == 1
+
+    def test_env_workers_invalid_records_warning_metric(self, monkeypatch):
+        from repro import obs
+
+        registry = obs.get_registry()
+        was_enabled = registry.enabled
+        registry.set_enabled(True)
+        try:
+            monkeypatch.setenv(parallel.WORKERS_ENV, "abc")
+            before = obs.counter("parallel.workers.invalid").value
             parallel.env_workers()
-        monkeypatch.setenv(parallel.WORKERS_ENV, "0")
-        with pytest.raises(ValueError):
-            parallel.env_workers()
+            after = obs.counter("parallel.workers.invalid").value
+        finally:
+            registry.set_enabled(was_enabled)
+        assert after == before + 1
+
+    def test_explicit_nonpositive_workers_fall_back(self, monkeypatch):
+        """resolve_workers clamps explicit workers <= 0 to the env default."""
+        monkeypatch.setenv(parallel.WORKERS_ENV, "3")
+        assert parallel.resolve_workers(0) == 3
+        assert parallel.resolve_workers(-4) == 3
+        monkeypatch.delenv(parallel.WORKERS_ENV, raising=False)
+        assert parallel.resolve_workers(0) == 1
+        # A scheduler built with a bad count still works (serial).
+        sched = TaskScheduler(workers=0)
+        assert sched.workers == 1
+        assert sched.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
 
     def test_explicit_overrides_env(self, monkeypatch):
         monkeypatch.setenv(parallel.WORKERS_ENV, "8")
