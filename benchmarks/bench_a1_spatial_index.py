@@ -9,7 +9,7 @@ window of a large extent.
 import pytest
 
 from repro.geometry import Point
-from repro.rdf import Namespace, URIRef
+from repro.rdf import Namespace
 from repro.strabon import StrabonStore, geometry_literal
 
 EX = Namespace("http://example.org/")

@@ -7,7 +7,6 @@ latency split (ingestion / database / service-processing / application).
 
 import time
 
-import pytest
 
 from repro.ingest import Ingestor
 from repro.mdb import Database

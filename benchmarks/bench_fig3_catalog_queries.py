@@ -6,7 +6,7 @@ level, time window, region) and the semantically enriched requests that
 EOWEB-NG cannot express, including the paper's §1 motivating query.
 """
 
-from datetime import datetime, timedelta
+from datetime import datetime
 
 import pytest
 

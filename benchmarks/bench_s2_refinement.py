@@ -6,7 +6,6 @@ series, reproducing the paper's claim that the previously manual map
 production becomes automatic.
 """
 
-import pytest
 
 from repro.eo.seviri import read_scene
 from repro.ingest import Ingestor

@@ -20,8 +20,14 @@ worker-pool utilization and every cache's hit rate.  Set
 ``REPRO_METRICS_DUMP=/path/to/file.json`` to also write the structured
 snapshot as JSON; ``REPRO_OBS=0`` disables the layer entirely.
 
+Chaos mode: set ``REPRO_FAULTS`` (e.g. ``REPRO_FAULTS="*:p=0.1;seed=7"``)
+and the resilience layer absorbs the injected transient failures — the
+demo still completes and the final snapshot shows the retry, breaker and
+``faults.injected`` counters at work.
+
 Run:  python examples/fire_monitoring.py
       REPRO_WORKERS=4 python examples/fire_monitoring.py
+      REPRO_FAULTS="*:p=0.1;seed=7" python examples/fire_monitoring.py
 """
 
 import json
@@ -29,7 +35,7 @@ import os
 import tempfile
 import time
 
-from repro import obs, parallel
+from repro import faults, parallel
 from repro.eo import SceneSpec, generate_scene, write_scene
 from repro.eo.seviri import read_scene
 from repro.ingest import Ingestor
@@ -56,6 +62,8 @@ def main():
     workers = parallel.env_workers()
     print(f"worker pool: {workers} worker(s) "
           f"(set {parallel.WORKERS_ENV} to change)")
+    if faults.enabled():
+        print(f"fault injection ACTIVE: {faults.describe()}")
     vo = VirtualEarthObservatory()
     workdir = tempfile.mkdtemp(prefix="teleios_demo_")
     spec = SceneSpec(width=128, height=128, seed=11, n_fires=0, n_glints=3)
@@ -139,6 +147,12 @@ def main():
         f"{len(chain.ingestor.store)} triples published "
         f"in {elapsed * 1000:.1f}ms wall time"
     )
+
+    banner("Resilience state (repro.resilience)")
+    for described in vo.resilience.snapshot()["breakers"]:
+        print(f"  breaker {described['name']:<16} state={described['state']}")
+    if faults.enabled():
+        print(f"  fault plan: {faults.describe()}")
 
     banner("Metrics snapshot (repro.obs)")
     print(vo.metrics.exposition())

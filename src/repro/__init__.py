@@ -14,6 +14,10 @@ Database-Powered Virtual Earth Observatory* (VLDB 2012):
 * :mod:`repro.vo` — the Virtual Earth Observatory facade wiring all tiers.
 * :mod:`repro.obs` — process-wide metrics registry and tracing spans
   (gated by ``REPRO_OBS``; every other tier reports through it).
+* :mod:`repro.resilience` — retry/backoff, circuit breakers and
+  cooperative soft deadlines shared by every tier.
+* :mod:`repro.faults` — deterministic fault injection for chaos runs
+  (gated by ``REPRO_FAULTS``; exercised by the CI chaos matrix).
 """
 
 __version__ = "1.0.0"

@@ -14,28 +14,61 @@ import os
 from datetime import datetime
 from typing import Dict, List, Optional
 
+from repro import faults, obs, resilience
 from repro.eo.products import ProcessingLevel, Product
 from repro.eo.seviri import read_header
 from repro.geometry import Envelope, Polygon
 from repro.ingest.handlers import seviri_format_handler
-from repro.ingest.metadata import product_to_rdf
+from repro.ingest.metadata import product_to_rdf, product_uri
 from repro.mdb import Database
 from repro.mdb.datavault import DataVault
 from repro.mdb.sciql import SciArray
 from repro.strabon import StrabonStore
 
 
+class IngestFailure:
+    """One archive file that failed to ingest inside a directory run.
+
+    Mirrors :class:`repro.noa.chain.ChainFailure`: the failure occupies
+    the file's slot in the report instead of aborting the run, and the
+    original exception is preserved for the caller.
+    """
+
+    __slots__ = ("path", "error")
+
+    def __init__(self, path: str, error: BaseException):
+        self.path = path
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"<IngestFailure {os.path.basename(self.path)!r} "
+            f"{type(self.error).__name__}: {self.error}>"
+        )
+
+
 class IngestionReport:
-    """What one ingestion run produced."""
+    """What one ingestion run produced (and what it failed to)."""
 
     def __init__(self):
         self.products: List[Product] = []
         self.array_names: List[str] = []
+        self.failures: List[IngestFailure] = []
         self.metadata_triples = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every attempted file produced a product."""
+        return not self.failures
 
     def __repr__(self) -> str:
         return (
             f"<IngestionReport products={len(self.products)} "
+            f"failures={len(self.failures)} "
             f"triples={self.metadata_triples}>"
         )
 
@@ -48,9 +81,11 @@ class Ingestor:
         db: Database,
         store: StrabonStore,
         vault: Optional[DataVault] = None,
+        retry: Optional[resilience.RetryPolicy] = None,
     ):
         self.db = db
         self.store = store
+        self.retry = retry or resilience.DEFAULT_RETRY
         # `is not None` matters: an empty vault is falsy (it has __len__).
         self.vault = vault if vault is not None else DataVault("eo-archive")
         if "msg-seviri" not in self.vault.formats():
@@ -77,7 +112,24 @@ class Ingestor:
         With ``lazy=True`` only the header is read now; the pixel array is
         materialised by the vault when first fetched.  ``lazy=False``
         forces immediate payload conversion (the eager-ETL baseline).
+
+        The whole per-file transaction is retried on transient failures
+        (the ``ingest.file`` injection point fires at each attempt) and
+        is idempotent: the catalog row is only inserted when absent,
+        stRDF loads have set semantics, and a failed attempt compensates
+        by removing the partial catalog row, SciQL array and metadata it
+        created — so a file either ingests completely or leaves no trace.
         """
+
+        def attempt() -> Product:
+            faults.maybe_fail("ingest.file")
+            return self._ingest_once(path, lazy)
+
+        return resilience.call_with_retry(
+            attempt, self.retry, label="ingest.file"
+        )
+
+    def _ingest_once(self, path: str, lazy: bool) -> Product:
         self.vault.attach_file(path)
         header = read_header(path)
         acquired = datetime.fromisoformat(str(header["acquired"]))
@@ -100,38 +152,74 @@ class Ingestor:
             },
         )
         array_name = f"scene_{product_id}"
-        self.db.insert_rows(
-            "products",
-            [
-                (
-                    product.product_id,
-                    product.mission,
-                    product.sensor,
-                    int(product.level),
-                    product.acquired,
-                    path,
-                    array_name,
-                    None,
+        try:
+            if self.product_by_id(product_id) is None:
+                self.db.insert_rows(
+                    "products",
+                    [
+                        (
+                            product.product_id,
+                            product.mission,
+                            product.sensor,
+                            int(product.level),
+                            product.acquired,
+                            path,
+                            array_name,
+                            None,
+                        )
+                    ],
                 )
-            ],
-        )
-        self.store.load_graph(product_to_rdf(product))
-        if not lazy:
-            self.materialize_array(product)
+            self.store.load_graph(product_to_rdf(product))
+            if not lazy:
+                self.materialize_array(product)
+        except BaseException:
+            self._compensate(product, array_name)
+            raise
         return product
+
+    def _compensate(self, product: Product, array_name: str) -> None:
+        """Undo the partial artifacts of a failed ingest attempt.
+
+        Removes the catalog row, the registered SciQL array and the
+        product's stRDF metadata, so a retried (or abandoned) ingest
+        starts from a clean slate and the catalog never advertises a
+        product whose ingestion did not complete.
+        """
+        obs.counter("ingest.file.compensations").inc()
+        self.db.execute(
+            "DELETE FROM products "
+            f"WHERE product_id = '{product.product_id}'"
+        )
+        if self.db.catalog.has_array(array_name):
+            self.db.catalog.drop_array(array_name)
+        self.store.remove((product_uri(product), None, None))
 
     def ingest_directory(
         self, directory: str, lazy: bool = True
     ) -> IngestionReport:
-        """Ingest every ``.nat`` scene in a directory (sorted)."""
+        """Ingest every ``.nat`` scene in a directory (sorted).
+
+        Per-file failures *degrade* instead of aborting the run: a file
+        whose ingestion fails (after the retry policy is exhausted) is
+        recorded as an :class:`IngestFailure` on the report and the
+        remaining files still ingest, mirroring
+        :meth:`repro.noa.chain.ProcessingChain.run_batch`.  Every input
+        file therefore lands in exactly one of ``report.products`` or
+        ``report.failures``.
+        """
         report = IngestionReport()
         before = len(self.store)
         for name in sorted(os.listdir(directory)):
             if not name.endswith(".nat"):
                 continue
-            product = self.ingest_file(
-                os.path.join(directory, name), lazy=lazy
-            )
+            path = os.path.join(directory, name)
+            try:
+                product = self.ingest_file(path, lazy=lazy)
+            except Exception as exc:  # noqa: BLE001 — isolated per file
+                obs.counter("ingest.file.failed").inc()
+                report.failures.append(IngestFailure(path, exc))
+                continue
+            obs.counter("ingest.file.ok").inc()
             report.products.append(product)
             report.array_names.append(f"scene_{product.product_id}")
         report.metadata_triples = len(self.store) - before

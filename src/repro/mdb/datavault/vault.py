@@ -7,6 +7,7 @@ import os
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro import faults, resilience
 from repro.mdb.errors import MDBError
 from repro.mdb.sciql import SciArray
 
@@ -70,11 +71,26 @@ class DataVault:
         array = vault.fetch("/archive/msg/scene_001.nat")  # lazy ingest
     """
 
-    def __init__(self, name: str, cache_limit: Optional[int] = None):
+    def __init__(
+        self,
+        name: str,
+        cache_limit: Optional[int] = None,
+        retry: Optional[resilience.RetryPolicy] = None,
+        breaker: Optional[resilience.CircuitBreaker] = None,
+    ):
         self.name = name.lower()
         self.cache_limit = cache_limit
         self._handlers: List[FormatHandler] = []
         self._entries: Dict[str, VaultEntry] = {}
+        # Payload reads are the vault's contact surface with slow or
+        # flaky storage: retried under `retry`, guarded by `breaker` so
+        # a persistently failing archive fails fast instead of queueing
+        # doomed ingests.  Injected chaos faults count as failures.
+        self.retry = retry or resilience.DEFAULT_RETRY
+        self.breaker = breaker or resilience.CircuitBreaker(
+            f"vault.{self.name}",
+            record_on=(resilience.TransientError, faults.InjectedFault),
+        )
         self.stats = {
             "files_cataloged": 0,
             "ingests": 0,
@@ -154,13 +170,31 @@ class DataVault:
                 yield entry
 
     def fetch(self, path: str) -> SciArray:
-        """The file's array — ingesting it on first access (lazy)."""
+        """The file's array — ingesting it on first access (lazy).
+
+        The payload read runs through the vault's retry policy (the
+        ``vault.fetch`` injection point fires here) and circuit
+        breaker; a read that keeps failing raises after bounded
+        attempts, and a tripped breaker rejects further reads with
+        :class:`repro.resilience.CircuitOpenError` until the recovery
+        window passes.  Entry state is only updated on success, so a
+        failed fetch leaves no partially-ingested array behind.
+        """
         entry = self.entry(path)
         entry.last_access = time.monotonic()
         if entry.cached is not None:
             self.stats["cache_hits"] += 1
             return entry.cached
-        entry.cached = entry.handler.ingest(path)
+
+        def read_payload() -> SciArray:
+            faults.maybe_fail("vault.fetch")
+            return entry.handler.ingest(path)
+
+        entry.cached = self.breaker.call(
+            lambda: resilience.call_with_retry(
+                read_payload, self.retry, label="vault.fetch"
+            )
+        )
         entry.ingest_count += 1
         self.stats["ingests"] += 1
         self._enforce_cache_limit(keep=entry)

@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import obs, parallel
+from repro import obs, parallel, resilience
 from repro.mdb.errors import CatalogError, ExecutionError, SQLTypeError
 from repro.mdb.sql import ast
 from repro.mdb.types import ColumnType, type_by_name
@@ -288,16 +288,26 @@ class SciArray:
             sched, workers is not None or scheduler is not None,
             self.shape[0],
         )
+        # Soft-timeout checkpoint: an ambient deadline is honoured at
+        # the kernel boundary and again at every tile band (the band
+        # closure carries the Deadline object into the worker threads).
+        deadline = resilience.active_deadline()
+        if deadline is not None:
+            deadline.check("sciql.map")
         obs.counter("sciql.map.calls").inc()
         obs.counter("sciql.map.cells").inc(self.cell_count)
         obs.counter("sciql.map.tiles").inc(len(bands) if bands else 1)
+
+        def map_band(band: Tuple[int, int]) -> np.ndarray:
+            if deadline is not None:
+                deadline.check("sciql.map")
+            return np.asarray(fn(data[band[0]:band[1]]))
+
         with obs.span("sciql.map", array=self.name):
             if bands is None:
                 result = np.asarray(fn(data))
             else:
-                parts = sched.map(
-                    lambda band: np.asarray(fn(data[band[0]:band[1]])), bands
-                )
+                parts = sched.map(map_band, bands)
                 for band, part in zip(bands, parts):
                     if part.shape != (band[1] - band[0],) + self.shape[1:]:
                         raise ExecutionError(
@@ -361,8 +371,14 @@ class SciArray:
         axes = tuple(range(1, 2 * self.ndim, 2))
         tail = tuple(slice(0, s) for s in trimmed_shape[1:])
 
+        deadline = resilience.active_deadline()
+        if deadline is not None:
+            deadline.check("sciql.tile_aggregate")
+
         def reduce_rows(row_range: Tuple[int, int]) -> np.ndarray:
             """Reduce output tile-rows ``[start, stop)`` of dimension 0."""
+            if deadline is not None:
+                deadline.check("sciql.tile_aggregate")
             start, stop = row_range
             block = data[(slice(start * tile[0], stop * tile[0]),) + tail]
             block_shape: List[int] = [stop - start, tile[0]]
@@ -421,21 +437,24 @@ class SciArray:
             sched, workers is not None or scheduler is not None,
             self.shape[0],
         )
+        deadline = resilience.active_deadline()
+        if deadline is not None:
+            deadline.check("sciql.count_where")
         obs.counter("sciql.count_where.calls").inc()
         obs.counter("sciql.count_where.cells").inc(self.cell_count)
         obs.counter("sciql.count_where.tiles").inc(
             len(bands) if bands else 1
         )
+
+        def count_band(band: Tuple[int, int]) -> int:
+            if deadline is not None:
+                deadline.check("sciql.count_where")
+            return int(np.count_nonzero(predicate(data[band[0]:band[1]])))
+
         with obs.span("sciql.count_where", array=self.name):
             if bands is None:
                 return int(np.count_nonzero(predicate(data)))
-            counts = sched.map(
-                lambda band: int(
-                    np.count_nonzero(predicate(data[band[0]:band[1]]))
-                ),
-                bands,
-            )
-            return int(sum(counts))
+            return int(sum(sched.map(count_band, bands)))
 
     # -- relational view -----------------------------------------------------------
 
@@ -491,6 +510,13 @@ def update_array(array: SciArray, stmt: ast.Update) -> int:
     flattened cell frame with the standard SQL evaluator, then scattered
     back into the numpy planes — this is the SciQL classification idiom
     (`UPDATE msg SET hotspot = 1 WHERE t34 > 310`).
+
+    Writes are **write-then-swap**: each assignment scatters into a
+    private copy of the attribute plane and the finished copy replaces
+    the live plane in one reference assignment.  An UPDATE that dies
+    mid-scatter (an injected fault, a soft deadline) therefore leaves
+    the array exactly as it was — which is what makes a chain stage
+    built on SciQL UPDATE safe to retry.
     """
     from repro.mdb.sql.executor import Evaluator, _bool_mask
 
@@ -502,10 +528,12 @@ def update_array(array: SciArray, stmt: ast.Update) -> int:
         mask = np.ones(frame.nrows, dtype=bool)
     if not mask.any():
         return 0
+    staged = []
     for attr_name, expr in stmt.assignments:
         ctype = array.attribute_type(attr_name)
         data, valid = evaluator.eval(expr)
-        plane = array.attribute(attr_name).reshape(-1)
+        current = array.attribute(attr_name)
+        plane = current.reshape(-1).copy()
         selected = mask & valid
         if data.dtype == object:
             coerced = np.asarray(
@@ -517,4 +545,7 @@ def update_array(array: SciArray, stmt: ast.Update) -> int:
             plane[selected] = coerced
         else:
             plane[selected] = data[selected].astype(plane.dtype)
+        staged.append((attr_name.lower(), plane.reshape(current.shape)))
+    for key, plane in staged:
+        array._values[key] = plane
     return int(mask.sum())

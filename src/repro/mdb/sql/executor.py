@@ -447,11 +447,11 @@ class GroupEvaluator:
         if isinstance(expr, ast.Literal):
             return _broadcast_literal(expr.value, n)
         if isinstance(expr, ast.BinaryOp):
-            l = self.eval(expr.left)
-            r = self.eval(expr.right)
+            lhs = self.eval(expr.left)
+            rhs = self.eval(expr.right)
             tmp = Frame(n)
-            tmp.add_column("$g", "$l", l)
-            tmp.add_column("$g", "$r", r)
+            tmp.add_column("$g", "$l", lhs)
+            tmp.add_column("$g", "$r", rhs)
             ev = Evaluator(tmp)
             return ev._eval_binaryop(
                 ast.BinaryOp(

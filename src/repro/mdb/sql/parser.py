@@ -144,7 +144,10 @@ class _Parser:
         sign = -1 if self.accept_op("-") else 1
         tok = self.next()
         if tok.kind == "number":
-            num = float(tok.value) if "." in tok.value or "e" in tok.value.lower() else int(tok.value)
+            if "." in tok.value or "e" in tok.value.lower():
+                num = float(tok.value)
+            else:
+                num = int(tok.value)
             return sign * num
         if tok.kind == "string":
             return tok.value

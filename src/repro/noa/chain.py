@@ -17,11 +17,20 @@ from __future__ import annotations
 import os
 import time
 from contextlib import nullcontext
-from typing import ContextManager, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    ContextManager,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
-from repro import obs, parallel
+from repro import faults, obs, parallel, resilience
 
 from repro.eo.products import ProcessingLevel, Product
 from repro.geometry import Polygon
@@ -181,6 +190,8 @@ class ProcessingChain:
         classifier: str = "static",
         crop_window: Optional[Tuple[float, float, float, float]] = None,
         min_pixels: int = 1,
+        retry: Optional[resilience.RetryPolicy] = None,
+        deadline: Optional[float] = None,
     ):
         if classifier not in CLASSIFIERS:
             raise ValueError(
@@ -191,6 +202,11 @@ class ProcessingChain:
         self.classifier = classifier
         self.crop_window = crop_window
         self.min_pixels = min_pixels
+        # Resilience: every stage is retried under `retry` on transient
+        # failures (stages are idempotent — see _stage), and `deadline`
+        # (seconds per acquisition) is checked at each stage boundary.
+        self.retry = retry or resilience.DEFAULT_RETRY
+        self.deadline = deadline
         self._grid_srid_counter = 0
 
     # -- the chain ------------------------------------------------------------
@@ -269,6 +285,44 @@ class ProcessingChain:
             obs.counter("noa.chain.errors").inc()
             return ChainFailure(path, exc)
 
+    def _stage(
+        self,
+        name: str,
+        timings: Dict[str, float],
+        deadline: Optional[resilience.Deadline],
+        fn: Callable[[], Any],
+        guard: Optional[ContextManager] = None,
+        **tags: Any,
+    ) -> Any:
+        """Run one chain module with the full resilience envelope.
+
+        The deadline is checked at the stage *boundary* (soft timeout:
+        a stage in flight is never interrupted), the ``chain.<name>``
+        fault-injection point fires per attempt, and transient failures
+        are retried under the chain's policy.  Each attempt re-acquires
+        ``guard`` so a backoff sleep never holds the database lock.
+        Stage bodies are idempotent — ingestion upserts, cropping
+        re-registers the crop array, SciQL attribute writes are
+        write-then-swap — so a retried stage recomputes instead of
+        corrupting.
+        """
+        if deadline is not None:
+            deadline.check(f"chain.{name}")
+        t0 = time.perf_counter()
+
+        def attempt() -> Any:
+            with (guard if guard is not None else nullcontext()):
+                faults.maybe_fail(f"chain.{name}")
+                return fn()
+
+        try:
+            with obs.span(f"noa.stage.{name}", **tags):
+                return resilience.call_with_retry(
+                    attempt, self.retry, label=f"chain.{name}"
+                )
+        finally:
+            timings[name] = time.perf_counter() - t0
+
     def _execute(
         self,
         path: str,
@@ -281,47 +335,54 @@ class ProcessingChain:
         the batch caller can merge every result into one bulk emit."""
         guard: ContextManager = lock if lock is not None else nullcontext()
         timings: Dict[str, float] = {}
+        deadline = (
+            resilience.Deadline(self.deadline)
+            if self.deadline is not None
+            else resilience.active_deadline()
+        )
 
         # (a) ingestion — vault cataloging + array materialisation.
-        t0 = time.perf_counter()
-        with obs.span("noa.stage.ingestion", path=path), guard:
+        def ingest() -> Tuple[Product, SciArray]:
             product = self.ingestor.ingest_file(path, lazy=True)
-            array = self.ingestor.materialize_array(product)
-        timings["ingestion"] = time.perf_counter() - t0
+            return product, self.ingestor.materialize_array(product)
+
+        product, array = self._stage(
+            "ingestion", timings, deadline, ingest, guard, path=path
+        )
         result = ChainResult(product, self.classifier)
 
         header_window = self._product_window(product)
         full_shape = array.shape
 
         # (b) cropping — SciQL array slicing on the area of interest.
-        t0 = time.perf_counter()
-        with obs.span("noa.stage.cropping", path=path), guard:
-            array, row_range, col_range = self._crop(
-                array, header_window, full_shape
-            )
-        timings["cropping"] = time.perf_counter() - t0
+        array, row_range, col_range = self._stage(
+            "cropping", timings, deadline,
+            lambda: self._crop(array, header_window, full_shape),
+            guard, path=path,
+        )
 
         # (c) georeference — register the sensor grid CRS.
-        t0 = time.perf_counter()
-        with obs.span("noa.stage.georeference", path=path), guard:
-            grid = self._georeference(product, header_window, full_shape,
-                                      row_range, col_range)
+        grid = self._stage(
+            "georeference", timings, deadline,
+            lambda: self._georeference(
+                product, header_window, full_shape, row_range, col_range
+            ),
+            guard, path=path,
+        )
         result.grid = grid
-        timings["georeference"] = time.perf_counter() - t0
 
         # (d) classification — the selected submodule fills 'hotspot'.
         # Runs unlocked: submodules own their acquisition's array, and
         # SciQL UPDATEs serialise inside Database.execute.
-        t0 = time.perf_counter()
-        with obs.span("noa.stage.classification", path=path,
-                      classifier=self.classifier):
-            mask = CLASSIFIERS[self.classifier](array, self.ingestor.db)
+        mask = self._stage(
+            "classification", timings, deadline,
+            lambda: CLASSIFIERS[self.classifier](array, self.ingestor.db),
+            path=path, classifier=self.classifier,
+        )
         result.hotspot_mask = mask
-        timings["classification"] = time.perf_counter() - t0
 
         # (e) shapefile generation — components → polygons → .shp + RDF.
-        t0 = time.perf_counter()
-        with obs.span("noa.stage.shapefile", path=path):
+        def shapefile() -> None:
             hotspots = self._vectorize(array, mask, grid, product)
             result.hotspots = hotspots
             derived = product.derive(
@@ -339,7 +400,8 @@ class ProcessingChain:
             result.rdf = self._emit_rdf(derived, hotspots)
             if emit:
                 self.ingestor.store.load_graph(result.rdf)
-        timings["shapefile"] = time.perf_counter() - t0
+
+        self._stage("shapefile", timings, deadline, shapefile, path=path)
 
         result.timings = timings
         return result

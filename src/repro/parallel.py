@@ -9,8 +9,7 @@ This module provides the one scheduler every parallelised tier shares:
   a bounded task queue, with :meth:`TaskScheduler.map` returning results
   in input order (ordered merge) regardless of completion order;
 * ``workers=1`` is a **serial fallback**: no threads, no queue — the map
-  is a plain loop, byte-for-byte the code path used before this layer
-  existed;
+  is a plain loop over the same per-task envelope the workers run;
 * the default worker count comes from the ``REPRO_WORKERS`` environment
   variable (absent → 1, i.e. everything stays serial unless opted in;
   non-numeric or non-positive values fall back to the default with a
@@ -39,7 +38,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro import obs
+from repro import faults, obs, resilience
 
 __all__ = [
     "TaskScheduler",
@@ -55,6 +54,24 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 #: Task-queue capacity per worker (backpressure bound).
 QUEUE_FACTOR = 4
+
+
+def _run_task(fn: Callable[[Any], Any], item: Any) -> Any:
+    """Execute one scheduled task with the resilience envelope.
+
+    The ``scheduler.task`` fault-injection point fires per attempt and
+    transient failures are retried in place (on the worker that owns the
+    task) under the stack default policy.  Task functions are already
+    required to be pure for deterministic merges, so re-running one is
+    always safe.  Non-transient exceptions propagate to the caller
+    exactly as before.
+    """
+
+    def attempt() -> Any:
+        faults.maybe_fail("scheduler.task")
+        return fn(item)
+
+    return resilience.call_with_retry(attempt, label="scheduler.task")
 
 
 def env_workers(default: int = 1) -> int:
@@ -201,7 +218,7 @@ class TaskScheduler:
             batch, index, fn, item = task
             started = time.perf_counter()
             try:
-                batch.complete(index, fn(item), None)
+                batch.complete(index, _run_task(fn, item), None)
             except BaseException as exc:  # noqa: BLE001 — reported to caller
                 batch.complete(index, None, exc)
             finally:
@@ -238,8 +255,8 @@ class TaskScheduler:
         """Apply ``fn`` to every item, returning results in input order.
 
         The serial fallback (``workers=1``, a single item, or a call from
-        inside one of this pool's workers) executes the exact loop a
-        caller would have written without the scheduler.
+        inside one of this pool's workers) runs the same per-task
+        resilience envelope as the workers, just on the calling thread.
         """
         items = list(items)
         if self.workers == 1 or len(items) <= 1 or self.in_worker:
@@ -249,7 +266,7 @@ class TaskScheduler:
                 # 100% utilised, which keeps the gauge meaningful at
                 # REPRO_WORKERS=1.
                 obs.gauge("parallel.utilization").set(1.0)
-            return [fn(item) for item in items]
+            return [_run_task(fn, item) for item in items]
         self._ensure_started()
         batch = _Batch(len(items))
         depth = obs.gauge("parallel.queue_depth")

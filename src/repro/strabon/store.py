@@ -10,9 +10,9 @@ envelopes of geometry literals accelerates spatial selections.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
-from repro import obs
+from repro import faults, obs, resilience
 from repro.cache import LRUCache
 from repro.geometry import Envelope, RTree
 from repro.mdb import Database
@@ -68,6 +68,16 @@ class StrabonStore:
         self._bulk_depth = 0
         self._bulk_term_rows: List[Tuple[int, str]] = []
         self._bulk_triple_rows: List[Tuple[int, int, int]] = []
+        # Resilience layer: bulk emits to the backend are retried on
+        # transient failures and guarded by a circuit breaker, so a
+        # persistently failing backend fails fast instead of stalling
+        # every batch behind it.  Buffered rows survive a failed flush
+        # (see flush_pending), so no RDF is lost to an open circuit.
+        self.retry_policy = resilience.DEFAULT_RETRY
+        self.breaker = resilience.CircuitBreaker(
+            "strabon.bulk",
+            record_on=(resilience.TransientError, faults.InjectedFault),
+        )
 
     # -- storage ------------------------------------------------------------
 
@@ -112,13 +122,46 @@ class StrabonStore:
                 self._flush_bulk()
 
     def _flush_bulk(self) -> None:
-        if self._bulk_term_rows:
-            self.backend.insert_rows("terms", self._bulk_term_rows)
-            self._bulk_term_rows = []
-        if self._bulk_triple_rows:
-            self.backend.insert_rows("triples", self._bulk_triple_rows)
-            self._bulk_triple_rows = []
+        """Emit buffered rows to the backend (retried, breaker-guarded).
+
+        The ``strabon.bulk`` injection point fires per attempt, *before*
+        any row is written, so a retried flush never double-inserts.  On
+        permanent failure the buffered rows are kept (the in-memory
+        graph already holds the triples) and the error propagates; a
+        later :meth:`flush_pending` — or the next bulk context — drains
+        them once the backend recovers.  The R-tree is only rebuilt
+        after a successful emit.
+        """
+
+        def emit() -> None:
+            faults.maybe_fail("strabon.bulk")
+            if self._bulk_term_rows:
+                self.backend.insert_rows("terms", self._bulk_term_rows)
+                self._bulk_term_rows = []
+            if self._bulk_triple_rows:
+                self.backend.insert_rows("triples", self._bulk_triple_rows)
+                self._bulk_triple_rows = []
+
+        self.breaker.call(
+            lambda: resilience.call_with_retry(
+                emit, self.retry_policy, label="strabon.bulk"
+            )
+        )
         self._rebuild_rtree()
+
+    def flush_pending(self) -> bool:
+        """Retry a previously failed bulk emit.
+
+        Returns True when rows were flushed, False when nothing was
+        pending.  Raises like :meth:`bulk` if the backend still fails
+        (or the circuit is still open).
+        """
+        if not (self._bulk_term_rows or self._bulk_triple_rows):
+            return False
+        if self._bulk_depth:
+            return False  # an enclosing bulk context will flush
+        self._flush_bulk()
+        return True
 
     def _rebuild_rtree(self) -> None:
         """Rebuild the spatial index from scratch with STR bulk loading."""
@@ -136,6 +179,15 @@ class StrabonStore:
             pid = self._term_ids.get(p)
             oid = self._term_ids.get(o)
             if None not in (sid, pid, oid):
+                if self._bulk_triple_rows:
+                    # The triple may still be buffered (a bulk emit that
+                    # failed, or an enclosing bulk context): drop it from
+                    # the buffer too, or a later flush would resurrect it
+                    # in the backend after this removal.
+                    row = (sid, pid, oid)
+                    self._bulk_triple_rows = [
+                        r for r in self._bulk_triple_rows if r != row
+                    ]
                 self.backend.execute(
                     f"DELETE FROM triples WHERE s = {sid} AND p = {pid} "
                     f"AND o = {oid}"
@@ -309,7 +361,16 @@ class StrabonStore:
         Update plans are cached like query plans: the parsed operations
         are pure templates re-instantiated against current data on every
         call, so a cached plan can never replay stale solutions.
+
+        The ``strabon.update`` injection point fires (retried) *before*
+        any mutation, modelling a store that transiently refuses writes;
+        a permanent fault surfaces before the update touches any triple.
         """
+        resilience.call_with_retry(
+            lambda: faults.maybe_fail("strabon.update"),
+            self.retry_policy,
+            label="strabon.update",
+        )
         with obs.span("stsparql.parse"):
             ops = self.plan_cache.get_or_compute(
                 ("update", text), lambda: parse_update(text)

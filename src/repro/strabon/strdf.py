@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import re
 from datetime import datetime
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.cache import CacheStats, LRUCache
 from repro.geometry import Envelope, Geometry, from_wkt, to_wkt

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from repro.rdf.namespace import RDF, WELL_KNOWN_PREFIXES
 from repro.rdf.term import BNode, Literal, URIRef, Variable

@@ -14,11 +14,9 @@ One object that assembles Figure 2 end to end:
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Optional
 
 from repro.eo.linkeddata import GreeceLikeWorld
-from repro.eo.products import Product
 from repro.ingest.harvest import IngestionReport, Ingestor
 from repro.mdb import Database
 from repro.mdb.datavault import DataVault
@@ -33,6 +31,7 @@ from repro.vo.services import (
     DataMiningService,
     MetricsService,
     RapidMappingService,
+    ResilienceService,
 )
 
 
@@ -55,6 +54,7 @@ class VirtualEarthObservatory:
         )
         self.data_mining = DataMiningService(self.ingestor)
         self.metrics = MetricsService()
+        self.resilience = ResilienceService(self.ingestor)
         self.ontology = combined_ontology()
         self.reasoner = RDFSReasoner(self.ontology)
         if load_linked_data:

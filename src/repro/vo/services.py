@@ -13,7 +13,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.eo.linkeddata import GreeceLikeWorld
 from repro.eo.products import Product
 from repro.ingest.features import extract_patches
@@ -151,6 +151,45 @@ class MetricsService:
     def reset(self) -> None:
         """Zero every metric (cache registrations survive)."""
         self.registry.reset()
+
+
+class ResilienceService:
+    """The observatory's window onto the failure-handling machinery.
+
+    Companion to :class:`MetricsService`: where that one reports *what
+    happened* (counters, histograms), this one reports the *current
+    protective state* — each circuit breaker's position and the active
+    fault-injection plan — and offers the one recovery lever an operator
+    needs (:meth:`reset_breakers` after an outage has been cleared).
+    """
+
+    def __init__(self, ingestor: Ingestor):
+        self.ingestor = ingestor
+
+    @property
+    def breakers(self) -> List:
+        """Every circuit breaker guarding the observatory's tiers."""
+        return [self.ingestor.vault.breaker, self.ingestor.store.breaker]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Breaker states plus the active fault plan (None when off)."""
+        return {
+            "breakers": [b.describe() for b in self.breakers],
+            "faults": faults.describe(),
+        }
+
+    def reset_breakers(self) -> int:
+        """Force every breaker back to closed; returns how many moved."""
+        moved = 0
+        for breaker in self.breakers:
+            if breaker.state != "closed":
+                moved += 1
+            breaker.reset()
+        return moved
+
+    def flush_pending(self) -> bool:
+        """Retry a bulk-emit flush that a tripped breaker left buffered."""
+        return self.ingestor.store.flush_pending()
 
 
 class AnnotationService:

@@ -7,7 +7,6 @@ import pytest
 
 from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene
 from repro.eo.seviri import (
-    LAND_BASE_K,
     SEA_BASE_K,
     is_scene_file,
     read_header,

@@ -1,6 +1,5 @@
 """Tests for the low-level geometry kernels."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Property-based consistency laws between topological predicates."""
 
-import math
 
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st

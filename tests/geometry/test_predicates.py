@@ -1,6 +1,5 @@
 """Topological predicate tests."""
 
-import pytest
 
 from repro.geometry import (
     LineString,

@@ -1,6 +1,5 @@
 """Ingestion pipeline tests."""
 
-import os
 
 import pytest
 

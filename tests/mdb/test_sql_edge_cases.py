@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mdb import Database
-from repro.mdb.errors import ExecutionError, SQLSyntaxError, SQLTypeError
+from repro.mdb.errors import SQLSyntaxError, SQLTypeError
 
 
 @pytest.fixture

@@ -14,7 +14,6 @@ from repro.noa.classification import (
     contextual_classifier,
     static_threshold_classifier,
 )
-from repro.ingest.handlers import scene_to_array
 
 WORLD = GreeceLikeWorld()
 FIRE_SEEDS = [(21.63, 37.7), (22.5, 38.5), (23.4, 38.05)]

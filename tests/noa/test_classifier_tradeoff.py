@@ -5,7 +5,6 @@ broad warm-surface anomalies (sun-heated dry terrain) they flood the
 product with false alarms while the contextual test stays clean.
 """
 
-import numpy as np
 import pytest
 
 from repro.eo import GreeceLikeWorld, SceneSpec, generate_scene, write_scene

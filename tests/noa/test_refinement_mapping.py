@@ -70,7 +70,6 @@ class TestRefinement:
             assert geom.intersects(WORLD.land.with_srid(4326))
 
     def test_remaining_hotspots_on_land(self, pipeline):
-        from repro.geometry.multi import flatten
         from repro.geometry import predicates
 
         scene, ingestor, _ = pipeline

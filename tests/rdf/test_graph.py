@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import Graph, Literal, Namespace, TermError, URIRef
+from repro.rdf import Graph, Literal, Namespace, TermError
 from repro.rdf.term import BNode
 
 EX = Namespace("http://example.org/")

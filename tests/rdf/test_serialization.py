@@ -14,7 +14,7 @@ from repro.rdf import (
     serialize_ntriples,
     serialize_turtle,
 )
-from repro.rdf.namespace import RDF, XSD
+from repro.rdf.namespace import RDF
 
 EX = Namespace("http://example.org/")
 

@@ -1,9 +1,8 @@
 """Bulk R-tree loading: spatial results must be identical to the
 incremental path, and clear() must fully reset the store."""
 
-import pytest
 
-from repro.geometry import Point, Polygon
+from repro.geometry import Point
 from repro.rdf import Literal, Namespace, URIRef
 from repro.rdf.graph import Graph
 from repro.rdf.namespace import RDF

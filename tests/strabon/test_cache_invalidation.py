@@ -10,8 +10,7 @@ referencing triple goes away.
 
 from repro.geometry import Point
 from repro.mdb import Database
-from repro.rdf import Literal, Namespace, URIRef
-from repro.rdf.namespace import RDF
+from repro.rdf import Namespace
 from repro.strabon import StrabonStore, geometry_literal
 
 EX = Namespace("http://example.org/")

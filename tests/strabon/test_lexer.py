@@ -3,7 +3,7 @@
 import pytest
 
 from repro.strabon.stsparql.errors import StSPARQLSyntaxError
-from repro.strabon.stsparql.lexer import Token, tokenize
+from repro.strabon.stsparql.lexer import tokenize
 
 
 def kinds(text):

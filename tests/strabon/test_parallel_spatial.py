@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.geometry import Envelope, Point, Polygon
+from repro.geometry import Envelope, Point
 from repro.rdf import Namespace
 from repro.strabon import StrabonStore, geometry_literal
 from repro.strabon.stsparql import evaluator as ev

@@ -9,7 +9,7 @@ import itertools
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.rdf import Literal, Namespace, URIRef
+from repro.rdf import Literal, Namespace
 from repro.strabon import StrabonStore
 
 EX = Namespace("http://example.org/")

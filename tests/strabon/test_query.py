@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import Literal, Namespace, URIRef
+from repro.rdf import Literal, Namespace
 from repro.strabon import StrabonStore
 from repro.strabon.stsparql.errors import StSPARQLError, StSPARQLSyntaxError
 

@@ -3,7 +3,7 @@ builtins, projection/aggregation corners."""
 
 import pytest
 
-from repro.rdf import BNode, Literal, Namespace, URIRef
+from repro.rdf import BNode, Literal, Namespace
 from repro.strabon import StrabonStore
 from repro.strabon.stsparql.errors import StSPARQLError
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.geometry import Point, Polygon, from_wkt
+from repro.geometry import Point, Polygon
 from repro.rdf import Namespace
 from repro.strabon import StrabonStore, geometry_literal, literal_geometry
 

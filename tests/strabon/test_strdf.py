@@ -4,7 +4,7 @@ from datetime import datetime
 
 import pytest
 
-from repro.geometry import Point, Polygon, from_wkt
+from repro.geometry import Point, Polygon
 from repro.rdf import Literal
 from repro.strabon import (
     StRDFError,

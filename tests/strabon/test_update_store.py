@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.geometry import Point
 from repro.rdf import Literal, Namespace, URIRef
-from repro.strabon import StrabonStore, geometry_literal
+from repro.strabon import StrabonStore
 from repro.strabon.stsparql.errors import StSPARQLSyntaxError
 
 EX = Namespace("http://example.org/")
@@ -101,8 +100,8 @@ class TestModify:
         r = store.query(
             PREFIXES
             + "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
-            "SELECT ?h WHERE { ?h ex:geom ?g . "
-            'FILTER(strdf:intersects(?g, "POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))"^^strdf:WKT)) }'
+            "SELECT ?h WHERE { ?h ex:geom ?g . FILTER(strdf:intersects("
+            '?g, "POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))"^^strdf:WKT)) }'
         )
         assert r.column("h") == [EX.h1]
 
@@ -144,5 +143,8 @@ class TestBackend:
         assert len(store) == 1
 
     def test_contains_and_triples(self, store):
-        assert (EX.h1, URIRef(str(EX) + "conf"), Literal("0.9", datatype="http://www.w3.org/2001/XMLSchema#double")) in store
+        conf = Literal(
+            "0.9", datatype="http://www.w3.org/2001/XMLSchema#double"
+        )
+        assert (EX.h1, URIRef(str(EX) + "conf"), conf) in store
         assert len(list(store.triples((None, None, None)))) == 4

@@ -1,0 +1,357 @@
+"""Tests for repro.resilience: retries, deadlines, circuit breakers."""
+
+import pytest
+
+from repro import obs
+from repro.resilience import (
+    DEFAULT_RETRY,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    TransientError,
+    active_deadline,
+    call_with_retry,
+    check_deadline,
+    deadline_scope,
+    retry,
+)
+
+
+@pytest.fixture
+def live_metrics():
+    """The process registry, force-enabled and reset (REPRO_OBS=0 safe)."""
+    registry = obs.get_registry()
+    previous = registry.enabled
+    registry.set_enabled(True)
+    registry.reset()
+    try:
+        yield registry
+    finally:
+        registry.set_enabled(previous)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_policy(**kwargs):
+    """A fast policy with a recorded (not slept) backoff schedule."""
+    slept = []
+    kwargs.setdefault("attempts", 4)
+    kwargs.setdefault("base_delay", 0.1)
+    policy = RetryPolicy(sleep=slept.append, **kwargs)
+    return policy, slept
+
+
+class Flaky:
+    """Callable failing the first ``failures`` calls."""
+
+    def __init__(self, failures, exc=TransientError, value="ok"):
+        self.failures = failures
+        self.exc = exc
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"boom #{self.calls}")
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_delay_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5
+        )
+        assert [policy.delay(k) for k in range(1, 6)] == pytest.approx(
+            [0.1, 0.2, 0.4, 0.5, 0.5]
+        )
+
+    def test_jittered_schedule_replays_with_same_seed(self):
+        mk = lambda: RetryPolicy(jitter=0.5, seed=42)
+        a, b = mk(), mk()
+        assert [a.delay(k) for k in range(1, 5)] == [
+            b.delay(k) for k in range(1, 5)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_default_policy_shape(self):
+        assert DEFAULT_RETRY.attempts == 6
+        assert DEFAULT_RETRY.retry_on == (TransientError,)
+
+
+class TestCallWithRetry:
+    def test_success_first_try_no_sleep(self):
+        policy, slept = make_policy()
+        assert call_with_retry(lambda: 7, policy) == 7
+        assert slept == []
+
+    def test_transient_failures_absorbed_with_backoff(self):
+        policy, slept = make_policy()
+        fn = Flaky(2)
+        assert call_with_retry(fn, policy) == "ok"
+        assert fn.calls == 3
+        assert slept == pytest.approx([0.1, 0.2])
+
+    def test_giveup_reraises_original_exception(self):
+        policy, slept = make_policy(attempts=3)
+        fn = Flaky(99)
+        with pytest.raises(TransientError, match="boom #3"):
+            call_with_retry(fn, policy)
+        assert fn.calls == 3
+
+    def test_non_whitelisted_exception_not_retried(self):
+        policy, slept = make_policy()
+        fn = Flaky(99, exc=ValueError)
+        with pytest.raises(ValueError):
+            call_with_retry(fn, policy)
+        assert fn.calls == 1
+        assert slept == []
+
+    def test_custom_whitelist(self):
+        policy, _ = make_policy(retry_on=(KeyError,))
+        fn = Flaky(1, exc=KeyError)
+        assert call_with_retry(fn, policy) == "ok"
+
+    def test_counters(self, live_metrics):
+        registry = live_metrics
+        policy, _ = make_policy(attempts=2)
+        call_with_retry(Flaky(1), policy, label="unit")
+        with pytest.raises(TransientError):
+            call_with_retry(Flaky(99), policy, label="unit")
+        snap = registry.snapshot()["counters"]
+        assert snap["resilience.retry.calls"] == 2
+        assert snap["resilience.retry.retries"] == 2
+        assert snap["resilience.retry.retries.unit"] == 2
+        assert snap["resilience.retry.giveups"] == 1
+
+    def test_retry_stops_when_deadline_too_short_for_backoff(self):
+        clock = FakeClock()
+        policy, slept = make_policy(base_delay=10.0)
+        fn = Flaky(99)
+        with deadline_scope(Deadline(1.0, clock=clock)):
+            with pytest.raises(TransientError, match="boom #1"):
+                call_with_retry(fn, policy)
+        assert fn.calls == 1  # no pointless retry past the deadline
+        assert slept == []
+
+    def test_decorator(self):
+        policy, _ = make_policy()
+        state = {"calls": 0}
+
+        @retry(policy, label="deco")
+        def sometimes(x):
+            state["calls"] += 1
+            if state["calls"] < 2:
+                raise TransientError("flaky")
+            return x * 2
+
+        assert sometimes(21) == 42
+        assert state["calls"] == 2
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        assert not deadline.expired
+        clock.advance(5.0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="at stage-x"):
+            deadline.check("stage-x")
+
+    def test_check_passes_before_expiry(self):
+        deadline = Deadline(60.0, clock=FakeClock())
+        deadline.check("fine")  # no raise
+
+    def test_deadline_scope_nesting(self):
+        clock = FakeClock()
+        outer = Deadline(10.0, clock=clock)
+        inner = Deadline(1.0, clock=clock)
+        assert active_deadline() is None
+        with deadline_scope(outer):
+            assert active_deadline() is outer
+            with deadline_scope(inner):
+                assert active_deadline() is inner
+            assert active_deadline() is outer
+        assert active_deadline() is None
+
+    def test_deadline_scope_accepts_seconds(self):
+        with deadline_scope(30.0) as deadline:
+            assert isinstance(deadline, Deadline)
+            check_deadline("somewhere")
+
+    def test_check_deadline_noop_without_scope(self):
+        check_deadline("nowhere")  # must not raise
+
+    def test_exceeded_counter(self, live_metrics):
+        registry = live_metrics
+        clock = FakeClock()
+        deadline = Deadline(0.0, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+        snap = registry.snapshot()["counters"]
+        assert snap["resilience.deadline.exceeded"] == 1
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("recovery_time", 10.0)
+        return CircuitBreaker("unit", clock=clock, **kwargs), clock
+
+    def boom(self):
+        raise TransientError("backend down")
+
+    def test_starts_closed_and_stays_closed_on_success(self):
+        breaker, _ = self.make()
+        assert breaker.state == "closed"
+        assert breaker.call(lambda: 1) == 1
+        assert breaker.state == "closed"
+
+    def test_trips_after_threshold_then_fails_fast(self):
+        breaker, _ = self.make()
+        for _ in range(3):
+            with pytest.raises(TransientError):
+                breaker.call(self.boom)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.call(lambda: 1)
+        assert excinfo.value.circuit == "unit"
+        assert excinfo.value.retry_in > 0
+
+    def test_success_resets_failure_count(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            with pytest.raises(TransientError):
+                breaker.call(self.boom)
+        breaker.call(lambda: 1)  # resets the streak
+        for _ in range(2):
+            with pytest.raises(TransientError):
+                breaker.call(self.boom)
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            with pytest.raises(TransientError):
+                breaker.call(self.boom)
+        clock.advance(10.0)
+        assert breaker.state == "half-open"
+        assert breaker.call(lambda: "probe") == "probe"
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            with pytest.raises(TransientError):
+                breaker.call(self.boom)
+        clock.advance(10.0)
+        with pytest.raises(TransientError):
+            breaker.call(self.boom)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: 1)
+
+    def test_half_open_probe_limit(self):
+        breaker, clock = self.make(half_open_max=1)
+        for _ in range(3):
+            with pytest.raises(TransientError):
+                breaker.call(self.boom)
+        clock.advance(10.0)
+        breaker.allow()  # takes the only probe slot
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+
+    def test_unrecorded_exception_does_not_trip(self):
+        breaker, _ = self.make(failure_threshold=1)
+
+        def bug():
+            raise ValueError("caller bug")
+
+        for _ in range(3):
+            with pytest.raises(ValueError):
+                breaker.call(bug)
+        assert breaker.state == "closed"
+
+    def test_unrecorded_exception_releases_half_open_probe(self):
+        breaker, clock = self.make(half_open_max=1)
+        for _ in range(3):
+            with pytest.raises(TransientError):
+                breaker.call(self.boom)
+        clock.advance(10.0)
+        with pytest.raises(ValueError):
+            breaker.call(lambda: (_ for _ in ()).throw(ValueError()))
+        # probe slot freed: a real probe can still go through
+        assert breaker.call(lambda: 1) == 1
+        assert breaker.state == "closed"
+
+    def test_guard_context_manager(self):
+        breaker, _ = self.make(failure_threshold=1)
+        with breaker.guard():
+            pass
+        assert breaker.state == "closed"
+        with pytest.raises(TransientError):
+            with breaker.guard():
+                raise TransientError("nope")
+        assert breaker.state == "open"
+
+    def test_reset_forces_closed(self):
+        breaker, _ = self.make(failure_threshold=1)
+        with pytest.raises(TransientError):
+            breaker.call(self.boom)
+        assert breaker.state == "open"
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.call(lambda: 5) == 5
+
+    def test_describe(self):
+        breaker, _ = self.make()
+        with pytest.raises(TransientError):
+            breaker.call(self.boom)
+        described = breaker.describe()
+        assert described["name"] == "unit"
+        assert described["state"] == "closed"
+        assert described["consecutive_failures"] == 1
+        assert described["failure_threshold"] == 3
+
+    def test_metrics(self, live_metrics):
+        registry = live_metrics
+        breaker, clock = self.make(failure_threshold=1)
+        with pytest.raises(TransientError):
+            breaker.call(self.boom)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: 1)
+        clock.advance(10.0)
+        breaker.call(lambda: 1)
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["resilience.breaker.trips"] == 1
+        assert counters["resilience.breaker.rejections"] == 1
+        assert counters["resilience.breaker.half_open_probes"] == 1
+        assert counters["resilience.breaker.closes"] == 1
+        assert snap["gauges"]["resilience.breaker.unit.state"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("bad", failure_threshold=0)

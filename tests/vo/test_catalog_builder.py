@@ -2,7 +2,6 @@
 
 from datetime import datetime
 
-import pytest
 
 from repro.geometry import Polygon
 from repro.vo import CatalogQuery

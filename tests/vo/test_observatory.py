@@ -6,7 +6,7 @@ from datetime import datetime
 import pytest
 
 from repro.eo import SceneSpec, generate_scene, write_scene
-from repro.vo import CatalogQuery, VirtualEarthObservatory
+from repro.vo import VirtualEarthObservatory
 
 FIRE_SEEDS = [(21.63, 37.7), (22.5, 38.5)]
 
