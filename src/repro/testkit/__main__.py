@@ -1,0 +1,7 @@
+"""``python -m repro.testkit`` entry point."""
+
+import sys
+
+from repro.testkit.cli import main
+
+sys.exit(main())

@@ -1,0 +1,161 @@
+"""Command line for the differential testkit.
+
+::
+
+    python -m repro.testkit sweep --budget 90 --seed 1234
+    python -m repro.testkit replay --domain spatial --seed 87162
+    python -m repro.testkit replay --spec-file counterexample.json
+    python -m repro.testkit corpus --dir tests/testkit/corpus
+
+``sweep`` exits non-zero if any divergence was found, printing each
+counterexample as a ``REPRO_TESTKIT_SEED``/spec pair; ``replay``
+re-runs a single case from its seed (or an explicit spec file) and
+``corpus`` replays every recorded counterexample.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.testkit import corpus as corpus_module
+from repro.testkit.differential import (
+    DOMAINS,
+    Counterexample,
+    run_case,
+    sweep,
+)
+from repro.testkit.generators import SPEC_DOMAINS, gen_spec
+from repro.testkit.shrink import shrink
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    base_seed = args.seed if args.seed is not None else (
+        int(time.time()) & 0x7FFFFFFF
+    )
+    domains = (
+        tuple(args.domains.split(",")) if args.domains else DOMAINS
+    )
+    for domain in domains:
+        if domain not in SPEC_DOMAINS:
+            print(f"unknown domain {domain!r}", file=sys.stderr)
+            return 2
+    print(
+        f"testkit sweep: REPRO_TESTKIT_SEED={base_seed} "
+        f"budget={args.budget}s domains={','.join(sorted(set(domains)))}"
+    )
+    report = sweep(
+        base_seed,
+        budget_seconds=args.budget,
+        domains=domains,
+        max_cases=args.max_cases,
+        do_shrink=not args.no_shrink,
+        stop_on_first=args.stop_first,
+        log=print,
+    )
+    print(
+        f"{report.cases_run} cases in {report.elapsed:.1f}s, "
+        f"{len(report.counterexamples)} divergence(s)"
+    )
+    if args.save_dir:
+        for counterexample in report.counterexamples:
+            path = corpus_module.save_counterexample(
+                args.save_dir, counterexample, note="found by sweep"
+            )
+            print(f"saved {path}")
+    return 0 if report.ok else 1
+
+
+def _report(counterexample: Counterexample) -> int:
+    print(counterexample.format())
+    return 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.spec_file:
+        with open(args.spec_file, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        domain = raw.get("domain", args.domain)
+        spec = raw.get("spec", raw)
+        seed = raw.get("seed")
+    else:
+        if args.domain is None or args.seed is None:
+            print(
+                "replay needs --domain and --seed (or --spec-file)",
+                file=sys.stderr,
+            )
+            return 2
+        domain, seed = args.domain, args.seed
+        spec = gen_spec(domain, seed)
+    detail = run_case(domain, spec)
+    if detail is None:
+        print(f"OK: domain={domain} seed={seed} — no divergence")
+        return 0
+    counterexample = Counterexample(
+        domain=domain, seed=seed, spec=spec, detail=detail
+    )
+    if not args.no_shrink:
+        counterexample.shrunk_spec, counterexample.shrunk_detail = shrink(
+            domain, spec
+        )
+    return _report(counterexample)
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    entries = corpus_module.load_corpus(args.dir)
+    if not entries:
+        print(f"no corpus entries under {args.dir}")
+        return 0
+    failures = 0
+    for entry in entries:
+        detail = entry.replay()
+        status = "OK" if detail is None else f"DIVERGES: {detail}"
+        print(f"{entry.path}: {status}")
+        if detail is not None:
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit",
+        description="differential-oracle conformance testing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sweep = sub.add_parser("sweep", help="run a seeded sweep")
+    p_sweep.add_argument("--seed", type=int, default=None)
+    p_sweep.add_argument("--budget", type=float, default=60.0)
+    p_sweep.add_argument(
+        "--domains", help="comma-separated domain schedule"
+    )
+    p_sweep.add_argument("--max-cases", type=int, default=None)
+    p_sweep.add_argument("--no-shrink", action="store_true")
+    p_sweep.add_argument("--stop-first", action="store_true")
+    p_sweep.add_argument(
+        "--save-dir", help="write counterexample JSON files here"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_replay = sub.add_parser("replay", help="replay one case")
+    p_replay.add_argument("--domain", choices=SPEC_DOMAINS)
+    p_replay.add_argument("--seed", type=int)
+    p_replay.add_argument("--spec-file")
+    p_replay.add_argument("--no-shrink", action="store_true")
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_corpus = sub.add_parser("corpus", help="replay the corpus")
+    p_corpus.add_argument(
+        "--dir", default=corpus_module.DEFAULT_CORPUS_DIR
+    )
+    p_corpus.set_defaults(func=_cmd_corpus)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Counterexample corpus: past divergences as permanent regressions.
+
+Every divergence the sweep finds (and every bug fixed because of one)
+is recorded as a JSON file ``{domain, seed, spec, detail, note}`` in a
+corpus directory — by convention ``tests/testkit/corpus/``.  The normal
+test suite replays every entry through :func:`repro.testkit.run_case`
+and fails if any past counterexample diverges again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.testkit.differential import Counterexample, run_case
+from repro.testkit.generators import gen_spec
+
+#: Corpus location used by the CLI when none is given.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "testkit", "corpus")
+
+
+@dataclass
+class CorpusEntry:
+    """One recorded counterexample."""
+
+    domain: str
+    spec: Dict[str, Any]
+    seed: Optional[int] = None
+    detail: str = ""
+    note: str = ""
+    path: str = ""
+
+    def replay(self) -> Optional[str]:
+        """Re-run the recorded case; ``None`` means it stays fixed."""
+        spec = self.spec
+        if spec is None and self.seed is not None:
+            spec = gen_spec(self.domain, self.seed)
+        return run_case(self.domain, spec)
+
+
+def load_corpus(directory: str) -> List[CorpusEntry]:
+    """All corpus entries in ``directory`` (sorted by filename)."""
+    entries: List[CorpusEntry] = []
+    if not os.path.isdir(directory):
+        return entries
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        entries.append(
+            CorpusEntry(
+                domain=raw["domain"],
+                spec=raw.get("spec"),
+                seed=raw.get("seed"),
+                detail=raw.get("detail", ""),
+                note=raw.get("note", ""),
+                path=path,
+            )
+        )
+    return entries
+
+
+def save_counterexample(
+    directory: str, counterexample: Counterexample, note: str = ""
+) -> str:
+    """Write a counterexample (its shrunk form if available) to the
+    corpus; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    seed = counterexample.seed
+    stem = f"{counterexample.domain}-{seed if seed is not None else 'manual'}"
+    path = os.path.join(directory, f"{stem}.json")
+    suffix = 0
+    while os.path.exists(path):
+        suffix += 1
+        path = os.path.join(directory, f"{stem}-{suffix}.json")
+    payload = {
+        "domain": counterexample.domain,
+        "seed": seed,
+        "spec": counterexample.shrunk_spec or counterexample.spec,
+        "detail": counterexample.shrunk_detail or counterexample.detail,
+        "note": note,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,575 @@
+"""Differential runners: optimised variants vs oracle, vs each other.
+
+``run_case(domain, spec)`` executes one spec every way the engine can
+execute it and returns ``None`` on agreement or a human-readable
+divergence description.  ``sweep`` generates seeded cases round-robin
+across domains inside a time budget, shrinking any divergence to a
+locally minimal, replayable counterexample.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.geometry import RTree, from_wkt
+from repro.mdb import Database
+from repro.strabon import StrabonStore
+from repro.testkit import oracles
+from repro.testkit.generators import SPEC_DOMAINS, case_seed, gen_spec
+
+#: Default sweep schedule.  The chain domain is an order of magnitude
+#: slower per case than the in-memory domains, so it runs once per
+#: seven cases.
+DOMAINS = (
+    "spatial",
+    "stsparql",
+    "sciql",
+    "spatial",
+    "stsparql",
+    "sciql",
+    "chain",
+)
+
+PREFIXES = (
+    "PREFIX ex: <http://example.org/>\n"
+    "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+)
+
+
+@dataclass
+class Counterexample:
+    """A diverging case: the raw spec and its shrunk minimal form."""
+
+    domain: str
+    seed: Optional[int]
+    spec: Dict[str, Any]
+    detail: str
+    shrunk_spec: Optional[Dict[str, Any]] = None
+    shrunk_detail: Optional[str] = None
+
+    def format(self) -> str:
+        lines = [
+            f"REPRO_TESTKIT_SEED={self.seed if self.seed is not None else '-'}"
+            f" domain={self.domain}",
+            f"divergence: {self.detail}",
+        ]
+        if self.shrunk_spec is not None:
+            lines.append(
+                "shrunk spec: " + json.dumps(self.shrunk_spec, sort_keys=True)
+            )
+            if self.shrunk_detail:
+                lines.append(f"shrunk divergence: {self.shrunk_detail}")
+        lines.append(
+            "full spec: " + json.dumps(self.spec, sort_keys=True)
+        )
+        if self.seed is not None:
+            lines.append(
+                "replay: PYTHONPATH=src python -m repro.testkit replay "
+                f"--domain {self.domain} --seed {self.seed}"
+            )
+        return "\n".join(lines)
+
+
+def _outcome(fn: Callable[[], Any]) -> Tuple[str, Any]:
+    """Run a variant; engines must agree on results *and* on errors."""
+    try:
+        return ("rows", fn())
+    except Exception as exc:  # noqa: BLE001 — compared, not swallowed
+        return ("error", type(exc).__name__)
+
+
+# -- spatial -------------------------------------------------------------------
+
+
+def _compare_spatial(entries, probes, trees, phase: str) -> Optional[str]:
+    expected = [
+        sorted(oracles.naive_spatial_query(entries, probe))
+        for probe in probes
+    ]
+    for label, tree in trees:
+        for j, probe in enumerate(probes):
+            got = sorted(tree.query(probe))
+            if got != expected[j]:
+                return (
+                    f"{phase}/{label} query probe {j}: "
+                    f"{got} != oracle {expected[j]}"
+                )
+        for workers in (1, 3):
+            batched = tree.query_batch(probes, workers=workers)
+            for j, got in enumerate(batched):
+                if sorted(got) != expected[j]:
+                    return (
+                        f"{phase}/{label} query_batch(workers={workers}) "
+                        f"probe {j}: {sorted(got)} != oracle {expected[j]}"
+                    )
+    return None
+
+
+def _check_spatial(spec: Dict[str, Any]) -> Optional[str]:
+    geoms = [from_wkt(text) for text in spec["geometries"]]
+    entries = [(g.envelope, i) for i, g in enumerate(geoms)]
+    probes = [from_wkt(text).envelope for text in spec["probes"]]
+
+    tree = RTree(max_entries=4)
+    half = (len(entries) + 1) // 2
+    for env, item in entries[:half]:
+        tree.insert(env, item)
+    if probes:
+        # Prime the packed snapshot so later inserts must invalidate it.
+        tree.query_batch(probes, workers=1)
+    for env, item in entries[half:]:
+        tree.insert(env, item)
+
+    bulk = RTree.bulk_load(entries, max_entries=4)
+    detail = _compare_spatial(
+        entries, probes, [("incremental", tree), ("bulk", bulk)], "grown"
+    )
+    if detail:
+        return detail
+
+    removed = set(spec["removals"])
+    if probes:
+        tree.query_batch(probes, workers=1)  # re-prime before removals
+    for index in sorted(removed):
+        tree.remove(entries[index][0], index)
+    live = [(env, item) for env, item in entries if item not in removed]
+    rebuilt = RTree.bulk_load(live, max_entries=4)
+    return _compare_spatial(
+        live, probes, [("incremental", tree), ("rebuilt", rebuilt)], "shrunk"
+    )
+
+
+# -- stSPARQL ------------------------------------------------------------------
+
+
+def _render_term(term: Sequence[Any]) -> str:
+    tag, value = term[0], term[1]
+    if tag == "u":
+        return f"ex:{value}"
+    if tag == "i":
+        return str(value)
+    if tag == "w":
+        return f'"{value}"^^strdf:WKT'
+    if tag == "v":
+        return f"?{value}"
+    raise ValueError(f"unknown term tag {tag!r}")
+
+
+def render_query(spec: Dict[str, Any]) -> Tuple[str, List[str]]:
+    """The stSPARQL text of a query spec and its projected variables."""
+    variables = sorted(
+        {
+            term[1]
+            for pattern in spec["patterns"]
+            for term in pattern
+            if term[0] == "v"
+        }
+    )
+    body = " . ".join(
+        " ".join(_render_term(term) for term in pattern)
+        for pattern in spec["patterns"]
+    )
+    filter_spec = spec.get("filter")
+    if filter_spec:
+        if filter_spec["kind"] == "cmp":
+            body += (
+                f" . FILTER(?{filter_spec['var']} {filter_spec['op']} "
+                f"{filter_spec['value']})"
+            )
+        else:
+            const = f'"{filter_spec["wkt"]}"^^strdf:WKT'
+            var = f"?{filter_spec['var']}"
+            args = f"{const}, {var}" if filter_spec.get("flip") else (
+                f"{var}, {const}"
+            )
+            body += f" . FILTER(strdf:{filter_spec['pred']}({args}))"
+    select = "SELECT DISTINCT" if spec["distinct"] else "SELECT"
+    projection = " ".join(f"?{name}" for name in variables)
+    return (
+        f"{PREFIXES}{select} {projection} WHERE {{ {body} }}",
+        variables,
+    )
+
+
+def _store_rows(
+    store: StrabonStore, query: str, variables: Sequence[str]
+) -> List[Tuple[Optional[str], ...]]:
+    result = store.query(query)
+    order = [result.variables.index(name) for name in variables]
+    rows = [
+        tuple(
+            row[i].n3() if row[i] is not None else None for i in order
+        )
+        for row in result.rows()
+    ]
+    return sorted(rows, key=lambda r: tuple(x or "" for x in r))
+
+
+def _check_stsparql(spec: Dict[str, Any]) -> Optional[str]:
+    # An RDF graph is a set of triples: duplicates in the spec are a
+    # no-op for the store and must be a no-op for the oracle too.
+    triples = list(dict.fromkeys(oracles.triples_from_json(spec["triples"])))
+    extra = [
+        triple
+        for triple in dict.fromkeys(
+            oracles.triples_from_json(spec["extra_triples"])
+        )
+        if triple not in triples
+    ]
+    patterns = [
+        tuple(oracles.term_from_json(term) for term in pattern)
+        for pattern in spec["patterns"]
+    ]
+    query, variables = render_query(spec)
+
+    def oracle(triple_set):
+        return _outcome(
+            lambda: oracles.naive_bgp_rows(
+                triple_set,
+                patterns,
+                spec.get("filter"),
+                variables,
+                spec["distinct"],
+            )
+        )
+
+    def fresh_store(use_spatial_index=True, bulk=False, triple_set=triples):
+        store = StrabonStore(use_spatial_index=use_spatial_index)
+        if bulk:
+            with store.bulk():
+                for triple in triple_set:
+                    store.add(triple)
+        else:
+            for triple in triple_set:
+                store.add(triple)
+        return store
+
+    store = fresh_store()
+
+    def with_workers(n: int):
+        previous = os.environ.get("REPRO_WORKERS")
+        os.environ["REPRO_WORKERS"] = str(n)
+        try:
+            return _store_rows(store, query, variables)
+        finally:
+            if previous is None:
+                del os.environ["REPRO_WORKERS"]
+            else:
+                os.environ["REPRO_WORKERS"] = previous
+
+    def with_obs_flipped():
+        registry = obs.get_registry()
+        previous = registry.enabled
+        registry.set_enabled(not previous)
+        try:
+            return _store_rows(store, query, variables)
+        finally:
+            registry.set_enabled(previous)
+
+    expected = oracle(triples)
+    variants = [
+        ("cold", lambda: _store_rows(store, query, variables)),
+        ("warm-plan-cache", lambda: _store_rows(store, query, variables)),
+        (
+            "plan-cache-cleared",
+            lambda: (
+                store.plan_cache.clear(),
+                _store_rows(store, query, variables),
+            )[1],
+        ),
+        (
+            "no-spatial-index",
+            lambda: _store_rows(
+                fresh_store(use_spatial_index=False), query, variables
+            ),
+        ),
+        (
+            "bulk-loaded",
+            lambda: _store_rows(fresh_store(bulk=True), query, variables),
+        ),
+        ("workers-4", lambda: with_workers(4)),
+        ("obs-flipped", with_obs_flipped),
+    ]
+    for label, variant in variants:
+        got = _outcome(variant)
+        if got != expected:
+            return f"{label}: {got} != oracle {expected}"
+
+    if extra:
+        # Incremental maintenance: same store after more adds must match
+        # both the oracle and a store freshly loaded with everything.
+        for triple in extra:
+            store.add(triple)
+        expected = oracle(triples + extra)
+        for label, variant in [
+            ("incremental", lambda: _store_rows(store, query, variables)),
+            (
+                "fresh-full",
+                lambda: _store_rows(
+                    fresh_store(triple_set=triples + extra), query, variables
+                ),
+            ),
+        ]:
+            got = _outcome(variant)
+            if got != expected:
+                return f"after-extra/{label}: {got} != oracle {expected}"
+
+    # Removal maintenance: drop one subject's triples and the indexes
+    # (triple indexes, R-tree, interner) must all shed them.
+    everything = triples + extra
+    if everything:
+        victim = everything[0][0]
+        store.remove((victim, None, None))
+        remaining = [t for t in everything if t[0] != victim]
+        expected = oracle(remaining)
+        for label, variant in [
+            ("incremental", lambda: _store_rows(store, query, variables)),
+            (
+                "fresh-remaining",
+                lambda: _store_rows(
+                    fresh_store(triple_set=remaining), query, variables
+                ),
+            ),
+        ]:
+            got = _outcome(variant)
+            if got != expected:
+                return f"after-remove/{label}: {got} != oracle {expected}"
+    return None
+
+
+# -- SciQL ---------------------------------------------------------------------
+
+
+def _sciql_engine_run(spec: Dict[str, Any], workers: int) -> Tuple[str, Any]:
+    db = Database()
+    height, width = spec["shape"]
+    ctype = "DOUBLE" if spec["dtype"] == "float" else "INT"
+    db.execute(
+        f"CREATE ARRAY a (x INT DIMENSION [0:{height}], "
+        f"y INT DIMENSION [0:{width}], v {ctype} DEFAULT 0)"
+    )
+    array = db.array("a")
+    array.set_attribute(
+        "v", np.asarray(spec["cells"], dtype=array.attribute("v").dtype)
+    )
+    for op in spec["program"]:
+        name = op["op"]
+        if name == "update":
+            add = op["add"]
+            tail = f" + {add}" if add >= 0 else f" - {-add}"
+            db.execute(
+                f"UPDATE a SET v = v * {op['mul']}{tail} "
+                f"WHERE {op['dim']} {op['cmp']} {op['bound']}"
+            )
+            array = db.array("a")
+        elif name == "slice":
+            array = array.slice(x=tuple(op["x"]), y=tuple(op["y"]))
+        elif name == "map":
+            mul, add = op["mul"], op["add"]
+            array.map(lambda plane: plane * mul + add, workers=workers)
+        elif name == "tile":
+            array = array.tile_aggregate(
+                op["t"], op["func"], workers=workers
+            )
+        elif name == "count":
+            gt = op["gt"]
+            return (
+                "count",
+                array.count_where(lambda plane: plane > gt, workers=workers),
+            )
+        else:
+            raise ValueError(f"unknown sciql op {name!r}")
+    return ("cells", array.attribute("v").tolist())
+
+
+def _check_sciql(spec: Dict[str, Any]) -> Optional[str]:
+    expected = _outcome(lambda: oracles.naive_sciql_run(spec))
+    for label, variant in [
+        ("serial", lambda: _sciql_engine_run(spec, workers=1)),
+        ("tiled-4", lambda: _sciql_engine_run(spec, workers=4)),
+    ]:
+        got = _outcome(variant)
+        if got != expected:
+            return f"{label}: {got} != oracle {expected}"
+    return None
+
+
+# -- NOA chain -----------------------------------------------------------------
+
+
+def _chain_summarize(results) -> List[Any]:
+    from repro.noa import ChainResult
+
+    summary = []
+    for result in results:
+        if not isinstance(result, ChainResult):
+            summary.append(("failure", str(result)))
+            continue
+        summary.append(
+            (
+                result.source_product.product_id,
+                [
+                    (
+                        hotspot.geometry.wkt,
+                        round(hotspot.confidence, 12),
+                        hotspot.pixel_count,
+                    )
+                    for hotspot in result.hotspots
+                ],
+            )
+        )
+    return summary
+
+
+def _check_chain(spec: Dict[str, Any]) -> Optional[str]:
+    from repro import faults
+    from repro.eo import (
+        GreeceLikeWorld,
+        SceneSpec,
+        generate_scene,
+        write_scene,
+    )
+    from repro.ingest import Ingestor
+    from repro.noa import ProcessingChain
+
+    world = GreeceLikeWorld()
+    fire_seeds = [(21.63, 37.7), (22.5, 38.5), (23.4, 38.05)]
+
+    def fresh_chain():
+        return ProcessingChain(
+            Ingestor(Database(), StrabonStore()), classifier="static"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-testkit-") as tmp:
+        paths = []
+        for k, scene_spec in enumerate(spec["scenes"]):
+            scene = generate_scene(
+                SceneSpec(
+                    width=scene_spec["width"],
+                    height=scene_spec["height"],
+                    seed=scene_spec["seed"],
+                    n_fires=scene_spec["n_fires"],
+                    n_glints=scene_spec["n_glints"],
+                ),
+                world.land,
+                fire_seeds=fire_seeds,
+            )
+            path = os.path.join(tmp, f"scene_{k:03d}.nat")
+            write_scene(scene, path)
+            paths.append(path)
+
+        baseline_chain = fresh_chain()
+        baseline = baseline_chain.run_batch(paths, workers=1)
+
+        chaos_chain = fresh_chain()
+        with faults.injected(spec["faults"]):
+            chaos = chaos_chain.run_batch(
+                paths, workers=spec["workers"]
+            )
+
+    base_summary = _chain_summarize(baseline)
+    chaos_summary = _chain_summarize(chaos)
+    if base_summary != chaos_summary:
+        diff = oracles.first_difference(base_summary, chaos_summary)
+        return f"chaos batch != fault-free baseline: {diff}"
+    base_rdf = set(baseline_chain.ingestor.store.triples())
+    chaos_rdf = set(chaos_chain.ingestor.store.triples())
+    if base_rdf != chaos_rdf:
+        return (
+            "RDF stores differ: "
+            f"{len(base_rdf ^ chaos_rdf)} triples in symmetric difference"
+        )
+    return None
+
+
+_CHECKS = {
+    "spatial": _check_spatial,
+    "stsparql": _check_stsparql,
+    "sciql": _check_sciql,
+    "chain": _check_chain,
+}
+
+
+def run_case(domain: str, spec: Dict[str, Any]) -> Optional[str]:
+    """Run one differential case; ``None`` means every variant agreed."""
+    try:
+        check = _CHECKS[domain]
+    except KeyError:
+        raise ValueError(
+            f"unknown domain {domain!r}; expected one of {SPEC_DOMAINS}"
+        ) from None
+    return check(spec)
+
+
+@dataclass
+class SweepReport:
+    """Outcome of a seeded sweep."""
+
+    base_seed: int
+    cases_run: int = 0
+    elapsed: float = 0.0
+    counterexamples: List[Counterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+
+def sweep(
+    base_seed: int,
+    budget_seconds: float = 60.0,
+    domains: Optional[Sequence[str]] = None,
+    max_cases: Optional[int] = None,
+    do_shrink: bool = True,
+    stop_on_first: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Run seeded differential cases until the time budget runs out.
+
+    Case ``i`` uses domain ``schedule[i % len]`` and seed
+    ``case_seed(base_seed, i)``, so a sweep is fully reproducible from
+    its base seed, and any single case can be replayed in isolation.
+    """
+    from repro.testkit.shrink import shrink
+
+    schedule = tuple(domains) if domains else DOMAINS
+    report = SweepReport(base_seed=base_seed)
+    started = time.monotonic()
+    index = 0
+    while time.monotonic() - started < budget_seconds:
+        if max_cases is not None and index >= max_cases:
+            break
+        domain = schedule[index % len(schedule)]
+        seed = case_seed(base_seed, index)
+        spec = gen_spec(domain, seed)
+        detail = run_case(domain, spec)
+        report.cases_run += 1
+        if detail is not None:
+            counterexample = Counterexample(
+                domain=domain, seed=seed, spec=spec, detail=detail
+            )
+            if do_shrink:
+                shrunk, shrunk_detail = shrink(domain, spec)
+                counterexample.shrunk_spec = shrunk
+                counterexample.shrunk_detail = shrunk_detail
+            report.counterexamples.append(counterexample)
+            if log:
+                log(counterexample.format())
+            if stop_on_first:
+                break
+        elif log and report.cases_run % 50 == 0:
+            log(
+                f"... {report.cases_run} cases, no divergence "
+                f"({time.monotonic() - started:.1f}s)"
+            )
+        index += 1
+    report.elapsed = time.monotonic() - started
+    return report

@@ -1,0 +1,418 @@
+"""Seeded, deterministic input generators.
+
+Every generator takes a :class:`random.Random` (or a seed) and produces
+either a geometry object or a JSON-able *spec* — a plain dict fully
+describing one differential test case.  The same seed always yields the
+same spec, so any counterexample is replayable from its seed alone, and
+the shrinker can operate on the spec without re-running the generator.
+
+Coordinates are drawn from a dyadic grid (multiples of 0.25) so WKT
+serialisation round-trips exactly and floating-point sums in the SciQL
+oracle are exact, removing the need for tolerances anywhere in the
+differential comparisons.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.geometry import (
+    Geometry,
+    GeometryError,
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    to_wkt,
+)
+
+#: Domains understood by :func:`gen_spec`.
+SPEC_DOMAINS = ("spatial", "stsparql", "sciql", "chain")
+
+_SEED_MIX = 0x9E3779B97F4A7C15
+
+
+def case_seed(base_seed: int, index: int) -> int:
+    """Derive the seed of sweep case ``index`` from a base seed.
+
+    A splitmix-style mix keeps neighbouring indices uncorrelated while
+    staying a pure function of ``(base_seed, index)``.
+    """
+    x = (base_seed * 1_000_003 + index * _SEED_MIX) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 27
+    return x & 0x7FFFFFFF
+
+
+def _grid(rng: random.Random, lo: float = -8.0, hi: float = 8.0) -> float:
+    """A coordinate on the quarter-unit grid (exact in binary)."""
+    steps = int((hi - lo) * 4)
+    return lo + rng.randint(0, steps) * 0.25
+
+
+def _gen_point(rng: random.Random) -> Point:
+    return Point(_grid(rng), _grid(rng))
+
+
+def _gen_linestring(rng: random.Random) -> LineString:
+    """A polyline; sometimes degenerate linework (repeated/collinear
+    vertices) that exercises the constructor's cleaning rules."""
+    n = rng.randint(2, 6)
+    coords = [(_grid(rng), _grid(rng)) for _ in range(n)]
+    if rng.random() < 0.3 and len(coords) >= 2:
+        # Duplicate a vertex in place: the constructor must clean it.
+        i = rng.randrange(len(coords) - 1)
+        coords.insert(i + 1, coords[i])
+    if rng.random() < 0.2:
+        # Collinear run.
+        x, y = coords[0]
+        coords[1:1] = [(x + 1.0, y), (x + 2.0, y)]
+    try:
+        return LineString(coords)
+    except GeometryError:
+        # Everything collapsed to one distinct vertex: stretch it out.
+        x, y = coords[0]
+        return LineString([(x, y), (x + 1.0, y)])
+
+
+def _gen_rect(rng: random.Random, max_side: float = 6.0) -> Polygon:
+    x0, y0 = _grid(rng), _grid(rng)
+    w = 0.5 + rng.randint(0, int(max_side * 2)) * 0.5
+    h = 0.5 + rng.randint(0, int(max_side * 2)) * 0.5
+    return Polygon([(x0, y0), (x0 + w, y0), (x0 + w, y0 + h), (x0, y0 + h)])
+
+
+def _gen_polygon(rng: random.Random) -> Polygon:
+    """A rectangle, an angle-sorted convex-ish ring, or a rectangle with
+    a hole (a donut), whichever constructs cleanly."""
+    shape = rng.random()
+    if shape < 0.5:
+        return _gen_rect(rng)
+    if shape < 0.8:
+        # Random CCW subset of an octagon template: always convex.
+        cx, cy = _grid(rng, -4, 4), _grid(rng, -4, 4)
+        octagon = [
+            (2.0, 0.0), (1.5, 1.5), (0.0, 2.0), (-1.5, 1.5),
+            (-2.0, 0.0), (-1.5, -1.5), (0.0, -2.0), (1.5, -1.5),
+        ]
+        picks = sorted(rng.sample(range(8), rng.randint(3, 8)))
+        scale = rng.choice([0.5, 1.0, 1.5])
+        pts = [
+            (cx + octagon[i][0] * scale, cy + octagon[i][1] * scale)
+            for i in picks
+        ]
+        try:
+            return Polygon(pts)
+        except GeometryError:
+            return _gen_rect(rng)
+    # Donut: shell with a strictly interior rectangular hole.
+    x0, y0 = _grid(rng, -6, 4), _grid(rng, -6, 4)
+    shell = [(x0, y0), (x0 + 4, y0), (x0 + 4, y0 + 4), (x0, y0 + 4)]
+    hx, hy = x0 + 1, y0 + 1
+    hole = [(hx, hy), (hx + 1.5, hy), (hx + 1.5, hy + 1.5), (hx, hy + 1.5)]
+    try:
+        return Polygon(shell, holes=[hole])
+    except (GeometryError, TypeError):
+        return Polygon(shell)
+
+
+def gen_geometry(
+    rng: random.Random, kinds: Optional[Sequence[str]] = None
+) -> Geometry:
+    """One random geometry.  ``kinds`` restricts the geometry types
+    (point / linestring / polygon / multipoint / multilinestring /
+    multipolygon / collection)."""
+    kind = rng.choice(
+        list(kinds)
+        if kinds
+        else [
+            "point",
+            "point",
+            "linestring",
+            "polygon",
+            "polygon",
+            "multipoint",
+            "multilinestring",
+            "multipolygon",
+            "collection",
+        ]
+    )
+    if kind == "point":
+        return _gen_point(rng)
+    if kind == "linestring":
+        return _gen_linestring(rng)
+    if kind == "polygon":
+        return _gen_polygon(rng)
+    if kind == "multipoint":
+        return MultiPoint(
+            [_gen_point(rng) for _ in range(rng.randint(1, 4))]
+        )
+    if kind == "multilinestring":
+        return MultiLineString(
+            [_gen_linestring(rng) for _ in range(rng.randint(1, 3))]
+        )
+    if kind == "multipolygon":
+        return MultiPolygon(
+            [_gen_rect(rng) for _ in range(rng.randint(1, 3))]
+        )
+    return GeometryCollection(
+        [
+            gen_geometry(rng, ["point", "linestring", "polygon"])
+            for _ in range(rng.randint(1, 3))
+        ]
+    )
+
+
+def gen_wkt(
+    rng: random.Random, kinds: Optional[Sequence[str]] = None
+) -> str:
+    """WKT text of one random geometry."""
+    return to_wkt(gen_geometry(rng, kinds))
+
+
+# -- spatial (R-tree vs all-pairs scan) ----------------------------------------
+
+
+def gen_spatial_spec(seed: int) -> Dict[str, Any]:
+    """Indexed geometries, probe envelopes, and a removal schedule.
+
+    The differential check inserts half, snapshots (via a batch query),
+    inserts the rest, compares, then removes and compares again — the
+    phase structure that catches stale-snapshot/invalidation bugs.
+    """
+    rng = random.Random(("spatial", seed).__repr__())
+    n = rng.randint(2, 10)
+    geometries = [
+        gen_wkt(rng, ["point", "linestring", "polygon", "multipolygon"])
+        for _ in range(n)
+    ]
+    probes = [
+        gen_wkt(rng, ["polygon", "point"]) for _ in range(rng.randint(1, 5))
+    ]
+    k = rng.randint(0, min(3, n))
+    removals = sorted(rng.sample(range(n), k))
+    return {"geometries": geometries, "probes": probes, "removals": removals}
+
+
+# -- stSPARQL (nested-loop BGP vs optimised evaluator) -------------------------
+
+#: JSON term forms: ["u", local] URIRef, ["i", n] integer literal,
+#: ["w", wkt] geometry literal, ["v", name] variable (patterns only).
+
+_CLASSES = ("ClassA", "ClassB")
+_CMP_OPS = ("<", "<=", ">", ">=", "=", "!=")
+_SPATIAL_PREDS = (
+    "intersects",
+    "contains",
+    "within",
+    "touches",
+    "overlaps",
+    "equals",
+    "disjoint",
+)
+
+
+def gen_stsparql_spec(seed: int) -> Dict[str, Any]:
+    """A small stRDF graph plus one BGP/FILTER query.
+
+    ``extra_triples`` are added *after* a first query round so the
+    incremental index-maintenance path is differentially exercised too.
+    """
+    rng = random.Random(("stsparql", seed).__repr__())
+    subjects = [f"s{i}" for i in range(rng.randint(2, 5))]
+
+    def gen_triple() -> List[Any]:
+        s = rng.choice(subjects)
+        kind = rng.random()
+        if kind < 0.4:
+            return [["u", s], ["u", "geom"], ["w", gen_wkt(rng)]]
+        if kind < 0.6:
+            return [["u", s], ["u", "kind"], ["u", rng.choice(_CLASSES)]]
+        if kind < 0.85:
+            return [["u", s], ["u", "value"], ["i", rng.randint(0, 20)]]
+        return [["u", s], ["u", "link"], ["u", rng.choice(subjects)]]
+
+    triples = [gen_triple() for _ in range(rng.randint(3, 12))]
+    extra = [gen_triple() for _ in range(rng.randint(0, 3))]
+
+    templates = [
+        [["v", "s"], ["u", "geom"], ["v", "g"]],
+        [["v", "s"], ["u", "kind"], ["u", rng.choice(_CLASSES)]],
+        [["v", "s"], ["u", "value"], ["v", "n"]],
+        [["v", "s"], ["u", "link"], ["v", "o"]],
+        [["v", "s"], ["v", "p"], ["v", "o"]],
+    ]
+    patterns = [rng.choice(templates) for _ in range(rng.randint(1, 3))]
+
+    filter_spec: Optional[Dict[str, Any]] = None
+    pattern_vars = {
+        t[1]
+        for p in patterns
+        for t in p
+        if t[0] == "v"
+    }
+    roll = rng.random()
+    if roll < 0.35 and "g" in pattern_vars:
+        filter_spec = {
+            "kind": "spatial",
+            "pred": rng.choice(_SPATIAL_PREDS),
+            "var": "g",
+            "wkt": gen_wkt(rng, ["polygon", "point"]),
+            "flip": rng.random() < 0.3,
+        }
+    elif roll < 0.6 and "n" in pattern_vars:
+        filter_spec = {
+            "kind": "cmp",
+            "var": "n",
+            "op": rng.choice(_CMP_OPS),
+            "value": rng.randint(0, 20),
+        }
+    return {
+        "triples": triples,
+        "extra_triples": extra,
+        "patterns": patterns,
+        "filter": filter_spec,
+        "distinct": rng.random() < 0.3,
+    }
+
+
+# -- SciQL (tiled kernels vs pure-python cell loop) ----------------------------
+
+
+def gen_sciql_spec(seed: int) -> Dict[str, Any]:
+    """An array (explicit cells) plus a short kernel program.
+
+    Float cells are multiples of 0.25 and stay small, so every sum in
+    both the numpy kernels and the python oracle is exactly
+    representable — results are compared with ``==``, no tolerance.
+    """
+    rng = random.Random(("sciql", seed).__repr__())
+    h, w = rng.randint(2, 9), rng.randint(2, 9)
+    dtype = rng.choice(["float", "int"])
+    if dtype == "float":
+        cells = [
+            [rng.randint(-16, 16) * 0.25 for _ in range(w)]
+            for _ in range(h)
+        ]
+    else:
+        cells = [
+            [rng.randint(-8, 8) for _ in range(w)] for _ in range(h)
+        ]
+    program: List[Dict[str, Any]] = []
+    if rng.random() < 0.4:
+        program.append(
+            {
+                "op": "update",
+                "mul": rng.randint(1, 3),
+                "add": rng.randint(-2, 2),
+                "dim": rng.choice(["x", "y"]),
+                "cmp": rng.choice(["=", ">", "<"]),
+                "bound": rng.randint(0, 3),
+            }
+        )
+    ch, cw = h, w
+    if rng.random() < 0.3 and ch > 2 and cw > 2:
+        x0 = rng.randint(0, ch - 2)
+        y0 = rng.randint(0, cw - 2)
+        program.append(
+            {
+                "op": "slice",
+                "x": [x0, rng.randint(x0 + 2, ch)],
+                "y": [y0, rng.randint(y0 + 2, cw)],
+            }
+        )
+        x = program[-1]
+        ch, cw = x["x"][1] - x["x"][0], x["y"][1] - x["y"][0]
+    for _ in range(rng.randint(1, 3)):
+        roll = rng.random()
+        if roll < 0.55:
+            program.append(
+                {
+                    "op": "map",
+                    "mul": rng.randint(-3, 3),
+                    "add": rng.randint(-8, 8) * 0.25
+                    if dtype == "float"
+                    else rng.randint(-4, 4),
+                }
+            )
+        elif roll < 0.85:
+            th = rng.randint(1, ch)
+            tw = rng.randint(1, cw)
+            program.append(
+                {
+                    "op": "tile",
+                    "t": [th, tw],
+                    "func": rng.choice(["mean", "sum", "min", "max"]),
+                }
+            )
+            ch, cw = ch // th, cw // tw
+        else:
+            program.append(
+                {"op": "count", "gt": rng.randint(-4, 4)}
+            )
+            break
+    return {
+        "shape": [h, w],
+        "dtype": dtype,
+        "cells": cells,
+        "program": program,
+    }
+
+
+# -- NOA chain (fault-free sequential vs retried parallel batch) ---------------
+
+
+def gen_chain_spec(seed: int) -> Dict[str, Any]:
+    """A batch of small synthetic SEVIRI acquisitions plus a fault plan.
+
+    Fault probabilities stay at or below 10% so the default retry
+    policy absorbs every transient with overwhelming probability; the
+    check then demands bitwise-equal hotspots and RDF against a
+    fault-free sequential baseline.
+    """
+    rng = random.Random(("chain", seed).__repr__())
+    scenes = [
+        {
+            "width": rng.choice([24, 32, 40]),
+            "height": rng.choice([24, 32, 40]),
+            "seed": rng.randint(0, 10_000),
+            "n_fires": rng.randint(0, 3),
+            "n_glints": rng.randint(0, 2),
+        }
+        for _ in range(rng.randint(1, 3))
+    ]
+    sites = rng.sample(
+        ["chain.*", "scheduler.task", "strabon.bulk", "ingest.file"],
+        rng.randint(1, 2),
+    )
+    p = rng.choice([0.02, 0.05, 0.1])
+    rules = ";".join(f"{site}:p={p}" for site in sites)
+    return {
+        "scenes": scenes,
+        "workers": rng.choice([2, 3]),
+        "faults": f"{rules};seed={rng.randint(0, 99_999)}",
+    }
+
+
+_GENERATORS = {
+    "spatial": gen_spatial_spec,
+    "stsparql": gen_stsparql_spec,
+    "sciql": gen_sciql_spec,
+    "chain": gen_chain_spec,
+}
+
+
+def gen_spec(domain: str, seed: int) -> Dict[str, Any]:
+    """The spec of differential case ``(domain, seed)``."""
+    try:
+        generator = _GENERATORS[domain]
+    except KeyError:
+        raise ValueError(
+            f"unknown domain {domain!r}; expected one of {SPEC_DOMAINS}"
+        ) from None
+    return generator(seed)

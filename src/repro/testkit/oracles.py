@@ -1,0 +1,272 @@
+"""Brute-force reference implementations.
+
+Each oracle is deliberately naive — the smallest amount of code that is
+obviously correct — so that when it disagrees with an optimised path the
+optimisation is the prime suspect.  Oracles share term/geometry
+semantics with the engine (same parser, same predicate functions): the
+differential tests target the *plumbing* (indexes, caches, join
+ordering, tiling, retries), while predicate math itself is covered by
+the property tests in ``tests/geometry``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry import Envelope, from_wkt
+from repro.rdf.term import Literal, RDFTerm, URIRef, Variable
+from repro.strabon import strdf
+
+EX = "http://example.org/"
+
+
+# -- term materialisation ------------------------------------------------------
+
+
+def term_from_json(spec: Sequence[Any]) -> Any:
+    """Decode a generator JSON term (see generators module) to an RDF
+    term, or a :class:`Variable` for pattern positions."""
+    tag, value = spec[0], spec[1]
+    if tag == "u":
+        return URIRef(EX + value)
+    if tag == "i":
+        return Literal(int(value))
+    if tag == "w":
+        return Literal(value, datatype=str(strdf.WKT_DATATYPE))
+    if tag == "v":
+        return Variable(value)
+    raise ValueError(f"unknown term tag {tag!r}")
+
+
+def triples_from_json(
+    specs: Iterable[Sequence[Sequence[Any]]],
+) -> List[Tuple[RDFTerm, RDFTerm, RDFTerm]]:
+    return [
+        (
+            term_from_json(s),
+            term_from_json(p),
+            term_from_json(o),
+        )
+        for s, p, o in specs
+    ]
+
+
+# -- spatial oracle ------------------------------------------------------------
+
+
+def naive_spatial_query(
+    entries: Sequence[Tuple[Envelope, Any]], probe: Envelope
+) -> List[Any]:
+    """All-pairs envelope scan: what any R-tree query must return."""
+    return [item for env, item in entries if env.intersects(probe)]
+
+
+# -- stSPARQL oracle -----------------------------------------------------------
+
+
+def _unify(
+    pattern: Tuple[Any, Any, Any],
+    triple: Tuple[RDFTerm, RDFTerm, RDFTerm],
+    binding: Dict[str, RDFTerm],
+) -> Optional[Dict[str, RDFTerm]]:
+    out = binding
+    for pat, term in zip(pattern, triple):
+        if isinstance(pat, Variable):
+            name = str(pat)  # Variable is a str subclass; its text IS the name
+            bound = out.get(name)
+            if bound is None:
+                if out is binding:
+                    out = dict(binding)
+                out[name] = term
+            elif bound != term:
+                return None
+        elif pat != term:
+            return None
+    return out
+
+
+def _cmp_value(term: Any) -> Any:
+    # Mirror of the evaluator's _comparable: literals compare by python
+    # value, URIRefs (str subclass) lexically, everything else by str().
+    if isinstance(term, Literal):
+        return term.to_python()
+    if isinstance(term, (int, float, bool, str)):
+        return term
+    return str(term)
+
+
+def _filter_passes(
+    filter_spec: Optional[Dict[str, Any]], binding: Dict[str, RDFTerm]
+) -> bool:
+    """Replicates evaluator FILTER semantics: any error → excluded."""
+    if filter_spec is None:
+        return True
+    term = binding.get(filter_spec["var"])
+    if term is None:
+        return False
+    if filter_spec["kind"] == "cmp":
+        op = filter_spec["op"]
+        value = filter_spec["value"]
+        if op in ("=", "!="):
+            if isinstance(term, Literal) and term.is_numeric:
+                equal = term.to_python() == value
+            else:
+                equal = term == Literal(value)
+            return equal if op == "=" else not equal
+        try:
+            left = _cmp_value(term)
+            if op == "<":
+                return left < value
+            if op == "<=":
+                return left <= value
+            if op == ">":
+                return left > value
+            return left >= value
+        except TypeError:
+            return False
+    # Spatial predicate.  Parse failures and ValueErrors exclude the
+    # row (the evaluator's extension-call wrapper turns StRDFError /
+    # ValueError into a failed FILTER); anything else — e.g. a
+    # TypeError from an unsupported operand combination — propagates,
+    # exactly as it escapes the optimised evaluator.
+    try:
+        geom = strdf.literal_geometry(term)
+    except strdf.StRDFError:
+        return False
+    const = from_wkt(filter_spec["wkt"])
+    a, b = (const, geom) if filter_spec.get("flip") else (geom, const)
+    try:
+        return bool(getattr(a, filter_spec["pred"])(b))
+    except ValueError:
+        return False
+
+
+def naive_bgp_rows(
+    triples: Sequence[Tuple[RDFTerm, RDFTerm, RDFTerm]],
+    patterns: Sequence[Tuple[Any, Any, Any]],
+    filter_spec: Optional[Dict[str, Any]],
+    variables: Sequence[str],
+    distinct: bool,
+) -> List[Tuple[Optional[str], ...]]:
+    """Nested-loop BGP evaluation in pattern order, filter applied at
+    the end; rows rendered to n3 over ``variables``.  Returns the sorted
+    multiset (list) of rows, deduplicated only under ``distinct``."""
+    solutions: List[Dict[str, RDFTerm]] = [{}]
+    for pattern in patterns:
+        solutions = [
+            extended
+            for binding in solutions
+            for triple in triples
+            for extended in (_unify(pattern, triple, binding),)
+            if extended is not None
+        ]
+    rows = [
+        tuple(
+            sol[name].n3() if name in sol else None for name in variables
+        )
+        for sol in solutions
+        if _filter_passes(filter_spec, sol)
+    ]
+    if distinct:
+        rows = list(dict.fromkeys(rows))
+    return sorted(rows, key=lambda r: tuple(x or "" for x in r))
+
+
+# -- SciQL oracle --------------------------------------------------------------
+
+
+def _cast(value: float, dtype: str) -> Any:
+    return int(value) if dtype == "int" else float(value)
+
+
+def naive_sciql_run(spec: Dict[str, Any]) -> Tuple[str, Any]:
+    """Interpret a SciQL program spec with pure-python list loops.
+
+    Returns ``("count", n)`` or ``("cells", rows)`` matching the
+    differential runner's outcome encoding.  All arithmetic stays on
+    dyadic floats, so results are exactly comparable to the kernels.
+    """
+    dtype = spec["dtype"]
+    cells = [list(row) for row in spec["cells"]]
+    row0, col0 = 0, 0  # dimension offsets survive slicing
+    for op in spec["program"]:
+        name = op["op"]
+        if name == "update":
+            dim, cmp_op, bound = op["dim"], op["cmp"], op["bound"]
+            for r in range(len(cells)):
+                for c in range(len(cells[0])):
+                    coord = row0 + r if dim == "x" else col0 + c
+                    hit = (
+                        coord == bound
+                        if cmp_op == "="
+                        else coord > bound if cmp_op == ">" else coord < bound
+                    )
+                    if hit:
+                        cells[r][c] = _cast(
+                            cells[r][c] * op["mul"] + op["add"], dtype
+                        )
+        elif name == "slice":
+            (x0, x1), (y0, y1) = op["x"], op["y"]
+            cells = [row[y0:y1] for row in cells[x0:x1]]
+            row0, col0 = row0 + x0, col0 + y0
+        elif name == "map":
+            cells = [
+                [_cast(v * op["mul"] + op["add"], dtype) for v in row]
+                for row in cells
+            ]
+        elif name == "tile":
+            th, tw = op["t"]
+            func = op["func"]
+            out_h = len(cells) // th
+            out_w = len(cells[0]) // tw
+            new_cells = []
+            for tr in range(out_h):
+                out_row = []
+                for tc in range(out_w):
+                    block = [
+                        float(cells[tr * th + i][tc * tw + j])
+                        for i in range(th)
+                        for j in range(tw)
+                    ]
+                    if func == "sum":
+                        val = sum(block)
+                    elif func == "min":
+                        val = min(block)
+                    elif func == "max":
+                        val = max(block)
+                    else:
+                        val = sum(block) / len(block)
+                    out_row.append(_cast(val, dtype))
+                new_cells.append(out_row)
+            cells = new_cells
+            row0, col0 = 0, 0  # aggregate output re-bases coordinates
+        elif name == "count":
+            return (
+                "count",
+                sum(
+                    1
+                    for row in cells
+                    for v in row
+                    if v > op["gt"]
+                ),
+            )
+        else:
+            raise ValueError(f"unknown sciql op {name!r}")
+    return ("cells", cells)
+
+
+# -- generic multiset helpers --------------------------------------------------
+
+
+def multiset(items: Iterable[Any]) -> List[Any]:
+    """A canonical (sorted) rendering of an unordered collection."""
+    return sorted(items, key=repr)
+
+
+def first_difference(a: Sequence[Any], b: Sequence[Any]) -> Optional[str]:
+    """A short human-readable description of the first mismatch."""
+    for i, (x, y) in enumerate(itertools.zip_longest(a, b)):
+        if x != y:
+            return f"index {i}: {x!r} != {y!r}"
+    return None

@@ -1,0 +1,62 @@
+"""Every recorded counterexample replays clean, forever.
+
+The corpus directory holds the shrunk spec of each divergence the
+sweep ever found (plus a few seed-only smoke entries).  A regression in
+any engine layer re-opens the original divergence and fails here —
+without needing the fuzz lane.
+"""
+
+import os
+
+import pytest
+
+from repro.testkit.corpus import load_corpus, save_counterexample
+from repro.testkit.differential import Counterexample
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_populated():
+    assert len(ENTRIES) >= 4
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[os.path.basename(e.path) for e in ENTRIES]
+)
+def test_entry_replays_clean(entry):
+    detail = entry.replay()
+    assert detail is None, (
+        f"{entry.path} diverges again: {detail}\nnote: {entry.note}"
+    )
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    counterexample = Counterexample(
+        domain="sciql",
+        seed=123,
+        spec={"shape": [2, 2]},
+        detail="raw detail",
+        shrunk_spec={"shape": [1, 1]},
+        shrunk_detail="shrunk detail",
+    )
+    path = save_counterexample(
+        str(tmp_path), counterexample, note="unit test"
+    )
+    # A second save must not clobber the first.
+    other = save_counterexample(str(tmp_path), counterexample)
+    assert path != other
+
+    entries = load_corpus(str(tmp_path))
+    assert len(entries) == 2
+    first = next(e for e in entries if e.path == path)
+    assert first.domain == "sciql"
+    # The shrunk form is what gets recorded.
+    assert first.spec == {"shape": [1, 1]}
+    assert first.detail == "shrunk detail"
+    assert first.note == "unit test"
+
+
+def test_missing_directory_is_empty():
+    assert load_corpus(os.path.join(CORPUS_DIR, "missing")) == []

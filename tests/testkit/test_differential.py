@@ -1,0 +1,88 @@
+"""The differential runner agrees with itself on known-good seeds."""
+
+import pytest
+
+from repro.testkit import run_case, sweep
+from repro.testkit.differential import render_query
+from repro.testkit.generators import case_seed, gen_spec
+
+FAST_DOMAINS = ("spatial", "stsparql", "sciql")
+
+
+class TestRunCase:
+    @pytest.mark.parametrize("domain", FAST_DOMAINS)
+    @pytest.mark.parametrize("index", range(8))
+    def test_seeded_cases_agree(self, domain, index):
+        seed = case_seed(20_240_806, index)
+        assert run_case(domain, gen_spec(domain, seed)) is None
+
+    def test_chain_case_agrees(self):
+        seed = case_seed(20_240_806, 0)
+        assert run_case("chain", gen_spec("chain", seed)) is None
+
+    def test_unknown_domain(self):
+        with pytest.raises(ValueError):
+            run_case("nope", {})
+
+
+class TestRenderQuery:
+    def test_projection_is_sorted_variables(self):
+        spec = {
+            "patterns": [
+                [["v", "s"], ["u", "value"], ["v", "n"]],
+            ],
+            "filter": None,
+            "distinct": False,
+        }
+        text, variables = render_query(spec)
+        assert variables == ["n", "s"]
+        assert "SELECT ?n ?s WHERE" in text
+
+    def test_distinct_and_filters_rendered(self):
+        spec = {
+            "patterns": [[["v", "s"], ["u", "geom"], ["v", "g"]]],
+            "filter": {
+                "kind": "spatial",
+                "pred": "within",
+                "var": "g",
+                "wkt": "POINT (0 0)",
+                "flip": True,
+            },
+            "distinct": True,
+        }
+        text, _ = render_query(spec)
+        assert "SELECT DISTINCT" in text
+        assert 'strdf:within("POINT (0 0)"^^strdf:WKT, ?g)' in text
+
+    def test_cmp_filter_rendered(self):
+        spec = {
+            "patterns": [[["v", "s"], ["u", "value"], ["v", "n"]]],
+            "filter": {"kind": "cmp", "var": "n", "op": "<=", "value": 6},
+            "distinct": False,
+        }
+        text, _ = render_query(spec)
+        assert "FILTER(?n <= 6)" in text
+
+
+class TestSweep:
+    def test_sweep_is_reproducible_and_bounded(self):
+        a = sweep(
+            base_seed=77,
+            budget_seconds=30.0,
+            domains=FAST_DOMAINS,
+            max_cases=9,
+        )
+        b = sweep(
+            base_seed=77,
+            budget_seconds=30.0,
+            domains=FAST_DOMAINS,
+            max_cases=9,
+        )
+        assert a.cases_run == b.cases_run == 9
+        assert a.ok and b.ok
+
+    def test_sweep_respects_budget(self):
+        report = sweep(
+            base_seed=78, budget_seconds=0.0, domains=FAST_DOMAINS
+        )
+        assert report.cases_run == 0

@@ -1,0 +1,129 @@
+"""Acceptance: a deliberately injected optimizer bug is caught, shrunk
+to a tiny counterexample, and replayable from its printed seed.
+
+Two classic bug shapes are injected:
+
+* ``RTree.insert`` stops invalidating the packed ``query_batch``
+  snapshot (the exact bug class fixed in an earlier release);
+* ``StrabonStore.spatial_candidates_batch`` silently drops a candidate
+  (a broken prefilter must never shrink the answer set).
+"""
+
+import pytest
+
+from repro.geometry import RTree
+from repro.strabon import StrabonStore
+from repro.testkit import run_case, sweep
+from repro.testkit.generators import gen_spec
+
+BASE_SEED = 20_260_806
+
+
+@pytest.fixture
+def stale_snapshot_insert(monkeypatch):
+    """Make RTree.insert skip packed-snapshot invalidation."""
+    original = RTree.insert
+
+    def buggy_insert(self, envelope, item):
+        packed = self._packed
+        original(self, envelope, item)
+        self._packed = packed  # BUG: stale snapshot survives the insert
+
+    monkeypatch.setattr(RTree, "insert", buggy_insert)
+
+
+@pytest.fixture
+def lossy_prefilter(monkeypatch):
+    """Make the batched spatial prefilter drop one candidate per probe."""
+    original = StrabonStore.spatial_candidates_batch
+
+    def buggy_batch(self, envelopes):
+        found = original(self, envelopes)
+        if found is None:
+            return None
+        return [
+            candidates - {max(candidates, key=repr)}
+            if candidates
+            else candidates
+            for candidates in found
+        ]
+
+    monkeypatch.setattr(
+        StrabonStore, "spatial_candidates_batch", buggy_batch
+    )
+
+
+class TestStaleSnapshotBugIsCaught:
+    def test_sweep_catches_and_shrinks(self, stale_snapshot_insert):
+        report = sweep(
+            base_seed=BASE_SEED,
+            budget_seconds=60.0,
+            domains=("spatial",),
+            max_cases=300,
+            stop_on_first=True,
+        )
+        assert report.counterexamples, (
+            f"injected bug escaped {report.cases_run} cases"
+        )
+        counterexample = report.counterexamples[0]
+
+        # Shrunk to the acceptance bound: at most 2 geometries.
+        shrunk = counterexample.shrunk_spec
+        assert shrunk is not None
+        assert len(shrunk["geometries"]) <= 2
+        assert len(shrunk["probes"]) == 1
+        assert counterexample.shrunk_detail is not None
+
+        # Replayable from the printed seed alone.
+        replayed_spec = gen_spec("spatial", counterexample.seed)
+        assert replayed_spec == counterexample.spec
+        assert run_case("spatial", replayed_spec) is not None
+        assert run_case("spatial", shrunk) is not None
+
+        # And the report names the seed for copy-paste replay.
+        text = counterexample.format()
+        assert f"REPRO_TESTKIT_SEED={counterexample.seed}" in text
+        assert "replay" in text
+
+    def test_same_seeds_agree_without_the_bug(self):
+        report = sweep(
+            base_seed=BASE_SEED,
+            budget_seconds=60.0,
+            domains=("spatial",),
+            max_cases=60,
+        )
+        assert report.ok
+
+
+class TestLossyPrefilterBugIsCaught:
+    def test_sweep_catches_and_shrinks(self, lossy_prefilter):
+        report = sweep(
+            base_seed=BASE_SEED,
+            budget_seconds=60.0,
+            domains=("stsparql",),
+            max_cases=500,
+            stop_on_first=True,
+        )
+        assert report.counterexamples, (
+            f"injected bug escaped {report.cases_run} cases"
+        )
+        counterexample = report.counterexamples[0]
+        shrunk = counterexample.shrunk_spec
+        assert shrunk is not None
+
+        # Shrunk to the acceptance bound: at most 5 triples.
+        total = len(shrunk["triples"]) + len(shrunk["extra_triples"])
+        assert total <= 5
+        assert run_case("stsparql", shrunk) is not None
+
+        replayed_spec = gen_spec("stsparql", counterexample.seed)
+        assert run_case("stsparql", replayed_spec) is not None
+
+    def test_same_seeds_agree_without_the_bug(self):
+        report = sweep(
+            base_seed=BASE_SEED,
+            budget_seconds=60.0,
+            domains=("stsparql",),
+            max_cases=60,
+        )
+        assert report.ok

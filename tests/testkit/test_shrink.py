@@ -1,0 +1,160 @@
+"""Shrinker convergence: result still diverges and is locally minimal."""
+
+import json
+
+from repro.testkit.generators import gen_spec
+from repro.testkit.shrink import (
+    _sciql_spec_valid,
+    candidates,
+    shrink,
+    spec_size,
+)
+
+
+def _still_diverges_and_minimal(domain, spec, diverges):
+    """The shrink contract, checked explicitly."""
+    shrunk, detail = shrink(domain, spec, diverges)
+    assert detail is not None
+    assert diverges(shrunk) is not None
+    size = spec_size(domain, shrunk)
+    assert size <= spec_size(domain, spec)
+    for candidate in candidates(domain, shrunk):
+        if spec_size(domain, candidate) < size:
+            assert diverges(candidate) is None, (
+                "not locally minimal: a smaller candidate still diverges"
+            )
+    return shrunk
+
+
+class TestSpatialShrink:
+    def test_converges_to_single_polygon(self):
+        spec = gen_spec("spatial", 1234)
+
+        def diverges(candidate):
+            # Synthetic bug: any polygon in the index triggers it.
+            hits = [
+                g for g in candidate["geometries"] if "POLYGON" in g
+            ]
+            return "polygon present" if hits else None
+
+        if diverges(spec) is None:
+            spec["geometries"].append(
+                "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"
+            )
+        shrunk = _still_diverges_and_minimal("spatial", spec, diverges)
+        assert len(shrunk["geometries"]) == 1
+        assert len(shrunk["probes"]) == 1
+        assert shrunk["removals"] == []
+
+    def test_removal_indices_stay_valid(self):
+        spec = {
+            "geometries": [
+                "POINT (0 0)",
+                "POINT (1 1)",
+                "POINT (2 2)",
+            ],
+            "probes": ["POINT (0 0)"],
+            "removals": [0, 2],
+        }
+        for candidate in candidates("spatial", spec):
+            assert all(
+                0 <= r < len(candidate["geometries"])
+                for r in candidate["removals"]
+            )
+
+
+class TestStSPARQLShrink:
+    def test_converges_to_one_triple(self):
+        spec = gen_spec("stsparql", 5678)
+        spec["triples"].append(
+            [["u", "s0"], ["u", "value"], ["i", 13]]
+        )
+
+        def diverges(candidate):
+            hits = [
+                t
+                for t in candidate["triples"]
+                if t[2] == ["i", 13] or t[2] == ("i", 13)
+            ]
+            return "unlucky literal present" if hits else None
+
+        shrunk = _still_diverges_and_minimal("stsparql", spec, diverges)
+        assert len(shrunk["triples"]) == 1
+        assert shrunk["extra_triples"] == []
+        assert shrunk["filter"] is None
+        assert len(shrunk["patterns"]) == 1
+
+    def test_pattern_drop_keeps_a_variable(self):
+        spec = {
+            "triples": [],
+            "extra_triples": [],
+            "patterns": [
+                [["v", "s"], ["u", "value"], ["v", "n"]],
+                [["u", "s0"], ["u", "kind"], ["u", "ClassA"]],
+            ],
+            "filter": None,
+            "distinct": False,
+        }
+        for candidate in candidates("stsparql", spec):
+            assert any(
+                term[0] == "v"
+                for pattern in candidate["patterns"]
+                for term in pattern
+            )
+
+
+class TestSciQLShrink:
+    def test_candidates_stay_valid(self):
+        for seed in range(30):
+            spec = gen_spec("sciql", seed)
+            assert _sciql_spec_valid(spec), seed
+            for candidate in candidates("sciql", spec):
+                assert _sciql_spec_valid(candidate), (seed, candidate)
+
+    def test_converges_on_cell_marker(self):
+        spec = gen_spec("sciql", 424242)
+        spec["cells"][0][0] = 7 if spec["dtype"] == "int" else 7.0
+
+        def diverges(candidate):
+            hits = [
+                v
+                for row in candidate["cells"]
+                for v in row
+                if v == 7
+            ]
+            return "marker cell present" if hits else None
+
+        shrunk = _still_diverges_and_minimal("sciql", spec, diverges)
+        assert sum(
+            1 for row in shrunk["cells"] for v in row if v == 7
+        ) == 1
+
+
+class TestChainShrink:
+    def test_converges_to_single_small_scene(self):
+        spec = gen_spec("chain", 9999)
+
+        def diverges(candidate):
+            return "always" if candidate["scenes"] else None
+
+        shrunk = _still_diverges_and_minimal("chain", spec, diverges)
+        assert len(shrunk["scenes"]) == 1
+        scene = shrunk["scenes"][0]
+        assert scene["width"] == 24 and scene["height"] == 24
+        assert scene["n_fires"] == 0 and scene["n_glints"] == 0
+
+
+class TestSpecSize:
+    def test_size_is_json_length_with_numeric_tiebreak(self):
+        spec = {"a": [1, 2, 3]}
+        base = len(json.dumps(spec, sort_keys=True))
+        assert base < spec_size("spatial", spec) < base + 1
+        # Same structure, smaller numbers: strictly smaller.
+        assert spec_size("spatial", {"a": [1, 2, 2]}) < spec_size(
+            "spatial", spec
+        )
+
+    def test_non_diverging_spec_returned_unchanged(self):
+        spec = gen_spec("spatial", 3)
+        shrunk, detail = shrink("spatial", spec, lambda s: None)
+        assert shrunk == spec and detail is None
