@@ -1,0 +1,247 @@
+"""Experiment A7 — compiled expression kernels vs the interpreter.
+
+One SciQL UPDATE workload (a sparse dimension-window recalibration
+plus a ~14%-selectivity value-predicate restamp over a 3000x3000
+array, both with multi-term SET polynomials) runs down three paths:
+
+* **interpreted** — ``REPRO_KERNELS=0``: the historical route through
+  ``to_frame`` (full 9M-row column materialisation, WHERE and SET
+  evaluated over every cell, whole planes written back).
+* **compiled, cold** — kernel caches cleared before every pass, so each
+  timing pays expression lowering plus the run.
+* **compiled, warm** — the steady state: plan served from the LRU,
+  gather-compute-scatter over only the cells the WHERE mask selects.
+
+Compiled passes are timed at 1 and 4 workers; the adaptive tiler picks
+the band split from the observed cells/sec of the serial runs.  A
+second section times batched stSPARQL FILTER evaluation against the
+per-solution interpreter walk.
+
+Results land in ``BENCH_kernels.json``.  Acceptance (ISSUE 6): the
+compiled SciQL tier is >= 4x the serial interpreted baseline, parallel
+speedup at 4 workers is > 1.0, and every path produces bit-identical
+planes.
+"""
+
+import json
+import os
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro import kernels
+from repro.mdb import Database
+from repro.parallel import WORKERS_ENV
+from repro.rdf import Literal, Namespace
+from repro.strabon import StrabonStore
+
+EX = Namespace("http://example.org/")
+
+SHAPE = (3000, 3000)
+
+# Both statements follow the shape where compilation pays off: a cheap
+# WHERE over dimension or value columns, moderate selectivity, and a
+# multi-term SET polynomial.  The interpreter evaluates every SET
+# expression over every cell before masking; the kernel evaluates it
+# only over the gathered selection — that asymmetry is the serial win,
+# and the per-band WHERE + gathered-SET evaluation is what the tiler
+# parallelises.  (The WHERE itself, and the staged plane copy behind
+# write-then-swap, are costs both paths share.)
+UPDATES = [
+    # Detector-window recalibration: a 40-row stripe, ~1.3% of cells,
+    # selected by dimension predicates (BETWEEN + the np.isin IN-list
+    # fast path), with a heavy polynomial rewrite of the radiance plane.
+    "UPDATE msg SET v = ((v * 0.5 + 7.25) * 0.25 + (v * 0.125 - 3.5)) * 0.5 "
+    "+ (v - 295.0) * (v - 295.0) * 0.002 + 1.0 "
+    "WHERE x BETWEEN 40 AND 79 AND y NOT IN (0, 1, 2, 3)",
+    # Low-radiance quality restamp: a value predicate selecting ~14% of
+    # cells, with a two-attribute SET polynomial over the selection.
+    "UPDATE msg SET q = q * 0.5 + (v - 250.0) * (340.0 - v) * 0.00125 "
+    "+ (q - 0.5) * (q - 0.5) * 3.0 - 2.75 "
+    "WHERE v < 262.0",
+]
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_kernels.json",
+)
+
+_RESULTS = {"shape": list(SHAPE), "updates": UPDATES, "sciql": {}, "stsparql": {}}
+
+
+def _dump():
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+@contextmanager
+def _env(**pairs):
+    saved = {k: os.environ.get(k) for k in pairs}
+    try:
+        for k, v in pairs.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def _fresh_db():
+    db = Database()
+    db.execute(
+        f"CREATE ARRAY msg (x INT DIMENSION [0:{SHAPE[0]}], "
+        f"y INT DIMENSION [0:{SHAPE[1]}], "
+        f"v DOUBLE DEFAULT 0.0, q DOUBLE DEFAULT 0.0)"
+    )
+    rng = np.random.default_rng(7)
+    db.array("msg").set_attribute(
+        "v", rng.uniform(250.0, 340.0, size=SHAPE)
+    )
+    db.array("msg").set_attribute(
+        "q", rng.uniform(0.0, 1.0, size=SHAPE)
+    )
+    return db
+
+
+def _best_pass(db, seed_planes, repeats=5, cold=False):
+    """Best (minimum) wall time of the two-statement pass over
+    ``repeats`` runs; the attribute planes are restored (and optionally
+    the kernel caches dropped) outside the timed region.  Minimum-of-N
+    is the standard noise-robust wall-clock estimator: ambient load on
+    the box only ever inflates a sample."""
+    samples = []
+    for _ in range(repeats):
+        for name, plane in seed_planes.items():
+            db.array("msg")._values[name][:] = plane
+        if cold:
+            kernels.clear_caches()
+        t0 = time.perf_counter()
+        for sql in UPDATES:
+            db.execute(sql)
+        samples.append(time.perf_counter() - t0)
+    return min(samples)
+
+
+def test_sciql_update_tier():
+    db = _fresh_db()
+    seed_planes = {
+        name: plane.copy()
+        for name, plane in db.array("msg")._values.items()
+    }
+
+    def restore():
+        for name, plane in seed_planes.items():
+            db.array("msg")._values[name][:] = plane
+
+    def final_planes():
+        return {
+            name: plane.copy()
+            for name, plane in db.array("msg")._values.items()
+        }
+
+    # Reference output + interpreted baseline.
+    with _env(**{kernels.KERNELS_ENV: "0", WORKERS_ENV: None}):
+        restore()
+        for sql in UPDATES:
+            db.execute(sql)
+        reference = final_planes()
+        interpreted = _best_pass(db, seed_planes)
+
+    timings = {"interpreted_w1": interpreted}
+    for workers, tag in ((None, "w1"), ("4", "w4")):
+        with _env(**{kernels.KERNELS_ENV: None, WORKERS_ENV: workers}):
+            restore()
+            kernels.clear_caches()
+            for sql in UPDATES:
+                db.execute(sql)
+            got = final_planes()
+            for name in reference:
+                assert np.array_equal(got[name], reference[name]), (
+                    tag, name,
+                )
+            timings[f"compiled_cold_{tag}"] = _best_pass(
+                db, seed_planes, cold=True
+            )
+            timings[f"compiled_warm_{tag}"] = _best_pass(db, seed_planes)
+
+    speedup = timings["interpreted_w1"] / timings["compiled_warm_w1"]
+    parallel_speedup = (
+        timings["compiled_warm_w1"] / timings["compiled_warm_w4"]
+    )
+    _RESULTS["sciql"] = {
+        "seconds": timings,
+        "speedup_vs_interpreted": speedup,
+        "parallel_speedup_w4": parallel_speedup,
+    }
+    _dump()
+    print(
+        f"\n[A7/sciql] interpreted={interpreted:.3f}s "
+        f"compiled w1={timings['compiled_warm_w1']:.3f}s "
+        f"({speedup:.2f}x) w4={timings['compiled_warm_w4']:.3f}s "
+        f"(parallel {parallel_speedup:.2f}x) "
+        f"cold w1={timings['compiled_cold_w1']:.3f}s"
+    )
+    assert speedup >= 4.0, timings
+    assert parallel_speedup > 1.0, timings
+
+
+# -- stSPARQL FILTER batching --------------------------------------------------
+
+
+def _filter_store(n=4000):
+    store = StrabonStore()
+    with store.bulk():
+        for k in range(n):
+            store.add(
+                (EX[f"s{k}"], EX.value, Literal((k * 7919) % 10_000))
+            )
+    return store
+
+
+def test_stsparql_filter_tier():
+    store = _filter_store()
+    query = (
+        "PREFIX ex: <http://example.org/>\n"
+        "SELECT ?s WHERE { ?s ex:value ?v . "
+        "FILTER(?v * 3 > 9000 && ?v < 9900) }"
+    )
+
+    with _env(**{kernels.KERNELS_ENV: "0"}):
+        reference = sorted(store.query(query).rows())
+        interpreted = min(
+            _timed(lambda: store.query(query)) for _ in range(5)
+        )
+    with _env(**{kernels.KERNELS_ENV: None}):
+        kernels.clear_caches()
+        assert sorted(store.query(query).rows()) == reference
+        batched = min(
+            _timed(lambda: store.query(query)) for _ in range(5)
+        )
+
+    speedup = interpreted / batched
+    _RESULTS["stsparql"] = {
+        "interpreted_seconds": interpreted,
+        "batched_seconds": batched,
+        "speedup": speedup,
+        "rows": len(reference),
+    }
+    _dump()
+    print(
+        f"\n[A7/stsparql] interpreted={interpreted:.3f}s "
+        f"batched={batched:.3f}s ({speedup:.2f}x, {len(reference)} rows)"
+    )
+    assert speedup > 1.0
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

@@ -1,0 +1,1117 @@
+"""Compiled vectorised kernels for SciQL/SQL expressions and stSPARQL FILTERs.
+
+TELEIOS's bet is column-at-a-time execution *inside* the database.  This
+module closes the remaining interpretation gaps by lowering expression
+ASTs into fused numpy kernels:
+
+* **SQL/SciQL** — :func:`compile_update` turns a ``SciQL UPDATE``
+  statement into a plan of closures evaluating directly over the array's
+  attribute planes (no ``to_frame`` meshgrid), compiled once per
+  ``(schema signature, statement)`` and cached in an LRU.  Assignments
+  run gather-compute-scatter over only the cells passing the WHERE mask.
+* **Shared vector primitives** — :func:`vec_arith`, :func:`vec_compare`,
+  :func:`vec_concat` and :func:`vec_inlist_literals` implement the SQL
+  operator semantics once, with vectorised fast paths in front of the
+  exact per-row fallbacks.  The interpretive :class:`~repro.mdb.sql.
+  executor.Evaluator` delegates to the same functions, so the compiled
+  and interpreted paths cannot diverge at the operator level.
+* **stSPARQL** — :func:`compile_filter` lowers numeric FILTER
+  expressions into one batched kernel call over packed binding columns;
+  solutions whose bindings fall outside the kernel's type contract are
+  routed individually through the caller's exact fallback.
+* **Adaptive tiling** — :class:`AdaptiveTiler` replaces the static
+  ``PARALLEL_MIN_CELLS`` floor: row-band tiling engages only when the
+  observed cells/sec rate predicts the serial pass is long enough to
+  amortise band bookkeeping.
+
+Everything is gated by ``REPRO_KERNELS`` (default on); with the gate off
+the engines fall back to the retained interpretive paths, which double
+as the in-engine oracle for the differential tests in
+:mod:`repro.testkit`.
+
+Fallback contract: a compiler raises :class:`Unsupported` (internally)
+for any construct it does not lower, and the public ``compile_*``
+entry points return ``None`` — the caller then takes the interpretive
+path.  Catalog errors (unknown columns) are *not* swallowed: they raise
+the same exception the interpretive path would.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.cache import LRUCache
+from repro.rdf.term import Literal
+
+# The SQL AST, mdb error types and stSPARQL algebra are imported
+# lazily: both engines import this module at package-import time (the
+# executor aliases the vector primitives), so a top-level import of
+# either engine from here would be circular.
+
+
+def _sql_ast():
+    from repro.mdb.sql import ast
+
+    return ast
+
+
+def _mdb_errors():
+    from repro.mdb import errors
+
+    return errors
+
+
+def _algebra():
+    from repro.strabon.stsparql import algebra
+
+    return algebra
+
+__all__ = [
+    "KERNELS_ENV",
+    "enabled",
+    "Unsupported",
+    "vec_arith",
+    "vec_compare",
+    "vec_concat",
+    "vec_inlist_literals",
+    "bool_mask",
+    "broadcast_literal",
+    "is_numeric",
+    "compile_update",
+    "UpdatePlan",
+    "compile_filter",
+    "run_filter",
+    "FilterPlan",
+    "AdaptiveTiler",
+    "TILER",
+    "sql_kernel_cache",
+    "filter_kernel_cache",
+    "clear_caches",
+]
+
+Vector = Tuple[np.ndarray, np.ndarray]
+
+KERNELS_ENV = "REPRO_KERNELS"
+
+#: Integers beyond 2**53 are not exactly representable as float64; the
+#: fast lanes refuse them so exact python-int comparisons never round.
+_EXACT_INT = 2**53
+
+#: Minimum candidate-solution count before packing binding columns for a
+#: batched FILTER pays for itself (kept tiny so the fuzz sweep exercises
+#: the kernel lane on small graphs too).
+FILTER_BATCH_MIN_SOLUTIONS = 2
+
+
+def enabled() -> bool:
+    """Whether compiled kernels are active (``REPRO_KERNELS``, default on)."""
+    raw = os.environ.get(KERNELS_ENV, "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+class Unsupported(Exception):
+    """An expression the kernel compiler does not lower (take the
+    interpretive path)."""
+
+
+# ---------------------------------------------------------------------------
+# shared vector primitives (exact SQL operator semantics)
+# ---------------------------------------------------------------------------
+
+
+def is_numeric(arr: np.ndarray) -> bool:
+    return arr.dtype.kind in "ifb"
+
+
+_TRUE1 = np.ones(1, dtype=bool)
+_TRUE1.flags.writeable = False
+
+
+def all_valid(n: int) -> np.ndarray:
+    """An all-True validity mask as a stride-0 broadcast view — O(1) to
+    build and recognisable (see :func:`_const_true`) so the hot paths
+    can skip masking work entirely when no NULLs are in play."""
+    return np.broadcast_to(_TRUE1, (n,))
+
+
+def _const_true(valid: np.ndarray) -> bool:
+    """True when ``valid`` is a stride-0 all-True broadcast view."""
+    return valid.strides == (0,) and valid.size > 0 and bool(valid[0])
+
+
+def and_valid(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a & b`` without allocating when either side is known all-True."""
+    if a is b or _const_true(b):
+        return a
+    if _const_true(a):
+        return b
+    return a & b
+
+
+def broadcast_literal(value: Any, nrows: int) -> Vector:
+    if value is None:
+        return (
+            np.empty(nrows, dtype=object),
+            np.zeros(nrows, dtype=bool),
+        )
+    if isinstance(value, bool):
+        data = np.full(nrows, value, dtype=bool)
+    elif isinstance(value, int):
+        data = np.full(nrows, value, dtype=np.int64)
+    elif isinstance(value, float):
+        data = np.full(nrows, value, dtype=np.float64)
+    else:
+        data = np.empty(nrows, dtype=object)
+        data[:] = value
+    return data, np.ones(nrows, dtype=bool)
+
+
+def bool_mask(vec: Vector) -> np.ndarray:
+    """Vector → WHERE mask (NULL counts as False)."""
+    data, valid = vec
+    if data.dtype == object:
+        truth = np.fromiter(
+            (bool(v) for v in data), count=len(data), dtype=bool
+        )
+    elif data.dtype == np.bool_:
+        truth = data
+    else:
+        truth = data.astype(bool)
+    # The result may alias ``data`` when it is already boolean and every
+    # row is valid; callers treat masks as read-only.
+    if _const_true(valid):
+        return truth
+    return truth & valid
+
+
+def _valid_index(valid: np.ndarray) -> Optional[np.ndarray]:
+    """Positions of valid rows, or None when every row is valid."""
+    if valid.all():
+        return None
+    return np.nonzero(valid)[0]
+
+
+def _all_plain_str(data: np.ndarray, valid: np.ndarray) -> bool:
+    """True when every valid element is an (exact) str — the precondition
+    of the vectorised string lanes.  ``np.str_`` counts: it subclasses
+    str without changing comparison or formatting semantics."""
+    if data.dtype.kind == "U":
+        return True
+    if data.dtype != np.dtype(object):
+        return False
+    values = data if valid.all() else data[valid]
+    return all(type(v) in (str, np.str_) for v in values)
+
+
+def _float_subset(data: np.ndarray) -> Optional[np.ndarray]:
+    """``data`` as float64 when every element is an exact python float.
+
+    ``np.float64`` elements are deliberately excluded: python floats
+    raise ``ZeroDivisionError`` where numpy scalars return inf/nan, and
+    the fast lane must reproduce the per-row loop's exception exactly.
+    """
+    if data.dtype != np.dtype(object):
+        return None
+    for v in data:
+        if type(v) is not float:
+            return None
+    return data.astype(np.float64)
+
+
+def _exact_number_subset(data: np.ndarray) -> Optional[np.ndarray]:
+    """``data`` as float64 when every element is a python int/float whose
+    float64 image is exact (so vectorised comparison equals the loop)."""
+    if data.dtype != np.dtype(object):
+        return None
+    for v in data:
+        t = type(v)
+        if t is float:
+            continue
+        if t is int and -_EXACT_INT <= v <= _EXACT_INT:
+            continue
+        return None
+    return data.astype(np.float64)
+
+
+def vec_arith(
+    op: str, ldata: np.ndarray, rdata: np.ndarray, valid: np.ndarray
+) -> Vector:
+    """SQL ``+ - * / %`` with NULL masking (shared by both engines).
+
+    Numeric arrays evaluate vectorised; ``/`` between two integer
+    columns is floor division with zero denominators masked invalid.
+    Object columns of pure python floats take a vectorised lane that
+    reproduces the loop's ``ZeroDivisionError``; anything else falls to
+    the exact per-row loop (timestamps, mixed types).
+    """
+    if is_numeric(ldata) and is_numeric(rdata):
+        with np.errstate(all="ignore"):
+            if op == "+":
+                out = ldata + rdata
+            elif op == "-":
+                out = ldata - rdata
+            elif op == "*":
+                out = ldata * rdata
+            elif op == "/":
+                denom_zero = rdata == 0
+                if ldata.dtype.kind == "i" and rdata.dtype.kind == "i":
+                    safe = np.where(denom_zero, 1, rdata)
+                    out = ldata // safe
+                else:
+                    safe = np.where(denom_zero, 1.0, rdata)
+                    out = ldata / safe
+                valid = valid & ~denom_zero
+            else:  # %
+                denom_zero = rdata == 0
+                safe = np.where(denom_zero, 1, rdata)
+                out = ldata % safe
+                valid = valid & ~denom_zero
+        return out, valid
+    idx = _valid_index(valid)
+    lsub = ldata if idx is None else ldata[idx]
+    rsub = rdata if idx is None else rdata[idx]
+    lf = _float_subset(lsub)
+    rf = _float_subset(rsub) if lf is not None else None
+    if lf is not None and rf is not None:
+        if op in ("/", "%") and bool((rf == 0).any()):
+            raise ZeroDivisionError(
+                "float division by zero" if op == "/" else "float modulo"
+            )
+        ufunc = {
+            "+": np.add,
+            "-": np.subtract,
+            "*": np.multiply,
+            "/": np.divide,
+            "%": np.mod,
+        }[op]
+        with np.errstate(all="ignore"):
+            res = ufunc(lf, rf)
+        out = np.empty(len(ldata), dtype=object)
+        if idx is None:
+            out[:] = res.tolist()
+        else:
+            out[idx] = res.tolist()
+        return out, valid
+    out = np.empty(len(ldata), dtype=object)
+    for i in range(len(ldata)):
+        if not valid[i]:
+            out[i] = None
+            continue
+        a, b = ldata[i], rdata[i]
+        try:
+            if op == "+":
+                out[i] = a + b
+            elif op == "-":
+                out[i] = a - b
+            elif op == "*":
+                out[i] = a * b
+            elif op == "/":
+                out[i] = a / b
+            else:
+                out[i] = a % b
+        except TypeError as exc:
+            raise _mdb_errors().SQLTypeError(str(exc)) from exc
+    return out, valid
+
+
+_CMP_UFUNCS = {
+    "=": np.equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def vec_compare(
+    op: str, ldata: np.ndarray, rdata: np.ndarray, valid: np.ndarray
+) -> Vector:
+    """SQL comparison with NULL masking (shared by both engines).
+
+    Numeric arrays compare vectorised.  Object columns of all-str or
+    all-exact-number values take vectorised lanes; everything else
+    (mixed types) keeps the per-row loop with its ``SQLTypeError``.
+    """
+    if is_numeric(ldata) and is_numeric(rdata):
+        return _CMP_UFUNCS[op](ldata, rdata), valid
+    n = len(ldata)
+    idx = _valid_index(valid)
+    lsub = ldata if idx is None else ldata[idx]
+    rsub = rdata if idx is None else rdata[idx]
+    hits = _fast_compare(op, lsub, rsub)
+    if hits is not None:
+        out = np.zeros(n, dtype=bool)
+        if idx is None:
+            out[:] = hits
+        else:
+            out[idx] = hits
+        return out, valid
+    out = np.zeros(n, dtype=bool)
+    for i in range(n):
+        if not valid[i]:
+            continue
+        a, b = ldata[i], rdata[i]
+        try:
+            if op == "=":
+                out[i] = a == b
+            elif op == "<>":
+                out[i] = a != b
+            elif op == "<":
+                out[i] = a < b
+            elif op == "<=":
+                out[i] = a <= b
+            elif op == ">":
+                out[i] = a > b
+            else:
+                out[i] = a >= b
+        except TypeError:
+            raise _mdb_errors().SQLTypeError(
+                f"cannot compare {type(a).__name__} with "
+                f"{type(b).__name__}"
+            ) from None
+    return out, valid
+
+
+def _fast_compare(
+    op: str, lsub: np.ndarray, rsub: np.ndarray
+) -> Optional[np.ndarray]:
+    """Vectorised comparison of the valid subsets, or None to fall back."""
+    all_valid = np.ones(len(lsub), dtype=bool)
+    if _all_plain_str(lsub, all_valid) and _all_plain_str(rsub, all_valid):
+        return _CMP_UFUNCS[op](lsub.astype(str), rsub.astype(str))
+    lf = _exact_number_subset(lsub)
+    if lf is None:
+        return None
+    rf = _exact_number_subset(rsub)
+    if rf is None:
+        return None
+    return _CMP_UFUNCS[op](lf, rf)
+
+
+def vec_concat(
+    ldata: np.ndarray, rdata: np.ndarray, valid: np.ndarray
+) -> Vector:
+    """SQL ``||`` with NULL masking; ``np.char.add`` when both sides are
+    str-typed, the f-string loop otherwise (identical output)."""
+    n = len(ldata)
+    if _all_plain_str(ldata, valid) and _all_plain_str(rdata, valid):
+        out = np.empty(n, dtype=object)
+        idx = _valid_index(valid)
+        if idx is None:
+            out[:] = np.char.add(
+                ldata.astype(str), rdata.astype(str)
+            ).tolist()
+        else:
+            out[idx] = np.char.add(
+                ldata[idx].astype(str), rdata[idx].astype(str)
+            ).tolist()
+        return out, valid
+    out = np.empty(n, dtype=object)
+    for i in range(n):
+        out[i] = f"{ldata[i]}{rdata[i]}" if valid[i] else None
+    return out, valid
+
+
+def vec_inlist_literals(
+    data: np.ndarray,
+    valid: np.ndarray,
+    values: Sequence[Any],
+    negated: bool,
+) -> Optional[Vector]:
+    """``operand IN (literal, ...)`` in one ``np.isin`` pass.
+
+    ``values`` are raw literal values (``ast.Literal.value``); NULL items
+    contribute no matches (SQL three-valued logic as implemented by the
+    per-item loop).  Returns None when the operand/item type mix has no
+    exact vectorised equivalent — the caller then runs the loop.
+    """
+    live = [v for v in values if v is not None]
+    if is_numeric(data):
+        nums = [v for v in live if isinstance(v, (int, float))]
+        # An int item compared through a float64 `isin` buffer would
+        # round; the loop compares it exactly as int64.  Mixed lists
+        # with oversized ints therefore fall back.
+        if any(isinstance(v, float) for v in nums) and any(
+            isinstance(v, int)
+            and not isinstance(v, bool)
+            and not -_EXACT_INT <= v <= _EXACT_INT
+            for v in nums
+        ):
+            return None
+        if nums:
+            hits = np.isin(data, np.asarray(nums))
+            if not _const_true(valid):
+                hits &= valid
+        else:
+            hits = np.zeros(len(data), dtype=bool)
+    elif _all_plain_str(data, valid):
+        strs = [v for v in live if isinstance(v, str)]
+        if strs:
+            sub = data if valid.all() else data[valid]
+            inner = np.isin(sub.astype(str), np.asarray(strs))
+            hits = np.zeros(len(data), dtype=bool)
+            if valid.all():
+                hits[:] = inner
+            else:
+                hits[np.nonzero(valid)[0]] = inner
+            hits &= valid
+        else:
+            hits = np.zeros(len(data), dtype=bool)
+    else:
+        return None
+    if negated:
+        hits = ~hits
+        if not _const_true(valid):
+            hits &= valid
+    return hits, all_valid(len(hits))
+
+
+# ---------------------------------------------------------------------------
+# SQL expression compiler (SciQL UPDATE)
+# ---------------------------------------------------------------------------
+
+
+class KernelEnv:
+    """Columns a compiled kernel evaluates over: name → (data, valid)."""
+
+    __slots__ = ("cols", "n")
+
+    def __init__(self, cols: Dict[str, Vector], n: int):
+        self.cols = cols
+        self.n = n
+
+    def window(self, lo: int, hi: int) -> "KernelEnv":
+        return KernelEnv(
+            {k: (d[lo:hi], v[lo:hi]) for k, (d, v) in self.cols.items()},
+            hi - lo,
+        )
+
+    def gather(self, idx: np.ndarray) -> "KernelEnv":
+        # Fancy-indexing a stride-0 all-True mask would materialise it;
+        # keep the constant-True representation instead.
+        return KernelEnv(
+            {
+                k: (
+                    d[idx],
+                    all_valid(len(idx)) if _const_true(v) else v[idx],
+                )
+                for k, (d, v) in self.cols.items()
+            },
+            len(idx),
+        )
+
+
+KernelFn = Callable[[KernelEnv], Vector]
+
+
+@dataclass
+class UpdatePlan:
+    """A compiled ``UPDATE array`` statement."""
+
+    where: Optional[KernelFn]
+    assignments: List[Tuple[str, KernelFn]]  # (attr name, value kernel)
+    columns: Tuple[str, ...]  # referenced column names (env keys)
+
+
+#: Compiled UPDATE plans keyed by (schema signature, statement); the
+#: sentinel marks statements the compiler refused so they are not
+#: re-lowered on every call.
+sql_kernel_cache = LRUCache(maxsize=256, name="kernels.sql")
+_REFUSED = object()
+
+
+def array_signature(array: Any) -> Tuple:
+    """Hashable schema signature of a SciArray (cache-key component)."""
+    return (
+        array.name,
+        tuple((d.name, "dim") for d in array.dimensions),
+        tuple(
+            (name, "attr", ctype.name) for name, ctype in array.attributes
+        ),
+    )
+
+
+def compile_update(array: Any, stmt: ast.Update) -> Optional[UpdatePlan]:
+    """Compile one SciQL UPDATE against an array's schema, or None.
+
+    The plan is cached per ``(schema signature, statement)``; AST nodes
+    are frozen dataclasses, hence hashable.  Unknown columns raise
+    :class:`CatalogError` with the interpretive path's message.
+    """
+    sig = array_signature(array)
+    key = (sig, stmt.where, tuple(stmt.assignments))
+    cached = sql_kernel_cache.get(key)
+    if cached is not None:
+        return None if cached is _REFUSED else cached
+    schema = {d.name: "dim" for d in array.dimensions}
+    for name, _ in array.attributes:
+        schema[name] = "attr"
+    refs: set = set()
+    try:
+        where = (
+            None
+            if stmt.where is None
+            else _compile_sql(stmt.where, schema, array.name, refs)
+        )
+        assignments = []
+        for attr_name, expr in stmt.assignments:
+            if schema.get(attr_name.lower()) != "attr":
+                raise _mdb_errors().CatalogError(
+                    f"no attribute {attr_name!r} in array {array.name!r}"
+                )
+            assignments.append(
+                (attr_name, _compile_sql(expr, schema, array.name, refs))
+            )
+    except Unsupported:
+        sql_kernel_cache.put(key, _REFUSED)
+        return None
+    plan = UpdatePlan(where, assignments, tuple(sorted(refs)))
+    sql_kernel_cache.put(key, plan)
+    return plan
+
+
+def _compile_sql(
+    expr: ast.Expr, schema: Dict[str, str], binding: str, refs: set
+) -> KernelFn:
+    """Lower one SQL expression AST node to a closure over a KernelEnv."""
+    ast = _sql_ast()
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        # Materialise the literal once at compile time and stretch it
+        # with stride-0 broadcast views per call: ufuncs treat those
+        # like scalars, so no per-evaluation n-sized allocation.
+        seed_data, seed_valid = broadcast_literal(value, 1)
+
+        def literal(env: KernelEnv) -> Vector:
+            return (
+                np.broadcast_to(seed_data, (env.n,)),
+                np.broadcast_to(seed_valid, (env.n,)),
+            )
+
+        return literal
+    if isinstance(expr, ast.ColumnRef):
+        name = expr.name
+        if expr.table is not None:
+            if expr.table != binding or name not in schema:
+                raise _mdb_errors().CatalogError(
+                    f"unknown column {expr.table}.{name}"
+                )
+        elif name not in schema:
+            raise _mdb_errors().CatalogError(f"unknown column {name!r}")
+        refs.add(name)
+        return lambda env: env.cols[name]
+    if isinstance(expr, ast.UnaryOp):
+        inner = _compile_sql(expr.operand, schema, binding, refs)
+        if expr.op == "-":
+
+            def negate(env: KernelEnv) -> Vector:
+                data, valid = inner(env)
+                if is_numeric(data):
+                    return -data, valid
+                out = np.empty(len(data), dtype=object)
+                for i, v in enumerate(data):
+                    out[i] = -v if valid[i] else None
+                return out, valid
+
+            return negate
+        if expr.op == "NOT":
+
+            def invert(env: KernelEnv) -> Vector:
+                mask = bool_mask(inner(env))
+                return ~mask, all_valid(len(mask))
+
+            return invert
+        raise Unsupported(expr.op)
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op
+        left = _compile_sql(expr.left, schema, binding, refs)
+        right = _compile_sql(expr.right, schema, binding, refs)
+        if op in ("AND", "OR"):
+
+            def logical(env: KernelEnv) -> Vector:
+                lmask = bool_mask(left(env))
+                rmask = bool_mask(right(env))
+                out = (lmask & rmask) if op == "AND" else (lmask | rmask)
+                return out, all_valid(len(out))
+
+            return logical
+        if op == "||":
+
+            def concat(env: KernelEnv) -> Vector:
+                ldata, lvalid = left(env)
+                rdata, rvalid = right(env)
+                return vec_concat(ldata, rdata, and_valid(lvalid, rvalid))
+
+            return concat
+        if op in ("+", "-", "*", "/", "%"):
+
+            def arith(env: KernelEnv) -> Vector:
+                ldata, lvalid = left(env)
+                rdata, rvalid = right(env)
+                return vec_arith(op, ldata, rdata, and_valid(lvalid, rvalid))
+
+            return arith
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+
+            def compare(env: KernelEnv) -> Vector:
+                ldata, lvalid = left(env)
+                rdata, rvalid = right(env)
+                return vec_compare(
+                    op, ldata, rdata, and_valid(lvalid, rvalid)
+                )
+
+            return compare
+        raise Unsupported(op)
+    if isinstance(expr, ast.InList):
+        operand = _compile_sql(expr.operand, schema, binding, refs)
+        negated = expr.negated
+        if all(isinstance(item, ast.Literal) for item in expr.items):
+            values = tuple(item.value for item in expr.items)
+
+            def inlist_fast(env: KernelEnv) -> Vector:
+                data, valid = operand(env)
+                fast = vec_inlist_literals(data, valid, values, negated)
+                if fast is not None:
+                    return fast
+                item_vecs = [
+                    broadcast_literal(v, env.n) for v in values
+                ]
+                return _inlist_loop(data, valid, item_vecs, negated)
+
+            return inlist_fast
+        items = [
+            _compile_sql(item, schema, binding, refs) for item in expr.items
+        ]
+
+        def inlist(env: KernelEnv) -> Vector:
+            data, valid = operand(env)
+            return _inlist_loop(
+                data, valid, [item(env) for item in items], negated
+            )
+
+        return inlist
+    if isinstance(expr, ast.Between):
+        operand = _compile_sql(expr.operand, schema, binding, refs)
+        low = _compile_sql(expr.low, schema, binding, refs)
+        high = _compile_sql(expr.high, schema, binding, refs)
+        negated = expr.negated
+
+        def between(env: KernelEnv) -> Vector:
+            data, valid = operand(env)
+            low_d, low_v = low(env)
+            high_d, high_v = high(env)
+            ge = bool_mask(
+                vec_compare(">=", data, low_d, and_valid(valid, low_v))
+            )
+            le = bool_mask(
+                vec_compare("<=", data, high_d, and_valid(valid, high_v))
+            )
+            out = ge & le
+            if negated:
+                out = ~out & valid
+            return out, all_valid(len(out))
+
+        return between
+    if isinstance(expr, ast.IsNull):
+        operand = _compile_sql(expr.operand, schema, binding, refs)
+        negated = expr.negated
+
+        def isnull(env: KernelEnv) -> Vector:
+            _, valid = operand(env)
+            out = valid.copy() if negated else ~valid
+            return out, all_valid(len(out))
+
+        return isnull
+    # FunctionCall / Like / Cast / Case / Star: interpretive path.
+    raise Unsupported(type(expr).__name__)
+
+
+def _inlist_loop(
+    data: np.ndarray,
+    valid: np.ndarray,
+    item_vecs: Sequence[Vector],
+    negated: bool,
+) -> Vector:
+    """The exact per-item IN evaluation (matches the interpreter)."""
+    hits = np.zeros(len(data), dtype=bool)
+    for idata, ivalid in item_vecs:
+        hits |= bool_mask(vec_compare("=", data, idata, valid & ivalid))
+    if negated:
+        hits = ~hits
+        if not _const_true(valid):
+            hits &= valid
+    return hits, all_valid(len(hits))
+
+
+# ---------------------------------------------------------------------------
+# stSPARQL FILTER compiler
+# ---------------------------------------------------------------------------
+
+
+class _FilterCtx:
+    """Packed numeric binding columns over the kernel lane's rows."""
+
+    __slots__ = ("cols", "n", "no_err")
+
+    def __init__(self, cols: Dict[str, np.ndarray], n: int):
+        self.cols = cols
+        self.n = n
+        self.no_err = np.zeros(n, dtype=bool)
+
+
+#: (value, error) pair over the lane; kind is fixed at compile time.
+_FilterNode = Tuple[Callable[[_FilterCtx], Tuple[np.ndarray, np.ndarray]], str]
+
+
+@dataclass
+class FilterPlan:
+    """A compiled FILTER expression over numeric variable bindings."""
+
+    variables: Tuple[str, ...]
+    fn: Callable[[_FilterCtx], np.ndarray]  # → pass/fail verdict per row
+
+
+filter_kernel_cache = LRUCache(maxsize=256, name="kernels.filter")
+
+
+def compile_filter(expr: alg.Expr) -> Optional[FilterPlan]:
+    """Compile one stSPARQL FILTER expression, or None when any part of
+    it falls outside the numeric kernel subset (spatial calls, string
+    operands, ...).  Compiled plans — and refusals — are cached on the
+    expression node itself (algebra nodes are frozen dataclasses)."""
+    cached = filter_kernel_cache.get(expr)
+    if cached is not None:
+        return None if cached is _REFUSED else cached
+    refs: set = set()
+    try:
+        node, kind = _compile_filter_expr(expr, refs)
+    except Unsupported:
+        filter_kernel_cache.put(expr, _REFUSED)
+        return None
+
+    def verdict(ctx: _FilterCtx) -> np.ndarray:
+        value, err = node(ctx)
+        return _filter_ebv(value, kind) & ~err
+
+    plan = FilterPlan(tuple(sorted(refs)), verdict)
+    filter_kernel_cache.put(expr, plan)
+    return plan
+
+
+def _filter_ebv(value: np.ndarray, kind: str) -> np.ndarray:
+    """SPARQL effective boolean value of a lowered (num|bool) vector."""
+    if kind == "bool":
+        return value
+    return (value != 0) & ~np.isnan(value)
+
+
+def _filter_const(term: Literal) -> Tuple[float, str]:
+    """(value, kind) of a constant literal, or Unsupported."""
+    try:
+        py = term.to_python()
+    except Exception:  # unparseable lexical form: interpretive path
+        raise Unsupported("literal") from None
+    if isinstance(py, bool):
+        return (1.0 if py else 0.0), "bool"
+    if isinstance(py, int):
+        if not -_EXACT_INT <= py <= _EXACT_INT:
+            raise Unsupported("oversized int literal")
+        return float(py), "num"
+    if isinstance(py, float):
+        return py, "num"
+    raise Unsupported("non-numeric literal")
+
+
+def _compile_filter_expr(expr: alg.Expr, refs: set) -> _FilterNode:
+    """Lower one algebra node to ``ctx → (value, error)`` over the lane.
+
+    The lane contract (enforced by :func:`run_filter`) is that every
+    referenced variable is bound to an exactly-representable numeric
+    literal, so an EVar is simply its packed column.  Error vectors
+    reproduce ``_ExprError`` propagation: an erroring subexpression
+    poisons its row, except across ``||`` (error recovery) exactly as
+    the interpreter's short-circuit rules dictate.
+    """
+    alg = _algebra()
+    if isinstance(expr, alg.EVar):
+        name = expr.name
+        refs.add(name)
+        return (lambda ctx: (ctx.cols[name], ctx.no_err)), "num"
+    if isinstance(expr, alg.ETerm):
+        if not isinstance(expr.term, Literal):
+            raise Unsupported("non-literal term")
+        if expr.term.is_numeric:
+            value, kind = _filter_const(expr.term)
+        else:
+            py = expr.term.to_python()
+            if not isinstance(py, bool):
+                raise Unsupported("non-numeric literal")
+            value, kind = (1.0 if py else 0.0), "bool"
+        if kind == "bool":
+            const = bool(value)
+            return (
+                lambda ctx: (np.full(ctx.n, const, dtype=bool), ctx.no_err)
+            ), "bool"
+        return (
+            lambda ctx: (np.full(ctx.n, value, dtype=np.float64), ctx.no_err)
+        ), "num"
+    if isinstance(expr, alg.EUnary):
+        inner, kind = _compile_filter_expr(expr.operand, refs)
+        if expr.op == "!":
+
+            def negation(ctx: _FilterCtx):
+                value, err = inner(ctx)
+                return ~_filter_ebv(value, kind), err
+
+            return negation, "bool"
+        if expr.op == "-":
+            if kind != "num":
+                raise Unsupported("unary minus on boolean")
+
+            def minus(ctx: _FilterCtx):
+                value, err = inner(ctx)
+                return -value, err
+
+            return minus, "num"
+        raise Unsupported(expr.op)
+    if isinstance(expr, alg.EBinary):
+        return _compile_filter_binary(expr, refs)
+    if isinstance(expr, alg.ECall):
+        if expr.name == "bound" and len(expr.args) == 1:
+            arg = expr.args[0]
+            if isinstance(arg, alg.EVar):
+                # Lane rows have every referenced variable bound.
+                refs.add(arg.name)
+                return (
+                    lambda ctx: (
+                        np.ones(ctx.n, dtype=bool),
+                        ctx.no_err,
+                    )
+                ), "bool"
+            return (
+                lambda ctx: (np.zeros(ctx.n, dtype=bool), ctx.no_err)
+            ), "bool"
+        raise Unsupported(expr.name)
+    raise Unsupported(type(expr).__name__)
+
+
+def _compile_filter_binary(expr: alg.EBinary, refs: set) -> _FilterNode:
+    op = expr.op
+    left, lkind = _compile_filter_expr(expr.left, refs)
+    right, rkind = _compile_filter_expr(expr.right, refs)
+    if op == "&&":
+        # left-error → whole expression errors (→ row fails); a False
+        # left short-circuits before the right can error.  Both encode
+        # as: fail on any error, else l and r.
+        def logical_and(ctx: _FilterCtx):
+            lv, le = left(ctx)
+            rv, re_ = right(ctx)
+            return (
+                _filter_ebv(lv, lkind) & _filter_ebv(rv, rkind),
+                le | re_,
+            )
+
+        return logical_and, "bool"
+    if op == "||":
+        # || recovers from a left error; a true left short-circuits a
+        # right error away.
+        def logical_or(ctx: _FilterCtx):
+            lv, le = left(ctx)
+            rv, re_ = right(ctx)
+            lt = _filter_ebv(lv, lkind) & ~le
+            rt = _filter_ebv(rv, rkind) & ~re_
+            return lt | rt, np.zeros(ctx.n, dtype=bool)
+
+        return logical_or, "bool"
+    if op in ("=", "!="):
+
+        def equality(ctx: _FilterCtx):
+            lv, le = left(ctx)
+            rv, re_ = right(ctx)
+            if lkind == "num" and rkind == "num":
+                eq = lv == rv
+            else:
+                # _terms_equal falls back to EBV equality as soon as one
+                # side is boolean.
+                eq = _filter_ebv(lv, lkind) == _filter_ebv(rv, rkind)
+            return (eq if op == "=" else ~eq), le | re_
+
+        return equality, "bool"
+    if op in ("<", "<=", ">", ">="):
+
+        def comparison(ctx: _FilterCtx):
+            lv, le = left(ctx)
+            rv, re_ = right(ctx)
+            # Booleans compare as 0/1 (python bool is an int).
+            lf = lv.astype(np.float64) if lkind == "bool" else lv
+            rf = rv.astype(np.float64) if rkind == "bool" else rv
+            return _CMP_UFUNCS[op](lf, rf), le | re_
+
+        return comparison, "bool"
+    if op in ("+", "-", "*", "/"):
+        if lkind != "num" or rkind != "num":
+            raise Unsupported("boolean in numeric context")
+        ufunc = {
+            "+": np.add,
+            "-": np.subtract,
+            "*": np.multiply,
+            "/": np.divide,
+        }[op]
+
+        def arithmetic(ctx: _FilterCtx):
+            lv, le = left(ctx)
+            rv, re_ = right(ctx)
+            err = le | re_
+            if op == "/":
+                err = err | (rv == 0)
+                with np.errstate(all="ignore"):
+                    return ufunc(lv, np.where(rv == 0, 1.0, rv)), err
+            with np.errstate(all="ignore"):
+                return ufunc(lv, rv), err
+
+        return arithmetic, "num"
+    raise Unsupported(op)
+
+
+def run_filter(
+    plan: FilterPlan,
+    solutions: List[Dict[str, Any]],
+    fallback: Callable[[Dict[str, Any]], bool],
+) -> List[Dict[str, Any]]:
+    """Apply a compiled FILTER over candidate solutions.
+
+    Bindings of every referenced variable are packed into float64
+    columns; rows where each binding is an exactly-representable numeric
+    literal form the kernel lane (one vectorised verdict), the rest are
+    judged individually by ``fallback`` (the interpreter) — order is
+    preserved either way.
+    """
+    n = len(solutions)
+    lane = np.ones(n, dtype=bool)
+    columns: Dict[str, np.ndarray] = {}
+    for var in plan.variables:
+        vals = np.zeros(n, dtype=np.float64)
+        ok = np.zeros(n, dtype=bool)
+        for i, sol in enumerate(solutions):
+            term = sol.get(var)
+            if not isinstance(term, Literal) or not term.is_numeric:
+                continue
+            try:
+                py = term.to_python()
+            except Exception:
+                continue
+            if isinstance(py, bool):
+                continue
+            if isinstance(py, int):
+                if not -_EXACT_INT <= py <= _EXACT_INT:
+                    continue
+                vals[i] = float(py)
+            elif isinstance(py, float):
+                vals[i] = py
+            else:
+                continue
+            ok[i] = True
+        lane &= ok
+        columns[var] = vals
+    idx = np.nonzero(lane)[0]
+    verdict = None
+    if idx.size:
+        ctx = _FilterCtx(
+            {var: vals[idx] for var, vals in columns.items()}, int(idx.size)
+        )
+        verdict = plan.fn(ctx)
+    out: List[Dict[str, Any]] = []
+    j = 0
+    fell_back = 0
+    for i, sol in enumerate(solutions):
+        if lane[i]:
+            if verdict[j]:
+                out.append(sol)
+            j += 1
+        else:
+            fell_back += 1
+            if fallback(sol):
+                out.append(sol)
+    obs.counter("stsparql.filter.kernel_rows").inc(int(idx.size))
+    if fell_back:
+        obs.counter("stsparql.filter.fallback_rows").inc(fell_back)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# adaptive tiling
+# ---------------------------------------------------------------------------
+
+
+class AdaptiveTiler:
+    """Decides row-band tiling from observed serial throughput.
+
+    Each operation name carries an EWMA of serial cells/sec.  Tiling
+    engages only when the predicted serial time is long enough that a
+    band is worth at least :data:`MIN_TASK_SECONDS` of work — the
+    adaptive replacement for the old static ``PARALLEL_MIN_CELLS``
+    floor, which tiled cheap numpy passes whose band bookkeeping cost
+    more than the pass itself.
+    """
+
+    #: Cold-start estimate: with no observation yet, ~65k cells predict
+    #: ~3.3ms of work — just under the tiling threshold, matching the
+    #: old static floor's behaviour until real rates arrive.
+    DEFAULT_RATE = 2e7
+    #: A band must be worth at least this much predicted serial time.
+    MIN_TASK_SECONDS = 0.002
+
+    def __init__(self) -> None:
+        self._rates: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, op: str, cells: int, seconds: float) -> None:
+        """Record one *serial* pass (cells processed, wall seconds)."""
+        if cells <= 0 or seconds <= 0:
+            return
+        rate = cells / seconds
+        with self._lock:
+            previous = self._rates.get(op)
+            self._rates[op] = (
+                rate if previous is None else 0.7 * previous + 0.3 * rate
+            )
+        obs.gauge(f"kernels.tiler.rate.{op}").set(self._rates[op])
+
+    def rate(self, op: str) -> float:
+        with self._lock:
+            return self._rates.get(op, self.DEFAULT_RATE)
+
+    def parts(self, op: str, cells: int, workers: int) -> int:
+        """Number of row bands to split into (1 = stay serial)."""
+        estimate = cells / self.rate(op)
+        if estimate < 2 * self.MIN_TASK_SECONDS:
+            return 1
+        return max(
+            2,
+            min(workers * 2, int(estimate / self.MIN_TASK_SECONDS)),
+        )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._rates.clear()
+
+
+#: Process-wide tiler shared by the SciQL operators.
+TILER = AdaptiveTiler()
+
+
+def clear_caches() -> None:
+    """Drop every compiled kernel and learned tiling rate (benchmarks
+    use this to measure cold-compile cost)."""
+    sql_kernel_cache.clear()
+    filter_kernel_cache.clear()
+    TILER.reset()
+
+

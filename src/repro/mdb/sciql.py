@@ -27,19 +27,20 @@ relational tables.  This module provides:
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import obs, parallel, resilience
+from repro import kernels, obs, parallel, resilience
 from repro.mdb.errors import CatalogError, ExecutionError, SQLTypeError
 from repro.mdb.sql import ast
 from repro.mdb.types import ColumnType, type_by_name
 
-#: Arrays smaller than this many cells are never auto-tiled: the band
-#: bookkeeping would cost more than the numpy pass saves.  An explicit
-#: ``workers=`` argument overrides the floor (tests exercise tiny tiles).
-PARALLEL_MIN_CELLS = 65536
+# Auto-tiling is adaptive: kernels.TILER predicts the serial wall time
+# of an operation from its observed cells/sec and tiles only when the
+# bands are worth their bookkeeping.  An explicit ``workers=`` argument
+# always tiles (tests exercise tiny tiles).
 
 
 class Dimension:
@@ -96,6 +97,11 @@ class SciArray:
             raise CatalogError(f"duplicate column names in array {name!r}")
         defaults = list(defaults or [None] * len(self.attributes))
         self._values: Dict[str, np.ndarray] = {}
+        # Lazily materialised flattened dimension-coordinate columns
+        # (name -> read-only int64 array of cell_count coordinates).
+        # Dimensions are immutable per instance — copy() and slice()
+        # build new SciArrays, which start with a fresh cache.
+        self._dim_cols: Dict[str, np.ndarray] = {}
         for (attr_name, ctype), default in zip(self.attributes, defaults):
             fill = ctype.coerce(default) if default is not None else (
                 None if ctype.dtype == np.dtype(object) else ctype.dtype.type(0)
@@ -156,6 +162,42 @@ class SciArray:
             if n == name.lower():
                 return t
         raise CatalogError(f"no attribute {name!r} in array {self.name!r}")
+
+    def dim_column(self, name: str) -> np.ndarray:
+        """The flattened coordinate column of one dimension, cached.
+
+        Equivalent to the ``name`` plane of a full ``np.meshgrid`` over
+        the dimensions, flattened in C order — but built with one
+        repeat+tile per dimension and only for the dimensions a query
+        actually references.  The returned array is shared and marked
+        read-only.
+        """
+        name = name.lower()
+        cached = self._dim_cols.get(name)
+        if cached is not None:
+            return cached
+        for axis, d in enumerate(self.dimensions):
+            if d.name == name:
+                break
+        else:
+            raise CatalogError(
+                f"no dimension {name!r} in array {self.name!r}"
+            )
+        inner = 1
+        for size in self.shape[axis + 1:]:
+            inner *= size
+        outer = 1
+        for size in self.shape[:axis]:
+            outer *= size
+        col = np.tile(
+            np.repeat(
+                np.arange(d.start, d.stop, dtype=np.int64), inner
+            ),
+            outer,
+        )
+        col.flags.writeable = False
+        self._dim_cols[name] = col
+        return col
 
     def add_attribute(
         self, name: str, ctype: ColumnType, default: Any = None
@@ -250,14 +292,26 @@ class SciArray:
         explicit: bool,
         total: int,
         multiple: int = 1,
+        op: str = "sciql",
     ) -> Optional[List[Tuple[int, int]]]:
         """Row-band tiling of ``[0, total)`` for ``sched``, or None when
-        the operation should take the serial path."""
+        the operation should take the serial path.
+
+        Implicit tiling (no ``workers=``/``scheduler=`` argument) is
+        adaptive: :data:`repro.kernels.TILER` predicts the serial wall
+        time of ``op`` over this array from observed cells/sec and only
+        tiles when the bands amortise their bookkeeping.  Explicit
+        requests keep the fixed ``workers * 2`` band count.
+        """
         if sched.workers == 1:
             return None
-        if not explicit and self.cell_count < PARALLEL_MIN_CELLS:
-            return None
-        bands = parallel.split_bands(total, sched.workers * 2, multiple)
+        if explicit:
+            parts = sched.workers * 2
+        else:
+            parts = kernels.TILER.parts(op, self.cell_count, sched.workers)
+            if parts == 1:
+                return None
+        bands = parallel.split_bands(total, parts, multiple)
         if len(bands) <= 1:
             return None
         return bands
@@ -286,7 +340,7 @@ class SciArray:
         sched = parallel.get_scheduler(scheduler, workers)
         bands = self._row_bands(
             sched, workers is not None or scheduler is not None,
-            self.shape[0],
+            self.shape[0], op="sciql.map",
         )
         # Soft-timeout checkpoint: an ambient deadline is honoured at
         # the kernel boundary and again at every tile band (the band
@@ -305,7 +359,13 @@ class SciArray:
 
         with obs.span("sciql.map", array=self.name):
             if bands is None:
+                started = time.perf_counter()
                 result = np.asarray(fn(data))
+                kernels.TILER.observe(
+                    "sciql.map",
+                    self.cell_count,
+                    time.perf_counter() - started,
+                )
             else:
                 parts = sched.map(map_band, bands)
                 for band, part in zip(bands, parts):
@@ -391,7 +451,10 @@ class SciArray:
         out_rows = trimmed_shape[0] // tile[0]
         sched = parallel.get_scheduler(scheduler, workers)
         bands = self._row_bands(
-            sched, workers is not None or scheduler is not None, out_rows
+            sched,
+            workers is not None or scheduler is not None,
+            out_rows,
+            op="sciql.tile_aggregate",
         )
         obs.counter("sciql.tile_aggregate.calls").inc()
         obs.counter("sciql.tile_aggregate.cells").inc(self.cell_count)
@@ -400,7 +463,13 @@ class SciArray:
         )
         with obs.span("sciql.tile_aggregate", array=self.name, func=func):
             if bands is None:
+                started = time.perf_counter()
                 reduced = reduce_rows((0, out_rows))
+                kernels.TILER.observe(
+                    "sciql.tile_aggregate",
+                    self.cell_count,
+                    time.perf_counter() - started,
+                )
             else:
                 reduced = np.concatenate(
                     sched.map(reduce_rows, bands), axis=0
@@ -435,7 +504,7 @@ class SciArray:
         sched = parallel.get_scheduler(scheduler, workers)
         bands = self._row_bands(
             sched, workers is not None or scheduler is not None,
-            self.shape[0],
+            self.shape[0], op="sciql.count_where",
         )
         deadline = resilience.active_deadline()
         if deadline is not None:
@@ -453,7 +522,14 @@ class SciArray:
 
         with obs.span("sciql.count_where", array=self.name):
             if bands is None:
-                return int(np.count_nonzero(predicate(data)))
+                started = time.perf_counter()
+                count = int(np.count_nonzero(predicate(data)))
+                kernels.TILER.observe(
+                    "sciql.count_where",
+                    self.cell_count,
+                    time.perf_counter() - started,
+                )
+                return count
             return int(sum(sched.map(count_band, bands)))
 
     # -- relational view -----------------------------------------------------------
@@ -464,15 +540,11 @@ class SciArray:
 
         n = self.cell_count
         frame = Frame(n)
-        grids = np.meshgrid(
-            *[np.arange(d.start, d.stop) for d in self.dimensions],
-            indexing="ij",
-        )
-        for d, grid in zip(self.dimensions, grids):
+        for d in self.dimensions:
             frame.add_column(
                 binding,
                 d.name,
-                (grid.reshape(-1).astype(np.int64), np.ones(n, dtype=bool)),
+                (self.dim_column(d.name), np.ones(n, dtype=bool)),
             )
         for attr_name, ctype in self.attributes:
             data = self._values[attr_name].reshape(-1)
@@ -506,18 +578,142 @@ class SciArray:
 def update_array(array: SciArray, stmt: ast.Update) -> int:
     """Execute ``UPDATE array SET attr = expr [WHERE cond]`` vectorised.
 
-    The WHERE clause and assignment expressions are evaluated over the
-    flattened cell frame with the standard SQL evaluator, then scattered
-    back into the numpy planes — this is the SciQL classification idiom
-    (`UPDATE msg SET hotspot = 1 WHERE t34 > 310`).
+    With ``REPRO_KERNELS`` enabled (the default) the statement is
+    lowered by :func:`repro.kernels.compile_update` into fused numpy
+    kernels evaluated directly over the attribute planes — no flattening
+    through :meth:`SciArray.to_frame`, dimension-coordinate columns
+    broadcast lazily and only if referenced, and assignment expressions
+    computed only over the cells passing the WHERE mask
+    (gather-compute-scatter).  Statements outside the compiler's subset,
+    and all statements with kernels disabled, evaluate on the retained
+    interpretive path (the SQL evaluator over the cell frame), which
+    doubles as the differential oracle for the compiled kernels.
 
-    Writes are **write-then-swap**: each assignment scatters into a
-    private copy of the attribute plane and the finished copy replaces
-    the live plane in one reference assignment.  An UPDATE that dies
-    mid-scatter (an injected fault, a soft deadline) therefore leaves
-    the array exactly as it was — which is what makes a chain stage
-    built on SciQL UPDATE safe to retry.
+    Writes are **write-then-swap** on both paths: each assignment
+    scatters into a private copy of the attribute plane and the finished
+    copy replaces the live plane in one reference assignment.  An UPDATE
+    that dies mid-scatter (an injected fault, a soft deadline) therefore
+    leaves the array exactly as it was — which is what makes a chain
+    stage built on SciQL UPDATE safe to retry.
     """
+    if kernels.enabled():
+        try:
+            plan = kernels.compile_update(array, stmt)
+        except CatalogError:
+            # Unknown column/attribute: the interpretive path owns the
+            # raise order (an UPDATE whose WHERE matches nothing returns
+            # 0 before its assignments are ever checked).
+            plan = None
+        if plan is not None:
+            return _update_compiled(array, stmt, plan)
+    return _update_interpreted(array, stmt)
+
+
+def _update_compiled(
+    array: SciArray, stmt: ast.Update, plan: "kernels.UpdatePlan"
+) -> int:
+    """Run a compiled UPDATE plan: per row band, evaluate the WHERE
+    kernel over the band's columns, gather the passing cells, evaluate
+    each assignment kernel over only those, and scatter the results into
+    staged plane copies."""
+    n = array.cell_count
+    deadline = resilience.active_deadline()
+    if deadline is not None:
+        deadline.check("sciql.update")
+    obs.counter("sciql.update.calls").inc()
+    obs.counter("sciql.update.cells").inc(n)
+    obs.counter("sciql.update.compiled").inc()
+
+    all_valid = kernels.all_valid(n)
+    cols: Dict[str, kernels.Vector] = {}
+    attr_names = {name for name, _ in array.attributes}
+    for name in plan.columns:
+        if name in attr_names:
+            data = array._values[name].reshape(-1)
+            if data.dtype == object:
+                valid = np.fromiter(
+                    (v is not None for v in data), count=n, dtype=bool
+                )
+            else:
+                valid = all_valid
+            cols[name] = (data, valid)
+        else:
+            cols[name] = (array.dim_column(name), all_valid)
+    env = kernels.KernelEnv(cols, n)
+
+    ctypes = {
+        attr_name: array.attribute_type(attr_name)
+        for attr_name, _ in plan.assignments
+    }
+    row_size = n // array.shape[0] if array.shape[0] else 0
+    sched = parallel.get_scheduler(None, None)
+    bands = array._row_bands(
+        sched, explicit=False, total=array.shape[0], op="sciql.update"
+    )
+    obs.counter("sciql.update.tiles").inc(len(bands) if bands else 1)
+
+    def run_band(band: Tuple[int, int]):
+        """→ (matched count, [(assignment index, positions, values)])."""
+        if deadline is not None:
+            deadline.check("sciql.update")
+        lo, hi = band[0] * row_size, band[1] * row_size
+        sub = env.window(lo, hi)
+        if plan.where is None:
+            idx = np.arange(sub.n)
+        else:
+            idx = np.nonzero(kernels.bool_mask(plan.where(sub)))[0]
+        writes = []
+        if idx.size:
+            gathered = sub.gather(idx)
+            for i, (attr_name, fn) in enumerate(plan.assignments):
+                data, valid = fn(gathered)
+                ctype = ctypes[attr_name]
+                positions = idx[valid] + lo
+                if data.dtype == object:
+                    values = np.asarray(
+                        [ctype.coerce(v) for v in data[valid]]
+                    )
+                else:
+                    values = data[valid].astype(ctype.dtype)
+                writes.append((i, positions, values))
+        return int(idx.size), writes
+
+    with obs.span("sciql.update", array=array.name, compiled="1"):
+        if bands is None:
+            started = time.perf_counter()
+            results = [run_band((0, array.shape[0]))]
+            kernels.TILER.observe(
+                "sciql.update", n, time.perf_counter() - started
+            )
+        else:
+            results = sched.map(run_band, bands)
+
+    matched = sum(count for count, _ in results)
+    if matched == 0:
+        return 0
+    # Stage one plane copy per assignment (all computed from the
+    # original planes), then swap — last assignment to an attribute
+    # wins, exactly as on the interpretive path.
+    staged = []
+    for i, (attr_name, _) in enumerate(plan.assignments):
+        current = array.attribute(attr_name)
+        plane = current.reshape(-1).copy()
+        for _, writes in results:
+            for j, positions, values in writes:
+                if j == i and positions.size:
+                    plane[positions] = values
+        staged.append((attr_name.lower(), plane.reshape(current.shape)))
+    for key, plane in staged:
+        array._values[key] = plane
+    return matched
+
+
+def _update_interpreted(array: SciArray, stmt: ast.Update) -> int:
+    """The interpretive UPDATE path: evaluate over the flattened cell
+    frame with the standard SQL evaluator, scatter back into the planes.
+    Retained as the oracle the compiled path is differentially checked
+    against, and as the fallback for statements outside the compiler's
+    subset."""
     from repro.mdb.sql.executor import Evaluator, _bool_mask
 
     frame = array.to_frame(array.name)

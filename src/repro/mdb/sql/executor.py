@@ -13,6 +13,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.mdb.errors import (
     CatalogError,
     ExecutionError,
@@ -89,38 +90,12 @@ class Frame:
         return seen
 
 
-def _broadcast_literal(value: Any, nrows: int) -> Vector:
-    if value is None:
-        return (
-            np.empty(nrows, dtype=object),
-            np.zeros(nrows, dtype=bool),
-        )
-    if isinstance(value, bool):
-        data = np.full(nrows, value, dtype=bool)
-    elif isinstance(value, int):
-        data = np.full(nrows, value, dtype=np.int64)
-    elif isinstance(value, float):
-        data = np.full(nrows, value, dtype=np.float64)
-    else:
-        data = np.empty(nrows, dtype=object)
-        data[:] = value
-    return data, np.ones(nrows, dtype=bool)
-
-
-def _is_numeric(arr: np.ndarray) -> bool:
-    return arr.dtype.kind in "ifb"
-
-
-def _bool_mask(vec: Vector) -> np.ndarray:
-    """Vector → WHERE mask (NULL counts as False)."""
-    data, valid = vec
-    if data.dtype == object:
-        truth = np.fromiter(
-            (bool(v) for v in data), count=len(data), dtype=bool
-        )
-    else:
-        truth = data.astype(bool)
-    return truth & valid
+# The vector primitives live in repro.kernels so the compiled and
+# interpreted paths share one implementation of the SQL operator
+# semantics; the aliases keep this module's historical import surface.
+_broadcast_literal = kernels.broadcast_literal
+_is_numeric = kernels.is_numeric
+_bool_mask = kernels.bool_mask
 
 
 def _like_to_matcher(pattern: str):
@@ -179,12 +154,7 @@ class Evaluator:
         rdata, rvalid = self.eval(expr.right)
         valid = lvalid & rvalid
         if op == "||":
-            out = np.empty(len(ldata), dtype=object)
-            for i in range(len(ldata)):
-                out[i] = (
-                    f"{ldata[i]}{rdata[i]}" if valid[i] else None
-                )
-            return out, valid
+            return kernels.vec_concat(ldata, rdata, valid)
         if op in ("+", "-", "*", "/", "%"):
             return self._arith(op, ldata, rdata, valid)
         if op in ("=", "<>", "<", "<=", ">", ">="):
@@ -194,97 +164,27 @@ class Evaluator:
     def _arith(
         self, op: str, ldata: np.ndarray, rdata: np.ndarray, valid: np.ndarray
     ) -> Vector:
-        if _is_numeric(ldata) and _is_numeric(rdata):
-            with np.errstate(all="ignore"):
-                if op == "+":
-                    out = ldata + rdata
-                elif op == "-":
-                    out = ldata - rdata
-                elif op == "*":
-                    out = ldata * rdata
-                elif op == "/":
-                    denom_zero = rdata == 0
-                    if ldata.dtype.kind == "i" and rdata.dtype.kind == "i":
-                        safe = np.where(denom_zero, 1, rdata)
-                        out = ldata // safe
-                    else:
-                        safe = np.where(denom_zero, 1.0, rdata)
-                        out = ldata / safe
-                    valid = valid & ~denom_zero
-                else:  # %
-                    denom_zero = rdata == 0
-                    safe = np.where(denom_zero, 1, rdata)
-                    out = ldata % safe
-                    valid = valid & ~denom_zero
-            return out, valid
-        # Fallback: elementwise Python (e.g. timestamps stored as objects).
-        out = np.empty(len(ldata), dtype=object)
-        for i in range(len(ldata)):
-            if not valid[i]:
-                out[i] = None
-                continue
-            a, b = ldata[i], rdata[i]
-            try:
-                if op == "+":
-                    out[i] = a + b
-                elif op == "-":
-                    out[i] = a - b
-                elif op == "*":
-                    out[i] = a * b
-                elif op == "/":
-                    out[i] = a / b
-                else:
-                    out[i] = a % b
-            except TypeError as exc:
-                raise SQLTypeError(str(exc)) from exc
-        return out, valid
+        return kernels.vec_arith(op, ldata, rdata, valid)
 
     def _compare(
         self, op: str, ldata: np.ndarray, rdata: np.ndarray, valid: np.ndarray
     ) -> Vector:
-        if _is_numeric(ldata) and _is_numeric(rdata):
-            if op == "=":
-                out = ldata == rdata
-            elif op == "<>":
-                out = ldata != rdata
-            elif op == "<":
-                out = ldata < rdata
-            elif op == "<=":
-                out = ldata <= rdata
-            elif op == ">":
-                out = ldata > rdata
-            else:
-                out = ldata >= rdata
-            return out, valid
-        out = np.zeros(len(ldata), dtype=bool)
-        for i in range(len(ldata)):
-            if not valid[i]:
-                continue
-            a, b = ldata[i], rdata[i]
-            try:
-                if op == "=":
-                    out[i] = a == b
-                elif op == "<>":
-                    out[i] = a != b
-                elif op == "<":
-                    out[i] = a < b
-                elif op == "<=":
-                    out[i] = a <= b
-                elif op == ">":
-                    out[i] = a > b
-                else:
-                    out[i] = a >= b
-            except TypeError:
-                raise SQLTypeError(
-                    f"cannot compare {type(a).__name__} with "
-                    f"{type(b).__name__}"
-                ) from None
-        return out, valid
+        return kernels.vec_compare(op, ldata, rdata, valid)
 
     # -- predicates ------------------------------------------------------------
 
     def _eval_inlist(self, expr: ast.InList) -> Vector:
         data, valid = self.eval(expr.operand)
+        if all(isinstance(item, ast.Literal) for item in expr.items):
+            # One np.isin pass instead of O(items × rows) compares.
+            fast = kernels.vec_inlist_literals(
+                data,
+                valid,
+                [item.value for item in expr.items],
+                expr.negated,
+            )
+            if fast is not None:
+                return fast
         hits = np.zeros(len(data), dtype=bool)
         for item in expr.items:
             idata, ivalid = self.eval(item)

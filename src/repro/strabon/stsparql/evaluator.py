@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro import obs
+from repro import kernels, obs
 from repro.geometry import Geometry
 from repro.geometry.envelope import Envelope, PackedEnvelopes
 from repro.rdf.term import BNode, Literal, RDFTerm, URIRef, Variable
@@ -318,11 +318,25 @@ class Evaluator:
     ) -> List[Solution]:
         """Apply one FILTER, with the vectorised envelope prefilter in
         front when the expression is a single indexable spatial call
-        running over many solutions."""
+        running over many solutions, and — for numeric expressions —
+        one compiled kernel call over packed binding columns instead of
+        N interpreter walks (``REPRO_KERNELS``; solutions outside the
+        kernel's type contract are judged by the interpreter)."""
         with obs.span("stsparql.filter"):
             prefiltered = self._envelope_prefilter(expr, solutions)
             if prefiltered is not None:
                 solutions = prefiltered
+            if (
+                kernels.enabled()
+                and len(solutions) >= kernels.FILTER_BATCH_MIN_SOLUTIONS
+            ):
+                plan = kernels.compile_filter(expr)
+                if plan is not None:
+                    return kernels.run_filter(
+                        plan,
+                        solutions,
+                        lambda sol: self._filter_passes(expr, sol),
+                    )
             return [
                 sol for sol in solutions if self._filter_passes(expr, sol)
             ]

@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import obs
+from repro import kernels, obs
 from repro.geometry import RTree, from_wkt
 from repro.mdb import Database
 from repro.strabon import StrabonStore
@@ -297,6 +297,14 @@ def _check_stsparql(spec: Dict[str, Any]) -> Optional[str]:
         ),
         ("workers-4", lambda: with_workers(4)),
         ("obs-flipped", with_obs_flipped),
+        (
+            "kernels-off",
+            lambda: _with_env(
+                kernels.KERNELS_ENV,
+                "0",
+                lambda: _store_rows(store, query, variables),
+            ),
+        ),
     ]
     for label, variant in variants:
         got = _outcome(variant)
@@ -365,9 +373,25 @@ def _sciql_engine_run(spec: Dict[str, Any], workers: int) -> Tuple[str, Any]:
         if name == "update":
             add = op["add"]
             tail = f" + {add}" if add >= 0 else f" - {-add}"
+            set_dim = op.get("set_dim")
+            if set_dim:
+                tail += f" + {set_dim}"
+            where = f"{op['dim']} {op['cmp']} {op['bound']}"
+            extra = op.get("extra")
+            if extra is not None:
+                if extra["kind"] == "in":
+                    values = ", ".join(str(v) for v in extra["values"])
+                    verb = "NOT IN" if extra["negated"] else "IN"
+                    where = f"({where}) AND {extra['dim']} {verb} ({values})"
+                elif extra["kind"] == "between":
+                    where = (
+                        f"({where}) AND {extra['dim']} "
+                        f"BETWEEN {extra['lo']} AND {extra['hi']}"
+                    )
+                else:
+                    where = f"({where}) OR v {extra['op']} {extra['value']}"
             db.execute(
-                f"UPDATE a SET v = v * {op['mul']}{tail} "
-                f"WHERE {op['dim']} {op['cmp']} {op['bound']}"
+                f"UPDATE a SET v = v * {op['mul']}{tail} WHERE {where}"
             )
             array = db.array("a")
         elif name == "slice":
@@ -390,11 +414,39 @@ def _sciql_engine_run(spec: Dict[str, Any], workers: int) -> Tuple[str, Any]:
     return ("cells", array.attribute("v").tolist())
 
 
+def _with_env(key: str, value: str, fn: Callable[[], Any]) -> Any:
+    previous = os.environ.get(key)
+    os.environ[key] = value
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            del os.environ[key]
+        else:
+            os.environ[key] = previous
+
+
 def _check_sciql(spec: Dict[str, Any]) -> Optional[str]:
     expected = _outcome(lambda: oracles.naive_sciql_run(spec))
     for label, variant in [
         ("serial", lambda: _sciql_engine_run(spec, workers=1)),
         ("tiled-4", lambda: _sciql_engine_run(spec, workers=4)),
+        (
+            "serial-interpreted",
+            lambda: _with_env(
+                kernels.KERNELS_ENV,
+                "0",
+                lambda: _sciql_engine_run(spec, workers=1),
+            ),
+        ),
+        (
+            "tiled-4-interpreted",
+            lambda: _with_env(
+                kernels.KERNELS_ENV,
+                "0",
+                lambda: _sciql_engine_run(spec, workers=4),
+            ),
+        ),
     ]:
         got = _outcome(variant)
         if got != expected:

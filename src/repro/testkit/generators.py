@@ -305,17 +305,52 @@ def gen_sciql_spec(seed: int) -> Dict[str, Any]:
         ]
     program: List[Dict[str, Any]] = []
     if rng.random() < 0.4:
-        program.append(
-            {
-                "op": "update",
-                "mul": rng.randint(1, 3),
-                "add": rng.randint(-2, 2),
+        update: Dict[str, Any] = {
+            "op": "update",
+            "mul": rng.randint(1, 3),
+            "add": rng.randint(-2, 2),
+            "dim": rng.choice(["x", "y"]),
+            "cmp": rng.choice(["=", ">", "<"]),
+            "bound": rng.randint(0, 3),
+        }
+        # Optionally compose a richer WHERE clause / assignment so the
+        # sweep exercises the compiled kernel lanes: IN lists, BETWEEN
+        # ranges, attribute predicates, dimension columns in the SET
+        # expression.  Old specs without these keys stay valid.
+        roll = rng.random()
+        if roll < 0.2:
+            update["extra"] = {
+                "kind": "in",
                 "dim": rng.choice(["x", "y"]),
-                "cmp": rng.choice(["=", ">", "<"]),
-                "bound": rng.randint(0, 3),
+                "values": sorted(
+                    rng.sample(range(0, 9), rng.randint(1, 4))
+                ),
+                "negated": rng.random() < 0.5,
             }
-        )
+        elif roll < 0.4:
+            lo = rng.randint(0, 4)
+            update["extra"] = {
+                "kind": "between",
+                "dim": rng.choice(["x", "y"]),
+                "lo": lo,
+                "hi": lo + rng.randint(0, 4),
+            }
+        elif roll < 0.6:
+            update["extra"] = {
+                "kind": "attr_cmp",
+                "op": rng.choice([">", "<"]),
+                "value": rng.randint(-4, 4),
+            }
+        if rng.random() < 0.3:
+            update["set_dim"] = rng.choice(["x", "y"])
+        program.append(update)
     ch, cw = h, w
+    # A mean over a block whose size is not a power of two divides an
+    # exact dyadic sum by e.g. 3 — from then on float cells are inexact
+    # and summation *order* matters (python's left-to-right sum vs
+    # numpy's unrolled reduction can differ in the last bit).  Once that
+    # happens, only order-insensitive tile funcs keep == comparable.
+    inexact = False
     if rng.random() < 0.3 and ch > 2 and cw > 2:
         x0 = rng.randint(0, ch - 2)
         y0 = rng.randint(0, cw - 2)
@@ -343,13 +378,19 @@ def gen_sciql_spec(seed: int) -> Dict[str, Any]:
         elif roll < 0.85:
             th = rng.randint(1, ch)
             tw = rng.randint(1, cw)
-            program.append(
-                {
-                    "op": "tile",
-                    "t": [th, tw],
-                    "func": rng.choice(["mean", "sum", "min", "max"]),
-                }
+            funcs = (
+                ["min", "max"]
+                if inexact
+                else ["mean", "sum", "min", "max"]
             )
+            func = rng.choice(funcs)
+            if (
+                dtype == "float"
+                and func == "mean"
+                and (th * tw) & (th * tw - 1) != 0
+            ):
+                inexact = True
+            program.append({"op": "tile", "t": [th, tw], "func": func})
             ch, cw = ch // th, cw // tw
         else:
             program.append(

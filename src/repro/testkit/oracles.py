@@ -194,6 +194,8 @@ def naive_sciql_run(spec: Dict[str, Any]) -> Tuple[str, Any]:
         name = op["op"]
         if name == "update":
             dim, cmp_op, bound = op["dim"], op["cmp"], op["bound"]
+            extra = op.get("extra")
+            set_dim = op.get("set_dim")
             for r in range(len(cells)):
                 for c in range(len(cells[0])):
                     coord = row0 + r if dim == "x" else col0 + c
@@ -202,9 +204,40 @@ def naive_sciql_run(spec: Dict[str, Any]) -> Tuple[str, Any]:
                         if cmp_op == "="
                         else coord > bound if cmp_op == ">" else coord < bound
                     )
+                    if extra is not None:
+                        # Mirrors the rendered SQL: AND for the
+                        # coordinate clauses, OR for the attribute one.
+                        if extra["kind"] == "attr_cmp":
+                            v = cells[r][c]
+                            hit = hit or (
+                                v > extra["value"]
+                                if extra["op"] == ">"
+                                else v < extra["value"]
+                            )
+                        else:
+                            ecoord = (
+                                row0 + r
+                                if extra["dim"] == "x"
+                                else col0 + c
+                            )
+                            if extra["kind"] == "in":
+                                inside = ecoord in extra["values"]
+                                if extra["negated"]:
+                                    inside = not inside
+                            else:
+                                inside = (
+                                    extra["lo"] <= ecoord <= extra["hi"]
+                                )
+                            hit = hit and inside
                     if hit:
+                        bump = 0
+                        if set_dim:
+                            bump = (
+                                row0 + r if set_dim == "x" else col0 + c
+                            )
                         cells[r][c] = _cast(
-                            cells[r][c] * op["mul"] + op["add"], dtype
+                            cells[r][c] * op["mul"] + op["add"] + bump,
+                            dtype,
                         )
         elif name == "slice":
             (x0, x1), (y0, y1) = op["x"], op["y"]

@@ -140,25 +140,35 @@ class TestCountWhereEquality:
 
 
 class TestImplicitThreshold:
+    """Implicit tiling is adaptive: with no observations the tiler's
+    cold-start rate keeps small arrays serial and tiles large ones."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_tiler(self):
+        from repro import kernels
+
+        kernels.TILER.reset()
+        yield
+        kernels.TILER.reset()
+
     def test_small_array_stays_serial_under_env(self, monkeypatch):
-        from repro import parallel
-        from repro.mdb import sciql
+        from repro import kernels, parallel
 
         monkeypatch.setenv(parallel.WORKERS_ENV, "4")
-        arr = make_array((32, 32), seed=8)  # < PARALLEL_MIN_CELLS
+        arr = make_array((32, 32), seed=8)
         sched = parallel.get_scheduler(None, None)
         assert sched.workers == 4
+        # 1024 cells at the cold-start rate predict far less work than a
+        # band is worth, so the pass stays serial.
+        assert kernels.TILER.parts("sciql.map", arr.cell_count, 4) == 1
         bands = arr._row_bands(sched, explicit=False, total=32)
         assert bands is None
-        assert arr.cell_count < sciql.PARALLEL_MIN_CELLS
 
     def test_large_array_tiles_under_env(self, monkeypatch):
         from repro import parallel
-        from repro.mdb import sciql
 
         monkeypatch.setenv(parallel.WORKERS_ENV, "2")
         arr = make_array((300, 300), seed=8)
-        assert arr.cell_count >= sciql.PARALLEL_MIN_CELLS
         sched = parallel.get_scheduler(None, None)
         bands = arr._row_bands(sched, explicit=False, total=300)
         assert bands is not None and len(bands) > 1
@@ -169,3 +179,29 @@ class TestImplicitThreshold:
             serial.attribute("v").tobytes()
             == auto.attribute("v").tobytes()
         )
+
+    def test_observed_rate_shifts_the_threshold(self, monkeypatch):
+        from repro import kernels, parallel
+
+        monkeypatch.setenv(parallel.WORKERS_ENV, "4")
+        arr = make_array((32, 32), seed=8)
+        sched = parallel.get_scheduler(None, None)
+        # A slow observed pass (1k cells/sec) makes even a tiny array
+        # predict seconds of serial work, so it now tiles...
+        kernels.TILER.observe("sciql.map", 1000, 1.0)
+        bands = arr._row_bands(
+            sched, explicit=False, total=32, op="sciql.map"
+        )
+        assert bands is not None and len(bands) > 1
+        # ...while other operations keep their cold-start behaviour.
+        assert kernels.TILER.parts(
+            "sciql.count_where", arr.cell_count, 4
+        ) == 1
+
+    def test_serial_passes_feed_the_tiler(self):
+        from repro import kernels
+
+        arr = make_array((64, 64), seed=8)
+        assert kernels.TILER.rate("sciql.map") == kernels.TILER.DEFAULT_RATE
+        arr.map(lambda a: a * 2.0)  # serial: no workers configured
+        assert kernels.TILER.rate("sciql.map") != kernels.TILER.DEFAULT_RATE

@@ -1,0 +1,144 @@
+"""Batched FILTER kernels vs the per-solution interpreter.
+
+With ``REPRO_KERNELS`` on (the default), numeric FILTER expressions
+evaluate as one vectorised verdict over packed binding columns; rows
+the packer cannot represent fall back to the per-solution walk.  Every
+query here must return identical rows in both modes, including the
+error semantics (errors exclude rows; ``||`` recovers from a failing
+operand when the other side is true).
+"""
+
+import pytest
+
+from repro import kernels
+from repro.rdf import Namespace
+from repro.strabon import StrabonStore
+
+EX = Namespace("http://example.org/")
+
+DATA = """
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:alice a ex:Person ; ex:age "30"^^xsd:integer ; ex:score "2.5"^^xsd:double .
+ex:bob a ex:Person ; ex:age "25"^^xsd:integer ; ex:score "0.0"^^xsd:double .
+ex:carol a ex:Person ; ex:age "35"^^xsd:integer .
+ex:dave a ex:Person ; ex:age "40"^^xsd:integer ; ex:knows ex:alice .
+ex:eve a ex:Person ; ex:age "0"^^xsd:integer .
+ex:rex a ex:Dog ; ex:age "hello" .
+"""
+
+PREFIXES = "PREFIX ex: <http://example.org/>\n"
+
+QUERIES = [
+    "SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a > 28) }",
+    "SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a * 2 = 50) }",
+    "SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a < 28 || ?a > 33) }",
+    "SELECT ?p WHERE { ?p ex:age ?a . FILTER(!(?a = 30)) }",
+    "SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a >= 25 && ?a <= 35) }",
+    "SELECT ?p WHERE { ?p ex:age ?a . FILTER(-?a < -28) }",
+    "SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a - 5 != 25) }",
+    # Division by a value that is zero for some rows: those rows error
+    # out and are excluded, the rest keep their verdict.
+    "SELECT ?p WHERE { ?p ex:age ?a . FILTER(100 / ?a > 3) }",
+    "SELECT ?p WHERE { ?p ex:age ?a . FILTER(100 / ?a > 3 || ?a > 33) }",
+    # ?s is sparsely bound (only two subjects carry a score).
+    "SELECT ?p WHERE { ?p ex:age ?a . "
+    "OPTIONAL { ?p ex:score ?s } FILTER(bound(?s)) }",
+    "SELECT ?p WHERE { ?p ex:age ?a . "
+    "OPTIONAL { ?p ex:score ?s } FILTER(!bound(?s)) }",
+    # Bare variable as the whole condition: effective boolean value.
+    "SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a) }",
+]
+
+
+@pytest.fixture
+def store():
+    s = StrabonStore()
+    s.load_turtle(DATA)
+    return s
+
+
+def rows_with_kernels(monkeypatch, store, query, on):
+    kernels.clear_caches()
+    if on:
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+    else:
+        monkeypatch.setenv(kernels.KERNELS_ENV, "0")
+    return sorted(store.query(PREFIXES + query).rows())
+
+
+class TestFilterEquality:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_kernel_rows_match_interpreter(self, monkeypatch, store, query):
+        want = rows_with_kernels(monkeypatch, store, query, on=False)
+        got = rows_with_kernels(monkeypatch, store, query, on=True)
+        assert got == want
+
+    def test_non_numeric_binding_falls_back_per_row(
+        self, monkeypatch, store
+    ):
+        # ex:rex has ex:age "hello": the packer cannot represent it, so
+        # that row takes the interpreter walk (and errors out of the
+        # comparison) while the numeric rows ride the kernel — the
+        # combined result must equal the interpreted run.
+        query = "SELECT ?s WHERE { ?s ex:age ?a . FILTER(?a >= 0) }"
+        want = rows_with_kernels(monkeypatch, store, query, on=False)
+        got = rows_with_kernels(monkeypatch, store, query, on=True)
+        assert got == want
+        assert (EX.rex,) not in got
+        assert (EX.eve,) in got
+
+    def test_division_by_zero_excludes_row(self, monkeypatch, store):
+        # ex:eve's age is 0: 100 / ?a errors for her row only.
+        query = "SELECT ?p WHERE { ?p ex:age ?a . FILTER(100 / ?a > 0) }"
+        got = rows_with_kernels(monkeypatch, store, query, on=True)
+        assert (EX.eve,) not in got
+        assert (EX.alice,) in got
+        assert got == rows_with_kernels(monkeypatch, store, query, on=False)
+
+    def test_or_recovers_from_failing_operand(self, monkeypatch, store):
+        # SPARQL ||: an errored operand is forgiven when the other side
+        # is true — eve (division error, age 0) is rescued by ?a < 10.
+        query = (
+            "SELECT ?p WHERE { ?p ex:age ?a . "
+            "FILTER(100 / ?a > 0 || ?a < 10) }"
+        )
+        got = rows_with_kernels(monkeypatch, store, query, on=True)
+        assert (EX.eve,) in got
+        assert got == rows_with_kernels(monkeypatch, store, query, on=False)
+
+    def test_and_propagates_error(self, monkeypatch, store):
+        query = (
+            "SELECT ?p WHERE { ?p ex:age ?a . "
+            "FILTER(100 / ?a > 0 && ?a < 10) }"
+        )
+        got = rows_with_kernels(monkeypatch, store, query, on=True)
+        assert (EX.eve,) not in got
+        assert got == rows_with_kernels(monkeypatch, store, query, on=False)
+
+    def test_plan_cache_hit_on_repeat(self, monkeypatch, store):
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        kernels.clear_caches()
+        query = PREFIXES + "SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a > 28) }"
+        store.query(query)
+        hits = kernels.filter_kernel_cache.hits
+        misses = kernels.filter_kernel_cache.misses
+        store.query(query)
+        assert kernels.filter_kernel_cache.hits > hits
+        assert kernels.filter_kernel_cache.misses == misses
+
+    def test_unsupported_filter_refused_once(self, monkeypatch, store):
+        # regex() is not lowered; the refusal is cached so repeated
+        # queries do not re-walk the expression tree.
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        kernels.clear_caches()
+        query = PREFIXES + (
+            'SELECT ?p WHERE { ?p a ex:Person . '
+            'FILTER(regex(str(?p), "ali")) }'
+        )
+        r1 = sorted(store.query(query).rows())
+        misses = kernels.filter_kernel_cache.misses
+        r2 = sorted(store.query(query).rows())
+        assert r1 == r2
+        assert kernels.filter_kernel_cache.misses == misses
