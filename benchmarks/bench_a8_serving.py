@@ -1,0 +1,221 @@
+"""Experiment A8 — the preemptable serving tier under concurrent tenants.
+
+One store, one adversarial tenant, four interactive tenants.  The
+adversary runs an unselective star join over the whole store — the scan
+that monopolises a run-to-completion server — while the interactive
+tenants fire short selective queries in a closed loop for as long as the
+adversary's query is in flight.  The scenario runs twice:
+
+* **no preemption** (``quantum_ms=None``): the adversary's only quantum
+  runs its query dry, the short queries queue behind it, and their
+  latency is the adversary's runtime;
+* **preemption on** (25 ms quanta): the adversary is suspended at every
+  quantum boundary, resumes through continuation tokens, and the short
+  queries interleave between its slices.
+
+Reported per mode: short-query latency p50/p95/max, the number of short
+queries served during the adversarial window, the adversary's total
+runtime, and its suspension count.  Results land in
+``BENCH_serving.json``.  Acceptance (ISSUE 7): short-query p95 with
+preemption is >= 5x lower than without, and both modes return exactly
+the solutions of a direct one-shot evaluation — none lost to a
+suspension, none duplicated by a resumption.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from repro import obs
+from repro.server import QueryServer
+from repro.strabon import StrabonStore
+
+N_SUBJECTS = 4000
+GROUP_SIZE = 50
+QUANTUM_MS = 25.0
+SHORT_TENANTS = 4
+
+PREFIXES = "PREFIX ex: <http://example.org/>\n"
+# Group-local self-join: every subject pairs with its whole group
+# (N * GROUP_SIZE intermediate solutions), the filter passes everything.
+# A steady firehose of solutions — seconds of work for the evaluator,
+# but preemptable at every one of its 200k solution boundaries.
+LONG_QUERY = PREFIXES + (
+    "SELECT ?a ?b ?va WHERE { ?a ex:group ?g . ?b ex:group ?g . "
+    "?a ex:value ?va . FILTER(?va >= 0) }"
+)
+SHORT_QUERY = PREFIXES + (
+    "SELECT ?s ?n WHERE { ?s ex:kind ex:rare . ?s ex:name ?n }"
+)
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serving.json",
+)
+
+_RESULTS = {
+    "subjects": N_SUBJECTS,
+    "quantum_ms": QUANTUM_MS,
+    "short_tenants": SHORT_TENANTS,
+    "modes": {},
+}
+
+
+def _dump():
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _make_store(subjects=N_SUBJECTS):
+    store = StrabonStore()
+    lines = ["@prefix ex: <http://example.org/> ."]
+    for i in range(subjects):
+        kind = "rare" if i % 500 == 0 else "common"
+        lines.append(
+            f'ex:s{i} ex:kind ex:{kind} ; ex:name "n{i:05d}" ; '
+            f"ex:value {i} ; ex:group ex:g{i // GROUP_SIZE} ."
+        )
+    store.load_turtle("\n".join(lines))
+    return store
+
+
+def _n3_rows(result):
+    return sorted(
+        tuple(t.n3() if t is not None else None for t in row)
+        for row in result.rows()
+    )
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+
+
+async def _scenario(store, quantum_ms):
+    """Adversarial long query + interactive short loops; returns the
+    short-query latencies sampled while the long query was in flight."""
+    server = QueryServer(store, quantum_ms=quantum_ms, max_pending=64)
+    latencies = []
+    long_done = asyncio.Event()
+    warmed = asyncio.Event()
+    suspends_before = obs.counter("server.suspends").value
+
+    async def adversary():
+        # Don't start until the interactive tenants are in their closed
+        # loops: their requests must be in flight (timers running) when
+        # the adversarial quantum lands, as they would be on a network
+        # server — otherwise a run-to-completion quantum that blocks the
+        # event loop also delays the measurement starts and hides its
+        # own damage.
+        await warmed.wait()
+        t0 = time.perf_counter()
+        result = await server.fetch("adversary", LONG_QUERY)
+        elapsed = time.perf_counter() - t0
+        long_done.set()
+        return result, elapsed
+
+    async def interactive(name):
+        served = 0
+        await server.fetch(name, SHORT_QUERY)  # warm-up, unrecorded
+        warmed.set()
+        while not long_done.is_set():
+            t0 = time.perf_counter()
+            await server.fetch(name, SHORT_QUERY)
+            latencies.append(time.perf_counter() - t0)
+            served += 1
+        return served
+
+    try:
+        adversary_task = asyncio.ensure_future(adversary())
+        shorts = [
+            asyncio.ensure_future(interactive(f"tenant-{i}"))
+            for i in range(SHORT_TENANTS)
+        ]
+        long_result, long_elapsed = await adversary_task
+        served = sum(await asyncio.gather(*shorts))
+    finally:
+        await server.close()
+    suspends = obs.counter("server.suspends").value - suspends_before
+    return {
+        "latencies": latencies,
+        "long_result": long_result,
+        "long_seconds": long_elapsed,
+        "short_queries_served": served,
+        "suspensions": suspends,
+    }
+
+
+def test_preemption_cuts_short_query_p95():
+    store = _make_store()
+    expected_long = _n3_rows(store.query(LONG_QUERY))
+    expected_short = _n3_rows(store.query(SHORT_QUERY))
+    assert expected_short  # the short query must have answers to lose
+
+    runs = {}
+    for mode, quantum in (("no_preemption", None), ("preempted", QUANTUM_MS)):
+        run = asyncio.run(_scenario(store, quantum))
+        assert _n3_rows(run["long_result"]) == expected_long, mode
+        assert run["latencies"], f"{mode}: no short query completed"
+        runs[mode] = run
+        _RESULTS["modes"][mode] = {
+            "quantum_ms": quantum,
+            "long_query_seconds": run["long_seconds"],
+            "long_query_rows": len(expected_long),
+            "suspensions": run["suspensions"],
+            "short_queries_served": run["short_queries_served"],
+            "short_p50_ms": _percentile(run["latencies"], 0.50) * 1e3,
+            "short_p95_ms": _percentile(run["latencies"], 0.95) * 1e3,
+            "short_max_ms": max(run["latencies"]) * 1e3,
+        }
+    baseline = _RESULTS["modes"]["no_preemption"]
+    preempted = _RESULTS["modes"]["preempted"]
+    improvement = baseline["short_p95_ms"] / preempted["short_p95_ms"]
+    _RESULTS["p95_improvement"] = improvement
+    _dump()
+    print(
+        f"\n[A8/serving] long query {baseline['long_query_seconds']:.2f}s "
+        f"blocking vs {preempted['long_query_seconds']:.2f}s preempted "
+        f"({preempted['suspensions']} suspensions)"
+    )
+    print(
+        f"[A8/serving] short p95: {baseline['short_p95_ms']:.1f}ms -> "
+        f"{preempted['short_p95_ms']:.1f}ms ({improvement:.1f}x better), "
+        f"served {baseline['short_queries_served']} -> "
+        f"{preempted['short_queries_served']} during the adversarial window"
+    )
+    assert runs["no_preemption"]["suspensions"] == 0
+    assert runs["preempted"]["suspensions"] > 0
+    assert improvement >= 5.0, _RESULTS["modes"]
+
+
+def test_preempted_results_are_exact_under_churn():
+    """Every tenant's result under heavy interleaving equals the direct
+    evaluation: preemption must not lose or duplicate solutions."""
+    store = _make_store(subjects=1200)
+    expected = {
+        "long": _n3_rows(store.query(LONG_QUERY)),
+        "short": _n3_rows(store.query(SHORT_QUERY)),
+    }
+
+    async def main():
+        server = QueryServer(store, quantum_ms=2.0, max_pending=64)
+        try:
+            jobs = []
+            for i in range(6):
+                query = LONG_QUERY if i % 2 == 0 else SHORT_QUERY
+                jobs.append(server.fetch(f"tenant-{i}", query))
+            return await asyncio.gather(*jobs)
+        finally:
+            await server.close()
+
+    results = asyncio.run(main())
+    _RESULTS["exactness"] = {"tenants": len(results), "ok": True}
+    for i, result in enumerate(results):
+        want = expected["long"] if i % 2 == 0 else expected["short"]
+        rows = _n3_rows(result)
+        assert rows == want, f"tenant {i} lost or duplicated solutions"
+        assert len(rows) == len(set(rows))
+    _dump()
+    print(f"[A8/serving] exactness: {len(results)} tenants bit-identical")

@@ -61,11 +61,23 @@ class LRUCache:
     — runs under one re-entrant lock.  ``get_or_compute`` holds the lock
     across the compute so concurrent callers of the same key compute it
     once (re-entrant, so a compute may itself consult the cache).
+
+    Re-entrancy makes a lock alone insufficient: a compute can itself
+    mutate the cache — a resumable query pipeline rebuilding mid-compute
+    may ``invalidate`` or ``clear`` the very key being computed, and the
+    RLock lets that through on the same thread.  Without a guard the
+    compute's stale result would be ``put`` *after* the invalidation and
+    resurrect the dropped entry.  ``get_or_compute`` therefore snapshots
+    an epoch before computing — one global epoch bumped by ``clear``,
+    per-key epochs bumped by ``invalidate`` while a compute for the key
+    is in flight — and only caches the result when neither moved; the
+    freshly computed value is still returned either way.
     """
 
     __slots__ = (
         "_data", "_lock", "maxsize", "name",
         "hits", "misses", "evictions", "invalidations",
+        "_epoch", "_key_epochs", "_inflight",
         "__weakref__",
     )
 
@@ -75,6 +87,12 @@ class LRUCache:
         self.maxsize = maxsize
         self._data: Dict[Hashable, Any] = {}
         self._lock = threading.RLock()
+        # Invalidation epochs guarding in-flight computes (see class
+        # docstring).  _key_epochs only holds keys with a live compute
+        # (_inflight counts them), so neither dict grows with the keyspace.
+        self._epoch = 0
+        self._key_epochs: Dict[Hashable, int] = {}
+        self._inflight: Dict[Hashable, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -100,11 +118,39 @@ class LRUCache:
     def get_or_compute(
         self, key: Hashable, compute: Callable[[], Any]
     ) -> Any:
-        """Return the cached value, computing and storing it on a miss."""
+        """Return the cached value, computing it on a miss.
+
+        The computed value is stored only if the key was not invalidated
+        (and the cache not cleared) while the compute ran — a compute is
+        allowed to mutate this cache, and its result must not outlive an
+        invalidation it raced with.
+        """
         with self._lock:
             value = self.get(key, _MISSING)
-            if value is _MISSING:
+            if value is not _MISSING:
+                return value
+            epoch = self._epoch
+            key_epoch = self._key_epochs.get(key, 0)
+            self._inflight[key] = self._inflight.get(key, 0) + 1
+            completed = False
+            try:
                 value = compute()
+                completed = True
+            finally:
+                # Judge staleness before dropping the in-flight marker:
+                # pruning _key_epochs first would erase the very bump an
+                # interleaved invalidate recorded for us.
+                unchanged = (
+                    self._epoch == epoch
+                    and self._key_epochs.get(key, 0) == key_epoch
+                )
+                remaining = self._inflight[key] - 1
+                if remaining:
+                    self._inflight[key] = remaining
+                else:
+                    del self._inflight[key]
+                    self._key_epochs.pop(key, None)
+            if completed and unchanged:
                 self.put(key, value)
             return value
 
@@ -131,16 +177,27 @@ class LRUCache:
             self._data[key] = value
 
     def invalidate(self, key: Hashable) -> bool:
-        """Drop one entry; returns whether it was present."""
+        """Drop one entry; returns whether it was present.
+
+        Also fences any in-flight compute of ``key``: its result will be
+        returned to its caller but not cached.
+        """
         with self._lock:
+            if key in self._inflight:
+                self._key_epochs[key] = self._key_epochs.get(key, 0) + 1
             if self._data.pop(key, _MISSING) is _MISSING:
                 return False
             self.invalidations += 1
             return True
 
     def clear(self, reset_stats: bool = False) -> None:
-        """Drop every entry (counted as one invalidation per entry)."""
+        """Drop every entry (counted as one invalidation per entry).
+
+        Fences every in-flight compute (global epoch bump), so nothing
+        computed before the clear is cached after it.
+        """
         with self._lock:
+            self._epoch += 1
             self.invalidations += len(self._data)
             self._data.clear()
             if reset_stats:

@@ -6,9 +6,12 @@ tier refusing writes) cannot be waited for in CI; they have to be
 boundary — Data Vault payload reads (``vault.fetch``), per-file
 ingestion (``ingest.file``), each NOA chain stage (``chain.ingestion``
 ... ``chain.shapefile``), worker-pool task execution
-(``scheduler.task``) and Strabon writes (``strabon.bulk``,
-``strabon.update``) — and fires them according to a spec string, so the
-whole test suite can run under a fixed failure schedule and still pass.
+(``scheduler.task``), Strabon writes (``strabon.bulk``,
+``strabon.update``) and serving-tier request quanta
+(``server.request``, fired once per time slice by
+:class:`repro.server.QueryServer`) — and fires them according to a spec
+string, so the whole test suite can run under a fixed failure schedule
+and still pass.
 
 **Spec syntax** (the ``REPRO_FAULTS`` environment variable)::
 

@@ -245,6 +245,13 @@ class ProcessingChain:
         aborted, the remaining acquisitions' RDF still reaches the bulk
         emit, and the ``noa.batch.ok`` / ``noa.batch.failed`` counters
         record the split.  (Single :meth:`run` calls still raise.)
+
+        Safe to call concurrently, including against the *shared*
+        scheduler from threads that are themselves pool workers: the
+        scheduler's producer-helps draining means a full task queue is
+        worked off rather than blocked on (no cross-pool circular wait),
+        and the store's bulk flush is serialised by its own lock, so
+        overlapping batch windows cannot double-emit buffered rows.
         """
         paths = list(paths)
         sched = parallel.get_scheduler(scheduler, workers)

@@ -163,6 +163,13 @@ class _Batch:
     def wait(self) -> None:
         self._done.wait()
 
+    def wait_for(self, timeout: float) -> bool:
+        return self._done.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
 
 class TaskScheduler:
     """A fixed worker pool mapping functions over task sequences.
@@ -172,6 +179,16 @@ class TaskScheduler:
     ever created and :meth:`map` is a plain serial loop.  A map issued
     *from inside* a worker thread of this scheduler also runs serially —
     nested tilings degrade gracefully instead of deadlocking the pool.
+
+    The task queue is bounded (backpressure), which historically allowed
+    a cross-pool deadlock: a worker of pool A submitting to a *different*
+    pool B blocks in B's full queue while B's workers symmetrically block
+    in A's — a circular wait with every queue full and every thread a
+    blocked producer.  :meth:`map` therefore never blocks on the queue:
+    when it is full the producer *helps* — it steals one queued task and
+    runs it on its own thread — and while waiting for its batch it keeps
+    draining the queue the same way.  Progress is then guaranteed without
+    unbounding the queue: some thread always runs a task.
     """
 
     def __init__(
@@ -215,16 +232,45 @@ class TaskScheduler:
             task = self._queue.get()
             if task is None:
                 break
-            batch, index, fn, item = task
-            started = time.perf_counter()
-            try:
-                batch.complete(index, _run_task(fn, item), None)
-            except BaseException as exc:  # noqa: BLE001 — reported to caller
-                batch.complete(index, None, exc)
-            finally:
-                elapsed = time.perf_counter() - started
-                with self._busy_lock:
-                    self._busy_seconds += elapsed
+            self._execute(task)
+
+    def _execute(self, task: Tuple) -> None:
+        """Run one queued task (worker thread or helping producer)."""
+        batch, index, fn, item = task
+        started = time.perf_counter()
+        try:
+            batch.complete(index, _run_task(fn, item), None)
+        except BaseException as exc:  # noqa: BLE001 — reported to caller
+            batch.complete(index, None, exc)
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._busy_lock:
+                self._busy_seconds += elapsed
+
+    def _steal_one(self) -> bool:
+        """Pop one queued task and run it on the calling thread.
+
+        Returns False when the queue is empty (or holds only shutdown
+        sentinels, which are put back for the workers they were meant
+        for).  The calling thread is marked as a worker for the task's
+        duration so any nested map the task issues degrades to the serial
+        path instead of re-entering the queue.
+        """
+        try:
+            task = self._queue.get_nowait()
+        except queue.Empty:
+            return False
+        if task is None:
+            self._queue.put(task)
+            return False
+        was_worker = getattr(self._local, "in_worker", False)
+        self._local.in_worker = True
+        try:
+            self._execute(task)
+        finally:
+            self._local.in_worker = was_worker
+        obs.counter("parallel.tasks.stolen").inc()
+        return True
 
     def close(self) -> None:
         """Stop the workers (idempotent; pending maps finish first)."""
@@ -273,9 +319,24 @@ class TaskScheduler:
         busy_before = self._busy_seconds
         started = time.perf_counter()
         for index, item in enumerate(items):
-            self._queue.put((batch, index, fn, item))  # bounded: backpressure
+            task = (batch, index, fn, item)
+            while True:
+                try:
+                    self._queue.put_nowait(task)
+                    break
+                except queue.Full:
+                    # Producer-helps: never block on a full queue (a
+                    # blocked producer is a deadlock ingredient when
+                    # pools feed each other) — run a queued task here
+                    # instead, freeing a slot.
+                    if not self._steal_one():
+                        time.sleep(0.001)
             depth.set(self._queue.qsize())
-        batch.wait()
+        while not batch.done:
+            # Help drain while waiting: our own batch's tasks may still
+            # sit in the queue behind another pool's blocked traffic.
+            if not self._steal_one():
+                batch.wait_for(0.01)
         wall = time.perf_counter() - started
         depth.set(self._queue.qsize())
         obs.counter("parallel.tasks.submitted").inc(len(items))

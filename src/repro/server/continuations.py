@@ -1,0 +1,74 @@
+"""Continuation tokens: opaque, self-contained suspension points.
+
+A token carries everything needed to resume a preempted query — the
+query text, the saved iterator-pipeline state, and the store version the
+state was captured against — JSON-serialised and base64-encoded.  The
+server is therefore stateless between quanta: any process holding the
+same store (at the same version) can resume any token.
+
+Versioning makes staleness explicit instead of silently wrong: scan
+cursors index into deterministically ordered match lists, which only
+replay exactly while the store is unchanged, so resuming a token whose
+embedded version differs from ``store.version`` raises
+:class:`ContinuationError` (the serving tier surfaces it as a rejected
+resumption; the client re-issues the query from the start).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from typing import Any, Dict, Tuple
+
+from repro.strabon.stsparql.iterators import ContinuationError
+
+__all__ = ["ContinuationError", "decode_token", "encode_token"]
+
+#: Token format marker, bumped on incompatible state-layout changes so
+#: an old token fails loudly instead of half-restoring.
+_FORMAT = 1
+
+
+def encode_token(
+    query: str, store_version: int, state: Dict[str, Any]
+) -> str:
+    """Pack a suspension point into an opaque ASCII token."""
+    payload = {
+        "f": _FORMAT,
+        "q": query,
+        "v": int(store_version),
+        "s": state,
+    }
+    raw = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return base64.urlsafe_b64encode(raw).decode("ascii")
+
+
+def decode_token(token: str) -> Tuple[str, int, Dict[str, Any]]:
+    """Unpack a token into ``(query, store_version, state)``.
+
+    Raises :class:`ContinuationError` for anything that is not a token
+    this codec produced (truncated, tampered with, or from a different
+    format generation).
+    """
+    try:
+        raw = base64.urlsafe_b64decode(token.encode("ascii"))
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, binascii.Error, UnicodeError) as exc:
+        raise ContinuationError(f"malformed continuation token: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("f") != _FORMAT:
+        raise ContinuationError(
+            "continuation token has an unknown format marker"
+        )
+    query = payload.get("q")
+    version = payload.get("v")
+    state = payload.get("s")
+    if (
+        not isinstance(query, str)
+        or not isinstance(version, int)
+        or not isinstance(state, dict)
+    ):
+        raise ContinuationError("continuation token payload is incomplete")
+    return query, version, state

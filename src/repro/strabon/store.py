@@ -9,6 +9,7 @@ envelopes of geometry literals accelerates spatial selections.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
@@ -44,6 +45,10 @@ class StrabonStore:
     def __init__(self, use_spatial_index: bool = True):
         self.use_spatial_index = use_spatial_index
         self._graph = Graph()
+        # Monotonic data version, bumped on every mutation.  Continuation
+        # tokens (repro.server) embed it so a suspended query can never
+        # resume its scan cursors against a store that changed under it.
+        self.version = 0
         # Relational backend (the MonetDB role).
         self.backend = Database()
         self.backend.execute(
@@ -64,8 +69,13 @@ class StrabonStore:
         self.plan_cache = LRUCache(maxsize=256, name="strabon.plan_cache")
         self.geometries = strdf.GeometryInterner()
         # Bulk-load state: when > 0, backend rows are buffered and the
-        # R-tree is rebuilt once (STR bulk load) at the end.
+        # R-tree is rebuilt once (STR bulk load) at the end.  The lock
+        # serialises depth changes and flushes: processing chains run
+        # scheduler workers inside a bulk context, and two threads
+        # leaving/retrying a flush concurrently would otherwise emit the
+        # same buffered rows twice.
         self._bulk_depth = 0
+        self._bulk_lock = threading.RLock()
         self._bulk_term_rows: List[Tuple[int, str]] = []
         self._bulk_triple_rows: List[Tuple[int, int, int]] = []
         # Resilience layer: bulk emits to the backend are retried on
@@ -97,6 +107,7 @@ class StrabonStore:
         """Insert a triple; returns True when new."""
         if not self._graph.add(triple):
             return False
+        self.version += 1
         s, p, o = triple
         row = (self._term_id(s), self._term_id(p), self._term_id(o))
         if self._bulk_depth:
@@ -113,13 +124,15 @@ class StrabonStore:
         bulk inserts and the R-tree is rebuilt once with STR packing
         instead of per-triple incremental inserts.  Nestable; the flush
         happens when the outermost context exits."""
-        self._bulk_depth += 1
+        with self._bulk_lock:
+            self._bulk_depth += 1
         try:
             yield self
         finally:
-            self._bulk_depth -= 1
-            if self._bulk_depth == 0:
-                self._flush_bulk()
+            with self._bulk_lock:
+                self._bulk_depth -= 1
+                if self._bulk_depth == 0:
+                    self._flush_bulk()
 
     def _flush_bulk(self) -> None:
         """Emit buffered rows to the backend (retried, breaker-guarded).
@@ -142,12 +155,13 @@ class StrabonStore:
                 self.backend.insert_rows("triples", self._bulk_triple_rows)
                 self._bulk_triple_rows = []
 
-        self.breaker.call(
-            lambda: resilience.call_with_retry(
-                emit, self.retry_policy, label="strabon.bulk"
+        with self._bulk_lock:
+            self.breaker.call(
+                lambda: resilience.call_with_retry(
+                    emit, self.retry_policy, label="strabon.bulk"
+                )
             )
-        )
-        self._rebuild_rtree()
+            self._rebuild_rtree()
 
     def flush_pending(self) -> bool:
         """Retry a previously failed bulk emit.
@@ -156,12 +170,13 @@ class StrabonStore:
         pending.  Raises like :meth:`bulk` if the backend still fails
         (or the circuit is still open).
         """
-        if not (self._bulk_term_rows or self._bulk_triple_rows):
-            return False
-        if self._bulk_depth:
-            return False  # an enclosing bulk context will flush
-        self._flush_bulk()
-        return True
+        with self._bulk_lock:
+            if not (self._bulk_term_rows or self._bulk_triple_rows):
+                return False
+            if self._bulk_depth:
+                return False  # an enclosing bulk context will flush
+            self._flush_bulk()
+            return True
 
     def _rebuild_rtree(self) -> None:
         """Rebuild the spatial index from scratch with STR bulk loading."""
@@ -173,6 +188,8 @@ class StrabonStore:
     def remove(self, pattern: Tuple) -> int:
         """Remove triples matching the (wildcardable) pattern."""
         victims = list(self._graph.triples(pattern))
+        if victims:
+            self.version += 1
         for s, p, o in victims:
             self._graph.remove((s, p, o))
             sid = self._term_ids.get(s)
@@ -286,6 +303,7 @@ class StrabonStore:
         but interned geometries are dropped.
         """
         self._graph.clear()
+        self.version += 1
         self.backend.execute("DELETE FROM terms")
         self.backend.execute("DELETE FROM triples")
         self._term_ids.clear()

@@ -1,0 +1,630 @@
+"""Resumable (preemptable) stSPARQL iterator pipeline.
+
+The recursive :class:`~repro.strabon.stsparql.evaluator.Evaluator`
+materialises the full solution list before it returns — fine for batch
+work, fatal for a multi-tenant serving tier where one adversarial scan
+would hold the worker for its whole runtime.  This module decomposes
+SELECT evaluation into a pipeline of *pull* iterators (the sage-engine
+model):
+
+    singleton → scan/nested-loop-join (one per triple pattern)
+              → filter (one per FILTER) → projection → distinct → slice
+
+whose state can be *snapshotted* at any solution boundary and restored
+later, so a query executes in bounded time slices: run for a quantum,
+:meth:`PipelineIterator.save` the state into a JSON-serialisable
+continuation, resume from exactly that point with
+:func:`restore_pipeline`.
+
+Design points:
+
+* **Batched filters.**  :class:`FilterIterator` pulls child solutions in
+  batches and judges each batch through
+  :meth:`Evaluator._filter_solutions`, so the envelope prefilter and the
+  compiled FILTER kernels of :mod:`repro.kernels` (PR 6) run per batch
+  inside the preemptable pipeline instead of being bypassed by it.
+* **Deterministic replay.**  A continuation stores integer cursors into
+  deterministically ordered match lists (store iteration order plus
+  sorted spatial-hint candidates), which is only sound while the store
+  is unchanged; tokens therefore embed
+  :attr:`repro.strabon.StrabonStore.version` and resumption against a
+  mutated store is refused by the serving tier.
+* **Static plan.**  Join order is fixed at build time from the same
+  cardinality estimates the recursive evaluator uses dynamically, so a
+  restored pipeline always rebuilds the identical operator tree.
+* **Partial coverage, explicit fallback.**  :func:`build_select_pipeline`
+  returns None for queries using operators with no streaming form here
+  (aggregation, ORDER BY, OPTIONAL/UNION/BIND/VALUES, property paths,
+  projection expressions); the serving tier runs those through the
+  one-shot evaluator instead.  Results for supported queries are
+  verified identical to the one-shot evaluator by the differential lane
+  in :mod:`repro.testkit.differential`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.rdf.ntriples import _parse_term
+from repro.rdf.term import RDFTerm, Variable
+from repro.strabon.stsparql import algebra as alg
+from repro.strabon.stsparql.errors import StSPARQLError
+from repro.strabon.stsparql.evaluator import (
+    Evaluator,
+    Solution,
+    _expr_has_aggregate,
+    _expr_vars,
+    _resolve,
+    _triple_vars,
+)
+
+__all__ = [
+    "ContinuationError",
+    "FILTER_BATCH_ROWS",
+    "PipelineIterator",
+    "build_select_pipeline",
+    "decode_solution",
+    "encode_solution",
+    "pipeline_variables",
+    "restore_pipeline",
+    "supports_query",
+]
+
+#: Child solutions pulled per filter batch — large enough that the
+#: compiled kernel lane and the envelope prefilter amortise, small
+#: enough that a suspended filter's buffered survivors stay cheap to
+#: serialise into a continuation.
+FILTER_BATCH_ROWS = 256
+
+
+class ContinuationError(StSPARQLError):
+    """A continuation cannot be restored (malformed or stale state)."""
+
+
+# -- solution / state codec ----------------------------------------------------
+
+
+def encode_solution(sol: Solution) -> Dict[str, str]:
+    """Bindings as a JSON-serialisable ``{var: n3}`` mapping."""
+    return {name: term.n3() for name, term in sol.items()}
+
+
+def decode_solution(data: Dict[str, str]) -> Solution:
+    """Inverse of :func:`encode_solution`."""
+    out: Solution = {}
+    for name, text in data.items():
+        try:
+            term, _ = _parse_term(text + " ", 0)
+        except Exception as exc:  # noqa: BLE001 — wrapped as continuation error
+            raise ContinuationError(
+                f"unparseable binding {name}={text!r}"
+            ) from exc
+        out[name] = term
+    return out
+
+
+def _state_field(state: Dict[str, Any], key: str) -> Any:
+    try:
+        return state[key]
+    except (KeyError, TypeError) as exc:
+        raise ContinuationError(
+            f"continuation state is missing field {key!r}"
+        ) from exc
+
+
+# -- iterators -----------------------------------------------------------------
+
+
+class PipelineIterator:
+    """Base class: pull-based, snapshot/restorable solution iterator.
+
+    ``next()`` returns the next solution or None when exhausted; the
+    stream never resumes after None.  ``save()`` returns a pure-JSON
+    state dict capturing exactly the progress made so far; ``restore``
+    (on a freshly built, structurally identical pipeline) continues from
+    that point.
+    """
+
+    kind = "base"
+
+    def next(self) -> Optional[Solution]:
+        raise NotImplementedError
+
+    def save(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _check_kind(self, state: Dict[str, Any]) -> None:
+        got = _state_field(state, "kind")
+        if got != self.kind:
+            raise ContinuationError(
+                f"continuation mismatch: state is for {got!r}, "
+                f"pipeline stage is {self.kind!r}"
+            )
+
+
+class SingletonIterator(PipelineIterator):
+    """Root producer: one empty solution, then exhaustion."""
+
+    kind = "singleton"
+
+    def __init__(self) -> None:
+        self._done = False
+
+    def next(self) -> Optional[Solution]:
+        if self._done:
+            return None
+        self._done = True
+        return {}
+
+    def save(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "done": self._done}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._check_kind(state)
+        self._done = bool(_state_field(state, "done"))
+
+
+class ScanJoinIterator(PipelineIterator):
+    """Index nested-loop join of the child stream with one triple pattern.
+
+    For each child solution the pattern is instantiated and its matches
+    materialised **in deterministic order** (store iteration order;
+    spatial-hint candidates sorted by n3); an integer cursor over that
+    list is all the scan state a continuation needs.  On restore the
+    match list is re-materialised from the saved child solution — sound
+    because continuations are bound to an immutable store version.
+    """
+
+    kind = "scan"
+
+    def __init__(
+        self,
+        child: PipelineIterator,
+        pattern: alg.TriplePattern,
+        store,
+        hint: Optional[Sequence[RDFTerm]] = None,
+    ):
+        self.child = child
+        self.pattern = pattern
+        self.store = store
+        # Sorted for deterministic match order across build/restore.
+        self.hint = sorted(hint, key=lambda t: t.n3()) if hint is not None else None
+        self._variables = [
+            (i, str(term))
+            for i, term in enumerate((pattern.s, pattern.p, pattern.o))
+            if isinstance(term, Variable)
+        ]
+        self._current: Optional[Solution] = None
+        self._matches: List[Tuple] = []
+        self._cursor = 0
+
+    def _materialize(self, sol: Solution) -> List[Tuple]:
+        s = _resolve(self.pattern.s, sol)
+        p = _resolve(self.pattern.p, sol)
+        o = _resolve(self.pattern.o, sol)
+        if (
+            o is None
+            and self.hint is not None
+            and isinstance(self.pattern.o, Variable)
+        ):
+            return [
+                t
+                for cand in self.hint
+                for t in self.store.triples((s, p, cand))
+            ]
+        return list(self.store.triples((s, p, o)))
+
+    def _bind(self, triple: Tuple) -> Optional[Solution]:
+        sol = self._current
+        assert sol is not None
+        new: Optional[Solution] = None
+        for i, name in self._variables:
+            value = triple[i]
+            current = (sol if new is None else new).get(name)
+            if current is None:
+                if new is None:
+                    new = dict(sol)
+                new[name] = value
+            elif current != value:
+                return None
+        return sol if new is None else new
+
+    def next(self) -> Optional[Solution]:
+        while True:
+            if self._current is None:
+                self._current = self.child.next()
+                if self._current is None:
+                    return None
+                self._matches = self._materialize(self._current)
+                self._cursor = 0
+            while self._cursor < len(self._matches):
+                triple = self._matches[self._cursor]
+                self._cursor += 1
+                bound = self._bind(triple)
+                if bound is not None:
+                    return bound
+            self._current = None
+
+    def save(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "child": self.child.save(),
+            "current": (
+                encode_solution(self._current)
+                if self._current is not None
+                else None
+            ),
+            "cursor": self._cursor,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._check_kind(state)
+        self.child.restore(_state_field(state, "child"))
+        current = _state_field(state, "current")
+        if current is None:
+            self._current = None
+            self._matches = []
+            self._cursor = 0
+            return
+        self._current = decode_solution(current)
+        self._matches = self._materialize(self._current)
+        cursor = int(_state_field(state, "cursor"))
+        if not 0 <= cursor <= len(self._matches):
+            raise ContinuationError(
+                f"scan cursor {cursor} outside match list of "
+                f"{len(self._matches)} (store changed under continuation?)"
+            )
+        self._cursor = cursor
+
+
+class FilterIterator(PipelineIterator):
+    """One FILTER expression, judged batch-at-a-time.
+
+    Pulls up to :data:`FILTER_BATCH_ROWS` child solutions and runs the
+    whole batch through :meth:`Evaluator._filter_solutions` — the exact
+    code path of the one-shot evaluator, envelope prefilter and compiled
+    kernels included — then streams out the survivors.  A suspension
+    between survivors serialises the not-yet-emitted tail of the batch.
+    """
+
+    kind = "filter"
+
+    def __init__(
+        self,
+        child: PipelineIterator,
+        expr: alg.Expr,
+        evaluator: Evaluator,
+        batch_rows: int = FILTER_BATCH_ROWS,
+    ):
+        self.child = child
+        self.expr = expr
+        self.evaluator = evaluator
+        self.batch_rows = max(1, int(batch_rows))
+        self._buffer: List[Solution] = []
+        self._pos = 0
+
+    def next(self) -> Optional[Solution]:
+        while True:
+            if self._pos < len(self._buffer):
+                sol = self._buffer[self._pos]
+                self._pos += 1
+                return sol
+            batch: List[Solution] = []
+            while len(batch) < self.batch_rows:
+                sol = self.child.next()
+                if sol is None:
+                    break
+                batch.append(sol)
+            if not batch:
+                return None
+            self._buffer = self.evaluator._filter_solutions(self.expr, batch)
+            self._pos = 0
+
+    def save(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "child": self.child.save(),
+            "pending": [
+                encode_solution(sol) for sol in self._buffer[self._pos:]
+            ],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._check_kind(state)
+        self.child.restore(_state_field(state, "child"))
+        self._buffer = [
+            decode_solution(item) for item in _state_field(state, "pending")
+        ]
+        self._pos = 0
+
+
+class ProjectionIterator(PipelineIterator):
+    """Keep only the projected variables (stateless passthrough)."""
+
+    kind = "project"
+
+    def __init__(self, child: PipelineIterator, names: Sequence[str]):
+        self.child = child
+        self.names = list(names)
+
+    def next(self) -> Optional[Solution]:
+        sol = self.child.next()
+        if sol is None:
+            return None
+        return {name: sol[name] for name in self.names if name in sol}
+
+    def save(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "child": self.child.save()}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._check_kind(state)
+        self.child.restore(_state_field(state, "child"))
+
+
+class DistinctIterator(PipelineIterator):
+    """DISTINCT over the projected variables.
+
+    The seen-key set (n3 tuples, None for unbound) is part of the
+    snapshot: a resumed query must keep suppressing duplicates of
+    solutions emitted in earlier quanta.
+    """
+
+    kind = "distinct"
+
+    def __init__(self, child: PipelineIterator, variables: Sequence[str]):
+        self.child = child
+        self.variables = list(variables)
+        self._seen: Set[Tuple[Optional[str], ...]] = set()
+
+    def _key(self, sol: Solution) -> Tuple[Optional[str], ...]:
+        return tuple(
+            sol[v].n3() if sol.get(v) is not None else None
+            for v in self.variables
+        )
+
+    def next(self) -> Optional[Solution]:
+        while True:
+            sol = self.child.next()
+            if sol is None:
+                return None
+            key = self._key(sol)
+            if key not in self._seen:
+                self._seen.add(key)
+                return sol
+
+    def save(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "child": self.child.save(),
+            "seen": sorted(
+                list(key) for key in self._seen
+            ),  # sorted → deterministic token bytes
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._check_kind(state)
+        self.child.restore(_state_field(state, "child"))
+        self._seen = {tuple(key) for key in _state_field(state, "seen")}
+
+
+class SliceIterator(PipelineIterator):
+    """OFFSET/LIMIT as skip and emit counters."""
+
+    kind = "slice"
+
+    def __init__(
+        self,
+        child: PipelineIterator,
+        limit: Optional[int],
+        offset: Optional[int],
+    ):
+        self.child = child
+        self.limit = limit
+        self.offset = offset or 0
+        self._skipped = 0
+        self._emitted = 0
+
+    def next(self) -> Optional[Solution]:
+        if self.limit is not None and self._emitted >= self.limit:
+            return None
+        while self._skipped < self.offset:
+            if self.child.next() is None:
+                return None
+            self._skipped += 1
+        sol = self.child.next()
+        if sol is None:
+            return None
+        self._emitted += 1
+        return sol
+
+    def save(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "child": self.child.save(),
+            "skipped": self._skipped,
+            "emitted": self._emitted,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._check_kind(state)
+        self.child.restore(_state_field(state, "child"))
+        self._skipped = int(_state_field(state, "skipped"))
+        self._emitted = int(_state_field(state, "emitted"))
+
+
+# -- plan construction ---------------------------------------------------------
+
+
+def _collect_conjunction(
+    pattern: alg.Pattern,
+) -> Optional[Tuple[List[alg.TriplePattern], List[alg.Expr]]]:
+    """Flatten a pattern tree into (triple patterns, filters) when it is
+    a pure conjunction of BGPs; None for anything else."""
+    if isinstance(pattern, alg.BGP):
+        return list(pattern.triples), []
+    if isinstance(pattern, alg.GroupPattern):
+        triples: List[alg.TriplePattern] = []
+        filters: List[alg.Expr] = list(pattern.filters)
+        for part in pattern.parts:
+            sub = _collect_conjunction(part)
+            if sub is None:
+                return None
+            triples.extend(sub[0])
+            filters.extend(sub[1])
+        return triples, filters
+    return None
+
+
+def supports_query(query: alg.Query) -> bool:
+    """Whether :func:`build_select_pipeline` can stream this query."""
+    if not isinstance(query, alg.SelectQuery):
+        return False
+    if query.group_by or query.having or query.order_by:
+        return False
+    for proj in query.projections:
+        if proj.expr is not None:
+            return False
+    collected = _collect_conjunction(query.where)
+    if collected is None:
+        return False
+    triples, filters = collected
+    for pattern in triples:
+        if isinstance(pattern.p, alg.Path):
+            return False
+    return not any(_expr_has_aggregate(expr) for expr in filters)
+
+
+def pipeline_variables(query: alg.SelectQuery) -> List[str]:
+    """The projected variable names of a streamable SELECT query.
+
+    Explicit projections keep their order; ``SELECT *`` projects every
+    pattern variable in sorted order (matching the one-shot evaluator's
+    sorted discovery order).
+    """
+    if query.projections:
+        return [p.var for p in query.projections]
+    collected = _collect_conjunction(query.where)
+    if collected is None:
+        return []
+    names: Set[str] = set()
+    for pattern in collected[0]:
+        names |= _triple_vars(pattern)
+    for expr in collected[1]:
+        names |= set(_expr_vars(expr))
+    return sorted(names)
+
+
+def _static_join_order(
+    patterns: List[alg.TriplePattern], count, hints: Dict[str, Set]
+) -> List[alg.TriplePattern]:
+    """Greedy static ordering mirroring the evaluator's dynamic pick:
+    cheapest estimated pattern first, boundness w.r.t. already-ordered
+    variables as the tie-breaker.  Deterministic, so a restored pipeline
+    rebuilds the identical operator tree."""
+    remaining = list(patterns)
+    ordered: List[alg.TriplePattern] = []
+    bound: Set[str] = set()
+    while remaining:
+        def cost(pattern: alg.TriplePattern) -> Tuple:
+            score = 0
+            hinted = 0
+            for term in (pattern.s, pattern.p, pattern.o):
+                if isinstance(term, Variable):
+                    if str(term) in bound:
+                        score += 1
+                    elif str(term) in hints:
+                        hinted += 1
+                else:
+                    score += 1
+            if count is None:
+                return (0, -score, -hinted)
+            probe = tuple(
+                None if isinstance(t, Variable) else t
+                for t in (pattern.s, pattern.p, pattern.o)
+            )
+            estimate = count(probe)
+            if (
+                isinstance(pattern.o, Variable)
+                and str(pattern.o) in hints
+            ):
+                estimate = min(estimate, len(hints[str(pattern.o)]))
+            return (estimate, -score, -hinted)
+
+        best = min(range(len(remaining)), key=lambda i: cost(remaining[i]))
+        pattern = remaining.pop(best)
+        ordered.append(pattern)
+        bound |= _triple_vars(pattern)
+    return ordered
+
+
+def build_select_pipeline(
+    query: alg.SelectQuery,
+    store,
+    use_spatial_index: bool = True,
+    batch_rows: int = FILTER_BATCH_ROWS,
+) -> Optional[PipelineIterator]:
+    """Build the preemptable pipeline for a SELECT query.
+
+    Returns None when the query uses operators this pipeline cannot
+    stream (callers fall back to the one-shot evaluator).  The returned
+    iterator is positioned at the start; use :func:`restore_pipeline` to
+    rebuild one mid-query from a saved continuation.
+    """
+    if not supports_query(query):
+        return None
+    evaluator = Evaluator(store, use_spatial_index=use_spatial_index)
+    triples, filters = _collect_conjunction(query.where)
+    hints = (
+        evaluator._spatial_hints(filters) if use_spatial_index else {}
+    )
+    ordered = _static_join_order(triples, evaluator._count, hints)
+
+    pipe: PipelineIterator = SingletonIterator()
+    consumed_hints: Set[str] = set()
+    for pattern in ordered:
+        hint = None
+        if isinstance(pattern.o, Variable):
+            name = str(pattern.o)
+            # Apply each hint at the first scan that binds the variable
+            # (the evaluator applies hints only to unbound objects).
+            if name in hints and name not in consumed_hints:
+                hint = hints[name]
+                consumed_hints.add(name)
+        pipe = ScanJoinIterator(pipe, pattern, store, hint)
+        consumed_hints |= _triple_vars(pattern)
+    for expr in filters:
+        pipe = FilterIterator(pipe, expr, evaluator, batch_rows)
+    names = pipeline_variables(query)
+    pipe = ProjectionIterator(pipe, names)
+    if query.distinct:
+        pipe = DistinctIterator(pipe, names)
+    if query.limit is not None or query.offset:
+        pipe = SliceIterator(pipe, query.limit, query.offset)
+    return pipe
+
+
+def restore_pipeline(
+    query: alg.SelectQuery,
+    store,
+    state: Dict[str, Any],
+    use_spatial_index: bool = True,
+    batch_rows: int = FILTER_BATCH_ROWS,
+) -> PipelineIterator:
+    """Rebuild a pipeline for ``query`` and restore ``state`` into it.
+
+    Raises :class:`ContinuationError` when the query is not streamable
+    or the state does not fit the (re)built operator tree.
+    """
+    pipe = build_select_pipeline(
+        query, store, use_spatial_index=use_spatial_index,
+        batch_rows=batch_rows,
+    )
+    if pipe is None:
+        raise ContinuationError(
+            "continuation refers to a query the pipeline cannot stream"
+        )
+    pipe.restore(state)
+    return pipe

@@ -21,7 +21,13 @@ import numpy as np
 from repro import kernels, obs
 from repro.geometry import RTree, from_wkt
 from repro.mdb import Database
+from repro.server import decode_token, encode_token
 from repro.strabon import StrabonStore
+from repro.strabon.stsparql.iterators import (
+    build_select_pipeline,
+    restore_pipeline,
+)
+from repro.strabon.stsparql.parser import parse_query
 from repro.testkit import oracles
 from repro.testkit.generators import SPEC_DOMAINS, case_seed, gen_spec
 
@@ -213,6 +219,45 @@ def _store_rows(
     return sorted(rows, key=lambda r: tuple(x or "" for x in r))
 
 
+def _pipeline_rows(
+    store: StrabonStore,
+    query: str,
+    variables: Sequence[str],
+    suspend_every_row: bool,
+) -> List[Tuple[Optional[str], ...]]:
+    """Rows via the preemptable iterator pipeline (repro.server path).
+
+    ``suspend_every_row=False`` is the quantum=∞ shape (one slice runs
+    the query dry); ``True`` is the worst-case preemption shape — after
+    *every* solution the pipeline state makes the full round trip through
+    a continuation token (encode → decode → rebuild → restore), exactly
+    what the serving tier does between quanta.  Both must reproduce the
+    one-shot evaluator's solutions with none lost and none duplicated.
+    """
+    parsed = parse_query(query)
+    pipe = build_select_pipeline(parsed, store)
+    if pipe is None:  # not streamable: the server falls back to one-shot
+        return _store_rows(store, query, variables)
+    solutions = []
+    while True:
+        sol = pipe.next()
+        if sol is None:
+            break
+        solutions.append(sol)
+        if suspend_every_row:
+            token = encode_token(query, store.version, pipe.save())
+            text, _version, state = decode_token(token)
+            pipe = restore_pipeline(parse_query(text), store, state)
+    rows = [
+        tuple(
+            sol[v].n3() if sol.get(v) is not None else None
+            for v in variables
+        )
+        for sol in solutions
+    ]
+    return sorted(rows, key=lambda r: tuple(x or "" for x in r))
+
+
 def _check_stsparql(spec: Dict[str, Any]) -> Optional[str]:
     # An RDF graph is a set of triples: duplicates in the spec are a
     # no-op for the store and must be a no-op for the oracle too.
@@ -305,6 +350,14 @@ def _check_stsparql(spec: Dict[str, Any]) -> Optional[str]:
                 lambda: _store_rows(store, query, variables),
             ),
         ),
+        (
+            "pipeline-one-quantum",
+            lambda: _pipeline_rows(store, query, variables, False),
+        ),
+        (
+            "pipeline-suspend-every-row",
+            lambda: _pipeline_rows(store, query, variables, True),
+        ),
     ]
     for label, variant in variants:
         got = _outcome(variant)
@@ -324,6 +377,10 @@ def _check_stsparql(spec: Dict[str, Any]) -> Optional[str]:
                 lambda: _store_rows(
                     fresh_store(triple_set=triples + extra), query, variables
                 ),
+            ),
+            (
+                "pipeline-suspend-every-row",
+                lambda: _pipeline_rows(store, query, variables, True),
             ),
         ]:
             got = _outcome(variant)

@@ -14,6 +14,7 @@ from repro.vo.services import (
     AnnotationService,
     DataMiningService,
     MetricsService,
+    QueryService,
     RapidMappingService,
 )
 from repro.vo.ogc import OGCError, WebServiceFrontend
@@ -25,6 +26,7 @@ __all__ = [
     "MetricsService",
     "OGCError",
     "ProductCatalog",
+    "QueryService",
     "RapidMappingService",
     "VirtualEarthObservatory",
     "WebServiceFrontend",

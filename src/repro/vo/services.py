@@ -192,6 +192,47 @@ class ResilienceService:
         return self.ingestor.store.flush_pending()
 
 
+class QueryService:
+    """Multi-tenant stSPARQL serving over the observatory's store.
+
+    Thin facade over :class:`repro.server.QueryServer`: applications
+    submit queries for a *tenant*, get back one page per time quantum
+    with a continuation token, and are admission-controlled per tenant —
+    the service-tier shape of the paper's "many scientists share one
+    observatory" deployment.  Constructed lazily so observatories that
+    never serve concurrent tenants pay nothing for it.
+    """
+
+    def __init__(
+        self,
+        store: StrabonStore,
+        quantum_ms: Optional[float] = -1.0,
+        quotas: Optional[Dict[str, float]] = None,
+        max_pending: Optional[int] = None,
+    ):
+        from repro.server import QueryServer
+
+        self.server = QueryServer(
+            store,
+            quantum_ms=quantum_ms,
+            quotas=quotas,
+            max_pending=max_pending,
+        )
+
+    async def submit(self, tenant: str, query=None, token=None, deadline=None):
+        """One quantum of work: a :class:`repro.server.QueryPage`."""
+        return await self.server.submit(
+            tenant, query=query, token=token, deadline=deadline
+        )
+
+    async def fetch(self, tenant: str, query: str, deadline=None):
+        """The complete result, yielding between quanta."""
+        return await self.server.fetch(tenant, query, deadline=deadline)
+
+    async def close(self) -> None:
+        await self.server.close()
+
+
 class AnnotationService:
     """Automatic semantic annotation published into Strabon."""
 

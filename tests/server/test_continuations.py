@@ -1,0 +1,59 @@
+"""Continuation tokens: opaque round trip, loud failure on garbage."""
+
+import base64
+import json
+
+import pytest
+
+from repro.server import ContinuationError, decode_token, encode_token
+
+
+def test_round_trip():
+    state = {"kind": "slice", "skipped": 2, "emitted": 5, "child": {}}
+    token = encode_token("SELECT * WHERE { ?s ?p ?o }", 7, state)
+    assert isinstance(token, str)
+    query, version, restored = decode_token(token)
+    assert query == "SELECT * WHERE { ?s ?p ?o }"
+    assert version == 7
+    assert restored == state
+
+
+def test_token_is_ascii_and_url_safe():
+    token = encode_token("SELECT ?s WHERE { ?s ?p 'é' }", 0, {"kind": "x"})
+    token.encode("ascii")
+    assert "+" not in token and "/" not in token
+
+
+def test_identical_state_yields_identical_token():
+    token_a = encode_token("q", 3, {"b": 1, "a": 2})
+    token_b = encode_token("q", 3, {"a": 2, "b": 1})
+    assert token_a == token_b  # sorted keys → canonical bytes
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [
+        "",
+        "not base64 at all!!!",
+        base64.urlsafe_b64encode(b"not json").decode(),
+        base64.urlsafe_b64encode(b'["a", "list"]').decode(),
+        base64.urlsafe_b64encode(
+            json.dumps({"f": 999, "q": "x", "v": 0, "s": {}}).encode()
+        ).decode(),
+        base64.urlsafe_b64encode(
+            json.dumps({"f": 1, "q": "x"}).encode()
+        ).decode(),  # missing version/state
+        base64.urlsafe_b64encode(
+            json.dumps({"f": 1, "q": "x", "v": "NaN", "s": {}}).encode()
+        ).decode(),  # wrong field type
+    ],
+)
+def test_malformed_tokens_raise(garbage):
+    with pytest.raises(ContinuationError):
+        decode_token(garbage)
+
+
+def test_truncated_token_raises():
+    token = encode_token("q", 1, {"kind": "singleton", "done": False})
+    with pytest.raises(ContinuationError):
+        decode_token(token[: len(token) // 2])

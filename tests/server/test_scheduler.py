@@ -1,0 +1,98 @@
+"""Deficit round-robin fairness and queue-depth admission control."""
+
+import pytest
+
+from repro.server import AdmissionError, DeficitScheduler, ServerRequest
+from repro.server.scheduler import TENANT_QUOTA_ENV, env_max_pending
+
+
+def _req(tenant):
+    return ServerRequest(tenant, "SELECT * WHERE { ?s ?p ?o }")
+
+
+def test_fifo_within_one_tenant():
+    sched = DeficitScheduler(max_pending=10)
+    first, second = _req("a"), _req("a")
+    sched.admit(first)
+    sched.admit(second)
+    assert sched.take() is first
+    assert sched.take() is second
+    assert sched.take() is None
+
+
+def test_round_robin_across_tenants():
+    sched = DeficitScheduler(max_pending=10)
+    for _ in range(3):
+        sched.admit(_req("a"))
+        sched.admit(_req("b"))
+    order = [sched.take().tenant for _ in range(6)]
+    # Perfect interleave: no tenant runs twice before the other runs once.
+    for i in range(0, 6, 2):
+        assert set(order[i : i + 2]) == {"a", "b"}
+
+
+def test_quota_weights_slice_ratio():
+    sched = DeficitScheduler(max_pending=100, quotas={"heavy": 2.0})
+    for _ in range(20):
+        sched.admit(_req("heavy"))
+        sched.admit(_req("light"))
+    first_twelve = [sched.take().tenant for _ in range(12)]
+    assert first_twelve.count("heavy") == 8  # 2:1 service ratio
+    assert first_twelve.count("light") == 4
+
+
+def test_fractional_quota_still_served():
+    sched = DeficitScheduler(max_pending=10, quotas={"slow": 0.25})
+    sched.admit(_req("slow"))
+    assert sched.take().tenant == "slow"  # credits accumulate to 1.0
+
+
+def test_admission_rejects_at_depth_limit():
+    sched = DeficitScheduler(max_pending=2)
+    sched.admit(_req("a"))
+    sched.admit(_req("a"))
+    with pytest.raises(AdmissionError) as info:
+        sched.admit(_req("a"))
+    assert info.value.tenant == "a"
+    assert info.value.limit == 2
+    # Other tenants are unaffected by a's full queue.
+    sched.admit(_req("b"))
+
+
+def test_admission_recovers_after_take():
+    sched = DeficitScheduler(max_pending=1)
+    sched.admit(_req("a"))
+    with pytest.raises(AdmissionError):
+        sched.admit(_req("a"))
+    sched.take()
+    sched.admit(_req("a"))  # slot freed
+
+
+def test_server_wide_cap():
+    sched = DeficitScheduler(max_pending=10, max_total=2)
+    sched.admit(_req("a"))
+    sched.admit(_req("b"))
+    with pytest.raises(AdmissionError) as info:
+        sched.admit(_req("c"))
+    assert info.value.scope == "server"
+
+
+def test_drain_empties_everything():
+    sched = DeficitScheduler(max_pending=10)
+    for tenant in ("a", "b", "a"):
+        sched.admit(_req(tenant))
+    assert sched.drain() == 3
+    assert sched.take() is None
+    assert sched.depth() == 0
+
+
+def test_env_knob_parses_and_degrades(monkeypatch):
+    monkeypatch.setenv(TENANT_QUOTA_ENV, "3")
+    assert env_max_pending() == 3
+    assert DeficitScheduler().max_pending == 3
+    monkeypatch.setenv(TENANT_QUOTA_ENV, "garbage")
+    assert env_max_pending() == 8
+    monkeypatch.setenv(TENANT_QUOTA_ENV, "-1")
+    assert env_max_pending() == 8
+    monkeypatch.delenv(TENANT_QUOTA_ENV)
+    assert env_max_pending() == 8

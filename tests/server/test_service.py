@@ -1,0 +1,271 @@
+"""QueryServer: paging, preemption, backpressure, resilience wiring."""
+
+import asyncio
+
+import pytest
+
+from repro import faults, resilience
+from repro.server import (
+    AdmissionError,
+    ContinuationError,
+    QueryServer,
+)
+from repro.server.service import QUANTUM_ENV, env_quantum_ms
+from repro.strabon import StrabonStore
+
+PREFIXES = (
+    "PREFIX ex: <http://example.org/>\n"
+    "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+)
+
+QUERY = PREFIXES + "SELECT ?s ?n WHERE { ?s ex:name ?n }"
+
+
+def make_store(n: int = 12) -> StrabonStore:
+    store = StrabonStore()
+    lines = ["@prefix ex: <http://example.org/> ."]
+    for i in range(n):
+        lines.append(f'ex:s{i} ex:name "name-{i:03d}" .')
+    store.load_turtle("\n".join(lines))
+    return store
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _n3_rows(result):
+    return sorted(
+        tuple(t.n3() if t is not None else None for t in row)
+        for row in result.rows()
+    )
+
+
+def test_fetch_matches_direct_query():
+    store = make_store()
+    expected = _n3_rows(store.query(QUERY))
+
+    async def main():
+        server = QueryServer(store, quantum_ms=None)
+        try:
+            return await server.fetch("alice", QUERY)
+        finally:
+            await server.close()
+
+    assert _n3_rows(run(main())) == expected
+
+
+def test_no_preemption_is_single_page():
+    store = make_store()
+
+    async def main():
+        server = QueryServer(store, quantum_ms=None)
+        try:
+            return await server.submit("alice", query=QUERY)
+        finally:
+            await server.close()
+
+    page = run(main())
+    assert page.done and page.token is None
+    assert len(page.rows) == 12
+
+
+def test_tiny_quantum_forces_paging_without_loss():
+    store = make_store(30)
+    expected = _n3_rows(store.query(QUERY))
+
+    async def main():
+        server = QueryServer(store, quantum_ms=0.0001)
+        try:
+            pages = []
+            page = await server.submit("alice", query=QUERY)
+            pages.append(page)
+            while not page.done:
+                page = await server.submit("alice", token=page.token)
+                pages.append(page)
+            return pages
+        finally:
+            await server.close()
+
+    pages = run(main())
+    assert len(pages) > 1  # actually preempted
+    rows = [
+        tuple(
+            sol[v].n3() if sol.get(v) is not None else None
+            for v in pages[0].variables
+        )
+        for page in pages
+        for sol in page.rows
+    ]
+    assert sorted(rows) == expected
+    assert len(rows) == len(set(rows)) == len(expected)
+
+
+def test_non_streamable_query_falls_back_to_one_shot():
+    store = make_store(5)
+    text = PREFIXES + (
+        "SELECT (COUNT(?s) AS ?c) WHERE { ?s ex:name ?n }"
+    )
+    expected = _n3_rows(store.query(text))
+
+    async def main():
+        server = QueryServer(store, quantum_ms=0.0001)
+        try:
+            page = await server.submit("alice", query=text)
+            assert page.done and page.result is not None
+            return await server.fetch("alice", text)
+        finally:
+            await server.close()
+
+    assert _n3_rows(run(main())) == expected
+
+
+def test_ask_query_served():
+    store = make_store(3)
+    text = PREFIXES + 'ASK { ?s ex:name "name-001" }'
+
+    async def main():
+        server = QueryServer(store, quantum_ms=0.0001)
+        try:
+            return await server.fetch("alice", text)
+        finally:
+            await server.close()
+
+    assert bool(run(main())) is True
+
+
+def test_stale_token_rejected_after_store_mutation():
+    store = make_store(30)
+
+    async def main():
+        server = QueryServer(store, quantum_ms=0.0001)
+        try:
+            page = await server.submit("alice", query=QUERY)
+            assert not page.done
+            store.update(
+                PREFIXES
+                + 'INSERT DATA { ex:new ex:name "intruder" }'
+            )
+            with pytest.raises(ContinuationError):
+                await server.submit("alice", token=page.token)
+        finally:
+            await server.close()
+
+    run(main())
+
+
+def test_admission_backpressure():
+    store = make_store()
+
+    async def main():
+        server = QueryServer(store, quantum_ms=None, max_pending=2)
+        try:
+            tasks = [
+                asyncio.ensure_future(server.submit("alice", query=QUERY))
+                for _ in range(5)
+            ]
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            rejected = [
+                o for o in outcomes if isinstance(o, AdmissionError)
+            ]
+            served = [o for o in outcomes if not isinstance(o, Exception)]
+            assert len(rejected) == 3
+            assert len(served) == 2
+            # Backpressure is transient: the queue drained, so a retry
+            # is admitted.
+            page = await server.submit("alice", query=QUERY)
+            assert page.done
+        finally:
+            await server.close()
+
+    run(main())
+
+
+def test_transient_fault_absorbed_by_retry():
+    store = make_store(4)
+    expected = _n3_rows(store.query(QUERY))
+
+    async def main():
+        server = QueryServer(store, quantum_ms=None)
+        try:
+            with faults.injected("server.request:nth=1;seed=7"):
+                return await server.fetch("alice", QUERY)
+        finally:
+            await server.close()
+
+    assert _n3_rows(run(main())) == expected
+
+
+def test_permanent_fault_fails_the_request():
+    store = make_store(4)
+
+    async def main():
+        server = QueryServer(store, quantum_ms=None)
+        try:
+            with faults.injected("server.request:nth=1,hard;seed=7"):
+                with pytest.raises(faults.PermanentFault):
+                    await server.submit("alice", query=QUERY)
+            # The server survives: next request is served normally.
+            page = await server.submit("alice", query=QUERY)
+            assert page.done
+        finally:
+            await server.close()
+
+    run(main())
+
+
+def test_expired_deadline_fires_at_quantum_boundary():
+    store = make_store()
+
+    async def main():
+        server = QueryServer(store, quantum_ms=None)
+        try:
+            deadline = resilience.Deadline(seconds=0.0)
+            with pytest.raises(resilience.DeadlineExceeded):
+                await server.submit("alice", query=QUERY, deadline=deadline)
+        finally:
+            await server.close()
+
+    run(main())
+
+
+def test_submit_argument_validation():
+    store = make_store(1)
+
+    async def main():
+        server = QueryServer(store, quantum_ms=None)
+        try:
+            with pytest.raises(ValueError):
+                await server.submit("alice")
+            with pytest.raises(ValueError):
+                await server.submit("alice", query=QUERY, token="x")
+        finally:
+            await server.close()
+
+    run(main())
+
+
+def test_closed_server_refuses_submits():
+    store = make_store(1)
+
+    async def main():
+        server = QueryServer(store, quantum_ms=None)
+        await server.close()
+        with pytest.raises(RuntimeError):
+            await server.submit("alice", query=QUERY)
+
+    run(main())
+
+
+def test_quantum_env_knob(monkeypatch):
+    monkeypatch.setenv(QUANTUM_ENV, "40")
+    assert env_quantum_ms() == 40.0
+    assert QueryServer(make_store(1)).quantum_ms == 40.0
+    monkeypatch.setenv(QUANTUM_ENV, "off")
+    assert env_quantum_ms() is None
+    monkeypatch.setenv(QUANTUM_ENV, "0")
+    assert env_quantum_ms() is None
+    monkeypatch.setenv(QUANTUM_ENV, "banana")
+    assert env_quantum_ms() == 25.0
+    monkeypatch.delenv(QUANTUM_ENV)
+    assert env_quantum_ms() == 25.0

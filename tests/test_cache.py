@@ -82,3 +82,97 @@ def test_none_values_are_cached():
 def test_maxsize_must_be_positive():
     with pytest.raises(ValueError):
         LRUCache(maxsize=0)
+
+
+# -- re-entrant invalidation (interleaved iterator resumptions) ----------------
+#
+# A compute is allowed to mutate the cache it runs inside (the RLock is
+# re-entrant): a resumable query pipeline rebuilding mid-compute may
+# invalidate the very key being computed.  The stale result must be
+# returned to its caller but NOT cached over the invalidation.
+
+
+def test_invalidate_during_compute_is_not_overwritten():
+    cache = LRUCache(maxsize=8)
+
+    def compute():
+        # Interleaved resumption invalidates the key mid-compute.
+        cache.invalidate("k")
+        return "stale"
+
+    assert cache.get_or_compute("k", compute) == "stale"
+    assert "k" not in cache  # the invalidation won
+    assert cache.get_or_compute("k", lambda: "fresh") == "fresh"
+    assert cache.get("k") == "fresh"
+
+
+def test_clear_during_compute_is_not_resurrected():
+    cache = LRUCache(maxsize=8)
+    cache.put("other", 1)
+
+    def compute():
+        cache.clear()
+        return "stale"
+
+    assert cache.get_or_compute("k", compute) == "stale"
+    assert "k" not in cache
+    assert "other" not in cache
+    assert len(cache) == 0
+
+
+def test_invalidating_a_different_key_does_not_fence_the_compute():
+    cache = LRUCache(maxsize=8)
+    cache.put("other", 1)
+
+    def compute():
+        cache.invalidate("other")
+        return "value"
+
+    assert cache.get_or_compute("k", compute) == "value"
+    assert cache.get("k") == "value"  # unrelated invalidation: cached
+
+
+def test_nested_compute_of_same_key_after_inner_invalidate():
+    cache = LRUCache(maxsize=8)
+    order = []
+
+    def outer():
+        order.append("outer-start")
+        cache.invalidate("k")  # fences the outer compute
+        inner = cache.get_or_compute("k", lambda: "inner")
+        order.append(f"inner={inner}")
+        return "outer"
+
+    assert cache.get_or_compute("k", outer) == "outer"
+    # The inner compute ran after the invalidation, so its value is the
+    # one that survives; the fenced outer result was returned but not
+    # stored over it.
+    assert cache.get("k") == "inner"
+    assert order == ["outer-start", "inner=inner"]
+
+
+def test_epoch_bookkeeping_is_pruned():
+    cache = LRUCache(maxsize=8)
+
+    def compute():
+        cache.invalidate("k")
+        return "v"
+
+    cache.get_or_compute("k", compute)
+    cache.get_or_compute("other", lambda: 1)
+    # No compute in flight → no retained per-key epoch state.
+    assert cache._key_epochs == {}
+    assert cache._inflight == {}
+
+
+def test_failed_compute_cleans_up_inflight_tracking():
+    cache = LRUCache(maxsize=8)
+
+    def compute():
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_compute("k", compute)
+    assert cache._inflight == {}
+    assert "k" not in cache
+    assert cache.get_or_compute("k", lambda: "ok") == "ok"

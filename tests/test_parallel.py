@@ -231,3 +231,134 @@ class TestThreadSafeLRUCache:
 
         assert cache.get_or_compute("outer", outer) == 42
         assert cache.get("inner") == 41
+
+
+class TestProducerHelps:
+    """The bounded queue must never deadlock a producer.
+
+    These are regression hammers for the cross-pool circular wait: a
+    worker of pool A submitting into pool B's full queue while B's
+    workers submit into A's.  With blocking puts this wedged permanently;
+    with producer-helps draining every configuration below completes.
+    """
+
+    def test_cross_pool_ping_pong_hammer(self):
+        # Tiny queues make the full-queue window easy to hit.
+        pool_a = TaskScheduler(workers=2, queue_size=2)
+        pool_b = TaskScheduler(workers=2, queue_size=2)
+        try:
+            def in_b(x):
+                return x + 1
+
+            def via_b(x):
+                return sum(pool_b.map(in_b, range(x % 5 + 4)))
+
+            def via_a(x):
+                return sum(pool_a.map(in_b, range(x % 5 + 4)))
+
+            done = []
+
+            def hammer(pool, fn, n):
+                done.append(pool.map(fn, range(n)))
+
+            threads = [
+                threading.Thread(target=hammer, args=(pool_a, via_b, 40)),
+                threading.Thread(target=hammer, args=(pool_b, via_a, 40)),
+                threading.Thread(target=hammer, args=(pool_a, via_b, 40)),
+                threading.Thread(target=hammer, args=(pool_b, via_a, 40)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert all(not t.is_alive() for t in threads), (
+                "cross-pool map deadlocked"
+            )
+            expected = [sum(range(x % 5 + 4)) + (x % 5 + 4) for x in range(40)]
+            assert done == [expected] * 4
+        finally:
+            pool_a.close()
+            pool_b.close()
+
+    def test_producer_steals_when_queue_saturated(self):
+        # One worker, queue of one, many tasks: the producer must help
+        # drain its own backlog instead of blocking on put.
+        with TaskScheduler(workers=1, queue_size=1) as sched:
+            # Occupy the worker so the queue genuinely fills.
+            gate = threading.Event()
+
+            def slow_then(x):
+                gate.wait(5)
+                return x * 2
+
+            results = []
+
+            def produce():
+                results.append(sched.map(slow_then, range(30)))
+
+            producer = threading.Thread(target=produce)
+            producer.start()
+            gate.set()
+            producer.join(timeout=60)
+            assert not producer.is_alive()
+            assert results == [[x * 2 for x in range(30)]]
+
+    def test_steal_preserves_order_and_errors(self):
+        with TaskScheduler(workers=2, queue_size=2) as sched:
+            with pytest.raises(ValueError, match="task 13"):
+                sched.map(
+                    lambda x: (_ for _ in ()).throw(ValueError(f"task {x}"))
+                    if x == 13
+                    else x,
+                    range(40),
+                )
+
+    def test_nested_map_inside_stolen_task_is_serial(self):
+        # A stolen task running on the producer thread must see itself
+        # as "in worker": its own nested map degrades to the serial path
+        # instead of re-entering the queue.
+        with TaskScheduler(workers=1, queue_size=1) as sched:
+            def nested(x):
+                return sum(sched.map(lambda y: y + x, range(3)))
+
+            out = sched.map(nested, range(25))
+        assert out == [sum(y + x for y in range(3)) for x in range(25)]
+
+
+class TestBulkFlushSerialisation:
+    def test_concurrent_bulk_windows_do_not_double_emit(self):
+        from repro.strabon import StrabonStore
+        from repro.rdf.term import URIRef
+
+        store = StrabonStore()
+        errors = []
+
+        def load(k):
+            try:
+                with store.bulk():
+                    for i in range(40):
+                        store.add(
+                            (
+                                URIRef(f"http://example.org/s{k}_{i}"),
+                                URIRef("http://example.org/p"),
+                                URIRef(f"http://example.org/o{k}_{i}"),
+                            )
+                        )
+                    store.flush_pending()  # racing no-op inside bulk
+            except Exception as exc:  # noqa: BLE001 — asserted below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=load, args=(k,)) for k in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        assert all(not t.is_alive() for t in threads)
+        triples = len(store)
+        assert triples == 8 * 40
+        # Exactly one backend row per triple: concurrent flushes did not
+        # double-insert buffered rows.
+        assert store.backend.scalar("SELECT COUNT(*) FROM triples") == triples
