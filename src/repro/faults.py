@@ -7,9 +7,13 @@ boundary — Data Vault payload reads (``vault.fetch``), per-file
 ingestion (``ingest.file``), each NOA chain stage (``chain.ingestion``
 ... ``chain.shapefile``), worker-pool task execution
 (``scheduler.task``), Strabon writes (``strabon.bulk``,
-``strabon.update``) and serving-tier request quanta
+``strabon.update``), serving-tier request quanta
 (``server.request``, fired once per time slice by
-:class:`repro.server.QueryServer`) — and fires them according to a spec
+:class:`repro.server.QueryServer`) and the durable storage engine's
+write paths (``storage.wal``, ``storage.segment``,
+``storage.snapshot`` — each fired *before* any byte reaches disk, so a
+``hard`` fault there is an exact crash simulation) — and fires them
+according to a spec
 string, so the whole test suite can run under a fixed failure schedule
 and still pass.
 

@@ -28,8 +28,51 @@ class BAT:
         self._data = ctype.empty_array(_MIN_CAPACITY)
         self._valid = np.ones(_MIN_CAPACITY, dtype=bool)
         self._size = 0
+        # True while _data/_valid are borrowed read-only buffers (e.g.
+        # snapshot memmaps adopted without copy); the first in-place
+        # write materialises private copies (copy-on-write).
+        self._frozen = False
         if values is not None:
             self.extend(values)
+
+    @classmethod
+    def adopt(
+        cls, ctype: ColumnType, data: np.ndarray, valid: np.ndarray
+    ) -> "BAT":
+        """Wrap existing ``(data, valid)`` buffers without copying.
+
+        The buffers may be read-only (snapshot memmaps): scans serve
+        straight from them, and the first mutation triggers a private
+        copy.  ``len(data)`` rows are adopted exactly — no spare
+        capacity.
+        """
+        if len(data) != len(valid):
+            raise ExecutionError(
+                f"adopt: {len(data)} values vs {len(valid)} validity bits"
+            )
+        out = cls.__new__(cls)
+        out.ctype = ctype
+        out._data = data
+        out._valid = valid
+        out._size = len(data)
+        out._frozen = not (
+            data.flags.writeable and valid.flags.writeable
+        )
+        return out
+
+    @property
+    def frozen(self) -> bool:
+        """True while the column still serves from borrowed read-only
+        buffers (no mutation has happened since adoption)."""
+        return self._frozen
+
+    def _thaw(self) -> None:
+        """Materialise private writable copies of borrowed buffers."""
+        if not self._frozen:
+            return
+        self._data = np.array(self._data, dtype=self._data.dtype, copy=True)
+        self._valid = np.array(self._valid, dtype=bool, copy=True)
+        self._frozen = False
 
     # -- mutation ------------------------------------------------------------
 
@@ -50,9 +93,29 @@ class BAT:
         for v in values:
             self.append(v)
 
+    def extend_arrays(self, data: np.ndarray, valid: np.ndarray) -> None:
+        """Vectorised bulk append of pre-coerced ``(data, valid)`` arrays.
+
+        ``data`` must already match the column dtype (NULL slots hold a
+        benign filler); this is the segment-replay and bulk-ingest fast
+        path — no per-value coercion.
+        """
+        n = len(data)
+        if n == 0:
+            return
+        if len(valid) != n:
+            raise ExecutionError(
+                f"extend_arrays: {n} values vs {len(valid)} validity bits"
+            )
+        self._reserve(self._size + n)
+        self._data[self._size:self._size + n] = data
+        self._valid[self._size:self._size + n] = valid
+        self._size += n
+
     def set(self, position: int, value: Any) -> None:
         """Overwrite the value at ``position``."""
         self._check_position(position)
+        self._thaw()
         coerced = self.ctype.coerce(value)
         if coerced is None:
             self._valid[position] = False
@@ -68,7 +131,7 @@ class BAT:
 
     def _reserve(self, needed: int) -> None:
         cap = len(self._data)
-        if needed <= cap:
+        if needed <= cap and not self._frozen:
             return
         new_cap = max(int(cap * _GROWTH) + 1, needed, _MIN_CAPACITY)
         data = self.ctype.empty_array(new_cap)
@@ -77,6 +140,7 @@ class BAT:
         valid[: self._size] = self._valid[: self._size]
         self._data = data
         self._valid = valid
+        self._frozen = False
 
     def _check_position(self, position: int) -> None:
         if not 0 <= position < self._size:

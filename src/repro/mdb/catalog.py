@@ -15,6 +15,9 @@ class Catalog:
         self._tables: Dict[str, Table] = {}
         self._arrays: Dict[str, "SciArray"] = {}  # noqa: F821
         self._vaults: Dict[str, "DataVault"] = {}  # noqa: F821
+        # Durability hook: a StorageEngine sets ``journal`` to be told
+        # about DDL (create/drop of tables and arrays).
+        self.journal = None
 
     # -- tables -------------------------------------------------------------
 
@@ -23,6 +26,8 @@ class Catalog:
         if key in self._tables or key in self._arrays:
             raise CatalogError(f"relation {key!r} already exists")
         self._tables[key] = table
+        if self.journal is not None:
+            self.journal.log_create_table(table)
         return table
 
     def table(self, name: str) -> Table:
@@ -40,7 +45,10 @@ class Catalog:
             if if_exists:
                 return False
             raise CatalogError(f"unknown table {name!r}")
+        self._tables[key].journal = None
         del self._tables[key]
+        if self.journal is not None:
+            self.journal.log_drop_table(key)
         return True
 
     def table_names(self) -> List[str]:
@@ -53,6 +61,8 @@ class Catalog:
         if key in self._arrays or key in self._tables:
             raise CatalogError(f"relation {key!r} already exists")
         self._arrays[key] = array
+        if self.journal is not None:
+            self.journal.log_create_array(array)
         return array
 
     def array(self, name: str) -> "SciArray":  # noqa: F821
@@ -70,7 +80,10 @@ class Catalog:
             if if_exists:
                 return False
             raise CatalogError(f"unknown array {name!r}")
+        self._arrays[key].journal = None
         del self._arrays[key]
+        if self.journal is not None:
+            self.journal.log_drop_array(key)
         return True
 
     def array_names(self) -> List[str]:

@@ -106,6 +106,9 @@ class Database:
     def __init__(self):
         self.catalog = Catalog()
         self._executor = Executor(self.catalog)
+        # Set by repro.mdb.storage.StorageEngine when this instance is
+        # durably backed; None for plain in-memory databases.
+        self.engine = None
         # Prepared-plan cache: SQL text → parsed statement.  Statement
         # ASTs are immutable, so repeated query texts (the dominant shape
         # of catalog-serving workloads) skip the lexer and parser.
@@ -150,6 +153,15 @@ class Database:
         with self.lock:
             table = self.catalog.table(table_name)
             return table.insert_rows(rows)
+
+    def insert_columns(
+        self, table_name: str, columns: Dict[str, Sequence[Any]]
+    ) -> int:
+        """Columnar bulk insert (one sequence per column) — the
+        batched-write path used for 100k-scale catalog ingest."""
+        with self.lock:
+            table = self.catalog.table(table_name)
+            return table.insert_columns(columns)
 
     # -- persistence --------------------------------------------------------
 

@@ -7,6 +7,7 @@ and performs the conversion lazily — just in time, when a query first
 touches a file — caching the result for later queries.
 """
 
+from repro.mdb.datavault.broker import SceneCatalog
 from repro.mdb.datavault.vault import (
     DataVault,
     FormatHandler,
@@ -14,4 +15,10 @@ from repro.mdb.datavault.vault import (
     VaultError,
 )
 
-__all__ = ["DataVault", "FormatHandler", "VaultEntry", "VaultError"]
+__all__ = [
+    "DataVault",
+    "FormatHandler",
+    "SceneCatalog",
+    "VaultEntry",
+    "VaultError",
+]

@@ -190,15 +190,19 @@ class DataVault:
             faults.maybe_fail("vault.fetch")
             return entry.handler.ingest(path)
 
-        entry.cached = self.breaker.call(
+        array = self.breaker.call(
             lambda: resilience.call_with_retry(
                 read_payload, self.retry, label="vault.fetch"
             )
         )
+        entry.cached = array
         entry.ingest_count += 1
         self.stats["ingests"] += 1
+        # Return the local reference: with cache_limit=0 the freshly
+        # ingested entry is itself evicted immediately, and
+        # ``entry.cached`` would already be None here.
         self._enforce_cache_limit(keep=entry)
-        return entry.cached
+        return array
 
     def ingest_all(self) -> int:
         """Eagerly ingest every cataloged file (the ETL strawman that the
@@ -220,20 +224,37 @@ class DataVault:
         self.stats["evictions"] += 1
         return True
 
-    def _enforce_cache_limit(self, keep: VaultEntry) -> None:
+    def _enforce_cache_limit(
+        self, keep: Optional[VaultEntry] = None
+    ) -> None:
+        """Evict least-recently-used arrays until within ``cache_limit``.
+
+        All evictions go through :meth:`evict` (single accounting path).
+        Never-accessed entries (``last_access=None``) evict before any
+        accessed entry, ties break deterministically by path.  ``keep``
+        (the just-fetched entry) is spared as long as the limit can be
+        met without it — with ``cache_limit=0`` it too is evicted, so
+        ``cached_count`` always ends at or below the limit.
+        """
         if self.cache_limit is None:
             return
         cached = [e for e in self._entries.values() if e.is_cached]
         if len(cached) <= self.cache_limit:
             return
-        cached.sort(key=lambda e: e.last_access or 0.0)
-        for entry in cached:
-            if entry is keep:
-                continue
-            entry.cached = None
-            self.stats["evictions"] += 1
-            if sum(e.is_cached for e in self._entries.values()) <= self.cache_limit:
+        cached.sort(
+            key=lambda e: (
+                e.last_access is not None,
+                e.last_access if e.last_access is not None else 0.0,
+                e.path,
+            )
+        )
+        victims = [e for e in cached if e is not keep]
+        if keep is not None and keep.is_cached:
+            victims.append(keep)
+        for entry in victims:
+            if self.cached_count <= self.cache_limit:
                 return
+            self.evict(entry.path)
 
     @property
     def cached_count(self) -> int:

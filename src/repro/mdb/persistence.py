@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from datetime import datetime
 from typing import Any, Dict, List
 
@@ -35,8 +36,12 @@ class PersistenceError(MDBError):
     """Raised for unreadable or incompatible dump directories."""
 
 
-def _encode_object_column(values, valid) -> np.ndarray:
-    """Object column → JSON-string array (None for NULLs)."""
+def encode_object_column(values, valid) -> np.ndarray:
+    """Object column → JSON-string array ("" for NULLs).
+
+    Shared with the snapshot/WAL storage layer, which persists object
+    columns through exactly this encoding.
+    """
     out = np.empty(len(values), dtype=object)
     for i, (value, ok) in enumerate(zip(values, valid)):
         if not ok:
@@ -49,16 +54,53 @@ def _encode_object_column(values, valid) -> np.ndarray:
     return out.astype(str)
 
 
-def _decode_object_cell(text: str, ctype: ColumnType):
+def decode_object_cell(text: str, ctype: ColumnType):
     doc = json.loads(text)
     if isinstance(doc, dict) and "t" in doc:
         return datetime.fromisoformat(doc["t"])
     return ctype.coerce(doc)
 
 
+# Backwards-compatible aliases (pre-storage-engine private names).
+_encode_object_column = encode_object_column
+_decode_object_cell = decode_object_cell
+
+
 def dump_database(db: Database, directory: str) -> None:
-    """Write the whole database (tables + arrays) under ``directory``."""
-    os.makedirs(directory, exist_ok=True)
+    """Write the whole database (tables + arrays) under ``directory``.
+
+    The dump is **atomic and self-cleaning**: everything is written into
+    a temporary sibling directory which then replaces ``directory`` in
+    one rename.  A crash mid-dump leaves the previous dump untouched,
+    and re-dumping after a ``DROP`` cannot leave stale
+    ``table_*.npz``/``array_*.npz`` files behind (loading a reused
+    directory used to resurrect mixed old/new state).
+    """
+    directory = os.path.abspath(directory)
+    parent = os.path.dirname(directory)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp_dir = directory + ".dump-tmp"
+    if os.path.exists(tmp_dir):
+        shutil.rmtree(tmp_dir)
+    os.makedirs(tmp_dir)
+    try:
+        _write_dump(db, tmp_dir)
+        if os.path.exists(directory):
+            backup = directory + ".dump-old"
+            if os.path.exists(backup):
+                shutil.rmtree(backup)
+            os.rename(directory, backup)
+            os.rename(tmp_dir, directory)
+            shutil.rmtree(backup)
+        else:
+            os.rename(tmp_dir, directory)
+    finally:
+        if os.path.exists(tmp_dir):
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+
+
+def _write_dump(db: Database, directory: str) -> None:
     manifest: Dict[str, Any] = {
         "format_version": _FORMAT_VERSION,
         "tables": [],
@@ -82,7 +124,7 @@ def dump_database(db: Database, directory: str) -> None:
             data = bat.values
             valid = bat.validity
             if data.dtype == np.dtype(object):
-                payload[f"data_{column.name}"] = _encode_object_column(
+                payload[f"data_{column.name}"] = encode_object_column(
                     data, valid
                 )
             else:
@@ -116,6 +158,8 @@ def dump_database(db: Database, directory: str) -> None:
         np.savez(os.path.join(directory, f"array_{name}.npz"), **payload)
     with open(os.path.join(directory, "manifest.json"), "w") as f:
         json.dump(manifest, f, indent=2)
+        f.flush()
+        os.fsync(f.fileno())
 
 
 def load_database(directory: str) -> Database:
@@ -152,7 +196,7 @@ def load_database(directory: str) -> Database:
                 if not valid[i]:
                     continue
                 if column.ctype.dtype == np.dtype(object):
-                    rows[i][j] = _decode_object_cell(
+                    rows[i][j] = decode_object_cell(
                         str(data[i]), column.ctype
                     )
                 else:

@@ -96,6 +96,11 @@ class SciArray:
         if len(set(names)) != len(names):
             raise CatalogError(f"duplicate column names in array {name!r}")
         defaults = list(defaults or [None] * len(self.attributes))
+        # Durability hook: a StorageEngine sets ``journal`` and every
+        # plane mutation reports itself via _plane_changed after the
+        # new plane is live (whole-plane journaling — SciQL writes are
+        # write-then-swap, so the plane is the natural redo unit).
+        self.journal = None
         self._values: Dict[str, np.ndarray] = {}
         # Lazily materialised flattened dimension-coordinate columns
         # (name -> read-only int64 array of cell_count coordinates).
@@ -199,6 +204,17 @@ class SciArray:
         self._dim_cols[name] = col
         return col
 
+    def _plane_changed(self, attr: str) -> None:
+        """Journal one attribute plane after its new contents are live."""
+        if self.journal is not None:
+            self.journal.log_plane(self.name, attr)
+
+    def store_plane(self, attr: str, plane: np.ndarray) -> None:
+        """The single swap point for attribute planes: install ``plane``
+        as the live contents of ``attr`` and journal the change."""
+        self._values[attr.lower()] = plane
+        self._plane_changed(attr.lower())
+
     def add_attribute(
         self, name: str, ctype: ColumnType, default: Any = None
     ) -> "SciArray":
@@ -215,6 +231,8 @@ class SciArray:
             None if ctype.dtype == np.dtype(object) else ctype.dtype.type(0)
         )
         self._values[name] = np.full(self.shape, fill, dtype=ctype.dtype)
+        if self.journal is not None:
+            self.journal.log_add_attribute(self.name, name, ctype.name)
         return self
 
     def set_attribute(self, name: str, values: np.ndarray) -> None:
@@ -225,7 +243,7 @@ class SciArray:
                 f"shape mismatch: array is {self.shape}, got {values.shape}"
             )
         ctype = self.attribute_type(name)
-        self._values[name.lower()] = values.astype(ctype.dtype, copy=True)
+        self.store_plane(name, values.astype(ctype.dtype, copy=True))
 
     # -- cell access ------------------------------------------------------------
 
@@ -249,6 +267,7 @@ class SciArray:
             d.index_of(c) for d, c in zip(self.dimensions, coords)
         )
         self._values[attr_name][index] = ctype.coerce(value)
+        self._plane_changed(attr_name)
 
     # -- array-native operators (the SciQL idioms) ---------------------------------
 
@@ -380,13 +399,14 @@ class SciArray:
                 "map function changed the array shape "
                 f"({self.shape} -> {result.shape})"
             )
-        self._values[target] = result.astype(ctype.dtype)
+        self.store_plane(target, result.astype(ctype.dtype))
         return self
 
     def fill(self, value: Any, attr: Optional[str] = None) -> "SciArray":
         name = attr.lower() if attr else self.attributes[0][0]
         ctype = self.attribute_type(name)
         self._values[name][...] = ctype.coerce(value)
+        self._plane_changed(name)
         return self
 
     def tile_aggregate(
@@ -704,7 +724,7 @@ def _update_compiled(
                     plane[positions] = values
         staged.append((attr_name.lower(), plane.reshape(current.shape)))
     for key, plane in staged:
-        array._values[key] = plane
+        array.store_plane(key, plane)
     return matched
 
 
@@ -743,5 +763,5 @@ def _update_interpreted(array: SciArray, stmt: ast.Update) -> int:
             plane[selected] = data[selected].astype(plane.dtype)
         staged.append((attr_name.lower(), plane.reshape(current.shape)))
     for key, plane in staged:
-        array._values[key] = plane
+        array.store_plane(key, plane)
     return int(mask.sum())

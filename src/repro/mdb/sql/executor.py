@@ -492,16 +492,28 @@ class Executor:
                     data, valid = evaluator.eval(expr)
                     row.append(data[0] if valid[0] else None)
                 rows.append(row)
-        count = 0
+        columns = [c.lower() for c in columns]
+        unknown = set(columns) - set(table.column_names)
+        if unknown:
+            raise CatalogError(
+                f"unknown columns {sorted(unknown)} for table "
+                f"{table.name!r}"
+            )
+        full_rows: List[List[Any]] = []
         for row in rows:
             if len(row) != len(columns):
                 raise ExecutionError(
                     f"INSERT expects {len(columns)} values, got {len(row)}"
                 )
             mapping = dict(zip(columns, row))
-            table.insert_mapping(mapping)
-            count += 1
-        return Result.affected(count)
+            full_rows.append(
+                [mapping.get(c.name) for c in table.columns]
+            )
+        # One insert_rows call = one journal record for the whole
+        # statement: a multi-row INSERT is applied (and recovered)
+        # atomically.
+        table.insert_rows(full_rows)
+        return Result.affected(len(full_rows))
 
     def _update(self, stmt: ast.Update):
         from repro.mdb.database import Result

@@ -46,6 +46,11 @@ class Table:
         self._bats: Dict[str, BAT] = {
             c.name: BAT(c.ctype) for c in columns
         }
+        # Durability hook: when a StorageEngine owns this table it sets
+        # ``journal`` and every mutation below reports itself as exactly
+        # one logical record *after* applying in memory (apply-then-log:
+        # validation errors never reach the WAL).
+        self.journal = None
 
     # -- schema -----------------------------------------------------------
 
@@ -72,8 +77,7 @@ class Table:
 
     # -- mutation ------------------------------------------------------------
 
-    def insert_row(self, values: Sequence[Any]) -> None:
-        """Append one full-width row."""
+    def _append_row(self, values: Sequence[Any]) -> None:
         if len(values) != len(self.columns):
             raise ExecutionError(
                 f"table {self.name!r} has {len(self.columns)} columns, "
@@ -82,12 +86,75 @@ class Table:
         for col, value in zip(self.columns, values):
             self._bats[col.name].append(value)
 
+    def insert_row(self, values: Sequence[Any]) -> None:
+        """Append one full-width row."""
+        self._append_row(values)
+        if self.journal is not None:
+            self.journal.log_insert(self.name, [list(values)])
+
     def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
-        count = 0
+        """Append many rows — journaled as one logical record."""
+        rows = [list(r) for r in rows]
         for row in rows:
-            self.insert_row(row)
-            count += 1
-        return count
+            self._append_row(row)
+        if rows and self.journal is not None:
+            self.journal.log_insert(self.name, rows)
+        return len(rows)
+
+    def insert_columns(self, columns: Dict[str, Sequence[Any]]) -> int:
+        """Columnar bulk append: one equal-length sequence per column.
+
+        Values are coerced column-at-a-time into staged ``(data, valid)``
+        arrays, appended vectorised (:meth:`BAT.extend_arrays`) and
+        journaled as one binary segment — the batched-metadata ingest
+        path of the catalog broker.  All columns must be present.
+        """
+        missing = set(self.column_names) - set(columns)
+        extra = set(columns) - set(self.column_names)
+        if missing or extra:
+            raise CatalogError(
+                f"insert_columns on {self.name!r}: "
+                f"missing {sorted(missing)}, unknown {sorted(extra)}"
+            )
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ExecutionError(
+                f"insert_columns on {self.name!r}: ragged column "
+                f"lengths {sorted(lengths)}"
+            )
+        n = lengths.pop() if lengths else 0
+        if n == 0:
+            return 0
+        prepared: Dict[str, Any] = {}
+        for col in self.columns:
+            values = columns[col.name]
+            dtype = col.ctype.dtype
+            if (
+                isinstance(values, np.ndarray)
+                and dtype != np.dtype(object)
+                and values.dtype == dtype
+            ):
+                data = values
+                valid = np.ones(n, dtype=bool)
+            else:
+                data = col.ctype.empty_array(n)
+                valid = np.empty(n, dtype=bool)
+                coerce = col.ctype.coerce
+                filler = None if dtype == np.dtype(object) else 0
+                for i, raw in enumerate(values):
+                    value = coerce(raw)
+                    if value is None:
+                        valid[i] = False
+                        data[i] = filler
+                    else:
+                        valid[i] = True
+                        data[i] = value
+            prepared[col.name] = (data, valid)
+        for name, (data, valid) in prepared.items():
+            self._bats[name].extend_arrays(data, valid)
+        if self.journal is not None:
+            self.journal.log_insert_columns(self.name, prepared, n)
+        return n
 
     def insert_mapping(self, mapping: Dict[str, Any]) -> None:
         """Append a row given as a column→value dict; missing cols → NULL."""
@@ -109,6 +176,8 @@ class Table:
         keep_positions = np.nonzero(keep)[0]
         for name, bat in self._bats.items():
             self._bats[name] = bat.take(keep_positions)
+        if self.journal is not None:
+            self.journal.log_delete(self.name, positions)
         return int(len(positions))
 
     def update_positions(
@@ -119,10 +188,14 @@ class Table:
             bat = self.column(col_name)
             for pos, value in zip(positions, values):
                 bat.set(int(pos), value)
+        if self.journal is not None and len(positions):
+            self.journal.log_update(self.name, positions, assignments)
         return len(positions)
 
     def truncate(self) -> None:
         self._bats = {c.name: BAT(c.ctype) for c in self.columns}
+        if self.journal is not None:
+            self.journal.log_truncate(self.name)
 
     # -- access --------------------------------------------------------------
 

@@ -103,6 +103,18 @@ class StrabonStore:
             self.backend.insert_rows("terms", [(term_id, term.n3())])
         return term_id
 
+    def set_version_floor(self, floor: int) -> None:
+        """Raise :attr:`version` to at least ``floor``.
+
+        Used by durable deployments after a restart: the floor encodes
+        the persisted store *generation*, so continuation tokens minted
+        against any earlier process (which embed the old version) can
+        never validate against the reloaded store — even though the
+        in-memory counter itself restarts from zero.
+        """
+        if floor > self.version:
+            self.version = int(floor)
+
     def add(self, triple: Triple) -> bool:
         """Insert a triple; returns True when new."""
         if not self._graph.add(triple):

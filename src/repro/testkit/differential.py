@@ -38,9 +38,11 @@ DOMAINS = (
     "spatial",
     "stsparql",
     "sciql",
+    "storage",
     "spatial",
     "stsparql",
     "sciql",
+    "storage",
     "chain",
 )
 
@@ -599,11 +601,111 @@ def _check_chain(spec: Dict[str, Any]) -> Optional[str]:
     return None
 
 
+# -- storage: durable engine vs in-memory oracle -------------------------------
+
+_STORAGE_SCHEMA = "(id INT, name STRING, v DOUBLE)"
+
+
+def storage_apply(db: Database, op: Dict[str, Any]) -> None:
+    """Apply one storage-schedule op to a database (oracle or durable).
+
+    ``reload`` and ``checkpoint`` are engine-level and handled by the
+    caller; everything else is plain DML/DDL so the in-memory oracle and
+    the journaled database execute byte-identical logical operations.
+    """
+    kind = op["op"]
+    table = op.get("table")
+    if kind == "create":
+        db.execute(f"CREATE TABLE {table} {_STORAGE_SCHEMA}")
+    elif kind == "drop":
+        db.execute(f"DROP TABLE {table}")
+    elif kind == "insert":
+        db.insert_rows(table, [tuple(r) for r in op["rows"]])
+    elif kind == "bulk":
+        base, count = op["base"], op["count"]
+        db.insert_columns(
+            table,
+            {
+                "id": list(range(base, base + count)),
+                "name": [f"b{i}" for i in range(base, base + count)],
+                "v": [
+                    (i % 64) * 0.25 for i in range(base, base + count)
+                ],
+            },
+        )
+    elif kind == "update":
+        db.execute(
+            f"UPDATE {op['table']} SET v = v + {op['add']} "
+            f"WHERE id > {op['bound']}"
+        )
+    elif kind == "delete":
+        db.execute(
+            f"DELETE FROM {op['table']} WHERE id < {op['bound']}"
+        )
+    elif kind not in ("reload", "checkpoint"):
+        raise ValueError(f"unknown storage op {kind!r}")
+
+
+def _check_storage(spec: Dict[str, Any]) -> Optional[str]:
+    from repro import faults
+    from repro.mdb.storage import open_database
+
+    oracle = Database()
+    with tempfile.TemporaryDirectory(prefix="repro-testkit-") as tmp:
+        data_dir = os.path.join(tmp, "data")
+        engine = open_database(data_dir)
+        plan = faults.parse_spec(spec.get("faults"))
+        previous = faults.install(plan) if plan else None
+        try:
+            for k, op in enumerate(spec["program"]):
+                if op["op"] == "reload":
+                    engine.close()
+                    engine = open_database(data_dir)
+                elif op["op"] == "checkpoint":
+                    engine.checkpoint()
+                else:
+                    storage_apply(oracle, op)
+                    storage_apply(engine.db, op)
+                if op["op"] == "reload":
+                    diff = _storage_diff(oracle, engine.db)
+                    if diff:
+                        return f"after reload at op {k}: {diff}"
+        finally:
+            if plan:
+                faults.install(previous)
+            engine.close()
+        engine = open_database(data_dir)
+        diff = _storage_diff(oracle, engine.db)
+        engine.close()
+        if diff:
+            return f"after final recovery: {diff}"
+    return None
+
+
+def _storage_diff(oracle: Database, durable: Database) -> Optional[str]:
+    a = oracles.database_state(oracle)
+    b = oracles.database_state(durable)
+    if a == b:
+        return None
+    if sorted(a) != sorted(b):
+        return f"table sets differ: {sorted(a)} != {sorted(b)}"
+    for name in sorted(a):
+        if a[name]["schema"] != b[name]["schema"]:
+            return f"schema of {name!r} differs"
+        if a[name]["rows"] != b[name]["rows"]:
+            diff = oracles.first_difference(
+                a[name]["rows"], b[name]["rows"]
+            )
+            return f"rows of {name!r} differ: {diff}"
+    return "states differ"
+
+
 _CHECKS = {
     "spatial": _check_spatial,
     "stsparql": _check_stsparql,
     "sciql": _check_sciql,
     "chain": _check_chain,
+    "storage": _check_storage,
 }
 
 

@@ -31,7 +31,7 @@ from repro.geometry import (
 )
 
 #: Domains understood by :func:`gen_spec`.
-SPEC_DOMAINS = ("spatial", "stsparql", "sciql", "chain")
+SPEC_DOMAINS = ("spatial", "stsparql", "sciql", "chain", "storage")
 
 _SEED_MIX = 0x9E3779B97F4A7C15
 
@@ -440,11 +440,114 @@ def gen_chain_spec(seed: int) -> Dict[str, Any]:
     }
 
 
+# -- storage (durable engine vs in-memory oracle) ------------------------------
+
+#: Table names a storage schedule may create/drop.
+STORAGE_TABLES = ("t_a", "t_b", "t_c")
+
+
+def gen_storage_spec(seed: int) -> Dict[str, Any]:
+    """A random mutation schedule over a few fixed-schema tables.
+
+    The same schedule is applied to an in-memory oracle database and to
+    a durable engine (reopened at the scheduled ``reload`` points); the
+    check demands identical relational state at every comparison.
+    ``bulk`` counts straddle the segment threshold so both the per-row
+    WAL path and the binary segment path are exercised; float payloads
+    are multiples of 0.25 so states compare with ``==``.
+    """
+    rng = random.Random(("storage", seed).__repr__())
+    live: List[str] = []
+    next_id: Dict[str, int] = {}
+    program: List[Dict[str, Any]] = []
+    for _ in range(rng.randint(5, 14)):
+        ops = []
+        if len(live) < len(STORAGE_TABLES):
+            ops += ["create"] * 3
+        if live:
+            ops += ["insert"] * 4 + ["bulk", "update", "delete"]
+            ops += ["reload", "checkpoint"]
+            if len(live) > 1:
+                ops.append("drop")
+        kind = rng.choice(ops)
+        if kind == "create":
+            name = next(
+                t for t in STORAGE_TABLES if t not in live
+            )
+            live.append(name)
+            next_id.setdefault(name, 0)
+            program.append({"op": "create", "table": name})
+            continue
+        if kind in ("reload", "checkpoint"):
+            program.append({"op": kind})
+            continue
+        table = rng.choice(live)
+        if kind == "drop":
+            live.remove(table)
+            program.append({"op": "drop", "table": table})
+        elif kind == "insert":
+            rows = []
+            for _ in range(rng.randint(1, 5)):
+                i = next_id[table]
+                next_id[table] = i + 1
+                rows.append(
+                    [
+                        i,
+                        None if rng.random() < 0.15 else f"s{i}",
+                        None
+                        if rng.random() < 0.15
+                        else rng.randint(-16, 16) * 0.25,
+                    ]
+                )
+            program.append(
+                {"op": "insert", "table": table, "rows": rows}
+            )
+        elif kind == "bulk":
+            count = rng.choice([200, 256, 300])
+            base = next_id[table]
+            next_id[table] = base + count
+            program.append(
+                {
+                    "op": "bulk",
+                    "table": table,
+                    "base": base,
+                    "count": count,
+                }
+            )
+        elif kind == "update":
+            program.append(
+                {
+                    "op": "update",
+                    "table": table,
+                    "add": rng.randint(-4, 4) * 0.25,
+                    "bound": rng.randint(0, 64),
+                }
+            )
+        else:  # delete
+            program.append(
+                {
+                    "op": "delete",
+                    "table": table,
+                    "bound": rng.randint(0, 64),
+                }
+            )
+    return {
+        "program": program,
+        "faults": (
+            f"storage.*:p={rng.choice([0.02, 0.05])};"
+            f"seed={rng.randint(0, 99_999)}"
+            if rng.random() < 0.5
+            else None
+        ),
+    }
+
+
 _GENERATORS = {
     "spatial": gen_spatial_spec,
     "stsparql": gen_stsparql_spec,
     "sciql": gen_sciql_spec,
     "chain": gen_chain_spec,
+    "storage": gen_storage_spec,
 }
 
 

@@ -303,3 +303,25 @@ def first_difference(a: Sequence[Any], b: Sequence[Any]) -> Optional[str]:
         if x != y:
             return f"index {i}: {x!r} != {y!r}"
     return None
+
+
+# -- storage state -------------------------------------------------------------
+
+
+def database_state(db: Any) -> Dict[str, Any]:
+    """A canonical, comparable snapshot of a database's relational state.
+
+    Schema (column names and types) plus the full row multiset of every
+    table, rendered order-independently — two databases are
+    storage-equivalent iff their ``database_state`` values are equal.
+    """
+    state: Dict[str, Any] = {}
+    for name in sorted(db.tables()):
+        table = db.table(name)
+        state[name] = {
+            "schema": [
+                (c.name, c.ctype.name) for c in table.columns
+            ],
+            "rows": multiset(db.query(f"SELECT * FROM {name}")),
+        }
+    return state

@@ -207,11 +207,43 @@ def _chain_candidates(
             yield _with(spec, faults=";".join(kept))
 
 
+def _storage_candidates(
+    spec: Dict[str, Any],
+) -> Iterator[Dict[str, Any]]:
+    program = spec["program"]
+    for i, op in enumerate(program):
+        if op["op"] == "create":
+            # A create can only go together with every op touching its
+            # table, otherwise the schedule dereferences a missing table.
+            table = op["table"]
+            kept = [
+                o
+                for j, o in enumerate(program)
+                if j != i and o.get("table") != table
+            ]
+        else:
+            kept = program[:i] + program[i + 1:]
+        if kept:
+            yield _with(spec, program=kept)
+    for i, op in enumerate(program):
+        if op["op"] == "insert" and len(op["rows"]) > 1:
+            shrunk = [dict(o) for o in program]
+            shrunk[i]["rows"] = op["rows"][:1]
+            yield _with(spec, program=shrunk)
+        elif op["op"] == "bulk" and op["count"] > 1:
+            shrunk = [dict(o) for o in program]
+            shrunk[i]["count"] = max(1, op["count"] // 2)
+            yield _with(spec, program=shrunk)
+    if spec.get("faults"):
+        yield _with(spec, faults=None)
+
+
 _CANDIDATES = {
     "spatial": _spatial_candidates,
     "stsparql": _stsparql_candidates,
     "sciql": _sciql_candidates,
     "chain": _chain_candidates,
+    "storage": _storage_candidates,
 }
 
 _MAX_STEPS = 500

@@ -20,6 +20,40 @@ from repro.rdf.term import RDFTerm
 from repro.strabon import StrabonStore, geometry_literal
 from repro.strabon.stsparql.results import SelectResult
 
+_STRING_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+
+def escape_string(value: str) -> str:
+    """Escape a user string for interpolation into an stSPARQL literal.
+
+    A mission or town name containing ``"`` (or a backslash/newline)
+    would otherwise terminate the literal early and turn the remainder
+    of the name into query syntax — classic injection.
+    """
+    return "".join(_STRING_ESCAPES.get(c, c) for c in str(value))
+
+
+def escape_iri(iri: str) -> str:
+    """Percent-encode the characters stSPARQL forbids inside ``<...>``.
+
+    ``<``, ``>``, ``"``, ``{``, ``}``, ``|``, ``^``, backtick, backslash
+    and control/space characters cannot appear raw in an IRI ref; a
+    concept IRI containing ``>`` would otherwise close the ref early and
+    inject the tail into the query."""
+    out = []
+    for c in str(iri):
+        if c in '<>"{}|^`\\' or ord(c) <= 0x20:
+            out.append(f"%{ord(c):02X}")
+        else:
+            out.append(c)
+    return "".join(out)
+
 
 class CatalogQuery:
     """A composable product-discovery query."""
@@ -87,13 +121,15 @@ class CatalogQuery:
         filters: List[str] = []
         if self._mission:
             patterns.append(
-                f'?product noa:hasMission "{self._mission}" .'
+                f'?product noa:hasMission "{escape_string(self._mission)}" .'
             )
         if self._sensor:
-            patterns.append(f'?product noa:hasSensor "{self._sensor}" .')
+            patterns.append(
+                f'?product noa:hasSensor "{escape_string(self._sensor)}" .'
+            )
         if self._level is not None:
             patterns.append(
-                f"?product noa:hasProcessingLevel {self._level} ."
+                f"?product noa:hasProcessingLevel {int(self._level)} ."
             )
         if self._after or self._before:
             patterns.append("?product noa:hasAcquisitionTime ?acq .")
@@ -123,22 +159,26 @@ class CatalogQuery:
                 "noa:hasGeometry ?cgeom ."
             )
             if self._concept:
-                patterns.append(f"?content a <{self._concept}> .")
+                patterns.append(
+                    f"?content a <{escape_iri(self._concept)}> ."
+                )
         if self._near_site_deg is not None:
             patterns.append(
                 f"?site a <{DBP}ArchaeologicalSite> ; "
                 f"<{DBP}hasGeometry> ?sgeom ."
             )
             filters.append(
-                f"strdf:distance(?cgeom, ?sgeom) < {self._near_site_deg}"
+                "strdf:distance(?cgeom, ?sgeom) < "
+                f"{float(self._near_site_deg)}"
             )
         if self._near_town is not None:
             patterns.append(
-                f'?town <{GN}name> "{self._near_town}" ; '
+                f'?town <{GN}name> "{escape_string(self._near_town)}" ; '
                 f"<{GN}hasGeometry> ?tgeom ."
             )
             filters.append(
-                f"strdf:distance(?cgeom, ?tgeom) < {self._near_town_deg}"
+                "strdf:distance(?cgeom, ?tgeom) < "
+                f"{float(self._near_town_deg)}"
             )
         body = "\n  ".join(patterns)
         for f in filters:
@@ -170,8 +210,22 @@ class ProductCatalog:
         return result
 
     def count_products(self) -> int:
+        """The number of cataloged products (0 on an empty store).
+
+        Raises :class:`TypeError` if the store returns a non-SELECT
+        result (a misconfigured store wrapper) instead of crashing with
+        ``IndexError``/``AttributeError`` deep in result indexing.
+        """
         result = self.store.query(
             NOA_PREFIXES
             + "SELECT (count(*) AS ?n) WHERE { ?p a noa:Product }"
         )
-        return int(result.values()[0][0])
+        if not isinstance(result, SelectResult):
+            raise TypeError(
+                "count_products expects a SELECT result, got "
+                f"{type(result).__name__}"
+            )
+        rows = result.values()
+        if not rows or not rows[0] or rows[0][0] is None:
+            return 0
+        return int(rows[0][0])

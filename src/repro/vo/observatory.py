@@ -14,6 +14,7 @@ One object that assembles Figure 2 end to end:
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
 from repro.eo.linkeddata import GreeceLikeWorld
@@ -42,10 +43,37 @@ class VirtualEarthObservatory:
         self,
         world: Optional[GreeceLikeWorld] = None,
         load_linked_data: bool = True,
+        data_dir: Optional[str] = None,
     ):
+        """``data_dir`` (or ``REPRO_DATA_DIR``) makes the database tier
+        durable: the relational/SciQL state is recovered from and
+        journaled to that directory, and the Strabon store's version
+        counter is floored by a persisted *generation* number so
+        continuation tokens minted before a restart can never resume
+        against the reloaded store."""
         self.world = world or GreeceLikeWorld()
-        self.db = Database()
+        if data_dir is None:
+            data_dir = os.environ.get("REPRO_DATA_DIR")
+        self.engine = None
+        self.generation = 0
+        if data_dir:
+            from repro.mdb.storage import StorageEngine
+
+            self.engine = StorageEngine(data_dir).open()
+            self.db = self.engine.db
+            self.generation = int(
+                self.engine.get_meta("generation", 0)
+            ) + 1
+            self.engine.set_meta("generation", self.generation)
+        else:
+            self.db = Database()
         self.store = StrabonStore()
+        if self.engine is not None:
+            # Tokens embed store.version; a fresh process would restart
+            # the counter at 0 and stale tokens could validate again.
+            # The persisted generation makes every restart's version
+            # range disjoint from all earlier ones.
+            self.store.set_version_floor(self.generation << 32)
         self.vault = DataVault("eo-archive")
         self.ingestor = Ingestor(self.db, self.store, self.vault)
         self.catalog = ProductCatalog(self.store)
@@ -105,6 +133,28 @@ class VirtualEarthObservatory:
         return score_hotspots(
             [h.geometry for h in result.hotspots], truth
         )
+
+    # -- durability -----------------------------------------------------------
+
+    def scene_catalog(self):
+        """The TerraServer-style bulk scene catalog over this database
+        (created on first use; durable when the observatory is)."""
+        from repro.mdb.datavault.broker import SceneCatalog
+
+        if not hasattr(self, "_scene_catalog"):
+            self._scene_catalog = SceneCatalog(self.db)
+        return self._scene_catalog
+
+    def checkpoint(self) -> Optional[str]:
+        """Fold the WAL into a snapshot (durable deployments only)."""
+        if self.engine is None:
+            return None
+        return self.engine.checkpoint()
+
+    def close(self) -> None:
+        """Release the storage engine (no-op when in-memory)."""
+        if self.engine is not None:
+            self.engine.close()
 
     # -- catalog access -------------------------------------------------------------
 

@@ -198,3 +198,55 @@ class TestLazyIngestion:
         assert vault.stats["files_cataloged"] == 5
         assert vault.stats["ingests"] == 1
         assert vault.stats["cache_hits"] == 1
+
+
+class TestCacheLimitEdgeCases:
+    def test_zero_cache_limit_still_returns_arrays(self, archive):
+        """Regression: with cache_limit=0 the fetched entry is evicted
+        inside the limit enforcement; fetch must still return the array
+        (it used to return the already-cleared ``entry.cached``)."""
+        vault = DataVault("toy", cache_limit=0)
+        vault.register_format(toy_format([]))
+        vault.attach_directory(str(archive))
+        path = str(archive / "scene_0.grid")
+        array = vault.fetch(path)
+        assert array is not None
+        assert array.attribute("v")[0][0] == 0.0
+        assert vault.cached_count == 0
+        # Every fetch re-ingests, but always yields a usable array.
+        assert vault.fetch(path) is not None
+        assert vault.stats["ingests"] == 2
+
+    def test_evictions_counted_once_per_eviction(self, archive):
+        """Regression: limit enforcement used to clear ``entry.cached``
+        directly, bypassing :meth:`evict` and its accounting."""
+        log = []
+        vault = DataVault("toy", cache_limit=1)
+        vault.register_format(toy_format(log))
+        vault.attach_directory(str(archive))
+        for i in range(4):
+            vault.fetch(str(archive / f"scene_{i}.grid"))
+        assert vault.cached_count == 1
+        assert vault.stats["evictions"] == 3
+        assert vault.stats["ingests"] == 4
+
+    def test_never_accessed_entries_evict_first(self, archive):
+        """Entries cached without a recorded access (last_access=None)
+        must sort ahead of any accessed entry instead of raising."""
+        vault = DataVault("toy", cache_limit=2)
+        vault.register_format(toy_format([]))
+        vault.attach_directory(str(archive))
+        recent = str(archive / "scene_0.grid")
+        vault.fetch(recent)
+        # Simulate an entry populated outside fetch (e.g. a preload).
+        stale = vault.entry(str(archive / "scene_1.grid"))
+        stale.cached = vault.fetch(recent)
+        stale.last_access = None
+        vault.fetch(str(archive / "scene_2.grid"))
+        vault.fetch(str(archive / "scene_3.grid"))
+        # The never-accessed preload went first, then the LRU entry.
+        assert not stale.is_cached
+        assert not vault.entry(recent).is_cached
+        assert vault.entry(str(archive / "scene_2.grid")).is_cached
+        assert vault.entry(str(archive / "scene_3.grid")).is_cached
+        assert vault.cached_count == 2

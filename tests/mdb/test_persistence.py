@@ -112,3 +112,51 @@ class TestErrors:
         )
         with pytest.raises(PersistenceError):
             db.dump(str(tmp_path))
+
+
+class TestAtomicDump:
+    def test_redump_removes_stale_relation_files(self, populated, tmp_path):
+        """Seed regression: dump, DROP TABLE, dump again into the same
+        directory — the dropped table's ``table_*.npz`` used to survive
+        and resurrect on load."""
+        target = str(tmp_path / "dump")
+        populated.dump(target)
+        assert (tmp_path / "dump" / "table_products.npz").exists()
+        populated.execute("DROP TABLE products")
+        populated.dump(target)
+        assert not (tmp_path / "dump" / "table_products.npz").exists()
+        restored = load_database(target)
+        assert restored.tables() == []
+        assert restored.arrays() == ["img"]
+
+    def test_failed_dump_preserves_previous_dump(
+        self, populated, tmp_path, monkeypatch
+    ):
+        """A crash mid-dump must leave the previous dump loadable: the
+        new dump is staged in a temp sibling and swapped in atomically."""
+        target = str(tmp_path / "dump")
+        populated.dump(target)
+        populated.execute("INSERT INTO products VALUES "
+                          "(4, 'late', 0.1, NULL, TRUE)")
+
+        import repro.mdb.persistence as persistence
+
+        def boom(db, directory):
+            (tmp_path / "dump.dump-tmp" / "junk").parent.mkdir(
+                parents=True, exist_ok=True
+            )
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence, "_write_dump", boom)
+        with pytest.raises(OSError):
+            populated.dump(target)
+        restored = load_database(target)
+        assert restored.scalar("SELECT count(*) FROM products") == 3
+        # The staging directory was cleaned up.
+        assert not (tmp_path / "dump.dump-tmp").exists()
+
+    def test_no_leftover_backup_dir(self, populated, tmp_path):
+        target = str(tmp_path / "dump")
+        populated.dump(target)
+        populated.dump(target)
+        assert not (tmp_path / "dump.dump-old").exists()

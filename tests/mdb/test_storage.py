@@ -1,0 +1,325 @@
+"""Durable storage engine tests: WAL framing, recovery, crash exactness."""
+
+import io
+import os
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.mdb.bat import BAT
+from repro.mdb.storage import (
+    StorageEngine,
+    StorageError,
+    WriteAheadLog,
+    open_database,
+    resolve_sync_policy,
+)
+from repro.mdb.storage.records import iter_records, pack_record
+from repro.mdb.types import INT
+
+
+class TestRecordFraming:
+    def test_roundtrip(self):
+        frames = [
+            pack_record({"op": "a", "n": 1}),
+            pack_record({"op": "b", "v": [1.5, None, "x"]}),
+        ]
+        handle = io.BytesIO(b"".join(frames))
+        records = [r for _, r in iter_records(handle)]
+        assert records == [
+            {"op": "a", "n": 1},
+            {"op": "b", "v": [1.5, None, "x"]},
+        ]
+
+    def test_torn_tail_is_dropped(self):
+        good = pack_record({"op": "a"})
+        torn = pack_record({"op": "b"})[:-3]
+        handle = io.BytesIO(good + torn)
+        out = list(iter_records(handle))
+        assert [r for _, r in out] == [{"op": "a"}]
+        assert out[-1][0] == len(good)
+
+    def test_corrupt_crc_stops_iteration(self):
+        frame = bytearray(pack_record({"op": "a"}))
+        frame[-1] ^= 0xFF
+        assert list(iter_records(io.BytesIO(bytes(frame)))) == []
+
+    def test_garbage_header_stops_iteration(self):
+        assert list(iter_records(io.BytesIO(b"\xff" * 64))) == []
+
+
+class TestWAL:
+    def test_append_and_replay(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.open_for_append()
+        wal.append({"op": "x", "i": 1})
+        wal.append({"op": "x", "i": 2})
+        wal.close()
+        assert [r["i"] for r in wal.records()] == [1, 2]
+
+    def test_open_truncates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.open_for_append()
+        wal.append({"op": "x"})
+        wal.close()
+        with open(path, "ab") as f:
+            f.write(b"partial-frame-garbage")
+        wal2 = WriteAheadLog(path)
+        valid = wal2.open_for_append()
+        assert os.path.getsize(path) == valid
+        wal2.append({"op": "y"})
+        wal2.close()
+        assert [r["op"] for r in wal2.records()] == ["x", "y"]
+
+    def test_append_on_closed_wal_raises(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        with pytest.raises(StorageError):
+            wal.append({"op": "x"})
+
+    def test_bad_sync_policy_rejected(self):
+        with pytest.raises(StorageError):
+            resolve_sync_policy("sometimes")
+
+    def test_sync_policy_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WAL_SYNC", "batch")
+        assert resolve_sync_policy() == "batch"
+        assert resolve_sync_policy("off") == "off"
+
+
+class TestBATAdoption:
+    def test_adopt_readonly_is_frozen_until_set(self):
+        data = np.arange(4, dtype=np.int64)
+        valid = np.ones(4, dtype=bool)
+        data.flags.writeable = False
+        valid.flags.writeable = False
+        bat = BAT.adopt(INT, data, valid)
+        assert bat.frozen
+        assert bat.to_list() == [0, 1, 2, 3]
+        bat.set(1, 99)
+        assert not bat.frozen
+        assert bat.to_list() == [0, 99, 2, 3]
+        # The borrowed buffer is untouched.
+        assert data[1] == 1
+
+    def test_append_after_adopt_copies(self):
+        data = np.arange(2, dtype=np.int64)
+        data.flags.writeable = False
+        bat = BAT.adopt(INT, data, np.ones(2, dtype=bool))
+        bat.append(7)
+        assert bat.to_list() == [0, 1, 7]
+
+    def test_extend_arrays_bulk(self):
+        bat = BAT(INT)
+        bat.extend_arrays(
+            np.arange(5, dtype=np.int64),
+            np.array([True, True, False, True, True]),
+        )
+        assert bat.to_list() == [0, 1, None, 3, 4]
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    return str(tmp_path / "data")
+
+
+def reopen(data_dir):
+    return open_database(data_dir)
+
+
+class TestEngineRecovery:
+    def test_fresh_open_is_empty(self, data_dir):
+        eng = open_database(data_dir)
+        assert eng.db.tables() == []
+        assert eng.snap_id == 0
+        eng.close()
+
+    def test_requires_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATA_DIR", raising=False)
+        with pytest.raises(StorageError):
+            StorageEngine()
+
+    def test_mutations_survive_reopen(self, data_dir):
+        eng = open_database(data_dir)
+        db = eng.db
+        db.execute(
+            "CREATE TABLE t (id INT, name STRING, w DOUBLE, "
+            "at TIMESTAMP, ok BOOL)"
+        )
+        db.insert_rows(
+            "t",
+            [
+                (1, "a", 0.5, datetime(2007, 8, 25, 12), True),
+                (2, None, None, None, False),
+            ],
+        )
+        db.execute("UPDATE t SET w = 9.5 WHERE id = 1")
+        db.execute("DELETE FROM t WHERE id = 2")
+        before = db.query("SELECT * FROM t ORDER BY id")
+        eng.close()
+        eng2 = reopen(data_dir)
+        assert eng2.db.query("SELECT * FROM t ORDER BY id") == before
+        eng2.close()
+
+    def test_ddl_survives_reopen(self, data_dir):
+        eng = open_database(data_dir)
+        eng.db.execute("CREATE TABLE a (x INT)")
+        eng.db.execute("CREATE TABLE b (y INT)")
+        eng.db.execute("DROP TABLE a")
+        eng.close()
+        eng2 = reopen(data_dir)
+        assert eng2.db.tables() == ["b"]
+        eng2.close()
+
+    def test_arrays_survive_reopen(self, data_dir):
+        eng = open_database(data_dir)
+        eng.db.execute(
+            "CREATE ARRAY img (x INT DIMENSION [0:8], "
+            "y INT DIMENSION [0:8], v DOUBLE DEFAULT 0.0)"
+        )
+        eng.db.execute("UPDATE img SET v = x * 10 + y WHERE x > 2")
+        plane = eng.db.array("img").attribute("v").copy()
+        eng.close()
+        eng2 = reopen(data_dir)
+        assert np.array_equal(eng2.db.array("img").attribute("v"), plane)
+        eng2.close()
+
+    def test_bulk_insert_uses_segment(self, data_dir):
+        eng = open_database(data_dir)
+        eng.db.execute("CREATE TABLE s (id INT, name STRING)")
+        eng.db.insert_columns(
+            "s",
+            {
+                "id": list(range(600)),
+                "name": [f"n{i}" for i in range(600)],
+            },
+        )
+        # DDL + one segment record, not 600 row records.
+        assert eng.wal_records == 2
+        assert len(os.listdir(os.path.join(data_dir, "segments"))) == 1
+        eng.close()
+        eng2 = reopen(data_dir)
+        assert eng2.db.scalar("SELECT count(*) FROM s") == 600
+        assert eng2.db.query("SELECT name FROM s WHERE id = 599") == [
+            ("n599",)
+        ]
+        eng2.close()
+
+    def test_meta_roundtrip(self, data_dir):
+        eng = open_database(data_dir)
+        eng.set_meta("generation", 3)
+        eng.close()
+        eng2 = reopen(data_dir)
+        assert eng2.get_meta("generation") == 3
+        assert eng2.get_meta("absent", 42) == 42
+        eng2.close()
+
+    def test_closed_engine_rejects_writes(self, data_dir):
+        eng = open_database(data_dir)
+        eng.db.execute("CREATE TABLE t (x INT)")
+        eng.close()
+        with pytest.raises(StorageError):
+            eng.db.execute("INSERT INTO t VALUES (1)")
+
+
+class TestCheckpoint:
+    def test_checkpoint_then_recover(self, data_dir):
+        eng = open_database(data_dir)
+        eng.db.execute("CREATE TABLE t (x INT, s STRING)")
+        eng.db.insert_rows("t", [(i, f"v{i}") for i in range(10)])
+        eng.checkpoint()
+        assert eng.snap_id == 1
+        eng.db.execute("INSERT INTO t VALUES (99, 'post')")
+        eng.close()
+        eng2 = reopen(data_dir)
+        assert eng2.snap_id == 1
+        assert eng2.replayed_records == 1  # only the post-snapshot insert
+        assert eng2.db.scalar("SELECT count(*) FROM t") == 11
+        eng2.close()
+
+    def test_checkpoint_prunes_old_files(self, data_dir):
+        eng = open_database(data_dir)
+        eng.db.execute("CREATE TABLE t (x INT)")
+        eng.checkpoint()
+        names = set(os.listdir(data_dir))
+        assert "snap-000001" in names
+        assert "wal-000001.log" in names
+        assert "snap-000000" not in names
+        assert "wal-000000.log" not in names
+        eng.close()
+
+    def test_snapshot_columns_memmapped_and_cow(self, data_dir):
+        eng = open_database(data_dir)
+        eng.db.execute("CREATE TABLE t (x INT)")
+        eng.db.insert_rows("t", [(i,) for i in range(5)])
+        eng.checkpoint()
+        eng.close()
+        eng2 = reopen(data_dir)
+        bat = eng2.db.table("t").column("x")
+        assert bat.frozen  # serving straight from the snapshot memmap
+        eng2.db.execute("UPDATE t SET x = 100 WHERE x = 0")
+        assert not eng2.db.table("t").column("x").frozen
+        eng2.close()
+        eng3 = reopen(data_dir)
+        assert eng3.db.scalar("SELECT max(x) FROM t") == 100
+        eng3.close()
+
+
+class TestCrashExactness:
+    def test_crash_before_wal_write_loses_unacknowledged_row(
+        self, data_dir
+    ):
+        eng = open_database(data_dir)
+        eng.db.execute("CREATE TABLE t (x INT)")
+        eng.db.execute("INSERT INTO t VALUES (1)")
+        with faults.injected("storage.wal:nth=1,hard"):
+            with pytest.raises(faults.PermanentFault):
+                eng.db.execute("INSERT INTO t VALUES (2)")
+        eng.close()
+        eng2 = reopen(data_dir)
+        # The crashed insert was never acknowledged; recovery must not
+        # resurrect it, and must keep everything acknowledged before it.
+        assert eng2.db.query("SELECT x FROM t") == [(1,)]
+        eng2.close()
+
+    def test_crash_during_segment_write(self, data_dir):
+        eng = open_database(data_dir)
+        eng.db.execute("CREATE TABLE t (x INT)")
+        with faults.injected("storage.segment:nth=1,hard"):
+            with pytest.raises(faults.PermanentFault):
+                eng.db.insert_columns("t", {"x": list(range(500))})
+        eng.close()
+        eng2 = reopen(data_dir)
+        assert eng2.db.scalar("SELECT count(*) FROM t") == 0
+        eng2.db.insert_columns("t", {"x": [7]})
+        eng2.close()
+        eng3 = reopen(data_dir)
+        assert eng3.db.query("SELECT x FROM t") == [(7,)]
+        eng3.close()
+
+    def test_crash_during_checkpoint_keeps_previous_state(self, data_dir):
+        eng = open_database(data_dir)
+        eng.db.execute("CREATE TABLE t (x INT)")
+        eng.db.insert_rows("t", [(i,) for i in range(20)])
+        with faults.injected("storage.snapshot:nth=1,hard"):
+            with pytest.raises(faults.PermanentFault):
+                eng.checkpoint()
+        assert eng.snap_id == 0  # checkpoint aborted, old state live
+        eng.close()
+        eng2 = reopen(data_dir)
+        assert eng2.db.scalar("SELECT count(*) FROM t") == 20
+        eng2.close()
+
+    def test_transient_chaos_is_absorbed(self, data_dir):
+        eng = open_database(data_dir)
+        eng.db.execute("CREATE TABLE t (x INT)")
+        with faults.injected("storage.*:p=0.2;seed=7"):
+            for i in range(20):
+                eng.db.execute(f"INSERT INTO t VALUES ({i})")
+            eng.checkpoint()
+        eng.close()
+        eng2 = reopen(data_dir)
+        assert eng2.db.scalar("SELECT count(*) FROM t") == 20
+        eng2.close()

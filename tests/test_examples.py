@@ -15,6 +15,7 @@ EXAMPLES = [
     "semantic_catalog_search.py",
     "sciql_image_processing.py",
     "data_vault_walkthrough.py",
+    "durable_catalog.py",
 ]
 
 

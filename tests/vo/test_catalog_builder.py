@@ -2,9 +2,15 @@
 
 from datetime import datetime
 
+import pytest
 
 from repro.geometry import Polygon
+from repro.ingest.metadata import NOA_PREFIXES
+from repro.strabon import StrabonStore
+from repro.strabon.stsparql.parser import parse_query
+from repro.strabon.stsparql.results import AskResult
 from repro.vo import CatalogQuery
+from repro.vo.catalog import ProductCatalog
 
 
 class TestCompilation:
@@ -97,3 +103,72 @@ class TestCompilation:
         ]
         for q in queries:
             parse_query(q.to_stsparql())
+
+
+class TestEscaping:
+    """Interpolated user input must never become query syntax."""
+
+    def test_quote_in_mission_is_escaped(self):
+        text = CatalogQuery().mission('MSG2" . ?x ?y ?z').to_stsparql()
+        assert 'noa:hasMission "MSG2\\" . ?x ?y ?z"' in text
+        # The whole thing still parses as ONE query, not an injected
+        # extra triple pattern.
+        parse_query(text)
+
+    def test_backslash_and_newline_in_town(self):
+        text = CatalogQuery().near_town('Pa\\tra\n"', 0.5).to_stsparql()
+        assert '"Pa\\\\tra\\n\\""' in text
+        parse_query(text)
+
+    def test_angle_bracket_in_concept_iri_is_encoded(self):
+        evil = "http://x.org/Fire> . ?a ?b ?c . ?d a <http://y"
+        text = CatalogQuery().containing_concept(evil).to_stsparql()
+        # The payload stays inside ONE IRI ref instead of closing it.
+        assert "<http://x.org/Fire%3E" in text
+        assert "a <http://x" not in text.replace(
+            "<http://x.org/Fire%3E", ""
+        )
+        parse_query(text)
+
+    def test_space_in_iri_is_encoded(self):
+        text = (
+            CatalogQuery()
+            .containing_concept("http://x.org/Burnt Area")
+            .to_stsparql()
+        )
+        assert "<http://x.org/Burnt%20Area>" in text
+        parse_query(text)
+
+    def test_clean_inputs_are_untouched(self):
+        text = (
+            CatalogQuery()
+            .mission("MSG2")
+            .containing_concept("http://example.org/Fire")
+            .to_stsparql()
+        )
+        assert 'noa:hasMission "MSG2"' in text
+        assert "<http://example.org/Fire>" in text
+
+
+class TestCountProducts:
+    def test_empty_store_counts_zero(self):
+        catalog = ProductCatalog(StrabonStore())
+        assert catalog.count_products() == 0
+
+    def test_counts_products(self):
+        store = StrabonStore()
+        store.update(
+            NOA_PREFIXES
+            + "INSERT DATA { noa:p1 a noa:Product . "
+            "noa:p2 a noa:Product }"
+        )
+        assert ProductCatalog(store).count_products() == 2
+
+    def test_non_select_result_raises_typeerror(self):
+        class AskingStore(StrabonStore):
+            def query(self, text):
+                return AskResult(True)
+
+        catalog = ProductCatalog(AskingStore())
+        with pytest.raises(TypeError):
+            catalog.count_products()

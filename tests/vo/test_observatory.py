@@ -186,3 +186,78 @@ class TestServiceTier:
             URIRef(str(EM) + "ForestFire"),
             URIRef(str(EM) + "NaturalHazard"),
         )
+
+
+class TestDurableObservatory:
+    def test_generation_increments_per_open(self, tmp_path):
+        data = str(tmp_path / "vo-data")
+        vo1 = VirtualEarthObservatory(
+            load_linked_data=False, data_dir=data
+        )
+        assert vo1.generation == 1
+        vo1.db.execute("CREATE TABLE marks (x INT)")
+        vo1.db.execute("INSERT INTO marks VALUES (7)")
+        vo1.close()
+
+        vo2 = VirtualEarthObservatory(
+            load_linked_data=False, data_dir=data
+        )
+        assert vo2.generation == 2
+        assert vo2.db.query("SELECT x FROM marks") == [(7,)]
+        vo2.close()
+
+    def test_data_dir_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path / "env-data"))
+        vo = VirtualEarthObservatory(load_linked_data=False)
+        assert vo.engine is not None
+        vo.close()
+
+    def test_in_memory_without_data_dir(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATA_DIR", raising=False)
+        vo = VirtualEarthObservatory(load_linked_data=False)
+        assert vo.engine is None
+        assert vo.generation == 0
+        assert vo.checkpoint() is None
+        vo.close()  # no-op
+
+    def test_version_ranges_disjoint_across_restarts(self, tmp_path):
+        """Continuation tokens embed ``store.version``; a token minted
+        before a restart must never equal any post-restart version."""
+        from repro.server.continuations import decode_token, encode_token
+
+        data = str(tmp_path / "vo-data")
+        vo1 = VirtualEarthObservatory(
+            load_linked_data=False, data_dir=data
+        )
+        assert vo1.store.version >= 1 << 32
+        token = encode_token("SELECT * WHERE {}", vo1.store.version, {})
+        vo1.close()
+
+        vo2 = VirtualEarthObservatory(
+            load_linked_data=False, data_dir=data
+        )
+        _, minted_version, _ = decode_token(token)
+        # Generation 2 floors the version above everything generation 1
+        # could ever have produced.
+        assert vo2.store.version >= 2 << 32
+        assert minted_version < vo2.store.version
+        vo2.close()
+
+    def test_scene_catalog_is_durable(self, tmp_path):
+        from repro.mdb.datavault import SceneCatalog
+
+        data = str(tmp_path / "vo-data")
+        vo1 = VirtualEarthObservatory(
+            load_linked_data=False, data_dir=data
+        )
+        catalog = vo1.scene_catalog()
+        assert catalog is vo1.scene_catalog()  # cached
+        catalog.bulk_register(SceneCatalog.synthesize_scenes(50, seed=4))
+        vo1.checkpoint()
+        vo1.close()
+
+        vo2 = VirtualEarthObservatory(
+            load_linked_data=False, data_dir=data
+        )
+        assert vo2.scene_catalog().scene_count() == 50
+        vo2.close()
