@@ -1,0 +1,128 @@
+"""Compare A7 benchmark speedups against committed baseline floors.
+
+The CI ``bench-gate`` job runs the A7 kernel-compile benchmark (which
+writes ``BENCH_kernels.json``) and then this checker.  Each entry in
+``benchmarks/baselines.json`` names a dotted path into the results file
+(``select.speedup_vs_interpreted`` → ``results["select"]
+["speedup_vs_interpreted"]``) and the speedup recorded the last time the
+baseline was updated.  A measurement may drift *below* its baseline by
+at most ``tolerance`` (relative) before the gate fails — CI runners are
+noisy, real regressions are not.
+
+Exit status: 0 when every metric is within tolerance, 1 when any metric
+regressed or is missing from the results file.
+
+Updating baselines after an intentional performance change::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_a7_kernel_compile.py -q
+    python benchmarks/check_baselines.py --update
+    git add benchmarks/baselines.json   # commit alongside the change
+
+``--update`` rewrites the baseline of every tracked metric to the value
+just measured; tolerance and the metric set are never touched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINES = os.path.join(
+    REPO_ROOT, "benchmarks", "baselines.json"
+)
+
+
+def lookup(results: Any, dotted: str) -> Any:
+    """Walk a dotted path into nested dicts; None when any hop is gone."""
+    node = results
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check(
+    baselines_path: str,
+    results_path: str | None = None,
+    update: bool = False,
+) -> int:
+    with open(baselines_path) as fh:
+        spec = json.load(fh)
+    tolerance = float(spec["tolerance"])
+    if results_path is None:
+        results_path = os.path.join(
+            os.path.dirname(os.path.abspath(baselines_path)),
+            os.pardir,
+            spec["results_file"],
+        )
+    if not os.path.exists(results_path):
+        print(f"bench-gate: results file missing: {results_path}")
+        return 1
+    with open(results_path) as fh:
+        results = json.load(fh)
+
+    failures = 0
+    width = max(len(k) for k in spec["baselines"])
+    for metric, baseline in sorted(spec["baselines"].items()):
+        measured = lookup(results, metric)
+        if not isinstance(measured, (int, float)):
+            print(f"FAIL {metric:<{width}}  missing from {results_path}")
+            failures += 1
+            continue
+        floor = float(baseline) * (1.0 - tolerance)
+        verdict = "ok  " if measured >= floor else "FAIL"
+        print(
+            f"{verdict} {metric:<{width}}  measured {measured:6.2f}x"
+            f"  baseline {float(baseline):6.2f}x"
+            f"  floor {floor:6.2f}x"
+        )
+        if measured < floor:
+            failures += 1
+        if update:
+            spec["baselines"][metric] = round(float(measured), 2)
+
+    if update:
+        with open(baselines_path, "w") as fh:
+            json.dump(spec, fh, indent=2)
+            fh.write("\n")
+        print(f"bench-gate: baselines rewritten in {baselines_path}")
+        return 0
+    if failures:
+        print(
+            f"bench-gate: {failures} metric(s) regressed beyond "
+            f"{tolerance:.0%} tolerance"
+        )
+    return 1 if failures else 0
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate A7 benchmark speedups against baselines.json"
+    )
+    parser.add_argument(
+        "--baselines",
+        default=DEFAULT_BASELINES,
+        help="path to baselines.json (default: benchmarks/baselines.json)",
+    )
+    parser.add_argument(
+        "--results",
+        default=None,
+        help="path to the benchmark results file "
+        "(default: results_file from baselines.json, repo-relative)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite each baseline to the measured value and exit 0",
+    )
+    ns = parser.parse_args(argv)
+    return check(ns.baselines, ns.results, ns.update)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

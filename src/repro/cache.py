@@ -30,20 +30,28 @@ class CacheStats:
     invalidations: int = 0
     size: int = 0
     maxsize: int = 0
+    refusals: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.refusals
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when idle)."""
+        """Fraction of lookups served from the cache (0.0 when idle).
+
+        Refusal-sentinel lookups count as lookups but not as hits: a
+        cached "don't compile this" verdict saves re-lowering work, but
+        reporting it as a hit would inflate how often a *usable* entry
+        was served.
+        """
         total = self.lookups
         return self.hits / total if total else 0.0
 
     def __repr__(self) -> str:
         return (
             f"<CacheStats hits={self.hits} misses={self.misses} "
+            f"refusals={self.refusals} "
             f"hit_rate={self.hit_rate:.1%} size={self.size}/{self.maxsize}>"
         )
 
@@ -76,7 +84,7 @@ class LRUCache:
 
     __slots__ = (
         "_data", "_lock", "maxsize", "name",
-        "hits", "misses", "evictions", "invalidations",
+        "hits", "misses", "evictions", "invalidations", "refusals",
         "_epoch", "_key_epochs", "_inflight",
         "__weakref__",
     )
@@ -97,6 +105,7 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.refusals = 0
         # Every cache's live stats are visible in metrics snapshots; the
         # registry holds only a weak reference, so transient caches
         # disappear once their owner does.
@@ -154,6 +163,18 @@ class LRUCache:
                 self.put(key, value)
             return value
 
+    def mark_refusal(self) -> None:
+        """Reclassify the most recent hit as a refusal-sentinel lookup.
+
+        Callers that cache negative results ("don't compute this")
+        under sentinel values call this right after ``get`` returned
+        the sentinel: the lookup moves from ``hits`` to ``refusals`` so
+        hit rates keep meaning "a usable entry was served".
+        """
+        with self._lock:
+            self.hits -= 1
+            self.refusals += 1
+
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data  # no stats impact: a peek, not a lookup
 
@@ -206,7 +227,7 @@ class LRUCache:
     def reset_stats(self) -> None:
         with self._lock:
             self.hits = self.misses = 0
-            self.evictions = self.invalidations = 0
+            self.evictions = self.invalidations = self.refusals = 0
 
     # -- reporting -----------------------------------------------------------
 
@@ -220,6 +241,7 @@ class LRUCache:
                 invalidations=self.invalidations,
                 size=len(self._data),
                 maxsize=self.maxsize,
+                refusals=self.refusals,
             )
 
     @property

@@ -9,6 +9,18 @@ ASTs into fused numpy kernels:
   attribute planes (no ``to_frame`` meshgrid), compiled once per
   ``(schema signature, statement)`` and cached in an LRU.  Assignments
   run gather-compute-scatter over only the cells passing the WHERE mask.
+  :func:`compile_select` lowers single-array ``SELECT`` statements the
+  same way (WHERE over the planes, projections over only the gathered
+  rows), and :func:`compile_tile_aggregate` plans ``tile_aggregate``
+  reductions that reduce float64 planes in place without the
+  interpretive path's ``astype`` copy.  Scalar functions (``abs``,
+  ``sqrt``, ``floor``, ``ceil``, ``power``) lower instead of refusing:
+  the unary functions delegate to the registry's vectorised
+  implementations, while ``power`` goes through :func:`vec_power`,
+  which keeps the per-row loop (numpy's SIMD ``pow`` is not
+  bit-identical to libm's) so error rows and results match exactly.
+  Closure trees reuse owned temporaries in place (``out=`` on
+  the commutative arithmetic lanes) to cut allocation traffic.
 * **Shared vector primitives** — :func:`vec_arith`, :func:`vec_compare`,
   :func:`vec_concat` and :func:`vec_inlist_literals` implement the SQL
   operator semantics once, with vectorised fast paths in front of the
@@ -19,6 +31,13 @@ ASTs into fused numpy kernels:
   expressions into one batched kernel call over packed binding columns;
   solutions whose bindings fall outside the kernel's type contract are
   routed individually through the caller's exact fallback.
+  :func:`compile_spatial_filter` lowers *spatial* FILTERs — indexable
+  predicate calls and ``strdf:distance`` comparisons over one variable
+  and one constant geometry — into one
+  :class:`~repro.geometry.envelope.PackedEnvelopes` pass that fuses the
+  evaluator's envelope prefilter with the verdict: envelope-disjoint
+  rows fail (or far rows decide a distance comparison) vectorised, and
+  only envelope survivors take the exact geometry test.
 * **Adaptive tiling** — :class:`AdaptiveTiler` replaces the static
   ``PARALLEL_MIN_CELLS`` floor: row-band tiling engages only when the
   observed cells/sec rate predicts the serial pass is long enough to
@@ -72,6 +91,37 @@ def _algebra():
 
     return algebra
 
+
+def _sql_functions():
+    from repro.mdb.sql import functions
+
+    return functions
+
+
+def _stsparql_functions():
+    from repro.strabon.stsparql import functions
+
+    return functions
+
+
+def _strdf():
+    from repro.strabon import strdf
+
+    return strdf
+
+
+def _sql_executor():
+    from repro.mdb.sql import executor
+
+    return executor
+
+
+def _stsparql_evaluator():
+    from repro.strabon.stsparql import evaluator
+
+    return evaluator
+
+
 __all__ = [
     "KERNELS_ENV",
     "enabled",
@@ -80,14 +130,22 @@ __all__ = [
     "vec_compare",
     "vec_concat",
     "vec_inlist_literals",
+    "vec_power",
     "bool_mask",
     "broadcast_literal",
     "is_numeric",
     "compile_update",
     "UpdatePlan",
+    "compile_select",
+    "SelectPlan",
+    "compile_tile_aggregate",
+    "TileAggregatePlan",
     "compile_filter",
     "run_filter",
     "FilterPlan",
+    "compile_spatial_filter",
+    "run_spatial_filter",
+    "SpatialFilterPlan",
     "AdaptiveTiler",
     "TILER",
     "sql_kernel_cache",
@@ -240,7 +298,12 @@ def _exact_number_subset(data: np.ndarray) -> Optional[np.ndarray]:
 
 
 def vec_arith(
-    op: str, ldata: np.ndarray, rdata: np.ndarray, valid: np.ndarray
+    op: str,
+    ldata: np.ndarray,
+    rdata: np.ndarray,
+    valid: np.ndarray,
+    *,
+    reuse: Optional[np.ndarray] = None,
 ) -> Vector:
     """SQL ``+ - * / %`` with NULL masking (shared by both engines).
 
@@ -249,15 +312,33 @@ def vec_arith(
     Object columns of pure python floats take a vectorised lane that
     reproduces the loop's ``ZeroDivisionError``; anything else falls to
     the exact per-row loop (timestamps, mixed types).
+
+    ``reuse`` may name a writable temporary (one of the operands the
+    caller owns) to receive the result of the ``+ - *`` numeric lanes
+    in place; it must already have the exact result dtype and shape.
+    The compiled closure trees use this to avoid allocating a fresh
+    array per operator node.
     """
     if is_numeric(ldata) and is_numeric(rdata):
         with np.errstate(all="ignore"):
             if op == "+":
-                out = ldata + rdata
+                out = (
+                    np.add(ldata, rdata, out=reuse)
+                    if reuse is not None
+                    else ldata + rdata
+                )
             elif op == "-":
-                out = ldata - rdata
+                out = (
+                    np.subtract(ldata, rdata, out=reuse)
+                    if reuse is not None
+                    else ldata - rdata
+                )
             elif op == "*":
-                out = ldata * rdata
+                out = (
+                    np.multiply(ldata, rdata, out=reuse)
+                    if reuse is not None
+                    else ldata * rdata
+                )
             elif op == "/":
                 denom_zero = rdata == 0
                 if ldata.dtype.kind == "i" and rdata.dtype.kind == "i":
@@ -473,8 +554,28 @@ def vec_inlist_literals(
     return hits, all_valid(len(hits))
 
 
+def vec_power(lvec: Vector, rvec: Vector) -> Vector:
+    """SQL ``power(x, y)`` lane for compiled kernels.
+
+    Unlike the unary scalar functions, ``power`` cannot take a
+    vectorised fast path: the interpreter's per-row loop evaluates
+    python's ``float ** float`` (libm ``pow``), while ``np.power``
+    dispatches to numpy's own SIMD implementation whose results differ
+    from libm in the last ulp on a few percent of ordinary finite
+    inputs (measured on uniform doubles for exponents 2.0, 2.5, 3.0).
+    ``REPRO_KERNELS=0`` is the bit-identical oracle, so this lane
+    delegates to the exact registry loop — which also preserves the
+    per-row error semantics verbatim: ``0 ** negative`` raises
+    ``ExecutionError``, overflow raises a raw ``OverflowError``, and a
+    negative base with a fractional exponent yields a complex result.
+    Compiling ``power`` still pays off: the statement around it stays
+    on the kernel path instead of being refused wholesale.
+    """
+    return _sql_functions().SCALAR_FUNCTIONS["power"](lvec, rvec)
+
+
 # ---------------------------------------------------------------------------
-# SQL expression compiler (SciQL UPDATE)
+# SQL expression compiler (SciQL UPDATE / SELECT)
 # ---------------------------------------------------------------------------
 
 
@@ -520,11 +621,27 @@ class UpdatePlan:
     columns: Tuple[str, ...]  # referenced column names (env keys)
 
 
-#: Compiled UPDATE plans keyed by (schema signature, statement); the
-#: sentinel marks statements the compiler refused so they are not
-#: re-lowered on every call.
+#: Compiled SQL/SciQL plans (UPDATE, SELECT, tile_aggregate) keyed by
+#: (schema signature, statement); the sentinel marks statements the
+#: compiler refused so they are not re-lowered on every call.
 sql_kernel_cache = LRUCache(maxsize=256, name="kernels.sql")
 _REFUSED = object()
+_MISS = object()
+
+
+def _plan_cache_get(cache: LRUCache, key: Any) -> Any:
+    """Cached plan, ``None`` for a cached refusal, or :data:`_MISS`.
+
+    A refusal-sentinel lookup is reclassified on the cache's stats
+    (:meth:`LRUCache.mark_refusal`): it saves re-lowering work but did
+    not serve a usable plan, so counting it as a hit would overstate
+    the compile caches' effectiveness in the obs snapshot.
+    """
+    cached = cache.get(key, _MISS)
+    if cached is _REFUSED:
+        cache.mark_refusal()
+        return None
+    return cached
 
 
 def array_signature(array: Any) -> Tuple:
@@ -547,9 +664,9 @@ def compile_update(array: Any, stmt: ast.Update) -> Optional[UpdatePlan]:
     """
     sig = array_signature(array)
     key = (sig, stmt.where, tuple(stmt.assignments))
-    cached = sql_kernel_cache.get(key)
-    if cached is not None:
-        return None if cached is _REFUSED else cached
+    cached = _plan_cache_get(sql_kernel_cache, key)
+    if cached is not _MISS:
+        return cached
     schema = {d.name: "dim" for d in array.dimensions}
     for name, _ in array.attributes:
         schema[name] = "attr"
@@ -577,10 +694,199 @@ def compile_update(array: Any, stmt: ast.Update) -> Optional[UpdatePlan]:
     return plan
 
 
+@dataclass
+class SelectPlan:
+    """A compiled single-array ``SELECT`` statement."""
+
+    where: Optional[KernelFn]
+    outputs: List[Tuple[str, KernelFn]]  # (output name, projection kernel)
+    columns: Tuple[str, ...]  # referenced column names (env keys)
+    # Columns the WHERE kernel reads — the only ones that must exist at
+    # full array length; everything else is materialised already gathered.
+    where_columns: Tuple[str, ...]
+
+
+def compile_select(array: Any, stmt: ast.Select) -> Optional[SelectPlan]:
+    """Compile one single-array SELECT against the array's schema, or None.
+
+    Lowers the WHERE and every projection item into kernels over the
+    attribute planes: the interpretive path's full-frame materialisation
+    (``to_frame`` plus a whole-frame ``take``) disappears — only the
+    referenced columns are touched, and projections evaluate over only
+    the gathered WHERE survivors.  Joins, GROUP BY, HAVING, ORDER BY
+    and aggregates stay interpretive; ``DISTINCT``/``LIMIT``/``OFFSET``
+    are applied by the caller's shared helpers after the plan runs, so
+    they need no lowering.  Unknown columns raise :class:`CatalogError`;
+    the caller falls back to the interpretive path, which owns the
+    raise order.
+    """
+    ast = _sql_ast()
+    sig = array_signature(array)
+    key = (sig, "select", stmt)
+    cached = _plan_cache_get(sql_kernel_cache, key)
+    if cached is not _MISS:
+        return cached
+    schema = {d.name: "dim" for d in array.dimensions}
+    for name, _ in array.attributes:
+        schema[name] = "attr"
+    refs: set = set()
+    where_refs: set = set()
+    try:
+        if (
+            stmt.from_table is None
+            or stmt.joins
+            or stmt.group_by
+            or stmt.having is not None
+            or stmt.order_by
+        ):
+            raise Unsupported("select shape")
+        binding = stmt.from_table.binding
+        # WHERE first: projection kernels run over only its survivors.
+        where = (
+            None
+            if stmt.where is None
+            else _compile_sql(stmt.where, schema, binding, where_refs)
+        )
+        outputs: List[Tuple[str, KernelFn]] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                if (
+                    item.expr.table is not None
+                    and item.expr.table != binding
+                ):
+                    raise Unsupported("qualified star")
+                # Schema insertion order (dims, then attributes) is the
+                # frame's column order, so `*` expands identically.
+                for name in schema:
+                    refs.add(name)
+                    outputs.append(
+                        (name, lambda env, _n=name: env.cols[_n])
+                    )
+                continue
+            fn = _compile_sql(item.expr, schema, binding, refs)
+            name = item.alias or _sql_executor()._default_name(item.expr)
+            outputs.append((name, fn))
+    except Unsupported:
+        sql_kernel_cache.put(key, _REFUSED)
+        return None
+    plan = SelectPlan(
+        where,
+        outputs,
+        tuple(sorted(refs | where_refs)),
+        tuple(sorted(where_refs)),
+    )
+    sql_kernel_cache.put(key, plan)
+    return plan
+
+
+@dataclass
+class TileAggregatePlan:
+    """A compiled ``tile_aggregate`` reduction over one attribute plane."""
+
+    attr: str
+    func: str
+    tile: Tuple[int, ...]
+    axes: Tuple[int, ...]
+    # (plane, start tile-row, stop tile-row) → reduced block
+    fn: Callable[[np.ndarray, int, int], np.ndarray]
+
+
+_TILE_REDUCERS = {
+    "mean": np.mean,
+    "sum": np.sum,
+    "min": np.min,
+    "max": np.max,
+}
+
+
+def compile_tile_aggregate(
+    array: Any, tile: Sequence[int], func: str, attr: str
+) -> Optional[TileAggregatePlan]:
+    """Plan one tiled reduction, or None outside the kernel subset
+    (unknown reducer, mismatched tile rank, object-typed plane — the
+    interpretive path owns validation errors).
+
+    The compiled reduction skips the interpretive path's unconditional
+    ``astype(float)`` when the plane is already float64, reducing
+    straight from the reshaped block — bit-identical, since ``astype``
+    on float64 input is an identity copy and the reduction input is
+    C-contiguous either way (``reshape`` of a trimmed block copies into
+    contiguous layout when the view cannot be reshaped in place).
+    """
+    tile = tuple(int(t) for t in tile)
+    # The schema signature carries no dimension extents (UPDATE/SELECT
+    # kernels are length-agnostic), but a tile plan bakes the trimmed
+    # shape into its closure — key on the concrete shape too.
+    key = (array_signature(array), array.shape, "tile", tile, func, attr)
+    cached = _plan_cache_get(sql_kernel_cache, key)
+    if cached is not _MISS:
+        return cached
+    reducer = _TILE_REDUCERS.get(func)
+    shape = array.shape
+    if (
+        reducer is None
+        or len(tile) != len(shape)
+        or any(t < 1 for t in tile)
+        or any(s // t == 0 for s, t in zip(shape, tile))
+        or not array.has_attribute(attr)
+        or array.attribute_type(attr).dtype == np.dtype(object)
+    ):
+        sql_kernel_cache.put(key, _REFUSED)
+        return None
+    trimmed = tuple((s // t) * t for s, t in zip(shape, tile))
+    axes = tuple(range(1, 2 * len(shape), 2))
+    tail = tuple(slice(0, s) for s in trimmed[1:])
+    inner_shape: List[int] = []
+    for s, t in zip(trimmed[1:], tile[1:]):
+        inner_shape.extend([s // t, t])
+    skip_cast = array.attribute_type(attr).dtype == np.float64
+
+    def reduce_rows(data: np.ndarray, start: int, stop: int) -> np.ndarray:
+        block = data[(slice(start * tile[0], stop * tile[0]),) + tail]
+        block = block.reshape([stop - start, tile[0], *inner_shape])
+        if not skip_cast:
+            block = block.astype(float)
+        return reducer(block, axis=axes)
+
+    plan = TileAggregatePlan(attr, func, tile, axes, reduce_rows)
+    sql_kernel_cache.put(key, plan)
+    return plan
+
+
 def _compile_sql(
     expr: ast.Expr, schema: Dict[str, str], binding: str, refs: set
 ) -> KernelFn:
     """Lower one SQL expression AST node to a closure over a KernelEnv."""
+    fn, _owned = _compile_sql_node(expr, schema, binding, refs)
+    return fn
+
+
+#: Scalar functions the compiler lowers (name → arity).  Everything
+#: else refuses to the interpretive path, which owns unknown-function,
+#: aggregate-misuse and arity errors.
+_COMPILED_FUNCTIONS = {
+    "abs": 1,
+    "sqrt": 1,
+    "floor": 1,
+    "ceil": 1,
+    "ceiling": 1,
+    "power": 2,
+}
+
+
+def _compile_sql_node(
+    expr: ast.Expr, schema: Dict[str, str], binding: str, refs: set
+) -> Tuple[KernelFn, bool]:
+    """Lower one SQL AST node to ``(closure, owned)``.
+
+    ``owned`` marks closures whose result array is freshly allocated on
+    every call — a temporary the parent operator may overwrite in place
+    (``reuse=`` on :func:`vec_arith`, ``out=`` on unary negate).
+    Literal broadcasts and column references are *borrowed*: they alias
+    read-only compile-time seeds or live :class:`KernelEnv` columns
+    that every assignment kernel of a plan shares, so they are never
+    written through.
+    """
     ast = _sql_ast()
     if isinstance(expr, ast.Literal):
         value = expr.value
@@ -595,7 +901,7 @@ def _compile_sql(
                 np.broadcast_to(seed_valid, (env.n,)),
             )
 
-        return literal
+        return literal, False
     if isinstance(expr, ast.ColumnRef):
         name = expr.name
         if expr.table is not None:
@@ -606,33 +912,41 @@ def _compile_sql(
         elif name not in schema:
             raise _mdb_errors().CatalogError(f"unknown column {name!r}")
         refs.add(name)
-        return lambda env: env.cols[name]
+        return (lambda env: env.cols[name]), False
     if isinstance(expr, ast.UnaryOp):
-        inner = _compile_sql(expr.operand, schema, binding, refs)
+        inner, inner_owned = _compile_sql_node(
+            expr.operand, schema, binding, refs
+        )
         if expr.op == "-":
 
             def negate(env: KernelEnv) -> Vector:
                 data, valid = inner(env)
                 if is_numeric(data):
+                    if inner_owned:
+                        return np.negative(data, out=data), valid
                     return -data, valid
                 out = np.empty(len(data), dtype=object)
                 for i, v in enumerate(data):
                     out[i] = -v if valid[i] else None
                 return out, valid
 
-            return negate
+            return negate, True
         if expr.op == "NOT":
 
             def invert(env: KernelEnv) -> Vector:
                 mask = bool_mask(inner(env))
                 return ~mask, all_valid(len(mask))
 
-            return invert
+            return invert, True
         raise Unsupported(expr.op)
     if isinstance(expr, ast.BinaryOp):
         op = expr.op
-        left = _compile_sql(expr.left, schema, binding, refs)
-        right = _compile_sql(expr.right, schema, binding, refs)
+        left, left_owned = _compile_sql_node(
+            expr.left, schema, binding, refs
+        )
+        right, right_owned = _compile_sql_node(
+            expr.right, schema, binding, refs
+        )
         if op in ("AND", "OR"):
 
             def logical(env: KernelEnv) -> Vector:
@@ -641,7 +955,7 @@ def _compile_sql(
                 out = (lmask & rmask) if op == "AND" else (lmask | rmask)
                 return out, all_valid(len(out))
 
-            return logical
+            return logical, True
         if op == "||":
 
             def concat(env: KernelEnv) -> Vector:
@@ -649,15 +963,29 @@ def _compile_sql(
                 rdata, rvalid = right(env)
                 return vec_concat(ldata, rdata, and_valid(lvalid, rvalid))
 
-            return concat
+            return concat, True
         if op in ("+", "-", "*", "/", "%"):
+            in_place = op in ("+", "-", "*")
 
             def arith(env: KernelEnv) -> Vector:
                 ldata, lvalid = left(env)
                 rdata, rvalid = right(env)
-                return vec_arith(op, ldata, rdata, and_valid(lvalid, rvalid))
+                reuse = None
+                if in_place and is_numeric(ldata) and is_numeric(rdata):
+                    # Overwrite an owned operand whose dtype already
+                    # matches the result: no allocation, same values
+                    # (ufuncs are well-defined with out= aliasing an
+                    # input).
+                    rt = np.result_type(ldata, rdata)
+                    if left_owned and ldata.dtype == rt:
+                        reuse = ldata
+                    elif right_owned and rdata.dtype == rt:
+                        reuse = rdata
+                return vec_arith(
+                    op, ldata, rdata, and_valid(lvalid, rvalid), reuse=reuse
+                )
 
-            return arith
+            return arith, True
         if op in ("=", "<>", "<", "<=", ">", ">="):
 
             def compare(env: KernelEnv) -> Vector:
@@ -667,10 +995,43 @@ def _compile_sql(
                     op, ldata, rdata, and_valid(lvalid, rvalid)
                 )
 
-            return compare
+            return compare, True
         raise Unsupported(op)
+    if isinstance(expr, ast.FunctionCall):
+        name = expr.name
+        fns = _sql_functions()
+        if (
+            expr.star
+            or expr.distinct
+            or fns.is_aggregate(name)
+            or _COMPILED_FUNCTIONS.get(name) != len(expr.args)
+            or name not in fns.SCALAR_FUNCTIONS
+        ):
+            raise Unsupported(name)
+        arg_fns = [
+            _compile_sql_node(arg, schema, binding, refs)[0]
+            for arg in expr.args
+        ]
+        if name == "power":
+            base_fn, exp_fn = arg_fns
+
+            def power_call(env: KernelEnv) -> Vector:
+                return vec_power(base_fn(env), exp_fn(env))
+
+            return power_call, True
+        # The registry implementations of the unary functions are
+        # already vectorised (`_numeric_unary`); delegating to them —
+        # exactly as the interpreter's FunctionCall evaluation does —
+        # makes divergence between the paths structurally impossible.
+        fn = fns.SCALAR_FUNCTIONS[name]
+        arg0 = arg_fns[0]
+
+        def scalar_call(env: KernelEnv) -> Vector:
+            return fn(arg0(env))
+
+        return scalar_call, True
     if isinstance(expr, ast.InList):
-        operand = _compile_sql(expr.operand, schema, binding, refs)
+        operand, _ = _compile_sql_node(expr.operand, schema, binding, refs)
         negated = expr.negated
         if all(isinstance(item, ast.Literal) for item in expr.items):
             values = tuple(item.value for item in expr.items)
@@ -685,7 +1046,7 @@ def _compile_sql(
                 ]
                 return _inlist_loop(data, valid, item_vecs, negated)
 
-            return inlist_fast
+            return inlist_fast, True
         items = [
             _compile_sql(item, schema, binding, refs) for item in expr.items
         ]
@@ -696,9 +1057,9 @@ def _compile_sql(
                 data, valid, [item(env) for item in items], negated
             )
 
-        return inlist
+        return inlist, True
     if isinstance(expr, ast.Between):
-        operand = _compile_sql(expr.operand, schema, binding, refs)
+        operand, _ = _compile_sql_node(expr.operand, schema, binding, refs)
         low = _compile_sql(expr.low, schema, binding, refs)
         high = _compile_sql(expr.high, schema, binding, refs)
         negated = expr.negated
@@ -718,9 +1079,9 @@ def _compile_sql(
                 out = ~out & valid
             return out, all_valid(len(out))
 
-        return between
+        return between, True
     if isinstance(expr, ast.IsNull):
-        operand = _compile_sql(expr.operand, schema, binding, refs)
+        operand, _ = _compile_sql_node(expr.operand, schema, binding, refs)
         negated = expr.negated
 
         def isnull(env: KernelEnv) -> Vector:
@@ -728,8 +1089,8 @@ def _compile_sql(
             out = valid.copy() if negated else ~valid
             return out, all_valid(len(out))
 
-        return isnull
-    # FunctionCall / Like / Cast / Case / Star: interpretive path.
+        return isnull, True
+    # Like / Cast / Case / Star: interpretive path.
     raise Unsupported(type(expr).__name__)
 
 
@@ -786,9 +1147,9 @@ def compile_filter(expr: alg.Expr) -> Optional[FilterPlan]:
     it falls outside the numeric kernel subset (spatial calls, string
     operands, ...).  Compiled plans — and refusals — are cached on the
     expression node itself (algebra nodes are frozen dataclasses)."""
-    cached = filter_kernel_cache.get(expr)
-    if cached is not None:
-        return None if cached is _REFUSED else cached
+    cached = _plan_cache_get(filter_kernel_cache, expr)
+    if cached is not _MISS:
+        return cached
     refs: set = set()
     try:
         node, kind = _compile_filter_expr(expr, refs)
@@ -1042,6 +1403,206 @@ def run_filter(
     obs.counter("stsparql.filter.kernel_rows").inc(int(idx.size))
     if fell_back:
         obs.counter("stsparql.filter.fallback_rows").inc(fell_back)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# stSPARQL spatial FILTER compiler (batched over PackedEnvelopes)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpatialFilterPlan:
+    """A compiled spatial FILTER: one variable against one constant
+    geometry, prefiltered (or decided outright) through packed
+    envelopes."""
+
+    variable: str
+    const: Any  # the constant geometry literal term
+    geom: Any  # its parsed geometry
+    envelope: Any  # its envelope
+    srid: int
+    kind: str  # "predicate" | "distance"
+    op: str = ""  # normalised: distance(var, const) OP bound
+    bound: float = 0.0
+
+
+#: Comparison flip for ``bound OP distance(...)`` → ``distance(...) OP'
+#: bound``.
+_DISTANCE_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def compile_spatial_filter(expr: alg.Expr) -> Optional[SpatialFilterPlan]:
+    """Compile one spatial FILTER over packed envelopes, or None.
+
+    Two shapes lower:
+
+    * an **indexable predicate call** (``strdf:intersects(?g, CONST)``,
+      either argument order) — every such predicate implies envelope
+      intersection, so envelope-disjoint rows fail vectorised (the same
+      reasoning as the evaluator's prefilter) and only envelope
+      survivors run the exact geometry test;
+    * a **distance comparison** against a numeric bound
+      (``strdf:distance(?g, CONST) < 10``, call on either side) — the
+      envelope distance lower-bounds the geometry distance, so rows
+      whose envelope distance already exceeds the bound are decided
+      without the exact geometry pass.
+
+    Plans — and refusals — are cached in :data:`filter_kernel_cache`
+    under ``("spatial", expr)``, disjoint from :func:`compile_filter`'s
+    numeric-plan keys on the bare expression node.
+    """
+    key = ("spatial", expr)
+    cached = _plan_cache_get(filter_kernel_cache, key)
+    if cached is not _MISS:
+        return cached
+    try:
+        plan = _lower_spatial(expr)
+    except Unsupported:
+        filter_kernel_cache.put(key, _REFUSED)
+        return None
+    filter_kernel_cache.put(key, plan)
+    return plan
+
+
+def _const_geometry(term: Any) -> Tuple[Any, Any]:
+    """Parse a constant geometry literal at compile time, or refuse."""
+    strdf = _strdf()
+    try:
+        geom = strdf.literal_geometry(term)
+    except strdf.StRDFError:
+        raise Unsupported("unparseable constant geometry") from None
+    envelope = geom.envelope
+    if envelope.is_empty:
+        # Envelope reasoning says nothing about an empty probe; let the
+        # exact filter judge every solution.
+        raise Unsupported("empty probe envelope")
+    return geom, envelope
+
+
+def _lower_spatial(expr: alg.Expr) -> SpatialFilterPlan:
+    alg = _algebra()
+    spec = _stsparql_evaluator()._indexable_call_spec(expr)
+    if spec is not None:
+        var, const = spec
+        geom, envelope = _const_geometry(const)
+        return SpatialFilterPlan(
+            var, const, geom, envelope, geom.srid, "predicate"
+        )
+    if not isinstance(expr, alg.EBinary) or expr.op not in _DISTANCE_FLIP:
+        raise Unsupported("not a spatial filter")
+    if isinstance(expr.left, alg.ECall):
+        call, bound_side, flipped = expr.left, expr.right, False
+    elif isinstance(expr.right, alg.ECall):
+        call, bound_side, flipped = expr.right, expr.left, True
+    else:
+        raise Unsupported("not a spatial filter")
+    if (
+        call.name not in _stsparql_functions().DISTANCE_FUNCTIONS
+        or len(call.args) != 2
+    ):
+        raise Unsupported("not a distance call")
+    strdf = _strdf()
+    var, const = None, None
+    for arg in call.args:
+        if isinstance(arg, alg.EVar):
+            var = arg.name
+        elif isinstance(arg, alg.ETerm) and strdf.is_geometry_literal(
+            arg.term
+        ):
+            const = arg.term
+    if var is None or const is None:
+        raise Unsupported("distance arguments")
+    if not isinstance(bound_side, alg.ETerm) or not isinstance(
+        bound_side.term, Literal
+    ):
+        raise Unsupported("non-constant bound")
+    if not bound_side.term.is_numeric:
+        raise Unsupported("non-numeric bound")
+    bound, kind = _filter_const(bound_side.term)
+    if kind != "num":
+        raise Unsupported("boolean bound")
+    op = _DISTANCE_FLIP[expr.op] if flipped else expr.op
+    geom, envelope = _const_geometry(const)
+    return SpatialFilterPlan(
+        var, const, geom, envelope, geom.srid, "distance", op, float(bound)
+    )
+
+
+def run_spatial_filter(
+    plan: SpatialFilterPlan,
+    solutions: List[Dict[str, Any]],
+    geometry: Callable[[Any], Any],
+    fallback: Callable[[Dict[str, Any]], bool],
+) -> List[Dict[str, Any]]:
+    """Apply a compiled spatial FILTER over candidate solutions.
+
+    Rows whose binding is a parseable geometry literal in the
+    constant's SRID are packed into one
+    :class:`~repro.geometry.envelope.PackedEnvelopes` pass:
+
+    * predicate plans: envelope-disjoint rows fail vectorised;
+      envelope survivors run the exact geometry test via ``fallback``;
+    * distance plans: rows whose envelope distance (a lower bound on
+      the geometry distance) strictly exceeds the bound are decided
+      vectorised — True for ``>``/``>=`` plans, False for ``<``/``<=``
+      — and only the near rows run exact.
+
+    Rows outside the lane (missing binding, non-geometry term, parse
+    error, SRID mismatch) are judged individually by ``fallback``, so
+    the exact path keeps its verdict on them; solution order is
+    preserved either way.
+    """
+    from repro.geometry.envelope import PackedEnvelopes
+
+    strdf = _strdf()
+    n = len(solutions)
+    lane_idx: List[int] = []
+    envelopes = []
+    for i, sol in enumerate(solutions):
+        term = sol.get(plan.variable)
+        if term is None or not strdf.is_geometry_literal(term):
+            continue
+        try:
+            geom = geometry(term)
+        except strdf.StRDFError:
+            continue
+        if geom.srid != plan.srid:
+            continue
+        lane_idx.append(i)
+        envelopes.append(geom.envelope)
+    decided = np.zeros(n, dtype=bool)
+    verdicts = np.zeros(n, dtype=bool)
+    if lane_idx:
+        packed = PackedEnvelopes.pack(envelopes)
+        idx = np.asarray(lane_idx, dtype=int)
+        if plan.kind == "predicate":
+            hit = packed.intersects(plan.envelope)
+            decided[idx[~hit]] = True  # env-disjoint ⇒ predicate False
+        else:
+            env_dist = packed.distance(plan.envelope)
+            # np.hypot can land an ulp above the correctly-rounded
+            # scalar distance, so shave a relative margin off the lower
+            # bound before deciding; rows inside the margin go to the
+            # exact fallback instead of risking a mis-decided verdict.
+            far = env_dist * (1.0 - 1e-12) > plan.bound
+            decided[idx[far]] = True
+            if plan.op in (">", ">="):
+                verdicts[idx[far]] = True
+    out: List[Dict[str, Any]] = []
+    exact_rows = 0
+    for i, sol in enumerate(solutions):
+        if decided[i]:
+            if verdicts[i]:
+                out.append(sol)
+            continue
+        exact_rows += 1
+        if fallback(sol):
+            out.append(sol)
+    obs.counter("stsparql.spatial.batch_rows").inc(n)
+    obs.counter("stsparql.spatial.env_decided").inc(int(decided.sum()))
+    if exact_rows:
+        obs.counter("stsparql.spatial.exact_rows").inc(exact_rows)
     return out
 
 

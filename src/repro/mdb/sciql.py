@@ -450,6 +450,18 @@ class SciArray:
             raise ExecutionError(f"unknown tile aggregate {func!r}") from None
         axes = tuple(range(1, 2 * self.ndim, 2))
         tail = tuple(slice(0, s) for s in trimmed_shape[1:])
+        # The compiled plan (cached per schema/tile/func) reduces
+        # float64 planes without the interpretive astype copy; every
+        # other config reduces through the retained path below.
+        plan = (
+            kernels.compile_tile_aggregate(
+                self, tuple(tile), func, attr_name
+            )
+            if kernels.enabled()
+            else None
+        )
+        if plan is not None:
+            obs.counter("sciql.tile_aggregate.compiled").inc()
 
         deadline = resilience.active_deadline()
         if deadline is not None:
@@ -460,6 +472,8 @@ class SciArray:
             if deadline is not None:
                 deadline.check("sciql.tile_aggregate")
             start, stop = row_range
+            if plan is not None:
+                return plan.fn(data, start, stop)
             block = data[(slice(start * tile[0], stop * tile[0]),) + tail]
             block_shape: List[int] = [stop - start, tile[0]]
             for s, t in zip(trimmed_shape[1:], tile[1:]):
@@ -595,6 +609,125 @@ class SciArray:
         return f"<SciArray {self.name}({dims}; {attrs})>"
 
 
+def _kernel_columns(
+    array: SciArray, names: Sequence[str]
+) -> Dict[str, "kernels.Vector"]:
+    """Pack the referenced attribute planes and dimension-coordinate
+    columns as kernel vectors — exactly the columns :meth:`SciArray.
+    to_frame` would expose, but only the referenced ones and without a
+    frame.  Shared by the compiled UPDATE and SELECT paths."""
+    n = array.cell_count
+    all_valid = kernels.all_valid(n)
+    cols: Dict[str, kernels.Vector] = {}
+    attr_names = {name for name, _ in array.attributes}
+    for name in names:
+        if name in attr_names:
+            data = array._values[name].reshape(-1)
+            if data.dtype == object:
+                valid = np.fromiter(
+                    (v is not None for v in data), count=n, dtype=bool
+                )
+            else:
+                valid = all_valid
+            cols[name] = (data, valid)
+        else:
+            cols[name] = (array.dim_column(name), all_valid)
+    return cols
+
+
+def _gathered_columns(
+    array: SciArray, names: Sequence[str], idx: Optional[np.ndarray]
+) -> Dict[str, "kernels.Vector"]:
+    """Pack the referenced columns already restricted to the WHERE
+    survivors ``idx`` (fully copied when ``idx`` is ``None``).
+
+    Attribute planes are fancy-indexed once.  Dimension coordinates are
+    *computed* from the flat cell index — ``start + (idx // inner) %
+    size`` reproduces :meth:`SciArray.dim_column` bit-for-bit (both
+    int64) with two sequential integer passes over ``idx``, instead of
+    materialising a full-length coordinate column and random-reading it.
+    Every returned array is freshly allocated, so downstream projection
+    kernels are free to reuse the buffers in place.
+    """
+    k = array.cell_count if idx is None else len(idx)
+    all_ok = kernels.all_valid(k)
+    attr_names = {name for name, _ in array.attributes}
+    cols: Dict[str, "kernels.Vector"] = {}
+    for name in names:
+        if name in attr_names:
+            data = array._values[name].reshape(-1)
+            data = data.copy() if idx is None else data[idx]
+            if data.dtype == object:
+                valid = np.fromiter(
+                    (v is not None for v in data), count=k, dtype=bool
+                )
+            else:
+                valid = all_ok
+            cols[name] = (data, valid)
+        else:
+            for axis, d in enumerate(array.dimensions):
+                if d.name == name:
+                    break
+            else:
+                raise CatalogError(
+                    f"no dimension {name!r} in array {array.name!r}"
+                )
+            if idx is None:
+                coords = array.dim_column(name).copy()
+            else:
+                inner = 1
+                for size in array.shape[axis + 1:]:
+                    inner *= size
+                coords = idx // inner  # always a fresh int64 array
+                if axis > 0:
+                    coords %= array.shape[axis]
+                if d.start:
+                    coords += d.start
+            cols[name] = (coords, all_ok)
+    return cols
+
+
+def select_array(
+    array: SciArray, plan: "kernels.SelectPlan"
+) -> Tuple[List[str], List["kernels.Vector"]]:
+    """Run a compiled SELECT plan directly over the attribute planes.
+
+    Evaluates the WHERE kernel over only its referenced columns at full
+    array length, then materialises the projection's columns already
+    restricted to the passing cells — no ``to_frame`` materialisation,
+    no whole-frame ``take``, and no full-length dimension-coordinate
+    columns on the projection side (coordinates are computed from the
+    flat index, see :func:`_gathered_columns`).  Returns ``(output
+    names, output column vectors)`` in the executor's ``run_select``
+    shape; DISTINCT/LIMIT/OFFSET stay with the caller's shared helpers.
+    """
+    n = array.cell_count
+    deadline = resilience.active_deadline()
+    if deadline is not None:
+        deadline.check("sciql.select")
+    obs.counter("sciql.select.calls").inc()
+    obs.counter("sciql.select.cells").inc(n)
+    obs.counter("sciql.select.compiled").inc()
+    with obs.span("sciql.select", array=array.name, compiled="1"):
+        started = time.perf_counter()
+        if plan.where is None:
+            idx = None
+        else:
+            env = kernels.KernelEnv(
+                _kernel_columns(array, plan.where_columns), n
+            )
+            idx = np.nonzero(kernels.bool_mask(plan.where(env)))[0]
+        gathered = kernels.KernelEnv(
+            _gathered_columns(array, plan.columns, idx),
+            n if idx is None else len(idx),
+        )
+        columns = [fn(gathered) for _, fn in plan.outputs]
+        kernels.TILER.observe(
+            "sciql.select", n, time.perf_counter() - started
+        )
+    return [name for name, _ in plan.outputs], columns
+
+
 def update_array(array: SciArray, stmt: ast.Update) -> int:
     """Execute ``UPDATE array SET attr = expr [WHERE cond]`` vectorised.
 
@@ -644,22 +777,7 @@ def _update_compiled(
     obs.counter("sciql.update.cells").inc(n)
     obs.counter("sciql.update.compiled").inc()
 
-    all_valid = kernels.all_valid(n)
-    cols: Dict[str, kernels.Vector] = {}
-    attr_names = {name for name, _ in array.attributes}
-    for name in plan.columns:
-        if name in attr_names:
-            data = array._values[name].reshape(-1)
-            if data.dtype == object:
-                valid = np.fromiter(
-                    (v is not None for v in data), count=n, dtype=bool
-                )
-            else:
-                valid = all_valid
-            cols[name] = (data, valid)
-        else:
-            cols[name] = (array.dim_column(name), all_valid)
-    env = kernels.KernelEnv(cols, n)
+    env = kernels.KernelEnv(_kernel_columns(array, plan.columns), n)
 
     ctypes = {
         attr_name: array.attribute_type(attr_name)

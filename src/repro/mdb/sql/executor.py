@@ -564,6 +564,9 @@ class Executor:
     def run_select(
         self, stmt: ast.Select
     ) -> Tuple[List[str], List[Vector]]:
+        compiled = self._select_compiled(stmt)
+        if compiled is not None:
+            return compiled
         frame = self._build_frame(stmt)
         if stmt.where is not None:
             mask = _bool_mask(Evaluator(frame).eval(stmt.where))
@@ -576,6 +579,45 @@ class Executor:
         else:
             names, columns, order_keys = self._plain_projection(stmt, frame)
         columns = _apply_order(stmt.order_by, columns, order_keys)
+        if stmt.distinct:
+            columns = _distinct(columns)
+        columns = _apply_limit(columns, stmt.limit, stmt.offset)
+        return names, columns
+
+    def _select_compiled(
+        self, stmt: ast.Select
+    ) -> Optional[Tuple[List[str], List[Vector]]]:
+        """Kernel-lowered SELECT over a single array, or None.
+
+        With ``REPRO_KERNELS`` enabled, single-array SELECTs are lowered
+        by :func:`repro.kernels.compile_select` and run directly over
+        the attribute planes (:func:`repro.mdb.sciql.select_array`);
+        everything else — joins, tables, grouped or ordered queries,
+        statements outside the compiler's subset — takes the retained
+        interpretive path, which doubles as the differential oracle.
+        DISTINCT/LIMIT/OFFSET reuse the interpretive helpers, so their
+        semantics cannot fork.
+        """
+        if (
+            not kernels.enabled()
+            or stmt.from_table is None
+            or stmt.joins
+            or not self.catalog.has_array(stmt.from_table.name)
+        ):
+            return None
+        from repro.mdb import sciql
+
+        array = self.catalog.array(stmt.from_table.name)
+        try:
+            plan = kernels.compile_select(array, stmt)
+        except CatalogError:
+            # Unknown column: the interpretive path owns the raise
+            # order (a WHERE type error precedes a projection catalog
+            # error there).
+            plan = None
+        if plan is None:
+            return None
+        names, columns = sciql.select_array(array, plan)
         if stmt.distinct:
             columns = _distinct(columns)
         columns = _apply_limit(columns, stmt.limit, stmt.offset)

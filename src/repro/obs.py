@@ -413,6 +413,7 @@ class MetricsRegistry:
                 "size": stats.size,
                 "maxsize": stats.maxsize,
                 "hit_rate": stats.hit_rate,
+                "refusals": getattr(stats, "refusals", 0),
             }
         with self._lock:
             counters = {n: c.value for n, c in self._counters.items()}

@@ -321,8 +321,29 @@ class Evaluator:
         running over many solutions, and — for numeric expressions —
         one compiled kernel call over packed binding columns instead of
         N interpreter walks (``REPRO_KERNELS``; solutions outside the
-        kernel's type contract are judged by the interpreter)."""
+        kernel's type contract are judged by the interpreter).
+
+        Spatial expressions — indexable predicate calls and
+        ``strdf:distance`` comparisons over one variable and one
+        constant geometry — take a third lane
+        (:func:`repro.kernels.run_spatial_filter`): one batched
+        ``PackedEnvelopes`` pass fusing the envelope prefilter with the
+        verdict, where envelope-disjoint rows fail (and far rows decide
+        a distance comparison) vectorised and only envelope survivors
+        run the exact geometry test."""
         with obs.span("stsparql.filter"):
+            if (
+                kernels.enabled()
+                and len(solutions) >= kernels.FILTER_BATCH_MIN_SOLUTIONS
+            ):
+                splan = kernels.compile_spatial_filter(expr)
+                if splan is not None:
+                    return kernels.run_spatial_filter(
+                        splan,
+                        solutions,
+                        self._term_geometry,
+                        lambda sol: self._filter_passes(expr, sol),
+                    )
             prefiltered = self._envelope_prefilter(expr, solutions)
             if prefiltered is not None:
                 solutions = prefiltered
@@ -404,6 +425,13 @@ class Evaluator:
         if interner is not None:
             return interner.envelope(term)
         return self.ctx.geometry(term).envelope
+
+    def _term_geometry(self, term):
+        """Parsed geometry of a literal via the store's interner."""
+        interner = getattr(self.store, "geometries", None)
+        if interner is not None:
+            return interner.geometry(term)
+        return self.ctx.geometry(term)
 
     def _spatial_hints(
         self, filters: Sequence[alg.Expr]

@@ -437,6 +437,18 @@ EXTENSIONS[str(STRDF) + "below"] = _directional(
 
 #: Spatial predicate IRIs usable for R-tree pre-filtering: envelope
 #: intersection is a necessary condition for all of these.
+#: Full IRIs of the planar distance function (``strdf:distance`` plus
+#: its ``geof`` aliases).  Comparisons over these calls batch through
+#: the spatial FILTER kernel (:func:`repro.kernels.compile_spatial_filter`):
+#: envelope distance lower-bounds geometry distance, so far-away rows
+#: are decided without the exact measure.
+DISTANCE_FUNCTIONS = {
+    str(STRDF) + "distance",
+    str(GEO.replace("ont/geosparql#", "def/function/geosparql/"))
+    + "distance",
+    str(GEO) + "distance",
+}
+
 INDEXABLE_PREDICATES = {
     str(STRDF) + name
     for name in (

@@ -285,9 +285,12 @@ class FilterIterator(PipelineIterator):
 
     Pulls up to :data:`FILTER_BATCH_ROWS` child solutions and runs the
     whole batch through :meth:`Evaluator._filter_solutions` — the exact
-    code path of the one-shot evaluator, envelope prefilter and compiled
-    kernels included — then streams out the survivors.  A suspension
-    between survivors serialises the not-yet-emitted tail of the batch.
+    code path of the one-shot evaluator: envelope prefilter, compiled
+    numeric kernels, and the batched spatial lane (predicate and
+    distance comparisons fused over ``PackedEnvelopes``) all run per
+    batch inside the preemptable pipeline instead of being bypassed by
+    it.  A suspension between survivors serialises the not-yet-emitted
+    tail of the batch.
     """
 
     kind = "filter"

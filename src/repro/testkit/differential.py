@@ -192,6 +192,17 @@ def render_query(spec: Dict[str, Any]) -> Tuple[str, List[str]]:
                 f" . FILTER(?{filter_spec['var']} {filter_spec['op']} "
                 f"{filter_spec['value']})"
             )
+        elif filter_spec["kind"] == "dist":
+            const = f'"{filter_spec["wkt"]}"^^strdf:WKT'
+            call = f"strdf:distance(?{filter_spec['var']}, {const})"
+            op, bound = filter_spec["op"], filter_spec["bound"]
+            if filter_spec.get("flip"):
+                # Mirror the comparison (bound on the left) without
+                # changing its meaning.
+                mirrored = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+                body += f" . FILTER({bound} {mirrored[op]} {call})"
+            else:
+                body += f" . FILTER({call} {op} {bound})"
         else:
             const = f'"{filter_spec["wkt"]}"^^strdf:WKT'
             var = f"?{filter_spec['var']}"
@@ -447,6 +458,11 @@ def _sciql_engine_run(spec: Dict[str, Any], workers: int) -> Tuple[str, Any]:
                         f"({where}) AND {extra['dim']} "
                         f"BETWEEN {extra['lo']} AND {extra['hi']}"
                     )
+                elif extra["kind"] == "fn_cmp":
+                    where = (
+                        f"({where}) OR {extra['fn']}(v) "
+                        f"{extra['op']} {extra['value']}"
+                    )
                 else:
                     where = f"({where}) OR v {extra['op']} {extra['value']}"
             db.execute(
@@ -467,6 +483,26 @@ def _sciql_engine_run(spec: Dict[str, Any], workers: int) -> Tuple[str, Any]:
             return (
                 "count",
                 array.count_where(lambda plane: plane > gt, workers=workers),
+            )
+        elif name == "select":
+            exprs = {
+                "v": "v",
+                "abs": "abs(v)",
+                "floor": "floor(v)",
+                "ceil": "ceil(v)",
+                "sqrt_abs": "sqrt(abs(v))",
+                "pow2": "power(v, 2)",
+            }
+            result = db.execute(
+                f"SELECT x, y, {exprs[op['expr']]} AS e FROM a "
+                f"WHERE v > {op['gt']}"
+            )
+            return (
+                "rows",
+                sorted(
+                    tuple(float(cell) for cell in row)
+                    for row in result.rows()
+                ),
             )
         else:
             raise ValueError(f"unknown sciql op {name!r}")

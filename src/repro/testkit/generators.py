@@ -257,13 +257,26 @@ def gen_stsparql_spec(seed: int) -> Dict[str, Any]:
         if t[0] == "v"
     }
     roll = rng.random()
-    if roll < 0.35 and "g" in pattern_vars:
+    if roll < 0.3 and "g" in pattern_vars:
         filter_spec = {
             "kind": "spatial",
             "pred": rng.choice(_SPATIAL_PREDS),
             "var": "g",
             "wkt": gen_wkt(rng, ["polygon", "point"]),
             "flip": rng.random() < 0.3,
+        }
+    elif roll < 0.45 and "g" in pattern_vars:
+        # strdf:distance(?g, const) compared against a dyadic bound —
+        # the shape the batched spatial FILTER lane lowers.  ``flip``
+        # mirrors the comparison (bound on the left) without changing
+        # its meaning, covering the flipped lowering path.
+        filter_spec = {
+            "kind": "dist",
+            "var": "g",
+            "wkt": gen_wkt(rng, ["polygon", "point"]),
+            "op": rng.choice(("<", "<=", ">", ">=")),
+            "bound": rng.randint(0, 64) * 0.25,
+            "flip": rng.random() < 0.4,
         }
     elif roll < 0.6 and "n" in pattern_vars:
         filter_spec = {
@@ -341,6 +354,15 @@ def gen_sciql_spec(seed: int) -> Dict[str, Any]:
                 "op": rng.choice([">", "<"]),
                 "value": rng.randint(-4, 4),
             }
+        elif roll < 0.75:
+            # A compiled scalar-function lane in the WHERE clause:
+            # ``... OR fn(v) op value``.
+            update["extra"] = {
+                "kind": "fn_cmp",
+                "fn": rng.choice(["abs", "floor", "ceil"]),
+                "op": rng.choice([">", "<"]),
+                "value": rng.randint(-4, 6),
+            }
         if rng.random() < 0.3:
             update["set_dim"] = rng.choice(["x", "y"])
         program.append(update)
@@ -397,6 +419,22 @@ def gen_sciql_spec(seed: int) -> Dict[str, Any]:
                 {"op": "count", "gt": rng.randint(-4, 4)}
             )
             break
+    if rng.random() < 0.3:
+        # Terminal SELECT over the updated array: projections and the
+        # compiled scalar-function lanes (sqrt/power stay bit-exact
+        # because the kernels delegate to the registry loops).  The
+        # SELECT queries the catalogued array, so slices/maps/tiles
+        # that rebased the working view are dropped.
+        program = [op for op in program if op["op"] == "update"]
+        program.append(
+            {
+                "op": "select",
+                "expr": rng.choice(
+                    ["v", "abs", "floor", "ceil", "sqrt_abs", "pow2"]
+                ),
+                "gt": rng.randint(-6, 6),
+            }
+        )
     return {
         "shape": [h, w],
         "dtype": dtype,

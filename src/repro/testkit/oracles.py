@@ -12,6 +12,7 @@ the property tests in ``tests/geometry``.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.geometry import Envelope, from_wkt
@@ -125,16 +126,34 @@ def _filter_passes(
             return left >= value
         except TypeError:
             return False
-    # Spatial predicate.  Parse failures and ValueErrors exclude the
-    # row (the evaluator's extension-call wrapper turns StRDFError /
-    # ValueError into a failed FILTER); anything else — e.g. a
-    # TypeError from an unsupported operand combination — propagates,
-    # exactly as it escapes the optimised evaluator.
+    # Spatial predicate / distance comparison.  Parse failures and
+    # ValueErrors exclude the row (the evaluator's extension-call
+    # wrapper turns StRDFError / ValueError into a failed FILTER);
+    # anything else — e.g. a TypeError from an unsupported operand
+    # combination — propagates, exactly as it escapes the optimised
+    # evaluator.
     try:
         geom = strdf.literal_geometry(term)
     except strdf.StRDFError:
         return False
     const = from_wkt(filter_spec["wkt"])
+    if filter_spec["kind"] == "dist":
+        # ``flip`` only mirrors the rendered comparison; the canonical
+        # op here carries the meaning.  Distance is symmetric within
+        # one SRID, so the argument order never matters.
+        try:
+            d = geom.distance(const)
+        except ValueError:
+            return False
+        op = filter_spec["op"]
+        bound = filter_spec["bound"]
+        if op == "<":
+            return d < bound
+        if op == "<=":
+            return d <= bound
+        if op == ">":
+            return d > bound
+        return d >= bound
     a, b = (const, geom) if filter_spec.get("flip") else (geom, const)
     try:
         return bool(getattr(a, filter_spec["pred"])(b))
@@ -214,6 +233,20 @@ def naive_sciql_run(spec: Dict[str, Any]) -> Tuple[str, Any]:
                                 if extra["op"] == ">"
                                 else v < extra["value"]
                             )
+                        elif extra["kind"] == "fn_cmp":
+                            v = cells[r][c]
+                            fn = extra["fn"]
+                            if fn == "abs":
+                                fv = abs(v)
+                            elif fn == "floor":
+                                fv = math.floor(v)
+                            else:
+                                fv = math.ceil(v)
+                            hit = hit or (
+                                fv > extra["value"]
+                                if extra["op"] == ">"
+                                else fv < extra["value"]
+                            )
                         else:
                             ecoord = (
                                 row0 + r
@@ -284,6 +317,30 @@ def naive_sciql_run(spec: Dict[str, Any]) -> Tuple[str, Any]:
                     if v > op["gt"]
                 ),
             )
+        elif name == "select":
+            kind = op["expr"]
+            rows = []
+            for r in range(len(cells)):
+                for c in range(len(cells[0])):
+                    v = cells[r][c]
+                    if not v > op["gt"]:
+                        continue
+                    if kind == "v":
+                        e = float(v)
+                    elif kind == "abs":
+                        e = float(abs(v))
+                    elif kind == "floor":
+                        e = float(math.floor(v))
+                    elif kind == "ceil":
+                        e = float(math.ceil(v))
+                    elif kind == "sqrt_abs":
+                        # math.sqrt and np.sqrt are both correctly
+                        # rounded, so this compares exactly.
+                        e = math.sqrt(abs(v))
+                    else:  # pow2 — same float ** float as the registry
+                        e = float(v) ** 2.0
+                    rows.append((float(row0 + r), float(col0 + c), e))
+            return ("rows", sorted(rows))
         else:
             raise ValueError(f"unknown sciql op {name!r}")
     return ("cells", cells)

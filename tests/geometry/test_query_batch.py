@@ -217,3 +217,43 @@ class TestPackedEnvelopes:
             PackedEnvelopes(
                 np.zeros(2), np.zeros(3), np.zeros(2), np.zeros(2)
             )
+
+    def test_distance_matches_envelope_within_one_ulp(self):
+        import math
+
+        import numpy as np
+
+        rng = random.Random(5)
+        envs = [random_envelope(rng) for _ in range(150)]
+        envs.append(Envelope.empty())
+        packed = PackedEnvelopes.pack(envs)
+        for probe in [
+            random_envelope(rng, max_side=20.0) for _ in range(20)
+        ]:
+            got = packed.distance(probe)
+            expected = [e.distance(probe) for e in envs]
+            # np.hypot and math.hypot may disagree in the last ulp;
+            # zero and inf must still be exact.
+            for g, e in zip(got.tolist(), expected):
+                if e == 0.0 or math.isinf(e):
+                    assert g == e
+                else:
+                    assert (
+                        np.nextafter(e, 0.0) <= g <= np.nextafter(e, np.inf)
+                    )
+
+    def test_distance_to_empty_probe_is_inf(self):
+        import numpy as np
+
+        packed = PackedEnvelopes.pack(
+            [Envelope(0, 0, 1, 1), Envelope(2, 2, 3, 3)]
+        )
+        assert np.isinf(packed.distance(Envelope.empty())).all()
+
+    def test_distance_zero_when_intersecting(self):
+        packed = PackedEnvelopes.pack(
+            [Envelope(0, 0, 4, 4), Envelope(10, 0, 12, 2)]
+        )
+        dist = packed.distance(Envelope(3, 3, 11, 5))
+        assert dist[0] == 0.0
+        assert dist[1] > 0.0

@@ -142,19 +142,25 @@ class TestUpdateEquality:
         assert kernels.sql_kernel_cache.misses == misses
 
     def test_unsupported_expression_falls_back(self, monkeypatch):
-        # LIKE is not lowered; the statement must still execute via the
-        # interpretive path and cache the refusal (no recompile storm).
+        # sign() is registered but not lowered; the statement must still
+        # execute via the interpretive path and cache the refusal (no
+        # recompile storm), with the repeat lookup counted as a refusal
+        # rather than a hit.
         monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
         kernels.clear_caches()
         db = Database()
         db.execute(
             "CREATE ARRAY t (x INT DIMENSION [0:3], v DOUBLE DEFAULT 1.0)"
         )
-        db.execute("UPDATE t SET v = abs(v) + 1")
+        db.execute("UPDATE t SET v = sign(v) + 1")
         misses = kernels.sql_kernel_cache.misses
-        db.execute("UPDATE t SET v = abs(v) + 1")
+        hits = kernels.sql_kernel_cache.hits
+        refusals = kernels.sql_kernel_cache.refusals
+        db.execute("UPDATE t SET v = sign(v) + 1")
         assert kernels.sql_kernel_cache.misses == misses
-        assert db.array("t")._values["v"][0] == 3.0
+        assert kernels.sql_kernel_cache.hits == hits
+        assert kernels.sql_kernel_cache.refusals == refusals + 1
+        assert db.array("t")._values["v"][0] == 2.0
 
 
 class TestDimColumnCache:
@@ -357,3 +363,232 @@ class TestAdaptiveTiler:
     def test_parts_bounded_by_workers(self):
         kernels.TILER.observe("op", 1000, 1.0)
         assert kernels.TILER.parts("op", 10**9, 4) == 8
+
+
+# ---------------------------------------------------------------------------
+# SELECT lowering
+# ---------------------------------------------------------------------------
+
+
+#: SELECT statements the compiler lowers (projections, scalar
+#: functions, star expansion, DISTINCT, LIMIT/OFFSET) plus shapes it
+#: must refuse (ORDER BY, GROUP BY aggregates) — parity holds either
+#: way because refusal falls back to the interpretive frame pipeline.
+SELECTS = [
+    "SELECT x, y, v FROM img WHERE v > -2.0",
+    "SELECT * FROM img WHERE w <= 0.5",
+    "SELECT v + w AS s, v * 2 - 1 AS t FROM img WHERE x IN (1, 3, 5)",
+    "SELECT abs(v) AS a, floor(w) AS f, ceil(w) AS c FROM img",
+    "SELECT sqrt(abs(v)) AS r FROM img WHERE v <> 0",
+    "SELECT power(v, 2) AS p, power(2.0, w) AS q FROM img WHERE v > 0",
+    "SELECT DISTINCT x FROM img WHERE v > 0",
+    "SELECT x, v FROM img WHERE v > -5 LIMIT 7 OFFSET 3",
+    "SELECT -v AS n FROM img",
+    "SELECT x, max(v) AS m FROM img GROUP BY x",
+    "SELECT x, v FROM img ORDER BY v",
+]
+
+
+def run_select(monkeypatch, sql, kernels_on):
+    """Column names + rows of ``sql`` under one execution mode."""
+    kernels.clear_caches()
+    if kernels_on:
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+    else:
+        monkeypatch.setenv(kernels.KERNELS_ENV, "0")
+    db = seeded_db()
+    result = db.execute(sql)
+    # repr() round-trip makes NaN rows comparable (nan != nan).
+    return tuple(result.names), [repr(r) for r in result.rows()]
+
+
+class TestSelectEquality:
+    @pytest.mark.parametrize("sql", SELECTS)
+    def test_compiled_matches_interpreted(self, monkeypatch, sql):
+        want = run_select(monkeypatch, sql, kernels_on=False)
+        got = run_select(monkeypatch, sql, kernels_on=True)
+        assert got == want
+
+    def test_plan_cache_hit_on_repeat(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        kernels.clear_caches()
+        db = seeded_db()
+        db.execute("SELECT x, v FROM img WHERE v > 0")
+        misses = kernels.sql_kernel_cache.misses
+        hits = kernels.sql_kernel_cache.hits
+        db.execute("SELECT x, v FROM img WHERE v > 0")
+        assert kernels.sql_kernel_cache.hits > hits
+        assert kernels.sql_kernel_cache.misses == misses
+
+    def test_refused_select_counted_as_refusal_not_hit(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        kernels.clear_caches()
+        db = seeded_db()
+        db.execute("SELECT x, v FROM img ORDER BY v")
+        misses = kernels.sql_kernel_cache.misses
+        hits = kernels.sql_kernel_cache.hits
+        refusals = kernels.sql_kernel_cache.refusals
+        db.execute("SELECT x, v FROM img ORDER BY v")
+        assert kernels.sql_kernel_cache.misses == misses
+        assert kernels.sql_kernel_cache.hits == hits
+        assert kernels.sql_kernel_cache.refusals == refusals + 1
+
+    def test_unknown_column_same_error_both_modes(self, monkeypatch):
+        for on in (True, False):
+            kernels.clear_caches()
+            if on:
+                monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+            else:
+                monkeypatch.setenv(kernels.KERNELS_ENV, "0")
+            db = seeded_db()
+            with pytest.raises(CatalogError):
+                db.execute("SELECT nope FROM img")
+
+    def test_compiled_lane_engaged(self, monkeypatch):
+        from repro import obs
+
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        kernels.clear_caches()
+        db = seeded_db()
+        before = obs.snapshot()["counters"].get("sciql.select.compiled", 0)
+        db.execute("SELECT x, v FROM img WHERE v > 0")
+        after = obs.snapshot()["counters"].get("sciql.select.compiled", 0)
+        assert after == before + 1
+
+
+# ---------------------------------------------------------------------------
+# Scalar-function lanes
+# ---------------------------------------------------------------------------
+
+
+class TestScalarFunctionLanes:
+    """Per-row error semantics of the compiled scalar-function lanes.
+
+    The registry implementations define the contract: ``sqrt`` of a
+    negative is a silent NaN, ``power(0, negative)`` raises
+    ``ExecutionError``, ``power`` overflow propagates a *raw*
+    ``OverflowError``, and a negative base with a fractional exponent
+    yields python's complex result.  The compiled path must reproduce
+    each outcome exactly.
+    """
+
+    def _db_with_values(self, values):
+        db = Database()
+        hi = len(values)
+        db.execute(
+            f"CREATE ARRAY t (x INT DIMENSION [0:{hi}], "
+            "v DOUBLE DEFAULT 0.0)"
+        )
+        arr = db.array("t")
+        arr._values["v"][:] = np.asarray(values, dtype=np.float64)
+        return db
+
+    def _both_modes(self, monkeypatch, values, sql):
+        outcomes = []
+        for on in (True, False):
+            kernels.clear_caches()
+            if on:
+                monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+            else:
+                monkeypatch.setenv(kernels.KERNELS_ENV, "0")
+            db = self._db_with_values(values)
+            try:
+                result = db.execute(sql)
+                outcomes.append(("ok", [repr(r) for r in result.rows()]))
+            except Exception as exc:  # noqa: BLE001 - parity on any error
+                outcomes.append((type(exc).__name__, str(exc)))
+        return outcomes
+
+    def test_sqrt_negative_is_silent_nan_both_modes(self, monkeypatch):
+        on, off = self._both_modes(
+            monkeypatch, [-1.0, 4.0, -9.0], "SELECT sqrt(v) AS r FROM t"
+        )
+        assert on == off
+        assert on[0] == "ok" and "nan" in on[1][0]
+
+    def test_power_zero_negative_raises_execution_error(self, monkeypatch):
+        on, off = self._both_modes(
+            monkeypatch, [2.0, 0.0, 3.0], "SELECT power(v, -1) AS r FROM t"
+        )
+        assert on == off
+        assert on[0] == "ExecutionError"
+
+    def test_power_overflow_raises_raw_overflowerror(self, monkeypatch):
+        on, off = self._both_modes(
+            monkeypatch, [1e200, 2.0], "SELECT power(v, 3) AS r FROM t"
+        )
+        assert on == off
+        assert on[0] == "OverflowError"
+
+    def test_power_negative_base_fractional_exponent(self, monkeypatch):
+        on, off = self._both_modes(
+            monkeypatch, [-2.0, 4.0], "SELECT power(v, 0.5) AS r FROM t"
+        )
+        assert on == off
+
+    def test_power_bit_identical_on_random_doubles(self, monkeypatch):
+        # Regression: np.power's SIMD lane differs from python's
+        # ``float ** float`` in the last ulp on a few percent of
+        # ordinary inputs, so the compiled lane must stay on the exact
+        # per-row loop.  A vectorised replacement that is not
+        # bit-identical fails here.
+        rng = np.random.default_rng(42)
+        values = rng.uniform(0.5, 9.0, 512)
+        for exponent in ("2", "2.5", "3", "-1.0"):
+            sql = f"SELECT power(v, {exponent}) AS r FROM t"
+            on, off = self._both_modes(monkeypatch, values, sql)
+            assert on == off, exponent
+
+
+# ---------------------------------------------------------------------------
+# tile_aggregate plans
+# ---------------------------------------------------------------------------
+
+
+class TestTileAggregatePlans:
+    def _tile(self, monkeypatch, kernels_on, extents, tile, func):
+        if kernels_on:
+            monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        else:
+            monkeypatch.setenv(kernels.KERNELS_ENV, "0")
+        db = Database()
+        db.execute(
+            f"CREATE ARRAY a (x INT DIMENSION [0:{extents[0]}], "
+            f"y INT DIMENSION [0:{extents[1]}], v DOUBLE DEFAULT 0.0)"
+        )
+        arr = db.array("a")
+        rng = np.random.default_rng(extents[0] * 100 + extents[1])
+        arr._values["v"][:] = rng.normal(0, 5, extents)
+        out = arr.tile_aggregate(tile=list(tile), func=func, attr="v")
+        return out.attribute(out.attributes[0][0]).copy()
+
+    @pytest.mark.parametrize("func", ["mean", "sum", "min", "max"])
+    def test_compiled_matches_interpreted(self, monkeypatch, func):
+        kernels.clear_caches()
+        want = self._tile(monkeypatch, False, (12, 9), (3, 3), func)
+        got = self._tile(monkeypatch, True, (12, 9), (3, 3), func)
+        assert np.array_equal(got, want, equal_nan=True)
+
+    def test_same_signature_different_shape_no_stale_plan(self, monkeypatch):
+        # Regression: array_signature carries no dimension extents, so
+        # two same-named arrays of different shapes must not share a
+        # tile plan (the trimmed shape is baked into the closure).
+        kernels.clear_caches()
+        a = self._tile(monkeypatch, True, (8, 6), (2, 3), "mean")
+        b = self._tile(monkeypatch, True, (4, 6), (2, 3), "mean")
+        assert a.shape == (4, 2)
+        assert b.shape == (2, 2)
+
+    def test_plan_cache_hit_on_repeat(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        kernels.clear_caches()
+        db = Database()
+        db.execute(
+            "CREATE ARRAY a (x INT DIMENSION [0:6], "
+            "y INT DIMENSION [0:6], v DOUBLE DEFAULT 1.0)"
+        )
+        arr = db.array("a")
+        arr.tile_aggregate(tile=[2, 2], func="sum", attr="v")
+        hits = kernels.sql_kernel_cache.hits
+        arr.tile_aggregate(tile=[2, 2], func="sum", attr="v")
+        assert kernels.sql_kernel_cache.hits > hits

@@ -142,3 +142,173 @@ class TestFilterEquality:
         r2 = sorted(store.query(query).rows())
         assert r1 == r2
         assert kernels.filter_kernel_cache.misses == misses
+
+
+# ---------------------------------------------------------------------------
+# Batched spatial FILTERs
+# ---------------------------------------------------------------------------
+
+
+SPATIAL_PREFIXES = (
+    "PREFIX ex: <http://example.org/>\n"
+    "PREFIX strdf: <http://strdf.di.uoa.gr/ontology#>\n"
+    "PREFIX geof: <http://www.opengis.net/def/function/geosparql/>\n"
+)
+
+REGION = '"POLYGON ((0 0, 8 0, 8 8, 0 8, 0 0))"^^strdf:WKT'
+PROBE = '"POINT (5 5)"^^strdf:WKT'
+
+#: Spatial FILTER shapes the compiler lowers: indexable predicates and
+#: strdf:distance comparisons with the variable/constant on either
+#: side, in both orders, with every comparison operator.
+SPATIAL_QUERIES = [
+    f"SELECT ?s WHERE {{ ?s ex:geom ?g . "
+    f"FILTER(strdf:intersects(?g, {REGION})) }}",
+    f"SELECT ?s WHERE {{ ?s ex:geom ?g . "
+    f"FILTER(strdf:within(?g, {REGION})) }}",
+    f"SELECT ?s WHERE {{ ?s ex:geom ?g . "
+    f"FILTER(strdf:contains({REGION}, ?g)) }}",
+    f"SELECT ?s WHERE {{ ?s ex:geom ?g . "
+    f"FILTER(strdf:disjoint(?g, {REGION})) }}",
+    f"SELECT ?s WHERE {{ ?s ex:geom ?g . "
+    f"FILTER(strdf:distance(?g, {PROBE}) < 6.0) }}",
+    f"SELECT ?s WHERE {{ ?s ex:geom ?g . "
+    f"FILTER(strdf:distance(?g, {PROBE}) <= 3.5) }}",
+    f"SELECT ?s WHERE {{ ?s ex:geom ?g . "
+    f"FILTER(strdf:distance(?g, {PROBE}) > 10.0) }}",
+    f"SELECT ?s WHERE {{ ?s ex:geom ?g . "
+    f"FILTER(strdf:distance(?g, {PROBE}) >= 15.0) }}",
+    f"SELECT ?s WHERE {{ ?s ex:geom ?g . "
+    f"FILTER(6.0 > strdf:distance(?g, {PROBE})) }}",
+    f"SELECT ?s WHERE {{ ?s ex:geom ?g . "
+    f"FILTER(geof:distance({PROBE}, ?g) < 4.25) }}",
+]
+
+
+def spatial_store(seed=11, n=120):
+    import random as _random
+
+    from repro.geometry import Point, Polygon
+    from repro.strabon import geometry_literal
+
+    store = StrabonStore()
+    rng = _random.Random(seed)
+    for i in range(n):
+        x, y = rng.uniform(-10, 20), rng.uniform(-10, 20)
+        if i % 7 == 0:
+            geom = Polygon(
+                [(x, y), (x + 1, y), (x + 1, y + 1), (x, y + 1)]
+            )
+        else:
+            geom = Point(x, y)
+        store.add((EX[f"f{i}"], EX.geom, geometry_literal(geom)))
+    return store
+
+
+class TestSpatialBatch:
+    @pytest.mark.parametrize("query", SPATIAL_QUERIES)
+    def test_batched_rows_match_interpreter(self, monkeypatch, query):
+        results = {}
+        for on in (True, False):
+            kernels.clear_caches()
+            if on:
+                monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+            else:
+                monkeypatch.setenv(kernels.KERNELS_ENV, "0")
+            store = spatial_store()
+            results[on] = sorted(
+                store.query(SPATIAL_PREFIXES + query).rows()
+            )
+        assert results[True] == results[False]
+
+    def test_batch_lane_engages_and_decides_rows(self, monkeypatch):
+        from repro import obs
+
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        kernels.clear_caches()
+        store = spatial_store()
+        before = obs.snapshot()["counters"]
+        store.query(
+            SPATIAL_PREFIXES
+            + "SELECT ?s WHERE { ?s ex:geom ?g . "
+            f"FILTER(strdf:distance(?g, {PROBE}) > 10.0) }}"
+        )
+        after = obs.snapshot()["counters"]
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("stsparql.spatial.batch_rows") == 120
+        # Most rows are far from the probe: the envelope lower bound
+        # must decide them without running the exact geometry distance.
+        assert delta("stsparql.spatial.env_decided") > 60
+
+    def test_envelope_decisions_match_all_pairs_oracle(self, monkeypatch):
+        # The batched envelope pass must agree with the quadratic
+        # oracle: for every (geometry, constant) pair, env-disjoint
+        # implies the predicate is False, and the envelope distance
+        # never exceeds the geometry distance (it is a lower bound).
+        from repro.geometry import Envelope
+        from repro.geometry.envelope import PackedEnvelopes
+        from repro.strabon import literal_geometry
+
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        store = spatial_store()
+        geoms = [
+            literal_geometry(o)
+            for _, _, o in store.triples((None, EX.geom, None))
+        ]
+        assert len(geoms) == 120
+        envs = [g.envelope for g in geoms]
+        packed = PackedEnvelopes.pack(envs)
+        probe = Envelope(0.0, 0.0, 8.0, 8.0)
+        hit = packed.intersects(probe)
+        dist = packed.distance(probe)
+        for i, geom in enumerate(geoms):
+            assert hit[i] == envs[i].intersects(probe)
+            # strict lower bound modulo the documented 1-ulp slack
+            assert dist[i] * (1.0 - 1e-12) <= envs[i].distance(probe)
+
+    def test_mixed_srid_rows_fall_back_per_row(self, monkeypatch):
+        # A geometry in a different SRID is outside the lane's
+        # contract: it must take the exact per-row path, and the
+        # result must still match the interpreter.
+        from repro.geometry import Point
+        from repro.strabon import geometry_literal
+
+        query = (
+            SPATIAL_PREFIXES
+            + "SELECT ?s WHERE { ?s ex:geom ?g . "
+            f"FILTER(strdf:distance(?g, {PROBE}) < 6.0) }}"
+        )
+        results = {}
+        for on in (True, False):
+            kernels.clear_caches()
+            if on:
+                monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+            else:
+                monkeypatch.setenv(kernels.KERNELS_ENV, "0")
+            store = spatial_store(n=40)
+            store.add(
+                (
+                    EX.odd,
+                    EX.geom,
+                    geometry_literal(Point(5.1, 5.1, srid=3857)),
+                )
+            )
+            results[on] = sorted(store.query(query).rows())
+        assert results[True] == results[False]
+
+    def test_spatial_plan_cached_on_repeat(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+        kernels.clear_caches()
+        store = spatial_store(n=30)
+        query = (
+            SPATIAL_PREFIXES
+            + "SELECT ?s WHERE { ?s ex:geom ?g . "
+            f"FILTER(strdf:intersects(?g, {REGION})) }}"
+        )
+        store.query(query)
+        hits = kernels.filter_kernel_cache.hits
+        store.query(query)
+        assert kernels.filter_kernel_cache.hits > hits

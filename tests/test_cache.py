@@ -176,3 +176,29 @@ def test_failed_compute_cleans_up_inflight_tracking():
     assert cache._inflight == {}
     assert "k" not in cache
     assert cache.get_or_compute("k", lambda: "ok") == "ok"
+
+
+def test_mark_refusal_reclassifies_hit():
+    # Refusal sentinels are stored like any value, so the lookup lands
+    # as a hit first; mark_refusal() moves it to the refusals column so
+    # cached compile-refusals never inflate the hit rate.
+    cache = LRUCache(maxsize=4)
+    sentinel = object()
+    cache.put("k", sentinel)
+    assert cache.get("k") is sentinel
+    assert cache.stats.hits == 1
+    cache.mark_refusal()
+    assert cache.stats.hits == 0
+    assert cache.stats.refusals == 1
+    assert cache.stats.lookups == 1
+    assert cache.stats.hit_rate == 0.0
+
+
+def test_reset_stats_zeroes_refusals():
+    cache = LRUCache(maxsize=4)
+    cache.put("k", 1)
+    cache.get("k")
+    cache.mark_refusal()
+    cache.reset_stats()
+    assert cache.stats.refusals == 0
+    assert cache.stats.hits == 0

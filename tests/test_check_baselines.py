@@ -1,0 +1,105 @@
+"""The bench-gate checker must fail loudly when a speedup regresses.
+
+These tests drive :mod:`benchmarks.check_baselines` through its public
+``check`` entry point over synthetic results files, pinning the gate
+semantics CI relies on: within-tolerance drift passes, a floor above the
+measurement fails, a metric missing from the results fails, and
+``--update`` rewrites baselines to the measured values.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)))
+)
+
+from benchmarks.check_baselines import check, lookup  # noqa: E402
+
+
+def _write(path, payload):
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+@pytest.fixture()
+def gate_files(tmp_path):
+    results = tmp_path / "BENCH_kernels.json"
+    baselines = tmp_path / "baselines.json"
+    _write(
+        results,
+        {
+            "select": {"speedup_vs_interpreted": 2.1},
+            "spatial": {"speedup": 2.3},
+        },
+    )
+    _write(
+        baselines,
+        {
+            "results_file": "BENCH_kernels.json",
+            "tolerance": 0.2,
+            "baselines": {
+                "select.speedup_vs_interpreted": 2.0,
+                "spatial.speedup": 2.2,
+            },
+        },
+    )
+    return str(baselines), str(results)
+
+
+class TestLookup:
+    def test_walks_nested_dicts(self):
+        assert lookup({"a": {"b": 3.5}}, "a.b") == 3.5
+
+    def test_missing_hop_is_none(self):
+        assert lookup({"a": {}}, "a.b") is None
+        assert lookup({"a": 1}, "a.b") is None
+
+
+class TestGate:
+    def test_within_tolerance_passes(self, gate_files):
+        baselines, results = gate_files
+        assert check(baselines, results) == 0
+
+    def test_drift_inside_tolerance_passes(self, gate_files):
+        # 2.1 measured vs 2.5 baseline: floor is 2.0, still green.
+        baselines, results = gate_files
+        spec = json.load(open(baselines))
+        spec["baselines"]["select.speedup_vs_interpreted"] = 2.5
+        _write(baselines, spec)
+        assert check(baselines, results) == 0
+
+    def test_inflated_floor_fails(self, gate_files):
+        # The acceptance demonstration: raise one baseline far above
+        # the measurement and the gate must go red.
+        baselines, results = gate_files
+        spec = json.load(open(baselines))
+        spec["baselines"]["select.speedup_vs_interpreted"] = 50.0
+        _write(baselines, spec)
+        assert check(baselines, results) == 1
+
+    def test_missing_metric_fails(self, gate_files):
+        baselines, results = gate_files
+        spec = json.load(open(baselines))
+        spec["baselines"]["aggregate.speedup_vs_interpreted"] = 2.0
+        _write(baselines, spec)
+        assert check(baselines, results) == 1
+
+    def test_missing_results_file_fails(self, gate_files):
+        baselines, _ = gate_files
+        assert check(baselines, "/nonexistent/results.json") == 1
+
+    def test_update_rewrites_baselines(self, gate_files):
+        baselines, results = gate_files
+        spec = json.load(open(baselines))
+        spec["baselines"]["select.speedup_vs_interpreted"] = 50.0
+        _write(baselines, spec)
+        assert check(baselines, results, update=True) == 0
+        spec = json.load(open(baselines))
+        assert spec["baselines"]["select.speedup_vs_interpreted"] == 2.1
+        assert spec["tolerance"] == 0.2
+        # And the refreshed baselines now gate green.
+        assert check(baselines, results) == 0

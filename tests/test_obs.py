@@ -280,3 +280,17 @@ class TestMetricsService:
         vo = VirtualEarthObservatory(load_linked_data=False)
         snap = vo.metrics.snapshot()
         assert "caches" in snap and "histograms" in snap
+
+
+class TestRefusalsInSnapshot:
+    def test_cache_snapshot_carries_refusals(self):
+        cache = LRUCache(maxsize=4, name="test.refusals")
+        try:
+            cache.put("k", object())
+            cache.get("k")
+            cache.mark_refusal()
+            stats = obs.snapshot()["caches"][cache.name]
+            assert stats["refusals"] == 1
+            assert stats["hits"] == 0
+        finally:
+            del cache
