@@ -1,20 +1,27 @@
-"""Compare A7 benchmark speedups against committed baseline floors.
+"""Compare benchmark metrics against committed baseline floors.
 
-The CI ``bench-gate`` job runs the A7 kernel-compile benchmark (which
-writes ``BENCH_kernels.json``) and then this checker.  Each entry in
-``benchmarks/baselines.json`` names a dotted path into the results file
-(``select.speedup_vs_interpreted`` → ``results["select"]
-["speedup_vs_interpreted"]``) and the speedup recorded the last time the
-baseline was updated.  A measurement may drift *below* its baseline by
-at most ``tolerance`` (relative) before the gate fails — CI runners are
-noisy, real regressions are not.
+The CI ``bench-gate`` job runs the gated benchmarks (A7 writes
+``BENCH_kernels.json``, A10 writes ``BENCH_mining.json``) and then this
+checker.  Each entry in ``benchmarks/baselines.json`` names a dotted
+path into its results file (``select.speedup_vs_interpreted`` →
+``results["select"]["speedup_vs_interpreted"]``) and the value recorded
+the last time the baseline was updated.  A measurement may drift
+*below* its baseline by at most ``tolerance`` (relative) before the
+gate fails — CI runners are noisy, real regressions are not.
+
+The baselines spec gates one results file through its top-level
+``results_file``/``baselines`` keys; an optional ``files`` list adds
+further ``{"results_file": ..., "baselines": {...}}`` entries gated
+with the same tolerance (this is how the A10 mining floors ride the
+same gate).
 
 Exit status: 0 when every metric is within tolerance, 1 when any metric
-regressed or is missing from the results file.
+regressed or is missing from its results file.
 
 Updating baselines after an intentional performance change::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_a7_kernel_compile.py -q
+    PYTHONPATH=src python -m pytest benchmarks/bench_a10_mining.py -q
     python benchmarks/check_baselines.py --update
     git add benchmarks/baselines.json   # commit alongside the change
 
@@ -54,37 +61,46 @@ def check(
     with open(baselines_path) as fh:
         spec = json.load(fh)
     tolerance = float(spec["tolerance"])
-    if results_path is None:
-        results_path = os.path.join(
-            os.path.dirname(os.path.abspath(baselines_path)),
-            os.pardir,
-            spec["results_file"],
-        )
-    if not os.path.exists(results_path):
-        print(f"bench-gate: results file missing: {results_path}")
-        return 1
-    with open(results_path) as fh:
-        results = json.load(fh)
+    repo_dir = os.path.join(
+        os.path.dirname(os.path.abspath(baselines_path)), os.pardir
+    )
+
+    # The top-level results_file/baselines pair (the historical A7
+    # single-file schema, honouring an explicit --results override),
+    # plus any extra entries from the optional "files" list.
+    entries = [(results_path, spec["results_file"], spec["baselines"])]
+    for extra in spec.get("files", []):
+        entries.append((None, extra["results_file"], extra["baselines"]))
+
+    resolved = []
+    for override, results_file, baselines in entries:
+        path = override or os.path.join(repo_dir, results_file)
+        if not os.path.exists(path):
+            print(f"bench-gate: results file missing: {path}")
+            return 1
+        with open(path) as fh:
+            resolved.append((path, json.load(fh), baselines))
 
     failures = 0
-    width = max(len(k) for k in spec["baselines"])
-    for metric, baseline in sorted(spec["baselines"].items()):
-        measured = lookup(results, metric)
-        if not isinstance(measured, (int, float)):
-            print(f"FAIL {metric:<{width}}  missing from {results_path}")
-            failures += 1
-            continue
-        floor = float(baseline) * (1.0 - tolerance)
-        verdict = "ok  " if measured >= floor else "FAIL"
-        print(
-            f"{verdict} {metric:<{width}}  measured {measured:6.2f}x"
-            f"  baseline {float(baseline):6.2f}x"
-            f"  floor {floor:6.2f}x"
-        )
-        if measured < floor:
-            failures += 1
-        if update:
-            spec["baselines"][metric] = round(float(measured), 2)
+    width = max(len(k) for _, _, b in resolved for k in b)
+    for path, results, baselines in resolved:
+        for metric, baseline in sorted(baselines.items()):
+            measured = lookup(results, metric)
+            if not isinstance(measured, (int, float)):
+                print(f"FAIL {metric:<{width}}  missing from {path}")
+                failures += 1
+                continue
+            floor = float(baseline) * (1.0 - tolerance)
+            verdict = "ok  " if measured >= floor else "FAIL"
+            print(
+                f"{verdict} {metric:<{width}}  measured {measured:9.2f}"
+                f"  baseline {float(baseline):9.2f}"
+                f"  floor {floor:9.2f}"
+            )
+            if measured < floor:
+                failures += 1
+            if update:
+                baselines[metric] = round(float(measured), 2)
 
     if update:
         with open(baselines_path, "w") as fh:

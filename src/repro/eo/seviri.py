@@ -15,9 +15,13 @@ The simulated physics, all parametric and seeded (deterministic):
 * a cooler, thermally flat sea (from the supplied land polygon),
 * cold cloud blobs that *mask* everything beneath them,
 * fire fronts: clusters of pixels with a strong 3.9 µm anomaly and a
-  weaker 10.8 µm anomaly, placed on land outside clouds.
+  weaker 10.8 µm anomaly, placed on land outside clouds,
+* burn scars: broad connected regions of recently burnt, low-albedo
+  land running a few Kelvin hot in *both* channels (small 3.9−10.8 µm
+  difference, unlike active fires) — the input of the second NOA-style
+  application chain (burn-scar mapping).
 
-Ground truth (fire/cloud/sea masks) is retained, which turns the paper's
+Ground truth (fire/cloud/sea/scar masks) is retained, which turns the paper's
 demo into measurable experiments: thematic accuracy of the chain and of
 the refinement step can be scored exactly.
 
@@ -39,7 +43,9 @@ from repro.geometry import Envelope, Polygon
 from repro.geometry.multi import MultiPolygon
 
 _MAGIC = b"RSAT"
-_VERSION = 2
+#: v2 carried 3 ground-truth masks (fire/cloud/sea); v3 appends the
+#: burn-scar mask.  The reader still accepts v2 files (zero scar mask).
+_VERSION = 3
 _BAND_NAMES = ("t039", "t108")
 
 #: Kelvin baselines of the simulation.
@@ -47,6 +53,9 @@ LAND_BASE_K = 295.0
 SEA_BASE_K = 288.5
 DIURNAL_AMPLITUDE_K = 7.0
 CLOUD_DEPRESSION_K = 45.0
+#: Burn scars raise the 10.8 µm background by at least this much.
+SCAR_T108_MIN_K = 5.0
+SCAR_T108_MAX_K = 8.0
 
 
 class SceneSpec:
@@ -63,6 +72,8 @@ class SceneSpec:
         n_clouds: int = 3,
         n_glints: int = 0,
         n_warm_surfaces: int = 0,
+        n_burn_scars: int = 0,
+        scar_pixels: Tuple[int, int] = (18, 48),
         seed: int = 0,
         sensor: str = "SEVIRI",
         mission: str = "MSG2",
@@ -78,6 +89,8 @@ class SceneSpec:
         self.n_clouds = n_clouds
         self.n_glints = n_glints
         self.n_warm_surfaces = n_warm_surfaces
+        self.n_burn_scars = n_burn_scars
+        self.scar_pixels = scar_pixels
         self.seed = seed
         self.sensor = sensor
         self.mission = mission
@@ -105,12 +118,16 @@ class SeviriScene:
         fire_mask: np.ndarray,
         cloud_mask: np.ndarray,
         sea_mask: np.ndarray,
+        scar_mask: Optional[np.ndarray] = None,
     ):
         self.spec = spec
         self.bands = bands
         self.fire_mask = fire_mask
         self.cloud_mask = cloud_mask
         self.sea_mask = sea_mask
+        if scar_mask is None:
+            scar_mask = np.zeros((spec.height, spec.width), dtype=bool)
+        self.scar_mask = scar_mask
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -320,6 +337,28 @@ def generate_scene(
             t039[r, c] += rng.uniform(12.0, 28.0)
             t108[r, c] += rng.uniform(2.0, 6.0)
 
+    # Burn scars: recently burnt low-albedo land runs a few Kelvin hot
+    # in both channels under daytime heating, with a *small* 3.9-10.8um
+    # difference — a fire detector must not flag them, while the
+    # burn-scar chain maps them from the elevated 10.8um background.
+    # Drawn only when requested so pre-v3 seeds stay bit-identical.
+    scar_mask = np.zeros(shape, dtype=bool)
+    scar_blocked = sea | cloud_mask | fire_mask
+    scar_usable = np.nonzero(~scar_blocked)
+    s_lo, s_hi = spec.scar_pixels
+    for _ in range(spec.n_burn_scars):
+        if len(scar_usable[0]) == 0:
+            break
+        k = int(rng.integers(0, len(scar_usable[0])))
+        start = (int(scar_usable[0][k]), int(scar_usable[1][k]))
+        n_pixels = int(rng.integers(s_lo, s_hi + 1))
+        t108_bump = rng.uniform(SCAR_T108_MIN_K, SCAR_T108_MAX_K)
+        t039_bump = t108_bump + rng.uniform(0.5, 2.0)
+        for r, c in _grow_fire(rng, start, n_pixels, shape, scar_blocked):
+            scar_mask[r, c] = True
+            t108[r, c] += t108_bump
+            t039[r, c] += t039_bump
+
     # Sun-glint artifacts: spurious 3.9um spikes over open sea.  They are
     # *not* fires (absent from the truth mask) — they exist to give the
     # refinement step genuine false positives to remove, mimicking the
@@ -345,6 +384,7 @@ def generate_scene(
         "t108": t108.astype(np.float32),
     }
     scene.fire_mask = fire_mask
+    scene.scar_mask = scar_mask
     return scene
 
 
@@ -385,7 +425,12 @@ def write_scene(scene: SeviriScene, path: str) -> None:
             f.write(scene.bands[name].astype("<f4").tobytes())
         # Ground-truth masks ride along so experiments can score accuracy
         # (a real archive would keep them in validation layers).
-        for mask in (scene.fire_mask, scene.cloud_mask, scene.sea_mask):
+        for mask in (
+            scene.fire_mask,
+            scene.cloud_mask,
+            scene.sea_mask,
+            scene.scar_mask,
+        ):
             f.write(np.packbits(mask).tobytes())
 
 
@@ -438,12 +483,15 @@ def read_scene(path: str) -> SeviriScene:
             bands[name] = data.reshape(height, width).copy()
         masks = []
         packed_len = (plane + 7) // 8
-        for _ in range(3):
+        # v2 files carry 3 masks; v3 appends the burn-scar mask.
+        n_masks = 3 if int(header["version"]) < 3 else 4
+        for _ in range(n_masks):
             raw = np.frombuffer(f.read(packed_len), dtype=np.uint8)
             masks.append(
                 np.unpackbits(raw)[:plane].reshape(height, width).astype(bool)
             )
-    return SeviriScene(spec, bands, masks[0], masks[1], masks[2])
+    scar = masks[3] if n_masks == 4 else None
+    return SeviriScene(spec, bands, masks[0], masks[1], masks[2], scar)
 
 
 def is_scene_file(path: str) -> bool:

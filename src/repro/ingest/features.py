@@ -51,6 +51,7 @@ class Patch:
         features: np.ndarray,
         footprint: Polygon,
         truth_fire_fraction: float,
+        truth_scar_fraction: float = 0.0,
     ):
         self.row = row
         self.col = col
@@ -58,6 +59,7 @@ class Patch:
         self.features = features
         self.footprint = footprint
         self.truth_fire_fraction = truth_fire_fraction
+        self.truth_scar_fraction = truth_scar_fraction
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -80,12 +82,27 @@ class PatchGrid:
             return np.zeros((0, len(FEATURE_NAMES)))
         return np.vstack([p.features for p in self.patches])
 
-    def truth_labels(self, fire_threshold: float = 0.02) -> List[str]:
-        """Ground-truth concept per patch (fire / other)."""
-        return [
-            "fire" if p.truth_fire_fraction > fire_threshold else "other"
-            for p in self.patches
-        ]
+    def truth_labels(
+        self,
+        fire_threshold: float = 0.02,
+        scar_threshold: float = 0.25,
+    ) -> List[str]:
+        """Ground-truth concept per patch (fire / burned / other).
+
+        Fires dominate: a patch containing both an active front and old
+        scar pixels is labelled ``fire``.  ``burned`` only appears for
+        scenes generated with ``n_burn_scars > 0``; legacy fire-only
+        grids keep the historical fire/other labelling.
+        """
+        labels = []
+        for p in self.patches:
+            if p.truth_fire_fraction > fire_threshold:
+                labels.append("fire")
+            elif p.truth_scar_fraction > scar_threshold:
+                labels.append("burned")
+            else:
+                labels.append("other")
+        return labels
 
     def __len__(self) -> int:
         return len(self.patches)

@@ -12,7 +12,8 @@ def scene_to_array(path: str) -> SciArray:
     """Ingest a scene file into a SciQL array.
 
     The array has dimensions ``row``/``col`` and one attribute per band
-    plus the ground-truth ``truth_fire`` plane (kept for scoring).
+    plus the ground-truth ``truth_fire``/``truth_scar`` planes (kept
+    for scoring).
     """
     scene = seviri.read_scene(path)
     h, w = scene.shape
@@ -23,11 +24,13 @@ def scene_to_array(path: str) -> SciArray:
             ("t039", DOUBLE),
             ("t108", DOUBLE),
             ("truth_fire", DOUBLE),
+            ("truth_scar", DOUBLE),
         ],
     )
     array.set_attribute("t039", scene.band("t039").astype(float))
     array.set_attribute("t108", scene.band("t108").astype(float))
     array.set_attribute("truth_fire", scene.fire_mask.astype(float))
+    array.set_attribute("truth_scar", scene.scar_mask.astype(float))
     return array
 
 

@@ -8,6 +8,7 @@ content ("images containing hotspots").
 
 from __future__ import annotations
 
+from datetime import timedelta
 from typing import Dict, Optional, Sequence
 
 from repro.eo.products import Product
@@ -17,9 +18,16 @@ from repro.mining.classify import Classifier
 from repro.mining.ontology import CONCEPTS
 from repro.rdf import Graph, Literal, URIRef
 from repro.rdf.namespace import NOA, RDF
-from repro.strabon.strdf import geometry_literal
+from repro.strabon.strdf import geometry_literal, period_literal
 
 _TYPE = URIRef(str(RDF) + "type")
+
+#: Default annotation validity: one SEVIRI repeat cycle.  An annotation
+#: derived from an acquisition asserts its concept for the half-open
+#: interval ``[acquired, acquired + validity)`` — the stRDF valid time
+#: the catalogue's temporal constraints (``strdf:during`` & friends)
+#: filter on.
+DEFAULT_VALIDITY = timedelta(minutes=15)
 
 
 class SemanticAnnotator:
@@ -33,9 +41,13 @@ class SemanticAnnotator:
         self,
         classifier: Classifier,
         concept_map: Optional[Dict[str, URIRef]] = None,
+        validity: timedelta = DEFAULT_VALIDITY,
     ):
         self.classifier = classifier
         self.concept_map = dict(concept_map or CONCEPTS)
+        if validity <= timedelta(0):
+            raise ValueError("annotation validity must be positive")
+        self.validity = validity
 
     def annotate(
         self,
@@ -46,7 +58,9 @@ class SemanticAnnotator:
         """Classify the grid (unless ``labels`` are given) and emit RDF.
 
         Each patch becomes a ``noa:Patch`` resource typed with its concept,
-        carrying its footprint geometry and a link to the product.
+        carrying its footprint geometry, its stRDF valid time (the
+        acquisition instant extended by ``validity``), and a link to the
+        product.
         """
         if labels is None:
             labels = self.classifier.predict(grid.feature_matrix())
@@ -56,6 +70,11 @@ class SemanticAnnotator:
             )
         g = Graph()
         prod_node = product_uri(product)
+        valid_time = None
+        if product.acquired is not None:
+            valid_time = period_literal(
+                product.acquired, product.acquired + self.validity
+            )
         for patch, label in zip(grid, labels):
             node = URIRef(
                 f"{prod_node}/patch/{patch.row}_{patch.col}"
@@ -74,6 +93,10 @@ class SemanticAnnotator:
                     geometry_literal(patch.footprint),
                 )
             )
+            if valid_time is not None:
+                g.add(
+                    (node, URIRef(str(NOA) + "hasValidTime"), valid_time)
+                )
             g.add(
                 (node, URIRef(str(NOA) + "isPatchOf"), prod_node)
             )

@@ -20,7 +20,14 @@ class Classifier:
     """Interface: ``fit(X, labels)`` then ``predict(X)``.
 
     ``X`` is an (n_samples, n_features) float matrix; labels are strings.
+    Fitted classifiers round-trip losslessly through :meth:`to_state` /
+    :func:`classifier_from_state` (plain JSON-able dicts; floats survive
+    bit-exactly via repr round-tripping), which is what the storage
+    engine persists.
     """
+
+    #: Registry key used by state round-tripping; set per subclass.
+    kind = ""
 
     def __init__(self):
         self._mean: Optional[np.ndarray] = None
@@ -65,9 +72,31 @@ class Classifier:
     def _predict(self, X: np.ndarray) -> List[str]:
         raise NotImplementedError
 
+    # -- persisted model state -----------------------------------------------
+
+    def to_state(self) -> Dict:
+        """JSON-able snapshot of a *fitted* classifier."""
+        if self._mean is None:
+            raise ClassifierError("classifier is not fitted")
+        return {
+            "kind": self.kind,
+            "mean": [float(v) for v in self._mean],
+            "std": [float(v) for v in self._std],
+            "classes": list(self.classes_),
+            "params": self._state(),
+        }
+
+    def _state(self) -> Dict:
+        raise NotImplementedError
+
+    def _load_state(self, params: Dict) -> None:
+        raise NotImplementedError
+
 
 class KNNClassifier(Classifier):
     """k-nearest-neighbours with Euclidean distance and majority vote."""
+
+    kind = "knn"
 
     def __init__(self, k: int = 5):
         super().__init__()
@@ -100,9 +129,24 @@ class KNNClassifier(Classifier):
             out.append(best[0])
         return out
 
+    def _state(self) -> Dict:
+        assert self._X is not None
+        return {
+            "k": self.k,
+            "X": [[float(v) for v in row] for row in self._X],
+            "labels": list(self._labels),
+        }
+
+    def _load_state(self, params: Dict) -> None:
+        self.k = int(params["k"])
+        self._X = np.asarray(params["X"], dtype=float)
+        self._labels = list(params["labels"])
+
 
 class NearestCentroidClassifier(Classifier):
     """Assigns the class whose feature centroid is closest."""
+
+    kind = "centroid"
 
     def __init__(self):
         super().__init__()
@@ -123,9 +167,27 @@ class NearestCentroidClassifier(Classifier):
             out.append(names[int(np.argmin(dist))])
         return out
 
+    def _state(self) -> Dict:
+        # A list of pairs: centroid iteration order is significant
+        # (argmin ties resolve to the first name).
+        return {
+            "centroids": [
+                [cls, [float(v) for v in centre]]
+                for cls, centre in self._centroids.items()
+            ]
+        }
+
+    def _load_state(self, params: Dict) -> None:
+        self._centroids = {
+            cls: np.asarray(centre, dtype=float)
+            for cls, centre in params["centroids"]
+        }
+
 
 class GaussianNBClassifier(Classifier):
     """Gaussian naive Bayes with per-class diagonal covariance."""
+
+    kind = "gaussian-nb"
 
     def __init__(self, var_smoothing: float = 1e-6):
         super().__init__()
@@ -153,6 +215,55 @@ class GaussianNBClassifier(Classifier):
             ).sum(axis=1)
             scores[:, j] = log_likelihood + np.log(prior)
         return [names[int(i)] for i in np.argmax(scores, axis=1)]
+
+    def _state(self) -> Dict:
+        return {
+            "var_smoothing": float(self.var_smoothing),
+            "params": [
+                [
+                    cls,
+                    [float(v) for v in mean],
+                    [float(v) for v in var],
+                    float(prior),
+                ]
+                for cls, (mean, var, prior) in self._params.items()
+            ],
+        }
+
+    def _load_state(self, params: Dict) -> None:
+        self.var_smoothing = float(params["var_smoothing"])
+        self._params = {
+            cls: (
+                np.asarray(mean, dtype=float),
+                np.asarray(var, dtype=float),
+                float(prior),
+            )
+            for cls, mean, var, prior in params["params"]
+        }
+
+
+#: Registry of persistable classifier kinds.
+CLASSIFIER_KINDS: Dict[str, type] = {
+    "knn": KNNClassifier,
+    "centroid": NearestCentroidClassifier,
+    "gaussian-nb": GaussianNBClassifier,
+}
+
+
+def classifier_from_state(state: Dict) -> Classifier:
+    """Rebuild a fitted classifier from a :meth:`Classifier.to_state` dict."""
+    try:
+        cls = CLASSIFIER_KINDS[state["kind"]]
+    except KeyError:
+        raise ClassifierError(
+            f"unknown classifier kind {state.get('kind')!r}"
+        ) from None
+    clf: Classifier = cls()
+    clf._mean = np.asarray(state["mean"], dtype=float)
+    clf._std = np.asarray(state["std"], dtype=float)
+    clf.classes_ = list(state["classes"])
+    clf._load_state(state["params"])
+    return clf
 
 
 def train_test_split(

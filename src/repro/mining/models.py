@@ -1,0 +1,81 @@
+"""Persisted classifier model state.
+
+The mining pillar's classifiers are small (centroids, neighbour tables,
+Gaussian parameters), so the model registry keeps them in a relational
+table, ``mining_models`` — one row per model name holding the JSON
+state snapshot from :meth:`Classifier.to_state`.  On a durable database
+(a :class:`repro.mdb.storage.StorageEngine`-backed instance) every save
+therefore rides the WAL like any other insert and survives crash
+recovery; on a plain in-memory database it behaves as a session-scoped
+registry.  Floats round-trip bit-exactly (``json`` emits shortest
+reprs), so a reloaded classifier predicts identically to the fitted
+one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro import obs
+from repro.mining.classify import (
+    Classifier,
+    ClassifierError,
+    classifier_from_state,
+)
+
+TABLE = "mining_models"
+
+_SCHEMA = (
+    f"CREATE TABLE IF NOT EXISTS {TABLE} (name STRING, payload STRING)"
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "._-" for c in name):
+        raise ClassifierError(
+            f"model name must be [alnum._-], got {name!r}"
+        )
+    return name
+
+
+class ModelStore:
+    """Named, persisted classifier models over an mdb database."""
+
+    def __init__(self, db):
+        self.db = db
+        db.execute(_SCHEMA)
+
+    def save(self, name: str, classifier: Classifier) -> None:
+        """Persist a fitted classifier under ``name`` (upsert)."""
+        _check_name(name)
+        payload = json.dumps(classifier.to_state(), sort_keys=True)
+        with self.db.lock:
+            self.db.execute(
+                f"DELETE FROM {TABLE} WHERE name = '{name}'"
+            )
+            self.db.insert_rows(TABLE, [(name, payload)])
+        obs.counter("mining.models.saved").inc()
+
+    def load(self, name: str) -> Classifier:
+        """Rebuild the fitted classifier stored under ``name``."""
+        _check_name(name)
+        rows = self.db.query(
+            f"SELECT payload FROM {TABLE} WHERE name = '{name}'"
+        )
+        if not rows:
+            raise ClassifierError(f"no persisted model {name!r}")
+        obs.counter("mining.models.loaded").inc()
+        return classifier_from_state(json.loads(rows[0][0]))
+
+    def delete(self, name: str) -> None:
+        _check_name(name)
+        self.db.execute(f"DELETE FROM {TABLE} WHERE name = '{name}'")
+
+    def names(self) -> List[str]:
+        return sorted(
+            row[0] for row in self.db.query(f"SELECT name FROM {TABLE}")
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names()

@@ -1,0 +1,232 @@
+"""The end-to-end mining pipeline: vault → SciQL features → annotations.
+
+Mirrors the NOA :class:`~repro.noa.chain.ProcessingChain` batch shape
+for the knowledge-discovery pillar: each acquisition runs extract →
+classify → annotate as retried, deadline-checked stages with the
+``mining.extract`` / ``mining.classify`` fault-injection sites, and
+:meth:`MiningPipeline.run_batch` pipelines acquisitions over the worker
+pool with every annotation graph merged into one
+:meth:`StrabonStore.bulk` emit.  Failures degrade per acquisition to
+:class:`~repro.noa.chain.ChainFailure` — a faulted scene contributes
+*zero* annotation triples (no orphans), the rest of the batch lands.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from datetime import timedelta
+from typing import (
+    Any,
+    Callable,
+    ContextManager,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro import faults, obs, parallel, resilience
+from repro.eo.products import Product
+from repro.ingest.features import PatchGrid
+from repro.mining.annotate import DEFAULT_VALIDITY, SemanticAnnotator
+from repro.mining.classify import Classifier
+from repro.mining.features import extract_patch_grid
+from repro.rdf import Graph
+from repro.noa.chain import ChainFailure
+
+
+class MiningResult:
+    """One acquisition's mining output, with per-stage timings."""
+
+    def __init__(self, product: Product, grid: PatchGrid):
+        self.product = product
+        self.grid = grid
+        self.labels: List[str] = []
+        self.rdf: Graph = Graph()
+        self.timings: Dict[str, float] = {}
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def label_statistics(self) -> Dict[str, int]:
+        stats: Dict[str, int] = {}
+        for label in self.labels:
+            stats[label] = stats.get(label, 0) + 1
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"<MiningResult {self.product.product_id} "
+            f"patches={len(self.grid)} {self.label_statistics()}>"
+        )
+
+
+class MiningPipeline:
+    """Batchable patch-mining over ingested acquisitions.
+
+    ``classifier`` is a *fitted* :class:`Classifier` (train one with
+    :func:`repro.mining.features.extract_patch_grid` +
+    ``PatchGrid.truth_labels``, or load persisted state through
+    :class:`repro.mining.models.ModelStore`).
+    """
+
+    def __init__(
+        self,
+        ingestor,
+        classifier: Classifier,
+        patch_size: int = 8,
+        retry: Optional[resilience.RetryPolicy] = None,
+        deadline: Optional[float] = None,
+        validity: timedelta = DEFAULT_VALIDITY,
+        concept_map: Optional[Dict] = None,
+    ):
+        self.ingestor = ingestor
+        self.classifier = classifier
+        self.patch_size = patch_size
+        self.annotator = SemanticAnnotator(
+            classifier, concept_map=concept_map, validity=validity
+        )
+        self.retry = retry or resilience.DEFAULT_RETRY
+        self.deadline = deadline
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, path: str) -> MiningResult:
+        """Mine one archive file (annotations emitted immediately)."""
+        return self._execute(path)
+
+    def run_batch(
+        self,
+        paths: Sequence[str],
+        workers: Optional[int] = None,
+        scheduler: Optional["parallel.TaskScheduler"] = None,
+    ) -> List["MiningResult | ChainFailure"]:
+        """Mine a whole acquisition series with one merged RDF emit.
+
+        Results come back in ``paths`` order; an acquisition that fails
+        (hard fault, bad file) occupies its slot as a
+        :class:`ChainFailure` while the rest of the batch completes and
+        reaches the single bulk emit.  Counters ``mining.batch.ok`` /
+        ``mining.batch.failed`` record the split.
+        """
+        paths = list(paths)
+        sched = parallel.get_scheduler(scheduler, workers)
+        with obs.span("mining.run_batch", acquisitions=len(paths)):
+            if sched.workers == 1 or len(paths) <= 1:
+                results: List[MiningResult | ChainFailure] = [
+                    self._guarded(path) for path in paths
+                ]
+            else:
+                store = self.ingestor.store
+                lock = self.ingestor.db.lock
+                with store.bulk():
+                    results = sched.map(
+                        lambda path: self._guarded(
+                            path, emit=False, lock=lock
+                        ),
+                        paths,
+                    )
+                    for result in results:
+                        if isinstance(result, MiningResult):
+                            store.load_graph(result.rdf)
+            ok = sum(1 for r in results if isinstance(r, MiningResult))
+            obs.counter("mining.batch.ok").inc(ok)
+            obs.counter("mining.batch.failed").inc(len(results) - ok)
+        return results
+
+    def _guarded(
+        self,
+        path: str,
+        emit: bool = True,
+        lock: Optional[ContextManager] = None,
+    ) -> "MiningResult | ChainFailure":
+        try:
+            return self._execute(path, emit=emit, lock=lock)
+        except Exception as exc:  # noqa: BLE001 — isolated per acquisition
+            obs.counter("mining.errors").inc()
+            return ChainFailure(path, exc)
+
+    def _stage(
+        self,
+        name: str,
+        timings: Dict[str, float],
+        deadline: Optional[resilience.Deadline],
+        fn: Callable[[], Any],
+        guard: Optional[ContextManager] = None,
+        **tags: Any,
+    ) -> Any:
+        """One pipeline stage under the chain's resilience envelope:
+        deadline checked at the boundary, the ``mining.<name>`` fault
+        site fired per attempt, transient failures retried, and the
+        shared-state guard re-acquired per attempt (backoff sleeps never
+        hold the database lock)."""
+        if deadline is not None:
+            deadline.check(f"mining.{name}")
+        t0 = time.perf_counter()
+
+        def attempt() -> Any:
+            with (guard if guard is not None else nullcontext()):
+                faults.maybe_fail(f"mining.{name}")
+                return fn()
+
+        try:
+            with obs.span(f"mining.stage.{name}", **tags):
+                return resilience.call_with_retry(
+                    attempt, self.retry, label=f"mining.{name}"
+                )
+        finally:
+            timings[name] = time.perf_counter() - t0
+
+    def _execute(
+        self,
+        path: str,
+        emit: bool = True,
+        lock: Optional[ContextManager] = None,
+    ) -> MiningResult:
+        guard: ContextManager = lock if lock is not None else nullcontext()
+        timings: Dict[str, float] = {}
+        deadline = (
+            resilience.Deadline(self.deadline)
+            if self.deadline is not None
+            else resilience.active_deadline()
+        )
+
+        # (a) extraction — ingest + patch-grid features through SciQL.
+        def extract() -> Tuple[Product, PatchGrid]:
+            product = self.ingestor.ingest_file(path, lazy=True)
+            array = self.ingestor.materialize_array(product)
+            env = product.envelope
+            window = (env.minx, env.miny, env.maxx, env.maxy)
+            grid = extract_patch_grid(
+                array, window, patch_size=self.patch_size
+            )
+            return product, grid
+
+        product, grid = self._stage(
+            "extract", timings, deadline, extract, guard, path=path
+        )
+        result = MiningResult(product, grid)
+
+        # (b) classification — concepts from the fitted model.  Runs
+        # unlocked: predict touches only this acquisition's features.
+        result.labels = self._stage(
+            "classify", timings, deadline,
+            lambda: self.classifier.predict(grid.feature_matrix()),
+            path=path,
+        )
+
+        # (c) annotation — stRDF emit (valid time + footprints).
+        def annotate() -> Graph:
+            rdf = self.annotator.annotate(product, grid, result.labels)
+            if emit:
+                self.ingestor.store.load_graph(rdf)
+            return rdf
+
+        result.rdf = self._stage(
+            "annotate", timings, deadline, annotate, guard, path=path
+        )
+        result.timings = timings
+        return result

@@ -1,0 +1,124 @@
+"""Semantic catalogue queries over mining annotations.
+
+Query builders for the linked-data side of the knowledge-discovery
+pillar: once :class:`~repro.mining.annotate.SemanticAnnotator` output is
+loaded into a :class:`~repro.strabon.StrabonStore`, these stSPARQL
+texts answer the paper's content-based catalogue questions — "patches
+classified as X", "annotations valid at time T", and the cross-pillar
+join "mining annotations spatially and temporally consistent with the
+fire chain's hotspot products".
+
+Every function returns plain query text; run it through
+``StrabonStore.query`` (or ``VirtualEarthObservatory.catalog.run``).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Optional
+
+from repro.ingest.metadata import NOA_PREFIXES
+from repro.rdf import URIRef
+from repro.mining.ontology import CONCEPTS
+
+
+def _concept_iri(concept: str) -> str:
+    """Accept a classifier label (mapped via CONCEPTS) or a full IRI."""
+    mapped = CONCEPTS.get(concept)
+    if mapped is not None:
+        return str(mapped)
+    if isinstance(concept, URIRef):
+        return str(concept)
+    if "://" not in concept:
+        raise ValueError(
+            f"unknown concept label {concept!r} "
+            f"(known: {sorted(CONCEPTS)}) and not an IRI"
+        )
+    return concept
+
+
+def annotations_by_concept(concept: str) -> str:
+    """All patch annotations typed with a concept, with geometry."""
+    iri = _concept_iri(concept)
+    return (
+        NOA_PREFIXES
+        + "SELECT ?patch ?geom ?product WHERE {\n"
+        f"  ?patch a <{iri}> ;\n"
+        "         a noa:Patch ;\n"
+        "         noa:hasGeometry ?geom ;\n"
+        "         noa:isPatchOf ?product .\n"
+        "}"
+    )
+
+
+def annotations_valid_during(
+    concept: str, start: datetime, end: datetime
+) -> str:
+    """Annotations of a concept whose valid time lies inside [start, end).
+
+    Exercises the stRDF valid-time machinery: the annotation's
+    ``noa:hasValidTime`` period literal is tested with ``strdf:during``
+    against an inline period.
+    """
+    iri = _concept_iri(concept)
+    period = f'"[{start.isoformat()}, {end.isoformat()})"^^strdf:period'
+    return (
+        NOA_PREFIXES
+        + "SELECT ?patch ?valid WHERE {\n"
+        f"  ?patch a <{iri}> ;\n"
+        "         noa:hasValidTime ?valid .\n"
+        f"  FILTER(strdf:during(?valid, {period}))\n"
+        "}"
+    )
+
+
+def annotation_hotspot_join(
+    concept: str = "fire",
+    max_distance_deg: Optional[float] = None,
+) -> str:
+    """Join mining annotations with the fire chain's hotspot products.
+
+    The cross-pillar consistency query of the tentpole: a patch the
+    classifier typed with ``concept`` is paired with every hotspot the
+    processing chain derived *from the same product*, constrained to
+    spatially intersecting geometries and to hotspot acquisition
+    instants falling inside the annotation's valid time.  With
+    ``max_distance_deg`` the spatial constraint relaxes from
+    intersection to a distance bound.
+    """
+    iri = _concept_iri(concept)
+    if max_distance_deg is None:
+        spatial = "FILTER(strdf:intersects(?pgeom, ?hgeom))"
+    else:
+        spatial = (
+            f"FILTER(strdf:distance(?pgeom, ?hgeom) < {max_distance_deg})"
+        )
+    return (
+        NOA_PREFIXES
+        + "SELECT ?patch ?hotspot ?conf WHERE {\n"
+        f"  ?patch a <{iri}> ;\n"
+        "         a noa:Patch ;\n"
+        "         noa:hasGeometry ?pgeom ;\n"
+        "         noa:hasValidTime ?valid ;\n"
+        "         noa:isPatchOf ?product .\n"
+        "  ?derived noa:isDerivedFrom ?product .\n"
+        "  ?hotspot a noa:Hotspot ;\n"
+        "           noa:isProducedBy ?derived ;\n"
+        "           noa:hasGeometry ?hgeom ;\n"
+        "           noa:hasConfidence ?conf ;\n"
+        "           noa:hasAcquisitionTime ?t .\n"
+        f"  {spatial}\n"
+        "  FILTER(strdf:periodOverlaps(?valid, ?t))\n"
+        "}"
+    )
+
+
+def concept_census() -> str:
+    """Label → patch count over every annotation in the store."""
+    return (
+        NOA_PREFIXES
+        + "SELECT ?label (COUNT(?patch) AS ?n) WHERE {\n"
+        "  ?patch a noa:Patch ;\n"
+        "         noa:hasLabel ?label .\n"
+        "} GROUP BY ?label ORDER BY ?label"
+    )

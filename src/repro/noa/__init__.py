@@ -9,6 +9,8 @@ Athens, rebuilt on the TELEIOS stack:
 * :mod:`repro.noa.classification` — the interchangeable classification
   submodules (static thresholds via SciQL, contextual via window
   statistics);
+* :mod:`repro.noa.burnscar` — the burn-scar mapping chain: a second
+  NOA-style application proving the chain machinery is generic;
 * :mod:`repro.noa.refinement` — post-processing that improves thematic
   accuracy with stSPARQL updates against auxiliary geospatial linked data;
 * :mod:`repro.noa.mapping` — automatic generation of fire maps enriched
@@ -33,11 +35,20 @@ from repro.noa.chain import (
     Hotspot,
     ProcessingChain,
 )
+from repro.noa.burnscar import (
+    BURNSCAR_CLASSIFIERS,
+    BurnScarChain,
+    relative_scar_classifier,
+    scar_background,
+    static_scar_classifier,
+)
 from repro.noa.refinement import RefinementReport, Refiner, score_hotspots
 from repro.noa.mapping import FireMap, FireMapBuilder
 from repro.noa.render import SVGMapRenderer, render_fire_map_svg
 
 __all__ = [
+    "BURNSCAR_CLASSIFIERS",
+    "BurnScarChain",
     "CLASSIFIERS",
     "ChainFailure",
     "ChainResult",
@@ -52,7 +63,10 @@ __all__ = [
     "render_fire_map_svg",
     "contextual_classifier",
     "read_shapefile",
+    "relative_scar_classifier",
+    "scar_background",
     "score_hotspots",
+    "static_scar_classifier",
     "static_threshold_classifier",
     "write_shapefile",
 ]

@@ -63,17 +63,21 @@ class Hotspot:
         confidence: float,
         pixel_count: int,
         product_id: str,
+        kind: str = "hotspot",
     ):
         self.index = index
         self.geometry = geometry
         self.confidence = confidence
         self.pixel_count = pixel_count
         self.product_id = product_id
+        # URI segment of the detection: "hotspot" for the fire chain,
+        # "burnscar" for the burn-scar mapping chain, etc.
+        self.kind = kind
 
     @property
     def uri(self) -> URIRef:
         return URIRef(
-            f"{NOA}hotspot/{self.product_id}/{self.index}"
+            f"{NOA}{self.kind}/{self.product_id}/{self.index}"
         )
 
     def __repr__(self) -> str:
@@ -182,7 +186,24 @@ class ChainResult:
 
 
 class ProcessingChain:
-    """The five-module NOA chain over the TELEIOS database tier."""
+    """The five-module NOA chain over the TELEIOS database tier.
+
+    The class doubles as the *generic* application-chain machinery:
+    stages with retry/deadline/fault envelopes, batch pipelining with a
+    single merged RDF emit, and detection vectorisation.  A second
+    NOA-style application (see :class:`repro.noa.burnscar.BurnScarChain`)
+    subclasses it and overrides only the hooks below — the classifier
+    registry, the detection identity, and the confidence model.
+    """
+
+    #: Classifier-submodule registry this chain validates against.
+    registry: Dict[str, Callable] = CLASSIFIERS
+    #: URI segment of emitted detections (``noa:<kind>/<product>/<i>``).
+    detection_kind = "hotspot"
+    #: RDF class (``noa:`` local name) of emitted detections.
+    detection_class = "Hotspot"
+    #: Derived-product id suffix (``<product>_<suffix>_<classifier>``).
+    derived_suffix = "hotspots"
 
     def __init__(
         self,
@@ -193,10 +214,10 @@ class ProcessingChain:
         retry: Optional[resilience.RetryPolicy] = None,
         deadline: Optional[float] = None,
     ):
-        if classifier not in CLASSIFIERS:
+        if classifier not in self.registry:
             raise ValueError(
                 f"unknown classifier {classifier!r}; "
-                f"have {sorted(CLASSIFIERS)}"
+                f"have {sorted(self.registry)}"
             )
         self.ingestor = ingestor
         self.classifier = classifier
@@ -383,7 +404,7 @@ class ProcessingChain:
         # SciQL UPDATEs serialise inside Database.execute.
         mask = self._stage(
             "classification", timings, deadline,
-            lambda: CLASSIFIERS[self.classifier](array, self.ingestor.db),
+            lambda: self.registry[self.classifier](array, self.ingestor.db),
             path=path, classifier=self.classifier,
         )
         result.hotspot_mask = mask
@@ -393,7 +414,8 @@ class ProcessingChain:
             hotspots = self._vectorize(array, mask, grid, product)
             result.hotspots = hotspots
             derived = product.derive(
-                f"{product.product_id}_hotspots_{self.classifier}",
+                f"{product.product_id}_{self.derived_suffix}_"
+                f"{self.classifier}",
                 ProcessingLevel.L2_DERIVED,
                 metadata={"hasClassifier": self.classifier},
             )
@@ -497,11 +519,10 @@ class ProcessingChain:
                 srid=4326,
             )
             pix = np.asarray(pixels, dtype=np.intp)
-            diffs = (
-                t039[pix[:, 0], pix[:, 1]] - t108[pix[:, 0], pix[:, 1]]
-            ).astype(np.float64)
-            confidence = float(
-                np.clip(diffs.mean() / 25.0, 0.05, 1.0)
+            confidence = self._confidence(
+                t039[pix[:, 0], pix[:, 1]].astype(np.float64),
+                t108[pix[:, 0], pix[:, 1]].astype(np.float64),
+                array,
             )
             hotspots.append(
                 Hotspot(
@@ -510,9 +531,24 @@ class ProcessingChain:
                     confidence=confidence,
                     pixel_count=len(pixels),
                     product_id=product.product_id,
+                    kind=self.detection_kind,
                 )
             )
         return hotspots
+
+    def _confidence(
+        self,
+        t039_pix: np.ndarray,
+        t108_pix: np.ndarray,
+        array: SciArray,
+    ) -> float:
+        """Detection confidence from the member-pixel band values.
+
+        The fire model: mean 3.9-10.8 µm difference scaled into
+        [0.05, 1.0].  Subclasses override with their own physics.
+        """
+        diffs = t039_pix - t108_pix
+        return float(np.clip(diffs.mean() / 25.0, 0.05, 1.0))
 
     @staticmethod
     def _features(hotspots: List[Hotspot]) -> List[Feature]:
@@ -528,13 +564,16 @@ class ProcessingChain:
             for h in hotspots
         ]
 
-    @staticmethod
-    def _emit_rdf(derived: Product, hotspots: List[Hotspot]) -> Graph:
+    def _emit_rdf(
+        self, derived: Product, hotspots: List[Hotspot]
+    ) -> Graph:
         g = product_to_rdf(derived)
         prod_node = product_uri(derived)
         for h in hotspots:
             node = h.uri
-            g.add((node, _TYPE, URIRef(str(NOA) + "Hotspot")))
+            g.add(
+                (node, _TYPE, URIRef(str(NOA) + self.detection_class))
+            )
             g.add(
                 (node, URIRef(str(NOA) + "hasGeometry"),
                  geometry_literal(h.geometry))

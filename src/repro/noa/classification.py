@@ -34,11 +34,16 @@ STATIC_SCIQL_TEMPLATE = (
 )
 
 
-def _ensure_hotspot_attribute(array: SciArray) -> None:
-    if not array.has_attribute("hotspot"):
-        array.add_attribute("hotspot", DOUBLE, default=0.0)
+def ensure_mask_attribute(array: SciArray, name: str) -> None:
+    """Add (or reset) a 0/1 classification-mask attribute plane."""
+    if not array.has_attribute(name):
+        array.add_attribute(name, DOUBLE, default=0.0)
     else:
-        array.fill(0.0, attr="hotspot")
+        array.fill(0.0, attr=name)
+
+
+def _ensure_hotspot_attribute(array: SciArray) -> None:
+    ensure_mask_attribute(array, "hotspot")
 
 
 def static_threshold_classifier(

@@ -33,16 +33,18 @@ from repro.testkit.generators import SPEC_DOMAINS, case_seed, gen_spec
 
 #: Default sweep schedule.  The chain domain is an order of magnitude
 #: slower per case than the in-memory domains, so it runs once per
-#: seven cases.
+#: ten cases.
 DOMAINS = (
     "spatial",
     "stsparql",
     "sciql",
     "storage",
+    "mining",
     "spatial",
     "stsparql",
     "sciql",
     "storage",
+    "mining",
     "chain",
 )
 
@@ -637,6 +639,154 @@ def _check_chain(spec: Dict[str, Any]) -> Optional[str]:
     return None
 
 
+# -- mining: SciQL patch features + classifiers vs pure-python oracle ----------
+
+
+def _mining_grid(blocks, patch: int, name: str, workers: int):
+    """Engine-side patch grid of blocks stacked into one SciQL array."""
+    from repro.mdb.sciql import Dimension, SciArray
+    from repro.mdb.types import DOUBLE
+    from repro.mining.features import extract_patch_grid
+
+    t039 = np.asarray(
+        [row for block in blocks for row in block["t039"]],
+        dtype=np.float64,
+    )
+    t108 = np.asarray(
+        [row for block in blocks for row in block["t108"]],
+        dtype=np.float64,
+    )
+    h, w = t039.shape
+    array = SciArray(
+        name,
+        [Dimension("row", 0, h), Dimension("col", 0, w)],
+        [("t039", DOUBLE), ("t108", DOUBLE)],
+    )
+    array.set_attribute("t039", t039)
+    array.set_attribute("t108", t108)
+    # Unit-degree pixels: the patch footprints come out on exact floats.
+    window = (0.0, 0.0, float(w), float(h))
+    return extract_patch_grid(
+        array, window, patch_size=patch, workers=workers
+    )
+
+
+def _check_mining(spec: Dict[str, Any]) -> Optional[str]:
+    from datetime import datetime, timedelta
+
+    from repro.eo.products import ProcessingLevel, Product
+    from repro.geometry import Envelope, Polygon
+    from repro.mining.annotate import SemanticAnnotator
+    from repro.mining.classify import (
+        KNNClassifier,
+        NearestCentroidClassifier,
+        classifier_from_state,
+    )
+    from repro.mining.queries import annotations_valid_during
+    from repro.rdf import URIRef
+
+    patch = spec["patch"]
+    oracle_train = oracles.naive_mining_features(spec["train"], patch)
+    oracle_test = oracles.naive_mining_features(spec["test"], patch)
+
+    # (1) feature extraction: kernels on/off x workers 1/4, all four
+    # variants must reproduce the pure-python features bit for bit.
+    grids: Dict[str, Any] = {}
+    for label, workers, interpreted in [
+        ("serial", 1, False),
+        ("workers-4", 4, False),
+        ("serial-interpreted", 1, True),
+        ("workers-4-interpreted", 4, True),
+    ]:
+        def run(w=workers):
+            return (
+                _mining_grid(spec["train"], patch, "mining_case_train", w),
+                _mining_grid(spec["test"], patch, "mining_case_test", w),
+            )
+
+        if interpreted:
+            train_grid, test_grid = _with_env(
+                kernels.KERNELS_ENV, "0", run
+            )
+        else:
+            train_grid, test_grid = run()
+        grids[label] = (train_grid, test_grid)
+        for split, grid, expected in [
+            ("train", train_grid, oracle_train),
+            ("test", test_grid, oracle_test),
+        ]:
+            got = grid.feature_matrix().tolist()
+            if got != expected:
+                diff = oracles.first_difference(got, expected)
+                return f"{label}/{split} features != oracle: {diff}"
+
+    # (2) classification: numpy classifier vs the mirrored pure-python
+    # oracle, plus a JSON state round trip (what ModelStore persists).
+    train_grid, test_grid = grids["serial"]
+    train_labels = [block["label"] for block in spec["train"]]
+    clf = (
+        KNNClassifier(1)
+        if spec["classifier"] == "knn1"
+        else NearestCentroidClassifier()
+    )
+    clf.fit(train_grid.feature_matrix(), train_labels)
+    engine_labels = clf.predict(test_grid.feature_matrix())
+    oracle_labels = oracles.naive_mining_classify(
+        oracle_train, train_labels, oracle_test, spec["classifier"]
+    )
+    if engine_labels != oracle_labels:
+        diff = oracles.first_difference(engine_labels, oracle_labels)
+        return f"classifier labels != oracle: {diff}"
+    restored = classifier_from_state(
+        json.loads(json.dumps(clf.to_state(), sort_keys=True))
+    )
+    replayed = restored.predict(test_grid.feature_matrix())
+    if replayed != engine_labels:
+        diff = oracles.first_difference(replayed, engine_labels)
+        return f"state round-trip changed labels: {diff}"
+
+    # (3) annotation + stRDF valid time: every annotated patch must be
+    # found by a containing strdf:during window (offset 0) and none by a
+    # disjoint one (offset 30).
+    acquired = datetime(2007, 8, 25, 12, 0)
+    h = len(spec["test"]) * patch
+    product = Product(
+        "mining_case",
+        "MSG",
+        "SEVIRI",
+        ProcessingLevel.L1_CALIBRATED,
+        acquired,
+        Polygon.from_envelope(Envelope(0.0, 0.0, patch, h), srid=4326),
+        path="mining_case.nat",
+    )
+    concept_map = {
+        label: URIRef(oracles.EX + label) for label in set(train_labels)
+    }
+    annotator = SemanticAnnotator(clf, concept_map=concept_map)
+    store = StrabonStore()
+    store.load_graph(annotator.annotate(product, test_grid, engine_labels))
+    offset = spec["offset_min"]
+    if offset == 0:
+        start = acquired - timedelta(minutes=1)
+        end = acquired + annotator.validity + timedelta(minutes=1)
+    else:
+        start = acquired + timedelta(minutes=offset)
+        end = start + annotator.validity
+    for label in sorted(set(engine_labels)):
+        rows = list(
+            store.query(
+                annotations_valid_during(oracles.EX + label, start, end)
+            ).rows()
+        )
+        expected_n = engine_labels.count(label) if offset == 0 else 0
+        if len(rows) != expected_n:
+            return (
+                f"valid-time query for {label!r} offset={offset}: "
+                f"{len(rows)} rows != expected {expected_n}"
+            )
+    return None
+
+
 # -- storage: durable engine vs in-memory oracle -------------------------------
 
 _STORAGE_SCHEMA = "(id INT, name STRING, v DOUBLE)"
@@ -742,6 +892,7 @@ _CHECKS = {
     "sciql": _check_sciql,
     "chain": _check_chain,
     "storage": _check_storage,
+    "mining": _check_mining,
 }
 
 

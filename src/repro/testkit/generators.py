@@ -31,7 +31,14 @@ from repro.geometry import (
 )
 
 #: Domains understood by :func:`gen_spec`.
-SPEC_DOMAINS = ("spatial", "stsparql", "sciql", "chain", "storage")
+SPEC_DOMAINS = (
+    "spatial",
+    "stsparql",
+    "sciql",
+    "chain",
+    "storage",
+    "mining",
+)
 
 _SEED_MIX = 0x9E3779B97F4A7C15
 
@@ -580,12 +587,78 @@ def gen_storage_spec(seed: int) -> Dict[str, Any]:
     }
 
 
+# -- mining (SciQL patch features + classifiers vs pure-python oracle) ---------
+
+
+def gen_mining_spec(seed: int) -> Dict[str, Any]:
+    """Labelled patch blocks plus a classifier and a temporal probe.
+
+    Each block is one ``patch x patch`` pair of band planes; the check
+    stacks them vertically into a SciQL array and extracts features with
+    kernels on/off and 1/4 workers.  Cell values are class base levels
+    (integers at least 16 K apart) plus quarter-unit noise, so every
+    feature in :data:`repro.mining.features.MINING_FEATURE_NAMES` is an
+    exact dyadic and the pure-python oracle compares with ``==``; the
+    wide class separation also keeps classifier decisions far from
+    numeric ties.  ``offset_min`` probes the stRDF valid-time filter:
+    0 queries a window containing the annotation validity, 30 a
+    disjoint one.
+    """
+    rng = random.Random(("mining", seed).__repr__())
+    patch = rng.choice([2, 4])
+    n_classes = rng.randint(2, 3)
+    bases = rng.sample([280, 296, 312, 328, 344], n_classes)
+    classes = [
+        {
+            "label": f"c{i}",
+            "t039": base,
+            "t108": base - rng.choice([4, 8, 12]),
+        }
+        for i, base in enumerate(bases)
+    ]
+
+    def block(cls: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "label": cls["label"],
+            "t039": [
+                [
+                    cls["t039"] + rng.randint(-4, 4) * 0.25
+                    for _ in range(patch)
+                ]
+                for _ in range(patch)
+            ],
+            "t108": [
+                [
+                    cls["t108"] + rng.randint(-4, 4) * 0.25
+                    for _ in range(patch)
+                ]
+                for _ in range(patch)
+            ],
+        }
+
+    train = [
+        block(cls) for cls in classes for _ in range(rng.randint(2, 3))
+    ]
+    rng.shuffle(train)
+    test = [
+        block(rng.choice(classes)) for _ in range(rng.randint(2, 5))
+    ]
+    return {
+        "patch": patch,
+        "train": train,
+        "test": test,
+        "classifier": rng.choice(["centroid", "centroid", "knn1"]),
+        "offset_min": rng.choice([0, 0, 30]),
+    }
+
+
 _GENERATORS = {
     "spatial": gen_spatial_spec,
     "stsparql": gen_stsparql_spec,
     "sciql": gen_sciql_spec,
     "chain": gen_chain_spec,
     "storage": gen_storage_spec,
+    "mining": gen_mining_spec,
 }
 
 

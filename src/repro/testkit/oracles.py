@@ -346,6 +346,184 @@ def naive_sciql_run(spec: Dict[str, Any]) -> Tuple[str, Any]:
     return ("cells", cells)
 
 
+# -- mining oracle -------------------------------------------------------------
+
+
+def _stack_blocks(blocks: Sequence[Dict[str, Any]], band: str) -> List[List[float]]:
+    return [
+        [float(v) for v in row] for block in blocks for row in block[band]
+    ]
+
+
+def _central_gradient_rows(plane: List[List[float]]) -> List[List[float]]:
+    """Pure-python mirror of :func:`repro.mining.features.central_gradient`
+    along axis 0 (rows)."""
+    h = len(plane)
+    w = len(plane[0])
+    g = [[0.0] * w for _ in range(h)]
+    if h < 2:
+        return g
+    for c in range(w):
+        g[0][c] = plane[1][c] - plane[0][c]
+        g[h - 1][c] = plane[h - 1][c] - plane[h - 2][c]
+        for r in range(1, h - 1):
+            g[r][c] = (plane[r + 1][c] - plane[r - 1][c]) * 0.5
+    return g
+
+
+def _transpose(plane: List[List[float]]) -> List[List[float]]:
+    return [list(col) for col in zip(*plane)]
+
+
+def naive_mining_features(
+    blocks: Sequence[Dict[str, Any]], patch: int
+) -> List[List[float]]:
+    """Feature matrix of patch blocks stacked vertically, by brute force.
+
+    Mirrors :func:`repro.mining.features.extract_patch_grid` over the
+    stacked ``(len(blocks)*patch, patch)`` planes with plain loops.  All
+    cells are dyadic and patch areas are powers of two, so every
+    statistic is exact and the comparison needs no tolerance.
+    """
+    t039 = _stack_blocks(blocks, "t039")
+    t108 = _stack_blocks(blocks, "t108")
+    h, w = len(t039), patch
+    gx = _central_gradient_rows(t039)
+    gy = _transpose(_central_gradient_rows(_transpose(t039)))
+    gradsq = [
+        [gx[r][c] * gx[r][c] + gy[r][c] * gy[r][c] for c in range(w)]
+        for r in range(h)
+    ]
+    contrast = [
+        [
+            (t108[r][c + 1] - t108[r][c]) ** 2 if c + 1 < w else 0.0
+            for c in range(w)
+        ]
+        for r in range(h)
+    ]
+    area = patch * patch
+    features: List[List[float]] = []
+    for i in range(len(blocks)):
+        rows = range(i * patch, (i + 1) * patch)
+
+        def tile_mean(plane: List[List[float]]) -> float:
+            total = 0.0
+            for r in rows:
+                for c in range(w):
+                    total += plane[r][c]
+            return total / area
+
+        m039 = tile_mean(t039)
+        m108 = tile_mean(t108)
+        msq039 = 0.0
+        msq108 = 0.0
+        for r in rows:
+            for c in range(w):
+                msq039 += t039[r][c] * t039[r][c]
+                msq108 += t108[r][c] * t108[r][c]
+        msq039 /= area
+        msq108 /= area
+        mx039 = max(t039[r][c] for r in rows for c in range(w))
+        mgrad = tile_mean(gradsq)
+        mcon = tile_mean(contrast)
+        features.append(
+            [
+                m039,
+                max(msq039 - m039 * m039, 0.0),
+                m108,
+                max(msq108 - m108 * m108, 0.0),
+                m039 - m108,
+                mx039,
+                mgrad,
+                mcon,
+            ]
+        )
+    return features
+
+
+def _axis0_mean(rows: Sequence[Sequence[float]]) -> List[float]:
+    """Sequential row accumulation, numpy's axis-0 reduction order."""
+    acc = list(rows[0])
+    for row in rows[1:]:
+        for j, v in enumerate(row):
+            acc[j] += v
+    n = len(rows)
+    return [v / n for v in acc]
+
+
+def _pairwise8(values: Sequence[float]) -> float:
+    """numpy's pairwise-summation order for exactly eight addends."""
+    s = list(values)
+    assert len(s) == 8
+    return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]))
+
+
+def naive_mining_classify(
+    train_X: Sequence[Sequence[float]],
+    train_labels: Sequence[str],
+    test_X: Sequence[Sequence[float]],
+    classifier: str,
+) -> List[str]:
+    """Pure-python mirror of the mining classifiers.
+
+    Replicates :class:`repro.mining.classify.Classifier` numerics
+    operation for operation — z-score over sequential axis-0 sums,
+    Euclidean distances summed in numpy's pairwise-eight order, first
+    strict minimum wins — so labels compare exactly, not just
+    statistically.
+    """
+    mean = _axis0_mean(train_X)
+    var = _axis0_mean(
+        [
+            [(row[j] - mean[j]) ** 2 for j in range(len(mean))]
+            for row in train_X
+        ]
+    )
+    std = [1.0 if math.sqrt(v) < 1e-12 else math.sqrt(v) for v in var]
+
+    def norm(rows: Sequence[Sequence[float]]) -> List[List[float]]:
+        return [
+            [(row[j] - mean[j]) / std[j] for j in range(len(mean))]
+            for row in rows
+        ]
+
+    xn = norm(train_X)
+    tn = norm(test_X)
+
+    def dist(a: Sequence[float], b: Sequence[float]) -> float:
+        return math.sqrt(
+            _pairwise8([(a[j] - b[j]) ** 2 for j in range(len(a))])
+        )
+
+    out: List[str] = []
+    if classifier == "centroid":
+        classes = sorted(set(train_labels))
+        centroids = [
+            _axis0_mean(
+                [row for row, lab in zip(xn, train_labels) if lab == cls]
+            )
+            for cls in classes
+        ]
+        for row in tn:
+            best, best_d = 0, dist(centroids[0], row)
+            for k in range(1, len(centroids)):
+                d = dist(centroids[k], row)
+                if d < best_d:
+                    best, best_d = k, d
+            out.append(classes[best])
+    elif classifier == "knn1":
+        for row in tn:
+            best, best_d = 0, dist(xn[0], row)
+            for k in range(1, len(xn)):
+                d = dist(xn[k], row)
+                if d < best_d:
+                    best, best_d = k, d
+            out.append(train_labels[best])
+    else:
+        raise ValueError(f"unknown mining classifier {classifier!r}")
+    return out
+
+
 # -- generic multiset helpers --------------------------------------------------
 
 

@@ -238,12 +238,52 @@ def _storage_candidates(
         yield _with(spec, faults=None)
 
 
+def _mining_candidates(
+    spec: Dict[str, Any],
+) -> Iterator[Dict[str, Any]]:
+    train, test = spec["train"], spec["test"]
+    for i in range(len(test)):
+        if len(test) <= 1:
+            break
+        yield _with(spec, test=test[:i] + test[i + 1:])
+    for i in range(len(train)):
+        # The classifier needs a non-empty training set; two blocks keep
+        # z-normalisation meaningful.
+        if len(train) <= 2:
+            break
+        yield _with(spec, train=train[:i] + train[i + 1:])
+    if spec["classifier"] != "centroid":
+        yield _with(spec, classifier="centroid")
+    if spec["offset_min"] != 0:
+        yield _with(spec, offset_min=0)
+    # Flatten one noisy block to its first cell value per band — the
+    # structural shrink that removes texture features from the story.
+    for coll in ("train", "test"):
+        for i, block in enumerate(spec[coll]):
+            for band in ("t039", "t108"):
+                base = block[band][0][0]
+                if any(v != base for row in block[band] for v in row):
+                    blocks = [
+                        {
+                            "label": b["label"],
+                            "t039": [list(r) for r in b["t039"]],
+                            "t108": [list(r) for r in b["t108"]],
+                        }
+                        for b in spec[coll]
+                    ]
+                    blocks[i][band] = [
+                        [base] * len(row) for row in block[band]
+                    ]
+                    yield _with(spec, **{coll: blocks})
+
+
 _CANDIDATES = {
     "spatial": _spatial_candidates,
     "stsparql": _stsparql_candidates,
     "sciql": _sciql_candidates,
     "chain": _chain_candidates,
     "storage": _storage_candidates,
+    "mining": _mining_candidates,
 }
 
 _MAX_STEPS = 500

@@ -115,6 +115,48 @@ class VirtualEarthObservatory:
         )
         return {"chain": result, "refinement": report, "map": fire_map}
 
+    def run_burn_scar_mapping(
+        self,
+        scene_path: str,
+        classifier: str = "relative",
+        output_dir: Optional[str] = None,
+    ) -> Dict:
+        """Burn-scar damage mapping for one scene: the second NOA-style
+        chain over the same machinery, plus its fire map."""
+        from repro.noa.burnscar import BurnScarChain
+        from repro.noa.mapping import FireMapBuilder
+
+        chain = BurnScarChain(self.ingestor, classifier=classifier)
+        result = chain.run(scene_path, output_dir=output_dir)
+        scar_map = FireMapBuilder(self.store, self.world).build(
+            f"Burn-scar map {result.source_product.product_id}"
+        )
+        return {"chain": result, "map": scar_map}
+
+    def run_mining(
+        self,
+        scene_paths: List[str],
+        classifier=None,
+        train_paths: Optional[List[str]] = None,
+        model_name: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> List:
+        """Knowledge discovery over an acquisition series.
+
+        ``classifier`` may be a fitted instance or a persisted model
+        name; when omitted, one is trained on ``train_paths`` (defaults
+        to the series itself) and persisted under ``model_name`` if
+        given.  Returns the per-acquisition
+        :class:`~repro.mining.pipeline.MiningResult` list.
+        """
+        if classifier is None:
+            classifier = self.data_mining.train_classifier(
+                train_paths or scene_paths, model_name=model_name
+            )
+        return self.data_mining.mine_batch(
+            scene_paths, classifier, workers=workers
+        )
+
     def compare_chains(
         self, scene_path: str, classifiers: List[str]
     ) -> Dict[str, ChainResult]:

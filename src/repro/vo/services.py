@@ -20,7 +20,11 @@ from repro.ingest.features import extract_patches
 from repro.ingest.harvest import Ingestor
 from repro.mining.annotate import SemanticAnnotator
 from repro.mining.classify import Classifier, KNNClassifier
-from repro.noa.chain import ChainResult, ProcessingChain
+from repro.mining.features import extract_patch_grid
+from repro.mining.models import ModelStore
+from repro.mining.pipeline import MiningPipeline, MiningResult
+from repro.noa.burnscar import BurnScarChain
+from repro.noa.chain import ChainFailure, ChainResult, ProcessingChain
 from repro.noa.mapping import FireMap, FireMapBuilder
 from repro.noa.refinement import RefinementReport, Refiner
 from repro.strabon import StrabonStore
@@ -81,46 +85,102 @@ class RapidMappingService:
 
 
 class DataMiningService:
-    """Knowledge-discovery runs over archived scenes."""
+    """Knowledge-discovery runs over archived scenes.
+
+    The mining pillar's service facade: feature extraction runs through
+    the SciQL tile-aggregate read path (compiled kernels when enabled),
+    fitted models persist by name in the relational tier
+    (:class:`~repro.mining.models.ModelStore`, WAL-durable on
+    storage-engine-backed observatories), and whole acquisition series
+    mine through :class:`~repro.mining.pipeline.MiningPipeline` with one
+    merged stRDF bulk emit.
+    """
 
     def __init__(self, ingestor: Ingestor, patch_size: int = 8):
         self.ingestor = ingestor
         self.patch_size = patch_size
+        self.models = ModelStore(ingestor.db)
+
+    def _grid(self, path: str):
+        """Ingest one archive file and extract its patch grid through
+        the SciQL array tier."""
+        product = self.ingestor.ingest_file(path, lazy=True)
+        array = self.ingestor.materialize_array(product)
+        env = product.envelope
+        window = (env.minx, env.miny, env.maxx, env.maxy)
+        return extract_patch_grid(
+            array, window, patch_size=self.patch_size
+        )
 
     def train_classifier(
         self,
         scene_paths: Sequence[str],
         classifier: Optional[Classifier] = None,
+        model_name: Optional[str] = None,
     ) -> Classifier:
-        """Train a patch classifier on ground-truth labels of scenes."""
-        from repro.eo.seviri import read_scene
+        """Train a patch classifier on ground-truth labels of scenes.
 
+        ``model_name`` persists the fitted state in the model store so a
+        later session (or a restarted durable observatory) can
+        :meth:`load_model` it without retraining.
+        """
         features = []
         labels: List[str] = []
         for path in scene_paths:
-            grid = extract_patches(
-                read_scene(path), patch_size=self.patch_size
-            )
+            grid = self._grid(path)
             features.append(grid.feature_matrix())
             labels.extend(grid.truth_labels())
         X = np.vstack(features)
         clf = classifier or KNNClassifier(5)
-        return clf.fit(X, labels)
+        clf = clf.fit(X, labels)
+        if model_name is not None:
+            self.models.save(model_name, clf)
+        return clf
+
+    def load_model(self, name: str) -> Classifier:
+        """Reconstruct a persisted classifier from the model store."""
+        return self.models.load(name)
+
+    def _resolve(self, classifier: "Classifier | str") -> Classifier:
+        if isinstance(classifier, str):
+            return self.models.load(classifier)
+        return classifier
 
     def mine_scene(
-        self, path: str, classifier: Classifier
+        self, path: str, classifier: "Classifier | str"
     ) -> Dict[str, int]:
-        """Label every patch of one scene; returns label counts."""
-        from repro.eo.seviri import read_scene
+        """Label every patch of one scene; returns label counts.
 
-        grid = extract_patches(
-            read_scene(path), patch_size=self.patch_size
-        )
-        labels = classifier.predict(grid.feature_matrix())
+        ``classifier`` is a fitted instance or a persisted model name.
+        """
+        clf = self._resolve(classifier)
+        grid = self._grid(path)
+        labels = clf.predict(grid.feature_matrix())
         counts: Dict[str, int] = {}
         for label in labels:
             counts[label] = counts.get(label, 0) + 1
         return counts
+
+    def pipeline(self, classifier: "Classifier | str", **kwargs) -> MiningPipeline:
+        """An extract → classify → annotate pipeline over this tier."""
+        return MiningPipeline(
+            self.ingestor,
+            self._resolve(classifier),
+            patch_size=self.patch_size,
+            **kwargs,
+        )
+
+    def mine_batch(
+        self,
+        paths: Sequence[str],
+        classifier: "Classifier | str",
+        workers: Optional[int] = None,
+        **kwargs,
+    ) -> List["MiningResult | ChainFailure"]:
+        """Mine an acquisition series; annotations land as one bulk."""
+        return self.pipeline(classifier, **kwargs).run_batch(
+            paths, workers=workers
+        )
 
 
 class MetricsService:

@@ -1,0 +1,108 @@
+"""Persisted classifier model state (the ``mining_models`` registry)."""
+
+import numpy as np
+import pytest
+
+from repro.mdb import Database
+from repro.mining import (
+    GaussianNBClassifier,
+    KNNClassifier,
+    NearestCentroidClassifier,
+)
+from repro.mining.classify import ClassifierError
+from repro.mining.models import TABLE, ModelStore
+
+KINDS = [
+    lambda: KNNClassifier(3),
+    NearestCentroidClassifier,
+    GaussianNBClassifier,
+]
+
+
+def fitted(make):
+    rng = np.random.default_rng(11)
+    a = rng.normal(0.0, 1.0, (20, 6))
+    b = rng.normal(8.0, 1.0, (20, 6))
+    X = np.vstack([a, b])
+    clf = make().fit(X, ["a"] * 20 + ["b"] * 20)
+    probe = rng.normal(4.0, 3.0, (32, 6))
+    return clf, probe
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", KINDS)
+    def test_reloaded_model_predicts_identically(self, make):
+        clf, probe = fitted(make)
+        store = ModelStore(Database())
+        store.save("season-2007", clf)
+        again = store.load("season-2007")
+        assert type(again) is type(clf)
+        assert again.predict(probe) == clf.predict(probe)
+
+    def test_save_is_upsert(self):
+        db = Database()
+        store = ModelStore(db)
+        clf, probe = fitted(KNNClassifier)
+        other, _ = fitted(NearestCentroidClassifier)
+        store.save("m", clf)
+        store.save("m", other)
+        assert isinstance(store.load("m"), NearestCentroidClassifier)
+        assert len(db.query(f"SELECT name FROM {TABLE}")) == 1
+
+    def test_names_and_contains(self):
+        store = ModelStore(Database())
+        clf, _ = fitted(NearestCentroidClassifier)
+        store.save("beta", clf)
+        store.save("alpha", clf)
+        assert store.names() == ["alpha", "beta"]
+        assert "alpha" in store and "gamma" not in store
+
+    def test_delete(self):
+        store = ModelStore(Database())
+        clf, _ = fitted(NearestCentroidClassifier)
+        store.save("gone", clf)
+        store.delete("gone")
+        assert "gone" not in store
+        with pytest.raises(ClassifierError):
+            store.load("gone")
+
+
+class TestValidation:
+    def test_missing_model_raises(self):
+        with pytest.raises(ClassifierError):
+            ModelStore(Database()).load("nope")
+
+    @pytest.mark.parametrize("name", ["", "bad name", "a;b", "x'y"])
+    def test_bad_names_rejected(self, name):
+        store = ModelStore(Database())
+        clf, _ = fitted(NearestCentroidClassifier)
+        with pytest.raises(ClassifierError):
+            store.save(name, clf)
+        with pytest.raises(ClassifierError):
+            store.load(name)
+
+    def test_unfit_classifier_rejected(self):
+        store = ModelStore(Database())
+        with pytest.raises(ClassifierError):
+            store.save("raw", KNNClassifier())
+
+
+class TestDurability:
+    """On a storage-engine database, saved models survive a restart."""
+
+    def test_model_survives_reopen(self, tmp_path):
+        from repro.mdb.storage import StorageEngine
+
+        clf, probe = fitted(KNNClassifier)
+        expected = clf.predict(probe)
+
+        engine = StorageEngine(str(tmp_path / "data")).open()
+        ModelStore(engine.db).save("durable", clf)
+        engine.close()
+
+        engine = StorageEngine(str(tmp_path / "data")).open()
+        try:
+            again = ModelStore(engine.db).load("durable")
+            assert again.predict(probe) == expected
+        finally:
+            engine.close()

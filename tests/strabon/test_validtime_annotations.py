@@ -1,0 +1,203 @@
+"""stRDF valid time over mining annotations.
+
+The annotation graph shape of the knowledge-discovery pillar carries a
+``noa:hasValidTime`` period per patch ([acquired, acquired+validity));
+these tests pin the temporal-constraint semantics the semantic
+catalogue relies on: containment vs overlap, half-open boundaries, and
+acquisition instants as degenerate periods.
+"""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.eo.products import Product, ProcessingLevel
+from repro.geometry import Envelope, Polygon
+from repro.ingest.metadata import NOA_PREFIXES, product_uri
+from repro.mdb.sciql import Dimension, SciArray
+from repro.mdb.types import DOUBLE
+from repro.mining import SemanticAnnotator, NearestCentroidClassifier
+from repro.mining.features import extract_patch_grid
+from repro.strabon import StrabonStore, period_literal
+
+ACQUIRED = datetime(2007, 8, 25, 12, 0)
+VALIDITY = timedelta(minutes=15)
+
+
+def annotated_store():
+    """A store holding one annotated 8x8 scene (4 patches of size 4)."""
+    array = SciArray(
+        "valid_time_case",
+        [Dimension("row", 0, 8), Dimension("col", 0, 8)],
+        [("t039", DOUBLE), ("t108", DOUBLE)],
+    )
+    plane = np.full((8, 8), 290.0)
+    plane[:4, :4] = 320.0  # one hot quadrant
+    array.set_attribute("t039", plane)
+    array.set_attribute("t108", np.full((8, 8), 295.0))
+    grid = extract_patch_grid(
+        array, (20.0, 34.0, 28.0, 42.0), patch_size=4
+    )
+    product = Product(
+        "validtime_case",
+        "MSG2",
+        "SEVIRI",
+        ProcessingLevel.L1_CALIBRATED,
+        ACQUIRED,
+        Polygon.from_envelope(Envelope(20, 34, 28, 42), srid=4326),
+        path="validtime_case.nat",
+    )
+    labels = ["fire", "other", "other", "other"]
+    clf = NearestCentroidClassifier().fit(
+        grid.feature_matrix(), labels
+    )
+    annotator = SemanticAnnotator(clf, validity=VALIDITY)
+    store = StrabonStore()
+    store.load_graph(annotator.annotate(product, grid, labels))
+    return store, product
+
+
+def patch_query(temporal_filter):
+    return (
+        NOA_PREFIXES
+        + "SELECT ?p WHERE { ?p a noa:Patch ; noa:hasValidTime ?v . "
+        + temporal_filter
+        + " }"
+    )
+
+
+def period(start, end):
+    return f'"[{start.isoformat()}, {end.isoformat()})"^^strdf:period'
+
+
+class TestAnnotationValidTime:
+    def test_every_patch_carries_the_validity_period(self):
+        store, product = annotated_store()
+        rows = store.query(
+            NOA_PREFIXES
+            + "SELECT ?p ?v WHERE { ?p a noa:Patch ; "
+            "noa:hasValidTime ?v }"
+        )
+        assert len(rows) == 4
+        expected = period_literal(ACQUIRED, ACQUIRED + VALIDITY)
+        assert {v for _, v in rows.rows()} == {expected}
+
+    def test_during_containing_window(self):
+        store, _ = annotated_store()
+        rows = store.query(
+            patch_query(
+                "FILTER(strdf:during(?v, "
+                + period(
+                    ACQUIRED - timedelta(minutes=1),
+                    ACQUIRED + VALIDITY + timedelta(minutes=1),
+                )
+                + "))"
+            )
+        )
+        assert len(rows) == 4
+
+    def test_during_is_containment_not_overlap(self):
+        """A window overlapping only half the validity: periodOverlaps
+        matches, strdf:during does not."""
+        store, _ = annotated_store()
+        half = period(
+            ACQUIRED + timedelta(minutes=10),
+            ACQUIRED + timedelta(minutes=30),
+        )
+        during = store.query(
+            patch_query(f"FILTER(strdf:during(?v, {half}))")
+        )
+        overlaps = store.query(
+            patch_query(f"FILTER(strdf:periodOverlaps(?v, {half}))")
+        )
+        assert len(during) == 0
+        assert len(overlaps) == 4
+
+    def test_half_open_end_boundary(self):
+        """A window starting exactly at acquired+validity never sees
+        the annotation: [start, end) semantics."""
+        store, _ = annotated_store()
+        after = period(
+            ACQUIRED + VALIDITY, ACQUIRED + VALIDITY + timedelta(hours=1)
+        )
+        rows = store.query(
+            patch_query(f"FILTER(strdf:periodOverlaps(?v, {after}))")
+        )
+        assert len(rows) == 0
+        before = store.query(
+            patch_query(f"FILTER(strdf:periodBefore(?v, {after}))")
+        )
+        assert len(before) == 4
+
+    def test_acquisition_instant_inside_validity(self):
+        """An xsd:dateTime instant is a degenerate period: the
+        mid-validity instant is during every annotation's period."""
+        store, _ = annotated_store()
+        instant = (ACQUIRED + timedelta(minutes=5)).isoformat()
+        rows = store.query(
+            patch_query(
+                f'FILTER(strdf:during("{instant}"^^xsd:dateTime, ?v))'
+            )
+        )
+        assert len(rows) == 4
+        late = (ACQUIRED + VALIDITY).isoformat()
+        rows = store.query(
+            patch_query(
+                f'FILTER(strdf:during("{late}"^^xsd:dateTime, ?v))'
+            )
+        )
+        assert len(rows) == 0
+
+    def test_concept_and_time_constraints_compose(self):
+        store, product = annotated_store()
+        window = period(ACQUIRED, ACQUIRED + timedelta(hours=1))
+        rows = store.query(
+            NOA_PREFIXES
+            + "SELECT ?p WHERE { ?p a noa:Patch ; "
+            "noa:hasLabel ?l ; noa:hasValidTime ?v ; "
+            "noa:isPatchOf ?prod . "
+            f'FILTER(?l = "fire" && strdf:during(?v, {window})) }}'
+        )
+        assert len(rows) == 1
+        assert str(rows.rows()[0][0]).startswith(
+            str(product_uri(product))
+        )
+
+    def test_undated_product_has_no_valid_time(self):
+        """Annotations of a product without an acquisition instant omit
+        the valid-time triple rather than inventing one."""
+        store, _ = annotated_store()
+        array = SciArray(
+            "undated_case",
+            [Dimension("row", 0, 4), Dimension("col", 0, 4)],
+            [("t039", DOUBLE), ("t108", DOUBLE)],
+        )
+        array.set_attribute("t039", np.full((4, 4), 290.0))
+        array.set_attribute("t108", np.full((4, 4), 295.0))
+        grid = extract_patch_grid(
+            array, (0.0, 0.0, 4.0, 4.0), patch_size=4
+        )
+        product = Product(
+            "undated",
+            "MSG2",
+            "SEVIRI",
+            ProcessingLevel.L1_CALIBRATED,
+            None,
+            Polygon.from_envelope(Envelope(0, 0, 4, 4), srid=4326),
+        )
+        clf = NearestCentroidClassifier().fit(
+            grid.feature_matrix(), ["other"]
+        )
+        g = SemanticAnnotator(clf).annotate(product, grid, ["other"])
+        store2 = StrabonStore()
+        store2.load_graph(g)
+        rows = store2.query(
+            NOA_PREFIXES
+            + "SELECT ?p WHERE { ?p a noa:Patch ; noa:hasValidTime ?v }"
+        )
+        assert len(rows) == 0
+        rows = store2.query(
+            NOA_PREFIXES + "SELECT ?p WHERE { ?p a noa:Patch }"
+        )
+        assert len(rows) == 1

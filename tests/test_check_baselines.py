@@ -103,3 +103,66 @@ class TestGate:
         assert spec["tolerance"] == 0.2
         # And the refreshed baselines now gate green.
         assert check(baselines, results) == 0
+
+
+class TestMultiFileGate:
+    """The optional ``files`` list gates extra results files (the A10
+    mining floors) under the same tolerance, without disturbing the
+    historical single-file schema."""
+
+    @pytest.fixture()
+    def multi_files(self, tmp_path, gate_files):
+        baselines, results = gate_files
+        _write(
+            tmp_path / "BENCH_mining.json",
+            {"extract": {"patches_per_second": 30000.0}},
+        )
+        spec = json.load(open(baselines))
+        spec["files"] = [
+            {
+                "results_file": "BENCH_mining.json",
+                "baselines": {"extract.patches_per_second": 25000.0},
+            }
+        ]
+        _write(baselines, spec)
+        # The extra file resolves repo-relative to the baselines spec:
+        # <dir of baselines.json>/../BENCH_mining.json.  Both fixture
+        # files live in tmp_path, so nest the spec one level down.
+        nested = tmp_path / "benchmarks"
+        nested.mkdir()
+        nested_spec = nested / "baselines.json"
+        nested_spec.write_text((tmp_path / "baselines.json").read_text())
+        return str(nested_spec), results
+
+    def test_extra_file_within_tolerance_passes(self, multi_files):
+        baselines, results = multi_files
+        assert check(baselines, results) == 0
+
+    def test_extra_metric_regression_fails(self, multi_files):
+        baselines, results = multi_files
+        spec = json.load(open(baselines))
+        spec["files"][0]["baselines"]["extract.patches_per_second"] = 9e9
+        _write(baselines, spec)
+        assert check(baselines, results) == 1
+
+    def test_missing_extra_results_file_fails(self, multi_files):
+        baselines, results = multi_files
+        spec = json.load(open(baselines))
+        spec["files"][0]["results_file"] = "BENCH_gone.json"
+        _write(baselines, spec)
+        assert check(baselines, results) == 1
+
+    def test_update_rewrites_extra_baselines(self, multi_files):
+        baselines, results = multi_files
+        spec = json.load(open(baselines))
+        spec["files"][0]["baselines"]["extract.patches_per_second"] = 9e9
+        _write(baselines, spec)
+        assert check(baselines, results, update=True) == 0
+        spec = json.load(open(baselines))
+        assert (
+            spec["files"][0]["baselines"]["extract.patches_per_second"]
+            == 30000.0
+        )
+        # The legacy top-level baselines are refreshed too.
+        assert spec["baselines"]["select.speedup_vs_interpreted"] == 2.1
+        assert check(baselines, results) == 0

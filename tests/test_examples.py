@@ -16,6 +16,7 @@ EXAMPLES = [
     "sciql_image_processing.py",
     "data_vault_walkthrough.py",
     "durable_catalog.py",
+    "burn_scar_mapping.py",
 ]
 
 

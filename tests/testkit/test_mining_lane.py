@@ -1,0 +1,154 @@
+"""The testkit's mining lane: generator, oracle, differential, shrink."""
+
+import numpy as np
+import pytest
+
+from repro.testkit import differential, generators, oracles
+from repro.testkit.shrink import candidates, shrink
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_specs_are_well_formed(self, seed):
+        spec = generators.gen_spec("mining", seed)
+        patch = spec["patch"]
+        assert patch in (2, 4)
+        assert spec["classifier"] in ("centroid", "knn1")
+        assert spec["offset_min"] in (0, 30)
+        assert len(spec["train"]) >= 2
+        assert len(spec["test"]) >= 1
+        labels = {b["label"] for b in spec["train"]}
+        assert {b["label"] for b in spec["test"]} <= labels
+        for block in spec["train"] + spec["test"]:
+            for band in ("t039", "t108"):
+                plane = block[band]
+                assert len(plane) == patch
+                assert all(len(row) == patch for row in plane)
+
+    def test_training_covers_every_class(self):
+        """The classifier can only predict labels it has seen: every
+        class the generator invents has >= 2 training blocks."""
+        for seed in range(12):
+            spec = generators.gen_spec("mining", seed)
+            counts = {}
+            for block in spec["train"]:
+                counts[block["label"]] = (
+                    counts.get(block["label"], 0) + 1
+                )
+            assert all(n >= 2 for n in counts.values())
+
+    def test_cells_are_dyadic(self):
+        """Quarter-steps on integer bases: exactly representable, so
+        tile means over power-of-two patches are exact."""
+        spec = generators.gen_spec("mining", 4)
+        for block in spec["train"] + spec["test"]:
+            for band in ("t039", "t108"):
+                for row in block[band]:
+                    assert all(v * 4 == int(v * 4) for v in row)
+
+
+class TestOracle:
+    def test_feature_matrix_matches_engine_bitwise(self):
+        from repro.mdb.sciql import Dimension, SciArray
+        from repro.mdb.types import DOUBLE
+        from repro.mining.features import extract_patch_grid
+
+        spec = generators.gen_spec("mining", 2)
+        patch = spec["patch"]
+        blocks = spec["train"]
+        oracle = oracles.naive_mining_features(blocks, patch)
+
+        h, w = patch * len(blocks), patch
+        array = SciArray(
+            "oracle_case",
+            [Dimension("row", 0, h), Dimension("col", 0, w)],
+            [("t039", DOUBLE), ("t108", DOUBLE)],
+        )
+        for band in ("t039", "t108"):
+            plane = np.concatenate(
+                [np.asarray(b[band], dtype=np.float64) for b in blocks]
+            )
+            array.set_attribute(band, plane)
+        grid = extract_patch_grid(
+            array, (0.0, 0.0, float(w), float(h)), patch_size=patch
+        )
+        assert grid.feature_matrix().tolist() == oracle
+
+    def test_classify_mirrors_engine(self):
+        from repro.mining import KNNClassifier
+
+        spec = generators.gen_spec("mining", 3)
+        train_X = oracles.naive_mining_features(
+            spec["train"], spec["patch"]
+        )
+        test_X = oracles.naive_mining_features(
+            spec["test"], spec["patch"]
+        )
+        labels = [b["label"] for b in spec["train"]]
+        expected = oracles.naive_mining_classify(
+            train_X, labels, test_X, "knn1"
+        )
+        clf = KNNClassifier(1).fit(np.asarray(train_X), labels)
+        assert clf.predict(np.asarray(test_X)) == expected
+
+    def test_centroid_mirrors_engine(self):
+        from repro.mining import NearestCentroidClassifier
+
+        spec = generators.gen_spec("mining", 5)
+        train_X = oracles.naive_mining_features(
+            spec["train"], spec["patch"]
+        )
+        test_X = oracles.naive_mining_features(
+            spec["test"], spec["patch"]
+        )
+        labels = [b["label"] for b in spec["train"]]
+        expected = oracles.naive_mining_classify(
+            train_X, labels, test_X, "centroid"
+        )
+        clf = NearestCentroidClassifier().fit(
+            np.asarray(train_X), labels
+        )
+        got = clf.predict(np.asarray(test_X))
+        assert got == expected
+        # Labels never leave the training vocabulary.
+        assert set(got) <= set(labels)
+
+
+class TestDifferential:
+    def test_mining_in_domain_rotation(self):
+        assert "mining" in differential.DOMAINS
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_seeded_cases_agree(self, seed):
+        spec = generators.gen_spec("mining", seed)
+        assert differential.run_case("mining", spec) is None
+
+
+class TestShrink:
+    def test_candidates_stay_valid(self):
+        spec = generators.gen_spec("mining", 0)
+        for candidate in candidates("mining", spec):
+            assert len(candidate["train"]) >= 2
+            assert len(candidate["test"]) >= 1
+            assert differential.run_case("mining", candidate) is None
+
+    def test_shrink_converges_on_seeded_divergence(self):
+        """An artificial predicate ("a test block of class c0 exists")
+        shrinks to a minimal spec still holding it."""
+        spec = None
+        for seed in range(64):
+            cand = generators.gen_spec("mining", seed)
+            if any(b["label"] == "c0" for b in cand["test"]):
+                spec = cand
+                break
+        assert spec is not None
+
+        def diverges(s):
+            hit = any(b["label"] == "c0" for b in s["test"])
+            return "c0 present" if hit else None
+
+        small, detail = shrink("mining", spec, diverges)
+        assert detail == "c0 present"
+        assert len(small["test"]) == 1
+        assert len(small["train"]) == 2
+        assert small["offset_min"] == 0
